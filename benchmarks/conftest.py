@@ -1,0 +1,36 @@
+"""Shared helpers for the experiment benchmarks (E1–E10).
+
+Each ``bench_eN_*.py`` file reproduces one experiment from DESIGN.md's
+index: it asserts the paper's qualitative claim and benchmarks the
+operation the claim is about.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+``report`` collects the claim-vs-measured rows that EXPERIMENTS.md quotes;
+rows are printed at the end of the session so they survive pytest's
+output capture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_ROWS: list[str] = []
+
+
+def record(experiment: str, claim: str, measured: str) -> None:
+    """Record one claim-vs-measured row for the session summary."""
+    _ROWS.append(f"[{experiment}] {claim}  ⇒  {measured}")
+
+
+@pytest.fixture
+def report():
+    """Fixture handing benchmarks the row recorder."""
+    return record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if _ROWS:
+        terminalreporter.write_sep("=", "experiment claims (paper vs measured)")
+        for row in _ROWS:
+            terminalreporter.write_line(row)

@@ -1,0 +1,77 @@
+"""Federated sync via a cospan of exchange lenses (paper, Section 5).
+
+Two company systems — an HR database and a facilities roster — never talk
+directly.  Each carries a compiled mapping *into* a shared Directory
+interface; a cospan synchronizer pushes either side's interface view into
+the other.  This is the "enterprise interoperation" pattern the paper's
+conclusion points at (Johnson's half-duplex interoperations).
+
+Run:  python examples/federation_sync.py
+"""
+
+from repro import (
+    ExchangeEngine,
+    Fact,
+    SchemaMapping,
+    constant,
+    instance,
+    relation,
+    schema,
+)
+from repro.lenses import CospanSynchronizer
+
+
+def main() -> None:
+    interface = schema(relation("Directory", "name", "site"))
+
+    hr_schema = schema(
+        relation("Employee", "eid", "name", "dept"),
+        relation("Department", "dept", "site"),
+    )
+    hr_mapping = SchemaMapping.parse(
+        hr_schema,
+        interface,
+        "Employee(e, n, d), Department(d, l) -> Directory(n, l)",
+    )
+    facilities_schema = schema(relation("Badge", "name", "site", "code"))
+    facilities_mapping = SchemaMapping.parse(
+        facilities_schema, interface, "Badge(n, l, c) -> Directory(n, l)"
+    )
+
+    hr_lens = ExchangeEngine.compile(hr_mapping).lens
+    facilities_lens = ExchangeEngine.compile(facilities_mapping).lens
+    sync = CospanSynchronizer(hr_lens, facilities_lens)
+
+    hr_db = instance(
+        hr_schema,
+        {
+            "Employee": [[1, "ann", "eng"], [2, "bob", "ops"]],
+            "Department": [["eng", "berlin"], ["ops", "lisbon"]],
+        },
+    )
+    facilities_db = instance(
+        facilities_schema, {"Badge": [["ann", "berlin", "B-071"]]}
+    )
+
+    print("consistent before sync:", sync.consistent(hr_db, facilities_db))
+
+    # HR is authoritative today: push HR's interface view into facilities.
+    facilities_db = sync.sync_right(hr_db, facilities_db)
+    print("\n=== facilities after syncing from HR ===")
+    for fact in facilities_db.facts():
+        print(" ", fact)
+    print("consistent now:", sync.consistent(hr_db, facilities_db))
+
+    # Facilities registers a contractor; push back the other way.
+    facilities_db = facilities_db.with_facts(
+        [Fact("Badge", (constant("zoe"), constant("rio"), constant("B-099")))]
+    )
+    hr_db = sync.sync_left(facilities_db, hr_db)
+    print("\n=== HR after syncing from facilities ===")
+    for fact in hr_db.facts():
+        print(" ", fact)
+    print("consistent again:", sync.consistent(hr_db, facilities_db))
+
+
+if __name__ == "__main__":
+    main()

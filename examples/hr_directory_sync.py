@@ -1,0 +1,117 @@
+"""HR directory sync: visual mapping, show plan, bidirectional session.
+
+A realistic multi-table exchange in the style of the paper's Section 4
+workflow:
+
+1. an HR admin draws a *visual* correspondence (Clio-style) between the
+   HR database (Employee ⋈ Department) and the company directory;
+2. the diagram compiles to st-tgds, then to a statistics-informed
+   mapping plan whose operator tree is inspectable ("show plan");
+3. the compiled lens runs a *symmetric* synchronization session: edits on
+   either side propagate to the other.
+
+Run:  python examples/hr_directory_sync.py
+"""
+
+from repro import (
+    ExchangeEngine,
+    Fact,
+    Hints,
+    Statistics,
+    VisualMapping,
+    constant,
+    instance,
+    relation,
+    schema,
+)
+from repro.rlens import ConstantPolicy
+
+
+def build_visual_mapping(source, target) -> VisualMapping:
+    """Step 1: the box-and-line diagram (Figure 1 style)."""
+    visual = VisualMapping(source, target)
+
+    directory = visual.correspondence("directory")
+    directory.source("Employee", "Department").target("Directory")
+    directory.join("Employee.dept", "Department.dept")
+    directory.arrow("Employee.eid", "Directory.eid")
+    directory.arrow("Employee.name", "Directory.name")
+    directory.arrow("Department.site", "Directory.site")
+
+    orgchart = visual.correspondence("orgchart")
+    orgchart.source("Employee", "Department").target("OrgChart")
+    orgchart.join("Employee.dept", "Department.dept")
+    orgchart.arrow("Employee.eid", "OrgChart.eid")
+    orgchart.arrow("Department.head", "OrgChart.head")
+    return visual
+
+
+def main() -> None:
+    source = schema(
+        relation("Employee", "eid", "name", "dept", "salary"),
+        relation("Department", "dept", "head", "site"),
+    )
+    target = schema(
+        relation("Directory", "eid", "name", "site"),
+        relation("OrgChart", "eid", "head"),
+    )
+    hr_db = instance(
+        source,
+        {
+            "Employee": [
+                [1, "Alice", "eng", 120],
+                [2, "Bob", "eng", 110],
+                [3, "Carol", "sales", 90],
+            ],
+            "Department": [
+                ["eng", "Dana", "Berlin"],
+                ["sales", "Eve", "Lisbon"],
+            ],
+        },
+    )
+
+    # Steps 1–2: diagram → st-tgds.
+    mapping = build_visual_mapping(source, target).compile()
+    print("=== compiled st-tgds ===")
+    for tgd in mapping.tgds:
+        print(" ", tgd)
+
+    # Step 3: tgds → plan → lens, with hints for the backward direction.
+    hints = Hints()
+    hints.set_column_policy("Employee", "salary", ConstantPolicy(0))
+    engine = ExchangeEngine.compile(mapping, Statistics.gather(hr_db), hints)
+    print("\n=== mapping plan ===")
+    print(engine.show_plan())
+
+    # Symmetric session: neither side is master.
+    session = engine.symmetric_session()
+    directory, complement = session.putr(hr_db, session.missing)
+    print("\n=== directory side after initial sync ===")
+    for fact in directory.facts():
+        print(" ", fact)
+
+    # The directory side hires someone (a Directory + OrgChart pair).
+    edited = directory.with_facts(
+        [
+            Fact("Directory", (constant(4), constant("Dan"), constant("Berlin"))),
+        ]
+    )
+    hr_db2, complement = session.putl(edited, complement)
+    print("\n=== HR side after the directory-side hire ===")
+    for fact in hr_db2.facts():
+        print(" ", fact)
+
+    # The HR side gives Carol a new department; push right again.
+    hr_db3 = hr_db2.without_facts(
+        [Fact("Employee", (constant(3), constant("Carol"), constant("sales"), constant(90)))]
+    ).with_facts(
+        [Fact("Employee", (constant(3), constant("Carol"), constant("eng"), constant(90)))]
+    )
+    directory2, _ = session.putr(hr_db3, complement)
+    print("\n=== directory side after the HR-side transfer ===")
+    for fact in directory2.facts():
+        print(" ", fact)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Schema evolution (Figure 2), solved both ways.
+
+A mapping M : HR → Directory exists; the HR schema evolves (table rename,
+column rename, a new column).  The paper offers two routes to relate the
+*evolved* schema to the directory:
+
+* route (a) — "invert the evolution and compose": (M′)⁻¹ ∘ M, using the
+  maximum-recovery machinery;
+* route (b) — "propagate the evolution primitives through the mapping"
+  (channels), producing an evolved mapping and, for lossy steps, an
+  evolved *target* schema.
+
+This example runs both and shows they agree — and shows route (b)'s extra
+power on a lossy evolution step.
+
+Run:  python examples/schema_evolution.py
+"""
+
+from repro import constant, instance, relation, schema
+from repro.channels import (
+    AddColumn,
+    DropColumn,
+    RenameColumn,
+    RenameTable,
+    evolution_mapping,
+    migrate,
+    propagate_all,
+)
+from repro.mapping import SchemaMapping, evolve_source, universal_solution
+from repro.relational import homomorphically_equivalent
+from repro.relational.schema import Attribute
+
+
+def main() -> None:
+    source = schema(
+        relation("Employee", "eid", "name", "dept"),
+        relation("Department", "dept", "site"),
+    )
+    target = schema(relation("Directory", "eid", "name", "site"))
+    mapping = SchemaMapping.parse(
+        source,
+        target,
+        "Employee(e, n, d), Department(d, l) -> Directory(e, n, l)",
+    )
+    hr_db = instance(
+        source,
+        {
+            "Employee": [[1, "Alice", "eng"], [2, "Bob", "sales"]],
+            "Department": [["eng", "Berlin"], ["sales", "Lisbon"]],
+        },
+    )
+
+    # The evolution: three primitives, expressed once, used by both routes.
+    evolution = [
+        RenameTable("Employee", "Staff"),
+        RenameColumn("Staff", "name", "full_name"),
+        AddColumn("Staff", Attribute("badge"), constant("none")),
+    ]
+    evolved_db = migrate(evolution, hr_db)
+    print("=== evolved HR instance ===")
+    for fact in evolved_db.facts():
+        print(" ", fact)
+
+    # --- route (a): invert ∘ compose ------------------------------------
+    evolution_as_mapping = evolution_mapping(evolution, source)
+    evolved = evolve_source(mapping, evolution_as_mapping)
+    via_a = evolved.exchange(evolved_db)
+    print("\n=== route (a): (M′)⁻¹ ∘ M ===")
+    print("inverse evolution mapping:")
+    for tgd in evolved.inverse_evolution.tgds:
+        print("  ", tgd)
+    print("exchanged:", sorted(map(repr, via_a.facts())))
+
+    # --- route (b): channel propagation -----------------------------------
+    propagated = propagate_all(mapping, evolution)
+    via_b = universal_solution(propagated.mapping, evolved_db)
+    print("\n=== route (b): channels ===")
+    print("evolved mapping:")
+    for tgd in propagated.mapping.tgds:
+        print("  ", tgd)
+    print("exchanged:", sorted(map(repr, via_b.facts())))
+
+    print("\nroutes agree:", homomorphically_equivalent(via_a, via_b))
+
+    # --- a lossy step: only route (b) can evolve the *target* -------------
+    lossy = DropColumn("Department", "site")
+    result = propagate_all(mapping, [lossy])
+    print("\n=== lossy evolution: DropColumn(Department.site) ===")
+    print("notes:", *result.notes, sep="\n  ")
+    print("induced target evolution:", result.induced)
+    print("evolved target schema:", result.mapping.target)
+    lossy_db = migrate([lossy], hr_db)
+    out = universal_solution(result.mapping, lossy_db)
+    print("exchange under the evolved schemas:", sorted(map(repr, out.facts())))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Thin setup.py shim.
+
+All metadata lives in pyproject.toml; this file exists so editable
+installs work on environments whose setuptools predates native PEP 660
+wheel support (no `wheel` package available offline).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,164 @@
+"""repro — bidirectional data exchange: schema mappings meet lenses.
+
+A full implementation of the system envisioned by Johnson, Pérez and
+Terwilliger, *What Can Programming Languages Say About Data Exchange?*
+(EDBT 2014): the st-tgd data-exchange stack (chase, universal solutions,
+composition, inversion), the lens stack (asymmetric, quotient, edit,
+symmetric, relational), and the Section-4 synthesis — an st-tgd →
+relational-lens compiler with policy hints, statistics-informed mapping
+plans, a SQL-style "show plan", and symmetric exchange sessions.
+
+Quick start::
+
+    from repro import (
+        schema, relation, instance,
+        SchemaMapping, ExchangeEngine,
+    )
+
+    S = schema(relation("Emp", "name"))
+    T = schema(relation("Manager", "emp", "mgr"))
+    M = SchemaMapping.parse(S, T, "Emp(x) -> exists y . Manager(x, y)")
+    engine = ExchangeEngine.compile(M)
+    target = engine.exchange(instance(S, {"Emp": [["Alice"], ["Bob"]]}))
+
+See README.md for the architecture tour and DESIGN.md for the
+paper-to-module inventory.
+"""
+
+from .relational import (
+    Attribute,
+    AttributeType,
+    Constant,
+    Fact,
+    FunctionalDependency,
+    Instance,
+    InstanceBuilder,
+    KeyConstraint,
+    LabeledNull,
+    RelationSchema,
+    Schema,
+    SkolemValue,
+    constant,
+    core,
+    empty_instance,
+    find_homomorphism,
+    homomorphically_equivalent,
+    instance,
+    is_homomorphic,
+    relation,
+    schema,
+)
+from .mapping import (
+    SchemaMapping,
+    SOMapping,
+    StTgd,
+    VisualMapping,
+    certain_answers,
+    chase,
+    compose,
+    compose_sotgd,
+    core_universal_solution,
+    evolve_source,
+    is_recovery,
+    maximum_recovery,
+    recovered_sources,
+    subset_property_violations,
+    universal_solution,
+)
+from .lenses import (
+    Lens,
+    SymmetricLens,
+    check_symmetric_laws,
+    check_well_behaved,
+    span,
+    to_span,
+)
+from .rlens import (
+    ConstantPolicy,
+    EnvironmentPolicy,
+    FdPolicy,
+    JoinLens,
+    NullPolicy,
+    ProjectLens,
+    ProjectionTemplate,
+    RelationalLens,
+    SelectLens,
+    UnionLens,
+    symmetrize,
+)
+from .compiler import (
+    ExchangeEngine,
+    ExchangeLens,
+    Hints,
+    MappingPlan,
+    check_completeness,
+)
+from .stats import Statistics
+from .workloads import Scenario, all_scenarios
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attribute",
+    "AttributeType",
+    "Constant",
+    "ConstantPolicy",
+    "EnvironmentPolicy",
+    "ExchangeEngine",
+    "ExchangeLens",
+    "Fact",
+    "FdPolicy",
+    "FunctionalDependency",
+    "Hints",
+    "Instance",
+    "InstanceBuilder",
+    "JoinLens",
+    "KeyConstraint",
+    "LabeledNull",
+    "Lens",
+    "MappingPlan",
+    "NullPolicy",
+    "ProjectLens",
+    "ProjectionTemplate",
+    "RelationSchema",
+    "RelationalLens",
+    "SOMapping",
+    "Scenario",
+    "Schema",
+    "SchemaMapping",
+    "SelectLens",
+    "SkolemValue",
+    "StTgd",
+    "Statistics",
+    "SymmetricLens",
+    "UnionLens",
+    "VisualMapping",
+    "all_scenarios",
+    "certain_answers",
+    "chase",
+    "check_completeness",
+    "check_symmetric_laws",
+    "check_well_behaved",
+    "compose",
+    "compose_sotgd",
+    "constant",
+    "core",
+    "core_universal_solution",
+    "empty_instance",
+    "evolve_source",
+    "find_homomorphism",
+    "homomorphically_equivalent",
+    "instance",
+    "is_homomorphic",
+    "is_recovery",
+    "maximum_recovery",
+    "recovered_sources",
+    "relation",
+    "schema",
+    "span",
+    "subset_property_violations",
+    "symmetrize",
+    "to_span",
+    "universal_solution",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Schema-evolution primitives and their propagation through mappings."""
+
+from .primitives import (
+    AddColumn,
+    AddTable,
+    DropColumn,
+    DropTable,
+    EvolutionError,
+    EvolutionPrimitive,
+    RenameColumn,
+    RenameTable,
+    apply_all,
+    evolution_mapping,
+    migrate,
+)
+from .propagation import (
+    PropagationResult,
+    propagate_all,
+    propagate_primitive,
+)
+
+__all__ = [
+    "AddColumn",
+    "AddTable",
+    "DropColumn",
+    "DropTable",
+    "EvolutionError",
+    "EvolutionPrimitive",
+    "PropagationResult",
+    "RenameColumn",
+    "RenameTable",
+    "apply_all",
+    "evolution_mapping",
+    "migrate",
+    "propagate_all",
+    "propagate_primitive",
+]

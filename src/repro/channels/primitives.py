@@ -1,0 +1,354 @@
+"""Schema-evolution primitives (the paper's "channels" reference [24]).
+
+"One such language (called channels) allows schema evolution primitives
+to be propagated through mappings rather than appended to one end."  The
+primitives here are the usual edit vocabulary — add/drop/rename column,
+add/drop/rename table — each knowing how to
+
+* rewrite a **schema** (:meth:`apply_schema`),
+* migrate an **instance** (:meth:`apply_instance`),
+* express itself as an **st-tgd mapping** from the old schema to the new
+  (:meth:`as_mapping`) — the form the invert∘compose route of Figure 2
+  consumes, and
+* report whether it is **lossy** (information that cannot round-trip).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..logic.formulas import Atom, Conjunction
+from ..logic.terms import Const, Var
+from ..mapping.sttgd import SchemaMapping, StTgd
+from ..relational.instance import Fact, Instance
+from ..relational.schema import Attribute, RelationSchema, Schema
+from ..relational.values import Constant, NullFactory, max_null_label
+
+
+class EvolutionError(ValueError):
+    """The primitive does not apply to the given schema."""
+
+
+class EvolutionPrimitive(ABC):
+    """One schema-evolution step."""
+
+    @abstractmethod
+    def apply_schema(self, schema: Schema) -> Schema:
+        """The evolved schema."""
+
+    @abstractmethod
+    def apply_instance(self, instance: Instance) -> Instance:
+        """Migrate an instance of the old schema to the evolved schema."""
+
+    @abstractmethod
+    def as_mapping(self, schema: Schema) -> SchemaMapping:
+        """The evolution as an st-tgd mapping old-schema → new-schema.
+
+        Relations untouched by the primitive get identity (copy) tgds, so
+        the mapping is total over the schema.
+        """
+
+    def is_lossy(self) -> bool:
+        """Whether the primitive discards information (default: no)."""
+        return False
+
+    def _copy_tgds(
+        self, old_schema: Schema, new_schema: Schema, skip: set[str]
+    ) -> list[StTgd]:
+        """Identity tgds for every relation present unchanged in both schemas."""
+        tgds = []
+        for rel in old_schema:
+            if rel.name in skip or rel.name not in new_schema:
+                continue
+            variables = tuple(Var(f"v{i}") for i in range(rel.arity))
+            atom = Atom(rel.name, variables)
+            tgds.append(StTgd(Conjunction([atom]), Conjunction([atom])))
+        return tgds
+
+
+@dataclass(frozen=True)
+class AddColumn(EvolutionPrimitive):
+    """Append a column to a relation; existing rows get *default*.
+
+    With ``default=None`` existing rows get fresh labelled nulls (and the
+    evolution tgd gets an existential for the new position).
+    """
+
+    relation: str
+    attribute: Attribute
+    default: Constant | None = None
+
+    def apply_schema(self, schema: Schema) -> Schema:
+        rel = _require(schema, self.relation)
+        if rel.has_attribute(self.attribute.name):
+            raise EvolutionError(
+                f"{self.relation!r} already has a column {self.attribute.name!r}"
+            )
+        evolved = RelationSchema(
+            rel.name, list(rel.attributes) + [self.attribute]
+        )
+        return schema.without_relation(rel.name).with_relation(evolved)
+
+    def apply_instance(self, instance: Instance) -> Instance:
+        new_schema = self.apply_schema(instance.schema)
+        factory = NullFactory()
+        factory.reserve_through(max_null_label(instance.values()))
+        facts = []
+        for fact in instance.facts():
+            if fact.relation == self.relation:
+                extra = self.default if self.default is not None else factory.fresh()
+                facts.append(Fact(fact.relation, fact.row + (extra,)))
+            else:
+                facts.append(fact)
+        return Instance(new_schema, facts)
+
+    def as_mapping(self, schema: Schema) -> SchemaMapping:
+        new_schema = self.apply_schema(schema)
+        rel = schema[self.relation]
+        variables = tuple(Var(f"v{i}") for i in range(rel.arity))
+        if self.default is not None:
+            extra: Var | Const = Const(self.default)
+        else:
+            extra = Var("v_new")
+        tgd = StTgd(
+            Conjunction([Atom(rel.name, variables)]),
+            Conjunction([Atom(rel.name, variables + (extra,))]),
+        )
+        tgds = [tgd] + self._copy_tgds(schema, new_schema, skip={rel.name})
+        return SchemaMapping(schema, new_schema, tgds)
+
+    def __repr__(self) -> str:
+        default = f" default {self.default!r}" if self.default is not None else ""
+        return f"AddColumn({self.relation}.{self.attribute.name}{default})"
+
+
+@dataclass(frozen=True)
+class DropColumn(EvolutionPrimitive):
+    """Remove a column from a relation.  Lossy."""
+
+    relation: str
+    column: str
+
+    def apply_schema(self, schema: Schema) -> Schema:
+        rel = _require(schema, self.relation)
+        position = rel.position_of(self.column)
+        if rel.arity == 1:
+            raise EvolutionError(
+                f"cannot drop the only column of {self.relation!r}"
+            )
+        attrs = [a for i, a in enumerate(rel.attributes) if i != position]
+        return schema.without_relation(rel.name).with_relation(
+            RelationSchema(rel.name, attrs)
+        )
+
+    def apply_instance(self, instance: Instance) -> Instance:
+        new_schema = self.apply_schema(instance.schema)
+        position = instance.schema[self.relation].position_of(self.column)
+        facts = []
+        for fact in instance.facts():
+            if fact.relation == self.relation:
+                row = fact.row[:position] + fact.row[position + 1 :]
+                facts.append(Fact(fact.relation, row))
+            else:
+                facts.append(fact)
+        return Instance(new_schema, facts)
+
+    def as_mapping(self, schema: Schema) -> SchemaMapping:
+        new_schema = self.apply_schema(schema)
+        rel = schema[self.relation]
+        position = rel.position_of(self.column)
+        variables = tuple(Var(f"v{i}") for i in range(rel.arity))
+        kept = variables[:position] + variables[position + 1 :]
+        tgd = StTgd(
+            Conjunction([Atom(rel.name, variables)]),
+            Conjunction([Atom(rel.name, kept)]),
+        )
+        tgds = [tgd] + self._copy_tgds(schema, new_schema, skip={rel.name})
+        return SchemaMapping(schema, new_schema, tgds)
+
+    def is_lossy(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"DropColumn({self.relation}.{self.column})"
+
+
+@dataclass(frozen=True)
+class RenameColumn(EvolutionPrimitive):
+    """Rename a column (pure isomorphism; instances are untouched
+    positionally)."""
+
+    relation: str
+    old: str
+    new: str
+
+    def apply_schema(self, schema: Schema) -> Schema:
+        rel = _require(schema, self.relation)
+        position = rel.position_of(self.old)
+        if rel.has_attribute(self.new):
+            raise EvolutionError(f"{self.relation!r} already has column {self.new!r}")
+        attrs = [
+            Attribute(self.new, a.type) if i == position else a
+            for i, a in enumerate(rel.attributes)
+        ]
+        return schema.without_relation(rel.name).with_relation(
+            RelationSchema(rel.name, attrs)
+        )
+
+    def apply_instance(self, instance: Instance) -> Instance:
+        return Instance(
+            self.apply_schema(instance.schema), list(instance.facts())
+        )
+
+    def as_mapping(self, schema: Schema) -> SchemaMapping:
+        new_schema = self.apply_schema(schema)
+        rel = schema[self.relation]
+        variables = tuple(Var(f"v{i}") for i in range(rel.arity))
+        atom = Atom(rel.name, variables)
+        tgds = [StTgd(Conjunction([atom]), Conjunction([atom]))]
+        tgds += self._copy_tgds(schema, new_schema, skip={rel.name})
+        return SchemaMapping(schema, new_schema, tgds)
+
+    def __repr__(self) -> str:
+        return f"RenameColumn({self.relation}.{self.old}→{self.new})"
+
+
+@dataclass(frozen=True)
+class RenameTable(EvolutionPrimitive):
+    """Rename a relation (pure isomorphism)."""
+
+    old: str
+    new: str
+
+    def apply_schema(self, schema: Schema) -> Schema:
+        rel = _require(schema, self.old)
+        if self.new in schema:
+            raise EvolutionError(f"schema already has a relation {self.new!r}")
+        return schema.without_relation(self.old).with_relation(rel.rename(self.new))
+
+    def apply_instance(self, instance: Instance) -> Instance:
+        new_schema = self.apply_schema(instance.schema)
+        facts = [
+            Fact(self.new if f.relation == self.old else f.relation, f.row)
+            for f in instance.facts()
+        ]
+        return Instance(new_schema, facts)
+
+    def as_mapping(self, schema: Schema) -> SchemaMapping:
+        new_schema = self.apply_schema(schema)
+        rel = schema[self.old]
+        variables = tuple(Var(f"v{i}") for i in range(rel.arity))
+        tgds = [
+            StTgd(
+                Conjunction([Atom(self.old, variables)]),
+                Conjunction([Atom(self.new, variables)]),
+            )
+        ]
+        tgds += self._copy_tgds(schema, new_schema, skip={self.old})
+        return SchemaMapping(schema, new_schema, tgds)
+
+    def __repr__(self) -> str:
+        return f"RenameTable({self.old}→{self.new})"
+
+
+@dataclass(frozen=True)
+class AddTable(EvolutionPrimitive):
+    """Introduce a new, empty relation."""
+
+    relation: RelationSchema
+
+    def apply_schema(self, schema: Schema) -> Schema:
+        if self.relation.name in schema:
+            raise EvolutionError(f"schema already has {self.relation.name!r}")
+        return schema.with_relation(self.relation)
+
+    def apply_instance(self, instance: Instance) -> Instance:
+        return Instance(self.apply_schema(instance.schema), list(instance.facts()))
+
+    def as_mapping(self, schema: Schema) -> SchemaMapping:
+        new_schema = self.apply_schema(schema)
+        tgds = self._copy_tgds(schema, new_schema, skip=set())
+        return SchemaMapping(schema, new_schema, tgds)
+
+    def __repr__(self) -> str:
+        return f"AddTable({self.relation!r})"
+
+
+@dataclass(frozen=True)
+class DropTable(EvolutionPrimitive):
+    """Remove a relation and its rows.  Lossy."""
+
+    relation: str
+
+    def apply_schema(self, schema: Schema) -> Schema:
+        _require(schema, self.relation)
+        return schema.without_relation(self.relation)
+
+    def apply_instance(self, instance: Instance) -> Instance:
+        new_schema = self.apply_schema(instance.schema)
+        facts = [f for f in instance.facts() if f.relation != self.relation]
+        return Instance(new_schema, facts)
+
+    def as_mapping(self, schema: Schema) -> SchemaMapping:
+        new_schema = self.apply_schema(schema)
+        tgds = self._copy_tgds(schema, new_schema, skip={self.relation})
+        return SchemaMapping(schema, new_schema, tgds)
+
+    def is_lossy(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"DropTable({self.relation})"
+
+
+def _require(schema: Schema, relation: str) -> RelationSchema:
+    if relation not in schema:
+        raise EvolutionError(f"schema has no relation {relation!r}")
+    return schema[relation]
+
+
+def apply_all(
+    primitives: list[EvolutionPrimitive], schema: Schema
+) -> Schema:
+    """Apply a sequence of primitives to a schema."""
+    for primitive in primitives:
+        schema = primitive.apply_schema(schema)
+    return schema
+
+
+def migrate(primitives: list[EvolutionPrimitive], instance: Instance) -> Instance:
+    """Migrate an instance through a sequence of primitives."""
+    for primitive in primitives:
+        instance = primitive.apply_instance(instance)
+    return instance
+
+
+def evolution_mapping(
+    primitives: list[EvolutionPrimitive], schema: Schema
+) -> SchemaMapping:
+    """The whole evolution as one st-tgd mapping old → new.
+
+    Built by composing the per-primitive mappings through the chase-free
+    syntactic route: each step's tgds are full or single-existential, so
+    sequentially composing them stays first-order whenever every step is
+    full; otherwise the steps are applied pairwise via
+    :func:`repro.mapping.composition.compose`.
+    """
+    from ..mapping.composition import compose
+
+    if not primitives:
+        raise EvolutionError("empty evolution")
+    mapping: SchemaMapping = primitives[0].as_mapping(schema)
+    current_schema = mapping.target
+    for primitive in primitives[1:]:
+        step = primitive.as_mapping(current_schema)
+        composed = compose(mapping, step)
+        if not isinstance(composed, SchemaMapping):
+            raise EvolutionError(
+                "evolution composition left the st-tgd language; apply the "
+                "steps one at a time instead"
+            )
+        mapping = composed
+        current_schema = mapping.target
+    return mapping

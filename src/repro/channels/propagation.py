@@ -1,0 +1,252 @@
+"""Propagating evolution primitives *through* a mapping (channels).
+
+The alternative route to Figure 2's schema-evolution problem: instead of
+inverting the evolution and composing ("adapting one schema"), push each
+primitive through the mapping, rewriting the tgds in place and emitting
+the **induced** primitives on the target schema — so users "propagate the
+evolution primitives through the mapping and construct a new, evolved
+target schema T′" (paper, Section 4).
+
+Rules implemented (one per primitive):
+
+* ``RenameTable`` / ``RenameColumn`` — isomorphisms: premises re-point to
+  the new name; nothing is induced on the target (tgds are positional).
+* ``AddColumn`` — premise atoms over the relation gain a fresh,
+  non-exported variable; nothing is induced (the new column is unmapped
+  until the user draws a new correspondence).
+* ``DropColumn`` — premise atoms lose the position.  If the dropped
+  variable was exported and ``propagate_to_target`` is on, the target
+  positions it filled are dropped too (induced ``DropColumn``); otherwise
+  those positions silently become existential (information loss, noted).
+* ``DropTable`` — tgds whose premise reads the table are removed (noted).
+* ``AddTable`` — source schema grows; nothing else changes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..logic.formulas import Atom, Conjunction
+from ..logic.terms import Var
+from ..mapping.sttgd import SchemaMapping, StTgd
+from .primitives import (
+    AddColumn,
+    AddTable,
+    DropColumn,
+    DropTable,
+    EvolutionError,
+    EvolutionPrimitive,
+    RenameColumn,
+    RenameTable,
+)
+
+
+@dataclass
+class PropagationResult:
+    """Outcome of pushing one primitive (or a sequence) through a mapping."""
+
+    mapping: SchemaMapping
+    induced: list[EvolutionPrimitive] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return (
+            f"PropagationResult(induced={self.induced!r}, "
+            f"notes={len(self.notes)})"
+        )
+
+
+def propagate_primitive(
+    mapping: SchemaMapping,
+    primitive: EvolutionPrimitive,
+    propagate_to_target: bool = True,
+) -> PropagationResult:
+    """Push one evolution primitive through *mapping* (source side)."""
+    if isinstance(primitive, RenameTable):
+        return _propagate_rename_table(mapping, primitive)
+    if isinstance(primitive, RenameColumn):
+        return _propagate_schema_only(mapping, primitive)
+    if isinstance(primitive, AddColumn):
+        return _propagate_add_column(mapping, primitive)
+    if isinstance(primitive, DropColumn):
+        return _propagate_drop_column(mapping, primitive, propagate_to_target)
+    if isinstance(primitive, DropTable):
+        return _propagate_drop_table(mapping, primitive)
+    if isinstance(primitive, AddTable):
+        return _propagate_schema_only(mapping, primitive)
+    raise EvolutionError(f"unknown primitive {primitive!r}")
+
+
+def propagate_all(
+    mapping: SchemaMapping,
+    primitives: list[EvolutionPrimitive],
+    propagate_to_target: bool = True,
+) -> PropagationResult:
+    """Push a sequence of primitives through, accumulating induced changes."""
+    induced: list[EvolutionPrimitive] = []
+    notes: list[str] = []
+    for primitive in primitives:
+        step = propagate_primitive(mapping, primitive, propagate_to_target)
+        mapping = step.mapping
+        induced.extend(step.induced)
+        notes.extend(step.notes)
+    return PropagationResult(mapping, induced, notes)
+
+
+# ---------------------------------------------------------------------------
+# Per-primitive rules
+# ---------------------------------------------------------------------------
+
+
+def _propagate_schema_only(
+    mapping: SchemaMapping, primitive: EvolutionPrimitive
+) -> PropagationResult:
+    new_source = primitive.apply_schema(mapping.source)
+    return PropagationResult(
+        SchemaMapping(new_source, mapping.target, mapping.tgds, mapping.target_dependencies)
+    )
+
+
+def _propagate_rename_table(
+    mapping: SchemaMapping, primitive: RenameTable
+) -> PropagationResult:
+    new_source = primitive.apply_schema(mapping.source)
+    tgds = []
+    for tgd in mapping.tgds:
+        literals = []
+        for literal in tgd.premise.literals:
+            if isinstance(literal, Atom) and literal.relation == primitive.old:
+                literals.append(Atom(primitive.new, literal.terms))
+            else:
+                literals.append(literal)
+        tgds.append(StTgd(Conjunction(literals), tgd.conclusion))
+    return PropagationResult(
+        SchemaMapping(new_source, mapping.target, tgds, mapping.target_dependencies)
+    )
+
+
+def _fresh_variable(tgd: StTgd, counter: "itertools.count[int]") -> Var:
+    used = {v.name for v in tgd.premise.variables()} | {
+        v.name for v in tgd.conclusion.variables()
+    }
+    while True:
+        candidate = f"w{next(counter)}"
+        if candidate not in used:
+            return Var(candidate)
+
+
+def _propagate_add_column(
+    mapping: SchemaMapping, primitive: AddColumn
+) -> PropagationResult:
+    new_source = primitive.apply_schema(mapping.source)
+    counter = itertools.count()
+    tgds = []
+    for tgd in mapping.tgds:
+        literals = []
+        for literal in tgd.premise.literals:
+            if isinstance(literal, Atom) and literal.relation == primitive.relation:
+                extra = _fresh_variable(tgd, counter)
+                literals.append(Atom(literal.relation, literal.terms + (extra,)))
+            else:
+                literals.append(literal)
+        tgds.append(StTgd(Conjunction(literals), tgd.conclusion))
+    return PropagationResult(
+        SchemaMapping(new_source, mapping.target, tgds, mapping.target_dependencies)
+    )
+
+
+def _propagate_drop_column(
+    mapping: SchemaMapping, primitive: DropColumn, propagate_to_target: bool
+) -> PropagationResult:
+    new_source = primitive.apply_schema(mapping.source)
+    position = mapping.source[primitive.relation].position_of(primitive.column)
+    notes: list[str] = []
+
+    # Pass 1: rewrite premises; find exported variables losing their source.
+    rewritten: list[StTgd] = []
+    orphaned_target_positions: set[tuple[str, int]] = set()
+    for tgd in mapping.tgds:
+        literals = []
+        for literal in tgd.premise.literals:
+            if isinstance(literal, Atom) and literal.relation == primitive.relation:
+                terms = literal.terms[:position] + literal.terms[position + 1 :]
+                literals.append(Atom(literal.relation, terms))
+            else:
+                literals.append(literal)
+        new_premise = Conjunction(literals)
+        new_tgd = StTgd(new_premise, tgd.conclusion)
+        remaining = set(new_premise.variables())
+        for old_var in tgd.frontier:
+            if old_var not in remaining:
+                for atom in tgd.conclusion.atoms():
+                    for target_position, term in enumerate(atom.terms):
+                        if term == old_var:
+                            orphaned_target_positions.add(
+                                (atom.relation, target_position)
+                            )
+                notes.append(
+                    f"dropping {primitive.relation}.{primitive.column} orphans "
+                    f"exported variable {old_var!r} in {tgd!r}"
+                )
+        rewritten.append(new_tgd)
+
+    if not propagate_to_target or not orphaned_target_positions:
+        return PropagationResult(
+            SchemaMapping(
+                new_source, mapping.target, rewritten, mapping.target_dependencies
+            ),
+            notes=notes,
+        )
+
+    # Pass 2: drop the orphaned target positions from the target schema and
+    # from every tgd's conclusion (positions shift right-to-left safely).
+    induced: list[EvolutionPrimitive] = []
+    new_target = mapping.target
+    for relation, target_position in sorted(
+        orphaned_target_positions, key=lambda rp: (rp[0], -rp[1])
+    ):
+        column = new_target[relation].attributes[target_position].name
+        induced_primitive = DropColumn(relation, column)
+        new_target = induced_primitive.apply_schema(new_target)
+        induced.append(induced_primitive)
+        rewritten = [
+            _drop_conclusion_position(tgd, relation, target_position)
+            for tgd in rewritten
+        ]
+    return PropagationResult(
+        SchemaMapping(new_source, new_target, rewritten, mapping.target_dependencies),
+        induced=induced,
+        notes=notes,
+    )
+
+
+def _drop_conclusion_position(
+    tgd: StTgd, relation: str, position: int
+) -> StTgd:
+    atoms = []
+    for literal in tgd.conclusion.literals:
+        assert isinstance(literal, Atom)
+        if literal.relation == relation:
+            atoms.append(
+                Atom(relation, literal.terms[:position] + literal.terms[position + 1 :])
+            )
+        else:
+            atoms.append(literal)
+    return StTgd(tgd.premise, Conjunction(atoms))
+
+
+def _propagate_drop_table(
+    mapping: SchemaMapping, primitive: DropTable
+) -> PropagationResult:
+    new_source = primitive.apply_schema(mapping.source)
+    kept, notes = [], []
+    for tgd in mapping.tgds:
+        if primitive.relation in tgd.source_relations():
+            notes.append(f"dropping table {primitive.relation!r} removes {tgd!r}")
+        else:
+            kept.append(tgd)
+    return PropagationResult(
+        SchemaMapping(new_source, mapping.target, kept, mapping.target_dependencies),
+        notes=notes,
+    )

@@ -1,0 +1,216 @@
+"""Command-line interface: run exchanges and inspect plans from files.
+
+Usage (also via ``python -m repro``)::
+
+    repro plan      --schemas schemas.json --mapping mapping.tgd
+    repro exchange  --schemas schemas.json --mapping mapping.tgd \
+                    --data source.json [--out target.json]
+    repro chase     --schemas schemas.json --mapping mapping.tgd \
+                    --data source.json            # reference engine
+    repro put       --schemas schemas.json --mapping mapping.tgd \
+                    --data source.json --view edited_target.json
+    repro check     --schemas schemas.json --mapping mapping.tgd \
+                    --data source.json            # completeness report
+    repro questions --schemas schemas.json --mapping mapping.tgd
+
+File formats:
+
+* ``schemas.json`` — ``{"source": <schema>, "target": <schema>}`` in the
+  :mod:`repro.relational.serialization` encoding;
+* ``mapping.tgd`` — one st-tgd per line in the
+  :mod:`repro.logic.parser` syntax (``#`` comments allowed);
+* instance files — the serialization module's instance encoding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .compiler import ExchangeEngine, check_completeness
+from .mapping import SchemaMapping, universal_solution
+from .relational import (
+    Instance,
+    Schema,
+    dumps_instance,
+    instance_from_json,
+    schema_from_json,
+)
+from .stats import Statistics
+
+
+class CliError(SystemExit):
+    """Raised (as an exit) on malformed inputs; message goes to stderr."""
+
+    def __init__(self, message: str) -> None:
+        print(f"error: {message}", file=sys.stderr)
+        super().__init__(2)
+
+
+def _load_json(path: str) -> object:
+    try:
+        return json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        raise CliError(f"file not found: {path}")
+    except json.JSONDecodeError as exc:
+        raise CliError(f"malformed JSON in {path}: {exc}")
+
+
+def load_schemas(path: str) -> tuple[Schema, Schema]:
+    data = _load_json(path)
+    if not isinstance(data, dict) or "source" not in data or "target" not in data:
+        raise CliError(f'{path} must contain {{"source": ..., "target": ...}}')
+    return schema_from_json(data["source"]), schema_from_json(data["target"])
+
+
+def load_mapping(path: str, source: Schema, target: Schema) -> SchemaMapping:
+    try:
+        text = Path(path).read_text()
+    except FileNotFoundError:
+        raise CliError(f"file not found: {path}")
+    try:
+        return SchemaMapping.parse(source, target, text)
+    except ValueError as exc:
+        raise CliError(f"bad mapping in {path}: {exc}")
+
+
+def load_instance(path: str, schema: Schema, role: str) -> Instance:
+    data = _load_json(path)
+    try:
+        inst = instance_from_json(data)
+    except (KeyError, ValueError) as exc:
+        raise CliError(f"bad instance in {path}: {exc}")
+    if inst.schema != schema:
+        raise CliError(
+            f"{path} does not conform to the {role} schema "
+            f"(got {inst.schema!r})"
+        )
+    return inst
+
+
+def _emit(instance: Instance, out: str | None) -> None:
+    text = dumps_instance(instance)
+    if out:
+        Path(out).write_text(text + "\n")
+        print(f"wrote {instance.size()} facts to {out}")
+    else:
+        print(text)
+
+
+def _build_engine(args: argparse.Namespace) -> tuple[ExchangeEngine, Schema, Schema]:
+    source_schema, target_schema = load_schemas(args.schemas)
+    mapping = load_mapping(args.mapping, source_schema, target_schema)
+    statistics = None
+    if getattr(args, "data", None):
+        statistics = Statistics.gather(
+            load_instance(args.data, source_schema, "source")
+        )
+    engine = ExchangeEngine.compile(mapping, statistics)
+    return engine, source_schema, target_schema
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    engine, *_ = _build_engine(args)
+    print(engine.show_plan())
+    return 0
+
+
+def cmd_questions(args: argparse.Namespace) -> int:
+    engine, *_ = _build_engine(args)
+    questions = engine.policy_questions()
+    if not questions:
+        print("no open policy questions — the mapping is fully determined")
+    for question in questions:
+        print(f"• {question!r}")
+    return 0
+
+
+def cmd_exchange(args: argparse.Namespace) -> int:
+    engine, source_schema, _ = _build_engine(args)
+    source = load_instance(args.data, source_schema, "source")
+    result = engine.exchange(source)
+    _emit(result, args.out)
+    return 0
+
+
+def cmd_chase(args: argparse.Namespace) -> int:
+    source_schema, target_schema = load_schemas(args.schemas)
+    mapping = load_mapping(args.mapping, source_schema, target_schema)
+    source = load_instance(args.data, source_schema, "source")
+    result = universal_solution(mapping, source)
+    _emit(result, args.out)
+    return 0
+
+
+def cmd_put(args: argparse.Namespace) -> int:
+    engine, source_schema, target_schema = _build_engine(args)
+    source = load_instance(args.data, source_schema, "source")
+    view = load_instance(args.view, target_schema, "target")
+    result = engine.put_back(view, source)
+    _emit(result, args.out)
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    engine, source_schema, _ = _build_engine(args)
+    source = load_instance(args.data, source_schema, "source")
+    report = check_completeness(engine, [source])
+    print(report)
+    for failure in report.failures:
+        print("  ✗", failure)
+    return 0 if report.complete else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bidirectional data exchange: st-tgd mappings compiled to lenses.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, data: bool = False) -> None:
+        p.add_argument("--schemas", required=True, help="schemas JSON file")
+        p.add_argument("--mapping", required=True, help="tgd text file")
+        if data:
+            p.add_argument("--data", required=True, help="source instance JSON")
+            p.add_argument("--out", help="write result JSON here (default: stdout)")
+
+    p = sub.add_parser("plan", help="print the compiled mapping plan")
+    common(p)
+    p.add_argument("--data", help="source instance JSON (for statistics)")
+    p.set_defaults(handler=cmd_plan)
+
+    p = sub.add_parser("questions", help="list open policy questions")
+    common(p)
+    p.set_defaults(handler=cmd_questions)
+
+    p = sub.add_parser("exchange", help="forward exchange via the compiled lens")
+    common(p, data=True)
+    p.set_defaults(handler=cmd_exchange)
+
+    p = sub.add_parser("chase", help="forward exchange via the chase (reference)")
+    common(p, data=True)
+    p.set_defaults(handler=cmd_chase)
+
+    p = sub.add_parser("put", help="propagate target edits back to the source")
+    common(p, data=True)
+    p.add_argument("--view", required=True, help="edited target instance JSON")
+    p.set_defaults(handler=cmd_put)
+
+    p = sub.add_parser("check", help="run the completeness check")
+    common(p, data=True)
+    p.set_defaults(handler=cmd_check)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

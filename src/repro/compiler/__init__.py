@@ -1,0 +1,60 @@
+"""The st-tgd → relational-lens compiler pipeline (paper, Section 4).
+
+Visual correspondences → st-tgds → lens templates → policy hints →
+statistics-informed mapping plan (with "show plan") → bidirectional
+exchange lens.
+"""
+
+from .hints import DeletionBehavior, Hints
+from .tgd_compiler import (
+    AtomLeaf,
+    CompiledTgd,
+    CompilerLimitation,
+    compile_atom_leaf,
+    side_condition_predicate,
+)
+from .planner import HASH_JOIN_THRESHOLD, Planner, PlannerConfig
+from .plan import MappingPlan, render_expression
+from .engine import ExchangeEngine, ExchangeLens
+from .incremental import IncrementalExchange, IncrementalUnsupported
+from .session import (
+    Conflict,
+    ConflictPolicy,
+    SyncConflict,
+    SyncOutcome,
+    SyncSession,
+)
+from .completeness import (
+    CompletenessReport,
+    certain_answers_agree,
+    check_completeness,
+    forward_agrees_with_chase,
+)
+
+__all__ = [
+    "AtomLeaf",
+    "CompiledTgd",
+    "CompilerLimitation",
+    "CompletenessReport",
+    "Conflict",
+    "ConflictPolicy",
+    "DeletionBehavior",
+    "ExchangeEngine",
+    "ExchangeLens",
+    "HASH_JOIN_THRESHOLD",
+    "Hints",
+    "IncrementalExchange",
+    "IncrementalUnsupported",
+    "MappingPlan",
+    "Planner",
+    "PlannerConfig",
+    "SyncConflict",
+    "SyncOutcome",
+    "SyncSession",
+    "certain_answers_agree",
+    "check_completeness",
+    "compile_atom_leaf",
+    "forward_agrees_with_chase",
+    "render_expression",
+    "side_condition_predicate",
+]

@@ -1,0 +1,206 @@
+"""The bidirectional exchange engine: compiled mappings as lenses.
+
+:class:`ExchangeLens` assembles the per-tgd units of a
+:class:`~repro.compiler.plan.MappingPlan` into one relational lens from
+the whole source schema to the whole target schema:
+
+* ``get`` unions the units' forward facts — a pure, deterministic
+  function agreeing with the chase up to homomorphic equivalence
+  (certified by :mod:`repro.compiler.completeness`);
+* ``put`` diffs the new view against ``get(source)``, retracting the
+  support of deleted facts (per deletion hints) and justifying inserted
+  facts via the routed unit's policies.
+
+Laws: GetPut holds exactly; PutGet holds modulo homomorphic equivalence
+(the quotient the existential positions force — see
+:mod:`repro.compiler.tgd_compiler`); both are checked in the suite.
+
+:class:`ExchangeEngine` is the user-facing façade of the paper's §4
+workflow: mapping in, plan + show-plan + questions out, then bidirectional
+``exchange`` / ``put_back`` / symmetric sessions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lenses.symmetric import SpanLens
+from ..mapping.sttgd import SchemaMapping
+from ..relational.instance import Fact, Instance
+from ..relational.schema import Schema
+from ..rlens.base import RelationalLens, ViewViolationError
+from ..stats import Statistics
+from .hints import Hints
+from .plan import MappingPlan
+from .planner import Planner, PlannerConfig
+from .tgd_compiler import CompiledTgd
+
+
+class ExchangeLens(RelationalLens):
+    """A whole-mapping bidirectional lens built from compiled tgd units.
+
+    When the mapping carries *target dependencies* (egds / target tgds),
+    the forward direction chases them after materializing the lens view,
+    so keys and foreign keys on the target hold — exactly what the chase
+    would produce.
+    """
+
+    def __init__(
+        self,
+        source_schema: Schema,
+        target_schema: Schema,
+        units: list[CompiledTgd],
+        hints: Hints | None = None,
+        target_dependencies: tuple = (),
+    ) -> None:
+        self._source_schema = source_schema
+        self._target_schema = target_schema
+        self._units = list(units)
+        self._hints = hints or Hints()
+        self._target_dependencies = tuple(target_dependencies)
+        self._producers: dict[str, list[CompiledTgd]] = {}
+        for unit in self._units:
+            self._producers.setdefault(unit.target_relation, []).append(unit)
+
+    @property
+    def source_schema(self) -> Schema:
+        return self._source_schema
+
+    @property
+    def view_schema(self) -> Schema:
+        return self._target_schema
+
+    @property
+    def units(self) -> list[CompiledTgd]:
+        return list(self._units)
+
+    # -- get -----------------------------------------------------------------
+
+    def get(self, source: Instance) -> Instance:
+        self.check_source(source)
+        facts: set[Fact] = set()
+        for unit in self._units:
+            facts |= unit.forward_facts(source)
+        target = Instance(self._target_schema, facts)
+        if self._target_dependencies:
+            from ..mapping.chase import chase_target_dependencies
+
+            target = chase_target_dependencies(target, self._target_dependencies)
+        return target
+
+    # -- put -----------------------------------------------------------------
+
+    def put(self, view: Instance, source: Instance) -> Instance:
+        self.check_view(view)
+        self.check_source(source)
+        old_view = self.get(source)
+        removed = sorted(set(old_view.facts()) - set(view.facts()), key=repr)
+        added = sorted(set(view.facts()) - set(old_view.facts()), key=repr)
+
+        result = source
+        # Deletions first: every unit still deriving the fact must retract.
+        for fact in removed:
+            for unit in self._producers.get(fact.relation, []):
+                if unit.produces(fact):
+                    retracted = unit.retract(fact, result)
+                    if retracted:
+                        result = result.without_facts(retracted)
+        # Then insertions, routed to one producing unit each.  Policies
+        # consult the *pre-edit* source so FD restoration can recover
+        # column values from rows the deletions above just retracted.
+        for fact in added:
+            unit = self._route(fact)
+            result = result.with_facts(
+                unit.justify(fact, result, policy_source=source)
+            )
+        return result
+
+    def _route(self, fact: Fact) -> CompiledTgd:
+        candidates = [
+            unit
+            for unit in self._producers.get(fact.relation, [])
+            if unit.produces(fact)
+        ]
+        if not candidates:
+            raise ViewViolationError(
+                f"no compiled tgd produces facts of shape {fact!r}; "
+                f"the view edit is outside the mapping's image"
+            )
+        chosen_id = self._hints.route_insert(
+            fact.relation, [unit.tgd_id for unit in candidates]
+        )
+        for unit in candidates:
+            if unit.tgd_id == chosen_id:
+                return unit
+        return candidates[0]
+
+    # -- symmetric wrapper -----------------------------------------------------
+
+    def symmetric(self) -> SpanLens[Instance, Instance, Instance]:
+        """The span-based symmetric closure of this exchange lens."""
+        from ..rlens.symmetric import symmetrize
+
+        return symmetrize(self)
+
+    def __repr__(self) -> str:
+        return f"ExchangeLens({len(self._units)} units)"
+
+
+@dataclass
+class ExchangeEngine:
+    """The paper's §4 workflow, end to end.
+
+    >>> engine = ExchangeEngine.compile(mapping, statistics, hints)
+    >>> print(engine.show_plan())          # SQL-style plan inspection
+    >>> engine.policy_questions()          # remaining user gestures
+    >>> target = engine.exchange(source)   # forward exchange (get)
+    >>> source2 = engine.put_back(edited_target, source)  # backward (put)
+    """
+
+    mapping: SchemaMapping
+    plan: MappingPlan
+    lens: ExchangeLens
+    hints: Hints = field(default_factory=Hints)
+
+    @classmethod
+    def compile(
+        cls,
+        mapping: SchemaMapping,
+        statistics: Statistics | None = None,
+        hints: Hints | None = None,
+        config: PlannerConfig | None = None,
+    ) -> "ExchangeEngine":
+        """Compile a mapping: tgds → templates → policies → plan → lens."""
+        hints = hints or Hints()
+        statistics = statistics or Statistics.assumed(mapping.source)
+        planner = Planner(statistics, config or PlannerConfig())
+        units = planner.plan_mapping(mapping, hints)
+        plan = MappingPlan(units, statistics, hints)
+        lens = ExchangeLens(
+            mapping.source,
+            mapping.target,
+            units,
+            hints,
+            mapping.target_dependencies,
+        )
+        return cls(mapping, plan, lens, hints)
+
+    def exchange(self, source: Instance) -> Instance:
+        """Forward data exchange: materialize the target instance."""
+        return self.lens.get(source)
+
+    def put_back(self, view: Instance, source: Instance) -> Instance:
+        """Propagate target edits back into the source."""
+        return self.lens.put(view, source)
+
+    def show_plan(self) -> str:
+        """The plan, rendered the way a database EXPLAIN would be."""
+        return self.plan.show()
+
+    def policy_questions(self):
+        """Open user gestures of the compiled plan."""
+        return self.plan.policy_questions()
+
+    def symmetric_session(self) -> SpanLens[Instance, Instance, Instance]:
+        """A symmetric lens for master-less synchronization sessions."""
+        return self.lens.symmetric()

@@ -1,0 +1,89 @@
+"""User hints: the answers to a mapping plan's policy questions.
+
+The paper (Section 4): "one would need to somehow fill in the relational
+lens template parameters, needing answers to questions like 'what do I do
+with this extra column'.  While reasonable defaults may exist, it is
+unclear as to how often those defaults will be optimal to the user's
+scenarios."  :class:`Hints` is the container those answers travel in;
+every slot has a documented default so a hint-free compilation always
+succeeds (the "reasonable defaults" regime), and
+:meth:`~repro.compiler.plan.MappingPlan.policy_questions` enumerates what
+can be overridden (the "user gesture" regime).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from ..rlens.policies import ColumnPolicy, NullPolicy
+
+
+class DeletionBehavior:
+    """How a compiled tgd unit reacts when a view fact disappears."""
+
+    #: Delete the supporting facts of the designated premise atom.
+    PROPAGATE = "propagate"
+    #: Refuse: raise an error when a deletion reaches this unit.
+    FORBID = "forbid"
+
+    OPTIONS = (PROPAGATE, FORBID)
+
+
+@dataclass
+class Hints:
+    """Answers to the compiler's policy questions.
+
+    * ``column_policies`` — ``(relation, column) → ColumnPolicy``: how to
+      fill a **source** column that the mapping does not determine when an
+      inserted target fact must be justified (the intro's "Is the Age
+      field preserved?" question).
+    * ``deletion_atom`` — ``tgd_id → premise-atom index``: which premise
+      atom absorbs deletions (the join-lens left/right question, lifted to
+      arbitrary premises).
+    * ``deletion_behavior`` — ``tgd_id → DeletionBehavior`` option.
+    * ``insert_routing`` — ``target relation → tgd_id``: when several tgds
+      produce the same relation, which one justifies inserted facts (the
+      union-lens insert-side question).
+    * ``environment`` — values for
+      :class:`~repro.rlens.policies.EnvironmentPolicy` to read.
+    """
+
+    column_policies: dict[tuple[str, str], ColumnPolicy] = field(default_factory=dict)
+    deletion_atom: dict[str, int] = field(default_factory=dict)
+    deletion_behavior: dict[str, str] = field(default_factory=dict)
+    insert_routing: dict[str, str] = field(default_factory=dict)
+    environment: dict[str, object] = field(default_factory=dict)
+
+    def column_policy(self, relation: str, column: str) -> ColumnPolicy:
+        """Policy for a source column (default: fresh labelled null)."""
+        return self.column_policies.get((relation, column), NullPolicy())
+
+    def set_column_policy(
+        self, relation: str, column: str, policy: ColumnPolicy
+    ) -> "Hints":
+        self.column_policies[(relation, column)] = policy
+        return self
+
+    def deletion_atom_for(self, tgd_id: str) -> int:
+        """Premise-atom index absorbing deletions (default: atom 0)."""
+        return self.deletion_atom.get(tgd_id, 0)
+
+    def deletion_behavior_for(self, tgd_id: str) -> str:
+        behavior = self.deletion_behavior.get(tgd_id, DeletionBehavior.PROPAGATE)
+        if behavior not in DeletionBehavior.OPTIONS:
+            raise ValueError(f"unknown deletion behavior {behavior!r}")
+        return behavior
+
+    def route_insert(self, relation: str, producing_tgd_ids: list[str]) -> str:
+        """Which tgd justifies an inserted fact of *relation*.
+
+        Defaults to the first producing tgd (in mapping order).
+        """
+        chosen = self.insert_routing.get(relation)
+        if chosen is not None:
+            if chosen not in producing_tgd_ids:
+                raise ValueError(
+                    f"insert routing for {relation!r} names {chosen!r}, which does "
+                    f"not produce it (producers: {producing_tgd_ids})"
+                )
+            return chosen
+        return producing_tgd_ids[0]

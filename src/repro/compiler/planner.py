@@ -1,0 +1,153 @@
+"""The mapping planner: statistics-informed operator trees per tgd.
+
+Mirrors the SQL workflow the paper transplants (Section 4): the premise of
+each tgd is a conjunctive pattern; the planner orders its atoms (greedy
+smallest-first, preferring connected joins over products) and associates a
+join **algorithm** with each ⋈ (hash join for large inputs, nested loop
+for tiny ones) using gathered :class:`~repro.stats.Statistics`.  With
+``optimize=False`` it emits the naive plan (textual order, nested loops) —
+benchmark E10 measures the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..mapping.sttgd import SchemaMapping, StTgd
+from ..relational.algebra import (
+    AlgebraExpression,
+    Join,
+    Project,
+    Select,
+    TruePredicate,
+)
+from ..relational.schema import Schema
+from ..stats import Statistics
+from .hints import Hints
+from .tgd_compiler import (
+    AtomLeaf,
+    CompiledTgd,
+    CompilerLimitation,
+    compile_atom_leaf,
+    side_condition_predicate,
+)
+
+#: Inputs at or above this estimated size get a hash join.
+HASH_JOIN_THRESHOLD = 8.0
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Planner switches.
+
+    ``optimize`` enables statistics-driven atom ordering and hash joins;
+    off, atoms stay in textual order with nested-loop joins (the naive
+    baseline).
+    """
+
+    optimize: bool = True
+    hash_join_threshold: float = HASH_JOIN_THRESHOLD
+
+
+@dataclass
+class Planner:
+    """Builds :class:`CompiledTgd` units for a schema mapping."""
+
+    statistics: Statistics
+    config: PlannerConfig = field(default_factory=PlannerConfig)
+
+    def plan_mapping(
+        self, mapping: SchemaMapping, hints: Hints | None = None
+    ) -> list[CompiledTgd]:
+        """Normalize the mapping and compile every tgd."""
+        hints = hints or Hints()
+        normalized = mapping.normalize()
+        units = []
+        for index, tgd in enumerate(normalized.tgds):
+            units.append(
+                self.plan_tgd(tgd, mapping.source, f"tgd_{index}", hints)
+            )
+        return units
+
+    def plan_tgd(
+        self, tgd: StTgd, source_schema: Schema, tgd_id: str, hints: Hints
+    ) -> CompiledTgd:
+        """Compile one (normalized, single-conclusion-atom) tgd."""
+        conclusion_atoms = tgd.conclusion.atoms()
+        if len(conclusion_atoms) != 1:
+            raise CompilerLimitation(
+                f"{tgd_id}: conclusion has {len(conclusion_atoms)} atoms sharing "
+                f"existentials; the compilable fragment needs one (normalize first)"
+            )
+        premise_atoms = tgd.premise.atoms()
+        if not premise_atoms:
+            raise CompilerLimitation(f"{tgd_id}: premise has no atoms")
+
+        leaves = [
+            compile_atom_leaf(
+                atom, source_schema, float(self.statistics.cardinality(atom.relation))
+            )
+            for atom in premise_atoms
+        ]
+        expression = self._join_leaves(leaves)
+        side = side_condition_predicate(tgd.premise)
+        if not isinstance(side, TruePredicate):
+            expression = Select(expression, side)
+        frontier = tuple(tgd.frontier)
+        expression = Project(expression, tuple(v.name for v in frontier))
+
+        sub_schema = Schema(
+            source_schema[name]
+            for name in sorted({a.relation for a in premise_atoms})
+        )
+        return CompiledTgd(
+            tgd_id=tgd_id,
+            tgd=tgd,
+            premise_plan=expression,
+            plan_variables=frontier,
+            conclusion_atom=conclusion_atoms[0],
+            source_schema=sub_schema,
+            target_relation=conclusion_atoms[0].relation,
+            hints=hints,
+        )
+
+    # -- join ordering -----------------------------------------------------
+
+    def _join_leaves(self, leaves: list[AtomLeaf]) -> AlgebraExpression:
+        if len(leaves) == 1:
+            return leaves[0].expression
+        if not self.config.optimize:
+            expression = leaves[0].expression
+            estimate = leaves[0].estimated_rows
+            for leaf in leaves[1:]:
+                expression = Join(expression, leaf.expression, algorithm="nested_loop")
+                estimate *= leaf.estimated_rows
+            return expression
+        return self._greedy_join(leaves)
+
+    def _greedy_join(self, leaves: list[AtomLeaf]) -> AlgebraExpression:
+        remaining = sorted(leaves, key=lambda l: (l.estimated_rows, repr(l.atom)))
+        first = remaining.pop(0)
+        expression = first.expression
+        estimate = first.estimated_rows
+        bound_vars = set(first.variables)
+        while remaining:
+            connected = [
+                l for l in remaining if bound_vars & set(l.variables)
+            ]
+            pool = connected or remaining  # fall back to a product
+            nxt = min(pool, key=lambda l: (l.estimated_rows, repr(l.atom)))
+            remaining.remove(nxt)
+            shared = bound_vars & set(nxt.variables)
+            algorithm = (
+                "hash"
+                if min(estimate, nxt.estimated_rows) >= self.config.hash_join_threshold
+                else "nested_loop"
+            )
+            expression = Join(expression, nxt.expression, algorithm=algorithm)
+            # System-R style estimate: product shrunk per shared variable.
+            estimate = estimate * max(nxt.estimated_rows, 1.0)
+            for _ in shared:
+                estimate /= max(min(estimate, nxt.estimated_rows), 1.0) ** 0.5
+            bound_vars |= set(nxt.variables)
+        return expression

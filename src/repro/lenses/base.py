@@ -1,0 +1,136 @@
+"""Asymmetric set-based lenses (paper, Section 3).
+
+"The most basic form of a lens, called a set-based lens, consists of two
+sets S and V and two functions g (pronounced get) S → V, and p
+(pronounced put) V × S → S."  A lens is **well-behaved** when
+
+* *PutGet*: ``get(put(v, s)) == v`` — the updated system state really does
+  correspond to the view state; and
+* *GetPut*: ``put(get(s), s) == s`` — the put for a trivially updated
+  state is trivial.
+
+A lens is **very well behaved** when additionally *PutPut* holds:
+``put(v2, put(v1, s)) == put(v2, s)``.
+
+Lenses here are plain Python objects over arbitrary hashable/equatable
+states; the relational instantiations live in :mod:`repro.rlens`.
+``create`` handles the "missing source" case (needed to build symmetric
+lenses out of spans and to insert rows with no pre-image).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Generic, TypeVar
+
+S = TypeVar("S")  # source / system states
+V = TypeVar("V")  # view states
+
+
+class MissingSourceError(ValueError):
+    """``create`` was called on a lens that cannot invent a source state."""
+
+
+class Lens(ABC, Generic[S, V]):
+    """An asymmetric lens from source states ``S`` to view states ``V``."""
+
+    @abstractmethod
+    def get(self, source: S) -> V:
+        """Extract the view of *source*."""
+
+    @abstractmethod
+    def put(self, view: V, source: S) -> S:
+        """Update *source* so that its view becomes *view*."""
+
+    def create(self, view: V) -> S:
+        """Build a source whose view is *view*, with no old source.
+
+        Default: not supported.  Lenses that can invent defaults override
+        this; it is required for span-based symmetric lens construction.
+        """
+        raise MissingSourceError(f"{type(self).__name__} cannot create a source")
+
+    # -- composition sugar ---------------------------------------------------
+
+    def then(self, other: "Lens[V, object]") -> "Lens[S, object]":
+        """``self ; other`` — sequential composition (see combinators)."""
+        from .combinators import ComposeLens
+
+        return ComposeLens(self, other)
+
+    def __rshift__(self, other: "Lens[V, object]") -> "Lens[S, object]":
+        return self.then(other)
+
+
+@dataclass(frozen=True)
+class FunctionLens(Lens[S, V]):
+    """A lens from explicit ``get``/``put`` (and optional ``create``) functions.
+
+    Handy in tests and for one-off lenses; law checking is the caller's
+    responsibility (see :mod:`repro.lenses.laws`).
+    """
+
+    get_fn: Callable[[S], V]
+    put_fn: Callable[[V, S], S]
+    create_fn: Callable[[V], S] | None = None
+    name: str = "fn"
+
+    def get(self, source: S) -> V:
+        return self.get_fn(source)
+
+    def put(self, view: V, source: S) -> S:
+        return self.put_fn(view, source)
+
+    def create(self, view: V) -> S:
+        if self.create_fn is None:
+            return super().create(view)
+        return self.create_fn(view)
+
+    def __repr__(self) -> str:
+        return f"FunctionLens({self.name})"
+
+
+@dataclass(frozen=True)
+class IdentityLens(Lens[S, S]):
+    """The identity lens: get and put change nothing."""
+
+    def get(self, source: S) -> S:
+        return source
+
+    def put(self, view: S, source: S) -> S:
+        return view
+
+    def create(self, view: S) -> S:
+        return view
+
+    def __repr__(self) -> str:
+        return "id"
+
+
+@dataclass(frozen=True)
+class IsoLens(Lens[S, V]):
+    """A lens from a bijection: ``get = forward``, ``put = backward``.
+
+    The only lenses whose inverse is again a lens — the paper notes
+    bidirectional transformations are bijections in precisely this case.
+    """
+
+    forward: Callable[[S], V]
+    backward: Callable[[V], S]
+    name: str = "iso"
+
+    def get(self, source: S) -> V:
+        return self.forward(source)
+
+    def put(self, view: V, source: S) -> S:
+        return self.backward(view)
+
+    def create(self, view: V) -> S:
+        return self.backward(view)
+
+    def inverse(self) -> "IsoLens[V, S]":
+        return IsoLens(self.backward, self.forward, f"{self.name}⁻¹")
+
+    def __repr__(self) -> str:
+        return f"IsoLens({self.name})"

@@ -1,0 +1,182 @@
+"""Lens combinators: composition, products, constants, record fields.
+
+"In each case the lenses are composable" (paper, Section 3).  Sequential
+composition preserves well-behavedness; the other combinators build
+structured lenses out of simple ones and are the small algebra the
+relational lenses plug into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generic, Mapping, TypeVar
+
+from .base import Lens, MissingSourceError
+
+S = TypeVar("S")
+U = TypeVar("U")
+V = TypeVar("V")
+S2 = TypeVar("S2")
+V2 = TypeVar("V2")
+
+
+@dataclass(frozen=True)
+class ComposeLens(Lens[S, V], Generic[S, U, V]):
+    """``first ; second`` — view of the view.
+
+    ``get = second.get ∘ first.get``;
+    ``put(v, s) = first.put(second.put(v, first.get(s)), s)``.
+    Well-behaved whenever both components are.
+    """
+
+    first: Lens[S, U]
+    second: Lens[U, V]
+
+    def get(self, source: S) -> V:
+        return self.second.get(self.first.get(source))
+
+    def put(self, view: V, source: S) -> S:
+        middle = self.first.get(source)
+        return self.first.put(self.second.put(view, middle), source)
+
+    def create(self, view: V) -> S:
+        return self.first.create(self.second.create(view))
+
+    def __repr__(self) -> str:
+        return f"({self.first!r} ; {self.second!r})"
+
+
+@dataclass(frozen=True)
+class ProductLens(Lens[tuple[S, S2], tuple[V, V2]], Generic[S, V, S2, V2]):
+    """``left × right`` — act component-wise on pairs."""
+
+    left: Lens[S, V]
+    right: Lens[S2, V2]
+
+    def get(self, source: tuple[S, S2]) -> tuple[V, V2]:
+        return (self.left.get(source[0]), self.right.get(source[1]))
+
+    def put(self, view: tuple[V, V2], source: tuple[S, S2]) -> tuple[S, S2]:
+        return (self.left.put(view[0], source[0]), self.right.put(view[1], source[1]))
+
+    def create(self, view: tuple[V, V2]) -> tuple[S, S2]:
+        return (self.left.create(view[0]), self.right.create(view[1]))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} × {self.right!r})"
+
+
+@dataclass(frozen=True)
+class ConstLens(Lens[S, V]):
+    """Collapse every source to the fixed view ``value``.
+
+    ``put`` accepts only ``value`` back (anything else would violate
+    PutGet) and returns the source unchanged; ``create`` uses ``default``.
+    """
+
+    value: V
+    default: S | None = None
+
+    def get(self, source: S) -> V:
+        return self.value
+
+    def put(self, view: V, source: S) -> S:
+        if view != self.value:
+            raise ValueError(
+                f"const lens only accepts its constant {self.value!r}; got {view!r}"
+            )
+        return source
+
+    def create(self, view: V) -> S:
+        if view != self.value:
+            raise ValueError(
+                f"const lens only accepts its constant {self.value!r}; got {view!r}"
+            )
+        if self.default is None:
+            raise MissingSourceError("const lens has no default source")
+        return self.default
+
+    def __repr__(self) -> str:
+        return f"const({self.value!r})"
+
+
+@dataclass(frozen=True)
+class FstLens(Lens[tuple[S, V2], S], Generic[S, V2]):
+    """Project a pair to its first component; put keeps the second."""
+
+    default_second: V2 | None = None
+
+    def get(self, source: tuple[S, V2]) -> S:
+        return source[0]
+
+    def put(self, view: S, source: tuple[S, V2]) -> tuple[S, V2]:
+        return (view, source[1])
+
+    def create(self, view: S) -> tuple[S, V2]:
+        if self.default_second is None:
+            raise MissingSourceError("fst lens has no default for the second slot")
+        return (view, self.default_second)
+
+    def __repr__(self) -> str:
+        return "fst"
+
+
+@dataclass(frozen=True)
+class SndLens(Lens[tuple[S2, V], V], Generic[S2, V]):
+    """Project a pair to its second component; put keeps the first."""
+
+    default_first: S2 | None = None
+
+    def get(self, source: tuple[S2, V]) -> V:
+        return source[1]
+
+    def put(self, view: V, source: tuple[S2, V]) -> tuple[S2, V]:
+        return (source[0], view)
+
+    def create(self, view: V) -> tuple[S2, V]:
+        if self.default_first is None:
+            raise MissingSourceError("snd lens has no default for the first slot")
+        return (self.default_first, view)
+
+    def __repr__(self) -> str:
+        return "snd"
+
+
+@dataclass(frozen=True)
+class FieldLens(Lens[Mapping[str, Any], Any]):
+    """Focus on one key of an immutable mapping (record) state.
+
+    ``put`` rebuilds the mapping with the key replaced; ``create`` needs
+    ``defaults`` for the remaining keys.
+    """
+
+    key: str
+    defaults: tuple[tuple[str, Any], ...] = ()
+
+    def get(self, source: Mapping[str, Any]) -> Any:
+        return source[self.key]
+
+    def put(self, view: Any, source: Mapping[str, Any]) -> Mapping[str, Any]:
+        out = dict(source)
+        out[self.key] = view
+        return out
+
+    def create(self, view: Any) -> Mapping[str, Any]:
+        if not self.defaults:
+            raise MissingSourceError(f"field lens {self.key!r} has no defaults")
+        out = dict(self.defaults)
+        out[self.key] = view
+        return out
+
+    def __repr__(self) -> str:
+        return f"field({self.key!r})"
+
+
+def compose_all(*lenses: Lens) -> Lens:
+    """Compose a non-empty chain of lenses left to right."""
+    if not lenses:
+        raise ValueError("compose_all needs at least one lens")
+    result = lenses[0]
+    for lens in lenses[1:]:
+        result = ComposeLens(result, lens)
+    return result

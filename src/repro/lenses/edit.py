@@ -1,0 +1,260 @@
+"""Edit lenses: propagate *edits* instead of whole states (HPW, POPL 2012).
+
+The paper lists edit lenses among the asymmetric-lens refinements: they
+"take as input edit operations rather than simple deltas".  An edit lens
+keeps a **complement** and translates source edits to view edits (and
+back) through it.
+
+This module provides:
+
+* a small edit algebra (:class:`IdentityEdit`, :class:`Replace`,
+  :class:`SequenceEdit`, and relational :class:`InsertRow` /
+  :class:`DeleteRow` edits over instances);
+* the :class:`EditLens` interface with ``push_right`` / ``push_left``;
+* :func:`edit_lens_from_lens` — the state-based embedding: any
+  asymmetric lens induces an edit lens whose complement is the current
+  source state (this is the bridge the relational lens pipeline uses to
+  consume row-level edit streams);
+* law checkers: stability (identity edits map to identity edits) and
+  compatibility with edit composition.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Generic, Iterable, Sequence, TypeVar
+
+from ..relational.instance import Instance, Fact, Row
+from .base import Lens
+from .laws import LawViolation
+
+S = TypeVar("S")
+T = TypeVar("T")
+C = TypeVar("C")
+
+
+class Edit(ABC, Generic[S]):
+    """An edit: a total function on states, applied with :meth:`apply`."""
+
+    @abstractmethod
+    def apply(self, state: S) -> S:
+        """The edited state."""
+
+    def then(self, other: "Edit[S]") -> "Edit[S]":
+        """Sequential composition ``self ; other``."""
+        return SequenceEdit((self, other))
+
+
+@dataclass(frozen=True)
+class IdentityEdit(Edit[S]):
+    """The unit of the edit monoid."""
+
+    def apply(self, state: S) -> S:
+        return state
+
+    def __repr__(self) -> str:
+        return "ε"
+
+
+@dataclass(frozen=True)
+class Replace(Edit[S]):
+    """Overwrite the whole state (the coarsest edit)."""
+
+    new_state: S
+
+    def apply(self, state: S) -> S:
+        return self.new_state
+
+    def __repr__(self) -> str:
+        return f"replace({self.new_state!r})"
+
+
+@dataclass(frozen=True)
+class SequenceEdit(Edit[S]):
+    """Composite edit: apply each component in order."""
+
+    edits: tuple[Edit[S], ...]
+
+    def apply(self, state: S) -> S:
+        for edit in self.edits:
+            state = edit.apply(state)
+        return state
+
+    def __repr__(self) -> str:
+        return " ; ".join(repr(e) for e in self.edits) or "ε"
+
+
+@dataclass(frozen=True)
+class InsertRow(Edit[Instance]):
+    """Insert one fact into a relational instance."""
+
+    relation: str
+    row: Row
+
+    def apply(self, state: Instance) -> Instance:
+        return state.with_facts([Fact(self.relation, self.row)])
+
+    def __repr__(self) -> str:
+        return f"+{self.relation}{self.row!r}"
+
+
+@dataclass(frozen=True)
+class DeleteRow(Edit[Instance]):
+    """Delete one fact from a relational instance (no-op when absent)."""
+
+    relation: str
+    row: Row
+
+    def apply(self, state: Instance) -> Instance:
+        return state.without_facts([Fact(self.relation, self.row)])
+
+    def __repr__(self) -> str:
+        return f"-{self.relation}{self.row!r}"
+
+
+class EditLens(ABC, Generic[S, T, C]):
+    """A bidirectional transformation on edits, mediated by a complement."""
+
+    @abstractmethod
+    def initial(self, source: S) -> tuple[T, C]:
+        """Initialize: the view of *source* plus the starting complement."""
+
+    @abstractmethod
+    def push_right(self, edit: Edit[S], complement: C) -> tuple[Edit[T], C]:
+        """Translate a source edit into a view edit, updating the complement."""
+
+    @abstractmethod
+    def push_left(self, edit: Edit[T], complement: C) -> tuple[Edit[S], C]:
+        """Translate a view edit into a source edit, updating the complement."""
+
+
+@dataclass(frozen=True)
+class StateComplementEditLens(EditLens[S, T, tuple[S, T]]):
+    """The state-based embedding of an asymmetric lens into edit lenses.
+
+    The complement is the current ``(source, view)`` pair.  ``push_right``
+    applies the source edit, re-runs ``get`` and emits a :class:`Replace`
+    view edit; ``push_left`` applies the view edit, runs ``put`` and emits
+    a :class:`Replace` source edit.  Coarse, but lawful: it inherits the
+    underlying lens's well-behavedness (checkable with
+    :func:`check_edit_lens_round_trip`).
+    """
+
+    lens: Lens[S, T]
+
+    def initial(self, source: S) -> tuple[T, tuple[S, T]]:
+        view = self.lens.get(source)
+        return view, (source, view)
+
+    def push_right(
+        self, edit: Edit[S], complement: tuple[S, T]
+    ) -> tuple[Edit[T], tuple[S, T]]:
+        source, _view = complement
+        new_source = edit.apply(source)
+        new_view = self.lens.get(new_source)
+        return Replace(new_view), (new_source, new_view)
+
+    def push_left(
+        self, edit: Edit[T], complement: tuple[S, T]
+    ) -> tuple[Edit[S], tuple[S, T]]:
+        source, view = complement
+        new_view = edit.apply(view)
+        new_source = self.lens.put(new_view, source)
+        return Replace(new_source), (new_source, new_view)
+
+
+def edit_lens_from_lens(lens: Lens[S, T]) -> StateComplementEditLens[S, T]:
+    """Embed a state-based lens as an edit lens (see class docs)."""
+    return StateComplementEditLens(lens)
+
+
+# ---------------------------------------------------------------------------
+# Law checking
+# ---------------------------------------------------------------------------
+
+
+def check_edit_stability(
+    edit_lens: EditLens[S, T, C], sources: Iterable[S]
+) -> list[LawViolation]:
+    """Identity edits must propagate to identity behaviour.
+
+    Checked semantically: pushing ε right leaves the view unchanged, and
+    pushing ε left leaves the source unchanged.
+    """
+    violations = []
+    for source in sources:
+        view, complement = edit_lens.initial(source)
+        right_edit, _ = edit_lens.push_right(IdentityEdit(), complement)
+        if right_edit.apply(view) != view:
+            violations.append(
+                LawViolation(
+                    "EditStability", f"push_right(ε) changed the view for {source!r}"
+                )
+            )
+        left_edit, _ = edit_lens.push_left(IdentityEdit(), complement)
+        if left_edit.apply(source) != source:
+            violations.append(
+                LawViolation(
+                    "EditStability", f"push_left(ε) changed the source for {source!r}"
+                )
+            )
+    return violations
+
+
+def check_edit_compatibility(
+    edit_lens: EditLens[S, T, C],
+    sources: Iterable[S],
+    edits_for: "callable[[S], Sequence[Edit[S]]]",
+) -> list[LawViolation]:
+    """Pushing ``e1 ; e2`` equals pushing ``e1`` then ``e2`` (semantically).
+
+    Compared on the resulting view states, not on edit syntax: different
+    edit expressions denoting the same function are acceptable.
+    """
+    violations = []
+    for source in sources:
+        view, complement = edit_lens.initial(source)
+        for e1 in edits_for(source):
+            for e2 in edits_for(e1.apply(source)):
+                combined_edit, _ = edit_lens.push_right(e1.then(e2), complement)
+                step1, c1 = edit_lens.push_right(e1, complement)
+                step2, _ = edit_lens.push_right(e2, c1)
+                via_combined = combined_edit.apply(view)
+                via_steps = step2.apply(step1.apply(view))
+                if via_combined != via_steps:
+                    violations.append(
+                        LawViolation(
+                            "EditCompatibility",
+                            f"push(e1;e2) ≠ push(e1);push(e2) at {source!r} "
+                            f"with e1={e1!r}, e2={e2!r}",
+                        )
+                    )
+    return violations
+
+
+def check_edit_lens_round_trip(
+    edit_lens: EditLens[S, T, C],
+    sources: Iterable[S],
+    edits_for: "callable[[S], Sequence[Edit[S]]]",
+) -> list[LawViolation]:
+    """Push an edit right, then push the resulting view edit left: the
+    source must stabilize (the edit-lens analogue of GetPut/PutGet)."""
+    violations = []
+    for source in sources:
+        view, complement = edit_lens.initial(source)
+        for edit in edits_for(source):
+            right_edit, c1 = edit_lens.push_right(edit, complement)
+            new_view = right_edit.apply(view)
+            left_edit, _ = edit_lens.push_left(Replace(new_view), c1)
+            expected = edit.apply(source)
+            stabilized = left_edit.apply(expected)
+            if stabilized != expected:
+                violations.append(
+                    LawViolation(
+                        "EditRoundTrip",
+                        f"round trip destabilized source: {stabilized!r} ≠ "
+                        f"{expected!r} (edit {edit!r})",
+                    )
+                )
+    return violations

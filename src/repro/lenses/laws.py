@@ -1,0 +1,154 @@
+"""Law checkers for lenses: the executable form of "well-behaved".
+
+The paper's repro gap is explicit: a dynamically-typed implementation
+cannot *prove* lens laws the way a typed host language encodes them, so
+this module recovers the guarantees operationally — every law is a
+checkable predicate over sampled states, used by the property-based test
+suite and by benchmark E5 to certify every shipped lens.
+
+A law check returns a list of :class:`LawViolation` (empty = law held on
+the sample).  ``check_well_behaved`` bundles PutGet + GetPut;
+``check_very_well_behaved`` adds PutPut.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from .base import Lens
+
+S = TypeVar("S")
+V = TypeVar("V")
+
+
+@dataclass(frozen=True)
+class LawViolation:
+    """One counterexample to a lens law."""
+
+    law: str
+    detail: str
+
+    def __repr__(self) -> str:
+        return f"[{self.law}] {self.detail}"
+
+
+def check_putget(
+    lens: Lens[S, V],
+    sources: Iterable[S],
+    views_for: Callable[[S], Iterable[V]],
+    equal_views: Callable[[V, V], bool] = lambda a, b: a == b,
+) -> list[LawViolation]:
+    """PutGet: ``get(put(v, s)) == v`` for sampled sources and views.
+
+    *views_for* supplies the candidate views to push into each source —
+    typically edits of ``get(s)`` so the put is meaningful.
+    """
+    violations = []
+    for source in sources:
+        for view in views_for(source):
+            updated = lens.put(view, source)
+            got = lens.get(updated)
+            if not equal_views(got, view):
+                violations.append(
+                    LawViolation(
+                        "PutGet",
+                        f"get(put(v, s)) = {got!r} but v = {view!r} (s = {source!r})",
+                    )
+                )
+    return violations
+
+
+def check_getput(
+    lens: Lens[S, V],
+    sources: Iterable[S],
+    equal_sources: Callable[[S, S], bool] = lambda a, b: a == b,
+) -> list[LawViolation]:
+    """GetPut: ``put(get(s), s) == s`` for sampled sources."""
+    violations = []
+    for source in sources:
+        restored = lens.put(lens.get(source), source)
+        if not equal_sources(restored, source):
+            violations.append(
+                LawViolation(
+                    "GetPut",
+                    f"put(get(s), s) = {restored!r} differs from s = {source!r}",
+                )
+            )
+    return violations
+
+
+def check_putput(
+    lens: Lens[S, V],
+    sources: Iterable[S],
+    views_for: Callable[[S], Iterable[V]],
+    equal_sources: Callable[[S, S], bool] = lambda a, b: a == b,
+) -> list[LawViolation]:
+    """PutPut: ``put(v2, put(v1, s)) == put(v2, s)`` (very-well-behaved only).
+
+    Most interesting lenses (e.g. FD-restoring projection) deliberately
+    fail PutPut — the first put may update the complement.  E5 reports
+    where it holds and where it fails, matching the theory.
+    """
+    violations = []
+    for source in sources:
+        views = list(views_for(source))
+        for v1 in views:
+            for v2 in views:
+                via_v1 = lens.put(v2, lens.put(v1, source))
+                direct = lens.put(v2, source)
+                if not equal_sources(via_v1, direct):
+                    violations.append(
+                        LawViolation(
+                            "PutPut",
+                            f"put(v2, put(v1, s)) = {via_v1!r} differs from "
+                            f"put(v2, s) = {direct!r}",
+                        )
+                    )
+    return violations
+
+
+def check_well_behaved(
+    lens: Lens[S, V],
+    sources: Sequence[S],
+    views_for: Callable[[S], Iterable[V]],
+    equal_sources: Callable[[S, S], bool] = lambda a, b: a == b,
+    equal_views: Callable[[V, V], bool] = lambda a, b: a == b,
+) -> list[LawViolation]:
+    """PutGet + GetPut over the sample (empty list = well-behaved)."""
+    return check_putget(lens, sources, views_for, equal_views) + check_getput(
+        lens, sources, equal_sources
+    )
+
+
+def check_very_well_behaved(
+    lens: Lens[S, V],
+    sources: Sequence[S],
+    views_for: Callable[[S], Iterable[V]],
+    equal_sources: Callable[[S, S], bool] = lambda a, b: a == b,
+    equal_views: Callable[[V, V], bool] = lambda a, b: a == b,
+) -> list[LawViolation]:
+    """PutGet + GetPut + PutPut over the sample."""
+    return check_well_behaved(
+        lens, sources, views_for, equal_sources, equal_views
+    ) + check_putput(lens, sources, views_for, equal_sources)
+
+
+def check_create_get(
+    lens: Lens[S, V],
+    views: Iterable[V],
+    equal_views: Callable[[V, V], bool] = lambda a, b: a == b,
+) -> list[LawViolation]:
+    """CreateGet: ``get(create(v)) == v`` — the law for source creation."""
+    violations = []
+    for view in views:
+        created = lens.create(view)
+        got = lens.get(created)
+        if not equal_views(got, view):
+            violations.append(
+                LawViolation(
+                    "CreateGet",
+                    f"get(create(v)) = {got!r} but v = {view!r}",
+                )
+            )
+    return violations

@@ -1,0 +1,122 @@
+"""Quotient lenses: lens laws modulo equivalence (Foster–Pilkiewicz–Pierce).
+
+The paper cites quotient lenses as the variant that "allows the
+properties of a lens to be relative to equivalence classes".  Following
+the original construction, a quotient lens is assembled from a core lens
+sandwiched between **canonizers**: a canonizer ``(canonize, choose)``
+maps concrete states onto canonical representatives (``canonize``) and
+picks a concrete state back (``choose``), with the round-trip law
+``canonize(choose(c)) == c``.
+
+The induced equivalences are ``s ≈ s' iff canonize(s) == canonize(s')``,
+and the lens laws hold modulo them: e.g. GetPut weakens to
+``put(get(s), s) ≈ s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, Iterable, Sequence, TypeVar
+
+from .base import Lens
+from .laws import LawViolation
+
+S = TypeVar("S")
+C = TypeVar("C")
+V = TypeVar("V")
+D = TypeVar("D")
+
+
+@dataclass(frozen=True)
+class Canonizer(Generic[S, C]):
+    """A pair ``canonize : S → C``, ``choose : C → S``.
+
+    ``choose`` must be a section of ``canonize``:
+    ``canonize(choose(c)) == c`` (checkable via :func:`check_canonizer`).
+    """
+
+    canonize: Callable[[S], C]
+    choose: Callable[[C], S]
+    name: str = "canonizer"
+
+    def equivalent(self, a: S, b: S) -> bool:
+        """The induced equivalence: equal canonical forms."""
+        return self.canonize(a) == self.canonize(b)
+
+    def __repr__(self) -> str:
+        return f"Canonizer({self.name})"
+
+
+def identity_canonizer() -> Canonizer[S, S]:
+    """The trivial canonizer (equivalence = equality)."""
+    return Canonizer(lambda s: s, lambda c: c, "id")
+
+
+def check_canonizer(
+    canonizer: Canonizer[S, C], canonical_samples: Iterable[C]
+) -> list[LawViolation]:
+    """Check ``canonize(choose(c)) == c`` on sampled canonical states."""
+    violations = []
+    for c in canonical_samples:
+        round_trip = canonizer.canonize(canonizer.choose(c))
+        if round_trip != c:
+            violations.append(
+                LawViolation(
+                    "ReCanonize",
+                    f"canonize(choose(c)) = {round_trip!r} but c = {c!r}",
+                )
+            )
+    return violations
+
+
+@dataclass(frozen=True)
+class QuotientLens(Lens[S, V], Generic[S, C, D, V]):
+    """``left_quot ; core ; right_quot⁻¹`` — a lens between quotiented sets.
+
+    * ``get(s) = choose_V(core.get(canonize_S(s)))``
+    * ``put(v, s) = choose_S(core.put(canonize_V(v), canonize_S(s)))``
+
+    As a plain lens it is only well-behaved **modulo** the canonizer
+    equivalences; :meth:`check_quotient_laws` verifies exactly that.
+    """
+
+    left: Canonizer[S, C]
+    core: Lens[C, D]
+    right: Canonizer[V, D]
+
+    def get(self, source: S) -> V:
+        return self.right.choose(self.core.get(self.left.canonize(source)))
+
+    def put(self, view: V, source: S) -> S:
+        canonical = self.core.put(
+            self.right.canonize(view), self.left.canonize(source)
+        )
+        return self.left.choose(canonical)
+
+    def create(self, view: V) -> S:
+        return self.left.choose(self.core.create(self.right.canonize(view)))
+
+    def source_equivalent(self, a: S, b: S) -> bool:
+        return self.left.equivalent(a, b)
+
+    def view_equivalent(self, a: V, b: V) -> bool:
+        return self.right.equivalent(a, b)
+
+    def check_quotient_laws(
+        self,
+        sources: Sequence[S],
+        views_for: Callable[[S], Iterable[V]],
+    ) -> list[LawViolation]:
+        """PutGet/GetPut modulo the induced equivalences."""
+        from .laws import check_well_behaved
+
+        return check_well_behaved(
+            self,
+            sources,
+            views_for,
+            equal_sources=self.source_equivalent,
+            equal_views=self.view_equivalent,
+        )
+
+    def __repr__(self) -> str:
+        return f"QuotientLens({self.left!r} ; {self.core!r} ; {self.right!r})"

@@ -1,0 +1,381 @@
+"""Symmetric lenses: spans, composition, inversion (HPW, POPL 2011).
+
+The paper's Section 3 pivots on these facts:
+
+* data exchange is **symmetric** — "there is no master source of data";
+* a symmetric lens between S and T is equivalent to a **span** of
+  asymmetric lenses ``S ← U → T`` over a "universal" set U;
+* symmetric lenses **compose**, and each has an **inversion** obtained by
+  exchanging the roles of S and T — so, unlike st-tgds, they form a
+  *closed mapping language* (benchmark E7 certifies this operationally).
+
+Following Hofmann–Pierce–Wagner, a symmetric lens carries a complement
+``C`` with a distinguished ``missing`` element and two functions
+``putr : S × C → T × C`` and ``putl : T × C → S × C`` satisfying the
+round-trip laws (PutRL / PutLR), checked by :func:`check_symmetric_laws`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Generic, Iterable, Sequence, TypeVar
+
+from .base import Lens
+from .laws import LawViolation
+
+S = TypeVar("S")
+T = TypeVar("T")
+U = TypeVar("U")
+W = TypeVar("W")
+C = TypeVar("C")
+C2 = TypeVar("C2")
+
+
+class SymmetricLens(ABC, Generic[S, T, C]):
+    """A symmetric lens with complement type ``C``."""
+
+    @property
+    @abstractmethod
+    def missing(self) -> C:
+        """The initial complement (used before any state has been seen)."""
+
+    @abstractmethod
+    def putr(self, source: S, complement: C) -> tuple[T, C]:
+        """Push an S-state to the right, producing a T-state."""
+
+    @abstractmethod
+    def putl(self, target: T, complement: C) -> tuple[S, C]:
+        """Push a T-state to the left, producing an S-state."""
+
+    # -- algebra -------------------------------------------------------------
+
+    def invert(self) -> "SymmetricLens[T, S, C]":
+        """The inverse lens: swap the roles of S and T.
+
+        This is the operation st-tgds lack; for symmetric lenses it is
+        literally a field swap.
+        """
+        return _InvertedLens(self)
+
+    def then(self, other: "SymmetricLens[T, W, C2]") -> "SymmetricLens[S, W, tuple[C, C2]]":
+        """Sequential composition (complements pair up)."""
+        return ComposedSymmetricLens(self, other)
+
+    def __rshift__(self, other: "SymmetricLens[T, W, C2]") -> "SymmetricLens[S, W, tuple[C, C2]]":
+        return self.then(other)
+
+
+@dataclass(frozen=True)
+class _InvertedLens(SymmetricLens[T, S, C], Generic[S, T, C]):
+    inner: SymmetricLens[S, T, C]
+
+    @property
+    def missing(self) -> C:
+        return self.inner.missing
+
+    def putr(self, source: T, complement: C) -> tuple[S, C]:
+        return self.inner.putl(source, complement)
+
+    def putl(self, target: S, complement: C) -> tuple[T, C]:
+        return self.inner.putr(target, complement)
+
+    def invert(self) -> SymmetricLens[S, T, C]:
+        return self.inner
+
+    def __repr__(self) -> str:
+        return f"{self.inner!r}⁻¹"
+
+
+@dataclass(frozen=True)
+class ComposedSymmetricLens(
+    SymmetricLens[S, W, tuple[C, C2]], Generic[S, T, W, C, C2]
+):
+    """``first ; second`` — symmetric lens composition.
+
+    The complement is the pair of component complements; ``putr`` threads
+    the state left-to-right, ``putl`` right-to-left.
+    """
+
+    first: SymmetricLens[S, T, C]
+    second: SymmetricLens[T, W, C2]
+
+    @property
+    def missing(self) -> tuple[C, C2]:
+        return (self.first.missing, self.second.missing)
+
+    def putr(self, source: S, complement: tuple[C, C2]) -> tuple[W, tuple[C, C2]]:
+        c1, c2 = complement
+        middle, c1_new = self.first.putr(source, c1)
+        target, c2_new = self.second.putr(middle, c2)
+        return target, (c1_new, c2_new)
+
+    def putl(self, target: W, complement: tuple[C, C2]) -> tuple[S, tuple[C, C2]]:
+        c1, c2 = complement
+        middle, c2_new = self.second.putl(target, c2)
+        source, c1_new = self.first.putl(middle, c1)
+        return source, (c1_new, c2_new)
+
+    def __repr__(self) -> str:
+        return f"({self.first!r} ; {self.second!r})"
+
+
+@dataclass(frozen=True)
+class IdentitySymmetricLens(SymmetricLens[S, S, None]):
+    """The identity symmetric lens."""
+
+    @property
+    def missing(self) -> None:
+        return None
+
+    def putr(self, source: S, complement: None) -> tuple[S, None]:
+        return source, None
+
+    def putl(self, target: S, complement: None) -> tuple[S, None]:
+        return target, None
+
+    def __repr__(self) -> str:
+        return "id_sym"
+
+
+# ---------------------------------------------------------------------------
+# Spans of asymmetric lenses
+# ---------------------------------------------------------------------------
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class SpanLens(SymmetricLens[S, T, object], Generic[U, S, T]):
+    """A symmetric lens from a span ``S ←(left)─ U ─(right)→ T``.
+
+    ``left`` and ``right`` are asymmetric lenses *from U*; the complement
+    is the current U-state ("universal, because it contains all the
+    information of both S and T, and in general even more besides").
+
+    * ``putr(s, u)``: fold the new S-state into U via ``left.put``, then
+      read the T-state off with ``right.get``.
+    * ``putl`` symmetrically.
+
+    Before any state is seen the complement is a *missing* marker and
+    ``create`` on the corresponding leg builds the first U-state.
+    """
+
+    left: Lens[U, S]
+    right: Lens[U, T]
+
+    @property
+    def missing(self) -> object:
+        return _MISSING
+
+    def putr(self, source: S, complement: object) -> tuple[T, object]:
+        if complement is _MISSING:
+            middle = self.left.create(source)
+        else:
+            middle = self.left.put(source, complement)  # type: ignore[arg-type]
+        return self.right.get(middle), middle
+
+    def putl(self, target: T, complement: object) -> tuple[S, object]:
+        if complement is _MISSING:
+            middle = self.right.create(target)
+        else:
+            middle = self.right.put(target, complement)  # type: ignore[arg-type]
+        return self.left.get(middle), middle
+
+    def __repr__(self) -> str:
+        return f"Span({self.left!r} ← U → {self.right!r})"
+
+
+def span(left: Lens[U, S], right: Lens[U, T]) -> SpanLens[U, S, T]:
+    """Build the symmetric lens of a span of asymmetric lenses."""
+    return SpanLens(left, right)
+
+
+@dataclass(frozen=True)
+class _SpanLeftLeg(Lens[tuple[S, object], S], Generic[S, T]):
+    """Left leg of the span extracted from a symmetric lens (U = S × C)."""
+
+    lens: SymmetricLens[S, T, object]
+
+    def get(self, source: tuple[S, object]) -> S:
+        return source[0]
+
+    def put(self, view: S, source: tuple[S, object]) -> tuple[S, object]:
+        _, complement = source
+        _, new_complement = self.lens.putr(view, complement)
+        return (view, new_complement)
+
+    def create(self, view: S) -> tuple[S, object]:
+        _, complement = self.lens.putr(view, self.lens.missing)
+        return (view, complement)
+
+
+@dataclass(frozen=True)
+class _SpanRightLeg(Lens[tuple[S, object], T], Generic[S, T]):
+    """Right leg: reads the T-state via putr; writes via putl."""
+
+    lens: SymmetricLens[S, T, object]
+
+    def get(self, source: tuple[S, object]) -> T:
+        target, _ = self.lens.putr(source[0], source[1])
+        return target
+
+    def put(self, view: T, source: tuple[S, object]) -> tuple[S, object]:
+        _, complement = source
+        new_source, new_complement = self.lens.putl(view, complement)
+        return (new_source, new_complement)
+
+    def create(self, view: T) -> tuple[S, object]:
+        new_source, complement = self.lens.putl(view, self.lens.missing)
+        return (new_source, complement)
+
+
+def to_span(
+    lens: SymmetricLens[S, T, object]
+) -> tuple[Lens[tuple[S, object], S], Lens[tuple[S, object], T]]:
+    """Present a symmetric lens as a span of asymmetric lenses.
+
+    The universal set is ``U = S × C`` (state-plus-complement), the HPW
+    equivalence.  Round-tripping through :func:`span` yields an
+    observationally equivalent symmetric lens (tested in the suite).
+    """
+    return _SpanLeftLeg(lens), _SpanRightLeg(lens)
+
+
+# ---------------------------------------------------------------------------
+# Cospans (paper, Section 5: "data exchange via cospans of lenses")
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CospanSynchronizer(Generic[S, T, W]):
+    """Data exchange via a cospan ``S ─(left)→ X ←(right)─ T``.
+
+    Both legs are asymmetric lenses *into* a common interface view ``X``
+    (Johnson's half-duplex enterprise interoperation).  Synchronization
+    pushes one side's interface view into the other side's state.  A
+    cospan is **not** a symmetric lens — there is no shared complement —
+    but it is a practical exchange mechanism; the suite demonstrates the
+    precise relationship by comparing it with the span construction.
+    """
+
+    left: Lens[S, W]
+    right: Lens[T, W]
+
+    def sync_right(self, source: S, old_target: T) -> T:
+        """Propagate the S-side's interface view into the T-side."""
+        return self.right.put(self.left.get(source), old_target)
+
+    def sync_left(self, target: T, old_source: S) -> S:
+        """Propagate the T-side's interface view into the S-side."""
+        return self.left.put(self.right.get(target), old_source)
+
+    def consistent(self, source: S, target: T) -> bool:
+        """Whether both sides project to the same interface view."""
+        return self.left.get(source) == self.right.get(target)
+
+
+# ---------------------------------------------------------------------------
+# Laws and observational equivalence
+# ---------------------------------------------------------------------------
+
+
+def check_symmetric_laws(
+    lens: SymmetricLens[S, T, C],
+    sources: Iterable[S],
+    targets: Iterable[T],
+) -> list[LawViolation]:
+    """PutRL / PutLR round-trip laws on sampled states.
+
+    * PutRL: after ``putr(s, c) = (t, c')``, ``putl(t, c') = (s, c')``.
+    * PutLR: after ``putl(t, c) = (s, c')``, ``putr(s, c') = (t, c')``.
+
+    Checked from the ``missing`` complement and from complements reached
+    by one prior update, covering the states a fresh session encounters.
+    """
+    violations: list[LawViolation] = []
+    sources = list(sources)
+    targets = list(targets)
+
+    def check_putrl(s: S, c: C) -> C | None:
+        t, c1 = lens.putr(s, c)
+        s_back, c2 = lens.putl(t, c1)
+        if s_back != s or c2 != c1:
+            violations.append(
+                LawViolation(
+                    "PutRL",
+                    f"putl(putr({s!r})) gave ({s_back!r}, {c2!r}), expected "
+                    f"({s!r}, {c1!r})",
+                )
+            )
+            return None
+        return c1
+
+    def check_putlr(t: T, c: C) -> C | None:
+        s, c1 = lens.putl(t, c)
+        t_back, c2 = lens.putr(s, c1)
+        if t_back != t or c2 != c1:
+            violations.append(
+                LawViolation(
+                    "PutLR",
+                    f"putr(putl({t!r})) gave ({t_back!r}, {c2!r}), expected "
+                    f"({t!r}, {c1!r})",
+                )
+            )
+            return None
+        return c1
+
+    for s in sources:
+        c1 = check_putrl(s, lens.missing)
+        if c1 is None:
+            continue
+        for s2 in sources:
+            check_putrl(s2, c1)
+        for t2 in targets:
+            check_putlr(t2, c1)
+    for t in targets:
+        c1 = check_putlr(t, lens.missing)
+        if c1 is None:
+            continue
+        for t2 in targets:
+            check_putlr(t2, c1)
+        for s2 in sources:
+            check_putrl(s2, c1)
+    return violations
+
+
+UpdateSequence = Sequence[tuple[str, object]]  # ("r", s) or ("l", t)
+
+
+def run_updates(
+    lens: SymmetricLens[S, T, C], updates: UpdateSequence
+) -> list[object]:
+    """Run an alternating update sequence, returning the emitted states."""
+    complement = lens.missing
+    outputs: list[object] = []
+    for direction, state in updates:
+        if direction == "r":
+            out, complement = lens.putr(state, complement)  # type: ignore[arg-type]
+        elif direction == "l":
+            out, complement = lens.putl(state, complement)  # type: ignore[arg-type]
+        else:
+            raise ValueError(f"update direction must be 'r' or 'l': {direction!r}")
+        outputs.append(out)
+    return outputs
+
+
+def observationally_equivalent(
+    first: SymmetricLens[S, T, object],
+    second: SymmetricLens[S, T, object],
+    update_sequences: Iterable[UpdateSequence],
+) -> bool:
+    """Whether two symmetric lenses emit identical outputs on the samples.
+
+    Observational equivalence (rather than complement equality) is the
+    right notion for comparing lenses with different complement types —
+    e.g. a lens against its span round-trip.
+    """
+    return all(
+        run_updates(first, updates) == run_updates(second, updates)
+        for updates in update_sequences
+    )

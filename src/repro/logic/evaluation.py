@@ -1,0 +1,156 @@
+"""Evaluation of conjunctive formulas over instances.
+
+:func:`evaluate` computes all satisfying variable bindings of a
+:class:`~repro.logic.formulas.Conjunction` in an instance.  This is the
+workhorse for:
+
+* firing tgds in the chase (premise bindings);
+* checking dependency satisfaction ``(I, J) ⊨ σ``;
+* naive evaluation of queries over instances with nulls (certain answers).
+
+The evaluator treats labelled nulls as ordinary values ("naive table"
+evaluation); the certain-answers layer filters null-carrying answers.
+Atoms are matched greedily most-bound-first; within an atom, rows are
+matched with unification of repeated variables and constants.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from ..relational.instance import Instance, Row
+from ..relational.values import Value, is_constant
+from .formulas import (
+    Atom,
+    Conjunction,
+    ConstantPredicate,
+    Equality,
+    Inequality,
+)
+from .terms import Const, FuncTerm, Var, evaluate_term
+
+Binding = dict[Var, Value]
+
+
+def _match_atom(atom: Atom, row: Row, binding: Binding) -> Binding | None:
+    """Extend *binding* so the atom matches *row*, or ``None``.
+
+    Function terms in atoms are matched by evaluating them under the
+    binding (all their variables must already be bound).
+    """
+    extended = dict(binding)
+    for term, value in zip(atom.terms, row):
+        if isinstance(term, Var):
+            bound = extended.get(term)
+            if bound is None:
+                extended[term] = value
+            elif bound != value:
+                return None
+        elif isinstance(term, Const):
+            if term.value != value:
+                return None
+        else:  # FuncTerm: evaluate and compare
+            try:
+                if evaluate_term(term, extended) != value:
+                    return None
+            except KeyError:
+                return None
+    return extended
+
+
+def _atom_boundness(atom: Atom, binding: Binding) -> int:
+    """How constrained an atom is under *binding* (higher = match first)."""
+    score = 0
+    for term in atom.terms:
+        if isinstance(term, Const):
+            score += 2
+        elif isinstance(term, Var) and term in binding:
+            score += 2
+        elif isinstance(term, FuncTerm):
+            score += 1
+    return score
+
+
+def _check_side_conditions(conjunction: Conjunction, binding: Binding) -> bool:
+    """Check equalities, inequalities and C() under a complete binding."""
+    for lit in conjunction.literals:
+        if isinstance(lit, Equality):
+            if evaluate_term(lit.left, binding) != evaluate_term(lit.right, binding):
+                return False
+        elif isinstance(lit, Inequality):
+            if evaluate_term(lit.left, binding) == evaluate_term(lit.right, binding):
+                return False
+        elif isinstance(lit, ConstantPredicate):
+            if not is_constant(evaluate_term(lit.term, binding)):
+                return False
+    return True
+
+
+def evaluate(
+    conjunction: Conjunction,
+    instance: Instance,
+    seed: Mapping[Var, Value] | None = None,
+) -> Iterator[Binding]:
+    """Yield every binding of the conjunction's variables satisfying it.
+
+    *seed* pre-binds some variables (used when checking whether a tgd's
+    conclusion is already witnessed for a given premise binding).
+    Atoms over relations absent from the instance simply fail to match.
+    """
+    atoms = list(conjunction.atoms())
+
+    def recurse(pending: list[Atom], binding: Binding) -> Iterator[Binding]:
+        if not pending:
+            if _check_side_conditions(conjunction, binding):
+                yield dict(binding)
+            return
+        # Most-constrained atom first keeps the search shallow.
+        best_index = max(
+            range(len(pending)), key=lambda i: _atom_boundness(pending[i], binding)
+        )
+        atom = pending[best_index]
+        rest = pending[:best_index] + pending[best_index + 1 :]
+        if atom.relation not in instance.schema:
+            return
+        for row in instance.rows(atom.relation):
+            if len(row) != atom.arity:
+                continue
+            extended = _match_atom(atom, row, binding)
+            if extended is not None:
+                yield from recurse(rest, extended)
+
+    initial: Binding = dict(seed) if seed else {}
+    yield from recurse(atoms, initial)
+
+
+def satisfiable(
+    conjunction: Conjunction,
+    instance: Instance,
+    seed: Mapping[Var, Value] | None = None,
+) -> bool:
+    """Whether at least one satisfying binding exists."""
+    return next(evaluate(conjunction, instance, seed), None) is not None
+
+
+def answers(
+    conjunction: Conjunction,
+    head_variables: Sequence[Var],
+    instance: Instance,
+) -> set[tuple[Value, ...]]:
+    """All answer tuples of the CQ ``head_variables ← conjunction``."""
+    return {
+        tuple(b[v] for v in head_variables) for b in evaluate(conjunction, instance)
+    }
+
+
+def ground_atoms(
+    atoms: Sequence[Atom], binding: Mapping[Var, Value]
+) -> list[tuple[str, tuple[Value, ...]]]:
+    """Ground each atom under *binding* to (relation, row) pairs.
+
+    Unbound variables raise; callers bind existentials (to fresh nulls or
+    Skolem values) before grounding.
+    """
+    return [
+        (a.relation, tuple(evaluate_term(t, binding) for t in a.terms)) for a in atoms
+    ]

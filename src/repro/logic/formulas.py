@@ -1,0 +1,239 @@
+"""Formulas of the dependency language.
+
+The fragment implemented is exactly what the paper's Section 2 needs:
+
+* conjunctions of relational **atoms** — the bodies of st-tgds;
+* **equalities** between terms — required by SO-tgds (Example 2's
+  ``x = f(x)`` premise);
+* **inequalities** and the **constant predicate** ``C(x)`` — required by
+  the inversion language of Arenas et al. (Example 3 and the discussion of
+  closure under inversion);
+* **disjunctions** of conjunctions — required on the right-hand side of
+  maximum recoveries (``Parent(x,y) → Father(x,y) ∨ Mother(x,y)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from .terms import Const, FuncTerm, Term, Var, substitute_term, variables_of
+
+
+@dataclass(frozen=True, slots=True)
+class Atom:
+    """A relational atom ``R(t₁, …, tₙ)``."""
+
+    relation: str
+    terms: tuple[Term, ...]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.terms)
+        return f"{self.relation}({inner})"
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def variables(self) -> list[Var]:
+        """Variables of the atom, in order of first occurrence."""
+        seen: dict[Var, None] = {}
+        for term in self.terms:
+            for v in variables_of(term):
+                seen.setdefault(v, None)
+        return list(seen)
+
+    def substitute(self, binding: Mapping[Var, Term]) -> "Atom":
+        return Atom(self.relation, tuple(substitute_term(t, binding) for t in self.terms))
+
+    def is_first_order(self) -> bool:
+        """Whether no term is a function term."""
+        return all(not isinstance(t, FuncTerm) for t in self.terms)
+
+
+@dataclass(frozen=True, slots=True)
+class Equality:
+    """``left = right`` between terms (SO-tgd premises use these)."""
+
+    left: Term
+    right: Term
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} = {self.right!r}"
+
+    def variables(self) -> list[Var]:
+        seen: dict[Var, None] = {}
+        for v in variables_of(self.left):
+            seen.setdefault(v, None)
+        for v in variables_of(self.right):
+            seen.setdefault(v, None)
+        return list(seen)
+
+    def substitute(self, binding: Mapping[Var, Term]) -> "Equality":
+        return Equality(substitute_term(self.left, binding), substitute_term(self.right, binding))
+
+
+@dataclass(frozen=True, slots=True)
+class Inequality:
+    """``left ≠ right`` — part of the closed inversion language of [4]."""
+
+    left: Term
+    right: Term
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} ≠ {self.right!r}"
+
+    def variables(self) -> list[Var]:
+        seen: dict[Var, None] = {}
+        for v in variables_of(self.left):
+            seen.setdefault(v, None)
+        for v in variables_of(self.right):
+            seen.setdefault(v, None)
+        return list(seen)
+
+    def substitute(self, binding: Mapping[Var, Term]) -> "Inequality":
+        return Inequality(substitute_term(self.left, binding), substitute_term(self.right, binding))
+
+
+@dataclass(frozen=True, slots=True)
+class ConstantPredicate:
+    """``C(t)`` — true iff the term denotes a constant (not a null).
+
+    The inversion literature adds this predicate to distinguish the
+    constants of the original source from nulls invented by the exchange.
+    """
+
+    term: Term
+
+    def __repr__(self) -> str:
+        return f"C({self.term!r})"
+
+    def variables(self) -> list[Var]:
+        return list(dict.fromkeys(variables_of(self.term)))
+
+    def substitute(self, binding: Mapping[Var, Term]) -> "ConstantPredicate":
+        return ConstantPredicate(substitute_term(self.term, binding))
+
+
+Literal = Atom | Equality | Inequality | ConstantPredicate
+
+
+@dataclass(frozen=True)
+class Conjunction:
+    """A conjunction of literals: the basic building block of dependencies."""
+
+    literals: tuple[Literal, ...]
+
+    def __init__(self, literals: Iterable[Literal]) -> None:
+        object.__setattr__(self, "literals", tuple(literals))
+
+    def __iter__(self) -> Iterator[Literal]:
+        return iter(self.literals)
+
+    def __len__(self) -> int:
+        return len(self.literals)
+
+    def __repr__(self) -> str:
+        if not self.literals:
+            return "⊤"
+        return " ∧ ".join(repr(lit) for lit in self.literals)
+
+    def atoms(self) -> list[Atom]:
+        return [lit for lit in self.literals if isinstance(lit, Atom)]
+
+    def equalities(self) -> list[Equality]:
+        return [lit for lit in self.literals if isinstance(lit, Equality)]
+
+    def inequalities(self) -> list[Inequality]:
+        return [lit for lit in self.literals if isinstance(lit, Inequality)]
+
+    def constant_predicates(self) -> list[ConstantPredicate]:
+        return [lit for lit in self.literals if isinstance(lit, ConstantPredicate)]
+
+    def variables(self) -> list[Var]:
+        """Variables in order of first occurrence."""
+        seen: dict[Var, None] = {}
+        for lit in self.literals:
+            for v in lit.variables():
+                seen.setdefault(v, None)
+        return list(seen)
+
+    def substitute(self, binding: Mapping[Var, Term]) -> "Conjunction":
+        return Conjunction(lit.substitute(binding) for lit in self.literals)
+
+    def relations(self) -> set[str]:
+        return {a.relation for a in self.atoms()}
+
+    def and_also(self, other: "Conjunction") -> "Conjunction":
+        return Conjunction(self.literals + other.literals)
+
+    def is_first_order(self) -> bool:
+        """Whether no literal contains a function term."""
+        for lit in self.literals:
+            if isinstance(lit, Atom) and not lit.is_first_order():
+                return False
+            if isinstance(lit, (Equality, Inequality)):
+                if isinstance(lit.left, FuncTerm) or isinstance(lit.right, FuncTerm):
+                    return False
+            if isinstance(lit, ConstantPredicate) and isinstance(lit.term, FuncTerm):
+                return False
+        return True
+
+
+@dataclass(frozen=True)
+class Disjunction:
+    """A disjunction of conjunctions — RHS language of maximum recoveries."""
+
+    branches: tuple[Conjunction, ...]
+
+    def __init__(self, branches: Iterable[Conjunction]) -> None:
+        branches = tuple(branches)
+        if not branches:
+            raise ValueError("disjunction needs at least one branch")
+        object.__setattr__(self, "branches", branches)
+
+    def __iter__(self) -> Iterator[Conjunction]:
+        return iter(self.branches)
+
+    def __len__(self) -> int:
+        return len(self.branches)
+
+    def __getitem__(self, index: int) -> Conjunction:
+        return self.branches[index]
+
+    def __repr__(self) -> str:
+        return " ∨ ".join(f"({b!r})" for b in self.branches)
+
+    def variables(self) -> list[Var]:
+        seen: dict[Var, None] = {}
+        for branch in self.branches:
+            for v in branch.variables():
+                seen.setdefault(v, None)
+        return list(seen)
+
+    def substitute(self, binding: Mapping[Var, Term]) -> "Disjunction":
+        return Disjunction(b.substitute(binding) for b in self.branches)
+
+
+def conj(*literals: Literal) -> Conjunction:
+    """Shorthand conjunction constructor."""
+    return Conjunction(literals)
+
+
+def atom(relation: str, *terms: Term | str | int) -> Atom:
+    """Shorthand atom constructor: bare strings become variables, ints constants.
+
+    >>> atom("Emp", "x")          # Emp(x)
+    >>> atom("Age", "x", 42)      # Age(x, 42)
+    """
+    out: list[Term] = []
+    for t in terms:
+        if isinstance(t, (Var, Const, FuncTerm)):
+            out.append(t)
+        elif isinstance(t, str):
+            out.append(Var(t))
+        else:
+            from .terms import const
+
+            out.append(const(t))
+    return Atom(relation, tuple(out))

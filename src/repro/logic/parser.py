@@ -1,0 +1,260 @@
+"""A text syntax for dependencies.
+
+The examples and tests write dependencies the way the paper does::
+
+    Emp(x) -> exists y . Manager(x, y)
+    Takes(x, y) -> exists z . Student(z, x), Assgn(x, y)
+    Manager(x, x) -> SelfMngr(x)
+    Parent(x, y), C(x), C(y) -> Father(x, y) | Mother(x, y)
+
+Conventions:
+
+* identifiers starting with an upper-case letter are **relation names**;
+* identifiers starting with a lower-case letter are **variables**;
+* numbers and quoted strings are **constants**;
+* ``C(t)`` is the constant predicate (``C`` is reserved);
+* ``exists v1, v2 .`` introduces explicit existential variables — optional,
+  since existentials can be inferred as the RHS variables missing from the
+  LHS;
+* ``|`` separates disjuncts on the right-hand side (recovery language);
+* ``=`` / ``!=`` write equalities and inequalities.
+
+The parser produces plain :mod:`repro.logic.formulas` objects; the mapping
+layer turns them into st-tgds.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from .formulas import (
+    Atom,
+    Conjunction,
+    ConstantPredicate,
+    Equality,
+    Inequality,
+    Literal,
+)
+from .terms import FuncTerm, Term, Var, const
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<arrow>->)
+  | (?P<neq>!=)
+  | (?P<number>-?\d+(\.\d+)?)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<sym>[(),.|=])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    position: int
+
+
+class ParseError(ValueError):
+    """Raised on malformed dependency text."""
+
+
+def _tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r} at offset {pos}")
+        kind = match.lastgroup or ""
+        if kind == "string":
+            # normalize: includes the inner second group for floats
+            pass
+        if kind != "ws":
+            token_kind = kind if kind != "sym" else match.group(0)
+            if kind in ("arrow", "neq"):
+                token_kind = match.group(0)
+            tokens.append(Token(token_kind, match.group(0), pos))
+        pos = match.end()
+    return tokens
+
+
+@dataclass(frozen=True)
+class ParsedRule:
+    """A parsed dependency: LHS conjunction, RHS disjuncts with existentials.
+
+    ``branches`` holds ``(explicit_existentials, conjunction)`` pairs — one
+    pair for plain tgds, several for disjunctive (recovery) rules.
+    """
+
+    lhs: Conjunction
+    branches: tuple[tuple[tuple[Var, ...], Conjunction], ...]
+
+    @property
+    def is_disjunctive(self) -> bool:
+        return len(self.branches) > 1
+
+    def single_rhs(self) -> tuple[tuple[Var, ...], Conjunction]:
+        if self.is_disjunctive:
+            raise ParseError("rule has a disjunctive right-hand side")
+        return self.branches[0]
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens = _tokenize(text)
+        self._index = 0
+        self._text = text
+
+    # -- token helpers -----------------------------------------------------
+
+    def _peek(self) -> Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError(f"unexpected end of input in {self._text!r}")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> Token:
+        token = self._next()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind!r} but found {token.text!r} at offset {token.position}"
+            )
+        return token
+
+    def _at(self, kind: str) -> bool:
+        token = self._peek()
+        return token is not None and token.kind == kind
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse_rule(self) -> ParsedRule:
+        lhs = self._conjunction()
+        self._expect("->")
+        branches = [self._branch()]
+        while self._at("|"):
+            self._next()
+            branches.append(self._branch())
+        if self._peek() is not None:
+            token = self._peek()
+            raise ParseError(
+                f"trailing input {token.text!r} at offset {token.position}"  # type: ignore[union-attr]
+            )
+        return ParsedRule(lhs, tuple(branches))
+
+    def parse_conjunction(self) -> Conjunction:
+        result = self._conjunction()
+        if self._peek() is not None:
+            token = self._peek()
+            raise ParseError(
+                f"trailing input {token.text!r} at offset {token.position}"  # type: ignore[union-attr]
+            )
+        return result
+
+    def _branch(self) -> tuple[tuple[Var, ...], Conjunction]:
+        existentials: list[Var] = []
+        token = self._peek()
+        if token is not None and token.kind == "name" and token.text == "exists":
+            self._next()
+            existentials.append(Var(self._expect("name").text))
+            while self._at(","):
+                self._next()
+                existentials.append(Var(self._expect("name").text))
+            self._expect(".")
+        return tuple(existentials), self._conjunction()
+
+    def _conjunction(self) -> Conjunction:
+        literals = [self._literal()]
+        while self._at(","):
+            self._next()
+            literals.append(self._literal())
+        return Conjunction(literals)
+
+    def _literal(self) -> Literal:
+        token = self._peek()
+        if token is None:
+            raise ParseError("expected a literal, found end of input")
+        if token.kind == "name" and token.text[0].isupper():
+            return self._atom_or_constant_predicate()
+        # term (in)equality
+        left = self._term()
+        op = self._next()
+        if op.kind == "=":
+            return Equality(left, self._term())
+        if op.kind == "!=":
+            return Inequality(left, self._term())
+        raise ParseError(f"expected '=' or '!=' at offset {op.position}")
+
+    def _atom_or_constant_predicate(self) -> Literal:
+        name = self._expect("name").text
+        self._expect("(")
+        terms = [self._term()]
+        while self._at(","):
+            self._next()
+            terms.append(self._term())
+        self._expect(")")
+        if name == "C":
+            if len(terms) != 1:
+                raise ParseError("C() takes exactly one argument")
+            return ConstantPredicate(terms[0])
+        return Atom(name, tuple(terms))
+
+    def _term(self) -> Term:
+        token = self._next()
+        if token.kind == "number":
+            if "." in token.text:
+                return const(float(token.text))
+            return const(int(token.text))
+        if token.kind == "string":
+            return const(token.text[1:-1])
+        if token.kind == "name":
+            if self._at("("):
+                # function term: f(t1, ..., tn)
+                self._next()
+                args = [self._term()]
+                while self._at(","):
+                    self._next()
+                    args.append(self._term())
+                self._expect(")")
+                return FuncTerm(token.text, tuple(args))
+            if token.text[0].isupper():
+                raise ParseError(
+                    f"{token.text!r} looks like a relation name used as a term "
+                    f"at offset {token.position}; quote string constants"
+                )
+            return Var(token.text)
+        raise ParseError(f"expected a term at offset {token.position}, got {token.text!r}")
+
+
+def parse_rule(text: str) -> ParsedRule:
+    """Parse one dependency rule (tgd or disjunctive rule)."""
+    return _Parser(text).parse_rule()
+
+
+def parse_rules(text: str) -> list[ParsedRule]:
+    """Parse a block of rules: one per non-empty, non-comment line.
+
+    Lines starting with ``#`` are comments; ``;`` also separates rules.
+    """
+    rules = []
+    for chunk in re.split(r"[;\n]", text):
+        chunk = chunk.strip()
+        if not chunk or chunk.startswith("#"):
+            continue
+        rules.append(parse_rule(chunk))
+    return rules
+
+
+def parse_conjunction(text: str) -> Conjunction:
+    """Parse a bare conjunction (for queries)."""
+    return _Parser(text).parse_conjunction()

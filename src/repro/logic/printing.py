@@ -1,0 +1,69 @@
+"""Render formulas back to the parser's concrete syntax.
+
+``repr`` on formulas uses mathematical glyphs (∧, →, ∃) for readability;
+this module emits the ASCII grammar of :mod:`repro.logic.parser`, so
+mappings can be written to `.tgd` files and re-parsed losslessly (the CLI
+workflow).  Round-trip property: ``parse(print(x))`` is structurally
+equal to ``x`` for every construct in the fragment.
+"""
+
+from __future__ import annotations
+
+from .formulas import (
+    Atom,
+    Conjunction,
+    ConstantPredicate,
+    Equality,
+    Inequality,
+    Literal,
+)
+from .terms import Const, FuncTerm, Term, Var
+
+
+class UnprintableError(ValueError):
+    """The construct has no concrete syntax (e.g. exotic constant types)."""
+
+
+def term_to_text(term: Term) -> str:
+    """A term in parser syntax."""
+    if isinstance(term, Var):
+        return term.name
+    if isinstance(term, Const):
+        payload = term.value.value
+        if isinstance(payload, bool):
+            raise UnprintableError("boolean constants have no parser syntax")
+        if isinstance(payload, (int, float)):
+            return repr(payload)
+        if isinstance(payload, str):
+            if "'" in payload and '"' in payload:
+                raise UnprintableError(
+                    f"string constant {payload!r} mixes both quote kinds"
+                )
+            quote = '"' if "'" in payload else "'"
+            return f"{quote}{payload}{quote}"
+        raise UnprintableError(f"constant payload {payload!r} is not printable")
+    if isinstance(term, FuncTerm):
+        args = ", ".join(term_to_text(a) for a in term.arguments)
+        return f"{term.function}({args})"
+    raise UnprintableError(f"unknown term {term!r}")
+
+
+def literal_to_text(literal: Literal) -> str:
+    """A literal in parser syntax."""
+    if isinstance(literal, Atom):
+        args = ", ".join(term_to_text(t) for t in literal.terms)
+        return f"{literal.relation}({args})"
+    if isinstance(literal, Equality):
+        return f"{term_to_text(literal.left)} = {term_to_text(literal.right)}"
+    if isinstance(literal, Inequality):
+        return f"{term_to_text(literal.left)} != {term_to_text(literal.right)}"
+    if isinstance(literal, ConstantPredicate):
+        return f"C({term_to_text(literal.term)})"
+    raise UnprintableError(f"unknown literal {literal!r}")
+
+
+def conjunction_to_text(conjunction: Conjunction) -> str:
+    """A conjunction in parser syntax (comma-separated literals)."""
+    if not conjunction.literals:
+        raise UnprintableError("the empty conjunction has no parser syntax")
+    return ", ".join(literal_to_text(lit) for lit in conjunction.literals)

@@ -1,0 +1,114 @@
+"""Terms of the dependency language: variables, constants, function terms.
+
+Function terms (``f(x)``) only occur in second-order tgds, the output
+language of mapping composition (paper, Example 2).  First-order st-tgds
+use only variables and constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterator, Mapping, Union
+
+from ..relational.values import Constant, SkolemValue, Value, constant
+
+
+@dataclass(frozen=True, slots=True)
+class Var:
+    """A first-order variable."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("variable name must be non-empty")
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Const:
+    """A constant term wrapping a relational :class:`Constant` value."""
+
+    value: Constant
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class FuncTerm:
+    """A second-order function term ``f(t₁, …, tₙ)`` (SO-tgds only)."""
+
+    function: str
+    arguments: tuple["Term", ...]
+
+    def __repr__(self) -> str:
+        args = ", ".join(repr(a) for a in self.arguments)
+        return f"{self.function}({args})"
+
+
+Term = Union[Var, Const, FuncTerm]
+
+
+def const(raw: Hashable) -> Const:
+    """Wrap a raw scalar as a constant term."""
+    return Const(constant(raw))
+
+
+def var(name: str) -> Var:
+    """Shorthand variable constructor."""
+    return Var(name)
+
+
+def variables_of(term: Term) -> Iterator[Var]:
+    """All variables occurring in *term* (depth-first, with repetition)."""
+    if isinstance(term, Var):
+        yield term
+    elif isinstance(term, FuncTerm):
+        for arg in term.arguments:
+            yield from variables_of(arg)
+
+
+def functions_of(term: Term) -> Iterator[str]:
+    """All function symbols occurring in *term*."""
+    if isinstance(term, FuncTerm):
+        yield term.function
+        for arg in term.arguments:
+            yield from functions_of(arg)
+
+
+def substitute_term(term: Term, binding: Mapping[Var, Term]) -> Term:
+    """Apply a variable → term substitution (identity off the binding)."""
+    if isinstance(term, Var):
+        return binding.get(term, term)
+    if isinstance(term, FuncTerm):
+        return FuncTerm(
+            term.function, tuple(substitute_term(a, binding) for a in term.arguments)
+        )
+    return term
+
+
+def evaluate_term(term: Term, binding: Mapping[Var, Value]) -> Value:
+    """Ground a term to a value under a variable → value binding.
+
+    Function terms are interpreted freely: ``f(t̄)`` becomes the
+    :class:`SkolemValue` ``f(v̄)``.  This is the canonical interpretation
+    used by the SO-tgd chase.
+    """
+    if isinstance(term, Var):
+        try:
+            return binding[term]
+        except KeyError:
+            raise KeyError(f"unbound variable {term!r}") from None
+    if isinstance(term, Const):
+        return term.value
+    return SkolemValue(
+        term.function, tuple(evaluate_term(a, binding) for a in term.arguments)
+    )
+
+
+def is_ground(term: Term) -> bool:
+    """Whether the term contains no variables."""
+    return next(variables_of(term), None) is None

@@ -1,0 +1,122 @@
+"""Schema mappings: st-tgds, the chase, composition, inversion, evolution.
+
+This package implements the database side of the paper (Section 2): the
+st-tgd formalism, the chase that materializes universal solutions, and
+the mapping operators — composition (into SO-tgds) and inversion (into
+disjunctive recoveries) — whose failure to stay inside the st-tgd
+language motivates the lens-based synthesis of Sections 3–4.
+"""
+
+from .sttgd import SchemaMapping, StTgd
+from .dependencies import (
+    Egd,
+    TargetTgd,
+    TargetDependency,
+    egd_from_fd,
+    egd_from_key,
+    is_weakly_acyclic,
+    target_dependencies_from_constraints,
+)
+from .chase import (
+    ChaseFailure,
+    ChaseNonTermination,
+    ChaseResult,
+    ChaseStatistics,
+    ChaseVariant,
+    chase,
+    chase_target_dependencies,
+    core_universal_solution,
+    solution_space_sample,
+    universal_solution,
+)
+from .sotgd import SOClause, SOMapping
+from .certain import certain_answers, certain_answers_on_solution, naive_answers
+from .composition import (
+    CompositionError,
+    compose,
+    compose_sotgd,
+    skolemize,
+)
+from .inversion import (
+    DisjunctiveMapping,
+    DisjunctiveTgd,
+    InversionError,
+    data_exchange_equivalent,
+    equivalence_classes,
+    is_fagin_invertible_on,
+    is_quasi_inverse_on,
+    is_recovery,
+    maximum_recovery,
+    recovered_sources,
+    solution_space_contains,
+    subset_property_violations,
+)
+from .visual import (
+    Arrow,
+    CorrespondenceBuilder,
+    CorrespondenceError,
+    VisualMapping,
+)
+from .evolution import (
+    BranchChooser,
+    EvolutionAmbiguity,
+    EvolvedMapping,
+    evolution_is_ambiguous,
+    evolve_source,
+    first_branch_chooser,
+    recovery_to_sttgds,
+)
+
+__all__ = [
+    "Arrow",
+    "BranchChooser",
+    "ChaseFailure",
+    "ChaseNonTermination",
+    "ChaseResult",
+    "ChaseStatistics",
+    "ChaseVariant",
+    "CompositionError",
+    "CorrespondenceBuilder",
+    "CorrespondenceError",
+    "DisjunctiveMapping",
+    "DisjunctiveTgd",
+    "Egd",
+    "EvolutionAmbiguity",
+    "EvolvedMapping",
+    "InversionError",
+    "SOClause",
+    "SOMapping",
+    "SchemaMapping",
+    "StTgd",
+    "TargetDependency",
+    "TargetTgd",
+    "VisualMapping",
+    "certain_answers",
+    "certain_answers_on_solution",
+    "chase",
+    "chase_target_dependencies",
+    "compose",
+    "compose_sotgd",
+    "core_universal_solution",
+    "data_exchange_equivalent",
+    "egd_from_fd",
+    "egd_from_key",
+    "evolution_is_ambiguous",
+    "equivalence_classes",
+    "evolve_source",
+    "first_branch_chooser",
+    "is_fagin_invertible_on",
+    "is_quasi_inverse_on",
+    "is_recovery",
+    "is_weakly_acyclic",
+    "maximum_recovery",
+    "naive_answers",
+    "recovered_sources",
+    "recovery_to_sttgds",
+    "skolemize",
+    "solution_space_contains",
+    "solution_space_sample",
+    "subset_property_violations",
+    "target_dependencies_from_constraints",
+    "universal_solution",
+]

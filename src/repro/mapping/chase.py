@@ -1,0 +1,289 @@
+"""The chase: materializing universal solutions.
+
+Given a source instance ``I`` and a mapping ``M``, the chase produces the
+canonical universal solution ``J*`` — the paper's Example 1 instance
+``{Manager(Alice, ⊥1), Manager(Bob, ⊥2)}`` — by firing each st-tgd for
+each premise binding, inventing fresh labelled nulls for existential
+variables, and then firing target dependencies (egds / target tgds) to a
+fixpoint.
+
+Two st-tgd chase variants are provided:
+
+* ``NAIVE`` (a.k.a. oblivious): fire every tgd once per distinct premise
+  binding, always inventing fresh nulls.  Produces the *canonical*
+  universal solution; deterministic.
+* ``STANDARD`` (a.k.a. restricted): fire only when the conclusion is not
+  already witnessed.  Produces a (possibly smaller) universal solution.
+
+Egd steps unify values, preferring constants; unifying two distinct
+constants raises :class:`ChaseFailure` (the mapping has no solution).
+Target-tgd steps are restricted-chase and guarded by a step limit, with
+:func:`~repro.mapping.dependencies.is_weakly_acyclic` available as a
+static termination guarantee.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..logic.evaluation import evaluate, ground_atoms, satisfiable
+from ..logic.terms import Var
+from ..relational.homomorphism import core as core_of
+from ..relational.instance import Fact, Instance
+from ..relational.schema import Schema
+from ..relational.values import NullFactory, Value, is_constant, max_null_label
+from .dependencies import Egd, TargetDependency, TargetTgd
+from .sttgd import SchemaMapping, StTgd
+
+
+class ChaseVariant(enum.Enum):
+    """Which st-tgd firing discipline to use."""
+
+    NAIVE = "naive"
+    STANDARD = "standard"
+
+
+class ChaseFailure(Exception):
+    """The chase failed: an egd required two distinct constants to be equal."""
+
+
+class ChaseNonTermination(Exception):
+    """The target-dependency chase exceeded its step limit."""
+
+
+@dataclass
+class ChaseStatistics:
+    """Counters describing one chase run."""
+
+    tgd_firings: int = 0
+    egd_firings: int = 0
+    target_tgd_firings: int = 0
+    nulls_created: int = 0
+    rounds: int = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ChaseStatistics(tgd={self.tgd_firings}, egd={self.egd_firings}, "
+            f"target_tgd={self.target_tgd_firings}, nulls={self.nulls_created}, "
+            f"rounds={self.rounds})"
+        )
+
+
+@dataclass
+class ChaseResult:
+    """The outcome of a chase: the solution instance plus statistics."""
+
+    solution: Instance
+    statistics: ChaseStatistics = field(default_factory=ChaseStatistics)
+
+
+def chase(
+    mapping: SchemaMapping,
+    source: Instance,
+    variant: ChaseVariant = ChaseVariant.NAIVE,
+    max_target_steps: int = 10_000,
+) -> ChaseResult:
+    """Chase *source* with *mapping*, returning a universal solution.
+
+    The st-tgd phase runs once (st-tgds cannot re-fire: their premises
+    read only the source).  The target-dependency phase iterates egd and
+    target-tgd steps to a fixpoint, bounded by *max_target_steps*.
+    """
+    stats = ChaseStatistics()
+    factory = NullFactory()
+    factory.reserve_through(max_null_label(source.values()))
+
+    target_facts = _chase_st_tgds(mapping.tgds, source, variant, factory, stats)
+    target = Instance(mapping.target, target_facts)
+
+    if mapping.target_dependencies:
+        target = _chase_target_dependencies(
+            target, mapping.target_dependencies, factory, stats, max_target_steps
+        )
+    return ChaseResult(target, stats)
+
+
+def _chase_st_tgds(
+    tgds: Sequence[StTgd],
+    source: Instance,
+    variant: ChaseVariant,
+    factory: NullFactory,
+    stats: ChaseStatistics,
+) -> list[Fact]:
+    facts: list[Fact] = []
+    # STANDARD needs to consult the target built so far; build incrementally.
+    partial: dict[str, set[tuple[Value, ...]]] = {}
+
+    def witnessed(tgd: StTgd, frontier_binding: Mapping[Var, Value]) -> bool:
+        schema_rels = {a.relation for a in tgd.conclusion.atoms()}
+        probe_schema = Schema(
+            # A throwaway schema with just the needed relations.
+            _relation_schemas_for(tgd, schema_rels)
+        )
+        probe = Instance(
+            probe_schema,
+            {r: frozenset(partial.get(r, set())) for r in schema_rels},
+        )
+        return satisfiable(tgd.conclusion, probe, seed=dict(frontier_binding))
+
+    for tgd in tgds:
+        # Deterministic firing order: sort premise bindings by repr.
+        bindings = sorted(
+            evaluate(tgd.premise, source),
+            key=lambda b: repr(sorted((v.name, repr(b[v])) for v in b)),
+        )
+        for binding in bindings:
+            frontier_binding = {v: binding[v] for v in tgd.frontier}
+            if variant is ChaseVariant.STANDARD and witnessed(tgd, frontier_binding):
+                continue
+            full_binding: dict[Var, Value] = dict(binding)
+            for existential in tgd.existential_variables:
+                full_binding[existential] = factory.fresh()
+                stats.nulls_created += 1
+            for relation, row in ground_atoms(tgd.conclusion.atoms(), full_binding):
+                facts.append(Fact(relation, row))
+                partial.setdefault(relation, set()).add(row)
+            stats.tgd_firings += 1
+    return facts
+
+
+def _relation_schemas_for(tgd: StTgd, relations: set[str]):
+    """Anonymous relation schemas matching the conclusion atoms' arities."""
+    from ..relational.schema import RelationSchema
+
+    arities: dict[str, int] = {}
+    for atom in tgd.conclusion.atoms():
+        arities[atom.relation] = atom.arity
+    return [
+        RelationSchema(r, [f"c{i}" for i in range(arities[r])])
+        for r in relations
+    ]
+
+
+def _chase_target_dependencies(
+    target: Instance,
+    dependencies: Sequence[TargetDependency],
+    factory: NullFactory,
+    stats: ChaseStatistics,
+    max_steps: int,
+) -> Instance:
+    steps = 0
+    changed = True
+    while changed:
+        changed = False
+        stats.rounds += 1
+        for dep in dependencies:
+            if isinstance(dep, Egd):
+                target, fired = _egd_step(target, dep, stats)
+            else:
+                target, fired = _target_tgd_step(target, dep, factory, stats)
+            if fired:
+                changed = True
+                steps += 1
+                if steps > max_steps:
+                    raise ChaseNonTermination(
+                        f"target chase exceeded {max_steps} steps; "
+                        f"check weak acyclicity of the target tgds"
+                    )
+    return target
+
+
+def _egd_step(target: Instance, egd: Egd, stats: ChaseStatistics) -> tuple[Instance, bool]:
+    for binding in evaluate(egd.premise, target):
+        left, right = binding[egd.left], binding[egd.right]
+        if left == right:
+            continue
+        if is_constant(left) and is_constant(right):
+            raise ChaseFailure(
+                f"egd {egd!r} forces distinct constants {left!r} = {right!r}"
+            )
+        # Map the null onto the other value (keep constants).
+        if is_constant(left):
+            substitution = {right: left}
+        else:
+            substitution = {left: right}
+        stats.egd_firings += 1
+        return target.map_values(substitution), True
+    return target, False
+
+
+def _target_tgd_step(
+    target: Instance, tgd: TargetTgd, factory: NullFactory, stats: ChaseStatistics
+) -> tuple[Instance, bool]:
+    for binding in evaluate(tgd.premise, target):
+        frontier_binding = {v: binding[v] for v in tgd.frontier}
+        if satisfiable(tgd.conclusion, target, seed=frontier_binding):
+            continue
+        full_binding: dict[Var, Value] = dict(binding)
+        for existential in tgd.existential_variables:
+            full_binding[existential] = factory.fresh()
+            stats.nulls_created += 1
+        new_facts = [
+            Fact(relation, row)
+            for relation, row in ground_atoms(tgd.conclusion.atoms(), full_binding)
+        ]
+        stats.target_tgd_firings += 1
+        return target.with_facts(new_facts), True
+    return target, False
+
+
+# ---------------------------------------------------------------------------
+# Convenience entry points
+# ---------------------------------------------------------------------------
+
+
+def chase_target_dependencies(
+    target: Instance,
+    dependencies: Sequence[TargetDependency],
+    max_steps: int = 10_000,
+) -> Instance:
+    """Chase an existing target instance with egds / target tgds only.
+
+    Used by the compiled exchange engine to honour a mapping's target
+    dependencies after the lens's forward direction materializes the
+    target.  Raises :class:`ChaseFailure` on egd conflicts and
+    :class:`ChaseNonTermination` past *max_steps*.
+    """
+    stats = ChaseStatistics()
+    factory = NullFactory()
+    factory.reserve_through(max_null_label(target.values()))
+    return _chase_target_dependencies(
+        target, dependencies, factory, stats, max_steps
+    )
+
+
+def universal_solution(mapping: SchemaMapping, source: Instance) -> Instance:
+    """The canonical universal solution (naive chase + target dependencies)."""
+    return chase(mapping, source).solution
+
+
+def core_universal_solution(mapping: SchemaMapping, source: Instance) -> Instance:
+    """The core of the canonical universal solution — the smallest one.
+
+    This is the "preferred solution" the paper's Example 1 calls the most
+    general among all possible solutions, minimized.
+    """
+    return core_of(universal_solution(mapping, source))
+
+
+def solution_space_sample(
+    mapping: SchemaMapping,
+    source: Instance,
+    substitutions: Iterable[Mapping[Value, Value]],
+) -> list[Instance]:
+    """Solutions obtained by substituting values for the canonical nulls.
+
+    Every homomorphic image of a universal solution that keeps the tgds
+    satisfied is again a solution; this helper builds the images (e.g.
+    Example 1's ``J1`` and ``J2``) and filters out non-solutions that a
+    careless substitution might create when target dependencies exist.
+    """
+    canonical = universal_solution(mapping, source)
+    out = []
+    for substitution in substitutions:
+        candidate = canonical.map_values(dict(substitution))
+        if mapping.is_solution(source, candidate):
+            out.append(candidate)
+    return out

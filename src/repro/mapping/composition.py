@@ -1,0 +1,287 @@
+"""Composition of schema mappings (paper, Section 2, Example 2).
+
+Implements the Fagin–Kolaitis–Popa–Tan procedure: Skolemize the first
+mapping's existentials into function terms, then *unfold* each premise
+atom of the second mapping through the first mapping's conclusions,
+accumulating equalities between terms.  The output is an SO-tgd
+(:class:`~repro.mapping.sotgd.SOMapping`); when the first mapping is
+**full** the function symbols vanish and the result collapses back to
+st-tgds — the fragment the paper notes is closed under composition.
+
+On the paper's Example 2 the algorithm emits exactly::
+
+    ∃f [ ∀x (Emp(x) → Boss(x, f(x)))
+       ∧ ∀x (Emp(x) ∧ x = f(x) → SelfMngr(x)) ]
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..logic.formulas import Atom, Conjunction, Equality, Literal
+from ..logic.terms import Const, FuncTerm, Term, Var, substitute_term, variables_of
+from ..relational.schema import Schema
+from .sotgd import SOClause, SOMapping
+from .sttgd import SchemaMapping, StTgd
+
+
+class CompositionError(ValueError):
+    """Raised when mappings cannot be composed (schema mismatch)."""
+
+
+@dataclass(frozen=True)
+class _SkolemizedTgd:
+    """An M12 tgd with existentials replaced by function terms."""
+
+    premise: Conjunction
+    conclusion_atoms: tuple[Atom, ...]
+
+
+def skolemize(tgd: StTgd, index: int) -> _SkolemizedTgd:
+    """Replace each existential variable by a fresh function term.
+
+    The Skolem function's arguments are the tgd's premise variables, and
+    its name encodes the tgd index and variable name so distinct tgds get
+    distinct symbols.
+    """
+    premise_vars = tuple(tgd.premise.variables())
+    binding: dict[Var, Term] = {
+        y: FuncTerm(f"f{index}_{y.name}", tuple(premise_vars))
+        for y in tgd.existential_variables
+    }
+    conclusion = tgd.conclusion.substitute(binding)
+    return _SkolemizedTgd(tgd.premise, tuple(conclusion.atoms()))
+
+
+def compose_sotgd(first: SchemaMapping, second: SchemaMapping) -> SOMapping:
+    """Compose two st-tgd mappings into an SO-tgd mapping.
+
+    ``first : A → B`` and ``second : B → C`` yield ``A → C``.  The middle
+    schemas must agree.
+    """
+    if first.target != second.source:
+        raise CompositionError(
+            "cannot compose: first mapping's target differs from second's source"
+        )
+
+    skolemized = [skolemize(t, i) for i, t in enumerate(first.tgds)]
+    # Candidate producers for each middle-schema relation: (tgd, atom) pairs.
+    producers: dict[str, list[tuple[_SkolemizedTgd, Atom]]] = {}
+    for sk in skolemized:
+        for atom in sk.conclusion_atoms:
+            producers.setdefault(atom.relation, []).append((sk, atom))
+
+    clauses: list[SOClause] = []
+    copy_counter = itertools.count()
+    for tgd2 in second.tgds:
+        clauses.extend(
+            _unfold_tgd(tgd2, producers, copy_counter, len(clauses))
+        )
+    return SOMapping(first.source, second.target, clauses)
+
+
+def _unfold_tgd(
+    tgd2: StTgd,
+    producers: dict[str, list[tuple[_SkolemizedTgd, Atom]]],
+    copy_counter: "itertools.count[int]",
+    clause_base: int,
+) -> list[SOClause]:
+    # Skolemize tgd2's own existentials over its premise variables.
+    premise_vars2 = tuple(tgd2.premise.variables())
+    skolem2: dict[Var, Term] = {
+        w: FuncTerm(f"g{clause_base}_{w.name}", premise_vars2)
+        for w in tgd2.existential_variables
+    }
+    conclusion2 = tgd2.conclusion.substitute(skolem2)
+
+    premise_atoms = tgd2.premise.atoms()
+    side_conditions: list[Literal] = [
+        lit for lit in tgd2.premise.literals if not isinstance(lit, Atom)
+    ]
+    candidate_lists: list[list[tuple[_SkolemizedTgd, Atom]]] = []
+    for atom in premise_atoms:
+        options = producers.get(atom.relation, [])
+        if not options:
+            return []  # this premise atom can never be produced: clause vacuous
+        candidate_lists.append(options)
+
+    clauses: list[SOClause] = []
+    for combination in itertools.product(*candidate_lists):
+        clause = _unify_combination(
+            premise_atoms, side_conditions, conclusion2, combination, copy_counter
+        )
+        if clause is not None:
+            clauses.append(clause)
+    return clauses
+
+
+def _unify_combination(
+    premise_atoms: Sequence[Atom],
+    side_conditions: Sequence[Literal],
+    conclusion2: Conjunction,
+    combination: Sequence[tuple[_SkolemizedTgd, Atom]],
+    copy_counter: "itertools.count[int]",
+) -> SOClause | None:
+    """Build one clause from a choice of producer atoms.
+
+    Each M23 premise atom ``R(ū)`` is matched against the chosen producer
+    conclusion atom ``R(t̄)``: fresh-copy the producer, then bind M23
+    variables to producer terms, accumulating equalities when a variable
+    is matched twice or a constant meets a term.
+    """
+    new_premise_literals: list[Literal] = []
+    binding: dict[Var, Term] = {}
+    equalities: list[Equality] = []
+
+    for premise_atom, (producer, producer_atom) in zip(premise_atoms, combination):
+        copy_id = next(copy_counter)
+        renaming: dict[Var, Term] = {
+            v: Var(f"{v.name}__{copy_id}") for v in set(producer.premise.variables())
+        }
+        copied_premise = producer.premise.substitute(renaming)
+        copied_atom = producer_atom.substitute(renaming)
+        new_premise_literals.extend(copied_premise.literals)
+
+        for u, t in zip(premise_atom.terms, copied_atom.terms):
+            if isinstance(u, Var):
+                if u in binding:
+                    equalities.append(Equality(binding[u], t))
+                else:
+                    binding[u] = t
+            elif isinstance(u, Const):
+                if isinstance(t, Const):
+                    if u.value != t.value:
+                        return None  # contradictory constants: dead branch
+                else:
+                    equalities.append(Equality(u, t))
+            else:  # pragma: no cover - premise atoms of st-tgds are first-order
+                raise CompositionError(f"function term {u!r} in st-tgd premise")
+
+    # Apply the binding to equalities, side conditions and the conclusion.
+    resolved_equalities = [
+        Equality(substitute_term(e.left, binding), substitute_term(e.right, binding))
+        for e in equalities
+    ]
+    resolved_sides = [lit.substitute(binding) for lit in side_conditions]
+    resolved_conclusion = conclusion2.substitute(binding)
+
+    # Drop trivially true equalities; keep the rest as premise literals.
+    kept = [
+        e
+        for e in resolved_equalities
+        if e.left != e.right
+    ]
+    premise = Conjunction(
+        tuple(new_premise_literals) + tuple(resolved_sides) + tuple(kept)
+    )
+    return _simplify_clause(SOClause(premise, resolved_conclusion))
+
+
+def _simplify_clause(clause: SOClause) -> SOClause:
+    """Inline equalities of the form ``v = term`` (v a plain variable).
+
+    Repeated until fixpoint; keeps the clause in the compact textbook form
+    (e.g. Example 2's ``Emp(x) ∧ x = f(x) → SelfMngr(x)``).  An equality
+    is inlined only when the variable does not occur inside the other
+    side (occurs-check), otherwise it must stay (that is precisely the
+    ``x = f(x)`` case).
+    """
+    premise = clause.premise
+    conclusion = clause.conclusion
+    changed = True
+    while changed:
+        changed = False
+        for lit in premise.literals:
+            if not isinstance(lit, Equality):
+                continue
+            substitution: dict[Var, Term] | None = None
+            if isinstance(lit.left, Var) and lit.left not in set(
+                variables_of(lit.right)
+            ):
+                substitution = {lit.left: lit.right}
+            elif isinstance(lit.right, Var) and lit.right not in set(
+                variables_of(lit.left)
+            ):
+                substitution = {lit.right: lit.left}
+            if substitution is None:
+                continue
+            remaining = [x for x in premise.literals if x is not lit]
+            premise = Conjunction(remaining).substitute(substitution)
+            conclusion = conclusion.substitute(substitution)
+            changed = True
+            break
+    return SOClause(premise, conclusion)
+
+
+def compose(first: SchemaMapping, second: SchemaMapping) -> SchemaMapping | SOMapping:
+    """Compose two mappings, returning st-tgds when possible.
+
+    If *first* is full (no target existentials), the composition stays
+    first-order and an st-tgd :class:`SchemaMapping` is returned;
+    otherwise the SO-tgd mapping is returned.  This mirrors the paper's
+    point that full st-tgds are closed under composition while general
+    st-tgds are not.
+    """
+    so = compose_sotgd(first, second)
+    if first.is_full():
+        return _to_st_tgds(so, first.source, second.target)
+    return so
+
+
+def _to_st_tgds(so: SOMapping, source: Schema, target: Schema) -> SchemaMapping:
+    """Convert an SO-tgd back into st-tgds when that is sound.
+
+    Function terms that occur **only in conclusion positions of a single
+    clause** are re-existentialized: each distinct term becomes one fresh
+    existential variable (de-Skolemization).  Function terms in premises,
+    or shared across clauses (where the SO semantics forces value sharing
+    that independent existentials cannot express), make the result
+    genuinely second-order and raise :class:`CompositionError`.
+    """
+    clause_of_function: dict[str, int] = {}
+    for index, clause in enumerate(so.clauses):
+        for lit in clause.premise.literals:
+            if isinstance(lit, Equality) and (
+                _has_function(lit.left) or _has_function(lit.right)
+            ):
+                raise CompositionError(
+                    "composition produced function terms in a premise; "
+                    "result is not first-order"
+                )
+            if isinstance(lit, Atom) and any(
+                isinstance(t, FuncTerm) for t in lit.terms
+            ):
+                raise CompositionError(
+                    "composition produced function terms in a premise; "
+                    "result is not first-order"
+                )
+        for name in clause.functions():
+            if clause_of_function.setdefault(name, index) != index:
+                raise CompositionError(
+                    f"function symbol {name!r} is shared across clauses; "
+                    f"result is not expressible with st-tgds"
+                )
+
+    tgds = []
+    for index, clause in enumerate(so.clauses):
+        fresh: dict[FuncTerm, Var] = {}
+
+        def deskolemize(term: Term) -> Term:
+            if isinstance(term, FuncTerm):
+                if term not in fresh:
+                    fresh[term] = Var(f"ex{index}_{len(fresh)}")
+                return fresh[term]
+            return term
+
+        conclusion_atoms = [
+            Atom(a.relation, tuple(deskolemize(t) for t in a.terms))
+            for a in clause.conclusion.atoms()
+        ]
+        tgds.append(StTgd(clause.premise, Conjunction(conclusion_atoms)))
+    return SchemaMapping(source, target, tgds)
+
+
+def _has_function(term: Term) -> bool:
+    return isinstance(term, FuncTerm)

@@ -1,0 +1,178 @@
+"""Target dependencies: egds and target tgds, with a weak-acyclicity test.
+
+The paper notes (Section 2) that target dependencies — keys, foreign
+keys — "add expressive power and can be used to decrease the level of
+non-determinism when exchanging data, but at the same time, they
+complicate the managing of mappings".  The chase must fire these *within*
+the target; termination is guaranteed for weakly acyclic sets of target
+tgds (Fagin–Kolaitis–Miller–Popa), which :func:`is_weakly_acyclic`
+decides via the standard dependency-graph construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+from ..logic.evaluation import evaluate
+from ..logic.formulas import Atom, Conjunction
+from ..logic.terms import Var
+from ..relational.constraints import FunctionalDependency, KeyConstraint
+from ..relational.instance import Instance
+from ..relational.schema import Schema
+
+
+@dataclass(frozen=True)
+class Egd:
+    """An equality-generating dependency ``∀x̄ (φ(x̄) → x_i = x_j)``.
+
+    Keys and functional dependencies are egds; the chase resolves a fired
+    egd by unifying the two values (preferring to keep constants), or
+    fails when both are distinct constants.
+    """
+
+    premise: Conjunction
+    left: Var
+    right: Var
+
+    def __post_init__(self) -> None:
+        premise_vars = set(self.premise.variables())
+        if self.left not in premise_vars or self.right not in premise_vars:
+            raise ValueError("egd equality variables must occur in the premise")
+
+    def satisfied_in(self, instance: Instance) -> bool:
+        return all(
+            binding[self.left] == binding[self.right]
+            for binding in evaluate(self.premise, instance)
+        )
+
+    def __repr__(self) -> str:
+        return f"{self.premise!r} → {self.left!r} = {self.right!r}"
+
+
+@dataclass(frozen=True)
+class TargetTgd:
+    """A tgd entirely within the target schema (e.g. a foreign key)."""
+
+    premise: Conjunction
+    conclusion: Conjunction
+
+    @property
+    def existential_variables(self) -> tuple[Var, ...]:
+        premise_vars = set(self.premise.variables())
+        return tuple(v for v in self.conclusion.variables() if v not in premise_vars)
+
+    @property
+    def frontier(self) -> tuple[Var, ...]:
+        premise_vars = set(self.premise.variables())
+        return tuple(v for v in self.conclusion.variables() if v in premise_vars)
+
+    def satisfied_in(self, instance: Instance) -> bool:
+        from ..logic.evaluation import satisfiable
+
+        for binding in evaluate(self.premise, instance):
+            frontier_binding = {v: binding[v] for v in self.frontier}
+            if not satisfiable(self.conclusion, instance, seed=frontier_binding):
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        existentials = self.existential_variables
+        if existentials:
+            names = ", ".join(v.name for v in existentials)
+            return f"{self.premise!r} → ∃{names}. {self.conclusion!r}"
+        return f"{self.premise!r} → {self.conclusion!r}"
+
+
+TargetDependency = Union[Egd, TargetTgd]
+
+
+def egd_from_fd(fd: FunctionalDependency, schema: Schema) -> list[Egd]:
+    """Translate an FD into egds (one per dependent column)."""
+    rel = schema[fd.relation]
+    # Two copies of the relation sharing determinant variables.
+    left_vars = [Var(f"a{i}") for i in range(rel.arity)]
+    right_vars = [Var(f"b{i}") for i in range(rel.arity)]
+    det_pos = [rel.position_of(c) for c in fd.determinant]
+    for p in det_pos:
+        right_vars[p] = left_vars[p]
+    premise = Conjunction(
+        [Atom(fd.relation, tuple(left_vars)), Atom(fd.relation, tuple(right_vars))]
+    )
+    egds = []
+    for c in fd.dependent:
+        p = rel.position_of(c)
+        if left_vars[p] == right_vars[p]:
+            continue  # dependent column is part of the determinant
+        egds.append(Egd(premise, left_vars[p], right_vars[p]))
+    return egds
+
+
+def egd_from_key(key: KeyConstraint, schema: Schema) -> list[Egd]:
+    """Translate a key constraint into egds."""
+    return egd_from_fd(key.as_fd(schema), schema)
+
+
+def is_weakly_acyclic(tgds: Sequence[TargetTgd], schema: Schema) -> bool:
+    """Weak-acyclicity of a set of target tgds.
+
+    Build the dependency graph over positions ``(relation, index)``: for
+    each tgd and each premise position holding a universal variable ``x``
+    exported to the conclusion, add a *regular* edge to every conclusion
+    position holding ``x``, and a *special* edge to every conclusion
+    position holding an existential variable of the same tgd.  The set is
+    weakly acyclic iff no cycle passes through a special edge — and then
+    the standard chase terminates on every instance.
+    """
+    Position = tuple[str, int]
+    regular: dict[Position, set[Position]] = {}
+    special: dict[Position, set[Position]] = {}
+
+    def add(edges: dict[Position, set[Position]], a: Position, b: Position) -> None:
+        edges.setdefault(a, set()).add(b)
+
+    for tgd in tgds:
+        existentials = set(tgd.existential_variables)
+        for premise_atom in tgd.premise.atoms():
+            for i, term in enumerate(premise_atom.terms):
+                if not isinstance(term, Var):
+                    continue
+                src: Position = (premise_atom.relation, i)
+                for conclusion_atom in tgd.conclusion.atoms():
+                    for j, cterm in enumerate(conclusion_atom.terms):
+                        dst: Position = (conclusion_atom.relation, j)
+                        if cterm == term:
+                            add(regular, src, dst)
+                        elif isinstance(cterm, Var) and cterm in existentials:
+                            add(special, src, dst)
+
+    # Find a cycle through a special edge: for each special edge (a, b),
+    # check whether b reaches a through regular ∪ special edges.
+    def reaches(start: Position, goal: Position) -> bool:
+        stack, seen = [start], {start}
+        while stack:
+            node = stack.pop()
+            if node == goal:
+                return True
+            for nxt in regular.get(node, set()) | special.get(node, set()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
+    return not any(
+        reaches(b, a) for a, succs in special.items() for b in succs
+    )
+
+
+def target_dependencies_from_constraints(
+    constraints: Iterable[FunctionalDependency | KeyConstraint], schema: Schema
+) -> list[Egd]:
+    """Convenience: translate FDs and keys to the egds the chase consumes."""
+    out: list[Egd] = []
+    for c in constraints:
+        if isinstance(c, KeyConstraint):
+            out.extend(egd_from_key(c, schema))
+        else:
+            out.extend(egd_from_fd(c, schema))
+    return out

@@ -1,0 +1,142 @@
+"""Schema evolution via mapping operators (paper, Figure 2).
+
+Figure 2: a mapping ``M : A → B`` exists, and ``A`` evolves into ``A′``,
+expressed as a mapping ``M′ : A → A′``.  The relationship between ``A′``
+and ``B`` is ``(M′)⁻¹ ∘ M`` — *invert the evolution, then compose*.
+
+This module executes that recipe with the machinery of
+:mod:`repro.mapping.inversion` and :mod:`repro.mapping.composition`:
+
+* invert ``M′`` with :func:`~repro.mapping.inversion.maximum_recovery`;
+* when every recovery rule is deterministic (single branch) the recovery
+  converts back to st-tgds and composes symbolically;
+* when some rule is disjunctive the inversion is **ambiguous** — exactly
+  the paper's point that inverses "may lose information" — and the caller
+  must supply a :class:`BranchChooser` policy (the mapping-operator
+  analogue of a lens update policy) to proceed.
+
+The lens route to the same problem (propagating evolution primitives
+through the mapping) lives in :mod:`repro.channels`; benchmark E9
+compares the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..logic.formulas import Atom, Conjunction
+from ..relational.instance import Instance
+from .chase import universal_solution
+from .composition import compose, compose_sotgd
+from .inversion import (
+    DisjunctiveMapping,
+    DisjunctiveTgd,
+    InversionError,
+    maximum_recovery,
+)
+from .sotgd import SOMapping
+from .sttgd import SchemaMapping, StTgd
+
+# Given an ambiguous rule and its branches, pick the branch to keep.
+BranchChooser = Callable[[DisjunctiveTgd, Sequence[Conjunction]], Conjunction]
+
+
+class EvolutionAmbiguity(ValueError):
+    """The inverted evolution mapping is disjunctive; a policy is required."""
+
+
+def first_branch_chooser(
+    rule: DisjunctiveTgd, branches: Sequence[Conjunction]
+) -> Conjunction:
+    """Default policy: keep the first branch (deterministic but arbitrary)."""
+    return branches[0]
+
+
+def recovery_to_sttgds(recovery: DisjunctiveMapping, chooser: BranchChooser | None = None) -> SchemaMapping:
+    """Convert a recovery into an st-tgd mapping.
+
+    Single-branch rules convert directly; multi-branch rules require a
+    *chooser* policy and otherwise raise :class:`EvolutionAmbiguity`.
+    Non-atom literals of the chosen branch (C-guards, equalities over the
+    rule's premise variables) move into the tgd premise, keeping the
+    conclusion a pure conjunction of atoms as st-tgds demand.
+    """
+    tgds = []
+    for rule in recovery.rules:
+        branches = list(rule.branches)
+        if len(branches) > 1:
+            if chooser is None:
+                raise EvolutionAmbiguity(
+                    f"rule {rule!r} is disjunctive; supply a BranchChooser policy"
+                )
+            branch = chooser(rule, branches)
+        else:
+            branch = branches[0]
+        atoms = branch.atoms()
+        side = [lit for lit in branch.literals if not isinstance(lit, Atom)]
+        # The branch's guards often repeat the rule premise's; dedupe while
+        # preserving order so the tgd stays readable.
+        literals = []
+        seen: set[str] = set()
+        for lit in tuple(rule.premise.literals) + tuple(side):
+            key = repr(lit)
+            if key not in seen:
+                seen.add(key)
+                literals.append(lit)
+        tgds.append(StTgd(Conjunction(literals), Conjunction(atoms)))
+    return SchemaMapping(recovery.source, recovery.target, tgds)
+
+
+@dataclass(frozen=True)
+class EvolvedMapping:
+    """The executable result of Figure 2: a mapping from ``A′`` to ``B``.
+
+    ``inverse_evolution`` maps evolved sources back to original sources;
+    ``base_mapping`` is the original ``M : A → B``.  ``exchange`` runs the
+    two chases in sequence; ``symbolic`` is the composed mapping object
+    (st-tgds when possible, an SO-tgd otherwise).
+    """
+
+    inverse_evolution: SchemaMapping
+    base_mapping: SchemaMapping
+
+    def exchange(self, evolved_source: Instance) -> Instance:
+        """Exchange data from the evolved schema ``A′`` into ``B``."""
+        recovered = universal_solution(self.inverse_evolution, evolved_source)
+        return universal_solution(self.base_mapping, recovered)
+
+    def symbolic(self) -> SchemaMapping | SOMapping:
+        """The composed mapping ``(M′)⁻¹ ∘ M`` as a dependency object."""
+        return compose(self.inverse_evolution, self.base_mapping)
+
+    def symbolic_sotgd(self) -> SOMapping:
+        """The composition, always in SO-tgd form."""
+        return compose_sotgd(self.inverse_evolution, self.base_mapping)
+
+
+def evolve_source(
+    base_mapping: SchemaMapping,
+    evolution: SchemaMapping,
+    chooser: BranchChooser | None = None,
+) -> EvolvedMapping:
+    """Solve Figure 2's schema-evolution problem with mapping operators.
+
+    *base_mapping* is ``M : A → B``; *evolution* is ``M′ : A → A′``.
+    Returns the executable ``A′ → B`` mapping.  Raises
+    :class:`EvolutionAmbiguity` when the inverted evolution is disjunctive
+    and no *chooser* is given, and :class:`InversionError` when the
+    evolution mapping is outside the invertible fragment.
+    """
+    recovery = maximum_recovery(evolution)
+    inverse = recovery_to_sttgds(recovery, chooser)
+    return EvolvedMapping(inverse, base_mapping)
+
+
+def evolution_is_ambiguous(evolution: SchemaMapping) -> bool:
+    """Whether inverting *evolution* requires a branch-choice policy."""
+    try:
+        recovery = maximum_recovery(evolution)
+    except InversionError:
+        return True
+    return any(len(rule.branches) > 1 for rule in recovery.rules)

@@ -1,0 +1,390 @@
+"""Inversion of schema mappings (paper, Section 2, Example 3).
+
+st-tgd mappings are rarely invertible in Fagin's sense, and when relaxed
+notions are used the inverse *leaves the st-tgd language*: it needs
+disjunction on the right-hand side and the constant predicate ``C()``
+(Arenas–Pérez–Riveros).  This module provides:
+
+* :class:`DisjunctiveTgd` / :class:`DisjunctiveMapping` — the target
+  language of inverses: rules ``ψ(z̄) ∧ C(…) → ⋁ⱼ ∃… φⱼ``;
+* :func:`maximum_recovery` — the witness-based reverse-rule construction,
+  which on the paper's Father/Mother example yields exactly
+  ``Parent(x, y) ∧ C(x) ∧ C(y) → Father(x, y) ∨ Mother(x, y)``;
+* :func:`is_recovery` — the recovery property ``(I, I) ∈ M ∘ M'`` checked
+  on sample instances;
+* :func:`subset_property_violations` — Fagin's characterization of
+  invertibility (the *subset property*); a violating pair is a
+  certificate of non-invertibility.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..logic.evaluation import evaluate, satisfiable
+from ..logic.formulas import (
+    Atom,
+    Conjunction,
+    ConstantPredicate,
+    Disjunction,
+    Equality,
+    Literal,
+)
+from ..logic.terms import Const, Term, Var
+from ..relational.instance import Instance
+from ..relational.schema import Schema
+from .chase import universal_solution
+from .sttgd import SchemaMapping, StTgd
+
+
+class InversionError(ValueError):
+    """Raised when the inversion construction does not apply."""
+
+
+@dataclass(frozen=True)
+class DisjunctiveTgd:
+    """A rule ``premise → branch₁ ∨ … ∨ branchₙ``.
+
+    The premise is a conjunction over the rule's *source* side (the
+    original mapping's **target**), possibly with ``C()`` guards and
+    equalities; each branch is a conjunction over the original source
+    schema, with implicit existentials (branch variables missing from the
+    premise).
+    """
+
+    premise: Conjunction
+    branches: Disjunction
+
+    def satisfied_by(self, lhs_instance: Instance, rhs_instance: Instance) -> bool:
+        """Whether ``(lhs, rhs) ⊨ rule`` (premise over lhs, branches over rhs)."""
+        premise_vars = set(self.premise.variables())
+        for binding in evaluate(self.premise, lhs_instance):
+            witnessed = False
+            for branch in self.branches:
+                shared = {
+                    v: binding[v] for v in branch.variables() if v in premise_vars
+                }
+                if satisfiable(branch, rhs_instance, seed=shared):
+                    witnessed = True
+                    break
+            if not witnessed:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"{self.premise!r} → {self.branches!r}"
+
+
+@dataclass(frozen=True)
+class DisjunctiveMapping:
+    """A mapping specified by disjunctive tgds — the language of recoveries."""
+
+    source: Schema
+    target: Schema
+    rules: tuple[DisjunctiveTgd, ...]
+
+    def __init__(
+        self, source: Schema, target: Schema, rules: Iterable[DisjunctiveTgd]
+    ) -> None:
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "target", target)
+        object.__setattr__(self, "rules", tuple(rules))
+
+    def satisfied_by(self, source_instance: Instance, target_instance: Instance) -> bool:
+        return all(
+            rule.satisfied_by(source_instance, target_instance) for rule in self.rules
+        )
+
+    def __repr__(self) -> str:
+        body = "\n".join(f"  {r!r}" for r in self.rules)
+        return f"DisjunctiveMapping(\n{body}\n)"
+
+
+# ---------------------------------------------------------------------------
+# Maximum recovery construction
+# ---------------------------------------------------------------------------
+
+
+def maximum_recovery(mapping: SchemaMapping) -> DisjunctiveMapping:
+    """The witness-based maximum-recovery construction for st-tgd mappings.
+
+    The mapping is first normalized; each normalized tgd must have a
+    single-atom conclusion (the common case; multi-atom conclusions whose
+    atoms share existentials raise :class:`InversionError` — they need the
+    full query-rewriting machinery of Arenas et al.).
+
+    For each tgd ``i`` with conclusion ``R(t̄)``, emit the rule
+
+        ``R(z̄) ∧ C(z_k for frontier positions k) ∧ (repeat/constant
+        equalities)  →  ⋁ over every tgd j that can produce an R-fact
+        matching this pattern: ∃(j's other premise vars) φⱼ``
+
+    Rules are deduplicated.  The output satisfies the recovery property
+    (checkable with :func:`is_recovery`) and restricts the recovered
+    sources as tightly as the disjunctive language allows.
+    """
+    normalized = mapping.normalize()
+    producers = _producers_by_relation(normalized)
+
+    rules: list[DisjunctiveTgd] = []
+    seen: set[str] = set()
+    for tgd in normalized.tgds:
+        conclusion_atoms = tgd.conclusion.atoms()
+        if len(conclusion_atoms) != 1:
+            raise InversionError(
+                "maximum_recovery requires normalized tgds with single-atom "
+                f"conclusions; got {tgd!r}"
+            )
+        rule = _reverse_rule(tgd, conclusion_atoms[0], producers)
+        key = repr(rule)
+        if key not in seen:
+            seen.add(key)
+            rules.append(rule)
+    return DisjunctiveMapping(mapping.target, mapping.source, rules)
+
+
+def _producers_by_relation(
+    mapping: SchemaMapping,
+) -> dict[str, list[tuple[StTgd, Atom]]]:
+    out: dict[str, list[tuple[StTgd, Atom]]] = {}
+    for tgd in mapping.tgds:
+        for atom in tgd.conclusion.atoms():
+            out.setdefault(atom.relation, []).append((tgd, atom))
+    return out
+
+
+def _pattern_conditions(
+    atom: Atom, frontier: set[Var], z_vars: Sequence[Var]
+) -> tuple[list[Literal], dict[Var, Var], bool]:
+    """Conditions a generic fact ``R(z̄)`` must meet to match tgd's ``R(t̄)``.
+
+    Returns ``(literals, frontier_substitution, ok)``: ``C(z_k)`` guards for
+    frontier positions, equalities for repeated frontier variables and
+    constants, and the substitution mapping each frontier variable to its
+    (first) ``z`` position.  Existential positions contribute nothing —
+    they may be any value.
+    """
+    literals: list[Literal] = []
+    substitution: dict[Var, Var] = {}
+    for position, term in enumerate(atom.terms):
+        z = z_vars[position]
+        if isinstance(term, Const):
+            literals.append(Equality(z, term))
+        elif isinstance(term, Var):
+            if term in frontier:
+                if term in substitution:
+                    literals.append(Equality(substitution[term], z))
+                else:
+                    substitution[term] = z
+                    literals.append(ConstantPredicate(z))
+            else:
+                # Existential position: unconstrained. Repeated existentials
+                # do force equality between the two positions.
+                if term in substitution:
+                    literals.append(Equality(substitution[term], z))
+                else:
+                    substitution[term] = z
+        else:  # pragma: no cover - st-tgd conclusions are first-order
+            raise InversionError(f"function term in conclusion atom {atom!r}")
+    return literals, substitution, True
+
+
+def _reverse_rule(
+    tgd: StTgd,
+    conclusion_atom: Atom,
+    producers: dict[str, list[tuple[StTgd, Atom]]],
+) -> DisjunctiveTgd:
+    arity = conclusion_atom.arity
+    z_vars = [Var(f"z{k}") for k in range(arity)]
+    frontier_i = set(tgd.frontier)
+
+    guard_literals, _, _ = _pattern_conditions(conclusion_atom, frontier_i, z_vars)
+    premise = Conjunction(
+        [Atom(conclusion_atom.relation, tuple(z_vars))] + guard_literals
+    )
+
+    branches: list[Conjunction] = []
+    branch_reprs: set[str] = set()
+    for producer, producer_atom in producers[conclusion_atom.relation]:
+        branch = _branch_for_producer(producer, producer_atom, z_vars)
+        if branch is None:
+            continue
+        key = repr(branch)
+        if key not in branch_reprs:
+            branch_reprs.add(key)
+            branches.append(branch)
+    if not branches:
+        raise InversionError(
+            f"no producer branch for conclusion atom {conclusion_atom!r}"
+        )
+    return DisjunctiveTgd(premise, Disjunction(branches))
+
+
+def _branch_for_producer(
+    producer: StTgd, producer_atom: Atom, z_vars: Sequence[Var]
+) -> Conjunction | None:
+    """The branch asserting producer's premise, aligned to the z̄ pattern."""
+    frontier_j = set(producer.frontier)
+    conditions, substitution, _ = _pattern_conditions(
+        producer_atom, frontier_j, z_vars
+    )
+    # Rename producer premise variables: frontier vars occurring in the
+    # conclusion atom map to z-positions; all other premise variables are
+    # renamed fresh (they become branch existentials).
+    renaming: dict[Var, Term] = dict(substitution)
+    for v in producer.premise.variables():
+        if v not in renaming:
+            renaming[v] = Var(f"w_{v.name}")
+    premise = producer.premise.substitute(renaming)
+    # Keep only conditions over z̄ that constrain this branch (C-guards of
+    # j's frontier positions, equalities for repeats/constants).
+    return Conjunction(tuple(premise.literals) + tuple(conditions))
+
+
+# ---------------------------------------------------------------------------
+# Semantic checks
+# ---------------------------------------------------------------------------
+
+
+def is_recovery(
+    mapping: SchemaMapping,
+    candidate: DisjunctiveMapping,
+    sources: Iterable[Instance],
+) -> bool:
+    """Check the recovery property on *sources*: ``(I, I) ∈ M ∘ M'``.
+
+    Witnessed with the canonical universal solution: chase ``I`` to ``J*``
+    and check ``(J*, I) ⊨ M'``.  Sound (a found witness proves membership);
+    the canonical solution is the natural witness for tgd-specified
+    mappings.
+    """
+    for source in sources:
+        solution = universal_solution(mapping, source)
+        if not candidate.satisfied_by(solution, source):
+            return False
+    return True
+
+
+def recovered_sources(
+    mapping: SchemaMapping,
+    recovery: DisjunctiveMapping,
+    source: Instance,
+    universe: Iterable[Instance],
+) -> list[Instance]:
+    """Which candidate sources the recovery admits after a round trip.
+
+    Chases *source* to its canonical solution ``J*``, then returns every
+    instance of *universe* compatible with ``J*`` under the recovery.
+    Example 3: starting from ``{Father(Leslie, Alice)}`` both
+    ``{Father(Leslie, Alice)}`` and ``{Mother(Leslie, Alice)}`` are
+    admitted — recoveries may lose information, exactly as the paper says.
+    """
+    solution = universal_solution(mapping, source)
+    return [
+        candidate
+        for candidate in universe
+        if recovery.satisfied_by(solution, candidate)
+    ]
+
+
+def solution_space_contains(
+    mapping: SchemaMapping, larger_source: Instance, smaller_source: Instance
+) -> bool:
+    """Whether ``Sol(smaller) ⊇ Sol(larger)`` — tested via the chase.
+
+    Standard fact: ``Sol(I₂) ⊆ Sol(I₁)`` iff the canonical universal
+    solution of ``I₂`` is a solution for ``I₁``.
+    """
+    candidate = universal_solution(mapping, larger_source)
+    return mapping.is_solution(smaller_source, candidate)
+
+
+def subset_property_violations(
+    mapping: SchemaMapping, instances: Sequence[Instance]
+) -> list[tuple[Instance, Instance]]:
+    """Pairs ``(I₁, I₂)`` violating Fagin's subset property.
+
+    Fagin: an st-tgd mapping is invertible **iff** for all ``I₁, I₂``,
+    ``Sol(I₂) ⊆ Sol(I₁)`` implies ``I₁ ⊆ I₂``.  Each returned pair is a
+    certificate that no (Fagin) inverse exists.  Searching a finite sample
+    can only *refute* invertibility, never confirm it.
+    """
+    violations = []
+    for first, second in itertools.permutations(instances, 2):
+        # Violation: Sol(I₂) ⊆ Sol(I₁) holds but I₁ ⊆ I₂ does not.
+        if solution_space_contains(mapping, second, first) and not second.contains_instance(
+            first
+        ):
+            violations.append((first, second))
+    return violations
+
+
+def is_fagin_invertible_on(
+    mapping: SchemaMapping, instances: Sequence[Instance]
+) -> bool:
+    """Empirical invertibility: no subset-property violation in the sample."""
+    return not subset_property_violations(mapping, instances)
+
+
+# ---------------------------------------------------------------------------
+# Quasi-inverses (Fagin–Kolaitis–Popa–Tan, TODS 2008 — the paper's [13])
+# ---------------------------------------------------------------------------
+
+
+def data_exchange_equivalent(
+    mapping: SchemaMapping, first: Instance, second: Instance
+) -> bool:
+    """Whether two sources have the same solution space under *mapping*.
+
+    ``I₁ ~ᴹ I₂ iff Sol(I₁) = Sol(I₂)`` — the equivalence quasi-inverses
+    relax the identity to.  Decided via the chase in both directions.
+    """
+    return solution_space_contains(
+        mapping, first, second
+    ) and solution_space_contains(mapping, second, first)
+
+
+def equivalence_classes(
+    mapping: SchemaMapping, instances: Sequence[Instance]
+) -> list[list[Instance]]:
+    """Partition *instances* into data-exchange-equivalence classes."""
+    classes: list[list[Instance]] = []
+    for candidate in instances:
+        for cls in classes:
+            if data_exchange_equivalent(mapping, cls[0], candidate):
+                cls.append(candidate)
+                break
+        else:
+            classes.append([candidate])
+    return classes
+
+
+def is_quasi_inverse_on(
+    mapping: SchemaMapping,
+    candidate: DisjunctiveMapping,
+    sources: Sequence[Instance],
+    universe: Sequence[Instance],
+) -> bool:
+    """Empirical quasi-inverse check.
+
+    A quasi-inverse must recover the original source only *up to
+    data-exchange equivalence*.  This checker tests that over a finite
+    *universe* of candidate reconstructions: for every source ``I``, the
+    candidate admits at least one reconstruction, and every admitted one
+    is equivalent to ``I``.  Conservative: a universe containing strict
+    informative supersets of a source (which any recovery rightly admits)
+    will be flagged, so supply universes of same-information variants —
+    the scenario the notion exists for.  Example 3's maximum recovery *is*
+    a quasi-inverse on such a universe: Father- and Mother-variants have
+    identical solution spaces, even though no (strict) inverse exists.
+    """
+    for source in sources:
+        admitted = recovered_sources(mapping, candidate, source, universe)
+        if not admitted:
+            return False
+        for recovered in admitted:
+            if not data_exchange_equivalent(mapping, source, recovered):
+                return False
+    return True

@@ -1,0 +1,247 @@
+"""Second-order tgds: the closure of st-tgds under composition.
+
+The paper's Example 2 shows that composing two st-tgd mappings may require
+a sentence of the form::
+
+    ∃f [ ∀x (Emp(x) → Boss(x, f(x)))
+       ∧ ∀x (Emp(x) ∧ x = f(x) → SelfMngr(x)) ]
+
+— an **SO-tgd** (Fagin–Kolaitis–Popa–Tan 2005): an existentially
+quantified list of function symbols over a conjunction of clauses whose
+premises may contain equalities between terms.
+
+Two semantics are provided:
+
+* :meth:`SOMapping.chase` — the *canonical* (free / Herbrand)
+  interpretation: every function symbol is interpreted as a term
+  constructor, producing :class:`~repro.relational.values.SkolemValue`
+  outputs.  This is the executable semantics used for data exchange and
+  is what the composition algorithm's output gets chased with.
+* :meth:`SOMapping.satisfied_by` — the *true* second-order semantics,
+  decided for small instances by enumerating interpretations of the
+  function symbols over the active domain.  Used by tests to confirm the
+  composition is semantically correct, and by the E3 benchmark to witness
+  that no st-tgd can replace the SO-tgd.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..logic.evaluation import evaluate, ground_atoms
+from ..logic.formulas import Atom, Conjunction, Equality
+from ..logic.terms import FuncTerm, Term, Var, functions_of
+from ..relational.instance import Fact, Instance
+from ..relational.schema import Schema
+from ..relational.values import SkolemValue, Value
+
+
+@dataclass(frozen=True)
+class SOClause:
+    """One clause ``∀x̄ (premise → conclusion)`` of an SO-tgd.
+
+    The premise holds source atoms plus equalities whose terms may mention
+    the SO-tgd's function symbols; the conclusion holds target atoms whose
+    terms may mention function symbols.
+    """
+
+    premise: Conjunction
+    conclusion: Conjunction
+
+    def functions(self) -> set[str]:
+        out: set[str] = set()
+        for lit in itertools.chain(self.premise.literals, self.conclusion.literals):
+            if isinstance(lit, Atom):
+                for term in lit.terms:
+                    out.update(functions_of(term))
+            elif isinstance(lit, Equality):
+                out.update(functions_of(lit.left))
+                out.update(functions_of(lit.right))
+        return out
+
+    def __repr__(self) -> str:
+        return f"∀({self.premise!r} → {self.conclusion!r})"
+
+
+@dataclass(frozen=True)
+class SOMapping:
+    """A mapping specified by a single SO-tgd (a set of clauses).
+
+    ``functions`` lists the second-order existentially quantified function
+    symbols; it is computed from the clauses when omitted.
+    """
+
+    source: Schema
+    target: Schema
+    clauses: tuple[SOClause, ...]
+    functions: tuple[str, ...]
+
+    def __init__(
+        self,
+        source: Schema,
+        target: Schema,
+        clauses: Iterable[SOClause],
+        functions: Iterable[str] | None = None,
+    ) -> None:
+        clauses = tuple(clauses)
+        if functions is None:
+            names: set[str] = set()
+            for clause in clauses:
+                names |= clause.functions()
+            functions = tuple(sorted(names))
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "target", target)
+        object.__setattr__(self, "clauses", clauses)
+        object.__setattr__(self, "functions", tuple(functions))
+
+    # -- canonical (free) semantics -----------------------------------------
+
+    def chase(self, source: Instance) -> Instance:
+        """Chase under the free interpretation of function symbols.
+
+        Function terms evaluate to :class:`SkolemValue`; premise equalities
+        are decided in the free term algebra.  The result is the canonical
+        universal solution of the SO-tgd.
+        """
+        facts: list[Fact] = []
+        for clause in self.clauses:
+            for binding in evaluate(clause.premise, source):
+                for relation, row in ground_atoms(clause.conclusion.atoms(), binding):
+                    facts.append(Fact(relation, row))
+        return Instance(self.target, facts)
+
+    # -- true second-order semantics -----------------------------------------
+
+    def satisfied_by(
+        self,
+        source: Instance,
+        target: Instance,
+        extra_codomain: Iterable[Value] = (),
+        max_interpretations: int = 2_000_000,
+    ) -> bool:
+        """Decide ``(source, target) ⊨ ∃f̄ ⋀ clauses`` by enumeration.
+
+        Interpretations of each function symbol range over maps from
+        relevant argument tuples (drawn from the active domain of
+        *source*) to the combined active domain (plus *extra_codomain*).
+        Exponential; intended for the small instances of tests and the E3
+        benchmark.  Raises ``ValueError`` if the search space exceeds
+        *max_interpretations*.
+        """
+        arg_domain = sorted(source.active_domain(), key=repr)
+        codomain = sorted(
+            set(source.active_domain())
+            | set(target.active_domain())
+            | set(extra_codomain),
+            key=repr,
+        )
+        if not codomain:
+            codomain = arg_domain or []
+
+        arities = self._function_arities()
+        # Relevant argument tuples per function: full cross product of the
+        # source active domain at the function's arity.
+        arg_tuples: dict[str, list[tuple[Value, ...]]] = {
+            f: list(itertools.product(arg_domain, repeat=arities[f]))
+            for f in self.functions
+        }
+        total = 1
+        for f in self.functions:
+            total *= max(1, len(codomain)) ** len(arg_tuples[f])
+            if total > max_interpretations:
+                raise ValueError(
+                    f"SO-tgd interpretation space too large ({total} candidates)"
+                )
+
+        for interpretation in self._interpretations(arg_tuples, codomain):
+            if self._holds_under(source, target, interpretation):
+                return True
+        return False
+
+    def _function_arities(self) -> dict[str, int]:
+        arities: dict[str, int] = {}
+
+        def visit(term: Term) -> None:
+            if isinstance(term, FuncTerm):
+                prior = arities.setdefault(term.function, len(term.arguments))
+                if prior != len(term.arguments):
+                    raise ValueError(
+                        f"function {term.function!r} used at arities {prior} and "
+                        f"{len(term.arguments)}"
+                    )
+                for arg in term.arguments:
+                    visit(arg)
+
+        for clause in self.clauses:
+            for lit in itertools.chain(
+                clause.premise.literals, clause.conclusion.literals
+            ):
+                if isinstance(lit, Atom):
+                    for term in lit.terms:
+                        visit(term)
+                elif isinstance(lit, Equality):
+                    visit(lit.left)
+                    visit(lit.right)
+        for f in self.functions:
+            arities.setdefault(f, 1)
+        return arities
+
+    def _interpretations(
+        self,
+        arg_tuples: Mapping[str, list[tuple[Value, ...]]],
+        codomain: Sequence[Value],
+    ) -> Iterator[dict[str, dict[tuple[Value, ...], Value]]]:
+        functions = list(self.functions)
+
+        def recurse(index: int, acc: dict[str, dict[tuple[Value, ...], Value]]):
+            if index == len(functions):
+                yield {f: dict(table) for f, table in acc.items()}
+                return
+            f = functions[index]
+            tuples = arg_tuples[f]
+            for outputs in itertools.product(codomain, repeat=len(tuples)):
+                acc[f] = dict(zip(tuples, outputs))
+                yield from recurse(index + 1, acc)
+            acc.pop(f, None)
+
+        yield from recurse(0, {})
+
+    def _holds_under(
+        self,
+        source: Instance,
+        target: Instance,
+        interpretation: Mapping[str, Mapping[tuple[Value, ...], Value]],
+    ) -> bool:
+        def eval_term(term: Term, binding: Mapping[Var, Value]) -> Value:
+            if isinstance(term, Var):
+                return binding[term]
+            if isinstance(term, FuncTerm):
+                args = tuple(eval_term(a, binding) for a in term.arguments)
+                table = interpretation[term.function]
+                if args not in table:
+                    # Argument outside the enumerated domain: interpret freely.
+                    return SkolemValue(term.function, args)
+                return table[args]
+            return term.value
+
+        for clause in self.clauses:
+            atoms_only = Conjunction(clause.premise.atoms())
+            for binding in evaluate(atoms_only, source):
+                equalities_hold = all(
+                    eval_term(eq.left, binding) == eval_term(eq.right, binding)
+                    for eq in clause.premise.equalities()
+                )
+                if not equalities_hold:
+                    continue
+                for atom in clause.conclusion.atoms():
+                    row = tuple(eval_term(t, binding) for t in atom.terms)
+                    if row not in target.rows(atom.relation):
+                        return False
+        return True
+
+    def __repr__(self) -> str:
+        funcs = ", ".join(self.functions)
+        body = "\n".join(f"    {c!r}" for c in self.clauses)
+        return f"∃{funcs}[\n{body}\n]"

@@ -1,0 +1,312 @@
+"""Source-to-target tuple-generating dependencies and schema mappings.
+
+An st-tgd is a sentence ``∀x̄ (φ_S(x̄) → ∃ȳ ψ_T(x̄, ȳ))`` with conjunctive
+``φ`` over the source schema and ``ψ`` over the target schema (paper,
+Section 2, formula (1)).  A :class:`SchemaMapping` bundles a source
+schema, a target schema, a set of st-tgds and optional target
+dependencies, and gives the standard satisfaction and solution-space
+semantics.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..logic.evaluation import Binding, evaluate, satisfiable
+from ..logic.formulas import Atom, Conjunction
+from ..logic.parser import ParsedRule, parse_rule, parse_rules
+from ..logic.terms import Var
+from ..relational.instance import Instance
+from ..relational.schema import Schema
+from .dependencies import TargetDependency
+
+
+@dataclass(frozen=True)
+class StTgd:
+    """One source-to-target tgd ``premise → ∃(existentials) conclusion``.
+
+    The premise may contain equality/inequality/constant-predicate side
+    conditions (used by enriched mapping languages); a *plain* st-tgd has
+    atoms only.  The conclusion is a conjunction of atoms.  Existential
+    variables are exactly the conclusion variables not bound by the
+    premise.
+    """
+
+    premise: Conjunction
+    conclusion: Conjunction
+
+    def __post_init__(self) -> None:
+        if not self.conclusion.atoms():
+            raise ValueError("st-tgd conclusion must contain at least one atom")
+        non_atoms = [
+            lit for lit in self.conclusion.literals if not isinstance(lit, Atom)
+        ]
+        if non_atoms:
+            raise ValueError(
+                f"st-tgd conclusions are conjunctions of atoms; found {non_atoms!r}"
+            )
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def universal_variables(self) -> tuple[Var, ...]:
+        """Premise variables (implicitly universally quantified)."""
+        return tuple(self.premise.variables())
+
+    @property
+    def frontier(self) -> tuple[Var, ...]:
+        """Variables shared by premise and conclusion (the exported ones)."""
+        premise_vars = set(self.premise.variables())
+        return tuple(v for v in self.conclusion.variables() if v in premise_vars)
+
+    @property
+    def existential_variables(self) -> tuple[Var, ...]:
+        """Conclusion variables not bound by the premise (∃-quantified)."""
+        premise_vars = set(self.premise.variables())
+        return tuple(v for v in self.conclusion.variables() if v not in premise_vars)
+
+    def is_full(self) -> bool:
+        """Whether the tgd has no existential variables (a *full* tgd).
+
+        Full tgds are the fragment closed under composition (Fagin et al.,
+        cited in the paper's Section 2).
+        """
+        return not self.existential_variables
+
+    def source_relations(self) -> set[str]:
+        return self.premise.relations()
+
+    def target_relations(self) -> set[str]:
+        return self.conclusion.relations()
+
+    # -- semantics ---------------------------------------------------------
+
+    def satisfied_by(self, source: Instance, target: Instance) -> bool:
+        """Whether ``(source, target) ⊨ tgd``.
+
+        For every premise binding in *source*, some extension of the
+        frontier binding must witness the conclusion in *target*.
+        """
+        for binding in evaluate(self.premise, source):
+            frontier_binding = {v: binding[v] for v in self.frontier}
+            if not satisfiable(self.conclusion, target, seed=frontier_binding):
+                return False
+        return True
+
+    def violations(self, source: Instance, target: Instance) -> list[Binding]:
+        """Premise bindings whose conclusion is not witnessed in *target*."""
+        missing = []
+        for binding in evaluate(self.premise, source):
+            frontier_binding = {v: binding[v] for v in self.frontier}
+            if not satisfiable(self.conclusion, target, seed=frontier_binding):
+                missing.append(binding)
+        return missing
+
+    # -- transformation ----------------------------------------------------
+
+    def normalize(self) -> list["StTgd"]:
+        """Split the conclusion into connected components of existentials.
+
+        Two conclusion atoms belong together iff they share an existential
+        variable.  Splitting preserves logical equivalence and gives the
+        single-component tgds that the inversion construction and the lens
+        compiler both prefer.
+        """
+        atoms = self.conclusion.atoms()
+        existentials = set(self.existential_variables)
+        # Union-find over atoms, merging atoms sharing an existential.
+        parent = list(range(len(atoms)))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        def union(i: int, j: int) -> None:
+            parent[find(i)] = find(j)
+
+        for (i, a), (j, b) in itertools.combinations(enumerate(atoms), 2):
+            if existentials & set(a.variables()) & set(b.variables()):
+                union(i, j)
+        groups: dict[int, list[Atom]] = {}
+        for i, a in enumerate(atoms):
+            groups.setdefault(find(i), []).append(a)
+        if len(groups) <= 1:
+            return [self]
+        return [StTgd(self.premise, Conjunction(group)) for group in groups.values()]
+
+    def rename_variables(self, suffix: str) -> "StTgd":
+        """A variant with every variable renamed by appending *suffix*.
+
+        Used to keep variables of different tgds disjoint during
+        composition.
+        """
+        renaming = {
+            v: Var(f"{v.name}{suffix}")
+            for v in set(self.premise.variables()) | set(self.conclusion.variables())
+        }
+        return StTgd(self.premise.substitute(renaming), self.conclusion.substitute(renaming))
+
+    def to_text(self) -> str:
+        """The tgd in the parser's concrete syntax (re-parseable).
+
+        >>> StTgd.parse("Emp(x) -> exists y . Manager(x, y)").to_text()
+        'Emp(x) -> exists y . Manager(x, y)'
+        """
+        from ..logic.printing import conjunction_to_text
+
+        lhs = conjunction_to_text(self.premise)
+        rhs = conjunction_to_text(self.conclusion)
+        existentials = self.existential_variables
+        if existentials:
+            names = ", ".join(v.name for v in existentials)
+            return f"{lhs} -> exists {names} . {rhs}"
+        return f"{lhs} -> {rhs}"
+
+    @classmethod
+    def parse(cls, text: str) -> "StTgd":
+        """Parse an st-tgd from text, e.g. ``"Emp(x) -> exists y . Manager(x, y)"``."""
+        rule = parse_rule(text)
+        return cls.from_parsed(rule)
+
+    @classmethod
+    def from_parsed(cls, rule: ParsedRule) -> "StTgd":
+        explicit, conclusion = rule.single_rhs()
+        tgd = cls(rule.lhs, conclusion)
+        declared = set(explicit)
+        inferred = set(tgd.existential_variables)
+        if declared and declared != inferred:
+            raise ValueError(
+                f"declared existentials {sorted(v.name for v in declared)} disagree "
+                f"with inferred {sorted(v.name for v in inferred)} in {text_of(rule)}"
+            )
+        return tgd
+
+    def __repr__(self) -> str:
+        existentials = self.existential_variables
+        if existentials:
+            names = ", ".join(v.name for v in existentials)
+            return f"{self.premise!r} → ∃{names}. {self.conclusion!r}"
+        return f"{self.premise!r} → {self.conclusion!r}"
+
+
+def text_of(rule: ParsedRule) -> str:
+    return repr(rule)
+
+
+@dataclass(frozen=True)
+class SchemaMapping:
+    """A schema mapping ``M = (S, T, Σ_st [, Σ_t])``.
+
+    ``tgds`` relate source to target; ``target_dependencies`` (egds and
+    target tgds) constrain the target alone.  A pair ``(I, J)`` satisfies
+    the mapping iff it satisfies every st-tgd and ``J`` satisfies every
+    target dependency.
+    """
+
+    source: Schema
+    target: Schema
+    tgds: tuple[StTgd, ...]
+    target_dependencies: tuple[TargetDependency, ...] = field(default_factory=tuple)
+
+    def __init__(
+        self,
+        source: Schema,
+        target: Schema,
+        tgds: Iterable[StTgd],
+        target_dependencies: Iterable[TargetDependency] = (),
+    ) -> None:
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "target", target)
+        object.__setattr__(self, "tgds", tuple(tgds))
+        object.__setattr__(self, "target_dependencies", tuple(target_dependencies))
+        self._validate()
+
+    def _validate(self) -> None:
+        for tgd in self.tgds:
+            for atom in tgd.premise.atoms():
+                if atom.relation not in self.source:
+                    raise ValueError(
+                        f"premise atom {atom!r} references {atom.relation!r}, "
+                        f"not a source relation"
+                    )
+                if atom.arity != self.source[atom.relation].arity:
+                    raise ValueError(f"arity mismatch in premise atom {atom!r}")
+            for atom in tgd.conclusion.atoms():
+                if atom.relation not in self.target:
+                    raise ValueError(
+                        f"conclusion atom {atom!r} references {atom.relation!r}, "
+                        f"not a target relation"
+                    )
+                if atom.arity != self.target[atom.relation].arity:
+                    raise ValueError(f"arity mismatch in conclusion atom {atom!r}")
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def parse(
+        cls,
+        source: Schema,
+        target: Schema,
+        text: str,
+        target_dependencies: Iterable[TargetDependency] = (),
+    ) -> "SchemaMapping":
+        """Parse a mapping from a block of tgd lines (see :mod:`repro.logic.parser`)."""
+        tgds = [StTgd.from_parsed(rule) for rule in parse_rules(text)]
+        return cls(source, target, tgds, target_dependencies)
+
+    def with_tgds(self, tgds: Iterable[StTgd]) -> "SchemaMapping":
+        return SchemaMapping(
+            self.source, self.target, list(self.tgds) + list(tgds), self.target_dependencies
+        )
+
+    def normalize(self) -> "SchemaMapping":
+        """Split every tgd into existential-connected components."""
+        out: list[StTgd] = []
+        for tgd in self.tgds:
+            out.extend(tgd.normalize())
+        return SchemaMapping(self.source, self.target, out, self.target_dependencies)
+
+    # -- semantics ---------------------------------------------------------
+
+    def is_full(self) -> bool:
+        """Whether every tgd is full (no existentials)."""
+        return all(t.is_full() for t in self.tgds)
+
+    def to_text(self) -> str:
+        """The mapping as a re-parseable block of tgd lines.
+
+        Target dependencies are not part of the text format and are
+        rejected (serialize them separately).
+        """
+        if self.target_dependencies:
+            raise ValueError(
+                "to_text() cannot serialize target dependencies; "
+                "write them separately"
+            )
+        return "\n".join(t.to_text() for t in self.tgds)
+
+    def satisfied_by(self, source: Instance, target: Instance) -> bool:
+        """Whether ``(source, target)`` satisfies all tgds and target deps."""
+        if not all(t.satisfied_by(source, target) for t in self.tgds):
+            return False
+        return all(d.satisfied_in(target) for d in self.target_dependencies)
+
+    def is_solution(self, source: Instance, candidate: Instance) -> bool:
+        """Whether *candidate* is a solution for *source* under this mapping."""
+        return self.satisfied_by(source, candidate)
+
+    def __iter__(self) -> Iterator[StTgd]:
+        return iter(self.tgds)
+
+    def __len__(self) -> int:
+        return len(self.tgds)
+
+    def __repr__(self) -> str:
+        lines = [f"  {t!r}" for t in self.tgds]
+        lines += [f"  [target] {d!r}" for d in self.target_dependencies]
+        body = "\n".join(lines)
+        return f"SchemaMapping(\n{body}\n)"

@@ -1,0 +1,265 @@
+"""Clio-style visual correspondences compiled to st-tgds (paper, Figure 1).
+
+In practice "an end user does not directly specify a mapping by writing
+down an st-tgd, but by specifying some simple correspondences usually
+exploiting some visual interface" whose box-and-line diagrams "are then
+compiled into sets of st-tgds".  This module is that interface, in
+programmatic form: a :class:`VisualMapping` collects
+:class:`CorrespondenceBuilder` diagrams — each names the participating
+source and target relations, draws value **arrows** between attributes,
+and declares same-side **joins** — and compiles each diagram to one
+st-tgd.
+
+Figure 1's upper diagram compiles to::
+
+    Takes(x, y) → ∃z (Student(z, x) ∧ Assgn(x, y))
+
+and its lower diagram to::
+
+    Student(x, y) ∧ Assgn(y, z) → Enrollment(x, z)
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..logic.formulas import Atom, Conjunction
+from ..logic.terms import Var
+from ..relational.schema import Schema
+from .sttgd import SchemaMapping, StTgd
+
+
+class CorrespondenceError(ValueError):
+    """Raised on malformed diagrams (unknown attributes, bad arrows...)."""
+
+
+AttrRef = tuple[str, str]  # (relation, attribute)
+
+
+def _parse_ref(text: str) -> AttrRef:
+    if text.count(".") != 1:
+        raise CorrespondenceError(
+            f"attribute reference must look like 'Relation.attribute': {text!r}"
+        )
+    rel, attr = text.split(".")
+    return rel, attr
+
+
+class _UnionFind:
+    """Tiny union-find over hashable items."""
+
+    def __init__(self) -> None:
+        self._parent: dict[object, object] = {}
+
+    def find(self, item: object) -> object:
+        self._parent.setdefault(item, item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: object, b: object) -> None:
+        self._parent[self.find(a)] = self.find(b)
+
+
+@dataclass
+class Arrow:
+    """A value-preserving line from a source attribute to a target attribute."""
+
+    source: AttrRef
+    target: AttrRef
+
+    def __repr__(self) -> str:
+        return f"{self.source[0]}.{self.source[1]} ⟶ {self.target[0]}.{self.target[1]}"
+
+
+@dataclass
+class CorrespondenceBuilder:
+    """One box-and-line diagram; compiles to one st-tgd.
+
+    Usage::
+
+        c = visual.correspondence("enrolls")
+        c.source("Takes")
+        c.target("Student", "Assgn")
+        c.arrow("Takes.student", "Student.name")
+        c.arrow("Takes.student", "Assgn.student")
+        c.arrow("Takes.course", "Assgn.course")
+    """
+
+    name: str
+    source_schema: Schema
+    target_schema: Schema
+    source_relations: list[str] = field(default_factory=list)
+    target_relations: list[str] = field(default_factory=list)
+    arrows: list[Arrow] = field(default_factory=list)
+    source_joins: list[tuple[AttrRef, AttrRef]] = field(default_factory=list)
+    target_joins: list[tuple[AttrRef, AttrRef]] = field(default_factory=list)
+
+    # -- diagram construction ----------------------------------------------
+
+    def source(self, *relations: str) -> "CorrespondenceBuilder":
+        """Declare the source relations participating in this diagram."""
+        for rel in relations:
+            if rel not in self.source_schema:
+                raise CorrespondenceError(f"unknown source relation {rel!r}")
+            self.source_relations.append(rel)
+        return self
+
+    def target(self, *relations: str) -> "CorrespondenceBuilder":
+        """Declare the target relations this diagram populates."""
+        for rel in relations:
+            if rel not in self.target_schema:
+                raise CorrespondenceError(f"unknown target relation {rel!r}")
+            self.target_relations.append(rel)
+        return self
+
+    def arrow(self, source_ref: str, target_ref: str) -> "CorrespondenceBuilder":
+        """Draw a line: the target attribute takes the source attribute's value."""
+        src = _parse_ref(source_ref)
+        dst = _parse_ref(target_ref)
+        self._check_ref(src, self.source_schema, self.source_relations, "source")
+        self._check_ref(dst, self.target_schema, self.target_relations, "target")
+        for existing in self.arrows:
+            if existing.target == dst:
+                raise CorrespondenceError(
+                    f"target attribute {target_ref!r} already has an incoming arrow"
+                )
+        self.arrows.append(Arrow(src, dst))
+        return self
+
+    def join(self, left_ref: str, right_ref: str) -> "CorrespondenceBuilder":
+        """Declare a same-side equality (join condition) between attributes.
+
+        Both references must be source-side or both target-side; source
+        joins unify premise variables, target joins unify existentials.
+        """
+        left, right = _parse_ref(left_ref), _parse_ref(right_ref)
+        left_is_source = left[0] in self.source_relations
+        right_is_source = right[0] in self.source_relations
+        if left_is_source and right_is_source:
+            self._check_ref(left, self.source_schema, self.source_relations, "source")
+            self._check_ref(right, self.source_schema, self.source_relations, "source")
+            self.source_joins.append((left, right))
+        elif not left_is_source and not right_is_source:
+            self._check_ref(left, self.target_schema, self.target_relations, "target")
+            self._check_ref(right, self.target_schema, self.target_relations, "target")
+            self.target_joins.append((left, right))
+        else:
+            raise CorrespondenceError(
+                "join endpoints must be on the same side; use arrow() across sides"
+            )
+        return self
+
+    def _check_ref(
+        self, ref: AttrRef, schema: Schema, declared: list[str], side: str
+    ) -> None:
+        rel, attr = ref
+        if rel not in declared:
+            raise CorrespondenceError(
+                f"{side} relation {rel!r} not declared in this correspondence"
+            )
+        if not schema[rel].has_attribute(attr):
+            raise CorrespondenceError(f"relation {rel!r} has no attribute {attr!r}")
+
+    # -- compilation ---------------------------------------------------------
+
+    def compile(self) -> StTgd:
+        """Compile the diagram to an st-tgd."""
+        if not self.source_relations or not self.target_relations:
+            raise CorrespondenceError(
+                f"correspondence {self.name!r} needs source and target relations"
+            )
+        # Unify source positions connected by joins.
+        groups = _UnionFind()
+        for left, right in self.source_joins:
+            groups.union(left, right)
+        # One variable per source position group.
+        var_of: dict[AttrRef, Var] = {}
+        counter = itertools.count()
+        fresh_names: set[str] = set()
+
+        def variable_for(ref: AttrRef) -> Var:
+            root = groups.find(ref)
+            if root not in var_of:
+                base = root[1] if isinstance(root, tuple) else f"v{next(counter)}"
+                name = base
+                while name in fresh_names:
+                    name = f"{base}{next(counter)}"
+                fresh_names.add(name)
+                var_of[root] = Var(name)
+            return var_of[root]  # type: ignore[index]
+
+        premise_atoms = []
+        for rel in self.source_relations:
+            rel_schema = self.source_schema[rel]
+            terms = tuple(
+                variable_for((rel, attr)) for attr in rel_schema.attribute_names
+            )
+            premise_atoms.append(Atom(rel, terms))
+
+        # Target side: arrow targets inherit source variables; the rest are
+        # existentials, unified across target joins.
+        target_groups = _UnionFind()
+        for left, right in self.target_joins:
+            target_groups.union(left, right)
+        arrow_of: dict[AttrRef, AttrRef] = {}
+        for arrow in self.arrows:
+            root = target_groups.find(arrow.target)
+            if root in arrow_of and arrow_of[root] != arrow.source:
+                # Two arrows into one joined target group from different
+                # sources: they implicitly join the sources too.
+                groups.union(arrow_of[root], arrow.source)
+            arrow_of[root] = arrow.source  # type: ignore[index]
+
+        existential_of: dict[object, Var] = {}
+
+        def target_term(ref: AttrRef) -> Var:
+            root = target_groups.find(ref)
+            if root in arrow_of:
+                return variable_for(arrow_of[root])  # type: ignore[index]
+            if root not in existential_of:
+                base = f"e_{ref[1]}"
+                name = base
+                while name in fresh_names:
+                    name = f"{base}{next(counter)}"
+                fresh_names.add(name)
+                existential_of[root] = Var(name)
+            return existential_of[root]
+
+        conclusion_atoms = []
+        for rel in self.target_relations:
+            rel_schema = self.target_schema[rel]
+            terms = tuple(
+                target_term((rel, attr)) for attr in rel_schema.attribute_names
+            )
+            conclusion_atoms.append(Atom(rel, terms))
+
+        return StTgd(Conjunction(premise_atoms), Conjunction(conclusion_atoms))
+
+
+@dataclass
+class VisualMapping:
+    """A collection of correspondence diagrams between two schemas."""
+
+    source_schema: Schema
+    target_schema: Schema
+    correspondences: list[CorrespondenceBuilder] = field(default_factory=list)
+
+    def correspondence(self, name: str | None = None) -> CorrespondenceBuilder:
+        """Start a new diagram; returns its builder."""
+        builder = CorrespondenceBuilder(
+            name or f"c{len(self.correspondences)}",
+            self.source_schema,
+            self.target_schema,
+        )
+        self.correspondences.append(builder)
+        return builder
+
+    def compile(self) -> SchemaMapping:
+        """Compile every diagram; the result is the visual tool's mapping."""
+        tgds = [c.compile() for c in self.correspondences]
+        return SchemaMapping(self.source_schema, self.target_schema, tgds)

@@ -1,0 +1,120 @@
+"""Relational substrate: values, schemas, instances, algebra, constraints.
+
+This package is the storage and query layer everything else builds on:
+the logic layer evaluates formulas over :class:`Instance`, the chase
+produces instances with :class:`LabeledNull` values, relational lenses are
+bidirectional functions between instances, and mapping plans are
+:mod:`repro.relational.algebra` trees.
+"""
+
+from .values import (
+    Constant,
+    LabeledNull,
+    NullFactory,
+    SkolemValue,
+    Value,
+    constant,
+    constants,
+    is_constant,
+    is_null,
+    max_null_label,
+)
+from .schema import (
+    Attribute,
+    AttributeType,
+    RelationSchema,
+    Schema,
+    relation,
+    schema,
+)
+from .instance import (
+    Fact,
+    Instance,
+    InstanceBuilder,
+    Row,
+    empty_instance,
+    instance,
+)
+from .constraints import (
+    Constraint,
+    ConstraintSet,
+    FunctionalDependency,
+    InclusionDependency,
+    KeyConstraint,
+    attribute_closure,
+    implies,
+    minimal_keys,
+)
+from .homomorphism import (
+    apply_assignment,
+    core,
+    find_homomorphism,
+    homomorphically_equivalent,
+    is_core,
+    is_homomorphic,
+    is_universal_for,
+    isomorphic,
+)
+from .canonical import CanonicalResult, canonical_form, canonically_equal
+from .serialization import (
+    dumps_instance,
+    dumps_schema,
+    instance_from_json,
+    instance_to_json,
+    loads_instance,
+    loads_schema,
+    schema_from_json,
+    schema_to_json,
+)
+
+__all__ = [
+    "Attribute",
+    "AttributeType",
+    "CanonicalResult",
+    "Constant",
+    "Constraint",
+    "ConstraintSet",
+    "Fact",
+    "FunctionalDependency",
+    "InclusionDependency",
+    "Instance",
+    "InstanceBuilder",
+    "KeyConstraint",
+    "LabeledNull",
+    "NullFactory",
+    "RelationSchema",
+    "Row",
+    "Schema",
+    "SkolemValue",
+    "Value",
+    "apply_assignment",
+    "attribute_closure",
+    "canonical_form",
+    "canonically_equal",
+    "constant",
+    "constants",
+    "core",
+    "dumps_instance",
+    "dumps_schema",
+    "empty_instance",
+    "find_homomorphism",
+    "homomorphically_equivalent",
+    "implies",
+    "instance",
+    "instance_from_json",
+    "instance_to_json",
+    "is_constant",
+    "is_core",
+    "is_homomorphic",
+    "is_null",
+    "is_universal_for",
+    "isomorphic",
+    "loads_instance",
+    "loads_schema",
+    "max_null_label",
+    "minimal_keys",
+    "relation",
+    "schema",
+    "schema_from_json",
+    "schema_to_json",
+]

@@ -1,0 +1,537 @@
+"""Relational algebra over instances.
+
+This is the operational substrate both for the forward direction of
+relational lenses and for the mapping plans produced by the st-tgd
+compiler.  Expressions form a tree; evaluation is set-semantics and pure.
+
+Design notes
+------------
+* Every expression node knows its **output relation schema**, so column
+  references are by name while rows stay positional.
+* :class:`Join` is a *natural* join on shared attribute names.  This is
+  what the tgd compiler wants: it renames each atom's columns to the tgd's
+  variable names and natural-joins the premise.  Two join algorithms are
+  provided (nested-loop and hash); the planner picks one using statistics.
+* Predicates are a tiny AST (:class:`Comparison`, :class:`And`, ...) so
+  plans can be printed, inspected and optimized.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from .instance import Instance, Row
+from .schema import Attribute, RelationSchema
+from .values import Constant, Value, constant, is_constant
+
+# ---------------------------------------------------------------------------
+# Predicates
+# ---------------------------------------------------------------------------
+
+
+class Predicate(ABC):
+    """A boolean condition over a row of a known relation schema."""
+
+    @abstractmethod
+    def evaluate(self, schema: RelationSchema, row: Row) -> bool:
+        """Whether the predicate holds for *row* (columns resolved by name)."""
+
+    @abstractmethod
+    def columns(self) -> set[str]:
+        """The attribute names the predicate mentions."""
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """The always-true predicate."""
+
+    def evaluate(self, schema: RelationSchema, row: Row) -> bool:
+        return True
+
+    def columns(self) -> set[str]:
+        return set()
+
+    def __repr__(self) -> str:
+        return "true"
+
+
+_OPS: dict[str, Callable[[object, object], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """``column <op> value`` or ``column <op> column``.
+
+    ``right`` is interpreted as a column name when ``right_is_column``;
+    otherwise it is a constant payload.  Comparisons other than ``=`` and
+    ``!=`` on null-like values are false (unknown ⇒ not selected), matching
+    SQL's three-valued filter behaviour closely enough for exchange plans.
+    """
+
+    left: str
+    op: str
+    right: object
+    right_is_column: bool = False
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def evaluate(self, schema: RelationSchema, row: Row) -> bool:
+        lhs = row[schema.position_of(self.left)]
+        if self.right_is_column:
+            rhs: Value = row[schema.position_of(str(self.right))]
+        else:
+            rhs = self.right if isinstance(self.right, Constant) else constant(self.right)
+        if self.op == "=":
+            return lhs == rhs
+        if self.op == "!=":
+            return lhs != rhs
+        if not (is_constant(lhs) and is_constant(rhs)):
+            return False
+        return _OPS[self.op](lhs.value, rhs.value)
+
+    def columns(self) -> set[str]:
+        cols = {self.left}
+        if self.right_is_column:
+            cols.add(str(self.right))
+        return cols
+
+    def __repr__(self) -> str:
+        rhs = str(self.right) if self.right_is_column else repr(self.right)
+        return f"{self.left} {self.op} {rhs}"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def evaluate(self, schema: RelationSchema, row: Row) -> bool:
+        return self.left.evaluate(schema, row) and self.right.evaluate(schema, row)
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∧ {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def evaluate(self, schema: RelationSchema, row: Row) -> bool:
+        return self.left.evaluate(schema, row) or self.right.evaluate(schema, row)
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∨ {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    inner: Predicate
+
+    def evaluate(self, schema: RelationSchema, row: Row) -> bool:
+        return not self.inner.evaluate(schema, row)
+
+    def columns(self) -> set[str]:
+        return self.inner.columns()
+
+    def __repr__(self) -> str:
+        return f"¬{self.inner!r}"
+
+
+@dataclass(frozen=True)
+class ConstantColumn(Predicate):
+    """True iff the column holds a constant (not a labelled null / Skolem).
+
+    The algebra form of the dependency language's ``C(x)`` predicate;
+    compiled plans of recovery-derived mappings need it.
+    """
+
+    column: str
+
+    def evaluate(self, schema: RelationSchema, row: Row) -> bool:
+        return is_constant(row[schema.position_of(self.column)])
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+    def __repr__(self) -> str:
+        return f"C({self.column})"
+
+
+def eq(column: str, value: object) -> Comparison:
+    """Shorthand for ``column = constant``."""
+    return Comparison(column, "=", value)
+
+
+def col_eq(left: str, right: str) -> Comparison:
+    """Shorthand for ``left = right`` between two columns."""
+    return Comparison(left, "=", right, right_is_column=True)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class AlgebraExpression(ABC):
+    """A node in a relational-algebra expression tree."""
+
+    @abstractmethod
+    def output_schema(self) -> RelationSchema:
+        """The relation schema of this expression's result."""
+
+    @abstractmethod
+    def evaluate(self, instance: Instance) -> frozenset[Row]:
+        """Evaluate against *instance*, producing a set of rows."""
+
+    @abstractmethod
+    def children(self) -> tuple["AlgebraExpression", ...]:
+        """Direct sub-expressions (for plan walking / printing)."""
+
+    def evaluate_relation(self, instance: Instance) -> tuple[RelationSchema, frozenset[Row]]:
+        return self.output_schema(), self.evaluate(instance)
+
+
+@dataclass(frozen=True)
+class Scan(AlgebraExpression):
+    """Read one base relation, optionally renaming its columns.
+
+    ``columns`` (if given) renames the relation's attributes positionally —
+    the tgd compiler uses this to rename columns to tgd variable names.
+    """
+
+    relation: RelationSchema
+    columns: tuple[str, ...] | None = None
+
+    def output_schema(self) -> RelationSchema:
+        if self.columns is None:
+            return self.relation
+        if len(self.columns) != self.relation.arity:
+            raise ValueError(
+                f"scan of {self.relation.name!r} renames {len(self.columns)} columns "
+                f"but relation has arity {self.relation.arity}"
+            )
+        attrs = [
+            Attribute(new, old.type)
+            for new, old in zip(self.columns, self.relation.attributes)
+        ]
+        return RelationSchema(self.relation.name, attrs)
+
+    def evaluate(self, instance: Instance) -> frozenset[Row]:
+        return instance.rows(self.relation.name)
+
+    def children(self) -> tuple[AlgebraExpression, ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        if self.columns:
+            return f"Scan({self.relation.name} as ({', '.join(self.columns)}))"
+        return f"Scan({self.relation.name})"
+
+
+@dataclass(frozen=True)
+class Select(AlgebraExpression):
+    """σ — keep the rows satisfying *predicate*."""
+
+    child: AlgebraExpression
+    predicate: Predicate
+
+    def output_schema(self) -> RelationSchema:
+        return self.child.output_schema()
+
+    def evaluate(self, instance: Instance) -> frozenset[Row]:
+        schema = self.child.output_schema()
+        return frozenset(
+            row for row in self.child.evaluate(instance)
+            if self.predicate.evaluate(schema, row)
+        )
+
+    def children(self) -> tuple[AlgebraExpression, ...]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"σ[{self.predicate!r}]({self.child!r})"
+
+
+@dataclass(frozen=True)
+class Project(AlgebraExpression):
+    """π — project onto the named columns, in order (duplicates collapse)."""
+
+    child: AlgebraExpression
+    columns: tuple[str, ...]
+
+    def output_schema(self) -> RelationSchema:
+        child_schema = self.child.output_schema()
+        attrs = [child_schema.attribute(c) for c in self.columns]
+        return RelationSchema(child_schema.name, attrs)
+
+    def evaluate(self, instance: Instance) -> frozenset[Row]:
+        child_schema = self.child.output_schema()
+        positions = [child_schema.position_of(c) for c in self.columns]
+        return frozenset(
+            tuple(row[p] for p in positions)
+            for row in self.child.evaluate(instance)
+        )
+
+    def children(self) -> tuple[AlgebraExpression, ...]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"π[{', '.join(self.columns)}]({self.child!r})"
+
+
+def _join_output(left: RelationSchema, right: RelationSchema) -> tuple[RelationSchema, list[str]]:
+    """Output schema of a natural join plus the list of shared columns."""
+    shared = [a.name for a in right.attributes if left.has_attribute(a.name)]
+    attrs = list(left.attributes) + [
+        a for a in right.attributes if not left.has_attribute(a.name)
+    ]
+    name = f"({left.name}⋈{right.name})"
+    return RelationSchema(name, attrs), shared
+
+
+def _merge_rows(
+    left_schema: RelationSchema,
+    right_schema: RelationSchema,
+    left_row: Row,
+    right_row: Row,
+) -> Row:
+    extra = tuple(
+        v
+        for a, v in zip(right_schema.attributes, right_row)
+        if not left_schema.has_attribute(a.name)
+    )
+    return left_row + extra
+
+
+class Join(AlgebraExpression):
+    """⋈ — natural join on shared attribute names.
+
+    ``algorithm`` is ``"hash"`` or ``"nested_loop"``; both compute the same
+    relation.  When there are no shared columns the join degenerates to a
+    cartesian product, which is what the tgd compiler relies on for
+    premises whose atoms share no variables.
+    """
+
+    __slots__ = ("left", "right", "algorithm")
+
+    def __init__(
+        self,
+        left: AlgebraExpression,
+        right: AlgebraExpression,
+        algorithm: str = "hash",
+    ) -> None:
+        if algorithm not in ("hash", "nested_loop"):
+            raise ValueError(f"unknown join algorithm {algorithm!r}")
+        self.left = left
+        self.right = right
+        self.algorithm = algorithm
+
+    def output_schema(self) -> RelationSchema:
+        schema, _ = _join_output(self.left.output_schema(), self.right.output_schema())
+        return schema
+
+    def shared_columns(self) -> list[str]:
+        _, shared = _join_output(self.left.output_schema(), self.right.output_schema())
+        return shared
+
+    def evaluate(self, instance: Instance) -> frozenset[Row]:
+        ls = self.left.output_schema()
+        rs = self.right.output_schema()
+        _, shared = _join_output(ls, rs)
+        left_rows = self.left.evaluate(instance)
+        right_rows = self.right.evaluate(instance)
+        lpos = [ls.position_of(c) for c in shared]
+        rpos = [rs.position_of(c) for c in shared]
+        out: set[Row] = set()
+        if self.algorithm == "hash":
+            index: dict[tuple[Value, ...], list[Row]] = {}
+            for rrow in right_rows:
+                index.setdefault(tuple(rrow[p] for p in rpos), []).append(rrow)
+            for lrow in left_rows:
+                key = tuple(lrow[p] for p in lpos)
+                for rrow in index.get(key, ()):
+                    out.add(_merge_rows(ls, rs, lrow, rrow))
+        else:
+            for lrow in left_rows:
+                lkey = tuple(lrow[p] for p in lpos)
+                for rrow in right_rows:
+                    if lkey == tuple(rrow[p] for p in rpos):
+                        out.add(_merge_rows(ls, rs, lrow, rrow))
+        return frozenset(out)
+
+    def children(self) -> tuple[AlgebraExpression, ...]:
+        return (self.left, self.right)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Join):
+            return NotImplemented
+        return (
+            self.left == other.left
+            and self.right == other.right
+            and self.algorithm == other.algorithm
+        )
+
+    def __hash__(self) -> int:
+        return hash((Join, self.left, self.right, self.algorithm))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ⋈[{self.algorithm}] {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Rename(AlgebraExpression):
+    """ρ — rename columns via a name → name mapping."""
+
+    child: AlgebraExpression
+    renaming: tuple[tuple[str, str], ...]
+
+    def __init__(self, child: AlgebraExpression, renaming: Mapping[str, str]) -> None:
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "renaming", tuple(sorted(renaming.items())))
+
+    def output_schema(self) -> RelationSchema:
+        mapping = dict(self.renaming)
+        child_schema = self.child.output_schema()
+        attrs = [
+            Attribute(mapping.get(a.name, a.name), a.type)
+            for a in child_schema.attributes
+        ]
+        return RelationSchema(child_schema.name, attrs)
+
+    def evaluate(self, instance: Instance) -> frozenset[Row]:
+        return self.child.evaluate(instance)
+
+    def children(self) -> tuple[AlgebraExpression, ...]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{a}→{b}" for a, b in self.renaming)
+        return f"ρ[{pairs}]({self.child!r})"
+
+
+@dataclass(frozen=True)
+class Union(AlgebraExpression):
+    """∪ — set union of two union-compatible expressions."""
+
+    left: AlgebraExpression
+    right: AlgebraExpression
+
+    def output_schema(self) -> RelationSchema:
+        ls, rs = self.left.output_schema(), self.right.output_schema()
+        if ls.attribute_names != rs.attribute_names:
+            raise ValueError(
+                f"union of incompatible schemas {ls!r} and {rs!r}"
+            )
+        return ls
+
+    def evaluate(self, instance: Instance) -> frozenset[Row]:
+        self.output_schema()
+        return self.left.evaluate(instance) | self.right.evaluate(instance)
+
+    def children(self) -> tuple[AlgebraExpression, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∪ {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Difference(AlgebraExpression):
+    """− — set difference of two union-compatible expressions."""
+
+    left: AlgebraExpression
+    right: AlgebraExpression
+
+    def output_schema(self) -> RelationSchema:
+        ls, rs = self.left.output_schema(), self.right.output_schema()
+        if ls.attribute_names != rs.attribute_names:
+            raise ValueError(f"difference of incompatible schemas {ls!r} and {rs!r}")
+        return ls
+
+    def evaluate(self, instance: Instance) -> frozenset[Row]:
+        self.output_schema()
+        return self.left.evaluate(instance) - self.right.evaluate(instance)
+
+    def children(self) -> tuple[AlgebraExpression, ...]:
+        return (self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} − {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Extend(AlgebraExpression):
+    """Add a column holding a fixed value (used for constant target columns)."""
+
+    child: AlgebraExpression
+    column: str
+    value: Value
+
+    def output_schema(self) -> RelationSchema:
+        child_schema = self.child.output_schema()
+        if child_schema.has_attribute(self.column):
+            raise ValueError(f"column {self.column!r} already present")
+        return RelationSchema(
+            child_schema.name, list(child_schema.attributes) + [Attribute(self.column)]
+        )
+
+    def evaluate(self, instance: Instance) -> frozenset[Row]:
+        return frozenset(row + (self.value,) for row in self.child.evaluate(instance))
+
+    def children(self) -> tuple[AlgebraExpression, ...]:
+        return (self.child,)
+
+    def __repr__(self) -> str:
+        return f"ext[{self.column}:={self.value!r}]({self.child!r})"
+
+
+def natural_join_all(
+    expressions: Sequence[AlgebraExpression], algorithm: str = "hash"
+) -> AlgebraExpression:
+    """Left-deep natural join of a non-empty sequence of expressions."""
+    if not expressions:
+        raise ValueError("cannot join zero expressions")
+    expr = expressions[0]
+    for nxt in expressions[1:]:
+        expr = Join(expr, nxt, algorithm=algorithm)
+    return expr
+
+
+def evaluate_to_instance(
+    expression: AlgebraExpression,
+    instance: Instance,
+    result_name: str,
+) -> Instance:
+    """Evaluate *expression* and wrap the result as a one-relation instance."""
+    from .schema import Schema  # local import to avoid cycle in module docs
+
+    out_schema = expression.output_schema().rename(result_name)
+    rows = expression.evaluate(instance)
+    return Instance(Schema([out_schema]), {result_name: rows})

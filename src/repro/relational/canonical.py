@@ -1,0 +1,132 @@
+"""Canonical forms of instances with nulls.
+
+Two exchange engines (chase vs compiled lens, two plan variants, ...)
+produce homomorphically equivalent instances whose nulls carry different
+labels.  A **canonical form** — the core with a canonical null naming —
+makes equivalence checkable by plain equality and gives deterministic
+output for serialization and diffing.
+
+``canonical_form`` computes the core and then relabels its nulls
+``⊥0, ⊥1, …``:
+
+* nulls are first ordered by an iterative *signature refinement* (which
+  relations/positions/co-occurring constants a null appears with);
+* remaining symmetric ties are broken exactly by trying every ordering of
+  the tied nulls and keeping the lexicographically smallest fact set —
+  exponential only in the largest tie group, which
+  ``max_tie_enumeration`` caps (beyond the cap the refinement order is
+  used as-is, still deterministic but only heuristically canonical, and
+  the result says so).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from .homomorphism import core as core_of
+from .instance import Instance
+from .values import LabeledNull, Value, is_null
+
+
+@dataclass(frozen=True)
+class CanonicalResult:
+    """A canonical form plus whether ties were fully resolved."""
+
+    instance: Instance
+    exact: bool
+
+
+def _signatures(instance: Instance) -> dict[Value, tuple]:
+    """Iteratively refined occurrence signatures for each null."""
+    nulls = instance.nulls()
+    signature: dict[Value, tuple] = {n: () for n in nulls}
+    for _round in range(max(1, len(nulls))):
+        updated: dict[Value, list] = {n: [] for n in nulls}
+        for fact in instance.facts():
+            for position, value in enumerate(fact.row):
+                if value in updated:
+                    context = tuple(
+                        (i, repr(v)) if not is_null(v) else (i, signature[v])
+                        for i, v in enumerate(fact.row)
+                        if v != value or i != position
+                    )
+                    updated[value].append((fact.relation, position, context))
+        new_signature = {n: tuple(sorted(map(repr, sigs))) for n, sigs in updated.items()}
+        if new_signature == signature:
+            break
+        signature = new_signature
+    return signature
+
+
+def _relabeled(instance: Instance, order: list[Value]) -> Instance:
+    mapping: dict[Value, Value] = {
+        null: LabeledNull(index) for index, null in enumerate(order)
+    }
+    return instance.map_values(mapping)
+
+
+def _fact_key(instance: Instance) -> tuple[str, ...]:
+    return tuple(sorted(repr(f) for f in instance.facts()))
+
+
+def canonical_form(
+    instance: Instance,
+    minimize: bool = True,
+    max_tie_enumeration: int = 6,
+) -> CanonicalResult:
+    """The canonical form of *instance* (see module docs).
+
+    With ``minimize`` (default) the core is taken first, so two
+    homomorphically equivalent instances get equal canonical forms
+    whenever their cores are isomorphic and ties resolve within the cap.
+    Skolem values are treated as nulls and also relabeled.
+    """
+    base = core_of(instance) if minimize else instance
+    nulls = sorted(base.nulls(), key=repr)
+    if not nulls:
+        return CanonicalResult(base, exact=True)
+
+    signature = _signatures(base)
+    groups: dict[tuple, list[Value]] = {}
+    for null in nulls:
+        groups.setdefault(signature[null], []).append(null)
+
+    ordered_groups = [groups[key] for key in sorted(groups)]
+    exact = all(len(g) <= max_tie_enumeration for g in ordered_groups)
+
+    # Choose, per tie group in signature order, the permutation that
+    # lexicographically minimizes the relabeled fact set.
+    order: list[Value] = []
+    for group in ordered_groups:
+        if len(group) == 1 or len(group) > max_tie_enumeration:
+            order.extend(sorted(group, key=repr))
+            continue
+        best_permutation = None
+        best_key = None
+        prefix = list(order)
+        for permutation in itertools.permutations(sorted(group, key=repr)):
+            candidate_order = prefix + list(permutation)
+            # Complete with remaining nulls (stable) so relabeling is total.
+            remaining = [n for n in nulls if n not in candidate_order]
+            key = _fact_key(_relabeled(base, candidate_order + remaining))
+            if best_key is None or key < best_key:
+                best_key = key
+                best_permutation = permutation
+        order.extend(best_permutation)  # type: ignore[arg-type]
+    remaining = [n for n in nulls if n not in order]
+    order.extend(remaining)
+    return CanonicalResult(_relabeled(base, order), exact=exact)
+
+
+def canonically_equal(left: Instance, right: Instance) -> bool:
+    """Equality of canonical forms — a fast, serializable equivalence proxy.
+
+    When both canonicalizations are *exact*, equality of the forms is
+    equivalent to core isomorphism (hence homomorphic equivalence); with
+    capped ties a ``False`` may be a false negative — fall back to
+    :func:`~repro.relational.homomorphism.homomorphically_equivalent`.
+    """
+    return canonical_form(left).instance.same_facts(
+        canonical_form(right).instance
+    )

@@ -1,0 +1,308 @@
+"""Integrity constraints over relational instances.
+
+The relational-lens literature (Bohannon–Pierce–Vaughan) leans on
+**functional dependencies**: the least-lossy projection update policy uses
+an FD from retained columns to a dropped column.  Data exchange uses keys
+and inclusion dependencies as *target dependencies*.  This module provides
+all three, each with a ``holds_in`` / ``violations`` API, plus FD closure
+computation (Armstrong) used by the FD update policy and the planner.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from .instance import Instance, Row
+from .schema import RelationSchema, Schema
+from .values import Value
+
+
+class Constraint(ABC):
+    """A boolean integrity constraint over instances."""
+
+    @abstractmethod
+    def holds_in(self, instance: Instance) -> bool:
+        """Whether the instance satisfies the constraint."""
+
+    @abstractmethod
+    def violations(self, instance: Instance) -> list[str]:
+        """Human-readable descriptions of each violation (empty iff holds)."""
+
+
+@dataclass(frozen=True)
+class FunctionalDependency(Constraint):
+    """``relation : determinant → dependent`` — an FD within one relation.
+
+    Example: ``FunctionalDependency("Person", ("city",), ("zipcode",))``
+    says rows agreeing on ``city`` agree on ``zipcode``.
+    """
+
+    relation: str
+    determinant: tuple[str, ...]
+    dependent: tuple[str, ...]
+
+    def __init__(
+        self,
+        relation: str,
+        determinant: Iterable[str],
+        dependent: Iterable[str],
+    ) -> None:
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "determinant", tuple(determinant))
+        object.__setattr__(self, "dependent", tuple(dependent))
+        if not self.dependent:
+            raise ValueError("functional dependency needs at least one dependent column")
+
+    def _groups(
+        self, instance: Instance
+    ) -> Iterator[tuple[tuple[Value, ...], list[Row]]]:
+        rel = instance.schema[self.relation]
+        det_pos = [rel.position_of(c) for c in self.determinant]
+        buckets: dict[tuple[Value, ...], list[Row]] = {}
+        for row in instance.rows(self.relation):
+            buckets.setdefault(tuple(row[p] for p in det_pos), []).append(row)
+        yield from buckets.items()
+
+    def holds_in(self, instance: Instance) -> bool:
+        rel = instance.schema[self.relation]
+        dep_pos = [rel.position_of(c) for c in self.dependent]
+        for _key, rows in self._groups(instance):
+            images = {tuple(r[p] for p in dep_pos) for r in rows}
+            if len(images) > 1:
+                return False
+        return True
+
+    def violations(self, instance: Instance) -> list[str]:
+        rel = instance.schema[self.relation]
+        dep_pos = [rel.position_of(c) for c in self.dependent]
+        out = []
+        for key, rows in self._groups(instance):
+            images = {tuple(r[p] for p in dep_pos) for r in rows}
+            if len(images) > 1:
+                out.append(
+                    f"FD {self!r} violated at {self.determinant}={key}: "
+                    f"dependents {sorted(map(repr, images))}"
+                )
+        return out
+
+    def lookup(self, instance: Instance) -> dict[tuple[Value, ...], tuple[Value, ...]]:
+        """Determinant → dependent map induced by the instance.
+
+        Only meaningful when the FD holds; raises otherwise.  This is the
+        table the FD update policy consults to restore dropped columns.
+        """
+        rel = instance.schema[self.relation]
+        dep_pos = [rel.position_of(c) for c in self.dependent]
+        table: dict[tuple[Value, ...], tuple[Value, ...]] = {}
+        for key, rows in self._groups(instance):
+            images = {tuple(r[p] for p in dep_pos) for r in rows}
+            if len(images) > 1:
+                raise ValueError(f"FD {self!r} does not hold; lookup undefined")
+            table[key] = next(iter(images))
+        return table
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.relation}: {{{', '.join(self.determinant)}}} → "
+            f"{{{', '.join(self.dependent)}}}"
+        )
+
+
+@dataclass(frozen=True)
+class KeyConstraint(Constraint):
+    """A key: the named columns functionally determine the whole row."""
+
+    relation: str
+    columns: tuple[str, ...]
+
+    def __init__(self, relation: str, columns: Iterable[str]) -> None:
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "columns", tuple(columns))
+        if not self.columns:
+            raise ValueError("key needs at least one column")
+
+    def as_fd(self, schema: Schema) -> FunctionalDependency:
+        """The key as an FD ``columns → (all other columns)``."""
+        rel = schema[self.relation]
+        rest = [a for a in rel.attribute_names if a not in self.columns]
+        return FunctionalDependency(self.relation, self.columns, rest or rel.attribute_names)
+
+    def holds_in(self, instance: Instance) -> bool:
+        rel = instance.schema[self.relation]
+        pos = [rel.position_of(c) for c in self.columns]
+        seen: set[tuple[Value, ...]] = set()
+        for row in instance.rows(self.relation):
+            key = tuple(row[p] for p in pos)
+            if key in seen:
+                return False
+            seen.add(key)
+        return True
+
+    def violations(self, instance: Instance) -> list[str]:
+        rel = instance.schema[self.relation]
+        pos = [rel.position_of(c) for c in self.columns]
+        counts: dict[tuple[Value, ...], int] = {}
+        for row in instance.rows(self.relation):
+            key = tuple(row[p] for p in pos)
+            counts[key] = counts.get(key, 0) + 1
+        return [
+            f"key {self!r} violated: {self.columns}={key} occurs {n} times"
+            for key, n in counts.items()
+            if n > 1
+        ]
+
+    def __repr__(self) -> str:
+        return f"key({self.relation}: {', '.join(self.columns)})"
+
+
+@dataclass(frozen=True)
+class InclusionDependency(Constraint):
+    """``R[cols] ⊆ S[cols]`` — e.g. a foreign key without uniqueness."""
+
+    child_relation: str
+    child_columns: tuple[str, ...]
+    parent_relation: str
+    parent_columns: tuple[str, ...]
+
+    def __init__(
+        self,
+        child_relation: str,
+        child_columns: Iterable[str],
+        parent_relation: str,
+        parent_columns: Iterable[str],
+    ) -> None:
+        object.__setattr__(self, "child_relation", child_relation)
+        object.__setattr__(self, "child_columns", tuple(child_columns))
+        object.__setattr__(self, "parent_relation", parent_relation)
+        object.__setattr__(self, "parent_columns", tuple(parent_columns))
+        if len(self.child_columns) != len(self.parent_columns):
+            raise ValueError("inclusion dependency column lists must have equal length")
+
+    def _missing(self, instance: Instance) -> list[tuple[Value, ...]]:
+        child = instance.schema[self.child_relation]
+        parent = instance.schema[self.parent_relation]
+        cpos = [child.position_of(c) for c in self.child_columns]
+        ppos = [parent.position_of(c) for c in self.parent_columns]
+        parent_keys = {
+            tuple(row[p] for p in ppos) for row in instance.rows(self.parent_relation)
+        }
+        return [
+            key
+            for row in instance.rows(self.child_relation)
+            if (key := tuple(row[p] for p in cpos)) not in parent_keys
+        ]
+
+    def holds_in(self, instance: Instance) -> bool:
+        return not self._missing(instance)
+
+    def violations(self, instance: Instance) -> list[str]:
+        return [
+            f"inclusion {self!r} violated: {key!r} not in "
+            f"{self.parent_relation}[{', '.join(self.parent_columns)}]"
+            for key in self._missing(instance)
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"{self.child_relation}[{', '.join(self.child_columns)}] ⊆ "
+            f"{self.parent_relation}[{', '.join(self.parent_columns)}]"
+        )
+
+
+@dataclass(frozen=True)
+class ConstraintSet(Constraint):
+    """A conjunction of constraints, checked together."""
+
+    constraints: tuple[Constraint, ...]
+
+    def __init__(self, constraints: Iterable[Constraint] = ()) -> None:
+        object.__setattr__(self, "constraints", tuple(constraints))
+
+    def holds_in(self, instance: Instance) -> bool:
+        return all(c.holds_in(instance) for c in self.constraints)
+
+    def violations(self, instance: Instance) -> list[str]:
+        out: list[str] = []
+        for c in self.constraints:
+            out.extend(c.violations(instance))
+        return out
+
+    def for_relation(self, relation_name: str) -> "ConstraintSet":
+        """The sub-set of constraints that mention only *relation_name*."""
+        kept = []
+        for c in self.constraints:
+            if isinstance(c, (FunctionalDependency, KeyConstraint)):
+                if c.relation == relation_name:
+                    kept.append(c)
+            elif isinstance(c, InclusionDependency):
+                if relation_name in (c.child_relation, c.parent_relation):
+                    kept.append(c)
+        return ConstraintSet(kept)
+
+    def functional_dependencies(self, relation_name: str | None = None) -> list[FunctionalDependency]:
+        return [
+            c
+            for c in self.constraints
+            if isinstance(c, FunctionalDependency)
+            and (relation_name is None or c.relation == relation_name)
+        ]
+
+    def __iter__(self) -> Iterator[Constraint]:
+        return iter(self.constraints)
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+
+def attribute_closure(
+    attributes: Iterable[str],
+    fds: Sequence[FunctionalDependency],
+) -> set[str]:
+    """Armstrong closure of *attributes* under *fds* (all same relation).
+
+    Returns every attribute functionally determined by the input set.  Used
+    by the FD update policy to decide whether a dropped column is
+    recoverable from the retained ones, and by the planner to find keys.
+    """
+    closure = set(attributes)
+    changed = True
+    while changed:
+        changed = False
+        for fd in fds:
+            if set(fd.determinant) <= closure and not set(fd.dependent) <= closure:
+                closure |= set(fd.dependent)
+                changed = True
+    return closure
+
+
+def implies(
+    fds: Sequence[FunctionalDependency], candidate: FunctionalDependency
+) -> bool:
+    """Whether *fds* logically imply *candidate* (Armstrong derivability)."""
+    relevant = [fd for fd in fds if fd.relation == candidate.relation]
+    closure = attribute_closure(candidate.determinant, relevant)
+    return set(candidate.dependent) <= closure
+
+
+def minimal_keys(
+    relation: RelationSchema, fds: Sequence[FunctionalDependency]
+) -> list[tuple[str, ...]]:
+    """All minimal candidate keys of *relation* under *fds*.
+
+    Exponential in arity, intended for the small schemas of exchange
+    scenarios; the planner uses it to prefer key-preserving plans.
+    """
+    from itertools import combinations
+
+    all_attrs = relation.attribute_names
+    relevant = [fd for fd in fds if fd.relation == relation.name]
+    keys: list[tuple[str, ...]] = []
+    for size in range(1, len(all_attrs) + 1):
+        for combo in combinations(all_attrs, size):
+            if any(set(k) <= set(combo) for k in keys):
+                continue
+            if attribute_closure(combo, relevant) >= set(all_attrs):
+                keys.append(combo)
+    return keys

@@ -1,0 +1,177 @@
+"""Homomorphisms between instances, cores, and universality checks.
+
+A homomorphism ``h : I → J`` maps the values of ``I`` to values of ``J``
+such that (i) ``h`` is the identity on constants and (ii) ``R(h(ā)) ∈ J``
+for every fact ``R(ā) ∈ I``.  Homomorphisms order the solution space of a
+data-exchange problem: a solution is **universal** iff it maps
+homomorphically into every other solution (Fagin–Kolaitis–Miller–Popa),
+and the **core** is the smallest universal solution.
+
+The search is backtracking over facts with a most-constrained-first
+ordering; exchange instances are small enough (hundreds of facts) that
+this is fast in practice, and the chase keeps nulls sparse.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+from .instance import Fact, Instance
+from .values import Value, is_constant, is_null
+
+Assignment = dict[Value, Value]
+
+
+def _order_facts(facts: list[Fact]) -> list[Fact]:
+    """Heuristic ordering: facts with fewer nulls first (most constrained)."""
+    return sorted(facts, key=lambda f: (sum(1 for v in f.row if is_null(v)), repr(f)))
+
+
+def _extend(
+    assignment: Assignment, source_row: tuple[Value, ...], target_row: tuple[Value, ...]
+) -> Optional[Assignment]:
+    """Try to extend *assignment* so that it maps source_row onto target_row."""
+    extended = dict(assignment)
+    for s, t in zip(source_row, target_row):
+        if is_constant(s):
+            if s != t:
+                return None
+        else:
+            bound = extended.get(s)
+            if bound is None:
+                extended[s] = t
+            elif bound != t:
+                return None
+    return extended
+
+
+def find_homomorphism(
+    source: Instance,
+    target: Instance,
+    seed: Mapping[Value, Value] | None = None,
+) -> Optional[Assignment]:
+    """A homomorphism from *source* into *target*, or ``None`` if none exists.
+
+    *seed* optionally pins some null assignments in advance (used by the
+    core algorithm to force a proper retraction).
+    """
+    facts = _order_facts(list(source.facts()))
+    # Pre-index target rows by relation for candidate generation.
+    candidates: dict[str, tuple[tuple[Value, ...], ...]] = {
+        name: tuple(target.rows(name)) if name in target.schema.relations else ()
+        for name in {f.relation for f in facts}
+    }
+
+    def search(index: int, assignment: Assignment) -> Optional[Assignment]:
+        if index == len(facts):
+            return assignment
+        fact = facts[index]
+        for target_row in candidates[fact.relation]:
+            extended = _extend(assignment, fact.row, target_row)
+            if extended is not None:
+                result = search(index + 1, extended)
+                if result is not None:
+                    return result
+        return None
+
+    initial: Assignment = dict(seed) if seed else {}
+    # A seed must itself respect constants.
+    for key, value in initial.items():
+        if is_constant(key) and key != value:
+            return None
+    return search(0, initial)
+
+
+def is_homomorphic(source: Instance, target: Instance) -> bool:
+    """Whether some homomorphism maps *source* into *target*."""
+    return find_homomorphism(source, target) is not None
+
+
+def homomorphically_equivalent(left: Instance, right: Instance) -> bool:
+    """Whether homomorphisms exist in both directions.
+
+    Homomorphic equivalence is the right notion of "same answer" for
+    comparing universal solutions produced by different engines (the chase
+    vs. a compiled lens plan): equivalent instances have the same certain
+    answers for every conjunctive query.
+    """
+    return is_homomorphic(left, right) and is_homomorphic(right, left)
+
+
+def apply_assignment(instance: Instance, assignment: Mapping[Value, Value]) -> Instance:
+    """The image of *instance* under a value mapping (identity elsewhere)."""
+    return instance.map_values(dict(assignment))
+
+
+def is_universal_for(candidate: Instance, solutions: Iterable[Instance]) -> bool:
+    """Whether *candidate* maps homomorphically into every given solution.
+
+    This is the checkable fragment of universality: a solution J is
+    universal iff it maps into *all* solutions; callers supply the
+    (finite) family of solutions they care about.
+    """
+    return all(is_homomorphic(candidate, s) for s in solutions)
+
+
+def core(instance: Instance) -> Instance:
+    """The core of *instance*: its smallest homomorphically-equivalent sub-instance.
+
+    Computed by repeatedly looking for a *proper retraction* — an
+    endomorphism whose image omits at least one fact — until none exists.
+    The core is unique up to isomorphism and is the preferred minimal
+    universal solution in data exchange (Fagin–Kolaitis–Popa 2005).
+    """
+    current = instance
+    while True:
+        retract = _proper_retraction(current)
+        if retract is None:
+            return current
+        current = apply_assignment(current, retract)
+
+
+def _proper_retraction(instance: Instance) -> Optional[Assignment]:
+    """An endomorphism of *instance* whose image drops at least one fact."""
+    facts = list(instance.facts())
+    nulls = sorted(instance.nulls(), key=repr)
+    if not nulls:
+        return None
+    # Try to fold each null onto some other value of the instance and check
+    # the fold extends to a full endomorphism with a strictly smaller image.
+    domain = sorted(instance.active_domain(), key=repr)
+    for null in nulls:
+        for other in domain:
+            if other == null:
+                continue
+            hom = find_homomorphism(instance, instance, seed={null: other})
+            if hom is None:
+                continue
+            image = apply_assignment(instance, hom)
+            if image.size() < instance.size():
+                return hom
+            # Even with equal size, folding a null away strictly reduces the
+            # null count, which guarantees progress toward the core.
+            if null in image.nulls():
+                continue
+            if len(image.nulls()) < len(instance.nulls()):
+                return hom
+    return None
+
+
+def is_core(instance: Instance) -> bool:
+    """Whether *instance* equals its own core (no proper retraction exists)."""
+    return _proper_retraction(instance) is None
+
+
+def isomorphic(left: Instance, right: Instance) -> bool:
+    """Whether the instances are isomorphic (bijective homomorphisms both ways).
+
+    Checked as: same size, and injective homomorphisms in both directions.
+    Sufficient for the finite instances used here.
+    """
+    if left.size() != right.size():
+        return False
+    fwd = find_homomorphism(left, right)
+    if fwd is None or len(set(fwd.values())) != len(fwd):
+        return False
+    bwd = find_homomorphism(right, left)
+    return bwd is not None and len(set(bwd.values())) == len(bwd)

@@ -1,0 +1,356 @@
+"""Database instances: immutable sets of facts over a schema.
+
+An :class:`Instance` maps each relation name to a frozenset of tuples of
+:mod:`repro.relational.values` values.  Instances are *set-semantics* (no
+duplicates) as in the data-exchange literature, immutable, and hashable, so
+they can serve as lens states and be compared structurally.
+
+Use :class:`InstanceBuilder` to accumulate facts, or the :func:`instance`
+shorthand for literals in tests and examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from .schema import Schema
+from .values import (
+    Constant,
+    LabeledNull,
+    SkolemValue,
+    Value,
+    constant,
+    is_constant,
+    is_null,
+)
+
+Row = tuple[Value, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Fact:
+    """A single fact ``R(v₁, …, vₙ)``: a relation name plus a row."""
+
+    relation: str
+    row: Row
+
+    def __repr__(self) -> str:
+        vals = ", ".join(repr(v) for v in self.row)
+        return f"{self.relation}({vals})"
+
+    @property
+    def arity(self) -> int:
+        return len(self.row)
+
+    def is_ground(self) -> bool:
+        """Whether the fact contains no labelled nulls or Skolem values."""
+        return all(is_constant(v) for v in self.row)
+
+
+def _coerce_row(raw: Iterable[object]) -> Row:
+    """Coerce an iterable of raw scalars / values into a row of Values."""
+    out: list[Value] = []
+    for item in raw:
+        if isinstance(item, (Constant, LabeledNull, SkolemValue)):
+            out.append(item)
+        else:
+            out.append(constant(item))
+    return tuple(out)
+
+
+class Instance:
+    """An immutable database instance over a :class:`Schema`.
+
+    Rows are validated against the schema at construction: every fact's
+    relation must exist, match the declared arity, and carry well-typed
+    constants.  Empty relations are materialized so iteration is total over
+    the schema.
+    """
+
+    __slots__ = ("_schema", "_relations", "_hash")
+
+    def __init__(
+        self,
+        schema: Schema,
+        facts: Mapping[str, Iterable[Row]] | Iterable[Fact] = (),
+    ) -> None:
+        relations: dict[str, set[Row]] = {name: set() for name in schema.relation_names}
+        if isinstance(facts, Mapping):
+            items: Iterable[tuple[str, Row]] = (
+                (name, row) for name, rows in facts.items() for row in rows
+            )
+        else:
+            items = ((f.relation, f.row) for f in facts)
+        for name, row in items:
+            if name not in schema:
+                raise KeyError(f"fact over unknown relation {name!r}")
+            rel_schema = schema[name]
+            if len(row) != rel_schema.arity:
+                raise ValueError(
+                    f"arity mismatch for {name!r}: expected {rel_schema.arity}, "
+                    f"got row of length {len(row)}"
+                )
+            row = _coerce_row(row)
+            for attr, value in zip(rel_schema.attributes, row):
+                if is_constant(value) and not attr.type.accepts(value.value):
+                    raise TypeError(
+                        f"value {value!r} is not of type {attr.type.value} "
+                        f"for {name}.{attr.name}"
+                    )
+            relations[name].add(row)
+        self._schema = schema
+        self._relations: dict[str, frozenset[Row]] = {
+            name: frozenset(rows) for name, rows in relations.items()
+        }
+        self._hash: int | None = None
+
+    @classmethod
+    def _unsafe(
+        cls, schema: Schema, relations: dict[str, frozenset[Row]]
+    ) -> "Instance":
+        """Internal fast constructor: rows are trusted to be validated.
+
+        Only for derived instances whose rows come from an already
+        validated instance over the *same* relation schemas (with_facts,
+        without_facts, map_values, restrict).  External callers must use
+        ``__init__``.
+        """
+        self = object.__new__(cls)
+        self._schema = schema
+        self._relations = relations
+        self._hash = None
+        return self
+
+    def _validated_row(self, name: str, row: Row) -> Row:
+        if name not in self._schema:
+            raise KeyError(f"fact over unknown relation {name!r}")
+        rel_schema = self._schema[name]
+        if len(row) != rel_schema.arity:
+            raise ValueError(
+                f"arity mismatch for {name!r}: expected {rel_schema.arity}, "
+                f"got row of length {len(row)}"
+            )
+        row = _coerce_row(row)
+        for attr, value in zip(rel_schema.attributes, row):
+            if is_constant(value) and not attr.type.accepts(value.value):
+                raise TypeError(
+                    f"value {value!r} is not of type {attr.type.value} "
+                    f"for {name}.{attr.name}"
+                )
+        return row
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def rows(self, relation_name: str) -> frozenset[Row]:
+        """All rows of the named relation (empty frozenset if none)."""
+        try:
+            return self._relations[relation_name]
+        except KeyError:
+            raise KeyError(f"instance has no relation {relation_name!r}") from None
+
+    def facts(self) -> Iterator[Fact]:
+        """Iterate over every fact, in deterministic (sorted) order."""
+        for name in sorted(self._relations):
+            for row in sorted(self._relations[name], key=repr):
+                yield Fact(name, row)
+
+    def relation_names(self) -> tuple[str, ...]:
+        return self._schema.relation_names
+
+    def size(self) -> int:
+        """Total number of facts."""
+        return sum(len(rows) for rows in self._relations.values())
+
+    def is_empty(self) -> bool:
+        return self.size() == 0
+
+    def __contains__(self, fact: Fact) -> bool:
+        rows = self._relations.get(fact.relation)
+        return rows is not None and fact.row in rows
+
+    def values(self) -> Iterator[Value]:
+        """Every value occurring in the instance (with repetition)."""
+        for rows in self._relations.values():
+            for row in rows:
+                yield from row
+
+    def nulls(self) -> set[Value]:
+        """The set of null-like values (labelled nulls, Skolem values)."""
+        return {v for v in self.values() if is_null(v)}
+
+    def constants(self) -> set[Constant]:
+        """The set of constants occurring in the instance."""
+        return {v for v in self.values() if is_constant(v)}
+
+    def active_domain(self) -> set[Value]:
+        """All distinct values occurring in the instance."""
+        return set(self.values())
+
+    def is_ground(self) -> bool:
+        """Whether the instance contains no nulls."""
+        return not self.nulls()
+
+    # -- algebraic construction -------------------------------------------
+
+    def with_facts(self, facts: Iterable[Fact]) -> "Instance":
+        """A new instance with *facts* added (new facts are validated)."""
+        additions: dict[str, set[Row]] = {}
+        for fact in facts:
+            row = self._validated_row(fact.relation, fact.row)
+            additions.setdefault(fact.relation, set()).add(row)
+        if not additions:
+            return self
+        relations = dict(self._relations)
+        for name, rows in additions.items():
+            relations[name] = relations[name] | rows
+        return Instance._unsafe(self._schema, relations)
+
+    def without_facts(self, facts: Iterable[Fact]) -> "Instance":
+        """A new instance with *facts* removed (missing facts are ignored)."""
+        removals: dict[str, set[Row]] = {}
+        for fact in facts:
+            removals.setdefault(fact.relation, set()).add(_coerce_row(fact.row))
+        relations = dict(self._relations)
+        changed = False
+        for name, rows in removals.items():
+            if name in relations:
+                shrunk = relations[name] - rows
+                if len(shrunk) != len(relations[name]):
+                    relations[name] = shrunk
+                    changed = True
+        if not changed:
+            return self
+        return Instance._unsafe(self._schema, relations)
+
+    def restrict(self, relation_names: Iterable[str]) -> "Instance":
+        """The sub-instance over only the named relations (schema shrinks)."""
+        names = set(relation_names)
+        sub_schema = Schema(r for r in self._schema if r.name in names)
+        return Instance._unsafe(
+            sub_schema,
+            {name: self._relations[name] for name in sub_schema.relation_names},
+        )
+
+    def cast(self, schema: Schema) -> "Instance":
+        """Re-validate this instance's facts against a different schema.
+
+        Useful when two schemas share relation shapes (e.g. after a mapping
+        operator manufactured a merged schema).
+        """
+        return Instance(schema, {n: rows for n, rows in self._relations.items() if n in schema})
+
+    def union(self, other: "Instance") -> "Instance":
+        """Fact-wise union of two instances over compatible schemas."""
+        merged_schema = self._schema.merge(other._schema)
+        return Instance(merged_schema, list(self.facts()) + list(other.facts()))
+
+    def map_values(self, mapping: Mapping[Value, Value]) -> "Instance":
+        """Apply a value substitution to every fact (identity off *mapping*)."""
+        relations = {
+            name: frozenset(
+                tuple(mapping.get(v, v) for v in row) for row in rows
+            )
+            for name, rows in self._relations.items()
+        }
+        return Instance._unsafe(self._schema, relations)
+
+    # -- comparison --------------------------------------------------------
+
+    def same_facts(self, other: "Instance") -> bool:
+        """Fact-set equality, ignoring schema object identity."""
+        names = set(self._relations) | set(other._relations)
+        return all(
+            self._relations.get(n, frozenset()) == other._relations.get(n, frozenset())
+            for n in names
+        )
+
+    def contains_instance(self, other: "Instance") -> bool:
+        """Whether every fact of *other* is a fact of ``self``."""
+        return all(
+            other._relations.get(n, frozenset()) <= self._relations.get(n, frozenset())
+            for n in other._relations
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instance):
+            return NotImplemented
+        return self._schema == other._schema and self._relations == other._relations
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(
+                (self._schema, frozenset(self._relations.items()))
+            )
+        return self._hash
+
+    def __repr__(self) -> str:
+        parts = []
+        for name in sorted(self._relations):
+            rows = self._relations[name]
+            if rows:
+                shown = ", ".join(
+                    f"{name}({', '.join(map(repr, row))})"
+                    for row in sorted(rows, key=repr)
+                )
+                parts.append(shown)
+        body = "; ".join(parts) if parts else "∅"
+        return f"⟨{body}⟩"
+
+
+class InstanceBuilder:
+    """Mutable accumulator for building an :class:`Instance`.
+
+    >>> b = InstanceBuilder(schema)
+    >>> b.add("Emp", "Alice")
+    >>> b.add("Emp", "Bob")
+    >>> inst = b.build()
+    """
+
+    def __init__(self, schema: Schema, base: Instance | None = None) -> None:
+        self._schema = schema
+        self._facts: list[Fact] = list(base.facts()) if base is not None else []
+
+    def add(self, relation_name: str, *values: object) -> "InstanceBuilder":
+        """Add the fact ``relation_name(values…)``; raw scalars are wrapped."""
+        self._facts.append(Fact(relation_name, _coerce_row(values)))
+        return self
+
+    def add_row(self, relation_name: str, row: Iterable[object]) -> "InstanceBuilder":
+        """Add a fact from an iterable row."""
+        self._facts.append(Fact(relation_name, _coerce_row(row)))
+        return self
+
+    def add_fact(self, fact: Fact) -> "InstanceBuilder":
+        self._facts.append(fact)
+        return self
+
+    def extend(self, facts: Iterable[Fact]) -> "InstanceBuilder":
+        self._facts.extend(facts)
+        return self
+
+    def build(self) -> Instance:
+        return Instance(self._schema, self._facts)
+
+
+def instance(
+    schema: Schema, facts: Mapping[str, Iterable[Iterable[Hashable]]]
+) -> Instance:
+    """Literal instance constructor with raw scalars.
+
+    >>> I = instance(s, {"Emp": [["Alice"], ["Bob"]]})
+    """
+    builder = InstanceBuilder(schema)
+    for name, rows in facts.items():
+        for row in rows:
+            builder.add_row(name, row)
+    return builder.build()
+
+
+def empty_instance(schema: Schema) -> Instance:
+    """The instance with no facts over *schema*."""
+    return Instance(schema)

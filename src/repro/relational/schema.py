@@ -1,0 +1,204 @@
+"""Relational schemas with typed attributes.
+
+A :class:`Schema` is a set of :class:`RelationSchema` objects, each naming
+its attributes and (optionally) their types.  Schemas are immutable; the
+data-exchange setting of the paper always works with a fixed *source* and
+*target* schema, and mapping operators (composition, inversion, evolution)
+manufacture new schemas from old ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Iterator, Mapping
+
+
+class AttributeType(Enum):
+    """Coarse attribute types.
+
+    ``ANY`` matches every value; the other types let schemas reject
+    obviously ill-typed constants at instance-construction time.  Labelled
+    nulls and Skolem values are well-typed at every type (they stand for an
+    unknown value of that type).
+    """
+
+    ANY = "any"
+    STRING = "string"
+    INTEGER = "integer"
+    FLOAT = "float"
+    BOOLEAN = "boolean"
+
+    def accepts(self, raw: object) -> bool:
+        """Whether a raw constant payload conforms to this type."""
+        if self is AttributeType.ANY:
+            return True
+        if self is AttributeType.STRING:
+            return isinstance(raw, str)
+        if self is AttributeType.INTEGER:
+            return isinstance(raw, int) and not isinstance(raw, bool)
+        if self is AttributeType.FLOAT:
+            return isinstance(raw, float) or (
+                isinstance(raw, int) and not isinstance(raw, bool)
+            )
+        return isinstance(raw, bool)
+
+
+@dataclass(frozen=True, slots=True)
+class Attribute:
+    """A named, typed column of a relation."""
+
+    name: str
+    type: AttributeType = AttributeType.ANY
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("attribute name must be non-empty")
+
+    def __repr__(self) -> str:
+        if self.type is AttributeType.ANY:
+            return self.name
+        return f"{self.name}:{self.type.value}"
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A relation name plus its ordered attributes.
+
+    Attribute names must be unique within the relation.  ``arity`` is the
+    number of attributes; positional access is used throughout the algebra
+    and logic layers, with names for the user-facing API.
+    """
+
+    name: str
+    attributes: tuple[Attribute, ...]
+
+    def __init__(self, name: str, attributes: Iterable[Attribute | str]) -> None:
+        attrs = tuple(
+            a if isinstance(a, Attribute) else Attribute(a) for a in attributes
+        )
+        if not name:
+            raise ValueError("relation name must be non-empty")
+        names = [a.name for a in attrs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate attribute names in relation {name!r}: {names}")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "attributes", attrs)
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.attributes)
+
+    def position_of(self, attribute_name: str) -> int:
+        """Index of the named attribute; raises ``KeyError`` if absent."""
+        for i, a in enumerate(self.attributes):
+            if a.name == attribute_name:
+                return i
+        raise KeyError(f"relation {self.name!r} has no attribute {attribute_name!r}")
+
+    def has_attribute(self, attribute_name: str) -> bool:
+        return any(a.name == attribute_name for a in self.attributes)
+
+    def attribute(self, attribute_name: str) -> Attribute:
+        return self.attributes[self.position_of(attribute_name)]
+
+    def rename(self, new_name: str) -> "RelationSchema":
+        """A copy of this relation schema under a different relation name."""
+        return RelationSchema(new_name, self.attributes)
+
+    def project(self, attribute_names: Iterable[str], name: str | None = None) -> "RelationSchema":
+        """Schema of the projection onto *attribute_names* (kept in the given order)."""
+        attrs = [self.attribute(a) for a in attribute_names]
+        return RelationSchema(name or self.name, attrs)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(repr(a) for a in self.attributes)
+        return f"{self.name}({cols})"
+
+
+@dataclass(frozen=True)
+class Schema:
+    """A database schema: a mapping from relation name to relation schema."""
+
+    relations: Mapping[str, RelationSchema] = field(default_factory=dict)
+
+    def __init__(self, relations: Iterable[RelationSchema] = ()) -> None:
+        table: dict[str, RelationSchema] = {}
+        for rel in relations:
+            if rel.name in table:
+                raise ValueError(f"duplicate relation {rel.name!r} in schema")
+            table[rel.name] = rel
+        object.__setattr__(self, "relations", dict(table))
+
+    def __contains__(self, relation_name: str) -> bool:
+        return relation_name in self.relations
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self.relations.values())
+
+    def __len__(self) -> int:
+        return len(self.relations)
+
+    def __getitem__(self, relation_name: str) -> RelationSchema:
+        try:
+            return self.relations[relation_name]
+        except KeyError:
+            raise KeyError(f"schema has no relation {relation_name!r}") from None
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(self.relations.keys())
+
+    def with_relation(self, relation: RelationSchema) -> "Schema":
+        """A new schema with *relation* added (or replaced, by name)."""
+        merged = dict(self.relations)
+        merged[relation.name] = relation
+        return Schema(merged.values())
+
+    def without_relation(self, relation_name: str) -> "Schema":
+        """A new schema with the named relation removed."""
+        if relation_name not in self.relations:
+            raise KeyError(f"schema has no relation {relation_name!r}")
+        return Schema(r for n, r in self.relations.items() if n != relation_name)
+
+    def merge(self, other: "Schema") -> "Schema":
+        """Disjoint union of two schemas; overlapping names must agree exactly."""
+        merged = dict(self.relations)
+        for name, rel in other.relations.items():
+            if name in merged and merged[name] != rel:
+                raise ValueError(
+                    f"schemas disagree on relation {name!r}: "
+                    f"{merged[name]!r} vs {rel!r}"
+                )
+            merged[name] = rel
+        return Schema(merged.values())
+
+    def is_disjoint_from(self, other: "Schema") -> bool:
+        """Whether the two schemas share no relation names."""
+        return not set(self.relations) & set(other.relations)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return dict(self.relations) == dict(other.relations)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self.relations.items()))
+
+    def __repr__(self) -> str:
+        rels = "; ".join(repr(r) for r in self.relations.values())
+        return f"Schema[{rels}]"
+
+
+def relation(name: str, *attribute_names: str) -> RelationSchema:
+    """Shorthand: ``relation("Emp", "name")`` for an untyped relation schema."""
+    return RelationSchema(name, attribute_names)
+
+
+def schema(*relations_: RelationSchema) -> Schema:
+    """Shorthand constructor for a :class:`Schema` from relation schemas."""
+    return Schema(relations_)

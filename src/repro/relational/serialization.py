@@ -1,0 +1,112 @@
+"""JSON (de)serialization of schemas and instances.
+
+Instances with labelled nulls and Skolem values round-trip: values are
+encoded as tagged objects.  The encoding is stable (sorted facts) so
+serialized instances diff cleanly, which the examples use to show
+exchanged data.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .instance import Instance, InstanceBuilder
+from .schema import Attribute, AttributeType, RelationSchema, Schema
+from .values import Constant, LabeledNull, SkolemValue, Value
+
+
+def value_to_json(value: Value) -> Any:
+    """Encode a value as a JSON-compatible object."""
+    if isinstance(value, Constant):
+        return {"const": value.value}
+    if isinstance(value, LabeledNull):
+        return {"null": value.label}
+    if isinstance(value, SkolemValue):
+        return {
+            "skolem": value.function,
+            "args": [value_to_json(a) for a in value.arguments],
+        }
+    raise TypeError(f"not a value: {value!r}")
+
+
+def value_from_json(data: Any) -> Value:
+    """Decode a value from its JSON encoding."""
+    if not isinstance(data, dict):
+        raise ValueError(f"malformed value encoding: {data!r}")
+    if "const" in data:
+        return Constant(data["const"])
+    if "null" in data:
+        return LabeledNull(int(data["null"]))
+    if "skolem" in data:
+        return SkolemValue(
+            data["skolem"], tuple(value_from_json(a) for a in data["args"])
+        )
+    raise ValueError(f"malformed value encoding: {data!r}")
+
+
+def schema_to_json(schema: Schema) -> Any:
+    """Encode a schema as a JSON-compatible object."""
+    return {
+        "relations": [
+            {
+                "name": rel.name,
+                "attributes": [
+                    {"name": a.name, "type": a.type.value} for a in rel.attributes
+                ],
+            }
+            for rel in schema
+        ]
+    }
+
+
+def schema_from_json(data: Any) -> Schema:
+    """Decode a schema from its JSON encoding."""
+    relations = []
+    for rel in data["relations"]:
+        attrs = [
+            Attribute(a["name"], AttributeType(a.get("type", "any")))
+            for a in rel["attributes"]
+        ]
+        relations.append(RelationSchema(rel["name"], attrs))
+    return Schema(relations)
+
+
+def instance_to_json(instance: Instance) -> Any:
+    """Encode an instance (schema + sorted facts)."""
+    return {
+        "schema": schema_to_json(instance.schema),
+        "facts": [
+            {"relation": f.relation, "row": [value_to_json(v) for v in f.row]}
+            for f in instance.facts()
+        ],
+    }
+
+
+def instance_from_json(data: Any) -> Instance:
+    """Decode an instance from its JSON encoding."""
+    schema = schema_from_json(data["schema"])
+    builder = InstanceBuilder(schema)
+    for fact in data["facts"]:
+        builder.add_row(fact["relation"], [value_from_json(v) for v in fact["row"]])
+    return builder.build()
+
+
+def dumps_instance(instance: Instance, indent: int | None = 2) -> str:
+    """Serialize an instance to a JSON string."""
+    return json.dumps(instance_to_json(instance), indent=indent, sort_keys=True)
+
+
+def loads_instance(text: str) -> Instance:
+    """Deserialize an instance from a JSON string."""
+    return instance_from_json(json.loads(text))
+
+
+def dumps_schema(schema: Schema, indent: int | None = 2) -> str:
+    """Serialize a schema to a JSON string."""
+    return json.dumps(schema_to_json(schema), indent=indent, sort_keys=True)
+
+
+def loads_schema(text: str) -> Schema:
+    """Deserialize a schema from a JSON string."""
+    return schema_from_json(json.loads(text))

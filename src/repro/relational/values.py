@@ -1,0 +1,157 @@
+"""Value domain for data exchange instances.
+
+Data exchange distinguishes three kinds of values:
+
+* :class:`Constant` — an ordinary database value ("Alice", 42, ...).
+  Constants are the values the certain-answer semantics may report and the
+  only values homomorphisms must preserve.
+* :class:`LabeledNull` — the paper's ``⊥ᵢ``: a placeholder invented by the
+  chase for an existentially quantified position.  Two labelled nulls are
+  interchangeable under homomorphism; a null may be mapped to any value.
+* :class:`SkolemValue` — the deterministic interpretation of a second-order
+  function term ``f(a, b)`` used when chasing SO-tgds (the output of the
+  composition algorithm).  A Skolem value behaves like a labelled null whose
+  identity is *keyed* by the function symbol and its arguments, so that the
+  SO-tgd chase is deterministic: chasing ``f(x)`` twice with the same
+  argument yields the same value.
+
+All values are immutable and hashable so that tuples, relations and
+instances can be set-valued.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Union
+
+
+@dataclass(frozen=True, slots=True)
+class Constant:
+    """An ordinary (non-null) database value.
+
+    The wrapped ``value`` may be any hashable Python scalar; strings and
+    integers are typical.  Equality and hashing delegate to the wrapped
+    value, tagged by class so a constant never collides with a null.
+    """
+
+    value: Hashable
+
+    def __repr__(self) -> str:
+        return f"{self.value!r}"
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class LabeledNull:
+    """A labelled null ``⊥ᵢ`` invented for an existential position.
+
+    ``label`` identifies the null within an instance.  Labels carry no
+    semantics beyond identity: a homomorphism may map a labelled null to any
+    other value, which is exactly what makes instances with nulls "general".
+    """
+
+    label: int
+
+    def __repr__(self) -> str:
+        return f"⊥{self.label}"
+
+    def __str__(self) -> str:
+        return f"⊥{self.label}"
+
+
+@dataclass(frozen=True, slots=True)
+class SkolemValue:
+    """The value of a Skolem function term ``f(a₁, …, aₙ)``.
+
+    Used by the SO-tgd chase: interpreting every function symbol ``f`` as
+    the free term algebra makes the chase deterministic and canonical.
+    Like a labelled null, a Skolem value is not a constant; homomorphisms
+    may map it anywhere.
+    """
+
+    function: str
+    arguments: tuple["Value", ...]
+
+    def __repr__(self) -> str:
+        args = ", ".join(repr(a) for a in self.arguments)
+        return f"{self.function}({args})"
+
+    def __str__(self) -> str:
+        return repr(self)
+
+
+Value = Union[Constant, LabeledNull, SkolemValue]
+
+
+def is_constant(value: Value) -> bool:
+    """Return ``True`` iff *value* is an ordinary constant."""
+    return isinstance(value, Constant)
+
+
+def is_null(value: Value) -> bool:
+    """Return ``True`` iff *value* is null-like (labelled null or Skolem).
+
+    This is the complement of :func:`is_constant`; both labelled nulls and
+    Skolem values may be freely re-mapped by a homomorphism.
+    """
+    return isinstance(value, (LabeledNull, SkolemValue))
+
+
+def constant(value: Hashable) -> Constant:
+    """Wrap a raw Python scalar as a :class:`Constant`.
+
+    Idempotent on values that are already :class:`Constant`, and rejects
+    nulls so callers cannot accidentally "constantify" a null.
+    """
+    if isinstance(value, Constant):
+        return value
+    if isinstance(value, (LabeledNull, SkolemValue)):
+        raise TypeError(f"cannot convert null-like value {value!r} to a constant")
+    return Constant(value)
+
+
+def constants(values: Iterable[Hashable]) -> tuple[Constant, ...]:
+    """Wrap each raw scalar in *values* as a :class:`Constant`."""
+    return tuple(constant(v) for v in values)
+
+
+class NullFactory:
+    """A thread-safe supplier of fresh labelled nulls.
+
+    Each factory owns a monotone counter.  The chase uses one factory per
+    run so the nulls it invents are fresh with respect to each other; when
+    chasing *into* an existing instance, seed the factory past the largest
+    label already in use with :meth:`reserve_through`.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self._counter = itertools.count(start)
+        self._lock = threading.Lock()
+
+    def fresh(self) -> LabeledNull:
+        """Return a labelled null never produced by this factory before."""
+        with self._lock:
+            return LabeledNull(next(self._counter))
+
+    def fresh_many(self, count: int) -> tuple[LabeledNull, ...]:
+        """Return *count* distinct fresh labelled nulls."""
+        return tuple(self.fresh() for _ in range(count))
+
+    def reserve_through(self, label: int) -> None:
+        """Ensure all future nulls have labels strictly greater than *label*."""
+        with self._lock:
+            current = next(self._counter)
+            self._counter = itertools.count(max(current, label + 1))
+
+
+def max_null_label(values: Iterable[Value]) -> int:
+    """Largest labelled-null label in *values*, or ``-1`` when none occur."""
+    best = -1
+    for value in values:
+        if isinstance(value, LabeledNull) and value.label > best:
+            best = value.label
+    return best

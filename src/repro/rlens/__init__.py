@@ -1,0 +1,78 @@
+"""Relational lenses (paper, Section 3): operators, policies, templates.
+
+Bidirectional counterparts of the relational algebra, each with
+first-class update policies, plus the template layer that separates the
+operator from its policy, and span-based symmetric relational lenses.
+"""
+
+from .base import (
+    ParallelLens,
+    RelationalIdentityLens,
+    RelationalLens,
+    ViewViolationError,
+    merge_views,
+)
+from .policies import (
+    ColumnPolicy,
+    ConstantPolicy,
+    EnvironmentPolicy,
+    FdPolicy,
+    JoinDeletePolicy,
+    NullPolicy,
+    PolicyContext,
+    PolicyError,
+    PolicyQuestion,
+    UnionSide,
+)
+from .select import SelectLens
+from .project import ProjectLens
+from .join import JoinLens
+from .union import UnionLens
+from .rename import RenameLens
+from .template import (
+    JoinTemplate,
+    LensTemplate,
+    ProjectionTemplate,
+    RenameTemplate,
+    SelectionTemplate,
+    TemplateError,
+    UnionTemplate,
+)
+from .compose import SchemaMismatchError, SequentialLens, pipeline
+from .symmetric import invert_relational, span_exchange, symmetrize
+
+__all__ = [
+    "ColumnPolicy",
+    "ConstantPolicy",
+    "EnvironmentPolicy",
+    "FdPolicy",
+    "JoinDeletePolicy",
+    "JoinLens",
+    "JoinTemplate",
+    "LensTemplate",
+    "NullPolicy",
+    "ParallelLens",
+    "PolicyContext",
+    "PolicyError",
+    "PolicyQuestion",
+    "ProjectLens",
+    "ProjectionTemplate",
+    "RelationalIdentityLens",
+    "RelationalLens",
+    "RenameLens",
+    "RenameTemplate",
+    "SchemaMismatchError",
+    "SelectLens",
+    "SelectionTemplate",
+    "SequentialLens",
+    "TemplateError",
+    "UnionLens",
+    "UnionSide",
+    "UnionTemplate",
+    "ViewViolationError",
+    "invert_relational",
+    "merge_views",
+    "pipeline",
+    "span_exchange",
+    "symmetrize",
+]

@@ -1,0 +1,77 @@
+"""Sequential composition of relational lenses, with schema checking.
+
+Bohannon–Pierce–Vaughan build view definitions as *pipelines* of
+relational lens primitives (σ ; π ; ⋈ …).  The generic
+:class:`~repro.lenses.combinators.ComposeLens` already composes the
+functions; this wrapper additionally checks at construction time that the
+first lens's view schema *is* the second's source schema — the moral
+equivalent of the typing judgement a typed host language would give the
+composition — and keeps the end-to-end schemas available for further
+composition.
+"""
+
+from __future__ import annotations
+
+from ..relational.instance import Instance
+from ..relational.schema import Schema
+from .base import RelationalLens
+
+
+class SchemaMismatchError(TypeError):
+    """The pipeline stages do not fit together."""
+
+
+class SequentialLens(RelationalLens):
+    """``first ; second`` over instances, schema-checked."""
+
+    def __init__(self, first: RelationalLens, second: RelationalLens) -> None:
+        if first.view_schema != second.source_schema:
+            raise SchemaMismatchError(
+                f"cannot compose: first lens's view schema "
+                f"{first.view_schema!r} differs from second lens's source "
+                f"schema {second.source_schema!r}"
+            )
+        self._first = first
+        self._second = second
+
+    @property
+    def first(self) -> RelationalLens:
+        return self._first
+
+    @property
+    def second(self) -> RelationalLens:
+        return self._second
+
+    @property
+    def source_schema(self) -> Schema:
+        return self._first.source_schema
+
+    @property
+    def view_schema(self) -> Schema:
+        return self._second.view_schema
+
+    def get(self, source: Instance) -> Instance:
+        return self._second.get(self._first.get(source))
+
+    def put(self, view: Instance, source: Instance) -> Instance:
+        middle = self._first.get(source)
+        return self._first.put(self._second.put(view, middle), source)
+
+    def create(self, view: Instance) -> Instance:
+        return self._first.create(self._second.create(view))
+
+    def __repr__(self) -> str:
+        return f"({self._first!r} ; {self._second!r})"
+
+
+def pipeline(*stages: RelationalLens) -> RelationalLens:
+    """Compose a non-empty sequence of relational lenses left to right.
+
+    >>> view_def = pipeline(select_lens, project_lens)
+    """
+    if not stages:
+        raise ValueError("pipeline needs at least one stage")
+    result: RelationalLens = stages[0]
+    for stage in stages[1:]:
+        result = SequentialLens(result, stage)
+    return result

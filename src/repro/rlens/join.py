@@ -1,0 +1,184 @@
+"""The join lens — bidirectional natural ⋈ with a delete-propagation policy.
+
+Following Bohannon–Pierce–Vaughan's ``join_dl`` / ``join_dr`` / ``join
+both`` templates, the lens joins two relations on their shared columns
+and pushes view changes back according to a
+:class:`~repro.rlens.policies.JoinDeletePolicy`:
+
+* inserted view rows split into a left part and a right part, inserted on
+  both sides (the view covers every column, so both parts are determined);
+* deleted view rows remove their left part (``LEFT``), their right part
+  (``RIGHT``), or both (``BOTH``);
+* the right relation is *revised* so that for every join key present in
+  the view, the right-side attributes agree with the view — which is why
+  the view must satisfy the functional dependency ``shared → right
+  attributes`` (:class:`ViewViolationError` otherwise).
+
+For well-behavedness the shared columns should be a key of the right
+relation (the foreign-key pattern); the law benchmarks exercise exactly
+that regime and also document where ``RIGHT`` deletion over-deletes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..relational.instance import Instance, Row
+from ..relational.schema import Attribute, RelationSchema, Schema
+from .base import RelationalLens, ViewViolationError
+from .policies import JoinDeletePolicy
+
+
+@dataclass(frozen=True)
+class JoinLens(RelationalLens):
+    """Natural join of ``left`` and ``right`` as a lens."""
+
+    left: RelationSchema
+    right: RelationSchema
+    view_name: str
+    delete_policy: JoinDeletePolicy = JoinDeletePolicy.LEFT
+
+    def __post_init__(self) -> None:
+        if not self.shared_columns:
+            raise ValueError(
+                f"join lens requires shared columns between {self.left.name!r} "
+                f"and {self.right.name!r}"
+            )
+
+    @property
+    def shared_columns(self) -> tuple[str, ...]:
+        return tuple(
+            a.name for a in self.right.attributes if self.left.has_attribute(a.name)
+        )
+
+    @property
+    def right_extra_columns(self) -> tuple[str, ...]:
+        return tuple(
+            a.name
+            for a in self.right.attributes
+            if not self.left.has_attribute(a.name)
+        )
+
+    @property
+    def source_schema(self) -> Schema:
+        return Schema([self.left, self.right])
+
+    @property
+    def view_schema(self) -> Schema:
+        attrs: list[Attribute] = list(self.left.attributes) + [
+            a
+            for a in self.right.attributes
+            if not self.left.has_attribute(a.name)
+        ]
+        return Schema([RelationSchema(self.view_name, attrs)])
+
+    # -- row splitting ---------------------------------------------------------
+
+    def _view_relation(self) -> RelationSchema:
+        return self.view_schema[self.view_name]
+
+    def _left_part(self, view_row: Row) -> Row:
+        view_rel = self._view_relation()
+        return tuple(
+            view_row[view_rel.position_of(a.name)] for a in self.left.attributes
+        )
+
+    def _right_part(self, view_row: Row) -> Row:
+        view_rel = self._view_relation()
+        return tuple(
+            view_row[view_rel.position_of(a.name)] for a in self.right.attributes
+        )
+
+    def _key_of_view_row(self, view_row: Row) -> Row:
+        view_rel = self._view_relation()
+        return tuple(view_row[view_rel.position_of(c)] for c in self.shared_columns)
+
+    def _key_of_right_row(self, right_row: Row) -> Row:
+        return tuple(
+            right_row[self.right.position_of(c)] for c in self.shared_columns
+        )
+
+    # -- get -----------------------------------------------------------------
+
+    def get(self, source: Instance) -> Instance:
+        self.check_source(source)
+        right_index: dict[Row, list[Row]] = {}
+        for right_row in source.rows(self.right.name):
+            right_index.setdefault(self._key_of_right_row(right_row), []).append(
+                right_row
+            )
+        extra_positions = [self.right.position_of(c) for c in self.right_extra_columns]
+        left_key_positions = [self.left.position_of(c) for c in self.shared_columns]
+        rows = set()
+        for left_row in source.rows(self.left.name):
+            key = tuple(left_row[p] for p in left_key_positions)
+            for right_row in right_index.get(key, ()):
+                rows.add(left_row + tuple(right_row[p] for p in extra_positions))
+        return Instance(self.view_schema, {self.view_name: frozenset(rows)})
+
+    # -- put -----------------------------------------------------------------
+
+    def put(self, view: Instance, source: Instance) -> Instance:
+        self.check_view(view)
+        self.check_source(source)
+        view_rows = view.rows(self.view_name)
+        self._check_view_fd(view_rows)
+
+        old_view_rows = self.get(source).rows(self.view_name)
+        removed = old_view_rows - view_rows
+        added = view_rows - old_view_rows
+
+        left_rows = set(source.rows(self.left.name))
+        right_rows = set(source.rows(self.right.name))
+
+        # Deletions, per policy.
+        for view_row in removed:
+            if self.delete_policy in (JoinDeletePolicy.LEFT, JoinDeletePolicy.BOTH):
+                left_rows.discard(self._left_part(view_row))
+            if self.delete_policy in (JoinDeletePolicy.RIGHT, JoinDeletePolicy.BOTH):
+                right_rows.discard(self._right_part(view_row))
+
+        # Insertions: both parts are determined by the view row.
+        for view_row in added:
+            left_rows.add(self._left_part(view_row))
+            right_rows.add(self._right_part(view_row))
+
+        # Revision: for keys present in the view, the right relation must
+        # agree with the view's right parts (otherwise stale right rows
+        # would resurrect old join results and break PutGet).
+        view_keys: dict[Row, Row] = {}
+        for view_row in view_rows:
+            view_keys[self._key_of_view_row(view_row)] = self._right_part(view_row)
+        revised_right = set()
+        for right_row in right_rows:
+            key = self._key_of_right_row(right_row)
+            if key in view_keys:
+                revised_right.add(view_keys[key])
+            else:
+                revised_right.add(right_row)
+
+        return Instance(
+            self.source_schema,
+            {
+                self.left.name: frozenset(left_rows),
+                self.right.name: frozenset(revised_right),
+            },
+        )
+
+    def _check_view_fd(self, view_rows: frozenset[Row]) -> None:
+        seen: dict[Row, Row] = {}
+        for view_row in view_rows:
+            key = self._key_of_view_row(view_row)
+            right_part = self._right_part(view_row)
+            if key in seen and seen[key] != right_part:
+                raise ViewViolationError(
+                    f"join view violates FD {self.shared_columns} → right "
+                    f"attributes at key {key!r}"
+                )
+            seen[key] = right_part
+
+    def __repr__(self) -> str:
+        return (
+            f"({self.left.name} ⋈ {self.right.name})"
+            f"[{self.delete_policy.value}]"
+        )

@@ -1,0 +1,226 @@
+"""Update policies for relational lens templates (paper, Section 3).
+
+For the projection lens the paper enumerates the choices for populating a
+dropped column ``c`` when a new row is added to the view:
+
+* "Always use a null value"            → :class:`NullPolicy`
+* "Always use a constant value"        → :class:`ConstantPolicy`
+* "Always insert an environment value" → :class:`EnvironmentPolicy`
+* "Use a functional dependency c′ → c" → :class:`FdPolicy`
+  (the least lossy, "but requires the presence of a functional dependency
+  to operate")
+
+"Each of these choices of update policy is equally valid based on the
+requirements of the user and the available data" — so policies are
+first-class objects, separate from the lens operators, and templates ask
+for them via :class:`PolicyQuestion` "user gestures".
+
+Join and union templates need *propagation* policies instead —
+:class:`JoinDeletePolicy` and :class:`UnionSide`.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from ..relational.constraints import FunctionalDependency
+from ..relational.instance import Instance
+from ..relational.schema import Attribute
+from ..relational.values import Constant, NullFactory, Value, constant
+
+
+class PolicyError(ValueError):
+    """A policy could not produce a value (e.g. FD lookup failed, no fallback)."""
+
+
+@dataclass
+class PolicyContext:
+    """What a column policy may consult when filling a value.
+
+    ``old_source`` is the pre-update source instance (the complement the
+    lens carries); ``environment`` is the external-information channel the
+    paper mentions ("environment information, domain policy, or other
+    sources ... inaccessible to the current formal treatment");
+    ``null_factory`` supplies fresh labelled nulls.
+    """
+
+    old_source: Instance
+    environment: Mapping[str, object] = field(default_factory=dict)
+    null_factory: NullFactory = field(default_factory=NullFactory)
+
+
+class ColumnPolicy(ABC):
+    """Decides the value of one dropped column for one inserted view row."""
+
+    @abstractmethod
+    def fill(
+        self,
+        view_row: Mapping[str, Value],
+        column: Attribute,
+        relation_name: str,
+        context: PolicyContext,
+    ) -> Value:
+        """The value for *column* of the new source row.
+
+        *view_row* maps the retained attribute names to the inserted
+        view row's values.
+        """
+
+    def describe(self) -> str:
+        """One-line human description (used by ``show_plan``)."""
+        return repr(self)
+
+
+@dataclass(frozen=True)
+class NullPolicy(ColumnPolicy):
+    """Fill with a fresh labelled null — the 'know nothing' choice.
+
+    This is exactly what the chase does for an existential position, so a
+    projection template instantiated with null policies reproduces
+    chase-style exchange.
+    """
+
+    def fill(self, view_row, column, relation_name, context: PolicyContext) -> Value:
+        return context.null_factory.fresh()
+
+    def describe(self) -> str:
+        return "fill with fresh labelled null"
+
+    def __repr__(self) -> str:
+        return "NullPolicy()"
+
+
+@dataclass(frozen=True)
+class ConstantPolicy(ColumnPolicy):
+    """Fill with a fixed constant (e.g. a domain default)."""
+
+    value: Constant
+
+    def __init__(self, value: object) -> None:
+        object.__setattr__(
+            self, "value", value if isinstance(value, Constant) else constant(value)
+        )
+
+    def fill(self, view_row, column, relation_name, context: PolicyContext) -> Value:
+        return self.value
+
+    def describe(self) -> str:
+        return f"fill with constant {self.value!r}"
+
+    def __repr__(self) -> str:
+        return f"ConstantPolicy({self.value!r})"
+
+
+@dataclass(frozen=True)
+class EnvironmentPolicy(ColumnPolicy):
+    """Fill from the environment, e.g. "the current time or user".
+
+    ``key`` selects an entry of :attr:`PolicyContext.environment`;
+    ``transform`` optionally post-processes it.  Deterministic given the
+    context, which keeps lens-law checking meaningful.
+    """
+
+    key: str
+    transform: Callable[[object], object] | None = None
+
+    def fill(self, view_row, column, relation_name, context: PolicyContext) -> Value:
+        if self.key not in context.environment:
+            raise PolicyError(
+                f"environment has no entry {self.key!r} for column {column.name!r}"
+            )
+        raw = context.environment[self.key]
+        if self.transform is not None:
+            raw = self.transform(raw)
+        return constant(raw)
+
+    def describe(self) -> str:
+        return f"fill from environment[{self.key!r}]"
+
+    def __repr__(self) -> str:
+        return f"EnvironmentPolicy({self.key!r})"
+
+
+@dataclass(frozen=True)
+class FdPolicy(ColumnPolicy):
+    """Restore the column through a functional dependency ``c′ → c``.
+
+    The FD's determinant must be retained columns; the policy looks the
+    dropped value up in the *old source* (the original relational-lens
+    treatment: "the least lossy" option).  When the determinant values
+    were never seen, falls back to *fallback* (default: a fresh null).
+    """
+
+    fd: FunctionalDependency
+    fallback: ColumnPolicy = field(default_factory=NullPolicy)
+
+    def fill(
+        self,
+        view_row: Mapping[str, Value],
+        column: Attribute,
+        relation_name: str,
+        context: PolicyContext,
+    ) -> Value:
+        if list(self.fd.dependent) != [column.name]:
+            raise PolicyError(
+                f"FD {self.fd!r} does not determine column {column.name!r}"
+            )
+        missing = [c for c in self.fd.determinant if c not in view_row]
+        if missing:
+            raise PolicyError(
+                f"FD determinant columns {missing} are not retained in the view"
+            )
+        key = tuple(view_row[c] for c in self.fd.determinant)
+        table = self.fd.lookup(context.old_source)
+        if key in table:
+            return table[key][0]
+        return self.fallback.fill(view_row, column, relation_name, context)
+
+    def describe(self) -> str:
+        det = ", ".join(self.fd.determinant)
+        return f"restore via FD {{{det}}} → {self.fd.dependent[0]}"
+
+    def __repr__(self) -> str:
+        return f"FdPolicy({self.fd!r})"
+
+
+class JoinDeletePolicy(enum.Enum):
+    """Where a deletion against a join view propagates (paper, Section 3:
+    "the join and union lens templates must have update policies
+    specifying whether updates are propagated to the left or right
+    inputs, or to both")."""
+
+    LEFT = "delete_left"
+    RIGHT = "delete_right"
+    BOTH = "delete_both"
+
+
+class UnionSide(enum.Enum):
+    """Which input of a union receives inserted view rows."""
+
+    LEFT = "left"
+    RIGHT = "right"
+
+
+@dataclass(frozen=True)
+class PolicyQuestion:
+    """A user gesture the template needs answered before it becomes a lens.
+
+    This realizes the paper's §4 requirement: "a reasonable mapping of
+    relational lens template parameters to user gestures — for instance,
+    giving the user an understandable way to dictate through which inputs
+    an update to a join should propagate."
+    """
+
+    slot: str
+    question: str
+    options: tuple[str, ...]
+    default: str
+
+    def __repr__(self) -> str:
+        opts = ", ".join(
+            f"*{o}*" if o == self.default else o for o in self.options
+        )
+        return f"{self.slot}: {self.question} [{opts}]"

@@ -1,0 +1,136 @@
+"""The projection lens — bidirectional π with pluggable column policies.
+
+``get`` projects onto the retained columns.  ``put`` keeps every source
+row whose projection survives in the view, deletes the rest, and for view
+rows with no pre-image builds a new source row, filling each dropped
+column through its :class:`~repro.rlens.policies.ColumnPolicy` — the
+paper's null / constant / environment / functional-dependency menu.
+
+The lens is well-behaved for every policy (PutGet and GetPut hold by
+construction); PutPut generally fails — e.g. with the null policy two
+successive puts invent different nulls — which is the expected
+"well-behaved but not very-well-behaved" status of relational lenses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..relational.instance import Instance, Row
+from ..relational.schema import RelationSchema, Schema
+from ..relational.values import NullFactory, Value, max_null_label
+from .base import RelationalLens
+from .policies import ColumnPolicy, NullPolicy, PolicyContext, PolicyError
+
+
+@dataclass(frozen=True)
+class ProjectLens(RelationalLens):
+    """π[kept] over one relation, with per-dropped-column policies.
+
+    ``policies`` maps each dropped column name to its policy; omitted
+    columns default to :class:`NullPolicy`.  ``environment`` is handed to
+    policies through :class:`PolicyContext` (for
+    :class:`~repro.rlens.policies.EnvironmentPolicy`).
+    """
+
+    relation: RelationSchema
+    kept: tuple[str, ...]
+    view_name: str
+    policies: Mapping[str, ColumnPolicy] = field(default_factory=dict)
+    environment: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for column in self.kept:
+            self.relation.position_of(column)  # raises on unknown columns
+        for column in self.policies:
+            if column in self.kept:
+                raise ValueError(f"policy given for retained column {column!r}")
+            self.relation.position_of(column)
+
+    @property
+    def dropped(self) -> tuple[str, ...]:
+        return tuple(
+            a for a in self.relation.attribute_names if a not in self.kept
+        )
+
+    def policy_for(self, column: str) -> ColumnPolicy:
+        return self.policies.get(column, NullPolicy())
+
+    @property
+    def source_schema(self) -> Schema:
+        return Schema([self.relation])
+
+    @property
+    def view_schema(self) -> Schema:
+        return Schema([self.relation.project(self.kept, self.view_name)])
+
+    # -- get -----------------------------------------------------------------
+
+    def get(self, source: Instance) -> Instance:
+        self.check_source(source)
+        positions = [self.relation.position_of(c) for c in self.kept]
+        rows = frozenset(
+            tuple(row[p] for p in positions)
+            for row in source.rows(self.relation.name)
+        )
+        return Instance(self.view_schema, {self.view_name: rows})
+
+    # -- put -----------------------------------------------------------------
+
+    def put(self, view: Instance, source: Instance) -> Instance:
+        self.check_view(view)
+        self.check_source(source)
+        positions = [self.relation.position_of(c) for c in self.kept]
+        view_rows = view.rows(self.view_name)
+
+        kept_source_rows = []
+        covered: set[Row] = set()
+        for row in source.rows(self.relation.name):
+            projection = tuple(row[p] for p in positions)
+            if projection in view_rows:
+                kept_source_rows.append(row)
+                covered.add(projection)
+
+        context = PolicyContext(
+            old_source=source,
+            environment=self.environment,
+            null_factory=self._null_factory(source, view),
+        )
+        created = [
+            self._build_row(view_row, context)
+            for view_row in sorted(view_rows - covered, key=repr)
+        ]
+        return Instance(
+            self.source_schema,
+            {self.relation.name: frozenset(kept_source_rows) | frozenset(created)},
+        )
+
+    def _null_factory(self, source: Instance, view: Instance) -> NullFactory:
+        factory = NullFactory()
+        factory.reserve_through(
+            max(max_null_label(source.values()), max_null_label(view.values()))
+        )
+        return factory
+
+    def _build_row(self, view_row: Row, context: PolicyContext) -> Row:
+        named = dict(zip(self.kept, view_row))
+        values: list[Value] = []
+        for attribute in self.relation.attributes:
+            if attribute.name in named:
+                values.append(named[attribute.name])
+            else:
+                policy = self.policy_for(attribute.name)
+                try:
+                    values.append(
+                        policy.fill(named, attribute, self.relation.name, context)
+                    )
+                except PolicyError:
+                    raise
+        return tuple(values)
+
+    def __repr__(self) -> str:
+        policy_text = ", ".join(
+            f"{c}←{self.policy_for(c).describe()}" for c in self.dropped
+        )
+        return f"π[{', '.join(self.kept)}]({self.relation.name}; {policy_text})"

@@ -1,0 +1,75 @@
+"""The rename lens — a bijective ρ on relation and column names.
+
+Renaming is the one relational operator whose lens is an isomorphism:
+``put`` ignores the old source entirely.  Used by the compiler to align
+tgd variable names with target attribute names, and by the channels
+package as the lens image of the RenameColumn/RenameTable primitives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..relational.instance import Instance
+from ..relational.schema import Attribute, RelationSchema, Schema
+from .base import RelationalLens
+
+
+@dataclass(frozen=True)
+class RenameLens(RelationalLens):
+    """Rename a relation and/or some of its columns."""
+
+    relation: RelationSchema
+    view_name: str
+    column_renaming: tuple[tuple[str, str], ...] = ()
+
+    def __init__(
+        self,
+        relation: RelationSchema,
+        view_name: str,
+        column_renaming: Mapping[str, str] | None = None,
+    ) -> None:
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "view_name", view_name)
+        renaming = tuple(sorted((column_renaming or {}).items()))
+        for old, _new in renaming:
+            relation.position_of(old)  # raises on unknown column
+        object.__setattr__(self, "column_renaming", renaming)
+
+    @property
+    def source_schema(self) -> Schema:
+        return Schema([self.relation])
+
+    @property
+    def view_schema(self) -> Schema:
+        mapping = dict(self.column_renaming)
+        attrs = [
+            Attribute(mapping.get(a.name, a.name), a.type)
+            for a in self.relation.attributes
+        ]
+        return Schema([RelationSchema(self.view_name, attrs)])
+
+    def get(self, source: Instance) -> Instance:
+        self.check_source(source)
+        return Instance(
+            self.view_schema, {self.view_name: source.rows(self.relation.name)}
+        )
+
+    def put(self, view: Instance, source: Instance) -> Instance:
+        self.check_view(view)
+        return Instance(
+            self.source_schema, {self.relation.name: view.rows(self.view_name)}
+        )
+
+    def inverse(self) -> "RenameLens":
+        """Renames are isomorphisms; the inverse swaps the two names."""
+        inverse_columns = {new: old for old, new in self.column_renaming}
+        return RenameLens(
+            self.view_schema[self.view_name], self.relation.name, inverse_columns
+        )
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{a}→{b}" for a, b in self.column_renaming)
+        suffix = f"; {cols}" if cols else ""
+        return f"ρ[{self.relation.name}→{self.view_name}{suffix}]"

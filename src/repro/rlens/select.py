@@ -1,0 +1,70 @@
+"""The selection lens — bidirectional σ.
+
+``get`` keeps the rows satisfying the predicate.  ``put`` replaces the
+satisfying portion of the source with the view and keeps the rest: rows
+the predicate hides are untouched by view edits.  The pushed-back view
+must itself satisfy the predicate (otherwise PutGet would be violated),
+enforced with :class:`~repro.rlens.base.ViewViolationError`.
+
+The selection lens is *very well behaved* (PutPut holds): its complement
+— the non-satisfying rows — is never modified by puts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..relational.algebra import Predicate
+from ..relational.instance import Instance
+from ..relational.schema import RelationSchema, Schema
+from .base import RelationalLens, ViewViolationError
+
+
+@dataclass(frozen=True)
+class SelectLens(RelationalLens):
+    """σ[predicate] as a lens; view relation is named *view_name*."""
+
+    relation: RelationSchema
+    predicate: Predicate
+    view_name: str
+
+    @property
+    def source_schema(self) -> Schema:
+        return Schema([self.relation])
+
+    @property
+    def view_schema(self) -> Schema:
+        return Schema([self.relation.rename(self.view_name)])
+
+    def get(self, source: Instance) -> Instance:
+        self.check_source(source)
+        rows = frozenset(
+            row
+            for row in source.rows(self.relation.name)
+            if self.predicate.evaluate(self.relation, row)
+        )
+        return Instance(self.view_schema, {self.view_name: rows})
+
+    def put(self, view: Instance, source: Instance) -> Instance:
+        self.check_view(view)
+        self.check_source(source)
+        view_rows = view.rows(self.view_name)
+        offenders = [
+            row for row in view_rows if not self.predicate.evaluate(self.relation, row)
+        ]
+        if offenders:
+            raise ViewViolationError(
+                f"view rows violate selection predicate {self.predicate!r}: "
+                f"{offenders[:3]!r}"
+            )
+        hidden = frozenset(
+            row
+            for row in source.rows(self.relation.name)
+            if not self.predicate.evaluate(self.relation, row)
+        )
+        return Instance(
+            self.source_schema, {self.relation.name: hidden | view_rows}
+        )
+
+    def __repr__(self) -> str:
+        return f"σ[{self.predicate!r}]({self.relation.name})"

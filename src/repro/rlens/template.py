@@ -1,0 +1,241 @@
+"""Relational-lens templates: operator families missing their update policy.
+
+"One can equally consider a relational lens template as a way to describe
+a family of potential lenses corresponding to a specific relational
+operator but missing its update policy" (paper, Section 3).  A template
+knows which :class:`~repro.rlens.policies.PolicyQuestion` gestures it
+needs answered ("what do I do with this extra column", "through which
+inputs should an update to a join propagate") and instantiates to a
+concrete lens once answers are supplied; unanswered slots fall back to
+documented defaults.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..relational.algebra import Predicate
+from ..relational.schema import RelationSchema
+from .base import RelationalLens
+from .join import JoinLens
+from .policies import (
+    ColumnPolicy,
+    ConstantPolicy,
+    JoinDeletePolicy,
+    NullPolicy,
+    PolicyQuestion,
+    UnionSide,
+)
+from .project import ProjectLens
+from .rename import RenameLens
+from .select import SelectLens
+from .union import UnionLens
+
+
+class TemplateError(ValueError):
+    """An answer did not fit its slot (wrong type / unknown option)."""
+
+
+class LensTemplate(ABC):
+    """A lens family awaiting its update-policy answers."""
+
+    @abstractmethod
+    def policy_questions(self) -> list[PolicyQuestion]:
+        """The user gestures this template needs (may be empty)."""
+
+    @abstractmethod
+    def instantiate(self, answers: Mapping[str, object] | None = None) -> RelationalLens:
+        """Bind answers (falling back to defaults) and build the lens."""
+
+    def default_answers(self) -> dict[str, str]:
+        """The default option of every question."""
+        return {q.slot: q.default for q in self.policy_questions()}
+
+
+@dataclass(frozen=True)
+class ProjectionTemplate(LensTemplate):
+    """π missing the policy for each dropped column.
+
+    One question per dropped column; answers are
+    :class:`~repro.rlens.policies.ColumnPolicy` objects (or the string
+    ``"null"`` for the default).
+    """
+
+    relation: RelationSchema
+    kept: tuple[str, ...]
+    view_name: str
+    environment: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def dropped(self) -> tuple[str, ...]:
+        return tuple(a for a in self.relation.attribute_names if a not in self.kept)
+
+    def policy_questions(self) -> list[PolicyQuestion]:
+        return [
+            PolicyQuestion(
+                slot=f"column:{column}",
+                question=(
+                    f"what do I do with the extra column "
+                    f"{self.relation.name}.{column} when a view row is added?"
+                ),
+                options=("null", "constant", "environment", "fd"),
+                default="null",
+            )
+            for column in self.dropped
+        ]
+
+    def instantiate(self, answers: Mapping[str, object] | None = None) -> ProjectLens:
+        answers = dict(answers or {})
+        policies: dict[str, ColumnPolicy] = {}
+        for column in self.dropped:
+            answer = answers.pop(f"column:{column}", "null")
+            policies[column] = _coerce_column_policy(answer, column)
+        if answers:
+            raise TemplateError(f"unknown answer slots: {sorted(answers)}")
+        return ProjectLens(
+            self.relation, self.kept, self.view_name, policies, self.environment
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ProjectionTemplate(π[{', '.join(self.kept)}]{self.relation.name}; "
+            f"?{', ?'.join(self.dropped) if self.dropped else '∅'})"
+        )
+
+
+def _coerce_column_policy(answer: object, column: str) -> ColumnPolicy:
+    if isinstance(answer, ColumnPolicy):
+        return answer
+    if answer == "null":
+        return NullPolicy()
+    if isinstance(answer, str) and answer.startswith("constant:"):
+        return ConstantPolicy(answer.split(":", 1)[1])
+    raise TemplateError(
+        f"column {column!r} needs a ColumnPolicy object or 'null'/'constant:<v>'; "
+        f"got {answer!r}"
+    )
+
+
+@dataclass(frozen=True)
+class JoinTemplate(LensTemplate):
+    """⋈ missing its delete-propagation policy."""
+
+    left: RelationSchema
+    right: RelationSchema
+    view_name: str
+
+    def policy_questions(self) -> list[PolicyQuestion]:
+        return [
+            PolicyQuestion(
+                slot="delete_propagation",
+                question=(
+                    f"when a row leaves the {self.view_name} join view, which "
+                    f"input loses its row?"
+                ),
+                options=("left", "right", "both"),
+                default="left",
+            )
+        ]
+
+    def instantiate(self, answers: Mapping[str, object] | None = None) -> JoinLens:
+        answers = dict(answers or {})
+        raw = answers.pop("delete_propagation", "left")
+        if answers:
+            raise TemplateError(f"unknown answer slots: {sorted(answers)}")
+        policy = _coerce_enum(raw, JoinDeletePolicy, {
+            "left": JoinDeletePolicy.LEFT,
+            "right": JoinDeletePolicy.RIGHT,
+            "both": JoinDeletePolicy.BOTH,
+        })
+        return JoinLens(self.left, self.right, self.view_name, policy)
+
+    def __repr__(self) -> str:
+        return f"JoinTemplate({self.left.name} ⋈ {self.right.name}; ?delete)"
+
+
+@dataclass(frozen=True)
+class UnionTemplate(LensTemplate):
+    """∪ missing its insertion-side policy."""
+
+    left: RelationSchema
+    right: RelationSchema
+    view_name: str
+
+    def policy_questions(self) -> list[PolicyQuestion]:
+        return [
+            PolicyQuestion(
+                slot="insert_side",
+                question=(
+                    f"when a row is added to the {self.view_name} union view, "
+                    f"which input receives it?"
+                ),
+                options=("left", "right"),
+                default="left",
+            )
+        ]
+
+    def instantiate(self, answers: Mapping[str, object] | None = None) -> UnionLens:
+        answers = dict(answers or {})
+        raw = answers.pop("insert_side", "left")
+        if answers:
+            raise TemplateError(f"unknown answer slots: {sorted(answers)}")
+        side = _coerce_enum(raw, UnionSide, {
+            "left": UnionSide.LEFT,
+            "right": UnionSide.RIGHT,
+        })
+        return UnionLens(self.left, self.right, self.view_name, side)
+
+    def __repr__(self) -> str:
+        return f"UnionTemplate({self.left.name} ∪ {self.right.name}; ?insert)"
+
+
+@dataclass(frozen=True)
+class SelectionTemplate(LensTemplate):
+    """σ — fully determined; no policy questions."""
+
+    relation: RelationSchema
+    predicate: Predicate
+    view_name: str
+
+    def policy_questions(self) -> list[PolicyQuestion]:
+        return []
+
+    def instantiate(self, answers: Mapping[str, object] | None = None) -> SelectLens:
+        if answers:
+            raise TemplateError(f"selection takes no answers; got {sorted(answers)}")
+        return SelectLens(self.relation, self.predicate, self.view_name)
+
+    def __repr__(self) -> str:
+        return f"SelectionTemplate(σ[{self.predicate!r}]{self.relation.name})"
+
+
+@dataclass(frozen=True)
+class RenameTemplate(LensTemplate):
+    """ρ — an isomorphism; no policy questions."""
+
+    relation: RelationSchema
+    view_name: str
+    column_renaming: tuple[tuple[str, str], ...] = ()
+
+    def policy_questions(self) -> list[PolicyQuestion]:
+        return []
+
+    def instantiate(self, answers: Mapping[str, object] | None = None) -> RenameLens:
+        if answers:
+            raise TemplateError(f"rename takes no answers; got {sorted(answers)}")
+        return RenameLens(self.relation, self.view_name, dict(self.column_renaming))
+
+    def __repr__(self) -> str:
+        return f"RenameTemplate({self.relation.name}→{self.view_name})"
+
+
+def _coerce_enum(raw: object, enum_type: type, names: Mapping[str, object]) -> object:
+    if isinstance(raw, enum_type):
+        return raw
+    if isinstance(raw, str) and raw in names:
+        return names[raw]
+    raise TemplateError(
+        f"expected one of {sorted(names)} or a {enum_type.__name__}; got {raw!r}"
+    )

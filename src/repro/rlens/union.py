@@ -1,0 +1,76 @@
+"""The union lens — bidirectional ∪ with an insertion-side policy.
+
+``get`` unions two same-shape relations.  ``put`` deletes removed view
+rows from both inputs (a row absent from the view may not survive in
+either) and inserts new view rows into the side chosen by the
+:class:`~repro.rlens.policies.UnionSide` policy — the union analogue of
+the paper's "through which inputs should an update propagate" question.
+
+Well-behaved for both policies.  PutPut holds only when re-inserted rows
+land back on the side they came from: a delete followed by a re-insert
+routes the row to the policy side, so the "which input held this row"
+complement information can shift — the union analogue of the projection
+lens's null-freshness PutPut failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..relational.instance import Instance
+from ..relational.schema import RelationSchema, Schema
+from .base import RelationalLens
+from .policies import UnionSide
+
+
+@dataclass(frozen=True)
+class UnionLens(RelationalLens):
+    """``left ∪ right`` as a lens; inserted rows go to *insert_side*."""
+
+    left: RelationSchema
+    right: RelationSchema
+    view_name: str
+    insert_side: UnionSide = UnionSide.LEFT
+
+    def __post_init__(self) -> None:
+        if self.left.arity != self.right.arity:
+            raise ValueError(
+                f"union inputs must have equal arity: {self.left!r} vs {self.right!r}"
+            )
+        if self.left.name == self.right.name:
+            raise ValueError("union inputs must be distinct relations")
+
+    @property
+    def source_schema(self) -> Schema:
+        return Schema([self.left, self.right])
+
+    @property
+    def view_schema(self) -> Schema:
+        return Schema([self.left.rename(self.view_name)])
+
+    def get(self, source: Instance) -> Instance:
+        self.check_source(source)
+        rows = source.rows(self.left.name) | source.rows(self.right.name)
+        return Instance(self.view_schema, {self.view_name: rows})
+
+    def put(self, view: Instance, source: Instance) -> Instance:
+        self.check_view(view)
+        self.check_source(source)
+        view_rows = view.rows(self.view_name)
+        left_rows = source.rows(self.left.name) & view_rows
+        right_rows = source.rows(self.right.name) & view_rows
+        missing = view_rows - (left_rows | right_rows)
+        if self.insert_side is UnionSide.LEFT:
+            left_rows = left_rows | missing
+        else:
+            right_rows = right_rows | missing
+        return Instance(
+            self.source_schema,
+            {self.left.name: left_rows, self.right.name: right_rows},
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"({self.left.name} ∪ {self.right.name})"
+            f"[insert→{self.insert_side.value}]"
+        )

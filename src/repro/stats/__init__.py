@@ -1,0 +1,5 @@
+"""Statistics gathering for the mapping planner."""
+
+from .statistics import RelationStatistics, Statistics
+
+__all__ = ["RelationStatistics", "Statistics"]

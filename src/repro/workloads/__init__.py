@@ -1,0 +1,49 @@
+"""Synthetic workloads: named scenarios and seeded random generators."""
+
+from .scenarios import (
+    ALL_SCENARIOS,
+    Scenario,
+    all_scenarios,
+    emp_manager_scenario,
+    enrollment_lower_scenario,
+    enrollment_scenario,
+    father_mother_scenario,
+    finance_scenario,
+    hospital_scenario,
+    hr_scenario,
+    manager_boss_scenario,
+    person_scenario,
+)
+from .generators import (
+    ViewEdit,
+    apply_edits,
+    random_exchange_setting,
+    random_instance,
+    random_mapping,
+    random_schema,
+    random_view_edits,
+    random_words,
+)
+
+__all__ = [
+    "ALL_SCENARIOS",
+    "Scenario",
+    "ViewEdit",
+    "all_scenarios",
+    "apply_edits",
+    "emp_manager_scenario",
+    "enrollment_lower_scenario",
+    "enrollment_scenario",
+    "father_mother_scenario",
+    "finance_scenario",
+    "hospital_scenario",
+    "hr_scenario",
+    "manager_boss_scenario",
+    "person_scenario",
+    "random_exchange_setting",
+    "random_instance",
+    "random_mapping",
+    "random_schema",
+    "random_view_edits",
+    "random_words",
+]

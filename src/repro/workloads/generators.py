@@ -1,0 +1,200 @@
+"""Seeded random generators: schemas, mappings, instances, edit workloads.
+
+The paper has no datasets, so every experiment runs on synthetic
+workloads.  Everything here is driven by a ``random.Random`` seed for
+reproducibility; the benchmarks print their seeds.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..logic.formulas import Atom, Conjunction
+from ..logic.terms import Var
+from ..mapping.sttgd import SchemaMapping, StTgd
+from ..relational.instance import Fact, Instance, InstanceBuilder
+from ..relational.schema import RelationSchema, Schema
+from ..relational.values import constant
+
+
+def random_schema(
+    rng: random.Random,
+    n_relations: int = 3,
+    min_arity: int = 1,
+    max_arity: int = 4,
+    prefix: str = "R",
+) -> Schema:
+    """A random schema with *n_relations* relations of bounded arity."""
+    relations = []
+    for index in range(n_relations):
+        arity = rng.randint(min_arity, max_arity)
+        relations.append(
+            RelationSchema(
+                f"{prefix}{index}", [f"c{j}" for j in range(arity)]
+            )
+        )
+    return Schema(relations)
+
+
+def random_instance(
+    schema: Schema,
+    rng: random.Random,
+    rows_per_relation: int = 10,
+    value_pool_size: int = 20,
+) -> Instance:
+    """A random ground instance drawing values from a small shared pool.
+
+    A small pool makes joins non-empty, which is what exchange workloads
+    need; enlarge ``value_pool_size`` for sparser data.
+    """
+    pool = [f"v{k}" for k in range(value_pool_size)]
+    builder = InstanceBuilder(schema)
+    for rel in schema:
+        for _ in range(rows_per_relation):
+            builder.add_row(rel.name, [rng.choice(pool) for _ in rel.attributes])
+    return builder.build()
+
+
+def random_mapping(
+    source: Schema,
+    target: Schema,
+    rng: random.Random,
+    n_tgds: int = 3,
+    max_premise_atoms: int = 2,
+    existential_probability: float = 0.4,
+) -> SchemaMapping:
+    """A random GLAV-style mapping between two schemas.
+
+    Each tgd has 1..*max_premise_atoms* source atoms sharing variables
+    (so the premise is connected) and one target atom whose positions are
+    exported premise variables or, with *existential_probability*, fresh
+    existentials.  This is the family the completeness benchmark sweeps.
+    """
+    source_relations = list(source)
+    target_relations = list(target)
+    tgds = []
+    for t_index in range(n_tgds):
+        n_atoms = rng.randint(1, max_premise_atoms)
+        variables: list[Var] = []
+        atoms: list[Atom] = []
+        counter = 0
+        for a_index in range(n_atoms):
+            rel = rng.choice(source_relations)
+            terms = []
+            for _ in range(rel.arity):
+                # Reuse an existing variable half the time to connect atoms.
+                if variables and rng.random() < 0.5:
+                    terms.append(rng.choice(variables))
+                else:
+                    fresh = Var(f"x{t_index}_{counter}")
+                    counter += 1
+                    variables.append(fresh)
+                    terms.append(fresh)
+            atoms.append(Atom(rel.name, tuple(terms)))
+        # Make sure multi-atom premises are connected: link atom i to atom 0
+        # by replacing its first term with a variable of atom 0 when needed.
+        if len(atoms) > 1:
+            anchor_vars = list(atoms[0].variables())
+            for i in range(1, len(atoms)):
+                if not set(atoms[i].variables()) & set(anchor_vars):
+                    terms = list(atoms[i].terms)
+                    terms[0] = rng.choice(anchor_vars)
+                    atoms[i] = Atom(atoms[i].relation, tuple(terms))
+        premise_vars = list(
+            dict.fromkeys(v for atom in atoms for v in atom.variables())
+        )
+        target_rel = rng.choice(target_relations)
+        conclusion_terms = []
+        for position in range(target_rel.arity):
+            if rng.random() < existential_probability or not premise_vars:
+                conclusion_terms.append(Var(f"y{t_index}_{position}"))
+            else:
+                conclusion_terms.append(rng.choice(premise_vars))
+        tgds.append(
+            StTgd(
+                Conjunction(atoms),
+                Conjunction([Atom(target_rel.name, tuple(conclusion_terms))]),
+            )
+        )
+    return SchemaMapping(source, target, tgds)
+
+
+def random_exchange_setting(
+    seed: int,
+    n_source_relations: int = 3,
+    n_target_relations: int = 2,
+    n_tgds: int = 3,
+    rows_per_relation: int = 10,
+) -> tuple[SchemaMapping, Instance]:
+    """A complete random setting: mapping plus a source instance."""
+    rng = random.Random(seed)
+    source = random_schema(rng, n_source_relations, prefix="S")
+    target = random_schema(rng, n_target_relations, prefix="T")
+    mapping = random_mapping(source, target, rng, n_tgds)
+    inst = random_instance(source, rng, rows_per_relation)
+    return mapping, inst
+
+
+@dataclass(frozen=True)
+class ViewEdit:
+    """One edit against a view instance: insert or delete a fact."""
+
+    kind: str  # "insert" | "delete"
+    fact: Fact
+
+    def apply(self, view: Instance) -> Instance:
+        if self.kind == "insert":
+            return view.with_facts([self.fact])
+        return view.without_facts([self.fact])
+
+    def __repr__(self) -> str:
+        sign = "+" if self.kind == "insert" else "−"
+        return f"{sign}{self.fact!r}"
+
+
+def random_view_edits(
+    view: Instance,
+    rng: random.Random,
+    n_edits: int = 5,
+    insert_probability: float = 0.5,
+    fresh_prefix: str = "new",
+) -> list[ViewEdit]:
+    """A random edit workload against *view*.
+
+    Deletions pick existing facts; insertions build fresh all-constant
+    rows (new entities arriving in the view), which is the interesting
+    case for update policies.
+    """
+    edits: list[ViewEdit] = []
+    existing = list(view.facts())
+    counter = 0
+    for _ in range(n_edits):
+        if existing and rng.random() >= insert_probability:
+            fact = existing.pop(rng.randrange(len(existing)))
+            edits.append(ViewEdit("delete", fact))
+        else:
+            rel = rng.choice(list(view.schema))
+            row = tuple(
+                constant(f"{fresh_prefix}{counter}_{i}") for i in range(rel.arity)
+            )
+            counter += 1
+            edits.append(ViewEdit("insert", Fact(rel.name, row)))
+    return edits
+
+
+def apply_edits(view: Instance, edits: Sequence[ViewEdit]) -> Instance:
+    """Apply an edit workload to a view instance."""
+    for edit in edits:
+        view = edit.apply(view)
+    return view
+
+
+def random_words(rng: random.Random, count: int, length: int = 6) -> list[str]:
+    """Random lower-case identifiers (for value pools and names)."""
+    return [
+        "".join(rng.choice(string.ascii_lowercase) for _ in range(length))
+        for _ in range(count)
+    ]

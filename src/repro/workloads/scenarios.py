@@ -1,0 +1,300 @@
+"""Named exchange scenarios: the paper's examples plus motivating domains.
+
+Each scenario packages a source schema, a target schema, the mapping
+between them, a sample source instance and (where meaningful) constraint
+and hint material.  The paper's own examples appear verbatim —
+Person1/Person2 (introduction), Emp/Manager (Example 1), Manager →
+Boss/SelfMngr (Example 2), Father/Mother → Parent (Example 3), the
+Takes/Student/Assgn/Enrollment diagram (Figure 1) — alongside the HR,
+hospital and finance settings its introduction gestures at ("as anyone
+who has written a financial or healthcare application may attest").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..mapping.sttgd import SchemaMapping
+from ..relational.constraints import FunctionalDependency
+from ..relational.instance import Instance, instance
+from ..relational.schema import Schema, relation, schema
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A packaged data-exchange setting."""
+
+    name: str
+    source: Schema
+    target: Schema
+    mapping: SchemaMapping
+    sample: Instance
+    fds: tuple[FunctionalDependency, ...] = field(default_factory=tuple)
+    description: str = ""
+
+    def __repr__(self) -> str:
+        return f"Scenario({self.name}: {len(self.mapping.tgds)} tgds)"
+
+
+def person_scenario() -> Scenario:
+    """The introduction's Person1 → Person2 example.
+
+    ``Person1(Id, Name, Age, City) → Person2(Id, Name, Salary, ZipCode)``:
+    id and name carry over; salary and zipcode are the paper's open policy
+    questions (nulls? functions of other columns?).  The FD city → zipcode
+    over an auxiliary ``CityZip`` relation makes the FD policy exercisable.
+    """
+    source = schema(
+        relation("Person1", "id", "name", "age", "city"),
+        relation("CityZip", "city", "zipcode"),
+    )
+    target = schema(relation("Person2", "id", "name", "salary", "zipcode"))
+    mapping = SchemaMapping.parse(
+        source,
+        target,
+        """
+        Person1(i, n, a, c), CityZip(c, z) -> exists s . Person2(i, n, s, z)
+        """,
+    )
+    sample = instance(
+        source,
+        {
+            "Person1": [
+                [1, "Alice", 34, "Springfield"],
+                [2, "Bob", 41, "Shelbyville"],
+                [3, "Carol", 29, "Springfield"],
+            ],
+            "CityZip": [["Springfield", "49001"], ["Shelbyville", "49002"]],
+        },
+    )
+    fds = (FunctionalDependency("Person1", ("city",), ("zipcode",)),)
+    return Scenario(
+        "person",
+        source,
+        target,
+        mapping,
+        sample,
+        fds,
+        "introduction's Person1/Person2 exchange with a city→zip lookup",
+    )
+
+
+def emp_manager_scenario() -> Scenario:
+    """Example 1: ``Emp(x) → ∃y Manager(x, y)``."""
+    source = schema(relation("Emp", "name"))
+    target = schema(relation("Manager", "emp", "mgr"))
+    mapping = SchemaMapping.parse(
+        source, target, "Emp(x) -> exists y . Manager(x, y)"
+    )
+    sample = instance(source, {"Emp": [["Alice"], ["Bob"]]})
+    return Scenario(
+        "emp_manager", source, target, mapping, sample,
+        description="Example 1: every employee has some manager",
+    )
+
+
+def manager_boss_scenario() -> Scenario:
+    """Example 2's second mapping: Manager → Boss / SelfMngr."""
+    source = schema(relation("Manager", "emp", "mgr"))
+    target = schema(relation("Boss", "emp", "boss"), relation("SelfMngr", "emp"))
+    mapping = SchemaMapping.parse(
+        source,
+        target,
+        """
+        Manager(x, y) -> Boss(x, y)
+        Manager(x, x) -> SelfMngr(x)
+        """,
+    )
+    sample = instance(
+        source, {"Manager": [["Alice", "Ted"], ["Ted", "Ted"]]}
+    )
+    return Scenario(
+        "manager_boss", source, target, mapping, sample,
+        description="Example 2: the composition partner mapping",
+    )
+
+
+def father_mother_scenario() -> Scenario:
+    """Example 3: Father/Mother → Parent (the non-invertible mapping)."""
+    source = schema(
+        relation("Father", "parent", "child"), relation("Mother", "parent", "child")
+    )
+    target = schema(relation("Parent", "parent", "child"))
+    mapping = SchemaMapping.parse(
+        source,
+        target,
+        """
+        Father(x, y) -> Parent(x, y)
+        Mother(x, y) -> Parent(x, y)
+        """,
+    )
+    sample = instance(source, {"Father": [["Leslie", "Alice"]]})
+    return Scenario(
+        "father_mother", source, target, mapping, sample,
+        description="Example 3: inversion loses the Father/Mother distinction",
+    )
+
+
+def enrollment_scenario() -> Scenario:
+    """Figure 1: both correspondence diagrams as one two-way pair.
+
+    The upper diagram maps ``Takes`` into ``Student``/``Assgn``; the lower
+    maps ``Student``/``Assgn`` into ``Enrollment``.  This scenario is the
+    upper mapping; :func:`enrollment_lower_scenario` is the lower one.
+    """
+    source = schema(relation("Takes", "student", "course"))
+    target = schema(
+        relation("Student", "sid", "name"), relation("Assgn", "student", "course")
+    )
+    mapping = SchemaMapping.parse(
+        source,
+        target,
+        "Takes(x, y) -> exists z . Student(z, x), Assgn(x, y)",
+    )
+    sample = instance(
+        source, {"Takes": [["ann", "databases"], ["bob", "compilers"]]}
+    )
+    return Scenario(
+        "enrollment_upper", source, target, mapping, sample,
+        description="Figure 1, upper diagram",
+    )
+
+
+def enrollment_lower_scenario() -> Scenario:
+    """Figure 1, lower diagram: Student ⋈ Assgn → Enrollment."""
+    source = schema(
+        relation("Student", "sid", "name"), relation("Assgn", "student", "course")
+    )
+    target = schema(relation("Enrollment", "sid", "course"))
+    mapping = SchemaMapping.parse(
+        source,
+        target,
+        "Student(x, y), Assgn(y, z) -> Enrollment(x, z)",
+    )
+    sample = instance(
+        source,
+        {
+            "Student": [[101, "ann"], [102, "bob"]],
+            "Assgn": [["ann", "databases"], ["bob", "compilers"]],
+        },
+    )
+    return Scenario(
+        "enrollment_lower", source, target, mapping, sample,
+        description="Figure 1, lower diagram",
+    )
+
+
+def hr_scenario() -> Scenario:
+    """An HR directory exchange: employees + departments → directory + org chart."""
+    source = schema(
+        relation("Employee", "eid", "name", "dept", "salary"),
+        relation("Department", "dept", "head", "site"),
+    )
+    target = schema(
+        relation("Directory", "eid", "name", "site"),
+        relation("OrgChart", "eid", "head"),
+    )
+    mapping = SchemaMapping.parse(
+        source,
+        target,
+        """
+        Employee(e, n, d, s), Department(d, h, l) -> Directory(e, n, l)
+        Employee(e, n, d, s), Department(d, h, l) -> OrgChart(e, h)
+        """,
+    )
+    sample = instance(
+        source,
+        {
+            "Employee": [
+                [1, "Alice", "eng", 120],
+                [2, "Bob", "eng", 110],
+                [3, "Carol", "sales", 90],
+            ],
+            "Department": [["eng", "Dana", "Berlin"], ["sales", "Eve", "Lisbon"]],
+        },
+    )
+    fds = (FunctionalDependency("Department", ("dept",), ("site",)),)
+    return Scenario(
+        "hr", source, target, mapping, sample, fds,
+        "HR directory sync: join-shaped premises, two target relations",
+    )
+
+
+def hospital_scenario() -> Scenario:
+    """A healthcare exchange: patients + admissions → charts + ward census."""
+    source = schema(
+        relation("Patient", "pid", "name", "ward"),
+        relation("Admission", "pid", "doctor", "day"),
+    )
+    target = schema(
+        relation("Chart", "pid", "name", "doctor"),
+        relation("WardCensus", "ward", "pid"),
+    )
+    mapping = SchemaMapping.parse(
+        source,
+        target,
+        """
+        Patient(p, n, w), Admission(p, d, t) -> Chart(p, n, d)
+        Patient(p, n, w) -> WardCensus(w, p)
+        """,
+    )
+    sample = instance(
+        source,
+        {
+            "Patient": [[7, "Ines", "W1"], [8, "Joao", "W2"]],
+            "Admission": [[7, "Dr.K", "mon"], [8, "Dr.L", "tue"]],
+        },
+    )
+    return Scenario(
+        "hospital", source, target, mapping, sample,
+        description="healthcare exchange from the introduction's motivation",
+    )
+
+
+def finance_scenario() -> Scenario:
+    """A finance exchange: accounts + transactions → statements + branch book."""
+    source = schema(
+        relation("Account", "acct", "owner", "branch"),
+        relation("Txn", "txn", "acct", "amount"),
+    )
+    target = schema(
+        relation("Statement", "owner", "txn", "amount"),
+        relation("BranchBook", "branch", "acct"),
+    )
+    mapping = SchemaMapping.parse(
+        source,
+        target,
+        """
+        Account(a, o, b), Txn(t, a, m) -> Statement(o, t, m)
+        Account(a, o, b) -> BranchBook(b, a)
+        """,
+    )
+    sample = instance(
+        source,
+        {
+            "Account": [["A1", "ann", "north"], ["A2", "bob", "south"]],
+            "Txn": [["T1", "A1", 100], ["T2", "A1", -40], ["T3", "A2", 7]],
+        },
+    )
+    return Scenario(
+        "finance", source, target, mapping, sample,
+        description="financial exchange from the introduction's motivation",
+    )
+
+
+ALL_SCENARIOS = (
+    person_scenario,
+    emp_manager_scenario,
+    manager_boss_scenario,
+    father_mother_scenario,
+    enrollment_scenario,
+    enrollment_lower_scenario,
+    hr_scenario,
+    hospital_scenario,
+    finance_scenario,
+)
+
+
+def all_scenarios() -> list[Scenario]:
+    """Instantiate every named scenario."""
+    return [factory() for factory in ALL_SCENARIOS]

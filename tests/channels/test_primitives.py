@@ -1,0 +1,177 @@
+"""Tests for schema-evolution primitives."""
+
+import pytest
+
+from repro.channels import (
+    AddColumn,
+    AddTable,
+    DropColumn,
+    DropTable,
+    EvolutionError,
+    RenameColumn,
+    RenameTable,
+    apply_all,
+    evolution_mapping,
+    migrate,
+)
+from repro.mapping import universal_solution
+from repro.relational import (
+    LabeledNull,
+    constant,
+    instance,
+    relation,
+    schema,
+)
+from repro.relational.schema import Attribute
+
+
+@pytest.fixture
+def base():
+    s = schema(relation("Emp", "name", "dept"), relation("Dept", "dept"))
+    inst = instance(
+        s, {"Emp": [["ann", "eng"]], "Dept": [["eng"]]}
+    )
+    return s, inst
+
+
+class TestAddColumn:
+    def test_schema(self, base):
+        s, _ = base
+        out = AddColumn("Emp", Attribute("phone")).apply_schema(s)
+        assert out["Emp"].attribute_names == ("name", "dept", "phone")
+
+    def test_instance_with_default(self, base):
+        _, inst = base
+        out = AddColumn("Emp", Attribute("phone"), constant("n/a")).apply_instance(inst)
+        assert (constant("ann"), constant("eng"), constant("n/a")) in out.rows("Emp")
+
+    def test_instance_without_default_gets_nulls(self, base):
+        _, inst = base
+        out = AddColumn("Emp", Attribute("phone")).apply_instance(inst)
+        (row,) = out.rows("Emp")
+        assert isinstance(row[2], LabeledNull)
+
+    def test_duplicate_column_rejected(self, base):
+        s, _ = base
+        with pytest.raises(EvolutionError):
+            AddColumn("Emp", Attribute("name")).apply_schema(s)
+
+    def test_as_mapping_exchanges(self, base):
+        s, inst = base
+        primitive = AddColumn("Emp", Attribute("phone"), constant("n/a"))
+        mapping = primitive.as_mapping(s)
+        out = universal_solution(mapping, inst)
+        assert out.same_facts(primitive.apply_instance(inst))
+
+    def test_not_lossy(self):
+        assert not AddColumn("Emp", Attribute("x")).is_lossy()
+
+
+class TestDropColumn:
+    def test_schema(self, base):
+        s, _ = base
+        out = DropColumn("Emp", "dept").apply_schema(s)
+        assert out["Emp"].attribute_names == ("name",)
+
+    def test_instance(self, base):
+        _, inst = base
+        out = DropColumn("Emp", "dept").apply_instance(inst)
+        assert out.rows("Emp") == {(constant("ann"),)}
+
+    def test_cannot_drop_only_column(self, base):
+        s, _ = base
+        with pytest.raises(EvolutionError):
+            DropColumn("Dept", "dept").apply_schema(s)
+
+    def test_is_lossy(self):
+        assert DropColumn("Emp", "dept").is_lossy()
+
+    def test_as_mapping(self, base):
+        s, inst = base
+        mapping = DropColumn("Emp", "dept").as_mapping(s)
+        out = universal_solution(mapping, inst)
+        assert out.rows("Emp") == {(constant("ann"),)}
+
+
+class TestRenames:
+    def test_rename_column(self, base):
+        s, inst = base
+        primitive = RenameColumn("Emp", "dept", "unit")
+        out_schema = primitive.apply_schema(s)
+        assert out_schema["Emp"].attribute_names == ("name", "unit")
+        out = primitive.apply_instance(inst)
+        assert out.rows("Emp") == inst.rows("Emp")
+
+    def test_rename_column_conflict_rejected(self, base):
+        s, _ = base
+        with pytest.raises(EvolutionError):
+            RenameColumn("Emp", "dept", "name").apply_schema(s)
+
+    def test_rename_table(self, base):
+        s, inst = base
+        primitive = RenameTable("Emp", "Staff")
+        out = primitive.apply_instance(inst)
+        assert "Staff" in out.schema
+        assert out.rows("Staff") == inst.rows("Emp")
+
+    def test_rename_table_conflict_rejected(self, base):
+        s, _ = base
+        with pytest.raises(EvolutionError):
+            RenameTable("Emp", "Dept").apply_schema(s)
+
+
+class TestTables:
+    def test_add_table(self, base):
+        s, inst = base
+        primitive = AddTable(relation("Audit", "who", "what"))
+        out = primitive.apply_instance(inst)
+        assert "Audit" in out.schema
+        assert out.rows("Audit") == frozenset()
+
+    def test_add_existing_rejected(self, base):
+        s, _ = base
+        with pytest.raises(EvolutionError):
+            AddTable(relation("Emp", "x")).apply_schema(s)
+
+    def test_drop_table(self, base):
+        _, inst = base
+        out = DropTable("Dept").apply_instance(inst)
+        assert "Dept" not in out.schema
+        assert len(out.rows("Emp")) == 1
+
+    def test_drop_missing_rejected(self, base):
+        s, _ = base
+        with pytest.raises(EvolutionError):
+            DropTable("Nope").apply_schema(s)
+
+
+class TestSequences:
+    def test_apply_all_and_migrate(self, base):
+        s, inst = base
+        primitives = [
+            RenameTable("Emp", "Staff"),
+            AddColumn("Staff", Attribute("phone"), constant("?")),
+            DropColumn("Staff", "dept"),
+        ]
+        out_schema = apply_all(primitives, s)
+        assert out_schema["Staff"].attribute_names == ("name", "phone")
+        out = migrate(primitives, inst)
+        assert out.rows("Staff") == {(constant("ann"), constant("?"))}
+
+    def test_evolution_mapping_matches_migration(self, base):
+        s, inst = base
+        primitives = [
+            RenameTable("Emp", "Staff"),
+            AddColumn("Staff", Attribute("phone"), constant("?")),
+        ]
+        mapping = evolution_mapping(primitives, s)
+        from repro.relational import homomorphically_equivalent
+
+        chased = universal_solution(mapping, inst)
+        migrated = migrate(primitives, inst)
+        assert homomorphically_equivalent(chased, migrated.cast(mapping.target))
+
+    def test_empty_evolution_rejected(self, base):
+        s, _ = base
+        with pytest.raises(EvolutionError):
+            evolution_mapping([], s)

@@ -1,0 +1,181 @@
+"""Tests for propagating evolution primitives through mappings (channels)."""
+
+import pytest
+
+from repro.channels import (
+    AddColumn,
+    AddTable,
+    DropColumn,
+    DropTable,
+    RenameColumn,
+    RenameTable,
+    migrate,
+    propagate_all,
+    propagate_primitive,
+)
+from repro.mapping import SchemaMapping, universal_solution
+from repro.relational import (
+    constant,
+    homomorphically_equivalent,
+    instance,
+    relation,
+    schema,
+)
+from repro.relational.schema import Attribute
+
+
+@pytest.fixture
+def hr():
+    source = schema(
+        relation("Employee", "eid", "name", "dept"),
+        relation("Department", "dept", "site"),
+    )
+    target = schema(relation("Directory", "eid", "name", "site"))
+    mapping = SchemaMapping.parse(
+        source,
+        target,
+        "Employee(e, n, d), Department(d, l) -> Directory(e, n, l)",
+    )
+    inst = instance(
+        source,
+        {
+            "Employee": [[1, "ann", "eng"]],
+            "Department": [["eng", "berlin"]],
+        },
+    )
+    return mapping, inst
+
+
+class TestRenamePropagation:
+    def test_rename_table_rewrites_premises(self, hr):
+        mapping, inst = hr
+        result = propagate_primitive(mapping, RenameTable("Employee", "Staff"))
+        assert "Staff" in result.mapping.source
+        premise_rels = result.mapping.tgds[0].source_relations()
+        assert "Staff" in premise_rels and "Employee" not in premise_rels
+        migrated = RenameTable("Employee", "Staff").apply_instance(inst)
+        out = universal_solution(result.mapping, migrated)
+        assert out.rows("Directory") == {
+            (constant(1), constant("ann"), constant("berlin"))
+        }
+
+    def test_rename_column_is_schema_only(self, hr):
+        mapping, inst = hr
+        result = propagate_primitive(
+            mapping, RenameColumn("Employee", "name", "full_name")
+        )
+        assert result.mapping.source["Employee"].has_attribute("full_name")
+        assert result.mapping.tgds == mapping.tgds
+        assert result.induced == []
+
+
+class TestAddColumnPropagation:
+    def test_premise_atom_gains_fresh_variable(self, hr):
+        mapping, inst = hr
+        result = propagate_primitive(
+            mapping, AddColumn("Employee", Attribute("phone"))
+        )
+        atom = next(
+            a
+            for a in result.mapping.tgds[0].premise.atoms()
+            if a.relation == "Employee"
+        )
+        assert atom.arity == 4
+        migrated = AddColumn(
+            "Employee", Attribute("phone"), constant("123")
+        ).apply_instance(inst)
+        out = universal_solution(result.mapping, migrated)
+        assert len(out.rows("Directory")) == 1
+
+
+class TestDropColumnPropagation:
+    def test_unexported_column_drop_is_silent(self, hr):
+        mapping, inst = hr
+        # Employee.dept is exported only via the join, not to the target;
+        # dropping Employee.name (exported) vs dept differs.
+        result = propagate_primitive(mapping, DropColumn("Department", "site"))
+        # site was exported to Directory.site: induced drop on target.
+        assert any("Directory" in repr(p) for p in result.induced)
+        assert result.mapping.target["Directory"].attribute_names == ("eid", "name")
+
+    def test_induced_drop_produces_consistent_exchange(self, hr):
+        mapping, inst = hr
+        primitive = DropColumn("Department", "site")
+        result = propagate_primitive(mapping, primitive)
+        migrated = primitive.apply_instance(inst)
+        out = universal_solution(result.mapping, migrated)
+        assert out.rows("Directory") == {(constant(1), constant("ann"))}
+
+    def test_without_target_propagation_position_becomes_existential(self, hr):
+        mapping, inst = hr
+        primitive = DropColumn("Department", "site")
+        result = propagate_primitive(mapping, primitive, propagate_to_target=False)
+        tgd = result.mapping.tgds[0]
+        assert len(tgd.existential_variables) == 1
+        assert result.notes  # information loss is reported
+
+    def test_join_column_drop_disconnects_premise(self, hr):
+        mapping, inst = hr
+        # Dropping Employee.dept removes the join variable from Employee's
+        # atom; d survives in Department's atom so nothing is orphaned.
+        result = propagate_primitive(mapping, DropColumn("Employee", "dept"))
+        assert result.induced == []
+        migrated = DropColumn("Employee", "dept").apply_instance(inst)
+        out = universal_solution(result.mapping, migrated)
+        # The join became a product: ann pairs with every department.
+        assert len(out.rows("Directory")) == 1
+
+
+class TestTablePropagation:
+    def test_drop_table_removes_tgds(self, hr):
+        mapping, _ = hr
+        result = propagate_primitive(mapping, DropTable("Employee"))
+        assert result.mapping.tgds == ()
+        assert result.notes
+
+    def test_add_table_is_schema_only(self, hr):
+        mapping, _ = hr
+        result = propagate_primitive(
+            mapping, AddTable(relation("Audit", "who"))
+        )
+        assert "Audit" in result.mapping.source
+        assert len(result.mapping.tgds) == 1
+
+
+class TestPropagateAll:
+    def test_sequence_accumulates(self, hr):
+        mapping, inst = hr
+        primitives = [
+            RenameTable("Employee", "Staff"),
+            AddColumn("Staff", Attribute("phone")),
+            DropColumn("Department", "site"),
+        ]
+        result = propagate_all(mapping, primitives)
+        assert len(result.induced) == 1
+        migrated = migrate(
+            [
+                RenameTable("Employee", "Staff"),
+                AddColumn("Staff", Attribute("phone"), constant("?")),
+                DropColumn("Department", "site"),
+            ],
+            inst,
+        )
+        out = universal_solution(result.mapping, migrated)
+        assert out.rows("Directory") == {(constant(1), constant("ann"))}
+
+    def test_agrees_with_invert_compose_route(self, hr):
+        """E9's core claim: the two Figure-2 routes agree."""
+        from repro.channels import evolution_mapping
+        from repro.mapping import evolve_source
+
+        mapping, inst = hr
+        primitives = [RenameTable("Employee", "Staff")]
+        # Route (a): invert the evolution mapping, compose, execute.
+        evo_mapping = evolution_mapping(primitives, mapping.source)
+        evolved = evolve_source(mapping, evo_mapping)
+        migrated = migrate(primitives, inst)
+        via_operators = evolved.exchange(migrated)
+        # Route (b): propagate the primitive through the mapping.
+        propagated = propagate_all(mapping, primitives)
+        via_channels = universal_solution(propagated.mapping, migrated)
+        assert homomorphically_equivalent(via_operators, via_channels)

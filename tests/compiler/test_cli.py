@@ -1,0 +1,167 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.relational import (
+    instance,
+    instance_to_json,
+    loads_instance,
+    relation,
+    schema,
+    schema_to_json,
+)
+
+
+@pytest.fixture
+def files(tmp_path):
+    source = schema(relation("Emp", "name"))
+    target = schema(relation("Manager", "emp", "mgr"))
+    schemas_file = tmp_path / "schemas.json"
+    schemas_file.write_text(
+        json.dumps(
+            {"source": schema_to_json(source), "target": schema_to_json(target)}
+        )
+    )
+    mapping_file = tmp_path / "mapping.tgd"
+    mapping_file.write_text(
+        "# Example 1\nEmp(x) -> exists y . Manager(x, y)\n"
+    )
+    data_file = tmp_path / "source.json"
+    data = instance(source, {"Emp": [["Alice"], ["Bob"]]})
+    data_file.write_text(json.dumps(instance_to_json(data)))
+    return tmp_path, schemas_file, mapping_file, data_file, source, target
+
+
+def run(argv):
+    return main([str(a) for a in argv])
+
+
+class TestPlanAndQuestions:
+    def test_plan_prints_tree(self, files, capsys):
+        _, schemas, mapping, *_ = files
+        assert run(["plan", "--schemas", schemas, "--mapping", mapping]) == 0
+        out = capsys.readouterr().out
+        assert "forward (get)" in out
+        assert "Scan Emp" in out
+
+    def test_questions(self, files, capsys):
+        _, schemas, mapping, *_ = files
+        assert run(["questions", "--schemas", schemas, "--mapping", mapping]) == 0
+        out = capsys.readouterr().out
+        assert "fully determined" in out or "•" in out
+
+
+class TestExchange:
+    def test_exchange_to_stdout(self, files, capsys):
+        _, schemas, mapping, data, *_ = files
+        code = run(
+            ["exchange", "--schemas", schemas, "--mapping", mapping, "--data", data]
+        )
+        assert code == 0
+        restored = loads_instance(capsys.readouterr().out)
+        assert len(restored.rows("Manager")) == 2
+
+    def test_exchange_to_file(self, files, capsys):
+        tmp, schemas, mapping, data, *_ = files
+        out_file = tmp / "target.json"
+        code = run(
+            [
+                "exchange",
+                "--schemas", schemas,
+                "--mapping", mapping,
+                "--data", data,
+                "--out", out_file,
+            ]
+        )
+        assert code == 0
+        restored = loads_instance(out_file.read_text())
+        assert len(restored.rows("Manager")) == 2
+
+    def test_chase_agrees_with_exchange(self, files, capsys):
+        _, schemas, mapping, data, *_ = files
+        run(["exchange", "--schemas", schemas, "--mapping", mapping, "--data", data])
+        exchanged = loads_instance(capsys.readouterr().out)
+        run(["chase", "--schemas", schemas, "--mapping", mapping, "--data", data])
+        chased = loads_instance(capsys.readouterr().out)
+        from repro.relational import homomorphically_equivalent
+
+        assert homomorphically_equivalent(exchanged, chased)
+
+
+class TestPut:
+    def test_round_trip(self, files, capsys, tmp_path):
+        tmp, schemas, mapping, data, source, target = files
+        # Exchange, drop Bob's manager fact, push back.
+        run(["exchange", "--schemas", schemas, "--mapping", mapping, "--data", data])
+        view = loads_instance(capsys.readouterr().out)
+        kept = [f for f in view.facts() if repr(f.row[0]) != "'Bob'"]
+        from repro.relational import Instance
+
+        edited_file = tmp / "edited.json"
+        edited_file.write_text(
+            json.dumps(instance_to_json(Instance(view.schema, kept)))
+        )
+        code = run(
+            [
+                "put",
+                "--schemas", schemas,
+                "--mapping", mapping,
+                "--data", data,
+                "--view", edited_file,
+            ]
+        )
+        assert code == 0
+        new_source = loads_instance(capsys.readouterr().out)
+        names = {repr(r[0]) for r in new_source.rows("Emp")}
+        assert names == {"'Alice'"}
+
+
+class TestCheck:
+    def test_check_passes(self, files, capsys):
+        _, schemas, mapping, data, *_ = files
+        code = run(
+            ["check", "--schemas", schemas, "--mapping", mapping, "--data", data]
+        )
+        assert code == 0
+        assert "failures=0" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_missing_file(self, files, capsys):
+        _, schemas, *_ = files
+        with pytest.raises(SystemExit) as excinfo:
+            run(["plan", "--schemas", schemas, "--mapping", "/nope.tgd"])
+        assert excinfo.value.code == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_malformed_schemas(self, files, tmp_path, capsys):
+        _, _, mapping, *_ = files
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"only": "source"}')
+        with pytest.raises(SystemExit):
+            run(["plan", "--schemas", bad, "--mapping", mapping])
+        assert "must contain" in capsys.readouterr().err
+
+    def test_bad_mapping_text(self, files, tmp_path, capsys):
+        _, schemas, *_ = files
+        bad = tmp_path / "bad.tgd"
+        bad.write_text("this is not a tgd")
+        with pytest.raises(SystemExit):
+            run(["plan", "--schemas", schemas, "--mapping", bad])
+        assert "bad mapping" in capsys.readouterr().err
+
+    def test_wrong_schema_instance(self, files, tmp_path, capsys):
+        _, schemas, mapping, *_ = files
+        other = schema(relation("Other", "x"))
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text(
+            json.dumps(instance_to_json(instance(other, {"Other": [["v"]]})))
+        )
+        with pytest.raises(SystemExit):
+            run(
+                ["exchange", "--schemas", schemas, "--mapping", mapping, "--data", wrong]
+            )
+        assert "does not conform" in capsys.readouterr().err

@@ -1,0 +1,198 @@
+"""Tests for the ExchangeLens / ExchangeEngine bidirectional behaviour."""
+
+import pytest
+
+from repro.compiler import ExchangeEngine, Hints
+from repro.mapping import SchemaMapping, universal_solution
+from repro.relational import (
+    Fact,
+    constant,
+    homomorphically_equivalent,
+    instance,
+    relation,
+    schema,
+)
+from repro.rlens import ConstantPolicy, ViewViolationError
+from repro.stats import Statistics
+
+
+@pytest.fixture
+def hr():
+    source = schema(
+        relation("Employee", "eid", "name", "dept"),
+        relation("Department", "dept", "site"),
+    )
+    target = schema(relation("Directory", "eid", "name", "site"))
+    mapping = SchemaMapping.parse(
+        source,
+        target,
+        "Employee(e, n, d), Department(d, l) -> Directory(e, n, l)",
+    )
+    inst = instance(
+        source,
+        {
+            "Employee": [[1, "ann", "eng"], [2, "bob", "ops"]],
+            "Department": [["eng", "berlin"], ["ops", "lisbon"]],
+        },
+    )
+    return mapping, inst
+
+
+class TestForward:
+    def test_get_agrees_with_chase(self, hr):
+        mapping, inst = hr
+        engine = ExchangeEngine.compile(mapping, Statistics.gather(inst))
+        assert homomorphically_equivalent(
+            engine.exchange(inst), universal_solution(mapping, inst)
+        )
+
+    def test_get_is_deterministic(self, hr):
+        mapping, inst = hr
+        engine = ExchangeEngine.compile(mapping)
+        assert engine.exchange(inst) == engine.exchange(inst)
+
+
+class TestBackward:
+    def test_getput_exact(self, hr):
+        mapping, inst = hr
+        engine = ExchangeEngine.compile(mapping)
+        view = engine.exchange(inst)
+        assert engine.put_back(view, inst) == inst
+
+    def test_deletion_propagates(self, hr):
+        mapping, inst = hr
+        engine = ExchangeEngine.compile(mapping)
+        view = engine.exchange(inst)
+        edited = view.without_facts(
+            [Fact("Directory", (constant(1), constant("ann"), constant("berlin")))]
+        )
+        out = engine.put_back(edited, inst)
+        assert (constant(1), constant("ann"), constant("eng")) not in out.rows(
+            "Employee"
+        )
+        # The department row is untouched (deletion atom defaults to Employee).
+        assert (constant("eng"), constant("berlin")) in out.rows("Department")
+
+    def test_insertion_justified(self, hr):
+        mapping, inst = hr
+        engine = ExchangeEngine.compile(mapping)
+        view = engine.exchange(inst)
+        edited = view.with_facts(
+            [Fact("Directory", (constant(3), constant("cyd"), constant("rio")))]
+        )
+        out = engine.put_back(edited, inst)
+        new_emp = next(r for r in out.rows("Employee") if r[0] == constant(3))
+        new_dept = next(r for r in out.rows("Department") if r[1] == constant("rio"))
+        assert new_emp[2] == new_dept[0]  # join key filled consistently
+
+    def test_putget_modulo_homomorphic_equivalence(self, hr):
+        mapping, inst = hr
+        engine = ExchangeEngine.compile(mapping)
+        view = engine.exchange(inst)
+        edited = view.with_facts(
+            [Fact("Directory", (constant(3), constant("cyd"), constant("rio")))]
+        )
+        out = engine.put_back(edited, inst)
+        assert homomorphically_equivalent(engine.exchange(out), edited)
+
+    def test_unproducible_insert_rejected(self, hr):
+        mapping, inst = hr
+        engine = ExchangeEngine.compile(mapping)
+        # Build a mapping whose conclusion fixes a constant, then push a
+        # fact violating it.
+        source = mapping.source
+        target = schema(relation("Flag", "tag", "name"))
+        m2 = SchemaMapping.parse(
+            source, target, "Employee(e, n, d) -> Flag('emp', n)"
+        )
+        engine2 = ExchangeEngine.compile(m2)
+        view = engine2.exchange(inst)
+        bad = view.with_facts([Fact("Flag", (constant("zzz"), constant("x")))])
+        with pytest.raises(ViewViolationError):
+            engine2.put_back(bad, inst)
+
+
+class TestInsertRouting:
+    @pytest.fixture
+    def two_producers(self):
+        source = schema(relation("F", "x"), relation("M", "x"))
+        target = schema(relation("P", "x"))
+        mapping = SchemaMapping.parse(source, target, "F(x) -> P(x); M(x) -> P(x)")
+        inst = instance(source, {"F": [["a"]], "M": [["b"]]})
+        return mapping, inst
+
+    def test_default_routes_to_first_tgd(self, two_producers):
+        mapping, inst = two_producers
+        engine = ExchangeEngine.compile(mapping)
+        view = engine.exchange(inst).with_facts([Fact("P", (constant("new"),))])
+        out = engine.put_back(view, inst)
+        assert (constant("new"),) in out.rows("F")
+
+    def test_hint_reroutes(self, two_producers):
+        mapping, inst = two_producers
+        hints = Hints(insert_routing={"P": "tgd_1"})
+        engine = ExchangeEngine.compile(mapping, hints=hints)
+        view = engine.exchange(inst).with_facts([Fact("P", (constant("new"),))])
+        out = engine.put_back(view, inst)
+        assert (constant("new"),) in out.rows("M")
+
+    def test_bad_routing_hint_rejected(self, two_producers):
+        mapping, inst = two_producers
+        hints = Hints(insert_routing={"P": "tgd_99"})
+        engine = ExchangeEngine.compile(mapping, hints=hints)
+        view = engine.exchange(inst).with_facts([Fact("P", (constant("new"),))])
+        with pytest.raises(ValueError, match="does not produce"):
+            engine.put_back(view, inst)
+
+    def test_deletion_retracts_from_all_producers(self, two_producers):
+        mapping, inst = two_producers
+        source = mapping.source
+        both = instance(source, {"F": [["a"]], "M": [["a"]]})
+        engine = ExchangeEngine.compile(mapping)
+        view = engine.exchange(both).without_facts([Fact("P", (constant("a"),))])
+        out = engine.put_back(view, both)
+        assert out.is_empty()
+
+
+class TestEngineFacade:
+    def test_show_plan_contains_tgds_and_questions(self, hr):
+        mapping, inst = hr
+        engine = ExchangeEngine.compile(mapping, Statistics.gather(inst))
+        text = engine.show_plan()
+        assert "tgd_0" in text
+        assert "forward (get)" in text
+        assert "backward (put)" in text
+
+    def test_policy_questions_enumerated(self, hr):
+        mapping, _ = hr
+        engine = ExchangeEngine.compile(mapping)
+        slots = {q.slot for q in engine.policy_questions()}
+        # Employee.dept and Department.dept are the unmapped source columns;
+        # the two-atom premise also raises a deletion question.
+        assert "column:Employee.dept" in slots
+        assert "deletion_atom:tgd_0" in slots
+
+    def test_symmetric_session(self, hr):
+        mapping, inst = hr
+        engine = ExchangeEngine.compile(mapping)
+        session = engine.symmetric_session()
+        view, complement = session.putr(inst, session.missing)
+        assert view.schema == mapping.target
+        edited = view.with_facts(
+            [Fact("Directory", (constant(9), constant("zed"), constant("rome")))]
+        )
+        back, _ = session.putl(edited, complement)
+        assert any(r[0] == constant(9) for r in back.rows("Employee"))
+
+    def test_column_policy_hint_applied(self, hr):
+        mapping, inst = hr
+        hints = Hints()
+        hints.set_column_policy("Employee", "dept", ConstantPolicy("unknown"))
+        hints.set_column_policy("Department", "dept", ConstantPolicy("unknown"))
+        engine = ExchangeEngine.compile(mapping, hints=hints)
+        view = engine.exchange(inst).with_facts(
+            [Fact("Directory", (constant(9), constant("zed"), constant("rome")))]
+        )
+        out = engine.put_back(view, inst)
+        new_emp = next(r for r in out.rows("Employee") if r[0] == constant(9))
+        assert new_emp[2] == constant("unknown")

@@ -1,0 +1,119 @@
+"""Tests for plan rendering, policy questions, and the completeness harness."""
+
+import pytest
+
+from repro.compiler import (
+    ExchangeEngine,
+    check_completeness,
+    forward_agrees_with_chase,
+    render_expression,
+)
+from repro.logic.parser import parse_conjunction
+from repro.logic.terms import Var
+from repro.mapping import SchemaMapping
+from repro.relational import instance, relation, schema
+from repro.stats import Statistics
+from repro.workloads import all_scenarios
+
+
+class TestRenderExpression:
+    def test_scan_with_renaming(self):
+        from repro.relational.algebra import Scan
+
+        lines = render_expression(Scan(relation("R", "a", "b"), ("x", "y")))
+        assert lines == ["Scan R as (x, y)"]
+
+    def test_join_labels_algorithm(self):
+        from repro.relational.algebra import Join, Scan
+
+        expr = Join(
+            Scan(relation("R", "x")), Scan(relation("S", "x")), algorithm="hash"
+        )
+        lines = render_expression(expr)
+        assert lines[0].startswith("HashJoin on (x)")
+
+    def test_product_labelled(self):
+        from repro.relational.algebra import Join, Scan
+
+        expr = Join(Scan(relation("R", "x")), Scan(relation("S", "y")))
+        lines = render_expression(expr)
+        assert "(product)" in lines[0]
+
+    def test_nested_rendering_indents(self):
+        from repro.relational.algebra import Project, Scan, Select, eq
+
+        expr = Project(Select(Scan(relation("R", "a")), eq("a", 1)), ("a",))
+        lines = render_expression(expr)
+        assert lines[0].startswith("Project")
+        assert lines[1].startswith("  Select")
+        assert lines[2].startswith("    Scan")
+
+
+class TestPolicyQuestions:
+    def test_insert_routing_question_for_multi_producers(self):
+        source = schema(relation("F", "x"), relation("M", "x"))
+        target = schema(relation("P", "x"))
+        mapping = SchemaMapping.parse(source, target, "F(x) -> P(x); M(x) -> P(x)")
+        engine = ExchangeEngine.compile(mapping)
+        slots = {q.slot for q in engine.policy_questions()}
+        assert "insert_routing:P" in slots
+
+    def test_fully_determined_mapping_has_no_questions(self):
+        source = schema(relation("A", "x"))
+        target = schema(relation("B", "x"))
+        mapping = SchemaMapping.parse(source, target, "A(x) -> B(x)")
+        engine = ExchangeEngine.compile(mapping)
+        assert engine.policy_questions() == []
+
+    def test_plan_unit_lookup(self):
+        source = schema(relation("A", "x"))
+        target = schema(relation("B", "x"))
+        mapping = SchemaMapping.parse(source, target, "A(x) -> B(x)")
+        engine = ExchangeEngine.compile(mapping)
+        assert engine.plan.unit("tgd_0").target_relation == "B"
+        with pytest.raises(KeyError):
+            engine.plan.unit("tgd_9")
+
+
+class TestCompleteness:
+    def test_all_scenarios_complete(self):
+        for scenario in all_scenarios():
+            engine = ExchangeEngine.compile(
+                scenario.mapping, Statistics.gather(scenario.sample)
+            )
+            report = check_completeness(engine, [scenario.sample])
+            assert report.complete, (scenario.name, report.failures)
+
+    def test_certain_answer_queries_checked(self):
+        scenario = next(s for s in all_scenarios() if s.name == "emp_manager")
+        engine = ExchangeEngine.compile(scenario.mapping)
+        query = parse_conjunction("Manager(x, y)")
+        report = check_completeness(
+            engine, [scenario.sample], queries=[(query, [Var("x")])]
+        )
+        assert report.complete
+
+    def test_forward_agreement_helper(self):
+        scenario = next(s for s in all_scenarios() if s.name == "hospital")
+        engine = ExchangeEngine.compile(scenario.mapping)
+        assert forward_agrees_with_chase(
+            scenario.mapping, engine.lens, scenario.sample
+        )
+
+    def test_report_counts(self):
+        scenario = next(s for s in all_scenarios() if s.name == "finance")
+        engine = ExchangeEngine.compile(scenario.mapping)
+        report = check_completeness(engine, [scenario.sample, scenario.sample])
+        assert report.checked == 2
+        assert report.forward_agreements == 2
+        assert report.getput_exact == 2
+
+    def test_empty_source_completeness(self):
+        from repro.relational import empty_instance
+
+        scenario = next(s for s in all_scenarios() if s.name == "person")
+        engine = ExchangeEngine.compile(scenario.mapping)
+        report = check_completeness(
+            engine, [empty_instance(scenario.source)]
+        )
+        assert report.complete

@@ -1,0 +1,220 @@
+"""Tests for synchronization sessions and conflict handling."""
+
+import pytest
+
+from repro.compiler import ExchangeEngine
+from repro.compiler.session import (
+    Conflict,
+    ConflictPolicy,
+    SyncConflict,
+    SyncOutcome,
+    SyncSession,
+)
+from repro.lenses.delta import InstanceDelta
+from repro.mapping import SchemaMapping
+from repro.relational import Fact, constant, instance, relation, schema
+
+
+@pytest.fixture
+def setup():
+    source_schema = schema(relation("Emp", "name", "dept"))
+    target_schema = schema(relation("Roster", "name", "dept"))
+    mapping = SchemaMapping.parse(
+        source_schema, target_schema, "Emp(n, d) -> Roster(n, d)"
+    )
+    engine = ExchangeEngine.compile(mapping)
+    source = instance(
+        source_schema, {"Emp": [["ann", "eng"], ["bob", "ops"]]}
+    )
+    return engine, source
+
+
+def roster(name, dept):
+    return Fact("Roster", (constant(name), constant(dept)))
+
+
+def emp(name, dept):
+    return Fact("Emp", (constant(name), constant(dept)))
+
+
+class TestOneSidedUpdates:
+    def test_initialization_materializes_target(self, setup):
+        engine, source = setup
+        session = SyncSession(engine, source)
+        assert len(session.target.rows("Roster")) == 2
+
+    def test_push_source(self, setup):
+        engine, source = setup
+        session = SyncSession(engine, source)
+        new_source = source.with_facts([emp("cyd", "eng")])
+        target = session.push_source(new_source)
+        assert roster("cyd", "eng") in target
+        assert session.source == new_source
+
+    def test_push_target(self, setup):
+        engine, source = setup
+        session = SyncSession(engine, source)
+        new_target = session.target.with_facts([roster("dee", "hr")])
+        new_source = session.push_target(new_target)
+        assert emp("dee", "hr") in new_source
+        assert roster("dee", "hr") in session.target
+
+
+class TestConcurrentMerge:
+    def test_disjoint_edits_merge(self, setup):
+        engine, source = setup
+        session = SyncSession(engine, source)
+        new_source = source.with_facts([emp("cyd", "eng")])
+        new_target = session.target.with_facts([roster("dee", "hr")])
+        outcome = session.synchronize(new_source, new_target)
+        assert outcome.clean
+        assert roster("cyd", "eng") in outcome.target
+        assert roster("dee", "hr") in outcome.target
+        assert emp("dee", "hr") in outcome.source
+
+    def test_agreeing_deletions_merge(self, setup):
+        engine, source = setup
+        session = SyncSession(engine, source)
+        new_source = source.without_facts([emp("ann", "eng")])
+        new_target = session.target.without_facts([roster("ann", "eng")])
+        outcome = session.synchronize(new_source, new_target)
+        assert outcome.clean
+        assert roster("ann", "eng") not in outcome.target
+        assert emp("ann", "eng") not in outcome.source
+
+    def test_mixed_edit_and_delete_on_different_facts(self, setup):
+        engine, source = setup
+        session = SyncSession(engine, source)
+        new_source = source.without_facts([emp("ann", "eng")])
+        new_target = session.target.without_facts(
+            [roster("bob", "ops")]
+        ).with_facts([roster("bob", "hr")])
+        outcome = session.synchronize(new_source, new_target)
+        assert outcome.clean
+        assert roster("ann", "eng") not in outcome.target
+        assert roster("bob", "hr") in outcome.target
+        assert emp("bob", "hr") in outcome.source
+
+    def test_baselines_advance(self, setup):
+        engine, source = setup
+        session = SyncSession(engine, source)
+        session.synchronize(
+            source.with_facts([emp("cyd", "eng")]), session.target
+        )
+        outcome = session.synchronize(session.source, session.target)
+        assert outcome.clean
+        assert outcome.source == session.source
+
+    def test_honest_same_baseline_diffs_never_conflict(self, setup):
+        """Under set semantics, same-baseline diffs cannot collide: one
+        side cannot insert a fact the other deletes, because an insert
+        needs the baseline to lack it and a delete needs it present."""
+        engine, source = setup
+        session = SyncSession(engine, source)
+        new_source = source.without_facts([emp("ann", "eng")]).with_facts(
+            [emp("ann", "hr")]
+        )
+        new_target = session.target.without_facts([roster("ann", "eng")])
+        outcome = session.synchronize(new_source, new_target)
+        assert outcome.clean
+        assert roster("ann", "hr") in outcome.target
+        assert roster("ann", "eng") not in outcome.target
+
+
+class TestConflictMachinery:
+    """Conflicts arise with *stale* replicas (replayed deltas); the
+    detection/resolution machinery is exercised directly."""
+
+    def test_find_conflicts(self, setup):
+        engine, source = setup
+        session = SyncSession(engine, source)
+        contested = roster("ann", "eng")
+        src_delta = InstanceDelta([], [contested])
+        tgt_delta = InstanceDelta([contested], [])
+        conflicts = session._find_conflicts(src_delta, tgt_delta)
+        assert conflicts == [Conflict(contested, "delete", "insert")]
+
+    def test_find_conflicts_other_direction(self, setup):
+        engine, source = setup
+        session = SyncSession(engine, source)
+        contested = roster("zed", "ml")
+        src_delta = InstanceDelta([contested], [])
+        tgt_delta = InstanceDelta([], [contested])
+        conflicts = session._find_conflicts(src_delta, tgt_delta)
+        assert conflicts == [Conflict(contested, "insert", "delete")]
+
+    def test_drop_removes_contested_edits(self, setup):
+        engine, source = setup
+        session = SyncSession(engine, source)
+        contested = roster("ann", "eng")
+        spared = roster("bob", "ops")
+        delta = InstanceDelta([contested, spared], [])
+        conflicts = [Conflict(contested, "delete", "insert")]
+        kept = session._drop(delta, conflicts, side="target")
+        assert kept.inserts == frozenset([spared])
+
+    @staticmethod
+    def _stale_setup(engine, source):
+        """A replica whose baseline predates cyd's arrival.
+
+        Session history: cyd is hired (baseline gains roster(cyd)); the
+        replica went offline *before* that, edited independently, and
+        re-inserts cyd on its own (it hired cyd too).  Meanwhile the
+        source side fires cyd in the current round: the forward delta
+        deletes roster(cyd) while the replica's delta (vs its stale
+        baseline) inserts it — a genuine opposite-direction conflict.
+        """
+        session = SyncSession(engine, source)
+        stale_baseline = session.target  # replica's last-known target
+        session.push_source(source.with_facts([emp("cyd", "eng")]))
+        new_source = session.source.without_facts([emp("cyd", "eng")])
+        replica_target = stale_baseline.with_facts([roster("cyd", "eng")])
+        return session, new_source, replica_target, stale_baseline
+
+    def test_stale_replica_conflict_raises_under_fail(self, setup):
+        engine, source = setup
+        session, new_source, replica, stale = self._stale_setup(engine, source)
+        with pytest.raises(SyncConflict) as excinfo:
+            session.synchronize(
+                new_source, replica,
+                policy=ConflictPolicy.FAIL,
+                target_baseline=stale,
+            )
+        assert excinfo.value.conflicts[0].fact == roster("cyd", "eng")
+
+    def test_source_wins_policy(self, setup):
+        engine, source = setup
+        session, new_source, replica, stale = self._stale_setup(engine, source)
+        outcome = session.synchronize(
+            new_source, replica,
+            policy=ConflictPolicy.SOURCE_WINS,
+            target_baseline=stale,
+        )
+        assert not outcome.clean
+        assert roster("cyd", "eng") not in outcome.target
+        assert emp("cyd", "eng") not in outcome.source
+
+    def test_target_wins_policy(self, setup):
+        engine, source = setup
+        session, new_source, replica, stale = self._stale_setup(engine, source)
+        outcome = session.synchronize(
+            new_source, replica,
+            policy=ConflictPolicy.TARGET_WINS,
+            target_baseline=stale,
+        )
+        assert not outcome.clean
+        assert roster("cyd", "eng") in outcome.target
+        assert emp("cyd", "eng") in outcome.source
+
+
+class TestOutcome:
+    def test_outcome_clean_flag(self):
+        from repro.relational import empty_instance
+
+        s = schema(relation("R", "a"))
+        outcome = SyncOutcome(empty_instance(s), empty_instance(s))
+        assert outcome.clean
+        outcome.conflicts.append(
+            Conflict(Fact("R", (constant(1),)), "insert", "delete")
+        )
+        assert not outcome.clean

@@ -1,0 +1,108 @@
+"""Tests for target-dependency handling in the compiled exchange engine."""
+
+import pytest
+
+from repro.compiler import ExchangeEngine
+from repro.logic.parser import parse_conjunction, parse_rule
+from repro.logic.terms import Var
+from repro.mapping import (
+    ChaseFailure,
+    SchemaMapping,
+    universal_solution,
+)
+from repro.mapping.dependencies import Egd, TargetTgd
+from repro.relational import (
+    constant,
+    homomorphically_equivalent,
+    instance,
+    relation,
+    schema,
+)
+
+
+def key_egd():
+    return Egd(
+        parse_conjunction("Manager(x, y), Manager(x, z)"), Var("y"), Var("z")
+    )
+
+
+@pytest.fixture
+def keyed_mapping():
+    source = schema(relation("Emp", "n"), relation("Boss", "n", "b"))
+    target = schema(relation("Manager", "emp", "mgr"))
+    from repro.mapping import StTgd
+
+    return SchemaMapping(
+        source,
+        target,
+        [
+            StTgd.parse("Emp(x) -> exists y . Manager(x, y)"),
+            StTgd.parse("Boss(x, b) -> Manager(x, b)"),
+        ],
+        [key_egd()],
+    )
+
+
+class TestEgdsInEngine:
+    def test_forward_unifies_skolem_with_constant(self, keyed_mapping):
+        engine = ExchangeEngine.compile(keyed_mapping)
+        I = instance(
+            keyed_mapping.source, {"Emp": [["ann"]], "Boss": [["ann", "mona"]]}
+        )
+        out = engine.exchange(I)
+        assert out.rows("Manager") == {(constant("ann"), constant("mona"))}
+
+    def test_forward_agrees_with_chase_under_egds(self, keyed_mapping):
+        engine = ExchangeEngine.compile(keyed_mapping)
+        I = instance(
+            keyed_mapping.source,
+            {"Emp": [["ann"], ["bob"]], "Boss": [["ann", "mona"]]},
+        )
+        assert homomorphically_equivalent(
+            engine.exchange(I), universal_solution(keyed_mapping, I)
+        )
+
+    def test_egd_conflict_surfaces(self, keyed_mapping):
+        engine = ExchangeEngine.compile(keyed_mapping)
+        I = instance(
+            keyed_mapping.source,
+            {"Boss": [["ann", "mona"], ["ann", "rita"]]},
+        )
+        with pytest.raises(ChaseFailure):
+            engine.exchange(I)
+
+    def test_getput_still_exact(self, keyed_mapping):
+        engine = ExchangeEngine.compile(keyed_mapping)
+        I = instance(
+            keyed_mapping.source, {"Emp": [["ann"]], "Boss": [["ann", "mona"]]}
+        )
+        view = engine.exchange(I)
+        assert engine.put_back(view, I) == I
+
+
+class TestTargetTgdsInEngine:
+    def test_foreign_key_completion(self):
+        source = schema(relation("E", "n", "d"))
+        target = schema(relation("Emp", "n", "d"), relation("Dept", "d"))
+        from repro.mapping import StTgd
+
+        fk = parse_rule("Emp(x, d) -> Dept(d)")
+        mapping = SchemaMapping(
+            source,
+            target,
+            [StTgd.parse("E(x, d) -> Emp(x, d)")],
+            [TargetTgd(fk.lhs, fk.branches[0][1])],
+        )
+        engine = ExchangeEngine.compile(mapping)
+        I = instance(source, {"E": [["a", "d1"], ["b", "d2"]]})
+        out = engine.exchange(I)
+        assert len(out.rows("Dept")) == 2
+        assert homomorphically_equivalent(out, universal_solution(mapping, I))
+
+    def test_no_dependencies_is_unchanged(self):
+        source = schema(relation("A", "x"))
+        target = schema(relation("B", "x"))
+        mapping = SchemaMapping.parse(source, target, "A(x) -> B(x)")
+        engine = ExchangeEngine.compile(mapping)
+        I = instance(source, {"A": [["v"]]})
+        assert engine.exchange(I).rows("B") == {(constant("v"),)}

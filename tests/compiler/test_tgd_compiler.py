@@ -1,0 +1,229 @@
+"""Tests for compiling single tgds: leaves, side conditions, units."""
+
+import pytest
+
+from repro.compiler import (
+    CompilerLimitation,
+    Hints,
+    Planner,
+    compile_atom_leaf,
+    side_condition_predicate,
+)
+from repro.compiler.hints import DeletionBehavior
+from repro.logic.formulas import atom
+from repro.logic.parser import parse_conjunction
+from repro.mapping import StTgd
+from repro.relational import (
+    SkolemValue,
+    constant,
+    instance,
+    relation,
+    schema,
+)
+from repro.relational.algebra import ConstantColumn
+from repro.rlens.base import ViewViolationError
+from repro.stats import Statistics
+
+
+EMP_DEPT = schema(relation("Emp", "name", "dept"), relation("Dept", "dept", "head"))
+
+
+def compiled(tgd_text, source_schema, hints=None, stats=None):
+    tgd = StTgd.parse(tgd_text)
+    planner = Planner(stats or Statistics.assumed(source_schema))
+    return planner.plan_tgd(tgd, source_schema, "t0", hints or Hints())
+
+
+class TestAtomLeaf:
+    def test_columns_renamed_to_variables(self):
+        leaf = compile_atom_leaf(atom("Emp", "x", "y"), EMP_DEPT, 10)
+        assert leaf.expression.output_schema().attribute_names == ("x", "y")
+
+    def test_repeated_variable_gets_selection(self):
+        leaf = compile_atom_leaf(atom("Emp", "x", "x"), EMP_DEPT, 10)
+        inst = instance(EMP_DEPT, {"Emp": [["a", "a"], ["a", "b"]]})
+        rows = leaf.expression.evaluate(inst)
+        assert rows == {(constant("a"),)}
+
+    def test_constant_gets_selection(self):
+        leaf = compile_atom_leaf(atom("Emp", "x", "d1"), EMP_DEPT, 10)
+        # atom() turns bare ints into constants; build with const explicitly
+        from repro.logic.formulas import Atom
+        from repro.logic.terms import Var, const
+
+        leaf = compile_atom_leaf(
+            Atom("Emp", (Var("x"), const("d1"))), EMP_DEPT, 10
+        )
+        inst = instance(EMP_DEPT, {"Emp": [["a", "d1"], ["b", "d2"]]})
+        assert leaf.expression.evaluate(inst) == {(constant("a"),)}
+
+    def test_function_term_rejected(self):
+        from repro.logic.formulas import Atom
+        from repro.logic.terms import FuncTerm, Var
+
+        bad = Atom("Emp", (Var("x"), FuncTerm("f", (Var("x"),))))
+        with pytest.raises(CompilerLimitation):
+            compile_atom_leaf(bad, EMP_DEPT, 10)
+
+
+class TestSideConditions:
+    def test_constant_predicate_translated(self):
+        conj = parse_conjunction("Emp(x, y), C(x)")
+        predicate = side_condition_predicate(conj)
+        assert isinstance(predicate, ConstantColumn)
+
+    def test_inequality_translated(self):
+        conj = parse_conjunction("Emp(x, y), x != y")
+        predicate = side_condition_predicate(conj)
+        assert "≠" in repr(predicate) or "!=" in repr(predicate)
+
+    def test_equality_with_constant(self):
+        conj = parse_conjunction("Emp(x, y), y = 'd1'")
+        predicate = side_condition_predicate(conj)
+        assert "d1" in repr(predicate)
+
+    def test_function_term_rejected(self):
+        conj = parse_conjunction("Emp(x, y), x = f(x)")
+        with pytest.raises(CompilerLimitation):
+            side_condition_predicate(conj)
+
+
+class TestForward:
+    def test_frontier_values_exported(self):
+        unit = compiled("Emp(x, d), Dept(d, h) -> Directory(x, h)", EMP_DEPT)
+        inst = instance(
+            EMP_DEPT,
+            {"Emp": [["ann", "d1"]], "Dept": [["d1", "hana"]]},
+        )
+        facts = unit.forward_facts(inst)
+        assert {f.row for f in facts} == {(constant("ann"), constant("hana"))}
+
+    def test_existentials_are_canonical_skolems(self):
+        unit = compiled("Emp(x, d) -> Mgr(x, m)", EMP_DEPT)
+        inst = instance(EMP_DEPT, {"Emp": [["ann", "d1"]]})
+        (fact,) = unit.forward_facts(inst)
+        assert fact.row[1] == SkolemValue("sk_t0_m", (constant("ann"),))
+
+    def test_same_frontier_same_skolem(self):
+        unit = compiled("Emp(x, d) -> Mgr(x, m)", EMP_DEPT)
+        inst = instance(EMP_DEPT, {"Emp": [["ann", "d1"], ["ann", "d2"]]})
+        facts = unit.forward_facts(inst)
+        assert len(facts) == 1  # frontier (ann) determines the fact
+
+
+class TestProducesAndJustify:
+    @pytest.fixture
+    def unit(self):
+        return compiled("Emp(x, d), Dept(d, h) -> Directory(x, h)", EMP_DEPT)
+
+    def test_produces_matching_relation(self, unit):
+        from repro.relational import Fact
+
+        assert unit.produces(Fact("Directory", (constant("a"), constant("b"))))
+        assert not unit.produces(Fact("Other", (constant("a"),)))
+        assert not unit.produces(Fact("Directory", (constant("a"),)))
+
+    def test_justify_builds_premise_facts(self, unit):
+        from repro.relational import Fact, empty_instance
+
+        fact = Fact("Directory", (constant("zed"), constant("boss")))
+        facts = unit.justify(fact, empty_instance(unit.source_schema))
+        relations = {f.relation for f in facts}
+        assert relations == {"Emp", "Dept"}
+        emp = next(f for f in facts if f.relation == "Emp")
+        dept = next(f for f in facts if f.relation == "Dept")
+        assert emp.row[0] == constant("zed")
+        assert dept.row[1] == constant("boss")
+        # The shared join variable d is filled once, consistently.
+        assert emp.row[1] == dept.row[0]
+
+    def test_justify_respects_column_policy(self):
+        from repro.compiler import Hints
+        from repro.relational import Fact, empty_instance
+        from repro.rlens import ConstantPolicy
+
+        hints = Hints()
+        hints.set_column_policy("Emp", "dept", ConstantPolicy("default-dept"))
+        hints.set_column_policy("Dept", "dept", ConstantPolicy("default-dept"))
+        unit = compiled(
+            "Emp(x, d), Dept(d, h) -> Directory(x, h)", EMP_DEPT, hints
+        )
+        fact = Fact("Directory", (constant("zed"), constant("boss")))
+        facts = unit.justify(fact, empty_instance(unit.source_schema))
+        emp = next(f for f in facts if f.relation == "Emp")
+        assert emp.row[1] == constant("default-dept")
+
+    def test_justify_unproducible_fact_rejected(self, unit):
+        from repro.relational import Fact, empty_instance
+
+        with pytest.raises(ViewViolationError):
+            unit.justify(
+                Fact("Nope", (constant(1),)), empty_instance(unit.source_schema)
+            )
+
+
+class TestRetract:
+    @pytest.fixture
+    def inst(self):
+        return instance(
+            EMP_DEPT,
+            {
+                "Emp": [["ann", "d1"], ["bob", "d1"]],
+                "Dept": [["d1", "hana"]],
+            },
+        )
+
+    def test_retract_default_first_atom(self, inst):
+        from repro.relational import Fact
+
+        unit = compiled("Emp(x, d), Dept(d, h) -> Directory(x, h)", EMP_DEPT)
+        retracted = unit.retract(
+            Fact("Directory", (constant("ann"), constant("hana"))), inst
+        )
+        assert retracted == [Fact("Emp", (constant("ann"), constant("d1")))]
+
+    def test_retract_designated_atom(self, inst):
+        from repro.relational import Fact
+
+        hints = Hints(deletion_atom={"t0": 1})
+        unit = compiled(
+            "Emp(x, d), Dept(d, h) -> Directory(x, h)", EMP_DEPT, hints
+        )
+        retracted = unit.retract(
+            Fact("Directory", (constant("ann"), constant("hana"))), inst
+        )
+        assert retracted == [Fact("Dept", (constant("d1"), constant("hana")))]
+
+    def test_forbid_behavior_raises(self, inst):
+        from repro.relational import Fact
+
+        hints = Hints(deletion_behavior={"t0": DeletionBehavior.FORBID})
+        unit = compiled("Emp(x, d) -> Mgr(x, m)", EMP_DEPT, hints)
+        with pytest.raises(ViewViolationError, match="forbids"):
+            unit.retract(Fact("Mgr", (constant("ann"), constant("x"))), inst)
+
+    def test_unknown_behavior_rejected(self):
+        hints = Hints(deletion_behavior={"t0": "explode"})
+        with pytest.raises(ValueError, match="unknown deletion behavior"):
+            hints.deletion_behavior_for("t0")
+
+
+class TestCompilableFragment:
+    def test_multi_atom_shared_existential_rejected(self):
+        tgd = StTgd.parse("A(x) -> exists z . T(x, z), U(z)")
+        source = schema(relation("A", "x"))
+        planner = Planner(Statistics.assumed(source))
+        with pytest.raises(CompilerLimitation):
+            planner.plan_tgd(tgd, source, "t0", Hints())
+
+    def test_normalized_multi_atom_splits_fine(self):
+        source = schema(relation("Takes", "s", "c"))
+        target = schema(relation("Student", "i", "n"), relation("Assgn", "s", "c"))
+        from repro.mapping import SchemaMapping
+
+        mapping = SchemaMapping.parse(
+            source, target, "Takes(x, y) -> exists z . Student(z, x), Assgn(x, y)"
+        )
+        planner = Planner(Statistics.assumed(source))
+        units = planner.plan_mapping(mapping)
+        assert len(units) == 2

@@ -1,0 +1,65 @@
+"""Shared fixtures: the paper's schemas and instances, used across suites."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.relational import instance, relation, schema
+
+
+@pytest.fixture
+def emp_schema():
+    """Source schema of Example 1: Emp(name)."""
+    return schema(relation("Emp", "name"))
+
+
+@pytest.fixture
+def manager_schema():
+    """Target schema of Example 1: Manager(emp, mgr)."""
+    return schema(relation("Manager", "emp", "mgr"))
+
+
+@pytest.fixture
+def emp_instance(emp_schema):
+    """I = {Emp(Alice), Emp(Bob)} from Example 1."""
+    return instance(emp_schema, {"Emp": [["Alice"], ["Bob"]]})
+
+
+@pytest.fixture
+def person_schema():
+    """The introduction's Person1 relation."""
+    return schema(relation("Person1", "id", "name", "age", "city"))
+
+
+@pytest.fixture
+def person_instance(person_schema):
+    return instance(
+        person_schema,
+        {
+            "Person1": [
+                [1, "Alice", 34, "Springfield"],
+                [2, "Bob", 41, "Shelbyville"],
+                [3, "Carol", 29, "Springfield"],
+            ]
+        },
+    )
+
+
+@pytest.fixture
+def emp_dept_schema():
+    """A two-relation join-shaped schema used by algebra and join-lens tests."""
+    return schema(
+        relation("Emp", "name", "dept"),
+        relation("Dept", "dept", "head"),
+    )
+
+
+@pytest.fixture
+def emp_dept_instance(emp_dept_schema):
+    return instance(
+        emp_dept_schema,
+        {
+            "Emp": [["ann", "d1"], ["bob", "d2"], ["cyd", "d1"]],
+            "Dept": [["d1", "hana"], ["d2", "hugo"]],
+        },
+    )

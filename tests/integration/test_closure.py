@@ -1,0 +1,110 @@
+"""E7's claim as a test: symmetric lenses are a closed mapping language.
+
+Composition and inversion of symmetric lenses yield symmetric lenses
+satisfying the same laws, while st-tgds leave their language under both
+operators (Examples 2 and 3).
+"""
+
+import pytest
+
+from repro.compiler import ExchangeEngine
+from repro.lenses import check_symmetric_laws, observationally_equivalent
+from repro.mapping import (
+    SOMapping,
+    SchemaMapping,
+    compose,
+    maximum_recovery,
+)
+from repro.relational import Fact, constant, instance, relation, schema
+from repro.workloads import emp_manager_scenario, manager_boss_scenario
+
+
+class TestStTgdsAreNotClosed:
+    def test_composition_leaves_st_tgds(self):
+        m12 = emp_manager_scenario().mapping
+        m23 = manager_boss_scenario().mapping
+        composed = compose(m12, m23)
+        assert isinstance(composed, SOMapping)  # not a SchemaMapping
+
+    def test_inversion_leaves_st_tgds(self):
+        from repro.workloads import father_mother_scenario
+
+        mapping = father_mother_scenario().mapping
+        recovery = maximum_recovery(mapping)
+        # The recovery needs a disjunction: not expressible as st-tgds.
+        assert any(len(rule.branches) > 1 for rule in recovery.rules)
+
+
+class TestSymmetricLensesAreClosed:
+    @pytest.fixture
+    def lenses(self):
+        first = ExchangeEngine.compile(emp_manager_scenario().mapping)
+        second = ExchangeEngine.compile(manager_boss_scenario().mapping)
+        return first.lens.symmetric(), second.lens.symmetric()
+
+    def test_composition_stays_in_language(self, lenses):
+        sym1, sym2 = lenses
+        composed = sym1.then(sym2)
+        source = emp_manager_scenario().sample
+        out, complement = composed.putr(source, composed.missing)
+        assert "Boss" in out.schema
+        # And the composed lens still satisfies the symmetric laws.
+        violations = check_symmetric_laws(composed, [source], [out])
+        assert violations == []
+
+    def test_inversion_stays_in_language(self, lenses):
+        sym1, _ = lenses
+        inverted = sym1.invert()
+        scenario = emp_manager_scenario()
+        source = scenario.sample
+        view, c = sym1.putr(source, sym1.missing)
+        # The inverse maps the other way and satisfies the (swapped) laws.
+        back, _ = inverted.putr(view, c)
+        assert back.schema == scenario.source
+        assert check_symmetric_laws(inverted, [view], [source]) == []
+
+    def test_double_inversion_is_identity(self, lenses):
+        sym1, _ = lenses
+        scenario = emp_manager_scenario()
+        sequences = [
+            [("r", scenario.sample)],
+        ]
+        assert observationally_equivalent(sym1, sym1.invert().invert(), sequences)
+
+    def test_composition_then_inversion(self, lenses):
+        """Closure under *repeated* application of both operators.
+
+        ``(ℓ₁;ℓ₂);(ℓ₁;ℓ₂)⁻¹;((ℓ₁;ℓ₂);(ℓ₁;ℓ₂)⁻¹)`` is a legitimate
+        symmetric lens from A back to A — the kind of expression the
+        closed-language requirement demands to be meaningful.
+        """
+        sym1, sym2 = lenses
+        forward = sym1.then(sym2)
+        loop = forward.then(forward.invert())
+        convoluted = loop.then(loop)
+        scenario = emp_manager_scenario()
+        out, complement = convoluted.putr(scenario.sample, convoluted.missing)
+        assert out.schema == scenario.source
+        # A second push through the established complement echoes exactly.
+        out2, _ = convoluted.putr(scenario.sample, complement)
+        assert out2 == scenario.sample
+
+
+class TestComposedExchangeAgrees:
+    def test_lens_composition_matches_mapping_composition(self):
+        """Composing the lenses computes the same exchange as composing
+        the mappings (up to homomorphic equivalence)."""
+        from repro.mapping import compose_sotgd
+        from repro.relational import homomorphically_equivalent
+
+        scenario12 = emp_manager_scenario()
+        scenario23 = manager_boss_scenario()
+        sym = (
+            ExchangeEngine.compile(scenario12.mapping).lens.symmetric()
+            .then(ExchangeEngine.compile(scenario23.mapping).lens.symmetric())
+        )
+        so = compose_sotgd(scenario12.mapping, scenario23.mapping)
+        I = scenario12.sample
+        via_lens, _ = sym.putr(I, sym.missing)
+        via_so = so.chase(I)
+        assert homomorphically_equivalent(via_lens, via_so)

@@ -1,0 +1,172 @@
+"""Edge cases across modules: empty inputs, constants in odd positions,
+unusual-but-legal mappings, failure surfaces."""
+
+import pytest
+
+from repro.compiler import ExchangeEngine
+from repro.mapping import SchemaMapping, StTgd, universal_solution
+from repro.relational import (
+    Fact,
+    constant,
+    empty_instance,
+    homomorphically_equivalent,
+    instance,
+    relation,
+    schema,
+)
+from repro.stats import Statistics
+
+
+class TestConstantsInMappings:
+    def test_constant_in_premise_position(self):
+        source = schema(relation("Emp", "name", "status"))
+        target = schema(relation("Active", "name"))
+        mapping = SchemaMapping.parse(
+            source, target, "Emp(n, 'active') -> Active(n)"
+        )
+        I = instance(
+            source, {"Emp": [["ann", "active"], ["bob", "retired"]]}
+        )
+        engine = ExchangeEngine.compile(mapping, Statistics.gather(I))
+        out = engine.exchange(I)
+        assert out.rows("Active") == {(constant("ann"),)}
+        assert homomorphically_equivalent(out, universal_solution(mapping, I))
+
+    def test_constant_in_conclusion_position(self):
+        source = schema(relation("Emp", "name"))
+        target = schema(relation("Tagged", "name", "tag"))
+        mapping = SchemaMapping.parse(source, target, "Emp(n) -> Tagged(n, 'emp')")
+        I = instance(source, {"Emp": [["ann"]]})
+        engine = ExchangeEngine.compile(mapping)
+        out = engine.exchange(I)
+        assert out.rows("Tagged") == {(constant("ann"), constant("emp"))}
+        # put: inserting a fact with the wrong tag is outside the image
+        from repro.rlens import ViewViolationError
+
+        bad = out.with_facts([Fact("Tagged", (constant("x"), constant("boss")))])
+        with pytest.raises(ViewViolationError):
+            engine.put_back(bad, I)
+
+    def test_constant_round_trip_insert(self):
+        source = schema(relation("Emp", "name"))
+        target = schema(relation("Tagged", "name", "tag"))
+        mapping = SchemaMapping.parse(source, target, "Emp(n) -> Tagged(n, 'emp')")
+        I = instance(source, {"Emp": [["ann"]]})
+        engine = ExchangeEngine.compile(mapping)
+        good = engine.exchange(I).with_facts(
+            [Fact("Tagged", (constant("cyd"), constant("emp")))]
+        )
+        back = engine.put_back(good, I)
+        assert (constant("cyd"),) in back.rows("Emp")
+
+
+class TestRepeatedVariables:
+    def test_repeated_frontier_variable_in_conclusion(self):
+        source = schema(relation("Emp", "name"))
+        target = schema(relation("Pair", "a", "b"))
+        mapping = SchemaMapping.parse(source, target, "Emp(n) -> Pair(n, n)")
+        I = instance(source, {"Emp": [["ann"]]})
+        engine = ExchangeEngine.compile(mapping)
+        out = engine.exchange(I)
+        assert out.rows("Pair") == {(constant("ann"), constant("ann"))}
+        # A fact with mismatched components is unproducible.
+        from repro.rlens import ViewViolationError
+
+        bad = out.with_facts([Fact("Pair", (constant("x"), constant("y")))])
+        with pytest.raises(ViewViolationError):
+            engine.put_back(bad, I)
+
+    def test_repeated_variable_in_premise_atom(self):
+        source = schema(relation("Manager", "emp", "mgr"))
+        target = schema(relation("SelfMngr", "emp"))
+        mapping = SchemaMapping.parse(
+            source, target, "Manager(x, x) -> SelfMngr(x)"
+        )
+        I = instance(
+            source, {"Manager": [["ted", "ted"], ["ann", "ted"]]}
+        )
+        engine = ExchangeEngine.compile(mapping, Statistics.gather(I))
+        out = engine.exchange(I)
+        assert out.rows("SelfMngr") == {(constant("ted"),)}
+        assert homomorphically_equivalent(out, universal_solution(mapping, I))
+
+
+class TestEmptyThings:
+    def test_exchange_of_empty_source(self):
+        from repro.workloads import hr_scenario
+
+        scenario = hr_scenario()
+        engine = ExchangeEngine.compile(scenario.mapping)
+        out = engine.exchange(empty_instance(scenario.source))
+        assert out.is_empty()
+
+    def test_put_empty_view_clears_support(self):
+        source = schema(relation("A", "x"))
+        target = schema(relation("B", "x"))
+        mapping = SchemaMapping.parse(source, target, "A(x) -> B(x)")
+        I = instance(source, {"A": [["u"], ["v"]]})
+        engine = ExchangeEngine.compile(mapping)
+        out = engine.put_back(empty_instance(target), I)
+        assert out.is_empty()
+
+    def test_mapping_with_no_tgds(self):
+        source = schema(relation("A", "x"))
+        target = schema(relation("B", "x"))
+        mapping = SchemaMapping(source, target, [])
+        engine = ExchangeEngine.compile(mapping)
+        I = instance(source, {"A": [["u"]]})
+        assert engine.exchange(I).is_empty()
+        assert engine.put_back(empty_instance(target), I) == I
+
+
+class TestSelfJoinPremises:
+    def test_two_atoms_same_relation(self):
+        source = schema(relation("Edge", "a", "b"))
+        target = schema(relation("TwoStep", "a", "c"))
+        mapping = SchemaMapping.parse(
+            source, target, "Edge(x, y), Edge(y, z) -> TwoStep(x, z)"
+        )
+        I = instance(source, {"Edge": [["p", "q"], ["q", "r"]]})
+        engine = ExchangeEngine.compile(mapping, Statistics.gather(I))
+        out = engine.exchange(I)
+        assert (constant("p"), constant("r")) in out.rows("TwoStep")
+        assert homomorphically_equivalent(out, universal_solution(mapping, I))
+
+    def test_self_join_incremental_insert(self):
+        from repro.compiler import IncrementalExchange
+        from repro.lenses.delta import InstanceDelta
+
+        source = schema(relation("Edge", "a", "b"))
+        target = schema(relation("TwoStep", "a", "c"))
+        mapping = SchemaMapping.parse(
+            source, target, "Edge(x, y), Edge(y, z) -> TwoStep(x, z)"
+        )
+        I = instance(source, {"Edge": [["p", "q"]]})
+        engine = ExchangeEngine.compile(mapping)
+        incremental = IncrementalExchange(engine.lens)
+        old_target = engine.exchange(I)
+        # The new edge participates in both premise atom roles.
+        delta = InstanceDelta([Fact("Edge", (constant("q"), constant("p")))], [])
+        refreshed = incremental.refresh(delta, I, old_target)
+        recomputed = engine.exchange(delta.apply(I))
+        assert refreshed.same_facts(recomputed)
+        assert (constant("p"), constant("p")) in refreshed.rows("TwoStep")
+
+
+class TestBroadRandomCompleteness:
+    def test_thirty_seed_sweep(self):
+        """A wider sweep than E8's bench: every seed must be complete."""
+        from repro.compiler import check_completeness
+        from repro.workloads import random_exchange_setting
+
+        incomplete = []
+        for seed in range(30):
+            mapping, inst = random_exchange_setting(
+                seed, n_source_relations=2, n_target_relations=2, n_tgds=2,
+                rows_per_relation=4,
+            )
+            engine = ExchangeEngine.compile(mapping, Statistics.gather(inst))
+            report = check_completeness(engine, [inst])
+            if not report.complete:
+                incomplete.append((seed, report.failures))
+        assert not incomplete, incomplete

@@ -1,0 +1,153 @@
+"""The introduction's Person1 → Person2 questions, answered executably.
+
+The paper opens with four questions about a "trivial" exchange; each test
+here is one of those questions with the machinery's answer.
+"""
+
+import pytest
+
+from repro.compiler import ExchangeEngine, Hints
+from repro.relational import (
+    Fact,
+    FunctionalDependency,
+    constant,
+    is_null,
+)
+from repro.rlens import ConstantPolicy, EnvironmentPolicy, FdPolicy
+from repro.stats import Statistics
+from repro.workloads import person_scenario
+
+
+@pytest.fixture
+def scenario():
+    return person_scenario()
+
+
+@pytest.fixture
+def engine(scenario):
+    return ExchangeEngine.compile(
+        scenario.mapping, Statistics.gather(scenario.sample)
+    )
+
+
+class TestHowDoesOnePopulateSalary:
+    """'Should it be filled in by nulls, or as a function of ...?'"""
+
+    def test_default_answer_is_nulls(self, scenario, engine):
+        exchanged = engine.exchange(scenario.sample)
+        salary_position = scenario.target["Person2"].position_of("salary")
+        assert all(
+            is_null(row[salary_position]) for row in exchanged.rows("Person2")
+        )
+
+    def test_nulls_are_canonical_hence_updatable_later(self, scenario, engine):
+        """Two exchanges agree on which placeholder stands for which person."""
+        first = engine.exchange(scenario.sample)
+        second = engine.exchange(scenario.sample)
+        assert first == second
+
+
+class TestHowDoesOnePopulateZipCode:
+    """'Should it be filled in by nulls, or as a function of the City?'"""
+
+    def test_the_mapping_answers_via_the_lookup_join(self, scenario, engine):
+        exchanged = engine.exchange(scenario.sample)
+        zip_position = scenario.target["Person2"].position_of("zipcode")
+        zips = {row[zip_position] for row in exchanged.rows("Person2")}
+        assert zips == {constant("49001"), constant("49002")}
+
+
+class TestHowAreChangesMigratedBack:
+    """'how are those changes migrated back to the Person1 instance?'"""
+
+    def test_deletion_migrates_back(self, scenario, engine):
+        exchanged = engine.exchange(scenario.sample)
+        alice = next(
+            f for f in exchanged.facts() if f.row[1] == constant("Alice")
+        )
+        edited = exchanged.without_facts([alice])
+        back = engine.put_back(edited, scenario.sample)
+        names = {row[1] for row in back.rows("Person1")}
+        assert constant("Alice") not in names
+
+    def test_insertion_migrates_back(self, scenario, engine):
+        exchanged = engine.exchange(scenario.sample)
+        new_person = Fact(
+            "Person2",
+            (constant(9), constant("Dana"), constant(1), constant("49001")),
+        )
+        back = engine.put_back(exchanged.with_facts([new_person]), scenario.sample)
+        dana = next(r for r in back.rows("Person1") if r[0] == constant(9))
+        assert dana[1] == constant("Dana")
+
+
+class TestIsTheAgeFieldPreserved:
+    """'Is the Age field preserved? How does one calculate City?'
+
+    The answer is a *policy question*, and every one of the paper's four
+    policy options works.
+    """
+
+    def _hints(self, policy_for_age):
+        hints = Hints(environment={"default_age": 18})
+        hints.set_column_policy("Person1", "age", policy_for_age)
+        return hints
+
+    def _insert_dana(self, scenario, engine):
+        exchanged = engine.exchange(scenario.sample)
+        new_person = Fact(
+            "Person2",
+            (constant(9), constant("Dana"), constant(1), constant("49001")),
+        )
+        back = engine.put_back(exchanged.with_facts([new_person]), scenario.sample)
+        return next(r for r in back.rows("Person1") if r[0] == constant(9))
+
+    def test_null_answer(self, scenario):
+        engine = ExchangeEngine.compile(scenario.mapping)
+        dana = self._insert_dana(scenario, engine)
+        assert is_null(dana[2])
+
+    def test_constant_answer(self, scenario):
+        engine = ExchangeEngine.compile(
+            scenario.mapping, hints=self._hints(ConstantPolicy(0))
+        )
+        dana = self._insert_dana(scenario, engine)
+        assert dana[2] == constant(0)
+
+    def test_environment_answer(self, scenario):
+        engine = ExchangeEngine.compile(
+            scenario.mapping, hints=self._hints(EnvironmentPolicy("default_age"))
+        )
+        dana = self._insert_dana(scenario, engine)
+        assert dana[2] == constant(18)
+
+    def test_existing_age_survives_round_trips(self, scenario, engine):
+        """Ages of people untouched by the edit are never disturbed."""
+        exchanged = engine.exchange(scenario.sample)
+        back = engine.put_back(exchanged, scenario.sample)
+        assert back == scenario.sample
+
+
+class TestGrandTour:
+    """Every shipped scenario supports the full workflow end to end."""
+
+    def test_compile_exchange_put_questions_recovery(self):
+        from repro.mapping import is_recovery, maximum_recovery
+        from repro.workloads import all_scenarios
+
+        for scenario in all_scenarios():
+            engine = ExchangeEngine.compile(
+                scenario.mapping, Statistics.gather(scenario.sample)
+            )
+            exchanged = engine.exchange(scenario.sample)
+            assert engine.put_back(exchanged, scenario.sample) == scenario.sample
+            assert isinstance(engine.show_plan(), str)
+            engine.policy_questions()  # must not raise
+            recovery = maximum_recovery(scenario.mapping)
+            assert is_recovery(scenario.mapping, recovery, [scenario.sample]), (
+                scenario.name
+            )
+            session = engine.symmetric_session()
+            view, complement = session.putr(scenario.sample, session.missing)
+            back, _ = session.putl(view, complement)
+            assert back == scenario.sample, scenario.name

@@ -1,0 +1,69 @@
+"""Tests for the public API surface: everything advertised is importable
+and every ``__all__`` entry resolves."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.relational",
+    "repro.logic",
+    "repro.mapping",
+    "repro.lenses",
+    "repro.rlens",
+    "repro.compiler",
+    "repro.stats",
+    "repro.channels",
+    "repro.workloads",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_entries_resolve(package):
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__"), f"{package} has no __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.{name} is advertised but missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_entries_are_sorted_and_unique(package):
+    module = importlib.import_module(package)
+    names = list(module.__all__)
+    assert len(names) == len(set(names)), f"duplicates in {package}.__all__"
+
+
+def test_readme_quickstart_names_exist():
+    """The names the README's quickstart uses are in the top namespace."""
+    import repro
+
+    for name in [
+        "ExchangeEngine",
+        "Hints",
+        "SchemaMapping",
+        "Statistics",
+        "instance",
+        "relation",
+        "schema",
+    ]:
+        assert hasattr(repro, name)
+
+
+def test_version_is_exposed():
+    import repro
+
+    assert repro.__version__
+
+
+def test_cli_module_importable():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    assert parser.prog == "repro"
+
+
+def test_docstrings_on_public_modules():
+    for package in PACKAGES:
+        module = importlib.import_module(package)
+        assert module.__doc__, f"{package} lacks a module docstring"

@@ -1,0 +1,156 @@
+"""A genuine symmetric exchange: two independent views over a universal U.
+
+The paper's span picture in its realistic form: the universal set U is an
+HR database; S (a directory) and T (a badge roster) are *both* views of
+it through compiled exchange lenses.  ``span_exchange`` yields a
+symmetric lens S ↔ T where neither side is master — the complement (the
+HR database) "contains all the information of both, and in general even
+more besides".
+"""
+
+import pytest
+
+from repro.compiler import ExchangeEngine, Hints
+from repro.lenses import check_symmetric_laws
+from repro.mapping import SchemaMapping
+from repro.relational import Fact, constant, instance, relation, schema
+from repro.rlens import ConstantPolicy, span_exchange
+
+
+@pytest.fixture
+def setting():
+    universal = schema(relation("Person", "name", "site", "badge"))
+    directory = schema(relation("Directory", "name", "site"))
+    roster = schema(relation("Badge", "name", "badge"))
+
+    to_directory = SchemaMapping.parse(
+        universal, directory, "Person(n, s, b) -> Directory(n, s)"
+    )
+    to_roster = SchemaMapping.parse(
+        universal, roster, "Person(n, s, b) -> Badge(n, b)"
+    )
+    # The directory leg must fill Person.badge when a directory row is
+    # (re)justified: restore it via the FD name → badge from the pre-edit
+    # universe, falling back to a default for brand-new people.  The
+    # roster leg symmetrically restores Person.site via name → site.
+    from repro.relational import FunctionalDependency
+    from repro.rlens import FdPolicy
+
+    hints = Hints()
+    hints.set_column_policy(
+        "Person",
+        "badge",
+        FdPolicy(
+            FunctionalDependency("Person", ("name",), ("badge",)),
+            fallback=ConstantPolicy("unissued"),
+        ),
+    )
+    hints2 = Hints()
+    hints2.set_column_policy(
+        "Person",
+        "site",
+        FdPolicy(
+            FunctionalDependency("Person", ("name",), ("site",)),
+            fallback=ConstantPolicy("unassigned"),
+        ),
+    )
+    left = ExchangeEngine.compile(to_directory, hints=hints).lens
+    right = ExchangeEngine.compile(to_roster, hints=hints2).lens
+    sym = span_exchange(left, right)
+
+    hr = instance(
+        universal,
+        {
+            "Person": [
+                ["ann", "berlin", "B1"],
+                ["bob", "lisbon", "B2"],
+            ]
+        },
+    )
+    return sym, left, right, hr
+
+
+def directory_fact(name, site):
+    return Fact("Directory", (constant(name), constant(site)))
+
+
+def badge_fact(name, badge):
+    return Fact("Badge", (constant(name), constant(badge)))
+
+
+class TestTwoViewSpan:
+    def test_putr_derives_the_other_view(self, setting):
+        sym, left, right, hr = setting
+        directory_state = left.get(hr)
+        roster, complement = sym.putr(directory_state, sym.missing)
+        # From a fresh complement the badges are policy defaults...
+        badges = {r[1] for r in roster.rows("Badge")}
+        assert badges == {constant("unissued")}
+
+    def test_fd_policies_align_modifications(self, setting):
+        """The paper's FD policy does alignment work: re-justified rows
+        recover the other view's private column from the pre-edit U."""
+        sym, left, right, hr = setting
+        # Seed U with the true HR data: fold the real roster in, then the
+        # real directory. The FD policies keep each side's private column
+        # alive across the pushes.
+        real_roster = right.get(hr)
+        _, complement = sym.putl(real_roster, sym.missing)
+        roster_after, complement = sym.putr(left.get(hr), complement)
+        assert badge_fact("ann", "B1") in roster_after
+        assert badge_fact("bob", "B2") in roster_after
+
+    def test_value_change_keeps_other_sides_column(self, setting):
+        """Changing ann's badge (delete+insert to the state-based put)
+        does not lose her site: the site FD restores it."""
+        sym, left, right, hr = setting
+        real_roster = right.get(hr)
+        _, complement = sym.putl(real_roster, sym.missing)
+        directory_before, complement_view = sym.putr(
+            left.get(hr), complement
+        )
+        complement = complement_view
+        reissued = right.get(hr).without_facts(
+            [badge_fact("ann", "B1")]
+        ).with_facts([badge_fact("ann", "B9")])
+        directory_now, complement = sym.putl(reissued, complement)
+        # ann's site survived the badge change...
+        assert directory_fact("ann", "berlin") in directory_now
+        # ...and her new badge is in the universe.
+        roster_now, _ = sym.putr(directory_now, complement)
+        assert badge_fact("ann", "B9") in roster_now
+        assert badge_fact("bob", "B2") in roster_now
+
+    def test_edit_on_either_side_propagates(self, setting):
+        sym, left, right, hr = setting
+        directory_state = left.get(hr)
+        _, complement = sym.putr(directory_state, sym.missing)
+        # Directory side hires cyd: the roster side sees the fallback
+        # badge (the FD has never seen cyd).
+        edited = directory_state.with_facts([directory_fact("cyd", "rome")])
+        roster, complement = sym.putr(edited, complement)
+        assert badge_fact("cyd", "unissued") in roster
+        # Roster side issues the badge; cyd's site survives via the FD.
+        issued = roster.without_facts(
+            [badge_fact("cyd", "unissued")]
+        ).with_facts([badge_fact("cyd", "B3")])
+        directory_after, complement = sym.putl(issued, complement)
+        assert directory_fact("cyd", "rome") in directory_after
+        assert directory_fact("ann", "berlin") in directory_after
+        assert directory_fact("bob", "lisbon") in directory_after
+
+    def test_symmetric_laws_hold(self, setting):
+        sym, left, right, hr = setting
+        directory_state = left.get(hr)
+        roster_state = right.get(hr)
+        violations = check_symmetric_laws(
+            sym, [directory_state], [roster_state]
+        )
+        assert violations == []
+
+    def test_inversion_swaps_the_views(self, setting):
+        sym, left, right, hr = setting
+        inverted = sym.invert()
+        roster_state = right.get(hr)
+        directory_out, _ = inverted.putr(roster_state, inverted.missing)
+        assert "Directory" in directory_out.schema

@@ -1,0 +1,87 @@
+"""Tests for basic asymmetric lenses."""
+
+import pytest
+
+from repro.lenses import (
+    FunctionLens,
+    IdentityLens,
+    IsoLens,
+    MissingSourceError,
+)
+
+
+@pytest.fixture
+def pair_first_lens():
+    """The canonical toy lens: view the first slot of a pair."""
+    return FunctionLens(
+        get_fn=lambda s: s[0],
+        put_fn=lambda v, s: (v, s[1]),
+        create_fn=lambda v: (v, 0),
+        name="first",
+    )
+
+
+class TestFunctionLens:
+    def test_get(self, pair_first_lens):
+        assert pair_first_lens.get((1, 2)) == 1
+
+    def test_put(self, pair_first_lens):
+        assert pair_first_lens.put(9, (1, 2)) == (9, 2)
+
+    def test_create(self, pair_first_lens):
+        assert pair_first_lens.create(7) == (7, 0)
+
+    def test_create_without_fn_raises(self):
+        lens = FunctionLens(lambda s: s, lambda v, s: v)
+        with pytest.raises(MissingSourceError):
+            lens.create(1)
+
+    def test_well_behaved(self, pair_first_lens):
+        source = (1, 2)
+        assert pair_first_lens.put(pair_first_lens.get(source), source) == source
+        assert pair_first_lens.get(pair_first_lens.put(5, source)) == 5
+
+
+class TestIdentityLens:
+    def test_round_trip(self):
+        lens = IdentityLens()
+        assert lens.get("s") == "s"
+        assert lens.put("v", "s") == "v"
+        assert lens.create("v") == "v"
+
+
+class TestIsoLens:
+    @pytest.fixture
+    def celsius_fahrenheit(self):
+        return IsoLens(
+            forward=lambda c: c * 9 / 5 + 32,
+            backward=lambda f: (f - 32) * 5 / 9,
+            name="c2f",
+        )
+
+    def test_forward_backward(self, celsius_fahrenheit):
+        assert celsius_fahrenheit.get(100) == 212
+        assert celsius_fahrenheit.put(32, None) == 0
+
+    def test_put_ignores_source(self, celsius_fahrenheit):
+        assert celsius_fahrenheit.put(212, 1234) == 100
+
+    def test_inverse_swaps(self, celsius_fahrenheit):
+        inv = celsius_fahrenheit.inverse()
+        assert inv.get(212) == 100
+        assert inv.inverse().get(100) == 212
+
+    def test_create(self, celsius_fahrenheit):
+        assert celsius_fahrenheit.create(212) == 100
+
+
+class TestCompositionSugar:
+    def test_then_and_rshift(self, pair_first_lens):
+        upper = FunctionLens(
+            get_fn=str.upper, put_fn=lambda v, s: v.lower(), name="upper"
+        )
+        composed = pair_first_lens.then(upper)
+        assert composed.get(("ab", 1)) == "AB"
+        via_operator = pair_first_lens >> upper
+        assert via_operator.get(("ab", 1)) == "AB"
+        assert composed.put("XY", ("ab", 1)) == ("xy", 1)

@@ -1,0 +1,142 @@
+"""Tests for lens combinators and their law preservation."""
+
+import pytest
+
+from repro.lenses import (
+    ComposeLens,
+    ConstLens,
+    FieldLens,
+    FstLens,
+    FunctionLens,
+    IdentityLens,
+    MissingSourceError,
+    ProductLens,
+    SndLens,
+    check_well_behaved,
+    compose_all,
+)
+
+
+def first_lens():
+    return FunctionLens(
+        get_fn=lambda s: s[0],
+        put_fn=lambda v, s: (v, s[1]),
+        create_fn=lambda v: (v, 0),
+        name="first",
+    )
+
+
+class TestCompose:
+    def test_get_composes(self):
+        lens = ComposeLens(first_lens(), first_lens())
+        assert lens.get(((1, 2), 3)) == 1
+
+    def test_put_threads_through_middle(self):
+        lens = ComposeLens(first_lens(), first_lens())
+        assert lens.put(9, ((1, 2), 3)) == ((9, 2), 3)
+
+    def test_create(self):
+        lens = ComposeLens(first_lens(), first_lens())
+        assert lens.create(9) == ((9, 0), 0)
+
+    def test_composition_preserves_laws(self):
+        lens = ComposeLens(first_lens(), first_lens())
+        sources = [((1, 2), 3), ((4, 5), 6)]
+        violations = check_well_behaved(lens, sources, lambda s: [9, s[0][0]])
+        assert violations == []
+
+    def test_compose_all(self):
+        lens = compose_all(first_lens(), first_lens())
+        assert lens.get(((1, 2), 3)) == 1
+
+    def test_compose_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            compose_all()
+
+
+class TestProduct:
+    def test_componentwise(self):
+        lens = ProductLens(first_lens(), IdentityLens())
+        assert lens.get(((1, 2), "x")) == (1, "x")
+        assert lens.put((9, "y"), ((1, 2), "x")) == ((9, 2), "y")
+
+    def test_create(self):
+        lens = ProductLens(first_lens(), IdentityLens())
+        assert lens.create((3, "z")) == ((3, 0), "z")
+
+    def test_laws(self):
+        lens = ProductLens(first_lens(), IdentityLens())
+        sources = [((1, 2), "x")]
+        violations = check_well_behaved(
+            lens, sources, lambda s: [(9, "q"), (s[0][0], s[1])]
+        )
+        assert violations == []
+
+
+class TestConst:
+    def test_get_is_constant(self):
+        lens = ConstLens("k", default="d")
+        assert lens.get("anything") == "k"
+
+    def test_put_accepts_only_constant(self):
+        lens = ConstLens("k", default="d")
+        assert lens.put("k", "s") == "s"
+        with pytest.raises(ValueError):
+            lens.put("other", "s")
+
+    def test_create_uses_default(self):
+        assert ConstLens("k", default="d").create("k") == "d"
+
+    def test_create_without_default_raises(self):
+        with pytest.raises(MissingSourceError):
+            ConstLens("k").create("k")
+
+    def test_create_rejects_wrong_view(self):
+        with pytest.raises(ValueError):
+            ConstLens("k", default="d").create("wrong")
+
+
+class TestProjections:
+    def test_fst(self):
+        lens = FstLens(default_second=0)
+        assert lens.get((1, 2)) == 1
+        assert lens.put(9, (1, 2)) == (9, 2)
+        assert lens.create(5) == (5, 0)
+
+    def test_fst_without_default(self):
+        with pytest.raises(MissingSourceError):
+            FstLens().create(1)
+
+    def test_snd(self):
+        lens = SndLens(default_first="a")
+        assert lens.get((1, 2)) == 2
+        assert lens.put(9, (1, 2)) == (1, 9)
+        assert lens.create(9) == ("a", 9)
+
+
+class TestFieldLens:
+    def test_get_put(self):
+        lens = FieldLens("name")
+        record = {"name": "ann", "age": 3}
+        assert lens.get(record) == "ann"
+        assert lens.put("bob", record) == {"name": "bob", "age": 3}
+
+    def test_put_does_not_mutate(self):
+        lens = FieldLens("name")
+        record = {"name": "ann"}
+        lens.put("bob", record)
+        assert record["name"] == "ann"
+
+    def test_create_with_defaults(self):
+        lens = FieldLens("name", defaults=(("age", 0),))
+        assert lens.create("zed") == {"age": 0, "name": "zed"}
+
+    def test_create_without_defaults_raises(self):
+        with pytest.raises(MissingSourceError):
+            FieldLens("name").create("zed")
+
+    def test_laws(self):
+        lens = FieldLens("name")
+        sources = [{"name": "ann", "age": 1}]
+        violations = check_well_behaved(lens, sources, lambda s: ["x", s["name"]])
+        assert violations == []

@@ -1,0 +1,166 @@
+"""Tests for delta lenses and the delta algebra."""
+
+import pytest
+
+from repro.lenses.delta import (
+    InstanceDelta,
+    ProjectionDeltaLens,
+    check_delta_agrees_with_state,
+    check_delta_composition,
+    check_delta_identity,
+    check_delta_putget,
+    delta_lens_from_lens,
+)
+from repro.relational import Fact, constant, instance, relation, schema
+from repro.rlens import ConstantPolicy, ProjectLens
+
+PERSON = relation("Person", "id", "name", "city")
+S = schema(PERSON)
+
+
+def fact(relname, *values):
+    return Fact(relname, tuple(constant(v) for v in values))
+
+
+@pytest.fixture
+def source():
+    return instance(
+        S,
+        {"Person": [[1, "ann", "nyc"], [2, "bob", "sfo"]]},
+    )
+
+
+@pytest.fixture
+def project():
+    return ProjectLens(PERSON, ("id", "name"), "V", {"city": ConstantPolicy("?")})
+
+
+class TestInstanceDelta:
+    def test_overlap_cancels(self):
+        f = fact("Person", 1, "a", "c")
+        delta = InstanceDelta([f], [f])
+        assert delta.is_identity()
+
+    def test_apply(self, source):
+        delta = InstanceDelta(
+            [fact("Person", 3, "cyd", "rio")], [fact("Person", 1, "ann", "nyc")]
+        )
+        out = delta.apply(source)
+        assert fact("Person", 3, "cyd", "rio") in out
+        assert fact("Person", 1, "ann", "nyc") not in out
+
+    def test_diff(self, source):
+        new = source.with_facts([fact("Person", 3, "cyd", "rio")])
+        delta = InstanceDelta.diff(source, new)
+        assert delta.inserts == frozenset([fact("Person", 3, "cyd", "rio")])
+        assert delta.deletes == frozenset()
+
+    def test_diff_then_apply_round_trips(self, source):
+        new = source.without_facts([fact("Person", 2, "bob", "sfo")]).with_facts(
+            [fact("Person", 9, "zed", "ber")]
+        )
+        assert InstanceDelta.diff(source, new).apply(source).same_facts(new)
+
+    def test_composition(self):
+        f1, f2 = fact("Person", 1, "a", "c"), fact("Person", 2, "b", "d")
+        first = InstanceDelta([f1], [])
+        second = InstanceDelta([f2], [f1])
+        combined = first.then(second)
+        assert combined.inserts == frozenset([f2])
+        # −f1 survives: a state that held f1 *before* d1 must lose it.
+        assert combined.deletes == frozenset([f1])
+
+    def test_composition_agrees_with_sequential_application(self, source):
+        d1 = InstanceDelta([fact("Person", 3, "c", "x")], [])
+        d2 = InstanceDelta([], [fact("Person", 3, "c", "x")])
+        combined = d1.then(d2)
+        assert combined.apply(source).same_facts(d2.apply(d1.apply(source)))
+
+    def test_invert(self, source):
+        delta = InstanceDelta([fact("Person", 3, "c", "x")], [fact("Person", 1, "ann", "nyc")])
+        assert delta.invert().apply(delta.apply(source)).same_facts(source)
+
+    def test_size_and_identity(self):
+        assert InstanceDelta.identity().size() == 0
+        assert InstanceDelta([fact("R", 1)], []).size() == 1
+
+
+def view_deltas(source, view):
+    facts = sorted(view.facts(), key=repr)
+    deltas = [InstanceDelta.identity()]
+    if facts:
+        deltas.append(InstanceDelta([], [facts[0]]))
+    deltas.append(InstanceDelta([fact("V", 77, "new")], []))
+    return deltas
+
+
+class TestStateDiffEmbedding:
+    def test_get_delegates(self, source, project):
+        embedded = delta_lens_from_lens(project)
+        assert embedded.get(source) == project.get(source)
+
+    def test_identity_law(self, source, project):
+        embedded = delta_lens_from_lens(project)
+        assert check_delta_identity(embedded, [source]) == []
+
+    def test_putget_law(self, source, project):
+        embedded = delta_lens_from_lens(project)
+        assert check_delta_putget(embedded, [source], view_deltas) == []
+
+    def test_composition_law(self, source, project):
+        embedded = delta_lens_from_lens(project)
+        assert check_delta_composition(embedded, [source], view_deltas) == []
+
+    def test_state_put_derived_from_delta(self, source, project):
+        embedded = delta_lens_from_lens(project)
+        view = project.get(source).with_facts([fact("V", 5, "eve")])
+        assert embedded.put(view, source) == project.put(view, source)
+
+
+class TestNativeProjectionDeltaLens:
+    def test_insert_translates_to_one_source_row(self, source, project):
+        native = ProjectionDeltaLens(project)
+        delta = InstanceDelta([fact("V", 5, "eve")], [])
+        out = native.put_delta(delta, source)
+        assert len(out.inserts) == 1
+        (inserted,) = out.inserts
+        assert inserted.row[:2] == (constant(5), constant("eve"))
+        assert inserted.row[2] == constant("?")
+
+    def test_delete_removes_all_preimages(self, project):
+        dup_source = instance(
+            S, {"Person": [[1, "ann", "nyc"], [1, "ann", "rio"]]}
+        )
+        native = ProjectionDeltaLens(project)
+        delta = InstanceDelta([], [fact("V", 1, "ann")])
+        out = native.put_delta(delta, dup_source)
+        assert len(out.deletes) == 2
+
+    def test_covered_insert_is_noop(self, source, project):
+        native = ProjectionDeltaLens(project)
+        delta = InstanceDelta([fact("V", 1, "ann")], [])
+        out = native.put_delta(delta, source)
+        assert out.is_identity()
+
+    def test_laws(self, source, project):
+        native = ProjectionDeltaLens(project)
+        assert check_delta_identity(native, [source]) == []
+        assert check_delta_putget(native, [source], view_deltas) == []
+        assert check_delta_composition(native, [source], view_deltas) == []
+
+    def test_agrees_with_state_based_reference(self, source, project):
+        native = ProjectionDeltaLens(project)
+        violations = check_delta_agrees_with_state(
+            native, project, [source], view_deltas
+        )
+        assert violations == []
+
+    def test_work_is_delta_sized(self, project):
+        """The native translation emits deltas, never whole states."""
+        big = instance(
+            S, {"Person": [[i, f"n{i}", "c"] for i in range(200)]}
+        )
+        native = ProjectionDeltaLens(project)
+        delta = InstanceDelta([], [fact("V", 7, "n7")])
+        out = native.put_delta(delta, big)
+        assert out.size() == 1  # one delete, nothing else

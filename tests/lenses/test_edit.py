@@ -1,0 +1,115 @@
+"""Tests for edit lenses and the edit algebra."""
+
+import pytest
+
+from repro.lenses import (
+    DeleteRow,
+    IdentityEdit,
+    InsertRow,
+    Replace,
+    SequenceEdit,
+    check_edit_compatibility,
+    check_edit_lens_round_trip,
+    check_edit_stability,
+    edit_lens_from_lens,
+)
+from repro.relational import constant, instance, relation, schema
+from repro.rlens import ProjectLens
+
+
+class TestEditAlgebra:
+    def test_identity(self):
+        assert IdentityEdit().apply("s") == "s"
+
+    def test_replace(self):
+        assert Replace("t").apply("s") == "t"
+
+    def test_sequence(self):
+        edit = Replace("a").then(Replace("b"))
+        assert isinstance(edit, SequenceEdit)
+        assert edit.apply("s") == "b"
+
+    def test_empty_sequence_is_identity(self):
+        assert SequenceEdit(()).apply("s") == "s"
+
+
+class TestRelationalEdits:
+    @pytest.fixture
+    def inst(self):
+        s = schema(relation("R", "a"))
+        return instance(s, {"R": [[1]]})
+
+    def test_insert_row(self, inst):
+        out = InsertRow("R", (constant(2),)).apply(inst)
+        assert out.size() == 2
+
+    def test_delete_row(self, inst):
+        out = DeleteRow("R", (constant(1),)).apply(inst)
+        assert out.is_empty()
+
+    def test_delete_missing_is_noop(self, inst):
+        out = DeleteRow("R", (constant(9),)).apply(inst)
+        assert out == inst
+
+    def test_edit_sequences_compose(self, inst):
+        edit = InsertRow("R", (constant(2),)).then(DeleteRow("R", (constant(1),)))
+        out = edit.apply(inst)
+        assert out.rows("R") == {(constant(2),)}
+
+
+class TestStateBackedEditLens:
+    @pytest.fixture
+    def setting(self):
+        rel = relation("P", "id", "name", "city")
+        lens = ProjectLens(rel, ("id", "name"), "V")
+        s = schema(rel)
+        source = instance(s, {"P": [[1, "ann", "nyc"], [2, "bob", "sfo"]]})
+        return edit_lens_from_lens(lens), source
+
+    def test_initial(self, setting):
+        edit_lens, source = setting
+        view, complement = edit_lens.initial(source)
+        assert len(view.rows("V")) == 2
+        assert complement == (source, view)
+
+    def test_push_right_propagates_insert(self, setting):
+        edit_lens, source = setting
+        view, complement = edit_lens.initial(source)
+        edit = InsertRow("P", (constant(3), constant("cyd"), constant("ber")))
+        view_edit, _ = edit_lens.push_right(edit, complement)
+        new_view = view_edit.apply(view)
+        assert (constant(3), constant("cyd")) in new_view.rows("V")
+
+    def test_push_left_propagates_delete(self, setting):
+        edit_lens, source = setting
+        view, complement = edit_lens.initial(source)
+        edit = DeleteRow("V", (constant(1), constant("ann")))
+        source_edit, _ = edit_lens.push_left(edit, complement)
+        new_source = source_edit.apply(source)
+        assert len(new_source.rows("P")) == 1
+
+    def test_stability_law(self, setting):
+        edit_lens, source = setting
+        assert check_edit_stability(edit_lens, [source]) == []
+
+    def test_compatibility_law(self, setting):
+        edit_lens, source = setting
+
+        def edits_for(state):
+            return [
+                InsertRow("P", (constant(9), constant("zed"), constant("rio"))),
+                IdentityEdit(),
+            ]
+
+        assert check_edit_compatibility(edit_lens, [source], edits_for) == []
+
+    def test_round_trip_law(self, setting):
+        edit_lens, source = setting
+
+        def edits_for(state):
+            return [
+                InsertRow("P", (constant(9), constant("zed"), constant("rio"))),
+                DeleteRow("P", (constant(1), constant("ann"), constant("nyc"))),
+            ]
+
+        assert check_edit_lens_round_trip(edit_lens, [source], edits_for) == []

@@ -1,0 +1,118 @@
+"""Tests for the law-checking harness itself (it must catch violations)."""
+
+from repro.lenses import (
+    FunctionLens,
+    check_create_get,
+    check_getput,
+    check_putget,
+    check_putput,
+    check_very_well_behaved,
+    check_well_behaved,
+)
+
+
+def lawful_lens():
+    return FunctionLens(
+        get_fn=lambda s: s[0],
+        put_fn=lambda v, s: (v, s[1]),
+        create_fn=lambda v: (v, 0),
+        name="first",
+    )
+
+
+def putget_breaker():
+    """put ignores the view — PutGet must fail."""
+    return FunctionLens(
+        get_fn=lambda s: s[0],
+        put_fn=lambda v, s: s,
+        name="ignores-view",
+    )
+
+
+def getput_breaker():
+    """put always resets the complement — GetPut must fail."""
+    return FunctionLens(
+        get_fn=lambda s: s[0],
+        put_fn=lambda v, s: (v, 0),
+        name="resets-complement",
+    )
+
+
+def putput_breaker():
+    """put bumps the complement on every real change — PutPut must fail.
+
+    GetPut holds (a trivial put changes nothing) and PutGet holds, but two
+    successive puts leave a different complement than one direct put.
+    """
+    return FunctionLens(
+        get_fn=lambda s: s[0],
+        put_fn=lambda v, s: (v, s[1] + (0 if v == s[0] else 1)),
+        name="change-counting",
+    )
+
+
+SOURCES = [(1, 10), (2, 20)]
+
+
+def views(source):
+    return [99, source[0]]
+
+
+class TestDetection:
+    def test_lawful_lens_passes_everything(self):
+        assert check_well_behaved(lawful_lens(), SOURCES, views) == []
+        assert check_putput(lawful_lens(), SOURCES, views) == []
+
+    def test_putget_violation_detected(self):
+        violations = check_putget(putget_breaker(), SOURCES, views)
+        assert violations
+        assert all(v.law == "PutGet" for v in violations)
+
+    def test_getput_violation_detected(self):
+        violations = check_getput(getput_breaker(), SOURCES)
+        assert violations
+        assert all(v.law == "GetPut" for v in violations)
+
+    def test_putput_violation_detected(self):
+        violations = check_putput(putput_breaker(), SOURCES, views)
+        assert violations
+        assert all(v.law == "PutPut" for v in violations)
+
+    def test_putput_breaker_is_still_well_behaved(self):
+        # The counting lens satisfies PutGet and GetPut but not PutPut —
+        # exactly the "well-behaved but not very-well-behaved" class.
+        assert check_well_behaved(putput_breaker(), SOURCES, views) == []
+        assert check_very_well_behaved(putput_breaker(), SOURCES, views) != []
+
+    def test_create_get(self):
+        assert check_create_get(lawful_lens(), [1, 2]) == []
+        broken = FunctionLens(
+            get_fn=lambda s: s[0],
+            put_fn=lambda v, s: (v, s[1]),
+            create_fn=lambda v: (0, 0),
+            name="bad-create",
+        )
+        assert check_create_get(broken, [1]) != []
+
+
+class TestCustomEquality:
+    def test_equality_modulo_predicate(self):
+        # A lens lawful only up to case-insensitivity of the complement.
+        lens = FunctionLens(
+            get_fn=lambda s: s[0],
+            put_fn=lambda v, s: (v, s[1].upper()),
+            name="upcases-complement",
+        )
+        strict = check_getput(lens, [(1, "ab")])
+        assert strict
+        modulo = check_getput(
+            lens,
+            [(1, "ab")],
+            equal_sources=lambda a, b: (a[0], a[1].lower()) == (b[0], b[1].lower()),
+        )
+        assert modulo == []
+
+    def test_violation_reports_are_descriptive(self):
+        violations = check_putget(putget_breaker(), SOURCES, views)
+        assert "get(put" in violations[0].detail
+        assert "PutGet" in repr(violations[0])

@@ -1,0 +1,97 @@
+"""Property-based tests (hypothesis) for abstract lens laws."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lenses import (
+    ComposeLens,
+    FunctionLens,
+    IdentityLens,
+    ProductLens,
+    span,
+)
+
+pairs = st.tuples(st.integers(-5, 5), st.integers(-5, 5))
+triples = st.tuples(st.integers(-5, 5), st.integers(-5, 5), st.integers(-5, 5))
+
+
+def fst():
+    return FunctionLens(
+        get_fn=lambda s: s[0],
+        put_fn=lambda v, s: (v,) + tuple(s[1:]),
+        create_fn=lambda v: (v, 0),
+        name="fst",
+    )
+
+
+def snd():
+    return FunctionLens(
+        get_fn=lambda s: s[1],
+        put_fn=lambda v, s: (s[0], v) + tuple(s[2:]),
+        create_fn=lambda v: (0, v),
+        name="snd",
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(pairs, st.integers(-5, 5))
+def test_fst_well_behaved(source, view):
+    lens = fst()
+    assert lens.put(lens.get(source), source) == source
+    assert lens.get(lens.put(view, source)) == view
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.tuples(pairs, st.integers(-5, 5)), st.integers(-5, 5))
+def test_composition_preserves_laws(source, view):
+    lens = ComposeLens(fst(), fst())
+    assert lens.put(lens.get(source), source) == source
+    assert lens.get(lens.put(view, source)) == view
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.tuples(pairs, pairs), st.tuples(st.integers(-5, 5), st.integers(-5, 5)))
+def test_product_preserves_laws(source, view):
+    lens = ProductLens(fst(), snd())
+    assert lens.put(lens.get(source), source) == source
+    assert lens.get(lens.put(view, source)) == view
+
+
+@settings(max_examples=80, deadline=None)
+@given(pairs, st.lists(st.tuples(st.sampled_from(["r", "l"]), st.integers(-5, 5)), max_size=6))
+def test_span_symmetric_round_trips(initial, updates):
+    """After any update history, putr/putl round trips stabilize."""
+    lens = span(fst(), snd())
+    complement = lens.missing
+    # Establish a complement.
+    _, complement = lens.putr(initial[0], complement)
+    for direction, value in updates:
+        if direction == "r":
+            out, complement = lens.putr(value, complement)
+            back, complement2 = lens.putl(out, complement)
+            assert back == value
+            assert complement2 == complement
+        else:
+            out, complement = lens.putl(value, complement)
+            back, complement2 = lens.putr(out, complement)
+            assert back == value
+            assert complement2 == complement
+
+
+@settings(max_examples=80, deadline=None)
+@given(pairs)
+def test_identity_lens_is_neutral_for_composition(source):
+    lens = ComposeLens(IdentityLens(), fst())
+    direct = fst()
+    assert lens.get(source) == direct.get(source)
+    assert lens.put(9, source) == direct.put(9, source)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["r", "l"]), st.integers(-5, 5)), min_size=1, max_size=6))
+def test_inversion_swaps_histories(updates):
+    from repro.lenses import run_updates
+
+    lens = span(fst(), snd())
+    flipped = [("l" if d == "r" else "r", v) for d, v in updates]
+    assert run_updates(lens, updates) == run_updates(lens.invert(), flipped)

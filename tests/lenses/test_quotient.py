@@ -1,0 +1,82 @@
+"""Tests for quotient lenses: laws modulo canonizer equivalence."""
+
+import pytest
+
+from repro.lenses import (
+    Canonizer,
+    FunctionLens,
+    QuotientLens,
+    check_canonizer,
+    identity_canonizer,
+)
+
+
+@pytest.fixture
+def whitespace_canonizer():
+    """Strings modulo surrounding whitespace and case (canonical: stripped
+    lower-case), the classic quotient-lens example."""
+    return Canonizer(
+        canonize=lambda s: s.strip().lower(),
+        choose=lambda c: c,
+        name="strip+lower",
+    )
+
+
+@pytest.fixture
+def quotient(whitespace_canonizer):
+    """Upper-case view of a whitespace-quotiented string."""
+    core = FunctionLens(
+        get_fn=str.upper,
+        put_fn=lambda v, s: v.lower(),
+        create_fn=str.lower,
+        name="case",
+    )
+    return QuotientLens(whitespace_canonizer, core, identity_canonizer())
+
+
+class TestCanonizer:
+    def test_equivalence(self, whitespace_canonizer):
+        assert whitespace_canonizer.equivalent("  a ", "a")
+        assert not whitespace_canonizer.equivalent("a", "b")
+
+    def test_recanonize_law_holds(self, whitespace_canonizer):
+        assert check_canonizer(whitespace_canonizer, ["a", "b c"]) == []
+
+    def test_recanonize_violation_detected(self):
+        broken = Canonizer(canonize=str.strip, choose=lambda c: f" {c} ", name="pad")
+        # choose pads, canonize strips — still lawful. Break it properly:
+        truly_broken = Canonizer(
+            canonize=str.strip, choose=lambda c: c + "!", name="bang"
+        )
+        assert check_canonizer(broken, ["a"]) == []
+        assert check_canonizer(truly_broken, ["a"]) != []
+
+    def test_identity_canonizer(self):
+        ident = identity_canonizer()
+        assert ident.canonize(5) == 5
+        assert ident.equivalent(5, 5)
+
+
+class TestQuotientLens:
+    def test_get_canonizes_first(self, quotient):
+        assert quotient.get("  ab ") == "AB"
+
+    def test_put_returns_canonical_source(self, quotient):
+        assert quotient.put("XY", "  ab ") == "xy"
+
+    def test_create(self, quotient):
+        assert quotient.create("XY") == "xy"
+
+    def test_strict_getput_fails_but_quotient_laws_hold(self, quotient):
+        # Strict GetPut fails on non-canonical sources:
+        assert quotient.put(quotient.get(" ab "), " ab ") != " ab "
+        # ... but modulo the source equivalence everything is lawful.
+        violations = quotient.check_quotient_laws(
+            [" ab ", "cd", " EF"], lambda s: ["ZZ", quotient.get(s)]
+        )
+        assert violations == []
+
+    def test_equivalences_exposed(self, quotient):
+        assert quotient.source_equivalent(" a", "a ")
+        assert quotient.view_equivalent("A", "A")
+        assert not quotient.view_equivalent("A", "B")

@@ -1,0 +1,179 @@
+"""Tests for symmetric lenses: spans, composition, inversion, cospans."""
+
+import pytest
+
+from repro.lenses import (
+    CospanSynchronizer,
+    FunctionLens,
+    IdentitySymmetricLens,
+    check_symmetric_laws,
+    observationally_equivalent,
+    run_updates,
+    span,
+    to_span,
+)
+
+
+def fst_lens():
+    """Asymmetric lens U = (a, b) → a."""
+    return FunctionLens(
+        get_fn=lambda u: u[0],
+        put_fn=lambda v, u: (v, u[1]),
+        create_fn=lambda v: (v, "·"),
+        name="fst",
+    )
+
+
+def snd_lens():
+    """Asymmetric lens U = (a, b) → b."""
+    return FunctionLens(
+        get_fn=lambda u: u[1],
+        put_fn=lambda v, u: (u[0], v),
+        create_fn=lambda v: ("·", v),
+        name="snd",
+    )
+
+
+@pytest.fixture
+def pair_span():
+    """The classic symmetric lens: S and T are the two slots of a pair."""
+    return span(fst_lens(), snd_lens())
+
+
+class TestSpanLens:
+    def test_putr_from_missing_creates(self, pair_span):
+        t, c = pair_span.putr("a", pair_span.missing)
+        assert t == "·"
+        assert c == ("a", "·")
+
+    def test_putr_then_putl_round_trip(self, pair_span):
+        t, c = pair_span.putr("a", pair_span.missing)
+        s, c2 = pair_span.putl("b", c)
+        assert s == "a"
+        assert c2 == ("a", "b")
+
+    def test_alternating_updates(self, pair_span):
+        outputs = run_updates(
+            pair_span, [("r", "x"), ("l", "y"), ("r", "z")]
+        )
+        assert outputs == ["·", "x", "y"]
+
+    def test_laws(self, pair_span):
+        violations = check_symmetric_laws(pair_span, ["a", "b"], ["t", "u"])
+        assert violations == []
+
+
+class TestInversion:
+    def test_invert_swaps_directions(self, pair_span):
+        inv = pair_span.invert()
+        s, c = inv.putr("b-side", inv.missing)
+        assert c == ("·", "b-side")
+
+    def test_double_inversion_is_original(self, pair_span):
+        assert pair_span.invert().invert() is pair_span
+
+    def test_inverted_lens_satisfies_laws(self, pair_span):
+        violations = check_symmetric_laws(
+            pair_span.invert(), ["t1", "t2"], ["s1", "s2"]
+        )
+        assert violations == []
+
+    def test_inverse_is_observationally_inverse(self, pair_span):
+        seq = [("r", "x"), ("l", "y")]
+        flipped = [("l", "x"), ("r", "y")]
+        assert run_updates(pair_span, seq) == run_updates(pair_span.invert(), flipped)
+
+
+class TestComposition:
+    def test_compose_with_identity_is_equivalent(self, pair_span):
+        composed = pair_span.then(IdentitySymmetricLens())
+        sequences = [
+            [("r", "a"), ("l", "t"), ("r", "b")],
+            [("l", "t1"), ("r", "s1")],
+        ]
+        assert observationally_equivalent(pair_span, composed, sequences)
+
+    def test_composition_threads_complements(self, pair_span):
+        composed = pair_span.then(pair_span.invert())
+        # S → T → S: only the T-projection travels, so the right-hand
+        # output stays the default, but the first complement must record
+        # the pushed S-state.
+        out, c = composed.putr("a", composed.missing)
+        out2, c2 = composed.putr("b", c)
+        assert out2 == "·"
+        assert c2[0] == ("b", "·")
+        # Pushing left updates the S-side through the whole chain.
+        s_out, _ = composed.putl("z", c2)
+        assert s_out == "b"
+
+    def test_composed_laws(self, pair_span):
+        composed = pair_span.then(IdentitySymmetricLens())
+        assert check_symmetric_laws(composed, ["a"], ["t"]) == []
+
+    def test_rshift_operator(self, pair_span):
+        composed = pair_span >> IdentitySymmetricLens()
+        out, _ = composed.putr("a", composed.missing)
+        assert out == "·"
+
+
+class TestToSpan:
+    def test_round_trip_is_observationally_equivalent(self, pair_span):
+        left, right = to_span(pair_span)
+        rebuilt = span(left, right)
+        sequences = [
+            [("r", "a"), ("l", "t"), ("r", "b"), ("l", "u")],
+            [("l", "t"), ("r", "s")],
+        ]
+        assert observationally_equivalent(pair_span, rebuilt, sequences)
+
+    def test_legs_are_lawful_lenses(self, pair_span):
+        from repro.lenses import check_well_behaved
+
+        left, right = to_span(pair_span)
+        u0 = left.create("a")
+        violations = check_well_behaved(left, [u0], lambda s: ["x", s[0]])
+        assert violations == []
+
+
+class TestIdentitySymmetric:
+    def test_identity(self):
+        ident = IdentitySymmetricLens()
+        assert ident.putr("x", None) == ("x", None)
+        assert ident.putl("y", None) == ("y", None)
+        assert check_symmetric_laws(ident, ["a"], ["b"]) == []
+
+
+class TestCospan:
+    @pytest.fixture
+    def synchronizer(self):
+        """S = (name, age), T = (name, city): interface X = name."""
+        s_leg = FunctionLens(
+            get_fn=lambda s: s[0],
+            put_fn=lambda x, s: (x, s[1]),
+            name="s-name",
+        )
+        t_leg = FunctionLens(
+            get_fn=lambda t: t[0],
+            put_fn=lambda x, t: (x, t[1]),
+            name="t-name",
+        )
+        return CospanSynchronizer(s_leg, t_leg)
+
+    def test_sync_right(self, synchronizer):
+        assert synchronizer.sync_right(("ann", 30), ("old", "nyc")) == ("ann", "nyc")
+
+    def test_sync_left(self, synchronizer):
+        assert synchronizer.sync_left(("bob", "sfo"), ("old", 44)) == ("bob", 44)
+
+    def test_consistency(self, synchronizer):
+        assert synchronizer.consistent(("ann", 30), ("ann", "nyc"))
+        assert not synchronizer.consistent(("ann", 30), ("bob", "nyc"))
+
+    def test_sync_establishes_consistency(self, synchronizer):
+        s, t = ("ann", 30), ("bob", "nyc")
+        t2 = synchronizer.sync_right(s, t)
+        assert synchronizer.consistent(s, t2)
+
+    def test_run_updates_rejects_bad_direction(self, pair_span):
+        with pytest.raises(ValueError):
+            run_updates(pair_span, [("x", "s")])

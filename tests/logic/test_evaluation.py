@@ -1,0 +1,122 @@
+"""Tests for conjunctive-formula evaluation over instances."""
+
+import pytest
+
+from repro.logic.evaluation import answers, evaluate, ground_atoms, satisfiable
+from repro.logic.formulas import ConstantPredicate, Equality, Inequality, atom, conj
+from repro.logic.parser import parse_conjunction
+from repro.logic.terms import Var, const
+from repro.relational import (
+    Fact,
+    Instance,
+    LabeledNull,
+    constant,
+    instance,
+    relation,
+    schema,
+)
+
+
+@pytest.fixture
+def db(emp_dept_schema, emp_dept_instance):
+    return emp_dept_instance
+
+
+class TestSingleAtom:
+    def test_all_bindings(self, db):
+        bindings = list(evaluate(conj(atom("Emp", "n", "d")), db))
+        assert len(bindings) == 3
+
+    def test_constant_filters(self, db):
+        c = conj(atom("Emp", "n", const("d1")))
+        names = {b[Var("n")] for b in evaluate(c, db)}
+        assert names == {constant("ann"), constant("cyd")}
+
+    def test_repeated_variable_requires_equal_values(self):
+        s = schema(relation("R", "a", "b"))
+        inst = instance(s, {"R": [[1, 1], [1, 2]]})
+        bindings = list(evaluate(conj(atom("R", "x", "x")), inst))
+        assert len(bindings) == 1
+
+    def test_missing_relation_yields_nothing(self, db):
+        assert list(evaluate(conj(atom("Nope", "x")), db)) == []
+
+    def test_seed_restricts(self, db):
+        c = conj(atom("Emp", "n", "d"))
+        bindings = list(evaluate(c, db, seed={Var("d"): constant("d2")}))
+        assert len(bindings) == 1
+
+
+class TestJoins:
+    def test_two_atom_join(self, db):
+        c = parse_conjunction("Emp(n, d), Dept(d, h)")
+        bindings = list(evaluate(c, db))
+        assert len(bindings) == 3
+        heads = {b[Var("h")] for b in bindings}
+        assert heads == {constant("hana"), constant("hugo")}
+
+    def test_answers_projection(self, db):
+        c = parse_conjunction("Emp(n, d), Dept(d, h)")
+        result = answers(c, [Var("n"), Var("h")], db)
+        assert (constant("ann"), constant("hana")) in result
+
+    def test_empty_join(self):
+        s = schema(relation("A", "x"), relation("B", "x"))
+        inst = instance(s, {"A": [[1]], "B": [[2]]})
+        assert not satisfiable(parse_conjunction("A(x), B(x)"), inst)
+
+
+class TestSideConditions:
+    def test_equality_filter(self, db):
+        c = conj(atom("Emp", "n", "d"), Equality(Var("d"), const("d1")))
+        assert len(list(evaluate(c, db))) == 2
+
+    def test_inequality_filter(self, db):
+        c = conj(atom("Emp", "n", "d"), Inequality(Var("d"), const("d1")))
+        assert len(list(evaluate(c, db))) == 1
+
+    def test_constant_predicate_filters_nulls(self):
+        s = schema(relation("R", "a"))
+        inst = Instance(s, [Fact("R", (LabeledNull(0),)), Fact("R", (constant(1),))])
+        c = conj(atom("R", "x"), ConstantPredicate(Var("x")))
+        bindings = list(evaluate(c, inst))
+        assert [b[Var("x")] for b in bindings] == [constant(1)]
+
+    def test_function_equality_free_interpretation(self):
+        from repro.logic.terms import FuncTerm
+        from repro.relational.values import SkolemValue
+
+        s = schema(relation("R", "a", "b"))
+        sk = SkolemValue("f", (constant(1),))
+        inst = Instance(s, [Fact("R", (constant(1), sk))])
+        c = conj(
+            atom("R", "x", "y"),
+            Equality(Var("y"), FuncTerm("f", (Var("x"),))),
+        )
+        assert satisfiable(c, inst)
+
+
+class TestNaiveNullSemantics:
+    def test_nulls_are_matched_like_values(self):
+        s = schema(relation("R", "a"))
+        inst = Instance(s, [Fact("R", (LabeledNull(0),))])
+        bindings = list(evaluate(conj(atom("R", "x")), inst))
+        assert bindings[0][Var("x")] == LabeledNull(0)
+
+    def test_distinct_nulls_do_not_join(self):
+        s = schema(relation("A", "x"), relation("B", "x"))
+        inst = Instance(
+            s, [Fact("A", (LabeledNull(0),)), Fact("B", (LabeledNull(1),))]
+        )
+        assert not satisfiable(parse_conjunction("A(x), B(x)"), inst)
+
+
+class TestGroundAtoms:
+    def test_grounding(self):
+        binding = {Var("x"): constant(1)}
+        out = ground_atoms([atom("R", "x", 5)], binding)
+        assert out == [("R", (constant(1), constant(5)))]
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(KeyError):
+            ground_atoms([atom("R", "x")], {})

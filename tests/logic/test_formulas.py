@@ -1,0 +1,120 @@
+"""Tests for atoms, conjunctions, disjunctions and literal helpers."""
+
+import pytest
+
+from repro.logic.formulas import (
+    Atom,
+    Conjunction,
+    ConstantPredicate,
+    Disjunction,
+    Equality,
+    Inequality,
+    atom,
+    conj,
+)
+from repro.logic.terms import Const, FuncTerm, Var, const
+
+
+class TestAtomHelper:
+    def test_strings_become_variables(self):
+        a = atom("R", "x", "y")
+        assert a.terms == (Var("x"), Var("y"))
+
+    def test_ints_become_constants(self):
+        a = atom("R", "x", 5)
+        assert a.terms[1] == const(5)
+
+    def test_explicit_terms_pass_through(self):
+        f = FuncTerm("f", (Var("x"),))
+        assert atom("R", f).terms == (f,)
+
+
+class TestAtom:
+    def test_variables_in_first_occurrence_order(self):
+        a = atom("R", "y", "x", "y")
+        assert a.variables() == [Var("y"), Var("x")]
+
+    def test_variables_inside_function_terms(self):
+        a = Atom("R", (FuncTerm("f", (Var("z"),)),))
+        assert a.variables() == [Var("z")]
+
+    def test_substitute(self):
+        a = atom("R", "x").substitute({Var("x"): const(1)})
+        assert a.terms == (const(1),)
+
+    def test_is_first_order(self):
+        assert atom("R", "x").is_first_order()
+        assert not Atom("R", (FuncTerm("f", ()),)).is_first_order()
+
+    def test_arity(self):
+        assert atom("R", "x", "y").arity == 2
+
+
+class TestConjunction:
+    def test_partition_accessors(self):
+        c = conj(
+            atom("R", "x"),
+            Equality(Var("x"), const(1)),
+            Inequality(Var("x"), const(2)),
+            ConstantPredicate(Var("x")),
+        )
+        assert len(c.atoms()) == 1
+        assert len(c.equalities()) == 1
+        assert len(c.inequalities()) == 1
+        assert len(c.constant_predicates()) == 1
+
+    def test_variables_ordered_and_unique(self):
+        c = conj(atom("R", "b", "a"), atom("S", "a", "c"))
+        assert c.variables() == [Var("b"), Var("a"), Var("c")]
+
+    def test_relations(self):
+        c = conj(atom("R", "x"), atom("S", "x"))
+        assert c.relations() == {"R", "S"}
+
+    def test_and_also_concatenates(self):
+        combined = conj(atom("R", "x")).and_also(conj(atom("S", "y")))
+        assert len(combined) == 2
+
+    def test_substitute_all_literals(self):
+        c = conj(atom("R", "x"), Equality(Var("x"), Var("y")))
+        out = c.substitute({Var("x"): const(7)})
+        assert out.atoms()[0].terms == (const(7),)
+        assert out.equalities()[0].left == const(7)
+
+    def test_is_first_order(self):
+        assert conj(atom("R", "x")).is_first_order()
+        assert not conj(Equality(Var("x"), FuncTerm("f", (Var("x"),)))).is_first_order()
+
+    def test_empty_repr(self):
+        assert repr(Conjunction([])) == "⊤"
+
+    def test_iteration(self):
+        c = conj(atom("R", "x"), atom("S", "y"))
+        assert len(list(c)) == 2
+
+
+class TestDisjunction:
+    def test_requires_branch(self):
+        with pytest.raises(ValueError):
+            Disjunction([])
+
+    def test_variables_across_branches(self):
+        d = Disjunction([conj(atom("R", "x")), conj(atom("S", "y"))])
+        assert d.variables() == [Var("x"), Var("y")]
+
+    def test_substitute(self):
+        d = Disjunction([conj(atom("R", "x"))]).substitute({Var("x"): const(1)})
+        assert list(d)[0].atoms()[0].terms == (const(1),)
+
+    def test_repr_joins_with_or(self):
+        d = Disjunction([conj(atom("R", "x")), conj(atom("S", "x"))])
+        assert "∨" in repr(d)
+
+
+class TestLiteralVariables:
+    def test_equality_variables(self):
+        e = Equality(Var("a"), FuncTerm("f", (Var("b"),)))
+        assert e.variables() == [Var("a"), Var("b")]
+
+    def test_constant_predicate_variables(self):
+        assert ConstantPredicate(Var("z")).variables() == [Var("z")]

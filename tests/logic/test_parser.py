@@ -1,0 +1,145 @@
+"""Tests for the dependency text parser."""
+
+import pytest
+
+from repro.logic.formulas import ConstantPredicate, Equality, Inequality
+from repro.logic.parser import (
+    ParseError,
+    parse_conjunction,
+    parse_rule,
+    parse_rules,
+)
+from repro.logic.terms import Const, FuncTerm, Var, const
+
+
+class TestBasicRules:
+    def test_example_one(self):
+        rule = parse_rule("Emp(x) -> exists y . Manager(x, y)")
+        assert rule.lhs.atoms()[0].relation == "Emp"
+        existentials, rhs = rule.single_rhs()
+        assert existentials == (Var("y"),)
+        assert rhs.atoms()[0].relation == "Manager"
+
+    def test_implicit_existentials(self):
+        rule = parse_rule("Emp(x) -> Manager(x, y)")
+        existentials, _ = rule.single_rhs()
+        assert existentials == ()  # inferred later by StTgd
+
+    def test_multi_atom_sides(self):
+        rule = parse_rule("Student(x, y), Assgn(y, z) -> Enrollment(x, z)")
+        assert len(rule.lhs.atoms()) == 2
+
+    def test_multiple_existentials(self):
+        rule = parse_rule("R(x) -> exists y, z . S(x, y, z)")
+        existentials, _ = rule.single_rhs()
+        assert existentials == (Var("y"), Var("z"))
+
+
+class TestConstantsAndTerms:
+    def test_integer_constant(self):
+        rule = parse_rule("R(x, 5) -> S(x)")
+        assert rule.lhs.atoms()[0].terms[1] == const(5)
+
+    def test_float_constant(self):
+        rule = parse_rule("R(1.5) -> S(1.5)")
+        assert rule.lhs.atoms()[0].terms[0] == const(1.5)
+
+    def test_negative_number(self):
+        rule = parse_rule("R(-3) -> S(-3)")
+        assert rule.lhs.atoms()[0].terms[0] == const(-3)
+
+    def test_quoted_string_constant(self):
+        rule = parse_rule("R(x, 'NYC') -> S(x)")
+        assert rule.lhs.atoms()[0].terms[1] == const("NYC")
+
+    def test_double_quoted_string(self):
+        rule = parse_rule('R("a b") -> S(x)')
+        assert rule.lhs.atoms()[0].terms[0] == const("a b")
+
+    def test_function_term(self):
+        rule = parse_rule("Manager(x, y), x = f(x) -> SelfMngr(x)")
+        equality = rule.lhs.equalities()[0]
+        assert equality.right == FuncTerm("f", (Var("x"),))
+
+    def test_uppercase_bare_term_rejected(self):
+        with pytest.raises(ParseError, match="quote"):
+            parse_rule("R(Alice) -> S(x)")
+
+
+class TestSideConditions:
+    def test_equality(self):
+        rule = parse_rule("R(x, y), x = y -> S(x)")
+        assert isinstance(rule.lhs.equalities()[0], Equality)
+
+    def test_inequality(self):
+        rule = parse_rule("R(x, y), x != y -> S(x)")
+        assert isinstance(rule.lhs.inequalities()[0], Inequality)
+
+    def test_constant_predicate(self):
+        rule = parse_rule("Parent(x, y), C(x) -> Father(x, y)")
+        assert isinstance(rule.lhs.constant_predicates()[0], ConstantPredicate)
+
+    def test_constant_predicate_arity_enforced(self):
+        with pytest.raises(ParseError, match="exactly one"):
+            parse_rule("R(x), C(x, y) -> S(x)")
+
+
+class TestDisjunction:
+    def test_example_three_recovery(self):
+        rule = parse_rule("Parent(x, y) -> Father(x, y) | Mother(x, y)")
+        assert rule.is_disjunctive
+        assert len(rule.branches) == 2
+
+    def test_single_rhs_raises_on_disjunction(self):
+        rule = parse_rule("P(x) -> A(x) | B(x)")
+        with pytest.raises(ParseError):
+            rule.single_rhs()
+
+    def test_per_branch_existentials(self):
+        rule = parse_rule("P(x) -> exists y . A(x, y) | B(x)")
+        assert rule.branches[0][0] == (Var("y"),)
+        assert rule.branches[1][0] == ()
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",                       # empty
+            "R(x)",                   # no arrow
+            "R(x) -> ",               # missing rhs
+            "R(x -> S(x)",            # unbalanced parens
+            "R(x) -> S(x) garbage",   # trailing tokens
+            "R(x) @ S(x)",            # bad character
+        ],
+    )
+    def test_malformed_rules(self, text):
+        with pytest.raises(ParseError):
+            parse_rule(text)
+
+
+class TestBlocks:
+    def test_parse_rules_skips_comments_and_blanks(self):
+        rules = parse_rules(
+            """
+            # Example 1
+            Emp(x) -> exists y . Manager(x, y)
+
+            Manager(x, x) -> SelfMngr(x)
+            """
+        )
+        assert len(rules) == 2
+
+    def test_semicolon_separated(self):
+        rules = parse_rules("A(x) -> B(x); B(x) -> A(x)")
+        assert len(rules) == 2
+
+
+class TestConjunctionEntry:
+    def test_parse_conjunction(self):
+        c = parse_conjunction("R(x, y), S(y)")
+        assert len(c.atoms()) == 2
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_conjunction("R(x) ->")

@@ -1,0 +1,112 @@
+"""Tests for the concrete-syntax printer (parse ∘ print round trips)."""
+
+import pytest
+
+from repro.logic.formulas import Conjunction
+from repro.logic.parser import parse_conjunction, parse_rule
+from repro.logic.printing import (
+    UnprintableError,
+    conjunction_to_text,
+    literal_to_text,
+    term_to_text,
+)
+from repro.logic.terms import Const, FuncTerm, Var, const
+from repro.mapping import SchemaMapping, StTgd
+from repro.relational import constant, relation, schema
+
+
+class TestTermPrinting:
+    def test_variable(self):
+        assert term_to_text(Var("x")) == "x"
+
+    def test_int_and_float(self):
+        assert term_to_text(const(5)) == "5"
+        assert term_to_text(const(-2.5)) == "-2.5"
+
+    def test_string_quoting(self):
+        assert term_to_text(const("NYC")) == "'NYC'"
+        assert term_to_text(const("it's")) == '"it\'s"'
+
+    def test_mixed_quotes_unprintable(self):
+        with pytest.raises(UnprintableError):
+            term_to_text(const("a'b\"c"))
+
+    def test_boolean_unprintable(self):
+        with pytest.raises(UnprintableError):
+            term_to_text(const(True))
+
+    def test_function_term(self):
+        term = FuncTerm("f", (Var("x"), const(1)))
+        assert term_to_text(term) == "f(x, 1)"
+
+
+class TestConjunctionRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "Emp(x)",
+            "Emp(x), Dept(x, y)",
+            "R(x, 5), x = y",
+            "R(x, y), x != y",
+            "Parent(x, y), C(x), C(y)",
+            "R('NYC', x)",
+            "Manager(x, y), y = f(x)",
+        ],
+    )
+    def test_round_trip(self, text):
+        parsed = parse_conjunction(text)
+        reprinted = parse_conjunction(conjunction_to_text(parsed))
+        assert reprinted == parsed
+
+    def test_empty_conjunction_unprintable(self):
+        with pytest.raises(UnprintableError):
+            conjunction_to_text(Conjunction([]))
+
+
+class TestTgdRoundTrip:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "Emp(x) -> exists y . Manager(x, y)",
+            "Takes(x, y) -> exists z . Student(z, x), Assgn(x, y)",
+            "Student(x, y), Assgn(y, z) -> Enrollment(x, z)",
+            "Manager(x, x) -> SelfMngr(x)",
+            "P(x, 'fixed') -> Q(x)",
+        ],
+    )
+    def test_tgd_round_trip(self, text):
+        tgd = StTgd.parse(text)
+        assert StTgd.parse(tgd.to_text()) == tgd
+
+    def test_mapping_round_trip(self):
+        source = schema(relation("F", "a", "b"), relation("M", "a", "b"))
+        target = schema(relation("P", "a", "b"))
+        mapping = SchemaMapping.parse(
+            source, target, "F(x, y) -> P(x, y); M(x, y) -> P(x, y)"
+        )
+        reparsed = SchemaMapping.parse(source, target, mapping.to_text())
+        assert reparsed.tgds == mapping.tgds
+
+    def test_target_dependencies_rejected(self):
+        from repro.logic.parser import parse_conjunction
+        from repro.logic.terms import Var
+        from repro.mapping.dependencies import Egd
+
+        source = schema(relation("A", "x"))
+        target = schema(relation("B", "x", "y"))
+        egd = Egd(parse_conjunction("B(x, y), B(x, z)"), Var("y"), Var("z"))
+        mapping = SchemaMapping(
+            source, target, [StTgd.parse("A(x) -> exists y . B(x, y)")], [egd]
+        )
+        with pytest.raises(ValueError, match="target dependencies"):
+            mapping.to_text()
+
+    def test_scenario_mappings_round_trip(self):
+        from repro.workloads import all_scenarios
+
+        for scenario in all_scenarios():
+            text = scenario.mapping.to_text()
+            reparsed = SchemaMapping.parse(
+                scenario.source, scenario.target, text
+            )
+            assert reparsed.tgds == scenario.mapping.tgds, scenario.name

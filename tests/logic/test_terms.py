@@ -1,0 +1,88 @@
+"""Tests for terms: variables, constants, function terms."""
+
+import pytest
+
+from repro.logic.terms import (
+    Const,
+    FuncTerm,
+    Var,
+    const,
+    evaluate_term,
+    functions_of,
+    is_ground,
+    substitute_term,
+    var,
+    variables_of,
+)
+from repro.relational.values import Constant, SkolemValue, constant
+
+
+class TestConstruction:
+    def test_var_requires_name(self):
+        with pytest.raises(ValueError):
+            Var("")
+
+    def test_const_helper(self):
+        assert const(5) == Const(Constant(5))
+
+    def test_var_helper(self):
+        assert var("x") == Var("x")
+
+    def test_func_term_repr(self):
+        assert repr(FuncTerm("f", (Var("x"), const(1)))) == "f(x, 1)"
+
+
+class TestVariables:
+    def test_variables_of_var(self):
+        assert list(variables_of(Var("x"))) == [Var("x")]
+
+    def test_variables_of_const_empty(self):
+        assert list(variables_of(const(1))) == []
+
+    def test_variables_of_nested_func(self):
+        term = FuncTerm("f", (Var("x"), FuncTerm("g", (Var("y"),))))
+        assert list(variables_of(term)) == [Var("x"), Var("y")]
+
+    def test_functions_of_nested(self):
+        term = FuncTerm("f", (FuncTerm("g", ()),))
+        assert list(functions_of(term)) == ["f", "g"]
+
+    def test_is_ground(self):
+        assert is_ground(const(1))
+        assert is_ground(FuncTerm("f", (const(1),)))
+        assert not is_ground(FuncTerm("f", (Var("x"),)))
+
+
+class TestSubstitution:
+    def test_substitute_var(self):
+        assert substitute_term(Var("x"), {Var("x"): const(1)}) == const(1)
+
+    def test_substitute_missing_is_identity(self):
+        assert substitute_term(Var("x"), {}) == Var("x")
+
+    def test_substitute_inside_function(self):
+        term = FuncTerm("f", (Var("x"),))
+        out = substitute_term(term, {Var("x"): Var("y")})
+        assert out == FuncTerm("f", (Var("y"),))
+
+
+class TestEvaluation:
+    def test_variable_lookup(self):
+        assert evaluate_term(Var("x"), {Var("x"): constant(3)}) == constant(3)
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(KeyError):
+            evaluate_term(Var("x"), {})
+
+    def test_constant_term(self):
+        assert evaluate_term(const("a"), {}) == constant("a")
+
+    def test_function_term_becomes_skolem(self):
+        term = FuncTerm("f", (Var("x"),))
+        value = evaluate_term(term, {Var("x"): constant(1)})
+        assert value == SkolemValue("f", (constant(1),))
+
+    def test_nested_function_terms(self):
+        term = FuncTerm("f", (FuncTerm("g", (Var("x"),)),))
+        value = evaluate_term(term, {Var("x"): constant(1)})
+        assert value == SkolemValue("f", (SkolemValue("g", (constant(1),)),))

@@ -1,0 +1,87 @@
+"""Tests for certain answers of conjunctive queries."""
+
+import pytest
+
+from repro.logic.parser import parse_conjunction
+from repro.logic.terms import Var
+from repro.mapping import SchemaMapping, certain_answers, naive_answers
+from repro.relational import constant, instance, relation, schema
+
+
+@pytest.fixture
+def setting():
+    source = schema(relation("Emp", "name"), relation("Boss", "emp", "boss"))
+    target = schema(relation("Manager", "emp", "mgr"))
+    mapping = SchemaMapping.parse(
+        source,
+        target,
+        """
+        Emp(x) -> exists y . Manager(x, y)
+        Boss(x, b) -> Manager(x, b)
+        """,
+    )
+    I = instance(
+        source,
+        {"Emp": [["ann"], ["bob"]], "Boss": [["ann", "mona"]]},
+    )
+    return mapping, I
+
+
+class TestCertainAnswers:
+    def test_null_answers_excluded(self, setting):
+        mapping, I = setting
+        query = parse_conjunction("Manager(x, y)")
+        answers = certain_answers(mapping, I, query, [Var("x"), Var("y")])
+        # Only ann's manager is certain; bob's manager is a null.
+        assert answers == {(constant("ann"), constant("mona"))}
+
+    def test_existentially_quantified_query(self, setting):
+        mapping, I = setting
+        query = parse_conjunction("Manager(x, y)")
+        answers = certain_answers(mapping, I, query, [Var("x")])
+        # "Who has some manager" is certain for both.
+        assert answers == {(constant("ann"),), (constant("bob"),)}
+
+    def test_join_query(self, setting):
+        mapping, I = setting
+        query = parse_conjunction("Manager(x, y), Manager(y, z)")
+        answers = certain_answers(mapping, I, query, [Var("x")])
+        assert answers == set()  # mona is nobody's employee for certain
+
+    def test_empty_source(self, setting):
+        mapping, _ = setting
+        from repro.relational import empty_instance
+
+        query = parse_conjunction("Manager(x, y)")
+        assert (
+            certain_answers(
+                mapping, empty_instance(mapping.source), query, [Var("x")]
+            )
+            == set()
+        )
+
+
+class TestNaiveAnswers:
+    def test_nulls_filtered_from_heads(self):
+        from repro.relational import Fact, Instance, LabeledNull
+
+        s = schema(relation("R", "a", "b"))
+        inst = Instance(
+            s,
+            [
+                Fact("R", (constant(1), LabeledNull(0))),
+                Fact("R", (constant(1), constant(2))),
+            ],
+        )
+        query = parse_conjunction("R(x, y)")
+        assert naive_answers(query, [Var("x"), Var("y")], inst) == {
+            (constant(1), constant(2))
+        }
+
+    def test_null_join_still_counts_when_not_projected(self):
+        from repro.relational import Fact, Instance, LabeledNull
+
+        s = schema(relation("R", "a", "b"))
+        inst = Instance(s, [Fact("R", (constant(1), LabeledNull(0)))])
+        query = parse_conjunction("R(x, y)")
+        assert naive_answers(query, [Var("x")], inst) == {(constant(1),)}

@@ -1,0 +1,201 @@
+"""Tests for the chase engine: Example 1 and target-dependency chasing."""
+
+import pytest
+
+from repro.logic.parser import parse_conjunction, parse_rule
+from repro.logic.terms import Var
+from repro.mapping import (
+    ChaseFailure,
+    ChaseNonTermination,
+    ChaseVariant,
+    SchemaMapping,
+    chase,
+    core_universal_solution,
+    solution_space_sample,
+    universal_solution,
+)
+from repro.mapping.dependencies import Egd, TargetTgd
+from repro.relational import (
+    LabeledNull,
+    constant,
+    instance,
+    is_homomorphic,
+    relation,
+    schema,
+)
+
+
+@pytest.fixture
+def example_one():
+    source = schema(relation("Emp", "name"))
+    target = schema(relation("Manager", "emp", "mgr"))
+    mapping = SchemaMapping.parse(
+        source, target, "Emp(x) -> exists y . Manager(x, y)"
+    )
+    I = instance(source, {"Emp": [["Alice"], ["Bob"]]})
+    return mapping, I
+
+
+class TestExampleOne:
+    def test_canonical_solution_shape(self, example_one):
+        mapping, I = example_one
+        jstar = universal_solution(mapping, I)
+        rows = jstar.rows("Manager")
+        assert len(rows) == 2
+        emps = {row[0] for row in rows}
+        assert emps == {constant("Alice"), constant("Bob")}
+        mgrs = {row[1] for row in rows}
+        assert all(isinstance(m, LabeledNull) for m in mgrs)
+        assert len(mgrs) == 2  # distinct nulls per firing
+
+    def test_canonical_solution_is_a_solution(self, example_one):
+        mapping, I = example_one
+        jstar = universal_solution(mapping, I)
+        assert mapping.is_solution(I, jstar)
+
+    def test_universality(self, example_one):
+        mapping, I = example_one
+        jstar = universal_solution(mapping, I)
+        target = mapping.target
+        j1 = instance(target, {"Manager": [["Alice", "Alice"], ["Bob", "Alice"]]})
+        j2 = instance(target, {"Manager": [["Alice", "Bob"], ["Bob", "Ted"]]})
+        assert is_homomorphic(jstar, j1)
+        assert is_homomorphic(jstar, j2)
+        assert not is_homomorphic(j1, jstar)
+
+    def test_statistics(self, example_one):
+        mapping, I = example_one
+        result = chase(mapping, I)
+        assert result.statistics.tgd_firings == 2
+        assert result.statistics.nulls_created == 2
+
+    def test_core_solution(self, example_one):
+        mapping, I = example_one
+        assert core_universal_solution(mapping, I).size() == 2
+
+    def test_solution_space_sample(self, example_one):
+        mapping, I = example_one
+        jstar = universal_solution(mapping, I)
+        nulls = sorted(jstar.nulls(), key=repr)
+        samples = solution_space_sample(
+            mapping,
+            I,
+            [{nulls[0]: constant("Ted"), nulls[1]: constant("Ted")}],
+        )
+        assert len(samples) == 1
+        assert samples[0].is_ground()
+
+
+class TestVariants:
+    def test_standard_chase_avoids_redundant_firing(self):
+        source = schema(relation("A", "x"), relation("B", "x"))
+        target = schema(relation("T", "x", "y"))
+        mapping = SchemaMapping.parse(
+            source,
+            target,
+            """
+            A(x) -> exists y . T(x, y)
+            B(x) -> exists y . T(x, y)
+            """,
+        )
+        I = instance(source, {"A": [["v"]], "B": [["v"]]})
+        naive = chase(mapping, I, ChaseVariant.NAIVE).solution
+        standard = chase(mapping, I, ChaseVariant.STANDARD).solution
+        assert len(naive.rows("T")) == 2
+        assert len(standard.rows("T")) == 1
+
+    def test_variants_homomorphically_equivalent(self):
+        from repro.relational import homomorphically_equivalent
+
+        source = schema(relation("A", "x"))
+        target = schema(relation("T", "x", "y"))
+        mapping = SchemaMapping.parse(source, target, "A(x) -> exists y . T(x, y)")
+        I = instance(source, {"A": [["u"], ["v"]]})
+        naive = chase(mapping, I, ChaseVariant.NAIVE).solution
+        standard = chase(mapping, I, ChaseVariant.STANDARD).solution
+        assert homomorphically_equivalent(naive, standard)
+
+
+class TestNullFreshness:
+    def test_new_nulls_avoid_source_nulls(self):
+        from repro.relational import Fact, Instance
+
+        source = schema(relation("A", "x"))
+        target = schema(relation("T", "x", "y"))
+        mapping = SchemaMapping.parse(source, target, "A(x) -> exists y . T(x, y)")
+        I = Instance(source, [Fact("A", (LabeledNull(5),))])
+        solution = universal_solution(mapping, I)
+        fresh = [v for v in solution.nulls() if v != LabeledNull(5)]
+        assert all(
+            not isinstance(v, LabeledNull) or v.label > 5 for v in fresh
+        )
+
+
+class TestTargetDependencies:
+    def _key_egd(self):
+        return Egd(
+            parse_conjunction("Manager(x, y), Manager(x, z)"), Var("y"), Var("z")
+        )
+
+    def test_egd_unifies_null_with_constant(self):
+        source = schema(relation("Emp", "n"), relation("Boss", "n", "b"))
+        target = schema(relation("Manager", "emp", "mgr"))
+        mapping = SchemaMapping(
+            source,
+            target,
+            [
+                parse_tgd("Emp(x) -> exists y . Manager(x, y)"),
+                parse_tgd("Boss(x, b) -> Manager(x, b)"),
+            ],
+            [self._key_egd()],
+        )
+        I = instance(source, {"Emp": [["ann"]], "Boss": [["ann", "mona"]]})
+        solution = universal_solution(mapping, I)
+        assert solution.rows("Manager") == {(constant("ann"), constant("mona"))}
+
+    def test_egd_conflict_fails(self):
+        source = schema(relation("Boss", "n", "b"))
+        target = schema(relation("Manager", "emp", "mgr"))
+        mapping = SchemaMapping(
+            source,
+            target,
+            [parse_tgd("Boss(x, b) -> Manager(x, b)")],
+            [self._key_egd()],
+        )
+        I = instance(source, {"Boss": [["ann", "mona"], ["ann", "rita"]]})
+        with pytest.raises(ChaseFailure):
+            universal_solution(mapping, I)
+
+    def test_target_tgd_fixpoint(self):
+        source = schema(relation("E", "n", "d"))
+        target = schema(relation("Emp", "n", "d"), relation("Dept", "d"))
+        fk_rule = parse_rule("Emp(x, d) -> Dept(d)")
+        mapping = SchemaMapping(
+            source,
+            target,
+            [parse_tgd("E(x, d) -> Emp(x, d)")],
+            [TargetTgd(fk_rule.lhs, fk_rule.branches[0][1])],
+        )
+        I = instance(source, {"E": [["a", "d1"], ["b", "d2"]]})
+        solution = universal_solution(mapping, I)
+        assert len(solution.rows("Dept")) == 2
+
+    def test_non_terminating_target_chase_detected(self):
+        source = schema(relation("A", "x"))
+        target = schema(relation("E", "a", "b"))
+        loop_rule = parse_rule("E(x, y) -> exists z . E(y, z)")
+        mapping = SchemaMapping(
+            source,
+            target,
+            [parse_tgd("A(x) -> exists y . E(x, y)")],
+            [TargetTgd(loop_rule.lhs, loop_rule.branches[0][1])],
+        )
+        I = instance(source, {"A": [["v"]]})
+        with pytest.raises(ChaseNonTermination):
+            chase(mapping, I, max_target_steps=50)
+
+
+def parse_tgd(text):
+    from repro.mapping import StTgd
+
+    return StTgd.parse(text)

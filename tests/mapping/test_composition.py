@@ -1,0 +1,179 @@
+"""Tests for mapping composition: Example 2 and the closure results."""
+
+import pytest
+
+from repro.logic.terms import FuncTerm
+from repro.mapping import (
+    CompositionError,
+    SchemaMapping,
+    SOMapping,
+    compose,
+    compose_sotgd,
+    universal_solution,
+)
+from repro.mapping.composition import skolemize
+from repro.relational import (
+    constant,
+    homomorphically_equivalent,
+    instance,
+    relation,
+    schema,
+)
+
+
+@pytest.fixture
+def example_two():
+    """Example 2's two mappings: Emp → Manager, Manager → Boss/SelfMngr."""
+    A = schema(relation("Emp", "name"))
+    B = schema(relation("Manager", "emp", "mgr"))
+    C = schema(relation("Boss", "emp", "boss"), relation("SelfMngr", "emp"))
+    m12 = SchemaMapping.parse(A, B, "Emp(x) -> exists y . Manager(x, y)")
+    m23 = SchemaMapping.parse(
+        B,
+        C,
+        """
+        Manager(x, y) -> Boss(x, y)
+        Manager(x, x) -> SelfMngr(x)
+        """,
+    )
+    return A, B, C, m12, m23
+
+
+class TestSkolemize:
+    def test_existential_becomes_function_of_premise_vars(self):
+        from repro.mapping import StTgd
+
+        tgd = StTgd.parse("Emp(x) -> exists y . Manager(x, y)")
+        sk = skolemize(tgd, 0)
+        term = sk.conclusion_atoms[0].terms[1]
+        assert isinstance(term, FuncTerm)
+        assert term.function == "f0_y"
+
+    def test_full_tgd_unchanged(self):
+        from repro.mapping import StTgd
+
+        tgd = StTgd.parse("A(x) -> B(x)")
+        sk = skolemize(tgd, 0)
+        assert sk.conclusion_atoms[0].is_first_order()
+
+
+class TestExampleTwo:
+    def test_composition_emits_so_tgd(self, example_two):
+        *_rest, m12, m23 = example_two
+        so = compose_sotgd(m12, m23)
+        assert isinstance(so, SOMapping)
+        assert len(so.clauses) == 2
+        assert so.functions  # at least the f for y
+
+    def test_self_manager_clause_has_equality(self, example_two):
+        *_rest, m12, m23 = example_two
+        so = compose_sotgd(m12, m23)
+        selfmngr = [
+            c for c in so.clauses
+            if c.conclusion.atoms()[0].relation == "SelfMngr"
+        ]
+        assert len(selfmngr) == 1
+        equalities = selfmngr[0].premise.equalities()
+        assert len(equalities) == 1
+        # the irreducible x = f(x) the paper highlights
+        sides = {type(equalities[0].left), type(equalities[0].right)}
+        assert FuncTerm in sides
+
+    def test_compose_returns_so_mapping_for_nonfull_first(self, example_two):
+        *_rest, m12, m23 = example_two
+        assert isinstance(compose(m12, m23), SOMapping)
+
+    def test_so_chase_agrees_with_sequential_chase(self, example_two):
+        A, B, C, m12, m23 = example_two
+        so = compose_sotgd(m12, m23)
+        I = instance(A, {"Emp": [["Alice"], ["Bob"]]})
+        middle = universal_solution(m12, I)
+        sequential = universal_solution(m23, middle.cast(B))
+        direct = so.chase(I)
+        assert homomorphically_equivalent(sequential, direct)
+
+    def test_so_semantics_on_ground_pair(self, example_two):
+        A, B, C, m12, m23 = example_two
+        so = compose_sotgd(m12, m23)
+        I = instance(A, {"Emp": [["a"]]})
+        K = instance(C, {"Boss": [["a", "m"]]})
+        assert so.satisfied_by(I, K)
+
+    def test_so_semantics_rejects_missing_boss(self, example_two):
+        A, B, C, m12, m23 = example_two
+        so = compose_sotgd(m12, m23)
+        I = instance(A, {"Emp": [["a"]]})
+        from repro.relational import empty_instance
+
+        assert not so.satisfied_by(I, empty_instance(C))
+
+    def test_so_semantics_self_manager_case(self, example_two):
+        A, B, C, m12, m23 = example_two
+        so = compose_sotgd(m12, m23)
+        I = instance(A, {"Emp": [["a"]]})
+        # Boss(a, a) without SelfMngr(a): the only way to satisfy clause 1
+        # with f(a) = a then violates clause 2 — but an interpretation may
+        # pick f(a) = b ≠ a... which then fails Boss(a, b) ∉ K. So K is
+        # NOT a solution. Adding SelfMngr(a) fixes it.
+        K_bad = instance(C, {"Boss": [["a", "a"]]})
+        K_good = instance(C, {"Boss": [["a", "a"]], "SelfMngr": [["a"]]})
+        assert not so.satisfied_by(I, K_bad)
+        assert so.satisfied_by(I, K_good)
+
+
+class TestFullComposition:
+    def test_full_mappings_compose_to_st_tgds(self):
+        A = schema(relation("A", "x"))
+        B = schema(relation("B", "x"))
+        C = schema(relation("D", "x"))
+        m1 = SchemaMapping.parse(A, B, "A(x) -> B(x)")
+        m2 = SchemaMapping.parse(B, C, "B(x) -> D(x)")
+        composed = compose(m1, m2)
+        assert isinstance(composed, SchemaMapping)
+        I = instance(A, {"A": [["v"]]})
+        assert universal_solution(composed, I).rows("D") == {(constant("v"),)}
+
+    def test_full_then_existential_deskolemizes(self):
+        A = schema(relation("A", "x"))
+        B = schema(relation("B", "x"))
+        C = schema(relation("D", "x", "y"))
+        m1 = SchemaMapping.parse(A, B, "A(x) -> B(x)")
+        m2 = SchemaMapping.parse(B, C, "B(x) -> exists y . D(x, y)")
+        composed = compose(m1, m2)
+        assert isinstance(composed, SchemaMapping)
+        assert composed.tgds[0].existential_variables
+
+    def test_schema_mismatch_rejected(self):
+        A = schema(relation("A", "x"))
+        B = schema(relation("B", "x"))
+        m1 = SchemaMapping.parse(A, B, "A(x) -> B(x)")
+        with pytest.raises(CompositionError):
+            compose_sotgd(m1, m1)
+
+    def test_unproducible_premise_vanishes(self):
+        A = schema(relation("A", "x"))
+        B = schema(relation("B", "x"), relation("Unused", "x"))
+        C = schema(relation("D", "x"))
+        m1 = SchemaMapping.parse(A, B, "A(x) -> B(x)")
+        m2 = SchemaMapping.parse(B, C, "Unused(x) -> D(x)")
+        so = compose_sotgd(m1, m2)
+        assert len(so.clauses) == 0
+
+    def test_constant_clash_prunes_branch(self):
+        A = schema(relation("A", "x"))
+        B = schema(relation("B", "x"))
+        C = schema(relation("D", "x"))
+        m1 = SchemaMapping.parse(A, B, "A(x) -> B('left')")
+        m2 = SchemaMapping.parse(B, C, "B('right') -> D('out')")
+        so = compose_sotgd(m1, m2)
+        assert len(so.clauses) == 0
+
+    def test_composition_with_multiple_producers(self):
+        A = schema(relation("A", "x"), relation("B", "x"))
+        M = schema(relation("Mid", "x"))
+        C = schema(relation("Out", "x"))
+        m1 = SchemaMapping.parse(A, M, "A(x) -> Mid(x); B(x) -> Mid(x)")
+        m2 = SchemaMapping.parse(M, C, "Mid(x) -> Out(x)")
+        composed = compose(m1, m2)
+        assert isinstance(composed, SchemaMapping)
+        assert len(composed.tgds) == 2

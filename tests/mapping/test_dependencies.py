@@ -1,0 +1,130 @@
+"""Tests for target dependencies: egds, target tgds, weak acyclicity."""
+
+import pytest
+
+from repro.logic.formulas import Conjunction, atom, conj
+from repro.logic.parser import parse_conjunction, parse_rule
+from repro.logic.terms import Var
+from repro.mapping.dependencies import (
+    Egd,
+    TargetTgd,
+    egd_from_fd,
+    egd_from_key,
+    is_weakly_acyclic,
+    target_dependencies_from_constraints,
+)
+from repro.relational import (
+    FunctionalDependency,
+    KeyConstraint,
+    instance,
+    relation,
+    schema,
+)
+
+
+@pytest.fixture
+def mgr_schema():
+    return schema(relation("Manager", "emp", "mgr"))
+
+
+class TestEgd:
+    def test_satisfied(self, mgr_schema):
+        egd = Egd(
+            parse_conjunction("Manager(x, y), Manager(x, z)"), Var("y"), Var("z")
+        )
+        good = instance(mgr_schema, {"Manager": [["a", "m"], ["b", "m"]]})
+        assert egd.satisfied_in(good)
+
+    def test_violated(self, mgr_schema):
+        egd = Egd(
+            parse_conjunction("Manager(x, y), Manager(x, z)"), Var("y"), Var("z")
+        )
+        bad = instance(mgr_schema, {"Manager": [["a", "m"], ["a", "n"]]})
+        assert not egd.satisfied_in(bad)
+
+    def test_equality_variables_must_be_in_premise(self):
+        with pytest.raises(ValueError):
+            Egd(conj(atom("R", "x")), Var("x"), Var("zz"))
+
+
+class TestTargetTgd:
+    def _fk(self):
+        rule = parse_rule("Emp(x, d) -> exists h . Dept(d, h)")
+        return TargetTgd(rule.lhs, rule.branches[0][1])
+
+    def test_satisfied(self):
+        s = schema(relation("Emp", "n", "d"), relation("Dept", "d", "h"))
+        inst = instance(s, {"Emp": [["a", "d1"]], "Dept": [["d1", "h"]]})
+        assert self._fk().satisfied_in(inst)
+
+    def test_violated(self):
+        s = schema(relation("Emp", "n", "d"), relation("Dept", "d", "h"))
+        inst = instance(s, {"Emp": [["a", "dX"]], "Dept": [["d1", "h"]]})
+        assert not self._fk().satisfied_in(inst)
+
+    def test_existentials(self):
+        tgd = self._fk()
+        assert tgd.existential_variables == (Var("h"),)
+        assert tgd.frontier == (Var("d"),)
+
+
+class TestConstraintTranslation:
+    def test_fd_to_egds(self):
+        s = schema(relation("P", "city", "zip"))
+        fd = FunctionalDependency("P", ("city",), ("zip",))
+        egds = egd_from_fd(fd, s)
+        assert len(egds) == 1
+        good = instance(s, {"P": [["c", "z"], ["d", "z"]]})
+        bad = instance(s, {"P": [["c", "z1"], ["c", "z2"]]})
+        assert egds[0].satisfied_in(good)
+        assert not egds[0].satisfied_in(bad)
+
+    def test_fd_with_dependent_in_determinant_skipped(self):
+        s = schema(relation("P", "a", "b"))
+        fd = FunctionalDependency("P", ("a",), ("a",))
+        assert egd_from_fd(fd, s) == []
+
+    def test_key_to_egds(self):
+        s = schema(relation("P", "id", "x", "y"))
+        egds = egd_from_key(KeyConstraint("P", ("id",)), s)
+        assert len(egds) == 2
+
+    def test_bulk_translation(self):
+        s = schema(relation("P", "id", "x"))
+        deps = target_dependencies_from_constraints(
+            [KeyConstraint("P", ("id",)), FunctionalDependency("P", ("id",), ("x",))],
+            s,
+        )
+        assert len(deps) == 2
+
+
+class TestWeakAcyclicity:
+    def _tgd(self, text):
+        rule = parse_rule(text)
+        return TargetTgd(rule.lhs, rule.branches[0][1])
+
+    def test_copy_tgd_is_weakly_acyclic(self):
+        s = schema(relation("A", "x"), relation("B", "x"))
+        tgds = [self._tgd("A(x) -> B(x)")]
+        assert is_weakly_acyclic(tgds, s)
+
+    def test_existential_self_loop_is_not(self):
+        s = schema(relation("E", "a", "b"))
+        tgds = [self._tgd("E(x, y) -> exists z . E(y, z)")]
+        assert not is_weakly_acyclic(tgds, s)
+
+    def test_two_step_special_cycle(self):
+        s = schema(relation("A", "x"), relation("B", "x"))
+        tgds = [
+            self._tgd("A(x) -> exists y . B(y)"),
+            self._tgd("B(x) -> A(x)"),
+        ]
+        assert not is_weakly_acyclic(tgds, s)
+
+    def test_existential_into_sink_is_fine(self):
+        s = schema(relation("A", "x"), relation("B", "x", "y"))
+        tgds = [self._tgd("A(x) -> exists y . B(x, y)")]
+        assert is_weakly_acyclic(tgds, s)
+
+    def test_empty_set_is_weakly_acyclic(self):
+        assert is_weakly_acyclic([], schema())

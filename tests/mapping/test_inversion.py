@@ -1,0 +1,182 @@
+"""Tests for inversion: Example 3, recoveries, the subset property."""
+
+import pytest
+
+from repro.mapping import (
+    SchemaMapping,
+    is_fagin_invertible_on,
+    is_recovery,
+    maximum_recovery,
+    recovered_sources,
+    solution_space_contains,
+    subset_property_violations,
+    universal_solution,
+)
+from repro.mapping.inversion import InversionError
+from repro.relational import instance, relation, schema
+
+
+@pytest.fixture
+def example_three():
+    source = schema(
+        relation("Father", "p", "c"), relation("Mother", "p", "c")
+    )
+    target = schema(relation("Parent", "p", "c"))
+    mapping = SchemaMapping.parse(
+        source,
+        target,
+        """
+        Father(x, y) -> Parent(x, y)
+        Mother(x, y) -> Parent(x, y)
+        """,
+    )
+    I_father = instance(source, {"Father": [["Leslie", "Alice"]]})
+    I_mother = instance(source, {"Mother": [["Leslie", "Alice"]]})
+    return mapping, I_father, I_mother
+
+
+class TestMaximumRecoveryConstruction:
+    def test_example_three_shape(self, example_three):
+        mapping, *_ = example_three
+        recovery = maximum_recovery(mapping)
+        assert len(recovery.rules) == 1  # the two symmetric rules deduplicate
+        rule = recovery.rules[0]
+        assert len(rule.branches) == 2
+        branch_relations = {
+            b.atoms()[0].relation for b in rule.branches
+        }
+        assert branch_relations == {"Father", "Mother"}
+
+    def test_constant_guards_present(self, example_three):
+        mapping, *_ = example_three
+        rule = maximum_recovery(mapping).rules[0]
+        assert len(rule.premise.constant_predicates()) == 2
+
+    def test_existential_positions_unguarded(self):
+        source = schema(relation("Emp", "name"))
+        target = schema(relation("Manager", "emp", "mgr"))
+        mapping = SchemaMapping.parse(
+            source, target, "Emp(x) -> exists y . Manager(x, y)"
+        )
+        rule = maximum_recovery(mapping).rules[0]
+        # Only the frontier position gets a C() guard.
+        assert len(rule.premise.constant_predicates()) == 1
+        assert len(rule.branches) == 1
+        assert rule.branches[0].atoms()[0].relation == "Emp"
+
+    def test_multi_atom_premise_branch_has_existentials(self):
+        source = schema(relation("A", "x", "w"), relation("B", "w"))
+        target = schema(relation("T", "x"))
+        mapping = SchemaMapping.parse(source, target, "A(x, w), B(w) -> T(x)")
+        rule = maximum_recovery(mapping).rules[0]
+        branch = rule.branches[0]
+        assert {a.relation for a in branch.atoms()} == {"A", "B"}
+
+    def test_shared_existential_conclusion_rejected(self):
+        source = schema(relation("A", "x"))
+        target = schema(relation("T", "x", "z"), relation("U", "z"))
+        mapping = SchemaMapping.parse(
+            source, target, "A(x) -> exists z . T(x, z), U(z)"
+        )
+        with pytest.raises(InversionError):
+            maximum_recovery(mapping)
+
+
+class TestRecoveryProperty:
+    def test_example_three_is_recovery(self, example_three):
+        mapping, I_father, I_mother = example_three
+        recovery = maximum_recovery(mapping)
+        assert is_recovery(mapping, recovery, [I_father, I_mother])
+
+    def test_round_trip_admits_both_parents(self, example_three):
+        mapping, I_father, I_mother = example_three
+        recovery = maximum_recovery(mapping)
+        admitted = recovered_sources(
+            mapping, recovery, I_father, [I_father, I_mother]
+        )
+        assert admitted == [I_father, I_mother]
+
+    def test_unrelated_source_not_admitted(self, example_three):
+        mapping, I_father, I_mother = example_three
+        source = mapping.source
+        recovery = maximum_recovery(mapping)
+        I_other = instance(source, {"Father": [["Someone", "Else"]]})
+        admitted = recovered_sources(
+            mapping, recovery, I_father, [I_father, I_other]
+        )
+        assert admitted == [I_father]
+
+    def test_emp_manager_recovery(self):
+        source = schema(relation("Emp", "name"))
+        target = schema(relation("Manager", "emp", "mgr"))
+        mapping = SchemaMapping.parse(
+            source, target, "Emp(x) -> exists y . Manager(x, y)"
+        )
+        recovery = maximum_recovery(mapping)
+        I = instance(source, {"Emp": [["Alice"], ["Bob"]]})
+        assert is_recovery(mapping, recovery, [I])
+
+    def test_recovery_over_all_scenarios(self):
+        from repro.workloads import all_scenarios
+
+        for scenario in all_scenarios():
+            recovery = maximum_recovery(scenario.mapping)
+            assert is_recovery(
+                scenario.mapping, recovery, [scenario.sample]
+            ), scenario.name
+
+
+class TestSubsetProperty:
+    def test_example_three_not_invertible(self, example_three):
+        mapping, I_father, I_mother = example_three
+        violations = subset_property_violations(mapping, [I_father, I_mother])
+        assert len(violations) == 2  # symmetric pair
+        assert not is_fagin_invertible_on(mapping, [I_father, I_mother])
+
+    def test_copy_mapping_passes_sample(self):
+        source = schema(relation("A", "x"))
+        target = schema(relation("B", "x"))
+        mapping = SchemaMapping.parse(source, target, "A(x) -> B(x)")
+        I1 = instance(source, {"A": [["u"]]})
+        I2 = instance(source, {"A": [["v"]]})
+        assert is_fagin_invertible_on(mapping, [I1, I2])
+
+    def test_solution_space_containment(self, example_three):
+        mapping, I_father, I_mother = example_three
+        # Both sources have the same solution space.
+        assert solution_space_contains(mapping, I_father, I_mother)
+        assert solution_space_contains(mapping, I_mother, I_father)
+
+    def test_projection_mapping_not_invertible(self):
+        source = schema(relation("P", "name", "age"))
+        target = schema(relation("N", "name"))
+        mapping = SchemaMapping.parse(source, target, "P(x, a) -> N(x)")
+        I1 = instance(source, {"P": [["ann", 30]]})
+        I2 = instance(source, {"P": [["ann", 40]]})
+        assert not is_fagin_invertible_on(mapping, [I1, I2])
+
+
+class TestDisjunctiveSemantics:
+    def test_null_guarded_rows_force_nothing(self, example_three):
+        mapping, I_father, _ = example_three
+        recovery = maximum_recovery(mapping)
+        solution = universal_solution(mapping, I_father)
+        from repro.relational import Fact, Instance, LabeledNull, constant
+
+        with_null = solution.with_facts(
+            [Fact("Parent", (constant("G"), LabeledNull(99)))]
+        )
+        # The null-carrying Parent fact has no C() support, so the empty
+        # source change is still fine: recovery only reacts to constants.
+        assert recovery.satisfied_by(with_null, I_father)
+
+    def test_constant_rows_do_force(self, example_three):
+        mapping, I_father, _ = example_three
+        recovery = maximum_recovery(mapping)
+        solution = universal_solution(mapping, I_father)
+        from repro.relational import Fact, constant
+
+        with_extra = solution.with_facts(
+            [Fact("Parent", (constant("G"), constant("H")))]
+        )
+        assert not recovery.satisfied_by(with_extra, I_father)

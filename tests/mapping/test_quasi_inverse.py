@@ -1,0 +1,98 @@
+"""Tests for quasi-inverses and data-exchange equivalence."""
+
+import pytest
+
+from repro.mapping import (
+    SchemaMapping,
+    data_exchange_equivalent,
+    equivalence_classes,
+    is_quasi_inverse_on,
+    maximum_recovery,
+)
+from repro.relational import instance, relation, schema
+from repro.workloads import father_mother_scenario
+
+
+@pytest.fixture
+def setting():
+    scenario = father_mother_scenario()
+    I_father = scenario.sample
+    I_mother = instance(scenario.source, {"Mother": [["Leslie", "Alice"]]})
+    I_other = instance(scenario.source, {"Father": [["X", "Y"]]})
+    return scenario.mapping, I_father, I_mother, I_other
+
+
+class TestDataExchangeEquivalence:
+    def test_father_and_mother_variants_equivalent(self, setting):
+        mapping, I_father, I_mother, _ = setting
+        assert data_exchange_equivalent(mapping, I_father, I_mother)
+
+    def test_different_data_not_equivalent(self, setting):
+        mapping, I_father, _, I_other = setting
+        assert not data_exchange_equivalent(mapping, I_father, I_other)
+
+    def test_reflexive(self, setting):
+        mapping, I_father, *_ = setting
+        assert data_exchange_equivalent(mapping, I_father, I_father)
+
+    def test_injective_mapping_has_singleton_classes(self):
+        source = schema(relation("A", "x"))
+        target = schema(relation("B", "x"))
+        mapping = SchemaMapping.parse(source, target, "A(x) -> B(x)")
+        I1 = instance(source, {"A": [["u"]]})
+        I2 = instance(source, {"A": [["v"]]})
+        assert not data_exchange_equivalent(mapping, I1, I2)
+
+
+class TestEquivalenceClasses:
+    def test_partition(self, setting):
+        mapping, I_father, I_mother, I_other = setting
+        classes = equivalence_classes(mapping, [I_father, I_mother, I_other])
+        assert len(classes) == 2
+        sizes = sorted(len(c) for c in classes)
+        assert sizes == [1, 2]
+
+    def test_empty_input(self, setting):
+        mapping, *_ = setting
+        assert equivalence_classes(mapping, []) == []
+
+
+class TestQuasiInverse:
+    def test_maximum_recovery_is_quasi_inverse(self, setting):
+        """Example 3's recovery: not an inverse, but a quasi-inverse."""
+        mapping, I_father, I_mother, _ = setting
+        recovery = maximum_recovery(mapping)
+        assert is_quasi_inverse_on(
+            mapping,
+            recovery,
+            sources=[I_father, I_mother],
+            universe=[I_father, I_mother],
+        )
+
+    def test_fails_with_inequivalent_admissions(self, setting):
+        """A vacuous 'recovery' admitting everything is not a quasi-inverse."""
+        from repro.logic.formulas import Conjunction, Disjunction, atom
+        from repro.mapping.inversion import DisjunctiveMapping, DisjunctiveTgd
+
+        mapping, I_father, I_mother, I_other = setting
+        # Rule with an unsatisfiable-ish premise: admits any source.
+        vacuous = DisjunctiveMapping(mapping.target, mapping.source, [])
+        assert not is_quasi_inverse_on(
+            mapping, vacuous, [I_father], [I_father, I_other]
+        )
+
+    def test_requires_some_admission(self, setting):
+        """A recovery admitting nothing fails the check."""
+        from repro.logic.formulas import Conjunction, Disjunction, atom
+        from repro.mapping.inversion import DisjunctiveMapping, DisjunctiveTgd
+
+        mapping, I_father, *_ = setting
+        # Parent(x,y) → Father('impossible', 'row'): never witnessable.
+        from repro.logic.terms import const
+
+        rule = DisjunctiveTgd(
+            Conjunction([atom("Parent", "x", "y")]),
+            Disjunction([Conjunction([atom("Father", const("no"), const("pe"))])]),
+        )
+        never = DisjunctiveMapping(mapping.target, mapping.source, [rule])
+        assert not is_quasi_inverse_on(mapping, never, [I_father], [I_father])

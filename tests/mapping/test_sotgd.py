@@ -1,0 +1,109 @@
+"""Tests for SO-tgds: free-interpretation chase and true SO semantics."""
+
+import pytest
+
+from repro.logic.formulas import Atom, Conjunction, Equality
+from repro.logic.parser import parse_conjunction
+from repro.logic.terms import FuncTerm, Var
+from repro.mapping.sotgd import SOClause, SOMapping
+from repro.relational import SkolemValue, constant, instance, relation, schema
+
+
+@pytest.fixture
+def boss_mapping():
+    """The SO-tgd of Example 2, written by hand."""
+    A = schema(relation("Emp", "name"))
+    C = schema(relation("Boss", "emp", "boss"), relation("SelfMngr", "emp"))
+    f_x = FuncTerm("f", (Var("x"),))
+    clause1 = SOClause(
+        parse_conjunction("Emp(x)"),
+        Conjunction([Atom("Boss", (Var("x"), f_x))]),
+    )
+    clause2 = SOClause(
+        Conjunction(
+            list(parse_conjunction("Emp(x)").literals)
+            + [Equality(Var("x"), f_x)]
+        ),
+        parse_conjunction("SelfMngr(x)"),
+    )
+    return A, C, SOMapping(A, C, [clause1, clause2])
+
+
+class TestStructure:
+    def test_functions_inferred(self, boss_mapping):
+        _, _, so = boss_mapping
+        assert so.functions == ("f",)
+
+    def test_clause_functions(self, boss_mapping):
+        _, _, so = boss_mapping
+        assert so.clauses[0].functions() == {"f"}
+
+    def test_inconsistent_arity_detected(self):
+        A = schema(relation("Emp", "name"))
+        C = schema(relation("T", "a", "b"))
+        clause = SOClause(
+            parse_conjunction("Emp(x)"),
+            Conjunction(
+                [
+                    Atom(
+                        "T",
+                        (
+                            FuncTerm("f", (Var("x"),)),
+                            FuncTerm("f", (Var("x"), Var("x"))),
+                        ),
+                    )
+                ]
+            ),
+        )
+        so = SOMapping(A, C, [clause])
+        I = instance(A, {"Emp": [["a"]]})
+        with pytest.raises(ValueError, match="arities"):
+            so.satisfied_by(I, instance(C, {}))
+
+
+class TestFreeChase:
+    def test_skolem_values_produced(self, boss_mapping):
+        A, C, so = boss_mapping
+        I = instance(A, {"Emp": [["a"]]})
+        result = so.chase(I)
+        assert result.rows("Boss") == {
+            (constant("a"), SkolemValue("f", (constant("a"),)))
+        }
+
+    def test_self_manager_never_fires_under_free_interpretation(self, boss_mapping):
+        A, C, so = boss_mapping
+        I = instance(A, {"Emp": [["a"]]})
+        assert so.chase(I).rows("SelfMngr") == frozenset()
+
+    def test_chase_is_deterministic(self, boss_mapping):
+        A, _, so = boss_mapping
+        I = instance(A, {"Emp": [["a"], ["b"]]})
+        assert so.chase(I) == so.chase(I)
+
+
+class TestTrueSemantics:
+    def test_witnessing_interpretation_found(self, boss_mapping):
+        A, C, so = boss_mapping
+        I = instance(A, {"Emp": [["a"]]})
+        K = instance(C, {"Boss": [["a", "m"]]})
+        assert so.satisfied_by(I, K, extra_codomain=[constant("m")])
+
+    def test_unsatisfiable_pair_rejected(self, boss_mapping):
+        A, C, so = boss_mapping
+        I = instance(A, {"Emp": [["a"]]})
+        K = instance(C, {"SelfMngr": [["a"]]})  # no Boss fact at all
+        assert not so.satisfied_by(I, K)
+
+    def test_search_space_guard(self, boss_mapping):
+        A, C, so = boss_mapping
+        rows = [[f"e{i}"] for i in range(8)]
+        I = instance(A, {"Emp": rows})
+        K = instance(C, {"Boss": [[f"e{i}", "m"] for i in range(8)]})
+        with pytest.raises(ValueError, match="too large"):
+            so.satisfied_by(I, K, max_interpretations=10)
+
+    def test_empty_source_trivially_satisfied(self, boss_mapping):
+        A, C, so = boss_mapping
+        from repro.relational import empty_instance
+
+        assert so.satisfied_by(empty_instance(A), empty_instance(C))

@@ -1,0 +1,154 @@
+"""Tests for st-tgds and schema mappings."""
+
+import pytest
+
+from repro.logic.terms import Var
+from repro.mapping import SchemaMapping, StTgd
+from repro.relational import instance, relation, schema
+
+
+@pytest.fixture
+def setting():
+    source = schema(relation("Emp", "name"))
+    target = schema(relation("Manager", "emp", "mgr"))
+    mapping = SchemaMapping.parse(
+        source, target, "Emp(x) -> exists y . Manager(x, y)"
+    )
+    return source, target, mapping
+
+
+class TestStructure:
+    def test_existentials_inferred(self, setting):
+        _, _, mapping = setting
+        tgd = mapping.tgds[0]
+        assert tgd.existential_variables == (Var("y"),)
+        assert tgd.frontier == (Var("x"),)
+
+    def test_is_full(self, setting):
+        _, _, mapping = setting
+        assert not mapping.tgds[0].is_full()
+        full = StTgd.parse("Manager(x, y) -> Boss(x, y)")
+        assert full.is_full()
+
+    def test_relations(self):
+        tgd = StTgd.parse("A(x), B(x, y) -> T(y)")
+        assert tgd.source_relations() == {"A", "B"}
+        assert tgd.target_relations() == {"T"}
+
+    def test_conclusion_must_have_atoms(self):
+        from repro.logic.formulas import Conjunction, atom, conj
+
+        with pytest.raises(ValueError):
+            StTgd(conj(atom("A", "x")), Conjunction([]))
+
+    def test_declared_existentials_checked(self):
+        with pytest.raises(ValueError, match="disagree"):
+            StTgd.parse("A(x) -> exists x . B(x)")
+
+    def test_rename_variables(self):
+        tgd = StTgd.parse("A(x) -> B(x, y)").rename_variables("_1")
+        assert tgd.frontier == (Var("x_1"),)
+        assert tgd.existential_variables == (Var("y_1"),)
+
+
+class TestSatisfaction:
+    def test_example_one_solutions(self, setting):
+        source_schema, target_schema, mapping = setting
+        I = instance(source_schema, {"Emp": [["Alice"], ["Bob"]]})
+        J1 = instance(
+            target_schema,
+            {"Manager": [["Alice", "Alice"], ["Bob", "Alice"]]},
+        )
+        assert mapping.satisfied_by(I, J1)
+
+    def test_missing_witness_violates(self, setting):
+        source_schema, target_schema, mapping = setting
+        I = instance(source_schema, {"Emp": [["Alice"], ["Bob"]]})
+        J = instance(target_schema, {"Manager": [["Alice", "Ted"]]})
+        assert not mapping.satisfied_by(I, J)
+        assert len(mapping.tgds[0].violations(I, J)) == 1
+
+    def test_empty_source_always_satisfied(self, setting):
+        source_schema, target_schema, mapping = setting
+        from repro.relational import empty_instance
+
+        assert mapping.satisfied_by(
+            empty_instance(source_schema), empty_instance(target_schema)
+        )
+
+    def test_extra_target_facts_allowed(self, setting):
+        source_schema, target_schema, mapping = setting
+        I = instance(source_schema, {"Emp": [["Alice"]]})
+        J = instance(
+            target_schema,
+            {"Manager": [["Alice", "Ted"], ["Ghost", "Casper"]]},
+        )
+        assert mapping.satisfied_by(I, J)
+
+
+class TestNormalization:
+    def test_split_by_existential_components(self):
+        tgd = StTgd.parse("Takes(x, y) -> exists z . Student(z, x), Assgn(x, y)")
+        parts = tgd.normalize()
+        assert len(parts) == 2
+        relations = {p.conclusion.atoms()[0].relation for p in parts}
+        assert relations == {"Student", "Assgn"}
+
+    def test_shared_existential_stays_together(self):
+        tgd = StTgd.parse("R(x) -> exists z . A(x, z), B(z)")
+        assert len(tgd.normalize()) == 1
+
+    def test_full_tgd_with_two_atoms_splits(self):
+        tgd = StTgd.parse("R(x, y) -> A(x), B(y)")
+        assert len(tgd.normalize()) == 2
+
+    def test_mapping_normalize(self):
+        source = schema(relation("Takes", "s", "c"))
+        target = schema(relation("Student", "i", "n"), relation("Assgn", "s", "c"))
+        mapping = SchemaMapping.parse(
+            source,
+            target,
+            "Takes(x, y) -> exists z . Student(z, x), Assgn(x, y)",
+        )
+        assert len(mapping.normalize().tgds) == 2
+
+
+class TestValidation:
+    def test_unknown_premise_relation_rejected(self):
+        source = schema(relation("A", "x"))
+        target = schema(relation("B", "x"))
+        with pytest.raises(ValueError, match="not a source relation"):
+            SchemaMapping.parse(source, target, "Z(x) -> B(x)")
+
+    def test_unknown_conclusion_relation_rejected(self):
+        source = schema(relation("A", "x"))
+        target = schema(relation("B", "x"))
+        with pytest.raises(ValueError, match="not a target relation"):
+            SchemaMapping.parse(source, target, "A(x) -> Z(x)")
+
+    def test_premise_arity_checked(self):
+        source = schema(relation("A", "x"))
+        target = schema(relation("B", "x"))
+        with pytest.raises(ValueError, match="arity"):
+            SchemaMapping.parse(source, target, "A(x, y) -> B(x)")
+
+    def test_conclusion_arity_checked(self):
+        source = schema(relation("A", "x"))
+        target = schema(relation("B", "x"))
+        with pytest.raises(ValueError, match="arity"):
+            SchemaMapping.parse(source, target, "A(x) -> B(x, y)")
+
+    def test_is_full_mapping(self):
+        source = schema(relation("A", "x"))
+        target = schema(relation("B", "x"))
+        full = SchemaMapping.parse(source, target, "A(x) -> B(x)")
+        assert full.is_full()
+
+    def test_with_tgds_extends(self, setting):
+        source, target, mapping = setting
+        more = mapping.with_tgds([StTgd.parse("Emp(x) -> Manager(x, x)")])
+        assert len(more) == 2
+
+    def test_iteration(self, setting):
+        _, _, mapping = setting
+        assert len(list(mapping)) == len(mapping) == 1

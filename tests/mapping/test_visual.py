@@ -1,0 +1,155 @@
+"""Tests for the visual correspondence builder (paper, Figure 1)."""
+
+import pytest
+
+from repro.logic.terms import Var
+from repro.mapping import (
+    CorrespondenceError,
+    SchemaMapping,
+    VisualMapping,
+    universal_solution,
+)
+from repro.relational import (
+    homomorphically_equivalent,
+    instance,
+    relation,
+    schema,
+)
+
+
+@pytest.fixture
+def figure_one_schemas():
+    left = schema(relation("Takes", "student", "course"))
+    right = schema(
+        relation("Student", "sid", "name"),
+        relation("Assgn", "student", "course"),
+    )
+    return left, right
+
+
+class TestFigureOneUpper:
+    def test_compiles_to_papers_tgd(self, figure_one_schemas):
+        left, right = figure_one_schemas
+        visual = VisualMapping(left, right)
+        c = visual.correspondence("upper")
+        c.source("Takes").target("Student", "Assgn")
+        c.arrow("Takes.student", "Student.name")
+        c.arrow("Takes.student", "Assgn.student")
+        c.arrow("Takes.course", "Assgn.course")
+        tgd = c.compile()
+        # Takes(x, y) → ∃z (Student(z, x) ∧ Assgn(x, y))
+        assert len(tgd.premise.atoms()) == 1
+        assert len(tgd.conclusion.atoms()) == 2
+        assert len(tgd.existential_variables) == 1
+        student_atom = next(
+            a for a in tgd.conclusion.atoms() if a.relation == "Student"
+        )
+        assgn_atom = next(a for a in tgd.conclusion.atoms() if a.relation == "Assgn")
+        takes_atom = tgd.premise.atoms()[0]
+        # Student's name position and Assgn's student position share the
+        # variable of Takes.student.
+        assert student_atom.terms[1] == takes_atom.terms[0]
+        assert assgn_atom.terms[0] == takes_atom.terms[0]
+        assert assgn_atom.terms[1] == takes_atom.terms[1]
+        assert student_atom.terms[0] in tgd.existential_variables
+
+    def test_exchanges_like_hand_written_tgd(self, figure_one_schemas):
+        left, right = figure_one_schemas
+        visual = VisualMapping(left, right)
+        c = visual.correspondence()
+        c.source("Takes").target("Student", "Assgn")
+        c.arrow("Takes.student", "Student.name")
+        c.arrow("Takes.student", "Assgn.student")
+        c.arrow("Takes.course", "Assgn.course")
+        compiled = visual.compile()
+        hand_written = SchemaMapping.parse(
+            left, right, "Takes(x, y) -> exists z . Student(z, x), Assgn(x, y)"
+        )
+        I = instance(left, {"Takes": [["ann", "db"], ["bob", "pl"]]})
+        assert homomorphically_equivalent(
+            universal_solution(compiled, I), universal_solution(hand_written, I)
+        )
+
+
+class TestFigureOneLower:
+    def test_join_correspondence(self):
+        left = schema(
+            relation("Student", "sid", "name"),
+            relation("Assgn", "student", "course"),
+        )
+        right = schema(relation("Enrollment", "sid", "course"))
+        visual = VisualMapping(left, right)
+        c = visual.correspondence("lower")
+        c.source("Student", "Assgn").target("Enrollment")
+        c.join("Student.name", "Assgn.student")
+        c.arrow("Student.sid", "Enrollment.sid")
+        c.arrow("Assgn.course", "Enrollment.course")
+        tgd = c.compile()
+        # Student(x, y) ∧ Assgn(y, z) → Enrollment(x, z)
+        assert len(tgd.premise.atoms()) == 2
+        assert tgd.is_full()
+        student = next(a for a in tgd.premise.atoms() if a.relation == "Student")
+        assgn = next(a for a in tgd.premise.atoms() if a.relation == "Assgn")
+        assert student.terms[1] == assgn.terms[0]  # the join variable
+
+
+class TestValidation:
+    @pytest.fixture
+    def visual(self, figure_one_schemas):
+        left, right = figure_one_schemas
+        return VisualMapping(left, right)
+
+    def test_unknown_source_relation(self, visual):
+        with pytest.raises(CorrespondenceError):
+            visual.correspondence().source("Nope")
+
+    def test_unknown_target_relation(self, visual):
+        with pytest.raises(CorrespondenceError):
+            visual.correspondence().target("Nope")
+
+    def test_arrow_requires_declared_relations(self, visual):
+        c = visual.correspondence()
+        c.source("Takes")
+        with pytest.raises(CorrespondenceError, match="not declared"):
+            c.arrow("Takes.student", "Student.name")
+
+    def test_arrow_unknown_attribute(self, visual):
+        c = visual.correspondence().source("Takes").target("Student")
+        with pytest.raises(CorrespondenceError, match="no attribute"):
+            c.arrow("Takes.student", "Student.zzz")
+
+    def test_double_arrow_into_one_target_rejected(self, visual):
+        c = visual.correspondence().source("Takes").target("Student")
+        c.arrow("Takes.student", "Student.name")
+        with pytest.raises(CorrespondenceError, match="already has"):
+            c.arrow("Takes.course", "Student.name")
+
+    def test_cross_side_join_rejected(self, visual):
+        c = visual.correspondence().source("Takes").target("Student")
+        with pytest.raises(CorrespondenceError, match="same side"):
+            c.join("Takes.student", "Student.name")
+
+    def test_malformed_reference(self, visual):
+        c = visual.correspondence().source("Takes").target("Student")
+        with pytest.raises(CorrespondenceError, match="Relation.attribute"):
+            c.arrow("Takes", "Student.name")
+
+    def test_empty_correspondence_rejected(self, visual):
+        with pytest.raises(CorrespondenceError, match="needs source"):
+            visual.correspondence().compile()
+
+
+class TestTargetJoins:
+    def test_target_join_unifies_existentials(self):
+        left = schema(relation("A", "x"))
+        right = schema(relation("P", "a", "k"), relation("Q", "k"))
+        visual = VisualMapping(left, right)
+        c = visual.correspondence()
+        c.source("A").target("P", "Q")
+        c.arrow("A.x", "P.a")
+        c.join("P.k", "Q.k")
+        tgd = c.compile()
+        p_atom = next(a for a in tgd.conclusion.atoms() if a.relation == "P")
+        q_atom = next(a for a in tgd.conclusion.atoms() if a.relation == "Q")
+        assert p_atom.terms[1] == q_atom.terms[0]
+        assert len(tgd.existential_variables) == 1

@@ -1,0 +1,203 @@
+"""Tests for the relational algebra: predicates and expression evaluation."""
+
+import pytest
+
+from repro.relational import constant, instance, relation, schema
+from repro.relational.algebra import (
+    Comparison,
+    ConstantColumn,
+    Difference,
+    Extend,
+    Join,
+    Project,
+    Rename,
+    Scan,
+    Select,
+    TruePredicate,
+    Union,
+    col_eq,
+    eq,
+    evaluate_to_instance,
+    natural_join_all,
+)
+from repro.relational.instance import Fact, Instance
+from repro.relational.values import LabeledNull
+
+
+@pytest.fixture
+def db(emp_dept_schema, emp_dept_instance):
+    return emp_dept_schema, emp_dept_instance
+
+
+class TestPredicates:
+    def test_eq_constant(self, db):
+        s, inst = db
+        pred = eq("dept", "d1")
+        rel = s["Emp"]
+        assert pred.evaluate(rel, (constant("ann"), constant("d1")))
+        assert not pred.evaluate(rel, (constant("bob"), constant("d2")))
+
+    def test_column_comparison(self, db):
+        s, _ = db
+        pred = col_eq("name", "dept")
+        rel = s["Emp"]
+        assert pred.evaluate(rel, (constant("d1"), constant("d1")))
+
+    def test_ordering_comparison_on_nulls_is_false(self, db):
+        s, _ = db
+        pred = Comparison("name", "<", "zzz")
+        assert not pred.evaluate(s["Emp"], (LabeledNull(0), constant("d1")))
+
+    def test_inequality_on_null(self, db):
+        s, _ = db
+        pred = Comparison("name", "!=", "x")
+        assert pred.evaluate(s["Emp"], (LabeledNull(0), constant("d1")))
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            Comparison("a", "~", 1)
+
+    def test_boolean_combinators(self, db):
+        s, _ = db
+        rel = s["Emp"]
+        row = (constant("ann"), constant("d1"))
+        both = eq("name", "ann") & eq("dept", "d1")
+        either = eq("name", "zz") | eq("dept", "d1")
+        negated = ~eq("name", "ann")
+        assert both.evaluate(rel, row)
+        assert either.evaluate(rel, row)
+        assert not negated.evaluate(rel, row)
+
+    def test_constant_column_predicate(self, db):
+        s, _ = db
+        pred = ConstantColumn("name")
+        assert pred.evaluate(s["Emp"], (constant("ann"), constant("d1")))
+        assert not pred.evaluate(s["Emp"], (LabeledNull(0), constant("d1")))
+
+    def test_columns_reported(self):
+        pred = eq("a", 1) & col_eq("b", "c")
+        assert pred.columns() == {"a", "b", "c"}
+
+    def test_true_predicate(self, db):
+        s, _ = db
+        assert TruePredicate().evaluate(s["Emp"], (constant(1), constant(2)))
+
+
+class TestScan:
+    def test_plain_scan(self, db):
+        s, inst = db
+        assert len(Scan(s["Emp"]).evaluate(inst)) == 3
+
+    def test_renaming_scan_schema(self, db):
+        s, _ = db
+        out = Scan(s["Emp"], ("x", "y")).output_schema()
+        assert out.attribute_names == ("x", "y")
+
+    def test_renaming_arity_mismatch(self, db):
+        s, _ = db
+        with pytest.raises(ValueError):
+            Scan(s["Emp"], ("x",)).output_schema()
+
+
+class TestSelectProject:
+    def test_select_filters(self, db):
+        s, inst = db
+        expr = Select(Scan(s["Emp"]), eq("dept", "d1"))
+        assert len(expr.evaluate(inst)) == 2
+
+    def test_project_collapses_duplicates(self, db):
+        s, inst = db
+        expr = Project(Scan(s["Emp"]), ("dept",))
+        assert expr.evaluate(inst) == {(constant("d1"),), (constant("d2"),)}
+
+    def test_project_reorders(self, db):
+        s, inst = db
+        expr = Project(Scan(s["Emp"]), ("dept", "name"))
+        assert (constant("d1"), constant("ann")) in expr.evaluate(inst)
+
+
+class TestJoin:
+    @pytest.mark.parametrize("algorithm", ["hash", "nested_loop"])
+    def test_natural_join(self, db, algorithm):
+        s, inst = db
+        expr = Join(Scan(s["Emp"]), Scan(s["Dept"]), algorithm=algorithm)
+        rows = expr.evaluate(inst)
+        assert (constant("ann"), constant("d1"), constant("hana")) in rows
+        assert len(rows) == 3
+
+    def test_join_algorithms_agree(self, db):
+        s, inst = db
+        hash_rows = Join(Scan(s["Emp"]), Scan(s["Dept"]), "hash").evaluate(inst)
+        loop_rows = Join(Scan(s["Emp"]), Scan(s["Dept"]), "nested_loop").evaluate(inst)
+        assert hash_rows == loop_rows
+
+    def test_join_without_shared_columns_is_product(self):
+        s = schema(relation("A", "a"), relation("B", "b"))
+        inst = instance(s, {"A": [[1], [2]], "B": [["x"]]})
+        rows = Join(Scan(s["A"]), Scan(s["B"])).evaluate(inst)
+        assert len(rows) == 2
+
+    def test_join_output_schema(self, db):
+        s, _ = db
+        out = Join(Scan(s["Emp"]), Scan(s["Dept"])).output_schema()
+        assert out.attribute_names == ("name", "dept", "head")
+
+    def test_unknown_algorithm_rejected(self, db):
+        s, _ = db
+        with pytest.raises(ValueError):
+            Join(Scan(s["Emp"]), Scan(s["Dept"]), algorithm="sort_merge")
+
+    def test_natural_join_all_left_deep(self, db):
+        s, inst = db
+        expr = natural_join_all([Scan(s["Emp"]), Scan(s["Dept"])])
+        assert len(expr.evaluate(inst)) == 3
+
+    def test_natural_join_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            natural_join_all([])
+
+
+class TestSetOperators:
+    def test_union(self):
+        s = schema(relation("A", "x"), relation("B", "x"))
+        inst = instance(s, {"A": [[1]], "B": [[2]]})
+        rows = Union(Scan(s["A"]), Scan(s["B"])).evaluate(inst)
+        assert rows == {(constant(1),), (constant(2),)}
+
+    def test_union_incompatible_raises(self, db):
+        s, inst = db
+        with pytest.raises(ValueError):
+            Union(Scan(s["Emp"]), Scan(s["Dept"])).evaluate(inst)
+
+    def test_difference(self):
+        s = schema(relation("A", "x"), relation("B", "x"))
+        inst = instance(s, {"A": [[1], [2]], "B": [[2]]})
+        rows = Difference(Scan(s["A"]), Scan(s["B"])).evaluate(inst)
+        assert rows == {(constant(1),)}
+
+
+class TestRenameExtend:
+    def test_rename_columns(self, db):
+        s, inst = db
+        expr = Rename(Scan(s["Emp"]), {"name": "who"})
+        assert expr.output_schema().attribute_names == ("who", "dept")
+        assert len(expr.evaluate(inst)) == 3
+
+    def test_extend_appends_value(self, db):
+        s, inst = db
+        expr = Extend(Scan(s["Dept"]), "tag", constant("v"))
+        rows = expr.evaluate(inst)
+        assert all(row[-1] == constant("v") for row in rows)
+
+    def test_extend_duplicate_column_rejected(self, db):
+        s, _ = db
+        with pytest.raises(ValueError):
+            Extend(Scan(s["Dept"]), "dept", constant(1)).output_schema()
+
+
+class TestEvaluateToInstance:
+    def test_wraps_result(self, db):
+        s, inst = db
+        out = evaluate_to_instance(Project(Scan(s["Emp"]), ("name",)), inst, "Names")
+        assert out.schema["Names"].attribute_names == ("name",)
+        assert out.size() == 3

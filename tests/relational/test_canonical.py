@@ -1,0 +1,121 @@
+"""Tests for canonical forms of instances with nulls."""
+
+import pytest
+
+from repro.relational import (
+    Fact,
+    Instance,
+    LabeledNull,
+    SkolemValue,
+    constant,
+    homomorphically_equivalent,
+    relation,
+    schema,
+)
+from repro.relational.canonical import canonical_form, canonically_equal
+
+MGR = relation("Manager", "emp", "mgr")
+S = schema(MGR)
+
+
+def inst(*rows):
+    return Instance(S, [Fact("Manager", row) for row in rows])
+
+
+class TestCanonicalForm:
+    def test_ground_instance_is_its_own_form(self):
+        ground = inst((constant("a"), constant("b")))
+        result = canonical_form(ground)
+        assert result.exact
+        assert result.instance == ground
+
+    def test_null_relabeling_is_stable(self):
+        one = inst(
+            (constant("a"), LabeledNull(42)),
+            (constant("b"), LabeledNull(17)),
+        )
+        two = inst(
+            (constant("a"), LabeledNull(5)),
+            (constant("b"), LabeledNull(99)),
+        )
+        assert canonical_form(one).instance.same_facts(
+            canonical_form(two).instance
+        )
+
+    def test_labels_start_at_zero(self):
+        one = inst((constant("a"), LabeledNull(42)))
+        form = canonical_form(one).instance
+        assert form.nulls() == {LabeledNull(0)}
+
+    def test_minimization_folds_redundancy(self):
+        redundant = inst(
+            (constant("a"), constant("m")),
+            (constant("a"), LabeledNull(0)),
+        )
+        form = canonical_form(redundant).instance
+        assert form.size() == 1
+        assert form.is_ground()
+
+    def test_without_minimize_keeps_facts(self):
+        redundant = inst(
+            (constant("a"), constant("m")),
+            (constant("a"), LabeledNull(0)),
+        )
+        form = canonical_form(redundant, minimize=False).instance
+        assert form.size() == 2
+
+    def test_skolems_are_relabeled_to_nulls(self):
+        skolemized = inst(
+            (constant("a"), SkolemValue("f", (constant("a"),))),
+        )
+        form = canonical_form(skolemized).instance
+        assert form.nulls() == {LabeledNull(0)}
+
+    def test_symmetric_ties_resolved_exactly(self):
+        # Two structurally interchangeable nulls: canonical form must not
+        # depend on their original labels.
+        one = inst(
+            (constant("a"), LabeledNull(1)),
+            (constant("b"), LabeledNull(2)),
+        )
+        two = inst(
+            (constant("a"), LabeledNull(2)),
+            (constant("b"), LabeledNull(1)),
+        )
+        f1, f2 = canonical_form(one), canonical_form(two)
+        assert f1.exact and f2.exact
+        assert f1.instance.same_facts(f2.instance)
+
+
+class TestCanonicallyEqual:
+    def test_chase_vs_lens_outputs(self):
+        """The intended use: comparing two exchange engines' outputs."""
+        from repro.compiler import ExchangeEngine
+        from repro.mapping import universal_solution
+        from repro.workloads import emp_manager_scenario
+
+        scenario = emp_manager_scenario()
+        chased = universal_solution(scenario.mapping, scenario.sample)
+        compiled = ExchangeEngine.compile(scenario.mapping).exchange(
+            scenario.sample
+        )
+        assert canonically_equal(chased, compiled)
+        assert homomorphically_equivalent(chased, compiled)
+
+    def test_inequivalent_instances_differ(self):
+        one = inst((constant("a"), LabeledNull(0)))
+        other = inst((constant("zzz"), LabeledNull(0)))
+        assert not canonically_equal(one, other)
+
+    def test_agrees_with_hom_equivalence_on_samples(self):
+        samples = [
+            inst((constant("a"), LabeledNull(0))),
+            inst((constant("a"), LabeledNull(7))),
+            inst((constant("a"), LabeledNull(0)), (constant("a"), LabeledNull(1))),
+            inst((constant("a"), constant("b"))),
+        ]
+        for left in samples:
+            for right in samples:
+                assert canonically_equal(left, right) == (
+                    homomorphically_equivalent(left, right)
+                )

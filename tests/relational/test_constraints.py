@@ -1,0 +1,172 @@
+"""Tests for functional dependencies, keys, inclusion deps and FD closure."""
+
+import pytest
+
+from repro.relational import (
+    ConstraintSet,
+    FunctionalDependency,
+    InclusionDependency,
+    KeyConstraint,
+    attribute_closure,
+    implies,
+    instance,
+    minimal_keys,
+    relation,
+    schema,
+)
+
+
+@pytest.fixture
+def person_db():
+    s = schema(relation("P", "id", "city", "zip"))
+    good = instance(
+        s,
+        {"P": [[1, "spr", "49001"], [2, "spr", "49001"], [3, "she", "49002"]]},
+    )
+    bad = instance(
+        s,
+        {"P": [[1, "spr", "49001"], [2, "spr", "49009"]]},
+    )
+    return s, good, bad
+
+
+class TestFunctionalDependency:
+    def test_holds(self, person_db):
+        _, good, _ = person_db
+        assert FunctionalDependency("P", ("city",), ("zip",)).holds_in(good)
+
+    def test_violated(self, person_db):
+        _, _, bad = person_db
+        fd = FunctionalDependency("P", ("city",), ("zip",))
+        assert not fd.holds_in(bad)
+        assert len(fd.violations(bad)) == 1
+
+    def test_lookup_table(self, person_db):
+        _, good, _ = person_db
+        fd = FunctionalDependency("P", ("city",), ("zip",))
+        table = fd.lookup(good)
+        from repro.relational import constant
+
+        assert table[(constant("spr"),)] == (constant("49001"),)
+
+    def test_lookup_on_violated_fd_raises(self, person_db):
+        _, _, bad = person_db
+        with pytest.raises(ValueError):
+            FunctionalDependency("P", ("city",), ("zip",)).lookup(bad)
+
+    def test_requires_dependent(self):
+        with pytest.raises(ValueError):
+            FunctionalDependency("P", ("a",), ())
+
+    def test_empty_determinant_means_constant_column(self, person_db):
+        s, good, _ = person_db
+        fd = FunctionalDependency("P", (), ("city",))
+        assert not fd.holds_in(good)  # two distinct cities
+
+
+class TestKeyConstraint:
+    def test_holds(self, person_db):
+        _, good, _ = person_db
+        assert KeyConstraint("P", ("id",)).holds_in(good)
+
+    def test_violated(self):
+        s = schema(relation("P", "id", "x"))
+        dup = instance(s, {"P": [[1, "a"], [1, "b"]]})
+        key = KeyConstraint("P", ("id",))
+        assert not key.holds_in(dup)
+        assert "occurs 2 times" in key.violations(dup)[0]
+
+    def test_as_fd(self, person_db):
+        s, _, _ = person_db
+        fd = KeyConstraint("P", ("id",)).as_fd(s)
+        assert set(fd.dependent) == {"city", "zip"}
+
+    def test_requires_columns(self):
+        with pytest.raises(ValueError):
+            KeyConstraint("P", ())
+
+
+class TestInclusionDependency:
+    @pytest.fixture
+    def fk_db(self):
+        s = schema(relation("Emp", "name", "dept"), relation("Dept", "dept"))
+        ok = instance(s, {"Emp": [["a", "d1"]], "Dept": [["d1"]]})
+        broken = instance(s, {"Emp": [["a", "dX"]], "Dept": [["d1"]]})
+        return s, ok, broken
+
+    def test_holds(self, fk_db):
+        _, ok, _ = fk_db
+        ind = InclusionDependency("Emp", ("dept",), "Dept", ("dept",))
+        assert ind.holds_in(ok)
+
+    def test_violated(self, fk_db):
+        _, _, broken = fk_db
+        ind = InclusionDependency("Emp", ("dept",), "Dept", ("dept",))
+        assert not ind.holds_in(broken)
+        assert len(ind.violations(broken)) == 1
+
+    def test_column_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            InclusionDependency("A", ("x", "y"), "B", ("z",))
+
+
+class TestConstraintSet:
+    def test_conjunction(self, person_db):
+        _, good, bad = person_db
+        cs = ConstraintSet(
+            [
+                FunctionalDependency("P", ("city",), ("zip",)),
+                KeyConstraint("P", ("id",)),
+            ]
+        )
+        assert cs.holds_in(good)
+        assert not cs.holds_in(bad)
+
+    def test_for_relation_filters(self):
+        cs = ConstraintSet(
+            [
+                FunctionalDependency("P", ("a",), ("b",)),
+                KeyConstraint("Q", ("x",)),
+                InclusionDependency("P", ("a",), "Q", ("x",)),
+            ]
+        )
+        assert len(cs.for_relation("P")) == 2
+        assert len(cs.for_relation("Q")) == 2
+
+    def test_functional_dependencies_accessor(self):
+        fd = FunctionalDependency("P", ("a",), ("b",))
+        cs = ConstraintSet([fd, KeyConstraint("P", ("a",))])
+        assert cs.functional_dependencies("P") == [fd]
+
+
+class TestClosureAndKeys:
+    def test_attribute_closure_transitive(self):
+        fds = [
+            FunctionalDependency("R", ("a",), ("b",)),
+            FunctionalDependency("R", ("b",), ("c",)),
+        ]
+        assert attribute_closure(["a"], fds) == {"a", "b", "c"}
+
+    def test_implies(self):
+        fds = [
+            FunctionalDependency("R", ("a",), ("b",)),
+            FunctionalDependency("R", ("b",), ("c",)),
+        ]
+        assert implies(fds, FunctionalDependency("R", ("a",), ("c",)))
+        assert not implies(fds, FunctionalDependency("R", ("c",), ("a",)))
+
+    def test_implies_scoped_by_relation(self):
+        fds = [FunctionalDependency("R", ("a",), ("b",))]
+        assert not implies(fds, FunctionalDependency("S", ("a",), ("b",)))
+
+    def test_minimal_keys(self):
+        rel = relation("R", "a", "b", "c")
+        fds = [FunctionalDependency("R", ("a",), ("b", "c"))]
+        assert minimal_keys(rel, fds) == [("a",)]
+
+    def test_minimal_keys_composite(self):
+        rel = relation("R", "a", "b", "c")
+        fds = [FunctionalDependency("R", ("a", "b"), ("c",))]
+        keys = minimal_keys(rel, fds)
+        assert ("a", "b") in keys
+        assert ("a",) not in keys

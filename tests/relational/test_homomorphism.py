@@ -1,0 +1,187 @@
+"""Tests for homomorphisms, universality, cores and isomorphism."""
+
+import pytest
+
+from repro.relational import (
+    Fact,
+    Instance,
+    LabeledNull,
+    constant,
+    core,
+    find_homomorphism,
+    homomorphically_equivalent,
+    instance,
+    is_core,
+    is_homomorphic,
+    is_universal_for,
+    isomorphic,
+    relation,
+    schema,
+)
+from repro.relational.homomorphism import apply_assignment
+
+
+@pytest.fixture
+def mgr_schema():
+    return schema(relation("Manager", "emp", "mgr"))
+
+
+def mk(mgr_schema, rows):
+    return Instance(mgr_schema, {"Manager": [tuple(r) for r in rows]})
+
+
+@pytest.fixture
+def jstar(mgr_schema):
+    """Example 1's canonical universal solution J*."""
+    return mk(
+        mgr_schema,
+        [
+            (constant("Alice"), LabeledNull(1)),
+            (constant("Bob"), LabeledNull(2)),
+        ],
+    )
+
+
+@pytest.fixture
+def j1(mgr_schema):
+    return mk(
+        mgr_schema,
+        [
+            (constant("Alice"), constant("Alice")),
+            (constant("Bob"), constant("Alice")),
+        ],
+    )
+
+
+class TestFindHomomorphism:
+    def test_nulls_map_anywhere(self, jstar, j1):
+        hom = find_homomorphism(jstar, j1)
+        assert hom is not None
+        assert hom[LabeledNull(1)] == constant("Alice")
+
+    def test_constants_are_rigid(self, j1, jstar):
+        assert find_homomorphism(j1, jstar) is None
+
+    def test_identity_always_exists(self, jstar):
+        assert is_homomorphic(jstar, jstar)
+
+    def test_seed_pins_assignment(self, jstar, j1):
+        hom = find_homomorphism(jstar, j1, seed={LabeledNull(1): constant("Alice")})
+        assert hom is not None
+
+    def test_inconsistent_seed_fails(self, jstar, j1):
+        hom = find_homomorphism(jstar, j1, seed={LabeledNull(1): constant("Zed")})
+        assert hom is None
+
+    def test_empty_source_maps_everywhere(self, mgr_schema, j1):
+        empty = mk(mgr_schema, [])
+        assert is_homomorphic(empty, j1)
+
+    def test_into_empty_target_fails(self, mgr_schema, j1):
+        empty = mk(mgr_schema, [])
+        assert not is_homomorphic(j1, empty)
+
+
+class TestUniversality:
+    def test_jstar_universal_for_ground_solutions(self, jstar, j1, mgr_schema):
+        j2 = mk(
+            mgr_schema,
+            [
+                (constant("Alice"), constant("Bob")),
+                (constant("Bob"), constant("Ted")),
+            ],
+        )
+        assert is_universal_for(jstar, [j1, j2, jstar])
+
+    def test_ground_solution_not_universal(self, j1, jstar):
+        assert not is_universal_for(j1, [jstar])
+
+    def test_homomorphic_equivalence(self, jstar, mgr_schema):
+        relabeled = mk(
+            mgr_schema,
+            [
+                (constant("Alice"), LabeledNull(8)),
+                (constant("Bob"), LabeledNull(9)),
+            ],
+        )
+        assert homomorphically_equivalent(jstar, relabeled)
+
+    def test_non_equivalence(self, jstar, j1):
+        assert not homomorphically_equivalent(jstar, j1)
+
+
+class TestCore:
+    def test_redundant_null_fact_is_folded(self, mgr_schema):
+        redundant = mk(
+            mgr_schema,
+            [
+                (constant("Alice"), constant("Bob")),
+                (constant("Alice"), LabeledNull(0)),
+            ],
+        )
+        minimized = core(redundant)
+        assert minimized.size() == 1
+        assert minimized.nulls() == set()
+
+    def test_core_is_equivalent_to_original(self, mgr_schema):
+        redundant = mk(
+            mgr_schema,
+            [
+                (constant("Alice"), constant("Bob")),
+                (constant("Alice"), LabeledNull(0)),
+            ],
+        )
+        assert homomorphically_equivalent(redundant, core(redundant))
+
+    def test_jstar_is_its_own_core(self, jstar):
+        assert is_core(jstar)
+        assert core(jstar) == jstar
+
+    def test_ground_instance_is_core(self, j1):
+        assert is_core(j1)
+
+    def test_core_idempotent(self, mgr_schema):
+        inst = mk(
+            mgr_schema,
+            [
+                (constant("A"), LabeledNull(0)),
+                (constant("A"), LabeledNull(1)),
+            ],
+        )
+        once = core(inst)
+        assert core(once) == once
+        assert once.size() == 1
+
+
+class TestIsomorphism:
+    def test_null_relabeling_is_isomorphism(self, jstar, mgr_schema):
+        relabeled = mk(
+            mgr_schema,
+            [
+                (constant("Alice"), LabeledNull(5)),
+                (constant("Bob"), LabeledNull(6)),
+            ],
+        )
+        assert isomorphic(jstar, relabeled)
+
+    def test_different_sizes_not_isomorphic(self, jstar, mgr_schema):
+        small = mk(mgr_schema, [(constant("Alice"), LabeledNull(1))])
+        assert not isomorphic(jstar, small)
+
+    def test_equivalent_but_not_isomorphic(self, mgr_schema):
+        one = mk(mgr_schema, [(constant("A"), LabeledNull(0))])
+        two = mk(
+            mgr_schema,
+            [
+                (constant("A"), LabeledNull(0)),
+                (constant("A"), LabeledNull(1)),
+            ],
+        )
+        assert homomorphically_equivalent(one, two)
+        assert not isomorphic(one, two)
+
+
+class TestApplyAssignment:
+    def test_apply(self, jstar):
+        image = apply_assignment(jstar, {LabeledNull(1): constant("X")})
+        assert Fact("Manager", (constant("Alice"), constant("X"))) in image

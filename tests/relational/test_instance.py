@@ -1,0 +1,155 @@
+"""Tests for instances, facts and the builder."""
+
+import pytest
+
+from repro.relational import (
+    Fact,
+    Instance,
+    InstanceBuilder,
+    LabeledNull,
+    constant,
+    empty_instance,
+    instance,
+    relation,
+    schema,
+)
+from repro.relational.schema import Attribute, AttributeType, RelationSchema, Schema
+
+
+@pytest.fixture
+def rs():
+    return schema(relation("R", "a", "b"), relation("S", "c"))
+
+
+class TestConstruction:
+    def test_raw_scalars_are_coerced(self, rs):
+        inst = instance(rs, {"R": [[1, "x"]]})
+        assert Fact("R", (constant(1), constant("x"))) in inst
+
+    def test_unknown_relation_rejected(self, rs):
+        with pytest.raises(KeyError):
+            instance(rs, {"T": [[1]]})
+
+    def test_arity_mismatch_rejected(self, rs):
+        with pytest.raises(ValueError, match="arity"):
+            instance(rs, {"S": [[1, 2]]})
+
+    def test_typed_attribute_enforced(self):
+        typed = Schema(
+            [RelationSchema("R", [Attribute("a", AttributeType.INTEGER)])]
+        )
+        with pytest.raises(TypeError):
+            instance(typed, {"R": [["not an int"]]})
+
+    def test_nulls_are_well_typed_everywhere(self):
+        typed = Schema(
+            [RelationSchema("R", [Attribute("a", AttributeType.INTEGER)])]
+        )
+        inst = Instance(typed, [Fact("R", (LabeledNull(0),))])
+        assert inst.size() == 1
+
+    def test_set_semantics_deduplicates(self, rs):
+        inst = instance(rs, {"S": [[1], [1]]})
+        assert inst.size() == 1
+
+
+class TestAccessors:
+    def test_rows_of_unknown_relation_raises(self, rs):
+        with pytest.raises(KeyError):
+            empty_instance(rs).rows("T")
+
+    def test_facts_are_sorted_deterministically(self, rs):
+        inst = instance(rs, {"R": [[2, "b"], [1, "a"]], "S": [[3]]})
+        reprs = [repr(f) for f in inst.facts()]
+        assert reprs == sorted(reprs, key=lambda r: (r.split("(")[0], r))
+
+    def test_nulls_and_constants(self, rs):
+        inst = Instance(rs, [Fact("S", (LabeledNull(1),)), Fact("S", (constant(5),))])
+        assert inst.nulls() == {LabeledNull(1)}
+        assert inst.constants() == {constant(5)}
+
+    def test_is_ground(self, rs):
+        assert instance(rs, {"S": [[1]]}).is_ground()
+        assert not Instance(rs, [Fact("S", (LabeledNull(0),))]).is_ground()
+
+    def test_active_domain(self, rs):
+        inst = instance(rs, {"R": [[1, 2]]})
+        assert inst.active_domain() == {constant(1), constant(2)}
+
+
+class TestAlgebraicOperations:
+    def test_with_facts(self, rs):
+        inst = empty_instance(rs).with_facts([Fact("S", (constant(1),))])
+        assert inst.size() == 1
+
+    def test_without_facts_ignores_missing(self, rs):
+        inst = instance(rs, {"S": [[1]]})
+        out = inst.without_facts([Fact("S", (constant(2),))])
+        assert out.same_facts(inst)
+
+    def test_restrict_shrinks_schema(self, rs):
+        inst = instance(rs, {"R": [[1, 2]], "S": [[3]]})
+        sub = inst.restrict(["S"])
+        assert "R" not in sub.schema
+        assert sub.size() == 1
+
+    def test_union_merges_facts(self, rs):
+        a = instance(rs, {"S": [[1]]})
+        b = instance(rs, {"S": [[2]]})
+        assert a.union(b).rows("S") == {(constant(1),), (constant(2),)}
+
+    def test_map_values_substitutes(self, rs):
+        inst = Instance(rs, [Fact("S", (LabeledNull(0),))])
+        out = inst.map_values({LabeledNull(0): constant("v")})
+        assert Fact("S", (constant("v"),)) in out
+
+    def test_cast_revalidates(self, rs):
+        inst = instance(rs, {"S": [[1]]})
+        target = schema(relation("S", "c"))
+        assert inst.cast(target).schema == target
+
+
+class TestComparison:
+    def test_same_facts_ignores_schema_identity(self, rs):
+        a = instance(rs, {"S": [[1]]})
+        b = instance(schema(relation("S", "c")), {"S": [[1]]})
+        assert a.restrict(["S"]).same_facts(b)
+
+    def test_contains_instance(self, rs):
+        big = instance(rs, {"S": [[1], [2]]})
+        small = instance(rs, {"S": [[1]]})
+        assert big.contains_instance(small)
+        assert not small.contains_instance(big)
+
+    def test_equality_and_hash(self, rs):
+        a = instance(rs, {"S": [[1]]})
+        b = instance(rs, {"S": [[1]]})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_repr_empty(self, rs):
+        assert repr(empty_instance(rs)) == "⟨∅⟩"
+
+
+class TestBuilder:
+    def test_add_and_build(self, rs):
+        inst = InstanceBuilder(rs).add("S", 1).add("R", 1, "x").build()
+        assert inst.size() == 2
+
+    def test_builder_from_base(self, rs):
+        base = instance(rs, {"S": [[1]]})
+        inst = InstanceBuilder(rs, base).add("S", 2).build()
+        assert inst.size() == 2
+
+    def test_builder_chaining_returns_self(self, rs):
+        builder = InstanceBuilder(rs)
+        assert builder.add("S", 1) is builder
+
+
+class TestFact:
+    def test_is_ground(self):
+        assert Fact("R", (constant(1),)).is_ground()
+        assert not Fact("R", (LabeledNull(0),)).is_ground()
+
+    def test_arity(self):
+        assert Fact("R", (constant(1), constant(2))).arity == 2

@@ -1,0 +1,98 @@
+"""Property-based tests (hypothesis) for the relational substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import (
+    Fact,
+    Instance,
+    LabeledNull,
+    constant,
+    core,
+    dumps_instance,
+    homomorphically_equivalent,
+    is_homomorphic,
+    loads_instance,
+    relation,
+    schema,
+)
+from repro.relational.algebra import Join, Project, Scan, Select, eq
+
+SCHEMA = schema(relation("R", "a", "b"), relation("S", "b", "c"))
+
+values = st.one_of(
+    st.sampled_from([constant(x) for x in ["u", "v", "w", 1, 2]]),
+    st.builds(LabeledNull, st.integers(min_value=0, max_value=3)),
+)
+
+
+@st.composite
+def instances(draw):
+    r_rows = draw(st.lists(st.tuples(values, values), max_size=6))
+    s_rows = draw(st.lists(st.tuples(values, values), max_size=6))
+    facts = [Fact("R", row) for row in r_rows] + [Fact("S", row) for row in s_rows]
+    return Instance(SCHEMA, facts)
+
+
+@settings(max_examples=60, deadline=None)
+@given(instances())
+def test_serialization_round_trip(inst):
+    assert loads_instance(dumps_instance(inst)) == inst
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances())
+def test_homomorphism_is_reflexive(inst):
+    assert is_homomorphic(inst, inst)
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances())
+def test_sub_instance_maps_into_superinstance(inst):
+    facts = list(inst.facts())
+    sub = Instance(SCHEMA, facts[: len(facts) // 2])
+    assert is_homomorphic(sub, inst)
+
+
+@settings(max_examples=25, deadline=None)
+@given(instances())
+def test_core_is_equivalent_and_idempotent(inst):
+    minimized = core(inst)
+    assert homomorphically_equivalent(inst, minimized)
+    assert core(minimized) == minimized
+    assert minimized.size() <= inst.size()
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances())
+def test_join_algorithms_agree(inst):
+    hash_join = Join(Scan(SCHEMA["R"]), Scan(SCHEMA["S"]), "hash")
+    loop_join = Join(Scan(SCHEMA["R"]), Scan(SCHEMA["S"]), "nested_loop")
+    assert hash_join.evaluate(inst) == loop_join.evaluate(inst)
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances())
+def test_select_then_project_commutes_when_column_retained(inst):
+    """σ then π equals π then σ when the predicate's column survives."""
+    first = Project(Select(Scan(SCHEMA["R"]), eq("a", "u")), ("a",))
+    second = Select(Project(Scan(SCHEMA["R"]), ("a",)), eq("a", "u"))
+    assert first.evaluate(inst) == second.evaluate(inst)
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances())
+def test_project_is_idempotent(inst):
+    once = Project(Scan(SCHEMA["R"]), ("a",))
+    twice = Project(once, ("a",))
+    assert once.evaluate(inst) == twice.evaluate(inst)
+
+
+@settings(max_examples=40, deadline=None)
+@given(instances(), instances())
+def test_union_of_facts_preserves_homomorphisms(left, right):
+    combined = left.union(right)
+    assert is_homomorphic(left, combined) or left.nulls()
+    # For null-free instances the containment homomorphism always exists.
+    if not left.nulls():
+        assert is_homomorphic(left, combined)

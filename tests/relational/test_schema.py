@@ -1,0 +1,137 @@
+"""Tests for schemas, relation schemas and typed attributes."""
+
+import pytest
+
+from repro.relational.schema import (
+    Attribute,
+    AttributeType,
+    RelationSchema,
+    Schema,
+    relation,
+    schema,
+)
+
+
+class TestAttributeType:
+    def test_any_accepts_everything(self):
+        assert AttributeType.ANY.accepts("x")
+        assert AttributeType.ANY.accepts(3.5)
+
+    def test_string(self):
+        assert AttributeType.STRING.accepts("x")
+        assert not AttributeType.STRING.accepts(1)
+
+    def test_integer_rejects_bool(self):
+        assert AttributeType.INTEGER.accepts(3)
+        assert not AttributeType.INTEGER.accepts(True)
+
+    def test_float_accepts_int(self):
+        assert AttributeType.FLOAT.accepts(3)
+        assert AttributeType.FLOAT.accepts(3.5)
+
+    def test_boolean(self):
+        assert AttributeType.BOOLEAN.accepts(False)
+        assert not AttributeType.BOOLEAN.accepts(0)
+
+
+class TestAttribute:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            Attribute("")
+
+    def test_repr_omits_any(self):
+        assert repr(Attribute("name")) == "name"
+        assert repr(Attribute("age", AttributeType.INTEGER)) == "age:integer"
+
+
+class TestRelationSchema:
+    def test_string_attributes_coerced(self):
+        rel = RelationSchema("R", ["a", "b"])
+        assert rel.attributes == (Attribute("a"), Attribute("b"))
+
+    def test_rejects_duplicate_attributes(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            RelationSchema("R", ["a", "a"])
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            RelationSchema("", ["a"])
+
+    def test_arity_and_names(self):
+        rel = relation("R", "a", "b", "c")
+        assert rel.arity == 3
+        assert rel.attribute_names == ("a", "b", "c")
+
+    def test_position_of(self):
+        rel = relation("R", "a", "b")
+        assert rel.position_of("b") == 1
+
+    def test_position_of_unknown_raises(self):
+        with pytest.raises(KeyError):
+            relation("R", "a").position_of("z")
+
+    def test_rename_keeps_attributes(self):
+        rel = relation("R", "a").rename("S")
+        assert rel.name == "S"
+        assert rel.attribute_names == ("a",)
+
+    def test_project_reorders(self):
+        rel = relation("R", "a", "b", "c").project(["c", "a"], name="V")
+        assert rel.name == "V"
+        assert rel.attribute_names == ("c", "a")
+
+
+class TestSchema:
+    def test_contains_and_getitem(self):
+        s = schema(relation("R", "a"))
+        assert "R" in s
+        assert s["R"].arity == 1
+
+    def test_getitem_unknown_raises(self):
+        with pytest.raises(KeyError):
+            schema()["R"]
+
+    def test_rejects_duplicate_relations(self):
+        with pytest.raises(ValueError):
+            Schema([relation("R", "a"), relation("R", "b")])
+
+    def test_with_relation_replaces(self):
+        s = schema(relation("R", "a")).with_relation(relation("R", "a", "b"))
+        assert s["R"].arity == 2
+
+    def test_without_relation(self):
+        s = schema(relation("R", "a"), relation("S", "b")).without_relation("R")
+        assert "R" not in s and "S" in s
+
+    def test_without_unknown_raises(self):
+        with pytest.raises(KeyError):
+            schema().without_relation("R")
+
+    def test_merge_disjoint(self):
+        merged = schema(relation("R", "a")).merge(schema(relation("S", "b")))
+        assert set(merged.relation_names) == {"R", "S"}
+
+    def test_merge_agreeing_overlap(self):
+        s = schema(relation("R", "a"))
+        assert s.merge(s) == s
+
+    def test_merge_conflicting_overlap_raises(self):
+        with pytest.raises(ValueError, match="disagree"):
+            schema(relation("R", "a")).merge(schema(relation("R", "a", "b")))
+
+    def test_is_disjoint_from(self):
+        assert schema(relation("R", "a")).is_disjoint_from(schema(relation("S", "a")))
+        assert not schema(relation("R", "a")).is_disjoint_from(
+            schema(relation("R", "a"))
+        )
+
+    def test_equality_and_hash(self):
+        a = schema(relation("R", "a"))
+        b = schema(relation("R", "a"))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_iteration_yields_relations(self):
+        s = schema(relation("R", "a"), relation("S", "b"))
+        assert [r.name for r in s] == ["R", "S"]
+        assert len(s) == 2

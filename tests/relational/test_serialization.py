@@ -1,0 +1,78 @@
+"""Tests for JSON round-tripping of values, schemas and instances."""
+
+import pytest
+
+from repro.relational import (
+    Constant,
+    Fact,
+    Instance,
+    LabeledNull,
+    SkolemValue,
+    dumps_instance,
+    dumps_schema,
+    instance,
+    loads_instance,
+    loads_schema,
+    relation,
+    schema,
+)
+from repro.relational.schema import Attribute, AttributeType, RelationSchema, Schema
+from repro.relational.serialization import value_from_json, value_to_json
+
+
+class TestValueRoundTrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            Constant("Alice"),
+            Constant(42),
+            LabeledNull(7),
+            SkolemValue("f", (Constant(1), LabeledNull(2))),
+            SkolemValue("g", (SkolemValue("f", ()),)),
+        ],
+    )
+    def test_round_trip(self, value):
+        assert value_from_json(value_to_json(value)) == value
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            value_from_json({"bogus": 1})
+        with pytest.raises(ValueError):
+            value_from_json("not a dict")
+
+
+class TestSchemaRoundTrip:
+    def test_untyped(self):
+        s = schema(relation("R", "a", "b"))
+        assert loads_schema(dumps_schema(s)) == s
+
+    def test_typed(self):
+        s = Schema(
+            [RelationSchema("R", [Attribute("a", AttributeType.INTEGER)])]
+        )
+        restored = loads_schema(dumps_schema(s))
+        assert restored["R"].attributes[0].type is AttributeType.INTEGER
+
+
+class TestInstanceRoundTrip:
+    def test_ground(self):
+        s = schema(relation("R", "a", "b"))
+        inst = instance(s, {"R": [[1, "x"], [2, "y"]]})
+        assert loads_instance(dumps_instance(inst)) == inst
+
+    def test_with_nulls_and_skolems(self):
+        s = schema(relation("R", "a"))
+        inst = Instance(
+            s,
+            [
+                Fact("R", (LabeledNull(0),)),
+                Fact("R", (SkolemValue("f", (Constant("x"),)),)),
+            ],
+        )
+        assert loads_instance(dumps_instance(inst)) == inst
+
+    def test_serialization_is_deterministic(self):
+        s = schema(relation("R", "a"))
+        a = instance(s, {"R": [[2], [1]]})
+        b = instance(s, {"R": [[1], [2]]})
+        assert dumps_instance(a) == dumps_instance(b)

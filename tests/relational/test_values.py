@@ -1,0 +1,119 @@
+"""Tests for the value domain: constants, labelled nulls, Skolem values."""
+
+import pytest
+
+from repro.relational.values import (
+    Constant,
+    LabeledNull,
+    NullFactory,
+    SkolemValue,
+    constant,
+    constants,
+    is_constant,
+    is_null,
+    max_null_label,
+)
+
+
+class TestConstant:
+    def test_equality_by_payload(self):
+        assert Constant("Alice") == Constant("Alice")
+        assert Constant("Alice") != Constant("Bob")
+
+    def test_distinct_from_null_with_same_payload(self):
+        assert Constant(3) != LabeledNull(3)
+
+    def test_hashable(self):
+        assert len({Constant(1), Constant(1), Constant(2)}) == 2
+
+    def test_repr_shows_payload(self):
+        assert repr(Constant("x")) == "'x'"
+
+
+class TestLabeledNull:
+    def test_identity_by_label(self):
+        assert LabeledNull(0) == LabeledNull(0)
+        assert LabeledNull(0) != LabeledNull(1)
+
+    def test_repr_uses_bottom(self):
+        assert repr(LabeledNull(7)) == "⊥7"
+
+
+class TestSkolemValue:
+    def test_equality_structural(self):
+        a = SkolemValue("f", (Constant(1),))
+        b = SkolemValue("f", (Constant(1),))
+        assert a == b
+
+    def test_distinct_functions_differ(self):
+        assert SkolemValue("f", ()) != SkolemValue("g", ())
+
+    def test_nested_arguments(self):
+        inner = SkolemValue("g", (Constant("a"),))
+        outer = SkolemValue("f", (inner,))
+        assert outer.arguments[0] == inner
+
+    def test_repr(self):
+        assert repr(SkolemValue("f", (Constant(1),))) == "f(1)"
+
+
+class TestPredicates:
+    def test_is_constant(self):
+        assert is_constant(Constant(1))
+        assert not is_constant(LabeledNull(0))
+        assert not is_constant(SkolemValue("f", ()))
+
+    def test_is_null_covers_both_null_kinds(self):
+        assert is_null(LabeledNull(0))
+        assert is_null(SkolemValue("f", ()))
+        assert not is_null(Constant(1))
+
+
+class TestConstantHelpers:
+    def test_constant_wraps_raw(self):
+        assert constant(5) == Constant(5)
+
+    def test_constant_idempotent(self):
+        c = Constant("x")
+        assert constant(c) is c
+
+    def test_constant_rejects_nulls(self):
+        with pytest.raises(TypeError):
+            constant(LabeledNull(0))
+
+    def test_constants_wraps_each(self):
+        assert constants(["a", 1]) == (Constant("a"), Constant(1))
+
+
+class TestNullFactory:
+    def test_fresh_nulls_are_distinct(self):
+        factory = NullFactory()
+        assert factory.fresh() != factory.fresh()
+
+    def test_fresh_many(self):
+        factory = NullFactory()
+        batch = factory.fresh_many(5)
+        assert len(set(batch)) == 5
+
+    def test_start_offset(self):
+        factory = NullFactory(start=10)
+        assert factory.fresh() == LabeledNull(10)
+
+    def test_reserve_through_skips_labels(self):
+        factory = NullFactory()
+        factory.reserve_through(4)
+        assert factory.fresh().label == 5
+
+    def test_reserve_through_never_rewinds(self):
+        factory = NullFactory(start=100)
+        factory.reserve_through(4)
+        assert factory.fresh().label >= 100
+
+
+class TestMaxNullLabel:
+    def test_empty_is_minus_one(self):
+        assert max_null_label([]) == -1
+
+    def test_ignores_constants_and_skolems(self):
+        values = [Constant(99), SkolemValue("f", ()), LabeledNull(3)]
+        assert max_null_label(values) == 3

@@ -1,0 +1,129 @@
+"""Tests for ParallelLens and the symmetric relational-lens constructions."""
+
+import pytest
+
+from repro.lenses import check_symmetric_laws
+from repro.relational import Fact, constant, instance, relation, schema
+from repro.rlens import (
+    ParallelLens,
+    ProjectLens,
+    RelationalIdentityLens,
+    RenameLens,
+    span_exchange,
+    symmetrize,
+)
+
+A = relation("A", "x", "y")
+B = relation("B", "z")
+
+
+@pytest.fixture
+def source():
+    return instance(schema(A, B), {"A": [[1, 2]], "B": [["q"]]})
+
+
+@pytest.fixture
+def parallel():
+    return ParallelLens(
+        [
+            ProjectLens(A, ("x",), "VA"),
+            RenameLens(B, "VB"),
+        ]
+    )
+
+
+class TestParallelLens:
+    def test_schemas_merge(self, parallel):
+        assert set(parallel.source_schema.relation_names) == {"A", "B"}
+        assert set(parallel.view_schema.relation_names) == {"VA", "VB"}
+
+    def test_get_unions_views(self, parallel, source):
+        view = parallel.get(source)
+        assert view.rows("VA") == {(constant(1),)}
+        assert view.rows("VB") == {(constant("q"),)}
+
+    def test_put_routes_by_relation(self, parallel, source):
+        view = parallel.get(source).with_facts([Fact("VB", (constant("r"),))])
+        out = parallel.put(view, source)
+        assert len(out.rows("B")) == 2
+        assert out.rows("A") == source.rows("A")
+
+    def test_getput(self, parallel, source):
+        assert parallel.put(parallel.get(source), source) == source
+
+    def test_overlapping_sources_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            ParallelLens([RenameLens(A, "V1"), ProjectLens(A, ("x",), "V2")])
+
+    def test_empty_components_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelLens([])
+
+    def test_schema_mismatch_detected(self, parallel):
+        wrong = instance(schema(A), {"A": [[1, 2]]})
+        with pytest.raises(ValueError, match="does not match"):
+            parallel.get(wrong)
+
+
+class TestSymmetrize:
+    def test_putr_reads_view(self, source):
+        lens = ProjectLens(A, ("x",), "VA")
+        sub_source = source.restrict(["A"])
+        sym = symmetrize(lens)
+        view, complement = sym.putr(sub_source, sym.missing)
+        assert view.rows("VA") == {(constant(1),)}
+        assert complement == sub_source
+
+    def test_putl_runs_put(self, source):
+        lens = ProjectLens(A, ("x",), "VA")
+        sub_source = source.restrict(["A"])
+        sym = symmetrize(lens)
+        _, complement = sym.putr(sub_source, sym.missing)
+        edited = lens.get(sub_source).with_facts([Fact("VA", (constant(9),))])
+        back, _ = sym.putl(edited, complement)
+        assert len(back.rows("A")) == 2
+
+    def test_laws(self, source):
+        lens = RenameLens(A, "VA")  # iso: exact laws hold
+        sub_source = source.restrict(["A"])
+        sym = symmetrize(lens)
+        views = [lens.get(sub_source)]
+        assert check_symmetric_laws(sym, [sub_source], views) == []
+
+    def test_inversion_is_trivial(self, source):
+        lens = RenameLens(A, "VA")
+        sub_source = source.restrict(["A"])
+        sym = symmetrize(lens)
+        inverted = sym.invert()
+        view = lens.get(sub_source)
+        out, _ = inverted.putr(view, inverted.missing)
+        assert out.schema == lens.source_schema
+
+
+class TestSpanExchange:
+    def test_two_legs_over_shared_universe(self, source):
+        left = ProjectLens(A, ("x",), "LeftView")
+        right = ProjectLens(A, ("y",), "RightView")
+        universal = source.restrict(["A"])
+        sym = span_exchange(left, right)
+        # Seed the complement by folding the left view of the universe in.
+        left_view = left.get(universal)
+        right_view, complement = sym.putr(left_view, sym.missing)
+        assert right_view.schema == right.view_schema
+        # Push a left-side edit through to the right side.
+        edited = left_view.with_facts([Fact("LeftView", (constant(7),))])
+        right_view2, _ = sym.putr(edited, complement)
+        assert right_view2.schema == right.view_schema
+
+    def test_leg_schema_mismatch_rejected(self):
+        left = ProjectLens(A, ("x",), "L")
+        right = ProjectLens(B, ("z",), "R")
+        with pytest.raises(ValueError, match="universal schema"):
+            span_exchange(left, right)
+
+
+class TestRelationalIdentity:
+    def test_identity(self, source):
+        lens = RelationalIdentityLens(source.schema)
+        assert lens.get(source) == source
+        assert lens.put(source, source) == source

@@ -1,0 +1,103 @@
+"""Tests for schema-checked relational lens pipelines."""
+
+import pytest
+
+from repro.lenses import check_well_behaved
+from repro.relational import Fact, constant, instance, relation, schema
+from repro.relational.algebra import eq
+from repro.rlens import ConstantPolicy, ProjectLens, SelectLens
+from repro.rlens.compose import SchemaMismatchError, SequentialLens, pipeline
+
+EMP = relation("Emp", "name", "dept", "site")
+S = schema(EMP)
+
+
+@pytest.fixture
+def source():
+    return instance(
+        S,
+        {
+            "Emp": [
+                ["ann", "eng", "berlin"],
+                ["bob", "ops", "lisbon"],
+                ["cyd", "eng", "berlin"],
+            ]
+        },
+    )
+
+
+@pytest.fixture
+def select_then_project():
+    select = SelectLens(EMP, eq("dept", "eng"), "EngEmp")
+    mid_relation = select.view_schema["EngEmp"]
+    project = ProjectLens(
+        mid_relation, ("name",), "EngNames",
+        {"dept": ConstantPolicy("eng"), "site": ConstantPolicy("berlin")},
+    )
+    return pipeline(select, project)
+
+
+class TestSequential:
+    def test_get_composes(self, select_then_project, source):
+        view = select_then_project.get(source)
+        assert view.rows("EngNames") == {(constant("ann"),), (constant("cyd"),)}
+
+    def test_schemas_exposed(self, select_then_project):
+        assert select_then_project.source_schema == S
+        assert "EngNames" in select_then_project.view_schema
+
+    def test_put_threads_through_middle(self, select_then_project, source):
+        view = select_then_project.get(source).with_facts(
+            [Fact("EngNames", (constant("dee"),))]
+        )
+        out = select_then_project.put(view, source)
+        assert (constant("dee"), constant("eng"), constant("berlin")) in out.rows(
+            "Emp"
+        )
+        # Hidden (ops) rows are untouched.
+        assert (constant("bob"), constant("ops"), constant("lisbon")) in out.rows(
+            "Emp"
+        )
+
+    def test_delete_through_pipeline(self, select_then_project, source):
+        view = select_then_project.get(source).without_facts(
+            [Fact("EngNames", (constant("ann"),))]
+        )
+        out = select_then_project.put(view, source)
+        names = {r[0] for r in out.rows("Emp")}
+        assert constant("ann") not in names
+        assert constant("bob") in names
+
+    def test_pipeline_laws(self, select_then_project, source):
+        def views(s):
+            base = select_then_project.get(s)
+            return [
+                base,
+                base.with_facts([Fact("EngNames", (constant("zed"),))]),
+                base.without_facts([Fact("EngNames", (constant("ann"),))]),
+            ]
+
+        assert check_well_behaved(select_then_project, [source], views) == []
+
+    def test_create(self, select_then_project):
+        view = instance(
+            select_then_project.view_schema, {"EngNames": [["solo"]]}
+        )
+        created = select_then_project.create(view)
+        assert len(created.rows("Emp")) == 1
+
+
+class TestValidation:
+    def test_mismatched_stages_rejected(self):
+        select = SelectLens(EMP, eq("dept", "eng"), "EngEmp")
+        wrong = ProjectLens(EMP, ("name",), "V")  # expects Emp, not EngEmp
+        with pytest.raises(SchemaMismatchError):
+            SequentialLens(select, wrong)
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValueError):
+            pipeline()
+
+    def test_single_stage_pipeline_is_the_stage(self):
+        select = SelectLens(EMP, eq("dept", "eng"), "EngEmp")
+        assert pipeline(select) is select

@@ -1,0 +1,145 @@
+"""Tests for the join lens and its delete-propagation policies."""
+
+import pytest
+
+from repro.lenses import check_well_behaved
+from repro.relational import Fact, constant, instance, relation, schema
+from repro.rlens import JoinDeletePolicy, JoinLens, ViewViolationError
+
+EMP = relation("Emp", "name", "dept")
+DEPT = relation("Dept", "dept", "head")
+S = schema(EMP, DEPT)
+
+
+@pytest.fixture
+def source():
+    return instance(
+        S,
+        {
+            "Emp": [["ann", "d1"], ["bob", "d2"]],
+            "Dept": [["d1", "hana"], ["d2", "hugo"]],
+        },
+    )
+
+
+def lens(policy=JoinDeletePolicy.LEFT):
+    return JoinLens(EMP, DEPT, "EmpDept", policy)
+
+
+def view_fact(name, dept, head):
+    return Fact("EmpDept", (constant(name), constant(dept), constant(head)))
+
+
+class TestStructure:
+    def test_shared_columns(self):
+        assert lens().shared_columns == ("dept",)
+        assert lens().right_extra_columns == ("head",)
+
+    def test_requires_shared_columns(self):
+        other = relation("Other", "x")
+        with pytest.raises(ValueError, match="shared columns"):
+            JoinLens(EMP, other, "V")
+
+    def test_view_schema(self):
+        assert lens().view_schema["EmpDept"].attribute_names == (
+            "name",
+            "dept",
+            "head",
+        )
+
+
+class TestGet:
+    def test_join_rows(self, source):
+        view = lens().get(source)
+        assert view.rows("EmpDept") == {
+            (constant("ann"), constant("d1"), constant("hana")),
+            (constant("bob"), constant("d2"), constant("hugo")),
+        }
+
+    def test_dangling_rows_do_not_join(self):
+        inst = instance(
+            S, {"Emp": [["ann", "dX"]], "Dept": [["d1", "hana"]]}
+        )
+        assert lens().get(inst).is_empty()
+
+
+class TestDeletePolicies:
+    def test_delete_left(self, source):
+        view = lens().get(source).without_facts([view_fact("ann", "d1", "hana")])
+        out = lens(JoinDeletePolicy.LEFT).put(view, source)
+        assert (constant("ann"), constant("d1")) not in out.rows("Emp")
+        assert (constant("d1"), constant("hana")) in out.rows("Dept")
+
+    def test_delete_right(self, source):
+        view = lens().get(source).without_facts([view_fact("ann", "d1", "hana")])
+        out = lens(JoinDeletePolicy.RIGHT).put(view, source)
+        assert (constant("ann"), constant("d1")) in out.rows("Emp")
+        assert (constant("d1"), constant("hana")) not in out.rows("Dept")
+
+    def test_delete_both(self, source):
+        view = lens().get(source).without_facts([view_fact("ann", "d1", "hana")])
+        out = lens(JoinDeletePolicy.BOTH).put(view, source)
+        assert (constant("ann"), constant("d1")) not in out.rows("Emp")
+        assert (constant("d1"), constant("hana")) not in out.rows("Dept")
+
+    def test_delete_right_overdeletes_shared_keys(self):
+        """The known caveat: deleting right kills sibling join rows too."""
+        inst = instance(
+            S,
+            {
+                "Emp": [["ann", "d1"], ["cyd", "d1"]],
+                "Dept": [["d1", "hana"]],
+            },
+        )
+        jl = lens(JoinDeletePolicy.RIGHT)
+        view = jl.get(inst).without_facts([view_fact("ann", "d1", "hana")])
+        out = jl.put(view, inst)
+        # cyd's join row disappeared as collateral damage:
+        assert view_fact("cyd", "d1", "hana") not in jl.get(out).facts()
+
+
+class TestInsertAndRevise:
+    def test_insert_splits_both_sides(self, source):
+        jl = lens()
+        view = jl.get(source).with_facts([view_fact("dee", "d3", "hiro")])
+        out = jl.put(view, source)
+        assert (constant("dee"), constant("d3")) in out.rows("Emp")
+        assert (constant("d3"), constant("hiro")) in out.rows("Dept")
+
+    def test_right_side_revised_to_match_view(self, source):
+        jl = lens()
+        view = jl.get(source)
+        view = view.without_facts([view_fact("ann", "d1", "hana")]).with_facts(
+            [view_fact("ann", "d1", "nadia")]
+        )
+        out = jl.put(view, source)
+        assert (constant("d1"), constant("nadia")) in out.rows("Dept")
+        assert (constant("d1"), constant("hana")) not in out.rows("Dept")
+
+    def test_view_fd_violation_rejected(self, source):
+        jl = lens()
+        view = jl.get(source).with_facts([view_fact("eve", "d1", "other")])
+        with pytest.raises(ViewViolationError, match="FD"):
+            jl.put(view, source)
+
+
+class TestLaws:
+    @pytest.mark.parametrize(
+        "policy", [JoinDeletePolicy.LEFT, JoinDeletePolicy.BOTH]
+    )
+    def test_well_behaved_in_fk_regime(self, source, policy):
+        jl = lens(policy)
+
+        def views(s):
+            base = jl.get(s)
+            return [
+                base,
+                base.with_facts([view_fact("dee", "d3", "hiro")]),
+                base.without_facts([view_fact("ann", "d1", "hana")]),
+            ]
+
+        assert check_well_behaved(jl, [source], views) == []
+
+    def test_getput_exact(self, source):
+        jl = lens()
+        assert jl.put(jl.get(source), source) == source

@@ -1,0 +1,114 @@
+"""Tests for update policies: the paper's null/constant/environment/FD menu."""
+
+import pytest
+
+from repro.relational import (
+    FunctionalDependency,
+    LabeledNull,
+    constant,
+    instance,
+    relation,
+    schema,
+)
+from repro.relational.schema import Attribute
+from repro.rlens import (
+    ConstantPolicy,
+    EnvironmentPolicy,
+    FdPolicy,
+    NullPolicy,
+    PolicyContext,
+    PolicyError,
+    PolicyQuestion,
+)
+
+
+@pytest.fixture
+def context():
+    s = schema(relation("P", "id", "city", "zip"))
+    old = instance(
+        s,
+        {"P": [[1, "spr", "49001"], [2, "she", "49002"]]},
+    )
+    return PolicyContext(old_source=old, environment={"user": "admin"})
+
+
+COLUMN = Attribute("zip")
+
+
+class TestNullPolicy:
+    def test_fresh_nulls(self, context):
+        policy = NullPolicy()
+        a = policy.fill({}, COLUMN, "P", context)
+        b = policy.fill({}, COLUMN, "P", context)
+        assert isinstance(a, LabeledNull)
+        assert a != b
+
+    def test_describe(self):
+        assert "null" in NullPolicy().describe()
+
+
+class TestConstantPolicy:
+    def test_fills_with_constant(self, context):
+        policy = ConstantPolicy("00000")
+        assert policy.fill({}, COLUMN, "P", context) == constant("00000")
+
+    def test_accepts_wrapped_constant(self, context):
+        policy = ConstantPolicy(constant(7))
+        assert policy.fill({}, COLUMN, "P", context) == constant(7)
+
+    def test_describe_mentions_value(self):
+        assert "00000" in ConstantPolicy("00000").describe()
+
+
+class TestEnvironmentPolicy:
+    def test_reads_environment(self, context):
+        policy = EnvironmentPolicy("user")
+        assert policy.fill({}, COLUMN, "P", context) == constant("admin")
+
+    def test_transform_applied(self, context):
+        policy = EnvironmentPolicy("user", transform=str.upper)
+        assert policy.fill({}, COLUMN, "P", context) == constant("ADMIN")
+
+    def test_missing_key_raises(self, context):
+        with pytest.raises(PolicyError, match="no entry"):
+            EnvironmentPolicy("nope").fill({}, COLUMN, "P", context)
+
+
+class TestFdPolicy:
+    @pytest.fixture
+    def fd(self):
+        return FunctionalDependency("P", ("city",), ("zip",))
+
+    def test_restores_from_old_source(self, context, fd):
+        policy = FdPolicy(fd)
+        value = policy.fill({"city": constant("spr")}, COLUMN, "P", context)
+        assert value == constant("49001")
+
+    def test_fallback_on_unknown_determinant(self, context, fd):
+        policy = FdPolicy(fd, fallback=ConstantPolicy("?"))
+        value = policy.fill({"city": constant("unknown")}, COLUMN, "P", context)
+        assert value == constant("?")
+
+    def test_default_fallback_is_null(self, context, fd):
+        policy = FdPolicy(fd)
+        value = policy.fill({"city": constant("unknown")}, COLUMN, "P", context)
+        assert isinstance(value, LabeledNull)
+
+    def test_wrong_dependent_rejected(self, context, fd):
+        policy = FdPolicy(fd)
+        with pytest.raises(PolicyError, match="does not determine"):
+            policy.fill({"city": constant("spr")}, Attribute("other"), "P", context)
+
+    def test_determinant_must_be_retained(self, context, fd):
+        policy = FdPolicy(fd)
+        with pytest.raises(PolicyError, match="not retained"):
+            policy.fill({"id": constant(1)}, COLUMN, "P", context)
+
+    def test_describe(self, fd):
+        assert "city" in FdPolicy(fd).describe()
+
+
+class TestPolicyQuestion:
+    def test_repr_marks_default(self):
+        question = PolicyQuestion("slot", "which?", ("a", "b"), "b")
+        assert "*b*" in repr(question)

@@ -1,0 +1,196 @@
+"""Tests for the projection lens and its update policies."""
+
+import pytest
+
+from repro.lenses import check_getput, check_putget
+from repro.relational import (
+    Fact,
+    FunctionalDependency,
+    LabeledNull,
+    constant,
+    instance,
+    relation,
+    schema,
+)
+from repro.rlens import (
+    ConstantPolicy,
+    EnvironmentPolicy,
+    FdPolicy,
+    NullPolicy,
+    ProjectLens,
+)
+
+PERSON = relation("Person", "id", "name", "age", "city")
+S = schema(PERSON)
+
+
+@pytest.fixture
+def source():
+    return instance(
+        S,
+        {
+            "Person": [
+                [1, "ann", 30, "nyc"],
+                [2, "bob", 41, "sfo"],
+            ]
+        },
+    )
+
+
+def lens_with(policies=None, environment=None):
+    return ProjectLens(
+        PERSON, ("id", "name"), "V", policies or {}, environment or {}
+    )
+
+
+class TestGet:
+    def test_projects_and_renames(self, source):
+        view = lens_with().get(source)
+        assert view.schema["V"].attribute_names == ("id", "name")
+        assert (constant(1), constant("ann")) in view.rows("V")
+
+    def test_duplicates_collapse(self):
+        inst = instance(S, {"Person": [[1, "ann", 30, "nyc"], [1, "ann", 31, "rio"]]})
+        assert len(lens_with().get(inst).rows("V")) == 1
+
+
+class TestPutDeletion:
+    def test_deleting_view_row_deletes_source_row(self, source):
+        lens = lens_with()
+        view = lens.get(source)
+        edited = view.without_facts([Fact("V", (constant(1), constant("ann")))])
+        out = lens.put(edited, source)
+        assert len(out.rows("Person")) == 1
+
+    def test_deletion_removes_all_preimages(self):
+        inst = instance(S, {"Person": [[1, "ann", 30, "nyc"], [1, "ann", 31, "rio"]]})
+        lens = lens_with()
+        empty_view = lens.get(inst).without_facts(
+            [Fact("V", (constant(1), constant("ann")))]
+        )
+        assert lens.put(empty_view, inst).is_empty()
+
+
+class TestPutInsertionPolicies:
+    def new_view(self, lens, source):
+        return lens.get(source).with_facts([Fact("V", (constant(3), constant("cyd")))])
+
+    def inserted_row(self, out):
+        return next(
+            row for row in out.rows("Person") if row[0] == constant(3)
+        )
+
+    def test_null_policy(self, source):
+        lens = lens_with()
+        out = lens.put(self.new_view(lens, source), source)
+        row = self.inserted_row(out)
+        assert isinstance(row[2], LabeledNull)
+        assert isinstance(row[3], LabeledNull)
+        assert row[2] != row[3]
+
+    def test_constant_policy(self, source):
+        lens = lens_with({"age": ConstantPolicy(0)})
+        row = self.inserted_row(lens.put(self.new_view(lens, source), source))
+        assert row[2] == constant(0)
+
+    def test_environment_policy(self, source):
+        lens = lens_with(
+            {"city": EnvironmentPolicy("office")}, {"office": "berlin"}
+        )
+        row = self.inserted_row(lens.put(self.new_view(lens, source), source))
+        assert row[3] == constant("berlin")
+
+    def test_fd_policy_via_retained_columns(self):
+        rel = relation("Emp", "name", "dept", "site")
+        s2 = schema(rel)
+        old = instance(
+            s2, {"Emp": [["ann", "eng", "berlin"], ["bob", "ops", "lisbon"]]}
+        )
+        fd = FunctionalDependency("Emp", ("dept",), ("site",))
+        lens = ProjectLens(rel, ("name", "dept"), "V", {"site": FdPolicy(fd)})
+        view = lens.get(old).with_facts(
+            [Fact("V", (constant("cyd"), constant("eng")))]
+        )
+        out = lens.put(view, old)
+        row = next(r for r in out.rows("Emp") if r[0] == constant("cyd"))
+        assert row[2] == constant("berlin")
+
+    def test_fresh_nulls_avoid_existing_labels(self):
+        inst = instance(S, {"Person": [[1, "ann", 30, "nyc"]]})
+        from repro.relational import Instance
+
+        with_null = Instance(
+            S,
+            list(inst.facts())
+            + [Fact("Person", (constant(9), constant("zed"), LabeledNull(7), LabeledNull(8)))],
+        )
+        lens = lens_with()
+        view = lens.get(with_null).with_facts(
+            [Fact("V", (constant(5), constant("new")))]
+        )
+        out = lens.put(view, with_null)
+        new_row = next(r for r in out.rows("Person") if r[0] == constant(5))
+        assert all(
+            not isinstance(v, LabeledNull) or v.label > 8 for v in new_row
+        )
+
+
+class TestLaws:
+    def _views_for(self, lens):
+        def views(source):
+            base = lens.get(source)
+            edited = base.with_facts([Fact("V", (constant(9), constant("zed")))])
+            other = base.with_facts([Fact("V", (constant(8), constant("yara")))])
+            return [base, edited, other]
+
+        return views
+
+    @pytest.mark.parametrize(
+        "policies",
+        [
+            {},
+            {"age": ConstantPolicy(0), "city": ConstantPolicy("x")},
+        ],
+    )
+    def test_putget_getput(self, source, policies):
+        lens = lens_with(policies)
+        assert check_putget(lens, [source], self._views_for(lens)) == []
+        assert check_getput(lens, [source]) == []
+
+    def test_putput_fails_with_null_policy(self, source):
+        # Two successive puts invent different nulls: PutPut cannot hold.
+        from repro.lenses import check_putput
+
+        lens = lens_with()
+        violations = check_putput(lens, [source], self._views_for(lens))
+        assert violations != []
+
+    def test_putput_holds_with_constant_policy(self, source):
+        from repro.lenses import check_putput
+
+        lens = lens_with({"age": ConstantPolicy(0), "city": ConstantPolicy("x")})
+        assert check_putput(lens, [source], self._views_for(lens)) == []
+
+
+class TestValidation:
+    def test_unknown_kept_column_rejected(self):
+        with pytest.raises(KeyError):
+            ProjectLens(PERSON, ("id", "zzz"), "V")
+
+    def test_policy_for_retained_column_rejected(self):
+        with pytest.raises(ValueError, match="retained"):
+            ProjectLens(PERSON, ("id",), "V", {"id": NullPolicy()})
+
+    def test_policy_for_unknown_column_rejected(self):
+        with pytest.raises(KeyError):
+            ProjectLens(PERSON, ("id",), "V", {"zzz": NullPolicy()})
+
+    def test_dropped_accessor(self):
+        lens = lens_with()
+        assert lens.dropped == ("age", "city")
+
+    def test_create_builds_from_empty(self):
+        lens = lens_with({"age": ConstantPolicy(0), "city": ConstantPolicy("?")})
+        view = instance(lens.view_schema, {"V": [[1, "ann"]]})
+        created = lens.create(view)
+        assert len(created.rows("Person")) == 1

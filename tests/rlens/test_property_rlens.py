@@ -1,0 +1,144 @@
+"""Property-based tests (hypothesis) for relational lens laws.
+
+These are E5's claims as properties: every shipped relational lens is
+well-behaved over randomized states and edits.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational import Fact, Instance, constant, relation, schema
+from repro.relational.algebra import eq
+from repro.rlens import (
+    ConstantPolicy,
+    JoinDeletePolicy,
+    JoinLens,
+    ProjectLens,
+    SelectLens,
+    UnionLens,
+    UnionSide,
+)
+
+PERSON = relation("Person", "id", "name", "city")
+PERSON_SCHEMA = schema(PERSON)
+
+ids = st.integers(min_value=1, max_value=6)
+names = st.sampled_from(["ann", "bob", "cyd", "dee"])
+cities = st.sampled_from(["nyc", "sfo", "ber"])
+
+
+@st.composite
+def person_instances(draw):
+    rows = draw(
+        st.lists(st.tuples(ids, names, cities), min_size=0, max_size=6)
+    )
+    facts = [
+        Fact("Person", (constant(i), constant(n), constant(c)))
+        for i, n, c in rows
+    ]
+    return Instance(PERSON_SCHEMA, facts)
+
+
+@settings(max_examples=60, deadline=None)
+@given(person_instances(), ids, names)
+def test_project_lens_laws(source, new_id, new_name):
+    lens = ProjectLens(PERSON, ("id", "name"), "V", {"city": ConstantPolicy("?")})
+    view = lens.get(source)
+    # GetPut
+    assert lens.put(view, source) == source
+    # PutGet on an arbitrary edit
+    edited = view.with_facts([Fact("V", (constant(new_id), constant(new_name)))])
+    assert lens.get(lens.put(edited, source)).same_facts(edited)
+    # Deleting everything empties the source
+    from repro.relational import empty_instance
+
+    assert lens.put(empty_instance(lens.view_schema), source).is_empty()
+
+
+@settings(max_examples=60, deadline=None)
+@given(person_instances())
+def test_select_lens_laws(source):
+    lens = SelectLens(PERSON, eq("city", "nyc"), "V")
+    view = lens.get(source)
+    assert lens.put(view, source) == source
+    edited = view.with_facts(
+        [Fact("V", (constant(99), constant("new"), constant("nyc")))]
+    )
+    assert lens.get(lens.put(edited, source)).same_facts(edited)
+
+
+@st.composite
+def emp_dept_instances(draw):
+    """FK-shaped instances: every Emp.dept references an existing Dept key."""
+    dept_rows = draw(
+        st.dictionaries(
+            st.sampled_from(["d1", "d2", "d3"]),
+            st.sampled_from(["hana", "hugo"]),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    emp_rows = draw(
+        st.lists(
+            st.tuples(names, st.sampled_from(sorted(dept_rows))),
+            max_size=5,
+        )
+    )
+    emp = relation("Emp", "name", "dept")
+    dept = relation("Dept", "dept", "head")
+    s = schema(emp, dept)
+    facts = [
+        Fact("Dept", (constant(d), constant(h))) for d, h in dept_rows.items()
+    ] + [Fact("Emp", (constant(n), constant(d))) for n, d in emp_rows]
+    return Instance(s, facts)
+
+
+@settings(max_examples=60, deadline=None)
+@given(emp_dept_instances())
+def test_join_lens_getput(source):
+    lens = JoinLens(
+        source.schema["Emp"], source.schema["Dept"], "V", JoinDeletePolicy.LEFT
+    )
+    view = lens.get(source)
+    assert lens.put(view, source) == source
+
+
+@settings(max_examples=60, deadline=None)
+@given(emp_dept_instances())
+def test_join_lens_putget_on_deletions(source):
+    lens = JoinLens(
+        source.schema["Emp"], source.schema["Dept"], "V", JoinDeletePolicy.LEFT
+    )
+    view = lens.get(source)
+    facts = sorted(view.facts(), key=repr)
+    if not facts:
+        return
+    edited = view.without_facts(facts[:1])
+    assert lens.get(lens.put(edited, source)).same_facts(edited)
+
+
+@st.composite
+def union_instances(draw):
+    ft = relation("FT", "name")
+    pt = relation("PT", "name")
+    s = schema(ft, pt)
+    left = draw(st.sets(names, max_size=4))
+    right = draw(st.sets(names, max_size=4))
+    facts = [Fact("FT", (constant(n),)) for n in left] + [
+        Fact("PT", (constant(n),)) for n in right
+    ]
+    return Instance(s, facts)
+
+
+@settings(max_examples=60, deadline=None)
+@given(union_instances(), st.sampled_from([UnionSide.LEFT, UnionSide.RIGHT]))
+def test_union_lens_laws(source, side):
+    lens = UnionLens(source.schema["FT"], source.schema["PT"], "V", side)
+    view = lens.get(source)
+    assert lens.put(view, source) == source
+    edited = view.with_facts([Fact("V", (constant("fresh"),))])
+    assert lens.get(lens.put(edited, source)).same_facts(edited)
+    facts = sorted(view.facts(), key=repr)
+    if facts:
+        shrunk = view.without_facts(facts[:1])
+        assert lens.get(lens.put(shrunk, source)).same_facts(shrunk)

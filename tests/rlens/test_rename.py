@@ -1,0 +1,56 @@
+"""Tests for the rename lens (the isomorphism case)."""
+
+import pytest
+
+from repro.lenses import check_putput, check_well_behaved
+from repro.relational import Fact, constant, instance, relation, schema
+from repro.rlens import RenameLens
+
+EMP = relation("Emp", "name", "dept")
+
+
+@pytest.fixture
+def source():
+    return instance(schema(EMP), {"Emp": [["ann", "eng"]]})
+
+
+class TestRename:
+    def test_relation_rename(self, source):
+        lens = RenameLens(EMP, "Worker")
+        view = lens.get(source)
+        assert "Worker" in view.schema
+        assert view.rows("Worker") == source.rows("Emp")
+
+    def test_column_rename(self, source):
+        lens = RenameLens(EMP, "Emp2", {"name": "who"})
+        assert lens.view_schema["Emp2"].attribute_names == ("who", "dept")
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(KeyError):
+            RenameLens(EMP, "X", {"zzz": "a"})
+
+    def test_put_is_pure_transport(self, source):
+        lens = RenameLens(EMP, "Worker")
+        view = lens.get(source).with_facts(
+            [Fact("Worker", (constant("bob"), constant("ops")))]
+        )
+        out = lens.put(view, source)
+        assert len(out.rows("Emp")) == 2
+
+    def test_inverse_round_trips(self, source):
+        lens = RenameLens(EMP, "Worker", {"name": "who"})
+        inverse = lens.inverse()
+        assert inverse.get(lens.get(source)) == source
+
+    def test_very_well_behaved(self, source):
+        lens = RenameLens(EMP, "Worker")
+
+        def views(s):
+            base = lens.get(s)
+            return [
+                base,
+                base.with_facts([Fact("Worker", (constant("x"), constant("y")))]),
+            ]
+
+        assert check_well_behaved(lens, [source], views) == []
+        assert check_putput(lens, [source], views) == []

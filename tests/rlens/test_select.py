@@ -1,0 +1,77 @@
+"""Tests for the selection lens."""
+
+import pytest
+
+from repro.lenses import check_putput, check_well_behaved
+from repro.relational import Fact, constant, instance, relation, schema
+from repro.relational.algebra import eq
+from repro.rlens import SelectLens, ViewViolationError
+
+EMP = relation("Emp", "name", "dept")
+S = schema(EMP)
+
+
+@pytest.fixture
+def source():
+    return instance(
+        S,
+        {"Emp": [["ann", "eng"], ["bob", "ops"], ["cyd", "eng"]]},
+    )
+
+
+@pytest.fixture
+def lens():
+    return SelectLens(EMP, eq("dept", "eng"), "EngEmp")
+
+
+class TestGet:
+    def test_filters(self, lens, source):
+        view = lens.get(source)
+        assert len(view.rows("EngEmp")) == 2
+
+    def test_view_schema_renamed(self, lens):
+        assert lens.view_schema["EngEmp"].attribute_names == ("name", "dept")
+
+
+class TestPut:
+    def test_hidden_rows_survive(self, lens, source):
+        view = lens.get(source).without_facts(
+            [Fact("EngEmp", (constant("ann"), constant("eng")))]
+        )
+        out = lens.put(view, source)
+        assert (constant("bob"), constant("ops")) in out.rows("Emp")
+        assert (constant("ann"), constant("eng")) not in out.rows("Emp")
+
+    def test_insert_satisfying_row(self, lens, source):
+        view = lens.get(source).with_facts(
+            [Fact("EngEmp", (constant("dee"), constant("eng")))]
+        )
+        out = lens.put(view, source)
+        assert (constant("dee"), constant("eng")) in out.rows("Emp")
+
+    def test_insert_violating_row_rejected(self, lens, source):
+        view = lens.get(source).with_facts(
+            [Fact("EngEmp", (constant("dee"), constant("ops")))]
+        )
+        with pytest.raises(ViewViolationError):
+            lens.put(view, source)
+
+    def test_create(self, lens):
+        view = instance(lens.view_schema, {"EngEmp": [["zed", "eng"]]})
+        assert len(lens.create(view).rows("Emp")) == 1
+
+
+class TestLaws:
+    def test_select_is_very_well_behaved(self, lens, source):
+        def views(s):
+            base = lens.get(s)
+            return [
+                base,
+                base.with_facts([Fact("EngEmp", (constant("x"), constant("eng")))]),
+                base.without_facts(
+                    [Fact("EngEmp", (constant("ann"), constant("eng")))]
+                ),
+            ]
+
+        assert check_well_behaved(lens, [source], views) == []
+        assert check_putput(lens, [source], views) == []

@@ -1,0 +1,123 @@
+"""Tests for lens templates: operator families missing their policies."""
+
+import pytest
+
+from repro.relational import constant, relation
+from repro.relational.algebra import eq
+from repro.rlens import (
+    ConstantPolicy,
+    JoinDeletePolicy,
+    JoinTemplate,
+    NullPolicy,
+    ProjectionTemplate,
+    RenameTemplate,
+    SelectionTemplate,
+    TemplateError,
+    UnionSide,
+    UnionTemplate,
+)
+
+PERSON = relation("Person", "id", "name", "age")
+EMP = relation("Emp", "name", "dept")
+DEPT = relation("Dept", "dept", "head")
+FT = relation("FullTime", "name")
+PT = relation("PartTime", "name")
+
+
+class TestProjectionTemplate:
+    def test_one_question_per_dropped_column(self):
+        template = ProjectionTemplate(PERSON, ("id",), "V")
+        questions = template.policy_questions()
+        assert [q.slot for q in questions] == ["column:name", "column:age"]
+        assert all("extra column" in q.question for q in questions)
+
+    def test_defaults(self):
+        template = ProjectionTemplate(PERSON, ("id",), "V")
+        assert template.default_answers() == {
+            "column:name": "null",
+            "column:age": "null",
+        }
+
+    def test_instantiate_with_defaults(self):
+        lens = ProjectionTemplate(PERSON, ("id",), "V").instantiate()
+        assert isinstance(lens.policy_for("name"), NullPolicy)
+
+    def test_instantiate_with_policy_objects(self):
+        template = ProjectionTemplate(PERSON, ("id", "name"), "V")
+        lens = template.instantiate({"column:age": ConstantPolicy(0)})
+        assert lens.policy_for("age") == ConstantPolicy(0)
+
+    def test_constant_shorthand(self):
+        template = ProjectionTemplate(PERSON, ("id", "name"), "V")
+        lens = template.instantiate({"column:age": "constant:18"})
+        assert lens.policy_for("age") == ConstantPolicy("18")
+
+    def test_unknown_slot_rejected(self):
+        template = ProjectionTemplate(PERSON, ("id", "name"), "V")
+        with pytest.raises(TemplateError, match="unknown answer"):
+            template.instantiate({"column:zzz": "null"})
+
+    def test_bad_answer_type_rejected(self):
+        template = ProjectionTemplate(PERSON, ("id", "name"), "V")
+        with pytest.raises(TemplateError):
+            template.instantiate({"column:age": 42})
+
+    def test_no_dropped_columns_means_no_questions(self):
+        template = ProjectionTemplate(PERSON, ("id", "name", "age"), "V")
+        assert template.policy_questions() == []
+
+
+class TestJoinTemplate:
+    def test_question(self):
+        questions = JoinTemplate(EMP, DEPT, "V").policy_questions()
+        assert len(questions) == 1
+        assert questions[0].options == ("left", "right", "both")
+
+    def test_instantiate_strings(self):
+        lens = JoinTemplate(EMP, DEPT, "V").instantiate(
+            {"delete_propagation": "both"}
+        )
+        assert lens.delete_policy is JoinDeletePolicy.BOTH
+
+    def test_instantiate_enum(self):
+        lens = JoinTemplate(EMP, DEPT, "V").instantiate(
+            {"delete_propagation": JoinDeletePolicy.RIGHT}
+        )
+        assert lens.delete_policy is JoinDeletePolicy.RIGHT
+
+    def test_default_is_left(self):
+        lens = JoinTemplate(EMP, DEPT, "V").instantiate()
+        assert lens.delete_policy is JoinDeletePolicy.LEFT
+
+    def test_bad_option_rejected(self):
+        with pytest.raises(TemplateError):
+            JoinTemplate(EMP, DEPT, "V").instantiate({"delete_propagation": "up"})
+
+
+class TestUnionTemplate:
+    def test_question(self):
+        questions = UnionTemplate(FT, PT, "V").policy_questions()
+        assert questions[0].slot == "insert_side"
+
+    def test_instantiate(self):
+        lens = UnionTemplate(FT, PT, "V").instantiate({"insert_side": "right"})
+        assert lens.insert_side is UnionSide.RIGHT
+
+
+class TestPolicyFreeTemplates:
+    def test_selection_has_no_questions(self):
+        template = SelectionTemplate(EMP, eq("dept", "eng"), "V")
+        assert template.policy_questions() == []
+        lens = template.instantiate()
+        assert lens.view_name == "V"
+
+    def test_selection_rejects_answers(self):
+        template = SelectionTemplate(EMP, eq("dept", "eng"), "V")
+        with pytest.raises(TemplateError):
+            template.instantiate({"anything": 1})
+
+    def test_rename_has_no_questions(self):
+        template = RenameTemplate(EMP, "Worker", (("name", "who"),))
+        assert template.policy_questions() == []
+        lens = template.instantiate()
+        assert lens.view_schema["Worker"].attribute_names == ("who", "dept")

@@ -1,0 +1,147 @@
+"""Tests for scenarios and random generators."""
+
+import random
+
+import pytest
+
+from repro.mapping import universal_solution
+from repro.workloads import (
+    all_scenarios,
+    apply_edits,
+    person_scenario,
+    random_exchange_setting,
+    random_instance,
+    random_mapping,
+    random_schema,
+    random_view_edits,
+    random_words,
+)
+
+
+class TestScenarios:
+    def test_all_scenarios_instantiable(self):
+        scenarios = all_scenarios()
+        assert len(scenarios) == 9
+        assert len({s.name for s in scenarios}) == 9
+
+    def test_samples_conform_to_source_schemas(self):
+        for scenario in all_scenarios():
+            assert scenario.sample.schema == scenario.source
+
+    def test_mappings_are_exchangeable(self):
+        for scenario in all_scenarios():
+            solution = universal_solution(scenario.mapping, scenario.sample)
+            assert not solution.is_empty(), scenario.name
+
+    def test_person_scenario_reflects_intro(self):
+        scenario = person_scenario()
+        assert "Person1" in scenario.source
+        assert "Person2" in scenario.target
+        solution = universal_solution(scenario.mapping, scenario.sample)
+        # Salary is existential: every Person2 row carries a null there.
+        from repro.relational import is_null
+
+        salary_pos = scenario.target["Person2"].position_of("salary")
+        assert all(is_null(r[salary_pos]) for r in solution.rows("Person2"))
+
+    def test_declared_fds_hold_in_samples(self):
+        for scenario in all_scenarios():
+            for fd in scenario.fds:
+                if fd.relation in scenario.sample.schema:
+                    # FDs over auxiliary relations (e.g. zipcode columns that
+                    # exist only in the target) are documentation; check the
+                    # ones whose columns exist in the sample.
+                    rel = scenario.sample.schema[fd.relation]
+                    if all(
+                        rel.has_attribute(c)
+                        for c in fd.determinant + fd.dependent
+                    ):
+                        assert fd.holds_in(scenario.sample), (scenario.name, fd)
+
+
+class TestRandomGenerators:
+    def test_random_schema_shape(self):
+        rng = random.Random(1)
+        s = random_schema(rng, n_relations=4, min_arity=2, max_arity=3)
+        assert len(s) == 4
+        assert all(2 <= rel.arity <= 3 for rel in s)
+
+    def test_random_instance_rows(self):
+        rng = random.Random(2)
+        s = random_schema(rng, 2)
+        inst = random_instance(s, rng, rows_per_relation=5)
+        for rel in s:
+            assert len(inst.rows(rel.name)) <= 5  # set semantics may dedupe
+
+    def test_random_mapping_valid(self):
+        rng = random.Random(3)
+        source = random_schema(rng, 3, prefix="S")
+        target = random_schema(rng, 2, prefix="T")
+        mapping = random_mapping(source, target, rng, n_tgds=4)
+        assert len(mapping.tgds) == 4
+
+    def test_random_mapping_premises_connected(self):
+        rng = random.Random(4)
+        source = random_schema(rng, 3, prefix="S")
+        target = random_schema(rng, 2, prefix="T")
+        mapping = random_mapping(source, target, rng, n_tgds=6, max_premise_atoms=3)
+        for tgd in mapping.tgds:
+            atoms = tgd.premise.atoms()
+            if len(atoms) < 2:
+                continue
+            anchor = set(atoms[0].variables())
+            for atom in atoms[1:]:
+                assert anchor & set(atom.variables())
+
+    def test_seed_reproducibility(self):
+        m1, i1 = random_exchange_setting(seed=7)
+        m2, i2 = random_exchange_setting(seed=7)
+        assert i1 == i2
+        assert repr(m1) == repr(m2)
+
+    def test_different_seeds_differ(self):
+        _, i1 = random_exchange_setting(seed=1)
+        _, i2 = random_exchange_setting(seed=2)
+        assert i1 != i2
+
+    def test_random_settings_are_chaseable(self):
+        for seed in range(5):
+            mapping, inst = random_exchange_setting(seed)
+            solution = universal_solution(mapping, inst)
+            assert mapping.is_solution(inst, solution)
+
+
+class TestViewEdits:
+    def test_edit_workload_applies(self):
+        mapping, inst = random_exchange_setting(seed=9)
+        view = universal_solution(mapping, inst)
+        rng = random.Random(5)
+        edits = random_view_edits(view, rng, n_edits=6)
+        assert len(edits) == 6
+        edited = apply_edits(view, edits)
+        assert edited.schema == view.schema
+
+    def test_deletions_pick_existing_facts(self):
+        mapping, inst = random_exchange_setting(seed=9)
+        view = universal_solution(mapping, inst)
+        rng = random.Random(6)
+        n_edits = min(4, view.size())  # deletions fall back to inserts when
+        assert n_edits > 0             # the view runs out of facts
+        edits = random_view_edits(view, rng, n_edits=n_edits, insert_probability=0.0)
+        for edit in edits:
+            assert edit.kind == "delete"
+            assert edit.fact in view
+
+    def test_insertions_are_fresh_constants(self):
+        mapping, inst = random_exchange_setting(seed=9)
+        view = universal_solution(mapping, inst)
+        rng = random.Random(7)
+        edits = random_view_edits(view, rng, n_edits=4, insert_probability=1.0)
+        for edit in edits:
+            assert edit.kind == "insert"
+            assert edit.fact.is_ground()
+
+    def test_random_words(self):
+        words = random_words(random.Random(1), 5, length=4)
+        assert len(words) == 5
+        assert all(len(w) == 4 for w in words)
