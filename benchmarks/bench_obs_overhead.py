@@ -1,0 +1,166 @@
+"""Obs overhead: instrumented-vs-noop tracer cost on the E1 workload.
+
+The observability layer must be ~free when disabled — the ROADMAP's
+"fast as the hardware allows" north star cannot afford always-on
+profiling.  This benchmark runs the E1 universal-solutions workload
+(``Emp(x) → ∃y Manager(x, y)`` at growing source sizes) under
+
+* ``disabled`` — the default :class:`~repro.obs.NoopTracer`, i.e. what
+  every production run pays for the instrumentation being present, and
+* ``traced``   — a recording :class:`~repro.obs.Tracer` plus a fresh
+  metrics registry, i.e. what a profiling session pays;
+
+and additionally micro-measures the per-call cost of a no-op span to
+estimate the disabled-mode slowdown directly (span calls are the only
+disabled-mode cost that scales with the workload).  Results go to
+``BENCH_obs.json`` so the perf trajectory is recorded per PR.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py
+    PYTHONPATH=src python benchmarks/bench_obs_overhead.py --sizes 100 400 --repeat 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics as pystats
+import time
+from pathlib import Path
+
+from repro.compiler import ExchangeEngine
+from repro.mapping import universal_solution
+from repro.obs import MetricsRegistry, Tracer, set_registry, set_tracer, span_records
+from repro.obs.trace import NoopTracer
+from repro.relational import instance
+from repro.stats import Statistics
+from repro.workloads import emp_manager_scenario
+
+
+def build_workload(size: int):
+    scenario = emp_manager_scenario()
+    source = instance(
+        scenario.source, {"Emp": [[f"emp{i}"] for i in range(size)]}
+    )
+    return scenario.mapping, source
+
+
+def run_once(mapping, source) -> None:
+    """One E1 pass: chase + compile + lens round-trip."""
+    universal_solution(mapping, source)
+    engine = ExchangeEngine.compile(mapping, Statistics.gather(source))
+    target = engine.exchange(source)
+    engine.put_back(target, source)
+
+
+def timed(mapping, source, repeat: int) -> list[float]:
+    samples = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        run_once(mapping, source)
+        samples.append(time.perf_counter() - start)
+    return samples
+
+
+def count_spans(mapping, source) -> int:
+    """How many spans one E1 pass emits (the disabled-mode cost driver)."""
+    tracer = Tracer()
+    set_tracer(tracer)
+    set_registry(MetricsRegistry())
+    try:
+        run_once(mapping, source)
+    finally:
+        set_tracer(None)
+        set_registry(None)
+    return sum(1 for _ in span_records(tracer))
+
+
+def noop_span_cost(calls: int = 200_000) -> float:
+    """Median per-call seconds of entering/exiting a no-op span."""
+    tracer = NoopTracer()
+    rounds = []
+    for _ in range(5):
+        start = time.perf_counter()
+        for _ in range(calls):
+            with tracer.span("bench", x=1):
+                pass
+        rounds.append((time.perf_counter() - start) / calls)
+    return pystats.median(rounds)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[100, 400, 1600],
+        help="E1 source sizes (Emp rows)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=7, help="timed repetitions per mode"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_obs.json", help="result file (JSON)"
+    )
+    args = parser.parse_args()
+
+    per_span = noop_span_cost()
+    results = []
+    for size in args.sizes:
+        mapping, source = build_workload(size)
+        run_once(mapping, source)  # warm-up
+
+        set_tracer(None)  # disabled: the production default
+        set_registry(None)
+        disabled = timed(mapping, source, args.repeat)
+
+        tracer = Tracer()
+        set_tracer(tracer)
+        set_registry(MetricsRegistry())
+        try:
+            traced = timed(mapping, source, args.repeat)
+        finally:
+            set_tracer(None)
+            set_registry(None)
+
+        spans = count_spans(mapping, source)
+        disabled_median = pystats.median(disabled)
+        traced_median = pystats.median(traced)
+        # Disabled-mode slowdown: spans are the per-workload instrumentation
+        # cost; everything else (counter dataclass increments) predates obs.
+        disabled_overhead_pct = 100.0 * spans * per_span / disabled_median
+        traced_overhead_pct = 100.0 * (traced_median / disabled_median - 1.0)
+        row = {
+            "size": size,
+            "spans_per_run": spans,
+            "disabled_median_s": round(disabled_median, 6),
+            "traced_median_s": round(traced_median, 6),
+            "traced_overhead_pct": round(traced_overhead_pct, 2),
+            "disabled_overhead_pct": round(disabled_overhead_pct, 4),
+        }
+        results.append(row)
+        print(
+            f"size={size:>6}  spans={spans:>4}  "
+            f"disabled={disabled_median * 1e3:8.2f}ms  "
+            f"traced={traced_median * 1e3:8.2f}ms  "
+            f"traced overhead={traced_overhead_pct:+6.2f}%  "
+            f"disabled overhead≈{disabled_overhead_pct:.4f}%"
+        )
+
+    worst_disabled = max(r["disabled_overhead_pct"] for r in results)
+    report = {
+        "benchmark": "obs_overhead",
+        "workload": "E1 universal solutions (chase + compile + get/put)",
+        "repeat": args.repeat,
+        "noop_span_cost_s": per_span,
+        "results": results,
+        "disabled_slowdown_pct": worst_disabled,
+        "disabled_under_5pct": worst_disabled < 5.0,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.out}; disabled-mode slowdown ≈ {worst_disabled:.4f}% "
+          f"({'<' if worst_disabled < 5.0 else '≥'} 5% budget)")
+    return 0 if worst_disabled < 5.0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -93,6 +93,13 @@ from .compiler import (
     MappingPlan,
     check_completeness,
 )
+from .obs import (
+    MetricsRegistry,
+    Tracer,
+    render_metrics,
+    render_trace,
+    tracing,
+)
 from .stats import Statistics
 from .workloads import Scenario, all_scenarios
 
@@ -117,6 +124,8 @@ __all__ = [
     "LabeledNull",
     "Lens",
     "MappingPlan",
+    "MetricsRegistry",
+    "Tracer",
     "NullPolicy",
     "ProjectLens",
     "ProjectionTemplate",
@@ -154,11 +163,14 @@ __all__ = [
     "maximum_recovery",
     "recovered_sources",
     "relation",
+    "render_metrics",
+    "render_trace",
     "schema",
     "span",
     "subset_property_violations",
     "symmetrize",
     "to_span",
+    "tracing",
     "universal_solution",
     "__version__",
 ]

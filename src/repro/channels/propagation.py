@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from ..logic.formulas import Atom, Conjunction
 from ..logic.terms import Var
 from ..mapping.sttgd import SchemaMapping, StTgd
+from ..obs import get_registry, get_tracer
 from .primitives import (
     AddColumn,
     AddTable,
@@ -62,7 +63,31 @@ def propagate_primitive(
     primitive: EvolutionPrimitive,
     propagate_to_target: bool = True,
 ) -> PropagationResult:
-    """Push one evolution primitive through *mapping* (source side)."""
+    """Push one evolution primitive through *mapping* (source side).
+
+    Each propagation is traced (``channels.propagate``) and counted per
+    primitive kind (``channels.propagate.<Kind>``), with induced target
+    primitives and information-loss notes counted alongside.
+    """
+    kind = type(primitive).__name__
+    with get_tracer().span("channels.propagate", primitive=kind) as span:
+        result = _dispatch_primitive(mapping, primitive, propagate_to_target)
+        span.set(induced=len(result.induced), notes=len(result.notes))
+    registry = get_registry()
+    registry.increment(f"channels.propagate.{kind}")
+    registry.increment("channels.propagations")
+    if result.induced:
+        registry.increment("channels.induced_primitives", len(result.induced))
+    if result.notes:
+        registry.increment("channels.information_loss_notes", len(result.notes))
+    return result
+
+
+def _dispatch_primitive(
+    mapping: SchemaMapping,
+    primitive: EvolutionPrimitive,
+    propagate_to_target: bool,
+) -> PropagationResult:
     if isinstance(primitive, RenameTable):
         return _propagate_rename_table(mapping, primitive)
     if isinstance(primitive, RenameColumn):

@@ -2,7 +2,7 @@
 
 Usage (also via ``python -m repro``)::
 
-    repro plan      --schemas schemas.json --mapping mapping.tgd
+    repro plan      --schemas schemas.json --mapping mapping.tgd [--verbose]
     repro exchange  --schemas schemas.json --mapping mapping.tgd \
                     --data source.json [--out target.json]
     repro chase     --schemas schemas.json --mapping mapping.tgd \
@@ -12,6 +12,12 @@ Usage (also via ``python -m repro``)::
     repro check     --schemas schemas.json --mapping mapping.tgd \
                     --data source.json            # completeness report
     repro questions --schemas schemas.json --mapping mapping.tgd
+    repro profile   --schemas schemas.json --mapping mapping.tgd \
+                    --data source.json            # span tree + metrics
+
+Every subcommand also accepts ``--trace`` (print the span tree and
+metric summary to stderr) and ``--trace-json FILE`` (write the trace as
+JSON lines) — see docs/OBSERVABILITY.md.
 
 File formats:
 
@@ -32,6 +38,17 @@ from typing import Sequence
 
 from .compiler import ExchangeEngine, check_completeness
 from .mapping import SchemaMapping, universal_solution
+from .obs import (
+    MetricsRegistry,
+    Tracer,
+    get_registry,
+    get_tracer,
+    render_metrics,
+    render_trace,
+    set_registry,
+    set_tracer,
+    write_json_lines,
+)
 from .relational import (
     Instance,
     Schema,
@@ -114,7 +131,7 @@ def _build_engine(args: argparse.Namespace) -> tuple[ExchangeEngine, Schema, Sch
 
 def cmd_plan(args: argparse.Namespace) -> int:
     engine, *_ = _build_engine(args)
-    print(engine.show_plan())
+    print(engine.explain(verbose=args.verbose))
     return 0
 
 
@@ -154,6 +171,27 @@ def cmd_put(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run compile → chase → get → put under tracing; print what happened.
+
+    The put pushes back the unedited view (a GetPut round-trip), so the
+    profile covers both lens directions without needing an edit file.
+    """
+    engine, source_schema, _ = _build_engine(args)
+    source = load_instance(args.data, source_schema, "source")
+    universal_solution(engine.mapping, source)  # reference chase
+    for _ in range(max(args.repeat, 1)):
+        target = engine.exchange(source)
+        engine.put_back(target, source)
+    print(render_trace(get_tracer()))
+    print()
+    print(render_metrics(get_registry()))
+    if args.verbose:
+        print()
+        print(engine.explain(verbose=True))
+    return 0
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     engine, source_schema, _ = _build_engine(args)
     source = load_instance(args.data, source_schema, "source")
@@ -177,10 +215,25 @@ def build_parser() -> argparse.ArgumentParser:
         if data:
             p.add_argument("--data", required=True, help="source instance JSON")
             p.add_argument("--out", help="write result JSON here (default: stdout)")
+        p.add_argument(
+            "--trace",
+            action="store_true",
+            help="print the span tree and metric summary to stderr",
+        )
+        p.add_argument(
+            "--trace-json",
+            metavar="FILE",
+            help="write the trace as JSON lines to FILE",
+        )
 
     p = sub.add_parser("plan", help="print the compiled mapping plan")
     common(p)
     p.add_argument("--data", help="source instance JSON (for statistics)")
+    p.add_argument(
+        "--verbose",
+        action="store_true",
+        help="append observed-vs-estimated cardinalities",
+    )
     p.set_defaults(handler=cmd_plan)
 
     p = sub.add_parser("questions", help="list open policy questions")
@@ -204,12 +257,65 @@ def build_parser() -> argparse.ArgumentParser:
     common(p, data=True)
     p.set_defaults(handler=cmd_check)
 
+    p = sub.add_parser(
+        "profile",
+        help="run compile/chase/exchange/put under tracing and print the "
+        "span tree and metric summary",
+    )
+    common(p, data=True)
+    p.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="run the get/put round-trip N times (default 1)",
+    )
+    p.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print the plan with observed-vs-estimated cardinalities",
+    )
+    p.set_defaults(handler=cmd_profile)
+
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.handler(args)
+    # Tracing is scoped to this invocation: install a fresh tracer and
+    # registry when asked for (profile always traces), emit afterwards,
+    # and restore the previous globals so embedding callers are unharmed.
+    trace_flag = getattr(args, "trace", False)
+    trace_json = getattr(args, "trace_json", None)
+    if not (trace_flag or trace_json or args.command == "profile"):
+        return args.handler(args)
+
+    previous_tracer, previous_registry = get_tracer(), get_registry()
+    tracer = Tracer()
+    set_tracer(tracer)
+    set_registry(MetricsRegistry())
+    try:
+        code = args.handler(args)
+    finally:
+        registry = get_registry()
+        set_tracer(previous_tracer)
+        set_registry(previous_registry)
+        # profile prints its own report to stdout; --trace goes to stderr
+        # so piped stdout (instance JSON) stays parseable.
+        if trace_flag and args.command != "profile":
+            print(render_trace(tracer), file=sys.stderr)
+            print(render_metrics(registry), file=sys.stderr)
+        if trace_json:
+            try:
+                count = write_json_lines(tracer, trace_json)
+            except OSError as exc:
+                print(
+                    f"error: cannot write trace to {trace_json}: {exc}",
+                    file=sys.stderr,
+                )
+                code = 2
+            else:
+                print(f"wrote {count} spans to {trace_json}", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

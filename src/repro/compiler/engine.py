@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 from ..lenses.symmetric import SpanLens
 from ..mapping.sttgd import SchemaMapping
+from ..obs import get_registry, get_tracer
 from ..relational.instance import Fact, Instance
 from ..relational.schema import Schema
 from ..rlens.base import RelationalLens, ViewViolationError
@@ -78,14 +79,28 @@ class ExchangeLens(RelationalLens):
 
     def get(self, source: Instance) -> Instance:
         self.check_source(source)
-        facts: set[Fact] = set()
-        for unit in self._units:
-            facts |= unit.forward_facts(source)
-        target = Instance(self._target_schema, facts)
-        if self._target_dependencies:
-            from ..mapping.chase import chase_target_dependencies
+        tracer = get_tracer()
+        registry = get_registry()
+        with tracer.span(
+            "lens.get", units=len(self._units), source_facts=source.size()
+        ) as span:
+            facts: set[Fact] = set()
+            for unit in self._units:
+                with tracer.span("unit.forward", tgd=unit.tgd_id) as unit_span:
+                    produced = unit.forward_facts(source)
+                    unit_span.set(facts=len(produced))
+                # Observed per-unit cardinality: the ground truth that
+                # plan.explain(verbose=True) pits against the estimates.
+                registry.gauge(f"observed.unit.{unit.tgd_id}").set(len(produced))
+                facts |= produced
+            target = Instance(self._target_schema, facts)
+            if self._target_dependencies:
+                from ..mapping.chase import chase_target_dependencies
 
-            target = chase_target_dependencies(target, self._target_dependencies)
+                target = chase_target_dependencies(target, self._target_dependencies)
+            span.set(target_facts=target.size())
+            registry.increment("lens.get.calls")
+            registry.observe("lens.get.seconds", span.duration)
         return target
 
     # -- put -----------------------------------------------------------------
@@ -93,26 +108,39 @@ class ExchangeLens(RelationalLens):
     def put(self, view: Instance, source: Instance) -> Instance:
         self.check_view(view)
         self.check_source(source)
-        old_view = self.get(source)
-        removed = sorted(set(old_view.facts()) - set(view.facts()), key=repr)
-        added = sorted(set(view.facts()) - set(old_view.facts()), key=repr)
+        tracer = get_tracer()
+        registry = get_registry()
+        with tracer.span("lens.put", view_facts=view.size()) as span:
+            with tracer.span("lens.put.diff"):
+                old_view = self.get(source)
+                removed = sorted(set(old_view.facts()) - set(view.facts()), key=repr)
+                added = sorted(set(view.facts()) - set(old_view.facts()), key=repr)
 
-        result = source
-        # Deletions first: every unit still deriving the fact must retract.
-        for fact in removed:
-            for unit in self._producers.get(fact.relation, []):
-                if unit.produces(fact):
-                    retracted = unit.retract(fact, result)
-                    if retracted:
-                        result = result.without_facts(retracted)
-        # Then insertions, routed to one producing unit each.  Policies
-        # consult the *pre-edit* source so FD restoration can recover
-        # column values from rows the deletions above just retracted.
-        for fact in added:
-            unit = self._route(fact)
-            result = result.with_facts(
-                unit.justify(fact, result, policy_source=source)
-            )
+            result = source
+            # Deletions first: every unit still deriving the fact must retract.
+            retractions = 0
+            with tracer.span("lens.put.deletions", removed=len(removed)):
+                for fact in removed:
+                    for unit in self._producers.get(fact.relation, []):
+                        if unit.produces(fact):
+                            retracted = unit.retract(fact, result)
+                            if retracted:
+                                result = result.without_facts(retracted)
+                                retractions += len(retracted)
+            # Then insertions, routed to one producing unit each.  Policies
+            # consult the *pre-edit* source so FD restoration can recover
+            # column values from rows the deletions above just retracted.
+            with tracer.span("lens.put.insertions", added=len(added)):
+                for fact in added:
+                    unit = self._route(fact)
+                    result = result.with_facts(
+                        unit.justify(fact, result, policy_source=source)
+                    )
+            span.set(removed=len(removed), added=len(added), retractions=retractions)
+            registry.increment("lens.put.calls")
+            registry.increment("lens.put.facts_removed", len(removed))
+            registry.increment("lens.put.facts_added", len(added))
+            registry.observe("lens.put.seconds", span.duration)
         return result
 
     def _route(self, fact: Fact) -> CompiledTgd:
@@ -173,16 +201,19 @@ class ExchangeEngine:
         """Compile a mapping: tgds → templates → policies → plan → lens."""
         hints = hints or Hints()
         statistics = statistics or Statistics.assumed(mapping.source)
-        planner = Planner(statistics, config or PlannerConfig())
-        units = planner.plan_mapping(mapping, hints)
-        plan = MappingPlan(units, statistics, hints)
-        lens = ExchangeLens(
-            mapping.source,
-            mapping.target,
-            units,
-            hints,
-            mapping.target_dependencies,
-        )
+        with get_tracer().span("compile", tgds=len(mapping.tgds)) as span:
+            planner = Planner(statistics, config or PlannerConfig())
+            units = planner.plan_mapping(mapping, hints)
+            plan = MappingPlan(units, statistics, hints)
+            lens = ExchangeLens(
+                mapping.source,
+                mapping.target,
+                units,
+                hints,
+                mapping.target_dependencies,
+            )
+            span.set(units=len(units))
+            get_registry().increment("compile.calls")
         return cls(mapping, plan, lens, hints)
 
     def exchange(self, source: Instance) -> Instance:
@@ -196,6 +227,10 @@ class ExchangeEngine:
     def show_plan(self) -> str:
         """The plan, rendered the way a database EXPLAIN would be."""
         return self.plan.show()
+
+    def explain(self, verbose: bool = False) -> str:
+        """The plan; with ``verbose``, observed-vs-estimated cardinalities."""
+        return self.plan.explain(verbose=verbose)
 
     def policy_questions(self):
         """Open user gestures of the compiled plan."""

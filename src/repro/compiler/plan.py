@@ -189,5 +189,41 @@ class MappingPlan:
                 lines.append(f"   • {question!r}")
         return "\n".join(lines)
 
+    def explain(self, verbose: bool = False) -> str:
+        """The show-plan text; ``verbose`` appends cardinality evidence.
+
+        The verbose section pits the planner's estimates (from the
+        gathered/assumed :class:`Statistics`) against the *observed*
+        per-unit fact counts the instrumented ``lens.get`` records in the
+        global metrics registry — the feedback loop "highly informed by
+        gathered statistics" needs.  Units never executed show ``—``.
+        """
+        text = self.show()
+        if not verbose:
+            return text
+        from ..obs import get_registry
+
+        registry = get_registry()
+        lines = [text, "── cardinalities (estimated vs observed):"]
+        for unit in self.units:
+            atoms = unit.tgd.premise.atoms()
+            estimated = 1
+            parts = []
+            for atom in atoms:
+                cardinality = self.statistics.cardinality(atom.relation)
+                parts.append(f"{atom.relation}≈{cardinality}")
+                estimated *= max(cardinality, 1)
+            gauge = registry.gauges.get(f"observed.unit.{unit.tgd_id}")
+            observed = (
+                str(gauge.value)
+                if gauge is not None and gauge.value is not None
+                else "— (no exchange observed yet)"
+            )
+            lines.append(
+                f"   {unit.tgd_id}: inputs {', '.join(parts)}; "
+                f"estimated ≤ {estimated} facts, observed = {observed}"
+            )
+        return "\n".join(lines)
+
     def __repr__(self) -> str:
         return f"MappingPlan({len(self.units)} units)"

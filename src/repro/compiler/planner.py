@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..mapping.sttgd import SchemaMapping, StTgd
+from ..obs import get_registry, get_tracer
 from ..relational.algebra import (
     AlgebraExpression,
     Join,
@@ -61,18 +62,29 @@ class Planner:
     ) -> list[CompiledTgd]:
         """Normalize the mapping and compile every tgd."""
         hints = hints or Hints()
-        normalized = mapping.normalize()
-        units = []
-        for index, tgd in enumerate(normalized.tgds):
-            units.append(
-                self.plan_tgd(tgd, mapping.source, f"tgd_{index}", hints)
-            )
+        with get_tracer().span(
+            "plan", tgds=len(mapping.tgds), optimize=self.config.optimize
+        ) as span:
+            normalized = mapping.normalize()
+            units = []
+            for index, tgd in enumerate(normalized.tgds):
+                units.append(
+                    self.plan_tgd(tgd, mapping.source, f"tgd_{index}", hints)
+                )
+            span.set(units=len(units))
+            get_registry().increment("plan.units", len(units))
         return units
 
     def plan_tgd(
         self, tgd: StTgd, source_schema: Schema, tgd_id: str, hints: Hints
     ) -> CompiledTgd:
         """Compile one (normalized, single-conclusion-atom) tgd."""
+        with get_tracer().span("plan.tgd", tgd=tgd_id):
+            return self._plan_tgd(tgd, source_schema, tgd_id, hints)
+
+    def _plan_tgd(
+        self, tgd: StTgd, source_schema: Schema, tgd_id: str, hints: Hints
+    ) -> CompiledTgd:
         conclusion_atoms = tgd.conclusion.atoms()
         if len(conclusion_atoms) != 1:
             raise CompilerLimitation(

@@ -16,10 +16,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
 
+from ..obs import get_registry, get_tracer
 from .base import Lens
 
 S = TypeVar("S")
 V = TypeVar("V")
+
+
+def _record_outcome(law: str, violations: "list[LawViolation]") -> None:
+    """Count a finished law check (and its violations) in the registry."""
+    registry = get_registry()
+    registry.increment("laws.checks")
+    registry.increment(f"laws.checks.{law}")
+    if violations:
+        registry.increment("laws.violations", len(violations))
 
 
 @dataclass(frozen=True)
@@ -45,17 +55,20 @@ def check_putget(
     typically edits of ``get(s)`` so the put is meaningful.
     """
     violations = []
-    for source in sources:
-        for view in views_for(source):
-            updated = lens.put(view, source)
-            got = lens.get(updated)
-            if not equal_views(got, view):
-                violations.append(
-                    LawViolation(
-                        "PutGet",
-                        f"get(put(v, s)) = {got!r} but v = {view!r} (s = {source!r})",
+    with get_tracer().span("laws.check", law="PutGet") as span:
+        for source in sources:
+            for view in views_for(source):
+                updated = lens.put(view, source)
+                got = lens.get(updated)
+                if not equal_views(got, view):
+                    violations.append(
+                        LawViolation(
+                            "PutGet",
+                            f"get(put(v, s)) = {got!r} but v = {view!r} (s = {source!r})",
+                        )
                     )
-                )
+        span.set(violations=len(violations))
+    _record_outcome("PutGet", violations)
     return violations
 
 
@@ -66,15 +79,18 @@ def check_getput(
 ) -> list[LawViolation]:
     """GetPut: ``put(get(s), s) == s`` for sampled sources."""
     violations = []
-    for source in sources:
-        restored = lens.put(lens.get(source), source)
-        if not equal_sources(restored, source):
-            violations.append(
-                LawViolation(
-                    "GetPut",
-                    f"put(get(s), s) = {restored!r} differs from s = {source!r}",
+    with get_tracer().span("laws.check", law="GetPut") as span:
+        for source in sources:
+            restored = lens.put(lens.get(source), source)
+            if not equal_sources(restored, source):
+                violations.append(
+                    LawViolation(
+                        "GetPut",
+                        f"put(get(s), s) = {restored!r} differs from s = {source!r}",
+                    )
                 )
-            )
+        span.set(violations=len(violations))
+    _record_outcome("GetPut", violations)
     return violations
 
 
@@ -91,20 +107,23 @@ def check_putput(
     where it holds and where it fails, matching the theory.
     """
     violations = []
-    for source in sources:
-        views = list(views_for(source))
-        for v1 in views:
-            for v2 in views:
-                via_v1 = lens.put(v2, lens.put(v1, source))
-                direct = lens.put(v2, source)
-                if not equal_sources(via_v1, direct):
-                    violations.append(
-                        LawViolation(
-                            "PutPut",
-                            f"put(v2, put(v1, s)) = {via_v1!r} differs from "
-                            f"put(v2, s) = {direct!r}",
+    with get_tracer().span("laws.check", law="PutPut") as span:
+        for source in sources:
+            views = list(views_for(source))
+            for v1 in views:
+                for v2 in views:
+                    via_v1 = lens.put(v2, lens.put(v1, source))
+                    direct = lens.put(v2, source)
+                    if not equal_sources(via_v1, direct):
+                        violations.append(
+                            LawViolation(
+                                "PutPut",
+                                f"put(v2, put(v1, s)) = {via_v1!r} differs from "
+                                f"put(v2, s) = {direct!r}",
+                            )
                         )
-                    )
+        span.set(violations=len(violations))
+    _record_outcome("PutPut", violations)
     return violations
 
 
@@ -141,14 +160,17 @@ def check_create_get(
 ) -> list[LawViolation]:
     """CreateGet: ``get(create(v)) == v`` — the law for source creation."""
     violations = []
-    for view in views:
-        created = lens.create(view)
-        got = lens.get(created)
-        if not equal_views(got, view):
-            violations.append(
-                LawViolation(
-                    "CreateGet",
-                    f"get(create(v)) = {got!r} but v = {view!r}",
+    with get_tracer().span("laws.check", law="CreateGet") as span:
+        for view in views:
+            created = lens.create(view)
+            got = lens.get(created)
+            if not equal_views(got, view):
+                violations.append(
+                    LawViolation(
+                        "CreateGet",
+                        f"get(create(v)) = {got!r} but v = {view!r}",
+                    )
                 )
-            )
+        span.set(violations=len(violations))
+    _record_outcome("CreateGet", violations)
     return violations

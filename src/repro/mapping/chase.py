@@ -30,6 +30,7 @@ from typing import Iterable, Mapping, Sequence
 
 from ..logic.evaluation import evaluate, ground_atoms, satisfiable
 from ..logic.terms import Var
+from ..obs import get_registry, get_tracer
 from ..relational.homomorphism import core as core_of
 from ..relational.instance import Fact, Instance
 from ..relational.schema import Schema
@@ -46,16 +47,34 @@ class ChaseVariant(enum.Enum):
 
 
 class ChaseFailure(Exception):
-    """The chase failed: an egd required two distinct constants to be equal."""
+    """The chase failed: an egd required two distinct constants to be equal.
+
+    ``statistics`` carries the partial :class:`ChaseStatistics` of the
+    failing run, so traces of failed exchanges are not lost.
+    """
+
+    statistics: "ChaseStatistics | None" = None
 
 
 class ChaseNonTermination(Exception):
-    """The target-dependency chase exceeded its step limit."""
+    """The target-dependency chase exceeded its step limit.
+
+    Like :class:`ChaseFailure`, carries partial ``statistics``.
+    """
+
+    statistics: "ChaseStatistics | None" = None
 
 
 @dataclass
 class ChaseStatistics:
-    """Counters describing one chase run."""
+    """Counters describing one chase run.
+
+    The dataclass is the run-local view; :meth:`publish` folds the
+    counters into the global :class:`~repro.obs.MetricsRegistry` under
+    ``chase.*`` names at the end of every run (successful or not), so
+    the observability layer and the per-run view stay one source of
+    truth apart from timing.
+    """
 
     tgd_firings: int = 0
     egd_firings: int = 0
@@ -63,12 +82,30 @@ class ChaseStatistics:
     nulls_created: int = 0
     rounds: int = 0
 
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain dict (the JSON-able, drift-proof view)."""
+        return {
+            "tgd_firings": self.tgd_firings,
+            "egd_firings": self.egd_firings,
+            "target_tgd_firings": self.target_tgd_firings,
+            "nulls_created": self.nulls_created,
+            "rounds": self.rounds,
+        }
+
+    def publish(self, registry=None) -> None:
+        """Fold these counters into *registry* (default: the global one)."""
+        registry = registry if registry is not None else get_registry()
+        for name, value in self.as_dict().items():
+            if value:
+                registry.counter(f"chase.{name}").inc(value)
+
     def __repr__(self) -> str:
-        return (
-            f"ChaseStatistics(tgd={self.tgd_firings}, egd={self.egd_firings}, "
-            f"target_tgd={self.target_tgd_firings}, nulls={self.nulls_created}, "
-            f"rounds={self.rounds})"
+        fields = self.as_dict()
+        inner = ", ".join(
+            f"{name.replace('_firings', '').replace('_created', '')}={value}"
+            for name, value in fields.items()
         )
+        return f"ChaseStatistics({inner})"
 
 
 @dataclass
@@ -90,18 +127,44 @@ def chase(
     The st-tgd phase runs once (st-tgds cannot re-fire: their premises
     read only the source).  The target-dependency phase iterates egd and
     target-tgd steps to a fixpoint, bounded by *max_target_steps*.
+
+    On :class:`ChaseFailure` / :class:`ChaseNonTermination` the partial
+    statistics are attached to the exception (``exc.statistics``) and
+    published to the metrics registry before re-raising.
     """
     stats = ChaseStatistics()
     factory = NullFactory()
     factory.reserve_through(max_null_label(source.values()))
+    tracer = get_tracer()
 
-    target_facts = _chase_st_tgds(mapping.tgds, source, variant, factory, stats)
-    target = Instance(mapping.target, target_facts)
+    try:
+        with tracer.span(
+            "chase", variant=variant.value, source_facts=source.size()
+        ) as span:
+            with tracer.span("chase.st_tgds", tgds=len(mapping.tgds)):
+                target_facts = _chase_st_tgds(
+                    mapping.tgds, source, variant, factory, stats
+                )
+            target = Instance(mapping.target, target_facts)
 
-    if mapping.target_dependencies:
-        target = _chase_target_dependencies(
-            target, mapping.target_dependencies, factory, stats, max_target_steps
-        )
+            if mapping.target_dependencies:
+                with tracer.span(
+                    "chase.target_dependencies",
+                    dependencies=len(mapping.target_dependencies),
+                ):
+                    target = _chase_target_dependencies(
+                        target,
+                        mapping.target_dependencies,
+                        factory,
+                        stats,
+                        max_target_steps,
+                    )
+            span.set(target_facts=target.size(), **stats.as_dict())
+    except (ChaseFailure, ChaseNonTermination) as exc:
+        exc.statistics = stats
+        stats.publish()
+        raise
+    stats.publish()
     return ChaseResult(target, stats)
 
 
@@ -169,24 +232,29 @@ def _chase_target_dependencies(
     stats: ChaseStatistics,
     max_steps: int,
 ) -> Instance:
+    tracer = get_tracer()
     steps = 0
     changed = True
     while changed:
         changed = False
         stats.rounds += 1
-        for dep in dependencies:
-            if isinstance(dep, Egd):
-                target, fired = _egd_step(target, dep, stats)
-            else:
-                target, fired = _target_tgd_step(target, dep, factory, stats)
-            if fired:
-                changed = True
-                steps += 1
-                if steps > max_steps:
-                    raise ChaseNonTermination(
-                        f"target chase exceeded {max_steps} steps; "
-                        f"check weak acyclicity of the target tgds"
-                    )
+        with tracer.span("chase.round", round=stats.rounds) as span:
+            fired_this_round = 0
+            for dep in dependencies:
+                if isinstance(dep, Egd):
+                    target, fired = _egd_step(target, dep, stats)
+                else:
+                    target, fired = _target_tgd_step(target, dep, factory, stats)
+                if fired:
+                    changed = True
+                    fired_this_round += 1
+                    steps += 1
+                    if steps > max_steps:
+                        raise ChaseNonTermination(
+                            f"target chase exceeded {max_steps} steps; "
+                            f"check weak acyclicity of the target tgds"
+                        )
+            span.set(firings=fired_this_round, facts=target.size())
     return target
 
 
@@ -244,14 +312,26 @@ def chase_target_dependencies(
     Used by the compiled exchange engine to honour a mapping's target
     dependencies after the lens's forward direction materializes the
     target.  Raises :class:`ChaseFailure` on egd conflicts and
-    :class:`ChaseNonTermination` past *max_steps*.
+    :class:`ChaseNonTermination` past *max_steps*; either exception
+    carries the partial statistics (``exc.statistics``).
     """
     stats = ChaseStatistics()
     factory = NullFactory()
     factory.reserve_through(max_null_label(target.values()))
-    return _chase_target_dependencies(
-        target, dependencies, factory, stats, max_steps
-    )
+    dependencies = tuple(dependencies)
+    try:
+        with get_tracer().span(
+            "chase.target_dependencies", dependencies=len(dependencies)
+        ):
+            result = _chase_target_dependencies(
+                target, dependencies, factory, stats, max_steps
+            )
+    except (ChaseFailure, ChaseNonTermination) as exc:
+        exc.statistics = stats
+        stats.publish()
+        raise
+    stats.publish()
+    return result
 
 
 def universal_solution(mapping: SchemaMapping, source: Instance) -> Instance:

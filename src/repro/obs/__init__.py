@@ -1,0 +1,82 @@
+"""repro.obs — tracing and metrics for the exchange pipeline.
+
+The paper's §4 workflow is explicitly statistics-driven ("this process
+is highly informed by gathered statistics"), and its show-plan story is
+about the engine explaining itself.  This package is the runtime half of
+that story: nested timed spans (:mod:`~repro.obs.trace`), named
+counters/gauges/histograms (:mod:`~repro.obs.metrics`), and exporters
+rendering both as an indented text tree or JSON lines
+(:mod:`~repro.obs.export`).
+
+Tracing is off by default: the global tracer is a :class:`NoopTracer`
+whose spans are a shared do-nothing singleton, so the instrumentation
+threaded through the chase, compiler, planner, lenses and channels costs
+almost nothing until a profiling session turns it on::
+
+    from repro.obs import tracing, collecting, render_trace, render_metrics
+
+    with tracing() as tracer, collecting() as registry:
+        engine = ExchangeEngine.compile(mapping)
+        engine.exchange(source)
+    print(render_trace(tracer))
+    print(render_metrics(registry))
+
+The CLI exposes the same machinery as ``--trace`` / ``--trace-json`` on
+every subcommand and a dedicated ``repro profile`` subcommand.  See
+docs/OBSERVABILITY.md.
+"""
+
+from .export import (
+    format_duration,
+    render_metrics,
+    render_trace,
+    span_records,
+    trace_to_json_lines,
+    write_json_lines,
+)
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collecting,
+    get_registry,
+    set_registry,
+)
+from .trace import (
+    NoopTracer,
+    Span,
+    Tracer,
+    disable,
+    enable,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+__all__ = [
+    # trace
+    "Span",
+    "Tracer",
+    "NoopTracer",
+    "get_tracer",
+    "set_tracer",
+    "enable",
+    "disable",
+    "tracing",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "collecting",
+    # export
+    "format_duration",
+    "render_trace",
+    "render_metrics",
+    "span_records",
+    "trace_to_json_lines",
+    "write_json_lines",
+]

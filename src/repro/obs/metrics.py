@@ -1,0 +1,212 @@
+"""Named counters, gauges and histograms: the metrics half of :mod:`repro.obs`.
+
+A :class:`MetricsRegistry` owns all instruments of one profiling
+session.  Instruments are created on first use::
+
+    registry.counter("chase.tgd_firings").inc()
+    registry.gauge("observed.unit.tgd_0").set(42)
+    registry.histogram("lens.get.seconds").observe(0.0031)
+
+Histograms keep raw observations and compute nearest-rank percentiles
+(p50/p95/max) without numpy — sample counts here are per-run, not
+per-request, so storing the values is fine.
+
+Like :mod:`repro.obs.trace`, this module is standard-library only and
+imports nothing from the rest of :mod:`repro`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "collecting",
+]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A value that is set, not accumulated (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float | int | None = None
+
+    def set(self, value: float | int) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Raw observations with nearest-rank percentile summaries."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def sum(self) -> float:
+        return sum(self.values)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / len(self.values) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    @property
+    def min(self) -> float:
+        return min(self.values) if self.values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile: smallest value with ≥ p% rank."""
+        if not self.values:
+            return 0.0
+        if not 0 < p <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {p}")
+        ordered = sorted(self.values)
+        rank = max(1, -(-len(ordered) * p // 100))  # ceil(n * p / 100)
+        return ordered[int(rank) - 1]
+
+    def summary(self) -> dict[str, float]:
+        """count/sum/mean/min/p50/p95/max as a plain dict."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}: n={self.count})"
+
+
+class MetricsRegistry:
+    """All instruments of one session, keyed by name."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- instrument accessors (create on first use) ------------------------
+
+    def counter(self, name: str) -> Counter:
+        try:
+            return self.counters[name]
+        except KeyError:
+            instrument = self.counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        try:
+            return self.gauges[name]
+        except KeyError:
+            instrument = self.gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        try:
+            return self.histograms[name]
+        except KeyError:
+            instrument = self.histograms[name] = Histogram(name)
+            return instrument
+
+    # -- convenience shorthands --------------------------------------------
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # -- introspection -----------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-serializable view of every instrument."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(self.histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry({len(self.counters)} counters, "
+            f"{len(self.gauges)} gauges, {len(self.histograms)} histograms)"
+        )
+
+
+_DEFAULT = MetricsRegistry()
+_registry: MetricsRegistry = _DEFAULT
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global metrics registry."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """Install *registry* globally (``None`` restores the default one)."""
+    global _registry
+    _registry = registry if registry is not None else _DEFAULT
+    return _registry
+
+
+@contextmanager
+def collecting() -> Iterator[MetricsRegistry]:
+    """Scope a fresh registry around a block, restoring the previous one."""
+    previous = get_registry()
+    registry = MetricsRegistry()
+    set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..lenses.base import Lens
+from ..obs import get_registry, get_tracer
 from ..relational.instance import Instance, empty_instance
 from ..relational.schema import Schema
 
@@ -61,6 +62,24 @@ class RelationalLens(Lens[Instance, Instance]):
     def create(self, view: Instance) -> Instance:
         """Default creation: put into the empty source instance."""
         return self.put(view, empty_instance(self.source_schema))
+
+    # -- observability ------------------------------------------------------
+
+    def timed_get(self, source: Instance) -> Instance:
+        """``get`` wrapped in a span + duration histogram (``rlens.get``)."""
+        with get_tracer().span("rlens.get", lens=type(self).__name__) as span:
+            view = self.get(source)
+            span.set(facts=view.size())
+            get_registry().observe("rlens.get.seconds", span.duration)
+        return view
+
+    def timed_put(self, view: Instance, source: Instance) -> Instance:
+        """``put`` wrapped in a span + duration histogram (``rlens.put``)."""
+        with get_tracer().span("rlens.put", lens=type(self).__name__) as span:
+            updated = self.put(view, source)
+            span.set(facts=updated.size())
+            get_registry().observe("rlens.put.seconds", span.duration)
+        return updated
 
 
 @dataclass(frozen=True)
@@ -130,15 +149,22 @@ class ParallelLens(RelationalLens):
     def get(self, source: Instance) -> Instance:
         self.check_source(source)
         result = empty_instance(self._view_schema)
-        for lens in self._lenses:
-            part = lens.get(source.restrict(lens.source_schema.relation_names))
-            result = result.with_facts(part.facts())
+        with get_tracer().span("rlens.parallel.get", components=len(self._lenses)):
+            for lens in self._lenses:
+                part = lens.get(source.restrict(lens.source_schema.relation_names))
+                result = result.with_facts(part.facts())
         return result
 
     def put(self, view: Instance, source: Instance) -> Instance:
         self.check_view(view)
         self.check_source(source)
         result = empty_instance(self._source_schema)
+        with get_tracer().span("rlens.parallel.put", components=len(self._lenses)):
+            return self._put_components(view, source, result)
+
+    def _put_components(
+        self, view: Instance, source: Instance, result: Instance
+    ) -> Instance:
         for lens in self._lenses:
             sub_view = view.restrict(lens.view_schema.relation_names).cast(
                 lens.view_schema

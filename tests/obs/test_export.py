@@ -1,0 +1,113 @@
+"""Exporters: text tree rendering and the JSON-lines round trip."""
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    format_duration,
+    render_metrics,
+    render_trace,
+    span_records,
+    trace_to_json_lines,
+    write_json_lines,
+)
+
+
+def sample_tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("chase", variant="naive") as span:
+        with tracer.span("chase.round", round=1):
+            pass
+        span.set(facts=4)
+    with tracer.span("lens.get"):
+        pass
+    return tracer
+
+
+class TestFormatDuration:
+    def test_units(self):
+        assert format_duration(2.5) == "2.50s"
+        assert format_duration(0.0456) == "45.60ms"
+        assert format_duration(0.000789) == "789µs"
+
+
+class TestTextTree:
+    def test_renders_names_durations_and_attributes(self):
+        text = render_trace(sample_tracer())
+        assert text.startswith("Trace (2 root spans)")
+        assert "── chase" in text
+        assert "── chase.round" in text
+        assert "variant='naive'" in text
+        assert "facts=4" in text
+        # Child indented deeper than parent.
+        lines = text.splitlines()
+        chase_line = next(l for l in lines if "── chase " in l)
+        round_line = next(l for l in lines if "chase.round" in l)
+        assert round_line.index("──") > chase_line.index("──")
+
+    def test_attributes_can_be_suppressed(self):
+        text = render_trace(sample_tracer(), attributes=False)
+        assert "variant" not in text
+
+    def test_accepts_span_lists_too(self):
+        tracer = sample_tracer()
+        assert render_trace(tracer.spans()) == render_trace(tracer)
+
+
+class TestJsonLines:
+    def test_round_trip(self):
+        tracer = sample_tracer()
+        lines = trace_to_json_lines(tracer).splitlines()
+        records = [json.loads(line) for line in lines]
+        assert len(records) == 3  # chase, chase.round, lens.get
+        by_name = {r["name"]: r for r in records}
+        assert by_name["chase"]["parent"] is None
+        assert by_name["chase.round"]["parent"] == by_name["chase"]["id"]
+        assert by_name["chase.round"]["depth"] == 1
+        assert by_name["chase"]["attributes"] == {"variant": "naive", "facts": 4}
+        assert all(r["duration"] >= 0 for r in records)
+
+    def test_records_match_walk_order(self):
+        tracer = sample_tracer()
+        names = [r["name"] for r in span_records(tracer)]
+        assert names == ["chase", "chase.round", "lens.get"]
+
+    def test_write_json_lines(self, tmp_path):
+        tracer = sample_tracer()
+        path = tmp_path / "trace.jsonl"
+        count = write_json_lines(tracer, path)
+        assert count == 3
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            json.loads(line)
+
+    def test_empty_trace(self, tmp_path):
+        tracer = Tracer()
+        assert trace_to_json_lines(tracer) == ""
+        path = tmp_path / "empty.jsonl"
+        assert write_json_lines(tracer, path) == 0
+        assert path.read_text() == ""
+
+    def test_non_json_attributes_fall_back_to_repr(self):
+        tracer = Tracer()
+        with tracer.span("op", obj={1, 2}):
+            pass
+        (record,) = (json.loads(l) for l in trace_to_json_lines(tracer).splitlines())
+        assert "1" in record["attributes"]["obj"]
+
+
+class TestRenderMetrics:
+    def test_sections(self):
+        registry = MetricsRegistry()
+        registry.increment("chase.tgd_firings", 3)
+        registry.gauge("observed.unit.tgd_0").set(7)
+        registry.observe("lens.get.seconds", 0.002)
+        text = render_metrics(registry)
+        assert "chase.tgd_firings = 3" in text
+        assert "observed.unit.tgd_0 = 7" in text
+        assert "lens.get.seconds" in text and "p95" in text
+
+    def test_empty_registry(self):
+        assert "no metrics recorded" in render_metrics(MetricsRegistry())

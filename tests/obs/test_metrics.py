@@ -1,0 +1,114 @@
+"""Metrics instruments: counters, gauges, histogram percentiles, registry."""
+
+import pytest
+
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    collecting,
+    get_registry,
+    set_registry,
+)
+
+
+class TestCounterAndGauge:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        registry.counter("hits").inc(4)
+        assert registry.counter("hits").value == 5
+
+    def test_increment_shorthand(self):
+        registry = MetricsRegistry()
+        registry.increment("x")
+        registry.increment("x", 2)
+        assert registry.counter("x").value == 3
+
+    def test_gauge_last_write_wins(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("rows")
+        assert gauge.value is None
+        gauge.set(10)
+        gauge.set(3)
+        assert registry.gauge("rows").value == 3
+
+    def test_instruments_are_memoized_by_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+
+
+class TestHistogram:
+    def test_percentiles_nearest_rank(self):
+        h = Histogram("t")
+        for v in range(1, 101):  # 1..100
+            h.observe(v)
+        assert h.percentile(50) == 50
+        assert h.percentile(95) == 95
+        assert h.percentile(100) == 100
+        assert h.max == 100
+        assert h.min == 1
+
+    def test_single_observation(self):
+        h = Histogram("t")
+        h.observe(7.5)
+        assert h.percentile(50) == 7.5
+        assert h.percentile(95) == 7.5
+        assert h.summary()["count"] == 1
+
+    def test_empty_histogram_is_all_zero(self):
+        h = Histogram("t")
+        assert h.percentile(50) == 0.0
+        assert h.summary() == {
+            "count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0,
+            "p50": 0.0, "p95": 0.0, "max": 0.0,
+        }
+
+    def test_percentile_rejects_out_of_range(self):
+        h = Histogram("t")
+        h.observe(1)
+        with pytest.raises(ValueError):
+            h.percentile(0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_unsorted_observations(self):
+        h = Histogram("t")
+        for v in [9, 1, 5, 3, 7]:
+            h.observe(v)
+        assert h.percentile(50) == 5
+        assert h.mean == 5.0
+
+
+class TestRegistry:
+    def test_snapshot_is_json_shaped(self):
+        registry = MetricsRegistry()
+        registry.increment("c", 2)
+        registry.gauge("g").set(1.5)
+        registry.observe("h", 0.25)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["histograms"]["h"]["p50"] == 0.25
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.increment("c")
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_collecting_scopes_and_restores(self):
+        before = get_registry()
+        with collecting() as registry:
+            assert get_registry() is registry
+            get_registry().increment("scoped")
+        assert get_registry() is before
+        assert registry.counter("scoped").value == 1
+
+    def test_set_registry_none_restores_default(self):
+        set_registry(MetricsRegistry())
+        set_registry(None)
+        assert get_registry() is not None

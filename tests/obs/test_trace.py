@@ -1,0 +1,160 @@
+"""Tracer behavior: nesting, timing monotonicity, the no-op fast path."""
+
+import time
+
+import pytest
+
+from repro.obs import (
+    NoopTracer,
+    Span,
+    Tracer,
+    disable,
+    enable,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+
+class TestSpanNesting:
+    def test_children_attach_to_open_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner.a"):
+                pass
+            with tracer.span("inner.b"):
+                with tracer.span("leaf"):
+                    pass
+        roots = tracer.spans()
+        assert [s.name for s in roots] == ["outer"]
+        outer = roots[0]
+        assert [c.name for c in outer.children] == ["inner.a", "inner.b"]
+        assert [c.name for c in outer.children[1].children] == ["leaf"]
+
+    def test_sequential_roots_form_a_forest(self):
+        tracer = Tracer()
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [s.name for s in tracer.spans()] == ["first", "second"]
+
+    def test_walk_is_depth_first_with_depths(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        (root,) = tracer.spans()
+        walked = [(s.name, depth) for s, depth in root.walk()]
+        assert walked == [("a", 0), ("b", 1), ("c", 2), ("d", 1)]
+
+    def test_current_tracks_the_open_span(self):
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("outer"):
+            assert tracer.current.name == "outer"
+            with tracer.span("inner"):
+                assert tracer.current.name == "inner"
+            assert tracer.current.name == "outer"
+        assert tracer.current is None
+
+    def test_exception_finishes_span_and_marks_error(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        (span,) = tracer.spans()
+        assert span.finished
+        assert span.attributes["error"] == "ValueError"
+        assert tracer.current is None
+
+
+class TestTiming:
+    def test_durations_are_monotone_child_within_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.002)
+        (outer,) = tracer.spans()
+        (inner,) = outer.children
+        assert inner.duration > 0
+        assert outer.duration >= inner.duration
+        assert outer.start <= inner.start
+        assert inner.end <= outer.end
+
+    def test_open_span_duration_grows(self):
+        span = Span("open")
+        first = span.duration
+        time.sleep(0.001)
+        assert span.duration > first
+        span.finish()
+        frozen = span.duration
+        assert span.duration == frozen
+
+    def test_finish_is_idempotent(self):
+        span = Span("once")
+        span.finish()
+        end = span.end
+        span.finish()
+        assert span.end == end
+
+
+class TestAttributes:
+    def test_span_attributes_from_kwargs_and_set(self):
+        tracer = Tracer()
+        with tracer.span("op", size=3) as span:
+            span.set(result=9)
+        (recorded,) = tracer.spans()
+        assert recorded.attributes == {"size": 3, "result": 9}
+
+    def test_annotate_targets_current_span(self):
+        tracer = Tracer()
+        with tracer.span("op"):
+            tracer.annotate(flag=True)
+        assert tracer.spans()[0].attributes == {"flag": True}
+        tracer.annotate(ignored=1)  # no open span: no-op, no error
+
+
+class TestNoopTracer:
+    def test_records_nothing(self):
+        tracer = NoopTracer()
+        with tracer.span("anything", x=1) as span:
+            span.set(y=2)
+        assert tracer.spans() == []
+        assert tracer.current is None
+        assert not tracer.enabled
+
+    def test_span_is_a_shared_singleton(self):
+        tracer = NoopTracer()
+        assert tracer.span("a") is tracer.span("b")
+
+
+class TestGlobalTracer:
+    def test_default_is_noop(self):
+        assert not get_tracer().enabled
+
+    def test_enable_disable_roundtrip(self):
+        tracer = enable()
+        try:
+            assert get_tracer() is tracer
+            assert tracer.enabled
+        finally:
+            disable()
+        assert not get_tracer().enabled
+
+    def test_tracing_scopes_and_restores(self):
+        before = get_tracer()
+        with tracing() as tracer:
+            assert get_tracer() is tracer
+            with get_tracer().span("scoped"):
+                pass
+        assert get_tracer() is before
+        assert [s.name for s in tracer.spans()] == ["scoped"]
+
+    def test_set_tracer_none_restores_default(self):
+        set_tracer(Tracer())
+        set_tracer(None)
+        assert not get_tracer().enabled
