@@ -1,0 +1,91 @@
+"""Weak-acyclicity at scale: the single-SCC-pass witness search.
+
+``is_weakly_acyclic`` is now a thin wrapper over
+``weak_acyclicity_witness``, which builds the position dependency graph
+once and runs one iterative Tarjan pass over the combined (regular +
+special) edges — O(positions + edges) instead of a per-special-edge
+reachability search.  The lint subsystem calls this on every ``repro
+lint`` invocation, so it must stay cheap on wide dependency sets.
+
+The workload is a chain of n target tgds, each one step of
+``R_i(x, y) -> exists z . R_{i+1}(y, z)``: n relations, 2n positions,
+and a special edge out of every rule, yet no cycle — the worst case for
+the old quadratic search (every special edge triggered a full BFS).
+
+Run::
+
+    PYTHONPATH=src pytest benchmarks/bench_lint_acyclicity.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.mapping.dependencies import (
+    TargetTgd,
+    is_weakly_acyclic,
+    weak_acyclicity_witness,
+)
+from repro.mapping.sttgd import StTgd
+
+
+def chain(n: int) -> list[TargetTgd]:
+    """n tgds R_i(x, y) -> exists z . R_{i+1}(y, z): acyclic, all special."""
+    rules = []
+    for i in range(n):
+        tgd = StTgd.parse(f"R{i}(x, y) -> exists z . R{i + 1}(y, z)")
+        rules.append(TargetTgd(tgd.premise, tgd.conclusion))
+    return rules
+
+
+def looped(n: int) -> list[TargetTgd]:
+    """The chain plus one rule closing it into a special-edge cycle."""
+    rules = chain(n)
+    back = StTgd.parse(f"R{n}(x, y) -> exists z . R0(y, z)")
+    rules.append(TargetTgd(back.premise, back.conclusion))
+    return rules
+
+
+@pytest.mark.parametrize("n", [50, 200, 800])
+def test_acyclic_chain(benchmark, n):
+    deps = chain(n)
+    assert benchmark(is_weakly_acyclic, deps)
+
+
+@pytest.mark.parametrize("n", [200, 800])
+def test_cyclic_chain_witness(benchmark, n):
+    deps = looped(n)
+    witness = benchmark(weak_acyclicity_witness, deps)
+    assert witness is not None
+    assert len(witness.positions) >= n  # the cycle threads the whole chain
+
+
+def test_scaling_guard(report):
+    """Guard: 8x more tgds must not cost more than ~40x the time.
+
+    A quadratic regression (per-special-edge reachability) would show up
+    as ~64x here; the single SCC pass stays near-linear.  The bound is
+    generous to absorb timer noise on shared hardware.
+    """
+
+    def best_of(deps, repeat=5):
+        samples = []
+        for _ in range(repeat):
+            start = time.perf_counter()
+            is_weakly_acyclic(deps)
+            samples.append(time.perf_counter() - start)
+        return min(samples)
+
+    small, large = chain(100), chain(800)
+    is_weakly_acyclic(small)  # warm caches before timing
+    t_small, t_large = best_of(small), best_of(large)
+    ratio = t_large / max(t_small, 1e-9)
+    report(
+        "LINT",
+        "weak-acyclicity check scales linearly in the dependency set",
+        f"100→800 tgds: {t_small * 1e3:.2f}ms → {t_large * 1e3:.2f}ms "
+        f"({ratio:.1f}x for 8x input)",
+    )
+    assert ratio < 40, f"weak-acyclicity check scaling regressed: {ratio:.1f}x"

@@ -93,6 +93,16 @@ from .compiler import (
     MappingPlan,
     check_completeness,
 )
+from .analysis import (
+    AnalysisBundle,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    TemplateCheck,
+    analyze,
+    analyze_mapping,
+    composition_obstructions,
+)
 from .obs import (
     MetricsRegistry,
     Tracer,
@@ -106,10 +116,13 @@ from .workloads import Scenario, all_scenarios
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalysisBundle",
+    "AnalysisReport",
     "Attribute",
     "AttributeType",
     "Constant",
     "ConstantPolicy",
+    "Diagnostic",
     "EnvironmentPolicy",
     "ExchangeEngine",
     "ExchangeLens",
@@ -136,13 +149,17 @@ __all__ = [
     "Schema",
     "SchemaMapping",
     "SelectLens",
+    "Severity",
     "SkolemValue",
     "StTgd",
     "Statistics",
     "SymmetricLens",
+    "TemplateCheck",
     "UnionLens",
     "VisualMapping",
     "all_scenarios",
+    "analyze",
+    "analyze_mapping",
     "certain_answers",
     "chase",
     "check_completeness",
@@ -150,6 +167,7 @@ __all__ = [
     "check_well_behaved",
     "compose",
     "compose_sotgd",
+    "composition_obstructions",
     "constant",
     "core",
     "core_universal_solution",

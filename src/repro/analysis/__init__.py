@@ -1,0 +1,34 @@
+"""repro.analysis — static analysis / lint for mappings, dependencies, lenses.
+
+The subsystem treats a data-exchange scenario the way a compiler treats a
+program: parse it, never run it, and report :class:`Diagnostic` findings
+with stable ``RAxxx`` codes, severities, and source spans.  Entry points:
+
+* :func:`analyze` / :func:`analyze_mapping` — run the registered passes
+  over an :class:`AnalysisBundle` and get an :class:`AnalysisReport`;
+* :func:`composition_obstructions` — pairwise composability diagnosis;
+* ``repro lint`` — the CLI front-end (text or ``--json``; exit code 0
+  clean / 1 warnings / 2 errors).
+
+See docs/ANALYSIS.md for the full diagnostic-code table.
+"""
+
+from .bundle import AnalysisBundle, TemplateCheck
+from .composability import composition_obstructions
+from .diagnostics import AnalysisReport, Diagnostic, Severity, Span
+from .registry import AnalysisPass, all_passes, analyze, analyze_mapping, get_pass
+
+__all__ = [
+    "AnalysisBundle",
+    "AnalysisPass",
+    "AnalysisReport",
+    "Diagnostic",
+    "Severity",
+    "Span",
+    "TemplateCheck",
+    "all_passes",
+    "analyze",
+    "analyze_mapping",
+    "composition_obstructions",
+    "get_pass",
+]

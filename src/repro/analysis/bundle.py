@@ -1,0 +1,115 @@
+"""The analysis bundle: everything the lint passes look at.
+
+A bundle is the static description of one exchange scenario — schemas,
+st-tgds (with their source spans when parsed from text), target
+dependencies, lens templates with their proposed policy answers, declared
+integrity constraints, and compiler hints.  Passes never execute a chase
+or a lens; they only inspect this bundle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..logic.parser import Span
+from ..mapping.dependencies import TargetDependency
+from ..mapping.sttgd import SchemaMapping, StTgd
+from ..relational.constraints import ConstraintSet
+from ..relational.schema import Schema
+
+
+@dataclass(frozen=True)
+class TemplateCheck:
+    """A lens template plus the policy answers proposed for it.
+
+    ``answers`` uses the template's :class:`PolicyQuestion` slots;
+    ``None`` means "defaults" (still checked — defaults can be unsound
+    for the declared constraints).
+    """
+
+    template: object  # LensTemplate; typed loosely to keep layering light
+    answers: Mapping[str, object] | None = None
+    label: str = ""
+
+    def name(self) -> str:
+        return self.label or repr(self.template)
+
+
+@dataclass(frozen=True)
+class AnalysisBundle:
+    """The unit of analysis: ``(schemas, st-tgds, target deps, templates)``.
+
+    ``tgd_spans`` / ``dependency_spans`` run parallel to ``tgds`` /
+    ``target_dependencies`` (shorter tuples are padded with ``None``) so
+    passes can attach file positions to their findings.
+    """
+
+    source: Schema
+    target: Schema
+    tgds: tuple[StTgd, ...] = ()
+    tgd_spans: tuple[Span | None, ...] = ()
+    target_dependencies: tuple[TargetDependency, ...] = ()
+    dependency_spans: tuple[Span | None, ...] = ()
+    templates: tuple[TemplateCheck, ...] = ()
+    constraints: ConstraintSet | None = None
+    hints: object | None = None  # compiler Hints; optional
+
+    def __init__(
+        self,
+        source: Schema,
+        target: Schema,
+        tgds: Iterable[StTgd] = (),
+        tgd_spans: Iterable[Span | None] = (),
+        target_dependencies: Iterable[TargetDependency] = (),
+        dependency_spans: Iterable[Span | None] = (),
+        templates: Iterable[TemplateCheck] = (),
+        constraints: ConstraintSet | None = None,
+        hints: object | None = None,
+    ) -> None:
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "target", target)
+        object.__setattr__(self, "tgds", tuple(tgds))
+        object.__setattr__(self, "tgd_spans", tuple(tgd_spans))
+        object.__setattr__(self, "target_dependencies", tuple(target_dependencies))
+        object.__setattr__(self, "dependency_spans", tuple(dependency_spans))
+        object.__setattr__(self, "templates", tuple(templates))
+        object.__setattr__(self, "constraints", constraints)
+        object.__setattr__(self, "hints", hints)
+
+    @classmethod
+    def from_mapping(
+        cls,
+        mapping: SchemaMapping,
+        *,
+        tgd_spans: Iterable[Span | None] = (),
+        templates: Iterable[TemplateCheck] = (),
+        constraints: ConstraintSet | None = None,
+        hints: object | None = None,
+    ) -> "AnalysisBundle":
+        """Bundle an existing :class:`SchemaMapping` for analysis."""
+        return cls(
+            mapping.source,
+            mapping.target,
+            mapping.tgds,
+            tgd_spans,
+            mapping.target_dependencies,
+            (),
+            templates,
+            constraints,
+            hints,
+        )
+
+    def span_for_tgd(self, index: int) -> Span | None:
+        if 0 <= index < len(self.tgd_spans):
+            return self.tgd_spans[index]
+        return None
+
+    def span_for_dependency(self, index: int) -> Span | None:
+        if 0 <= index < len(self.dependency_spans):
+            return self.dependency_spans[index]
+        return None
+
+    def tgd_label(self, index: int) -> str:
+        """A short human handle for tgd *index* (``tgd#k``)."""
+        return f"tgd#{index}"

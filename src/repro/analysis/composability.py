@@ -1,0 +1,97 @@
+"""Composability analysis (codes RA201–RA204; paper Section 2, Example 2).
+
+st-tgds are *not* closed under composition: composing through a mapping
+with existentials can force Skolem functions that no st-tgd expresses
+(Example 2's ``Emp(x) ∧ x = f(x) → SelfMngr(x)``).  Full st-tgds *are*
+closed.  The bundle pass flags non-full tgds (**RA201**, info) so users
+know composition through this mapping may leave the st-tgd fragment.
+
+:func:`composition_obstructions` analyses a concrete pair of mappings
+without committing to the composition: **RA203** (error) when the middle
+schemas disagree, **RA202** (warning) when the composition genuinely
+needs SO-tgds, **RA204** (info) when it stays first-order.
+"""
+
+from __future__ import annotations
+
+from ..mapping.composition import CompositionError, _to_st_tgds, compose_sotgd
+from ..mapping.sttgd import SchemaMapping
+from .bundle import AnalysisBundle
+from .diagnostics import Diagnostic, Severity
+from .registry import register
+
+
+@register(
+    "composability",
+    ("RA201",),
+    "closure under composition: full vs existential st-tgds",
+)
+def check_composability(bundle: AnalysisBundle) -> list[Diagnostic]:
+    non_full = [
+        (index, tgd)
+        for index, tgd in enumerate(bundle.tgds)
+        if tgd.existential_variables
+    ]
+    if not non_full:
+        return []
+    labels = ", ".join(bundle.tgd_label(i) for i, _ in non_full)
+    span = bundle.span_for_tgd(non_full[0][0])
+    return [
+        Diagnostic(
+            "RA201",
+            Severity.INFO,
+            f"mapping is not full ({labels} introduce existentials); "
+            f"composing another mapping through it may require SO-tgds "
+            f"— full st-tgds are closed under composition, general "
+            f"st-tgds are not",
+            span,
+            data={"non_full_tgds": [i for i, _ in non_full]},
+        )
+    ]
+
+
+def composition_obstructions(
+    first: SchemaMapping, second: SchemaMapping
+) -> list[Diagnostic]:
+    """Diagnose whether ``second ∘ first`` stays in the st-tgd fragment.
+
+    Runs the actual composition procedure (cheap: purely symbolic) and
+    classifies the outcome instead of merely guessing from fullness —
+    a non-full mapping can still compose to first-order tgds when the
+    second mapping never inspects the invented values.
+    """
+    if first.target != second.source:
+        return [
+            Diagnostic(
+                "RA203",
+                Severity.ERROR,
+                "mappings do not compose: the first mapping's target "
+                "schema differs from the second mapping's source schema",
+                data={
+                    "first_target": sorted(r.name for r in first.target),
+                    "second_source": sorted(r.name for r in second.source),
+                },
+            )
+        ]
+    so = compose_sotgd(first, second)
+    try:
+        _to_st_tgds(so, first.source, second.target)
+    except CompositionError as error:
+        return [
+            Diagnostic(
+                "RA202",
+                Severity.WARNING,
+                f"composition leaves the st-tgd fragment and requires "
+                f"SO-tgds: {error}",
+                data={"clauses": len(so.clauses)},
+            )
+        ]
+    return [
+        Diagnostic(
+            "RA204",
+            Severity.INFO,
+            f"composition stays first-order: {len(so.clauses)} clause(s), "
+            f"expressible as st-tgds",
+            data={"clauses": len(so.clauses)},
+        )
+    ]

@@ -1,0 +1,164 @@
+"""Diagnostics: stable codes, severities, spans, and reports.
+
+The analysis subsystem mirrors what a compiler front-end gives its users:
+every finding is a :class:`Diagnostic` with a stable ``RAxxx`` code, a
+severity, a human message, an optional source :class:`Span` (threaded
+from :mod:`repro.logic.parser`), and a structured ``data`` payload (the
+machine-readable witness — e.g. the position cycle of RA101).  A run of
+the analyser yields an :class:`AnalysisReport`, which renders as text or
+JSON and maps onto the lint exit-code convention (0 clean / 1 warnings /
+2 errors).  See docs/ANALYSIS.md for the code table.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+from ..logic.parser import Span
+
+__all__ = ["Severity", "Span", "Diagnostic", "AnalysisReport"]
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` — the mapping will fail at runtime (chase failure,
+    non-termination, compiler rejection).  ``WARNING`` — likely a bug or
+    a law-breaking policy choice.  ``INFO`` — an inherent property worth
+    knowing (information loss, non-composability) that is often intended.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Orderable badness: errors sort before warnings before infos."""
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyser finding.
+
+    ``code`` is stable across releases (documented in docs/ANALYSIS.md);
+    ``data`` carries the structured witness (JSON-able values only).
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    span: Span | None = None
+    pass_name: str = ""
+    data: Mapping[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """``file:line:col: severity RAxxx: message`` (location if known)."""
+        location = f"{self.span.location()}: " if self.span else ""
+        return f"{location}{self.severity.value} {self.code}: {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "pass": self.pass_name,
+            "span": self.span.as_dict() if self.span else None,
+            "data": dict(self.data),
+        }
+
+    def __repr__(self) -> str:
+        return f"Diagnostic({self.render()})"
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """The findings of one analyser run, ordered worst-first."""
+
+    diagnostics: tuple[Diagnostic, ...]
+
+    def __init__(self, diagnostics: Iterable[Diagnostic] = ()) -> None:
+        ordered = sorted(
+            diagnostics,
+            key=lambda d: (
+                d.severity.rank,
+                d.code,
+                d.span.line if d.span else 0,
+                d.message,
+            ),
+        )
+        object.__setattr__(self, "diagnostics", tuple(ordered))
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __bool__(self) -> bool:
+        return bool(self.diagnostics)
+
+    def by_severity(self, severity: Severity) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> list[Diagnostic]:
+        return self.by_severity(Severity.INFO)
+
+    def with_code(self, code: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def exit_code(self) -> int:
+        """The lint convention: 2 on errors, 1 on warnings, else 0."""
+        if self.errors:
+            return 2
+        if self.warnings:
+            return 1
+        return 0
+
+    def render(self) -> str:
+        """Human-readable multi-line report with a summary footer."""
+        lines = [d.render() for d in self.diagnostics]
+        lines.append(self.summary())
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        if not self.diagnostics:
+            return "no diagnostics — mapping is clean"
+        return (
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.infos)} info(s)"
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        """The JSON view documented in docs/ANALYSIS.md."""
+        return {
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "infos": len(self.infos),
+                "exit_code": self.exit_code(),
+            },
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, ensure_ascii=False)
+
+    def merged_with(self, other: "AnalysisReport") -> "AnalysisReport":
+        return AnalysisReport(self.diagnostics + other.diagnostics)
+
+    def __repr__(self) -> str:
+        return f"AnalysisReport({self.summary()})"

@@ -1,0 +1,166 @@
+"""Invertibility-obstruction analysis (codes RA301–RA304; paper Example 3).
+
+st-tgd mappings are almost never invertible in Fagin's strict sense, and
+the paper's Example 3 (``Father/Mother → Parent``) shows *why*: distinct
+sources can have identical solution spaces, so a round trip cannot tell
+them apart.  These checks spot, statically, the structural features that
+obstruct or weaken inversion:
+
+* **RA301** (info) — a source attribute is never exported by any tgd:
+  the exchange forgets it, so no inverse can restore it.
+* **RA302** (info) — a target relation is produced by two or more tgds:
+  the maximum recovery must disjoin over the producers (Example 3's
+  ``… → Father(x, y) ∨ Mother(x, y)``) and at best yields a recovery, not
+  an inverse.
+* **RA303** (info) — a constant in a conclusion: target facts built from
+  it carry no provenance, widening the recovery further.
+* **RA304** (warning) — conclusion atoms sharing an existential survive
+  normalization as one multi-atom tgd, which
+  :func:`~repro.mapping.inversion.maximum_recovery` rejects.
+
+All but RA304 are inherent properties of a design (often intended), so
+they are informational; RA304 names a concrete API that will fail.
+"""
+
+from __future__ import annotations
+
+from ..logic.terms import Const
+from .bundle import AnalysisBundle
+from .diagnostics import Diagnostic, Severity
+from .registry import register
+
+
+@register(
+    "invertibility",
+    ("RA301", "RA302", "RA303", "RA304"),
+    "structural obstructions to inversion / maximum recovery",
+)
+def check_invertibility(bundle: AnalysisBundle) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    out.extend(_forgotten_attributes(bundle))
+    out.extend(_disjunctive_producers(bundle))
+    for index, tgd in enumerate(bundle.tgds):
+        span = bundle.span_for_tgd(index)
+        label = bundle.tgd_label(index)
+        out.extend(_constant_conclusions(tgd, label, span))
+        out.extend(_entangled_existentials(tgd, label, span))
+    return out
+
+
+def _forgotten_attributes(bundle: AnalysisBundle) -> list[Diagnostic]:
+    """RA301 — source positions bound by some premise but never exported."""
+    if not bundle.tgds:
+        return []
+    # Which (relation, position) pairs ever appear in a premise, and which
+    # premise variables make it to a conclusion.
+    out = []
+    for relation in bundle.source:
+        read = False
+        exported: set[int] = set()
+        for tgd in bundle.tgds:
+            conclusion_vars = set(tgd.conclusion.variables())
+            for atom in tgd.premise.atoms():
+                if atom.relation != relation.name:
+                    continue
+                read = True
+                for position, term in enumerate(atom.terms):
+                    if term in conclusion_vars:
+                        exported.add(position)
+        if not read:
+            continue
+        for position in range(relation.arity):
+            if position not in exported:
+                attribute = relation.attributes[position].name
+                out.append(
+                    Diagnostic(
+                        "RA301",
+                        Severity.INFO,
+                        f"source attribute {relation.name}.{attribute} is read "
+                        f"but never exported by any tgd; the exchange forgets "
+                        f"it and no inverse can restore its values",
+                        data={"relation": relation.name, "attribute": attribute},
+                    )
+                )
+    return out
+
+
+def _disjunctive_producers(bundle: AnalysisBundle) -> list[Diagnostic]:
+    """RA302 — target relations produced by more than one tgd."""
+    producers: dict[str, list[int]] = {}
+    for index, tgd in enumerate(bundle.tgds):
+        for relation in sorted(tgd.target_relations()):
+            owners = producers.setdefault(relation, [])
+            if index not in owners:
+                owners.append(index)
+    out = []
+    for relation, owners in sorted(producers.items()):
+        if len(owners) < 2:
+            continue
+        labels = ", ".join(bundle.tgd_label(i) for i in owners)
+        out.append(
+            Diagnostic(
+                "RA302",
+                Severity.INFO,
+                f"target relation {relation!r} is produced by {len(owners)} "
+                f"tgds ({labels}); any inverse must disjoin over the "
+                f"producers — expect a maximum recovery with ∨ on the "
+                f"right-hand side, not a strict inverse (paper, Example 3)",
+                bundle.span_for_tgd(owners[0]),
+                data={"relation": relation, "producers": owners},
+            )
+        )
+    return out
+
+
+def _constant_conclusions(tgd, label: str, span) -> list[Diagnostic]:
+    """RA303 — constants written into target facts carry no provenance."""
+    constants = sorted(
+        {
+            repr(term)
+            for atom in tgd.conclusion.atoms()
+            for term in atom.terms
+            if isinstance(term, Const)
+        }
+    )
+    if not constants:
+        return []
+    return [
+        Diagnostic(
+            "RA303",
+            Severity.INFO,
+            f"{label}: conclusion writes constant(s) {', '.join(constants)}; "
+            f"target facts built from them carry no source provenance, "
+            f"widening any recovery",
+            span,
+            data={"constants": constants},
+        )
+    ]
+
+
+def _entangled_existentials(tgd, label: str, span) -> list[Diagnostic]:
+    """RA304 — existentials shared across conclusion atoms block recovery."""
+    atoms = tgd.conclusion.atoms()
+    if len(atoms) < 2:
+        return []
+    existentials = set(tgd.existential_variables)
+    shared = sorted(
+        {
+            v.name
+            for i, a in enumerate(atoms)
+            for b in atoms[i + 1 :]
+            for v in existentials & set(a.variables()) & set(b.variables())
+        }
+    )
+    if not shared:
+        return []
+    return [
+        Diagnostic(
+            "RA304",
+            Severity.WARNING,
+            f"{label}: conclusion atoms share existential(s) "
+            f"{', '.join(shared)}; the tgd survives normalization as one "
+            f"multi-atom component and maximum_recovery() will reject it",
+            span,
+            data={"shared_existentials": shared},
+        )
+    ]

@@ -1,0 +1,102 @@
+"""The pass registry: named analyses run over an :class:`AnalysisBundle`.
+
+Each pass module registers itself with :func:`register`; :func:`analyze`
+runs every registered pass (or a selection) and folds the findings into
+one :class:`~repro.analysis.diagnostics.AnalysisReport`.  Passes are pure
+functions of the bundle — no chase, no I/O — so linting is safe to run on
+arbitrary untrusted mapping text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..mapping.sttgd import SchemaMapping
+from .bundle import AnalysisBundle
+from .diagnostics import AnalysisReport, Diagnostic
+
+PassFunction = Callable[[AnalysisBundle], list[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class AnalysisPass:
+    """A registered analysis: name, the codes it may emit, and the runner."""
+
+    name: str
+    codes: tuple[str, ...]
+    description: str
+    run: PassFunction
+
+    def __repr__(self) -> str:
+        return f"AnalysisPass({self.name}: {', '.join(self.codes)})"
+
+
+_REGISTRY: dict[str, AnalysisPass] = {}
+
+
+def register(
+    name: str, codes: Sequence[str], description: str
+) -> Callable[[PassFunction], PassFunction]:
+    """Decorator registering a pass function under *name*."""
+
+    def wrap(function: PassFunction) -> PassFunction:
+        if name in _REGISTRY:
+            raise ValueError(f"analysis pass {name!r} registered twice")
+        _REGISTRY[name] = AnalysisPass(name, tuple(codes), description, function)
+        return function
+
+    return wrap
+
+
+def all_passes() -> list[AnalysisPass]:
+    """Every registered pass, in registration order."""
+    _ensure_loaded()
+    return list(_REGISTRY.values())
+
+
+def get_pass(name: str) -> AnalysisPass:
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"no analysis pass {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def _ensure_loaded() -> None:
+    # Import the pass modules for their registration side effects.
+    from . import composability, invertibility, safety, templates, termination  # noqa: F401
+
+
+def analyze(
+    bundle: AnalysisBundle, passes: Iterable[str] | None = None
+) -> AnalysisReport:
+    """Run the registered passes over *bundle* and report the findings."""
+    _ensure_loaded()
+    selected = (
+        [get_pass(n) for n in passes] if passes is not None else all_passes()
+    )
+    findings: list[Diagnostic] = []
+    for analysis_pass in selected:
+        for diagnostic in analysis_pass.run(bundle):
+            if not diagnostic.pass_name:
+                diagnostic = Diagnostic(
+                    diagnostic.code,
+                    diagnostic.severity,
+                    diagnostic.message,
+                    diagnostic.span,
+                    analysis_pass.name,
+                    diagnostic.data,
+                )
+            findings.append(diagnostic)
+    return AnalysisReport(findings)
+
+
+def analyze_mapping(
+    mapping: SchemaMapping, passes: Iterable[str] | None = None, **bundle_kwargs
+) -> AnalysisReport:
+    """Convenience: bundle a :class:`SchemaMapping` and run :func:`analyze`."""
+    bundle = AnalysisBundle.from_mapping(mapping, **bundle_kwargs)
+    return analyze(bundle, passes)

@@ -1,0 +1,225 @@
+"""tgd safety / range-restriction checks (codes RA001–RA006).
+
+A compiler diagnoses programs before running them; these are the
+"syntax-and-binding" checks for dependencies:
+
+* **RA001** (error) — a premise variable occurs only in side conditions
+  (equalities, inequalities, ``C()``) and is never bound by a relational
+  atom; evaluation cannot enumerate its values (the rule is *unsafe* in
+  the Datalog sense).
+* **RA002** (info) — the conclusion introduces existential variables:
+  the exchange will invent labelled nulls for them.  Legitimate and
+  common, but also exactly what a misspelled frontier variable looks
+  like, so the lint names them.
+* **RA003** (error/warning) — constant misuse: side conditions that can
+  never hold (the rule is dead) are errors; trivially true ones are
+  warnings.
+* **RA004** (warning) — function terms in an st-tgd: outside the
+  first-order fragment the chase and the compiler accept.
+* **RA005** (warning) — duplicate tgds.
+* **RA006** (error) — schema conformance: an atom names an unknown
+  relation or has the wrong arity (checked against the source schema for
+  premises, the target schema for conclusions and target dependencies).
+"""
+
+from __future__ import annotations
+
+from ..logic.formulas import Atom, Conjunction, ConstantPredicate, Equality, Inequality
+from ..logic.terms import Const, Var
+from ..mapping.dependencies import Egd, TargetTgd
+from ..relational.schema import Schema
+from .bundle import AnalysisBundle
+from .diagnostics import Diagnostic, Severity
+from .registry import register
+
+
+@register(
+    "safety",
+    ("RA001", "RA002", "RA003", "RA004", "RA005", "RA006"),
+    "tgd safety, range restriction, constant misuse, schema conformance",
+)
+def check_safety(bundle: AnalysisBundle) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    seen: dict[str, int] = {}
+    for index, tgd in enumerate(bundle.tgds):
+        span = bundle.span_for_tgd(index)
+        label = bundle.tgd_label(index)
+        out.extend(_unsafe_variables(tgd.premise, label, span))
+        out.extend(_implicit_existentials(tgd, label, span))
+        out.extend(_constant_misuse(tgd.premise, label, span))
+        out.extend(_function_terms(tgd, label, span))
+        out.extend(_conformance(tgd.premise, bundle.source, "source", label, span))
+        out.extend(_conformance(tgd.conclusion, bundle.target, "target", label, span))
+        key = repr(tgd)
+        if key in seen:
+            out.append(
+                Diagnostic(
+                    "RA005",
+                    Severity.WARNING,
+                    f"{label} duplicates tgd#{seen[key]}: {tgd!r}",
+                    span,
+                    data={"duplicate_of": seen[key], "tgd_index": index},
+                )
+            )
+        else:
+            seen[key] = index
+    for index, dependency in enumerate(bundle.target_dependencies):
+        span = bundle.span_for_dependency(index)
+        label = f"target dependency #{index}"
+        if isinstance(dependency, TargetTgd):
+            out.extend(_conformance(dependency.premise, bundle.target, "target", label, span))
+            out.extend(
+                _conformance(dependency.conclusion, bundle.target, "target", label, span)
+            )
+            out.extend(_constant_misuse(dependency.premise, label, span))
+        elif isinstance(dependency, Egd):
+            out.extend(_conformance(dependency.premise, bundle.target, "target", label, span))
+    return out
+
+
+def _unsafe_variables(premise: Conjunction, label: str, span) -> list[Diagnostic]:
+    bound = {v for atom in premise.atoms() for v in atom.variables()}
+    out = []
+    for variable in premise.variables():
+        if variable not in bound:
+            out.append(
+                Diagnostic(
+                    "RA001",
+                    Severity.ERROR,
+                    f"{label}: variable '{variable.name}' occurs only in side "
+                    f"conditions of the premise and is never bound by a "
+                    f"relational atom — the rule cannot be evaluated",
+                    span,
+                    data={"variable": variable.name},
+                )
+            )
+    return out
+
+
+def _implicit_existentials(tgd, label: str, span) -> list[Diagnostic]:
+    existentials = tgd.existential_variables
+    if not existentials:
+        return []
+    names = ", ".join(v.name for v in existentials)
+    return [
+        Diagnostic(
+            "RA002",
+            Severity.INFO,
+            f"{label}: conclusion introduces existential variable(s) {names}; "
+            f"the exchange will invent labelled nulls for them — if a source "
+            f"attribute was meant, check the spelling",
+            span,
+            data={"existentials": [v.name for v in existentials]},
+        )
+    ]
+
+
+def _constant_misuse(premise: Conjunction, label: str, span) -> list[Diagnostic]:
+    out = []
+    for literal in premise.literals:
+        if isinstance(literal, Equality):
+            left, right = literal.left, literal.right
+            if isinstance(left, Const) and isinstance(right, Const):
+                if left == right:
+                    out.append(
+                        _trivial(label, f"equality {literal!r} is always true", span)
+                    )
+                else:
+                    out.append(
+                        _dead(label, f"equality {literal!r} can never hold", span)
+                    )
+            elif left == right:
+                out.append(
+                    _trivial(label, f"equality {literal!r} is always true", span)
+                )
+        elif isinstance(literal, Inequality):
+            left, right = literal.left, literal.right
+            if isinstance(left, Const) and isinstance(right, Const):
+                if left == right:
+                    out.append(
+                        _dead(label, f"inequality {literal!r} can never hold", span)
+                    )
+                else:
+                    out.append(
+                        _trivial(label, f"inequality {literal!r} is always true", span)
+                    )
+            elif left == right:
+                out.append(
+                    _dead(label, f"inequality {literal!r} can never hold", span)
+                )
+        elif isinstance(literal, ConstantPredicate) and isinstance(
+            literal.term, Const
+        ):
+            out.append(
+                _trivial(
+                    label,
+                    f"{literal!r} applies the constant predicate to a constant "
+                    f"and is always true",
+                    span,
+                )
+            )
+    return out
+
+
+def _dead(label: str, reason: str, span) -> Diagnostic:
+    return Diagnostic(
+        "RA003",
+        Severity.ERROR,
+        f"{label}: {reason}; the rule can never fire (dead rule)",
+        span,
+    )
+
+
+def _trivial(label: str, reason: str, span) -> Diagnostic:
+    return Diagnostic(
+        "RA003",
+        Severity.WARNING,
+        f"{label}: {reason}; remove the redundant condition",
+        span,
+    )
+
+
+def _function_terms(tgd, label: str, span) -> list[Diagnostic]:
+    if tgd.premise.is_first_order() and tgd.conclusion.is_first_order():
+        return []
+    return [
+        Diagnostic(
+            "RA004",
+            Severity.WARNING,
+            f"{label}: contains function terms — outside the st-tgd fragment; "
+            f"the chase and the lens compiler will reject this rule "
+            f"(function terms belong to SO-tgds produced by composition)",
+            span,
+        )
+    ]
+
+
+def _conformance(
+    conjunction: Conjunction, schema: Schema, role: str, label: str, span
+) -> list[Diagnostic]:
+    out = []
+    for atom in conjunction.atoms():
+        if atom.relation not in schema:
+            out.append(
+                Diagnostic(
+                    "RA006",
+                    Severity.ERROR,
+                    f"{label}: atom {atom!r} names {atom.relation!r}, which is "
+                    f"not a {role} relation",
+                    span,
+                    data={"relation": atom.relation, "role": role},
+                )
+            )
+        elif atom.arity != schema[atom.relation].arity:
+            out.append(
+                Diagnostic(
+                    "RA006",
+                    Severity.ERROR,
+                    f"{label}: atom {atom!r} has arity {atom.arity}, but "
+                    f"{role} relation {atom.relation!r} has arity "
+                    f"{schema[atom.relation].arity}",
+                    span,
+                    data={"relation": atom.relation, "role": role},
+                )
+            )
+    return out

@@ -1,0 +1,427 @@
+"""Template/policy consistency checks (codes RA401–RA406; paper Section 3).
+
+A lens template "describes a family of potential lenses … missing its
+update policy"; a policy answer can be *structurally* wrong (the slot does
+not exist, the FD does not determine the dropped column) or *semantically*
+unsound for the declared constraints (the FD is not implied, so the
+restore step can disagree with the data; the join delete policy cascades,
+breaking PutGet).  This pass vets the proposed answers without ever
+instantiating a lens:
+
+* **RA401** (error) — unknown slot or invalid option for a slot (also
+  covers compiler hints naming unknown relations/columns).
+* **RA402** (error) — an :class:`FdPolicy` whose FD cannot restore the
+  column: wrong relation, wrong dependent, or determinant not retained.
+* **RA403** (warning/info) — the FD behind an FdPolicy is not implied by
+  the declared constraints (warning); info when no constraints were
+  declared at all, so nothing vouches for the FD.
+* **RA404** (warning/info) — a join delete policy that breaks PutGet for
+  the declared keys: deleting through an input is only safe when the
+  shared columns are a superkey of the *other* input, otherwise the
+  deletion removes sibling view rows too.  Info when no constraints are
+  declared (safety cannot be judged).
+* **RA405** (error) — union of schemas whose columns disagree.
+* **RA406** (warning) — an :class:`EnvironmentPolicy` whose key is absent
+  from every environment the lens will see.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..relational.constraints import (
+    ConstraintSet,
+    FunctionalDependency,
+    KeyConstraint,
+    attribute_closure,
+    implies,
+)
+from ..relational.schema import RelationSchema, Schema
+from ..rlens.policies import EnvironmentPolicy, FdPolicy
+from ..rlens.template import (
+    JoinTemplate,
+    LensTemplate,
+    ProjectionTemplate,
+    UnionTemplate,
+)
+from .bundle import AnalysisBundle, TemplateCheck
+from .diagnostics import Diagnostic, Severity
+from .registry import register
+
+
+@register(
+    "templates",
+    ("RA401", "RA402", "RA403", "RA404", "RA405", "RA406"),
+    "lens template answers and compiler hints vs declared constraints",
+)
+def check_templates(bundle: AnalysisBundle) -> list[Diagnostic]:
+    has_constraints = bundle.constraints is not None
+    out: list[Diagnostic] = []
+    for check in bundle.templates:
+        out.extend(_check_one(check, bundle.constraints, has_constraints, bundle))
+    out.extend(_check_hints(bundle, has_constraints))
+    return out
+
+
+def _fds_for(
+    constraints: ConstraintSet | None, relation: RelationSchema
+) -> list[FunctionalDependency]:
+    """Declared FDs over *relation*, with its keys widened to FD form.
+
+    Keys are widened against the concrete :class:`RelationSchema` at hand
+    (a template's relation need not appear in the bundle's schemas).
+    """
+    if constraints is None:
+        return []
+    fds: list[FunctionalDependency] = []
+    for constraint in constraints:
+        if isinstance(constraint, FunctionalDependency):
+            if constraint.relation == relation.name:
+                fds.append(constraint)
+        elif isinstance(constraint, KeyConstraint):
+            if constraint.relation == relation.name:
+                fds.append(constraint.as_fd(Schema([relation])))
+    return fds
+
+
+def _check_one(
+    check: TemplateCheck,
+    constraints: ConstraintSet | None,
+    has_constraints: bool,
+    bundle: AnalysisBundle,
+) -> list[Diagnostic]:
+    template = check.template
+    name = check.name()
+    out: list[Diagnostic] = []
+    if isinstance(template, LensTemplate):
+        out.extend(_check_answers(template, check.answers, name))
+    if isinstance(template, ProjectionTemplate):
+        out.extend(
+            _check_projection(
+                template, check.answers, name, constraints, has_constraints, bundle
+            )
+        )
+    elif isinstance(template, JoinTemplate):
+        out.extend(
+            _check_join(template, check.answers, name, constraints, has_constraints)
+        )
+    elif isinstance(template, UnionTemplate):
+        out.extend(_check_union(template, name))
+    return out
+
+
+def _check_answers(
+    template: LensTemplate, answers: Mapping[str, object] | None, name: str
+) -> list[Diagnostic]:
+    """RA401 — every answer must land in a slot; string answers in options."""
+    if not answers:
+        return []
+    questions = {q.slot: q for q in template.policy_questions()}
+    out = []
+    for slot, answer in sorted(answers.items()):
+        question = questions.get(slot)
+        if question is None:
+            known = ", ".join(sorted(questions)) or "none"
+            out.append(
+                Diagnostic(
+                    "RA401",
+                    Severity.ERROR,
+                    f"{name}: answer targets unknown slot {slot!r} "
+                    f"(template slots: {known})",
+                    data={"template": name, "slot": slot},
+                )
+            )
+        elif isinstance(answer, str) and not _string_answer_ok(answer, question.options):
+            out.append(
+                Diagnostic(
+                    "RA401",
+                    Severity.ERROR,
+                    f"{name}: slot {slot!r} got {answer!r}, not one of "
+                    f"{', '.join(question.options)}",
+                    data={"template": name, "slot": slot, "answer": answer},
+                )
+            )
+    return out
+
+
+def _string_answer_ok(answer: str, options: tuple[str, ...]) -> bool:
+    if answer in options:
+        return True
+    # Parameterized spellings the templates accept: "constant:<value>".
+    return answer.startswith("constant:") and "constant" in options
+
+
+def _check_projection(
+    template: ProjectionTemplate,
+    answers: Mapping[str, object] | None,
+    name: str,
+    constraints: ConstraintSet | None,
+    has_constraints: bool,
+    bundle: AnalysisBundle,
+) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    for slot, answer in sorted((answers or {}).items()):
+        if not slot.startswith("column:"):
+            continue
+        column = slot.split(":", 1)[1]
+        if isinstance(answer, FdPolicy):
+            out.extend(
+                _check_fd_policy(
+                    answer,
+                    column,
+                    template.relation,
+                    tuple(template.kept),
+                    name,
+                    _fds_for(constraints, template.relation),
+                    has_constraints,
+                )
+            )
+        elif isinstance(answer, EnvironmentPolicy):
+            environment = dict(template.environment)
+            environment.update(_hint_environment(bundle))
+            if answer.key not in environment:
+                out.append(
+                    Diagnostic(
+                        "RA406",
+                        Severity.WARNING,
+                        f"{name}: column {column!r} uses "
+                        f"EnvironmentPolicy({answer.key!r}), but no "
+                        f"environment provides that key — every insert "
+                        f"through the lens will raise PolicyError",
+                        data={"template": name, "column": column, "key": answer.key},
+                    )
+                )
+    return out
+
+
+def _check_fd_policy(
+    policy: FdPolicy,
+    column: str,
+    relation: RelationSchema,
+    kept: tuple[str, ...],
+    name: str,
+    fds: list[FunctionalDependency],
+    has_constraints: bool,
+) -> list[Diagnostic]:
+    fd = policy.fd
+    out: list[Diagnostic] = []
+    if fd.relation != relation.name:
+        out.append(
+            _ra402(
+                name,
+                column,
+                f"its FD is over relation {fd.relation!r}, not {relation.name!r}",
+            )
+        )
+        return out
+    if tuple(fd.dependent) != (column,):
+        out.append(
+            _ra402(
+                name,
+                column,
+                f"its FD determines {{{', '.join(fd.dependent)}}}, "
+                f"not the dropped column {column!r}",
+            )
+        )
+    missing = [c for c in fd.determinant if c not in kept]
+    if missing:
+        out.append(
+            _ra402(
+                name,
+                column,
+                f"FD determinant column(s) {', '.join(missing)} are not "
+                f"retained in the view, so the lookup key cannot be formed",
+            )
+        )
+    if out:
+        return out
+    if not has_constraints:
+        out.append(
+            Diagnostic(
+                "RA403",
+                Severity.INFO,
+                f"{name}: column {column!r} is restored via FD {fd!r}, but no "
+                f"constraints are declared — nothing guarantees the FD holds "
+                f"in the data",
+                data={"template": name, "column": column, "fd": repr(fd)},
+            )
+        )
+    elif not implies(fds, fd):
+        out.append(
+            Diagnostic(
+                "RA403",
+                Severity.WARNING,
+                f"{name}: FD {fd!r} behind the restore policy for column "
+                f"{column!r} is not implied by the declared constraints; "
+                f"the lookup table may be ambiguous and the restored values "
+                f"wrong",
+                data={"template": name, "column": column, "fd": repr(fd)},
+            )
+        )
+    return out
+
+
+def _ra402(name: str, column: str, reason: str) -> Diagnostic:
+    return Diagnostic(
+        "RA402",
+        Severity.ERROR,
+        f"{name}: FdPolicy for column {column!r} cannot restore it — {reason}",
+        data={"template": name, "column": column},
+    )
+
+
+def _check_join(
+    template: JoinTemplate,
+    answers: Mapping[str, object] | None,
+    name: str,
+    constraints: ConstraintSet | None,
+    has_constraints: bool,
+) -> list[Diagnostic]:
+    shared = tuple(
+        a
+        for a in template.left.attribute_names
+        if a in set(template.right.attribute_names)
+    )
+    raw = (answers or {}).get("delete_propagation", "left")
+    choice = raw.value.replace("delete_", "") if hasattr(raw, "value") else str(raw)
+    if choice not in ("left", "right", "both"):
+        return []  # RA401 already reported the invalid option
+    if not has_constraints:
+        return [
+            Diagnostic(
+                "RA404",
+                Severity.INFO,
+                f"{name}: delete propagation {choice!r} cannot be judged safe "
+                f"— no constraints declared; deleting through an input is "
+                f"PutGet-safe only when the join columns "
+                f"({', '.join(shared) or 'none'}) are a key of the other input",
+                data={"template": name, "choice": choice, "join_columns": list(shared)},
+            )
+        ]
+    out: list[Diagnostic] = []
+    # Deleting a LEFT row kills every view row it joins with; that is
+    # exactly one view row iff the join columns key the RIGHT input
+    # (symmetrically for RIGHT; BOTH needs both keys).
+    needs = {
+        "left": [("right", template.right)],
+        "right": [("left", template.left)],
+        "both": [("right", template.right), ("left", template.left)],
+    }[choice]
+    for side, other in needs:
+        if not _is_superkey(shared, other, _fds_for(constraints, other)):
+            out.append(
+                Diagnostic(
+                    "RA404",
+                    Severity.WARNING,
+                    f"{name}: delete propagation {choice!r} breaks PutGet — "
+                    f"the join columns ({', '.join(shared) or 'none'}) are "
+                    f"not a key of {other.name!r}, so one view deletion "
+                    f"cascades to every sibling row joining the same "
+                    f"{side}-side tuple",
+                    data={
+                        "template": name,
+                        "choice": choice,
+                        "join_columns": list(shared),
+                        "not_key_of": other.name,
+                    },
+                )
+            )
+    return out
+
+
+def _is_superkey(
+    columns: Iterable[str],
+    relation: RelationSchema,
+    fds: list[FunctionalDependency],
+) -> bool:
+    relevant = [fd for fd in fds if fd.relation == relation.name]
+    closure = attribute_closure(columns, relevant)
+    return set(relation.attribute_names) <= closure
+
+
+def _check_union(template: UnionTemplate, name: str) -> list[Diagnostic]:
+    if template.left.attribute_names == template.right.attribute_names:
+        return []
+    return [
+        Diagnostic(
+            "RA405",
+            Severity.ERROR,
+            f"{name}: union inputs disagree on columns — "
+            f"{template.left.name}({', '.join(template.left.attribute_names)}) "
+            f"vs {template.right.name}"
+            f"({', '.join(template.right.attribute_names)})",
+            data={
+                "template": name,
+                "left": list(template.left.attribute_names),
+                "right": list(template.right.attribute_names),
+            },
+        )
+    ]
+
+
+def _hint_environment(bundle: AnalysisBundle) -> dict[str, object]:
+    environment = getattr(bundle.hints, "environment", None)
+    return dict(environment) if isinstance(environment, dict) else {}
+
+
+def _check_hints(
+    bundle: AnalysisBundle,
+    has_constraints: bool,
+) -> list[Diagnostic]:
+    """Vet compiler hints: they answer the same questions as template slots."""
+    column_policies = getattr(bundle.hints, "column_policies", None)
+    if not column_policies:
+        return []
+    out: list[Diagnostic] = []
+    environment = _hint_environment(bundle)
+    for (relation_name, column), policy in sorted(
+        column_policies.items(), key=lambda item: item[0]
+    ):
+        label = f"hint column_policies[({relation_name!r}, {column!r})]"
+        if relation_name not in bundle.source:
+            out.append(
+                Diagnostic(
+                    "RA401",
+                    Severity.ERROR,
+                    f"{label}: {relation_name!r} is not a source relation",
+                    data={"relation": relation_name, "column": column},
+                )
+            )
+            continue
+        relation = bundle.source[relation_name]
+        if not relation.has_attribute(column):
+            out.append(
+                Diagnostic(
+                    "RA401",
+                    Severity.ERROR,
+                    f"{label}: relation {relation_name!r} has no column "
+                    f"{column!r}",
+                    data={"relation": relation_name, "column": column},
+                )
+            )
+            continue
+        if isinstance(policy, FdPolicy):
+            kept = tuple(a for a in relation.attribute_names if a != column)
+            out.extend(
+                _check_fd_policy(
+                    policy,
+                    column,
+                    relation,
+                    kept,
+                    label,
+                    _fds_for(bundle.constraints, relation),
+                    has_constraints,
+                )
+            )
+        elif isinstance(policy, EnvironmentPolicy) and policy.key not in environment:
+            out.append(
+                Diagnostic(
+                    "RA406",
+                    Severity.WARNING,
+                    f"{label}: EnvironmentPolicy({policy.key!r}) has no "
+                    f"matching entry in the hint environment — inserts "
+                    f"needing this column will raise PolicyError",
+                    data={"relation": relation_name, "column": column, "key": policy.key},
+                )
+            )
+    return out

@@ -1,0 +1,73 @@
+"""Chase-termination analysis (codes RA101–RA102).
+
+The chase over target tgds terminates on every instance when the set is
+weakly acyclic; otherwise it may loop, inventing fresh nulls forever.
+This pass runs :func:`~repro.mapping.dependencies.weak_acyclicity_witness`
+and, when a special-edge cycle exists, reports **RA101** (error) with the
+cycle as both human text and a structured ``data["cycle"]`` payload —
+the same witness :class:`~repro.mapping.chase.ChaseNonTermination`
+embeds when the chase actually blows past its step budget.  When the set
+is weakly acyclic (and non-empty), **RA102** (info) records the
+polynomial-time termination guarantee.
+"""
+
+from __future__ import annotations
+
+from ..mapping.dependencies import TargetTgd, weak_acyclicity_witness
+from .bundle import AnalysisBundle
+from .diagnostics import Diagnostic, Severity
+from .registry import register
+
+
+@register(
+    "termination",
+    ("RA101", "RA102"),
+    "weak acyclicity of target tgds, with an explanatory cycle witness",
+)
+def check_termination(bundle: AnalysisBundle) -> list[Diagnostic]:
+    target_tgds = [
+        d for d in bundle.target_dependencies if isinstance(d, TargetTgd)
+    ]
+    if not target_tgds:
+        return []
+    witness = weak_acyclicity_witness(target_tgds)
+    if witness is None:
+        return [
+            Diagnostic(
+                "RA102",
+                Severity.INFO,
+                f"target tgds are weakly acyclic; the chase terminates in "
+                f"polynomial time on every instance "
+                f"({len(target_tgds)} target tgd(s) checked)",
+            )
+        ]
+    # Attribute the finding to the tgd that owns the special edge, when
+    # the witness knows which one it was.
+    span = None
+    if witness.tgd_index is not None:
+        dep_index = _dependency_index(bundle, target_tgds, witness.tgd_index)
+        if dep_index is not None:
+            span = bundle.span_for_dependency(dep_index)
+    return [
+        Diagnostic(
+            "RA101",
+            Severity.ERROR,
+            f"target tgds are not weakly acyclic — the chase may not "
+            f"terminate; special-edge cycle: {witness.describe()}",
+            span,
+            data={"cycle": witness.as_dict()},
+        )
+    ]
+
+
+def _dependency_index(
+    bundle: AnalysisBundle, target_tgds: list[TargetTgd], tgd_index: int
+) -> int | None:
+    """Map an index into *target_tgds* back to ``bundle.target_dependencies``."""
+    if not (0 <= tgd_index < len(target_tgds)):
+        return None
+    wanted = target_tgds[tgd_index]
+    for index, dependency in enumerate(bundle.target_dependencies):
+        if dependency is wanted:
+            return index
+    return None

@@ -14,6 +14,11 @@ Usage (also via ``python -m repro``)::
     repro questions --schemas schemas.json --mapping mapping.tgd
     repro profile   --schemas schemas.json --mapping mapping.tgd \
                     --data source.json            # span tree + metrics
+    repro lint      --schemas schemas.json --mapping mapping.tgd \
+                    [--target-deps deps.tgd] [--json]   # static analysis
+
+``lint`` exits 0 when the mapping is clean (or has only informational
+findings), 1 on warnings, 2 on errors — see docs/ANALYSIS.md.
 
 Every subcommand also accepts ``--trace`` (print the span tree and
 metric summary to stderr) and ``--trace-json FILE`` (write the trace as
@@ -36,8 +41,12 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+from .analysis import AnalysisBundle, AnalysisReport, Diagnostic, Severity, analyze
 from .compiler import ExchangeEngine, check_completeness
+from .logic.parser import ParseError, parse_rules_spanned
 from .mapping import SchemaMapping, universal_solution
+from .mapping.dependencies import target_dependency_from_rule
+from .mapping.sttgd import StTgd
 from .obs import (
     MetricsRegistry,
     Tracer,
@@ -202,6 +211,82 @@ def cmd_check(args: argparse.Namespace) -> int:
     return 0 if report.complete else 1
 
 
+def _parse_diagnostic(exc: ParseError | ValueError, source: str) -> Diagnostic:
+    """RA000 — the text never reached the analyser (syntax/shape error)."""
+    span = getattr(exc, "span", None)
+    return Diagnostic(
+        "RA000",
+        Severity.ERROR,
+        str(exc),
+        span,
+        "parse",
+        {"source": source},
+    )
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Statically analyse a mapping without running any exchange.
+
+    Unlike the other subcommands, lint keeps going on bad input: parse
+    failures and schema violations become RA000/RA006 diagnostics instead
+    of hard CLI errors, so one run reports everything it can find.
+    """
+    source_schema, target_schema = load_schemas(args.schemas)
+    diagnostics: list[Diagnostic] = []
+
+    try:
+        mapping_text = Path(args.mapping).read_text()
+    except FileNotFoundError:
+        raise CliError(f"file not found: {args.mapping}")
+    tgds: list[StTgd] = []
+    tgd_spans = []
+    try:
+        spanned = parse_rules_spanned(mapping_text, source=args.mapping)
+    except ParseError as exc:
+        diagnostics.append(_parse_diagnostic(exc, args.mapping))
+        spanned = []
+    for item in spanned:
+        try:
+            tgds.append(StTgd.from_parsed(item.rule))
+            tgd_spans.append(item.span)
+        except ValueError as exc:
+            diagnostics.append(_parse_diagnostic(exc, args.mapping))
+
+    dependencies = []
+    dependency_spans = []
+    if args.target_deps:
+        try:
+            deps_text = Path(args.target_deps).read_text()
+        except FileNotFoundError:
+            raise CliError(f"file not found: {args.target_deps}")
+        try:
+            spanned_deps = parse_rules_spanned(deps_text, source=args.target_deps)
+        except ParseError as exc:
+            diagnostics.append(_parse_diagnostic(exc, args.target_deps))
+            spanned_deps = []
+        for item in spanned_deps:
+            try:
+                dependencies.append(target_dependency_from_rule(item.rule))
+                dependency_spans.append(item.span)
+            except ValueError as exc:
+                diagnostics.append(_parse_diagnostic(exc, args.target_deps))
+
+    bundle = AnalysisBundle(
+        source_schema,
+        target_schema,
+        tgds,
+        tgd_spans,
+        dependencies,
+        dependency_spans,
+    )
+    report = analyze(bundle).merged_with(AnalysisReport(diagnostics))
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return report.exit_code()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -256,6 +341,23 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("check", help="run the completeness check")
     common(p, data=True)
     p.set_defaults(handler=cmd_check)
+
+    p = sub.add_parser(
+        "lint",
+        help="statically analyse the mapping; exit 0 clean / 1 warnings / 2 errors",
+    )
+    common(p)
+    p.add_argument(
+        "--target-deps",
+        metavar="FILE",
+        help="target dependencies (egds / target tgds), one rule per line",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON (see docs/ANALYSIS.md for the shape)",
+    )
+    p.set_defaults(handler=cmd_lint)
 
     p = sub.add_parser(
         "profile",

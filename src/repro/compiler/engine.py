@@ -204,7 +204,7 @@ class ExchangeEngine:
         with get_tracer().span("compile", tgds=len(mapping.tgds)) as span:
             planner = Planner(statistics, config or PlannerConfig())
             units = planner.plan_mapping(mapping, hints)
-            plan = MappingPlan(units, statistics, hints)
+            plan = MappingPlan(units, statistics, hints, mapping)
             lens = ExchangeLens(
                 mapping.source,
                 mapping.target,

@@ -63,11 +63,16 @@ def render_expression(expression: AlgebraExpression, indent: int = 0) -> list[st
 
 @dataclass
 class MappingPlan:
-    """A compiled mapping: its units, hints, and statistics snapshot."""
+    """A compiled mapping: its units, hints, and statistics snapshot.
+
+    ``mapping`` (when the compiler supplies it) lets :meth:`explain` run
+    the static analyser and append its diagnostics to the show-plan text.
+    """
 
     units: list[CompiledTgd]
     statistics: Statistics
     hints: Hints = field(default_factory=Hints)
+    mapping: object | None = None  # SchemaMapping; optional to keep layering light
 
     def unit(self, tgd_id: str) -> CompiledTgd:
         for candidate in self.units:
@@ -199,8 +204,9 @@ class MappingPlan:
         gathered statistics" needs.  Units never executed show ``—``.
         """
         text = self.show()
+        analysis = self._analysis_section()
         if not verbose:
-            return text
+            return "\n".join([text] + analysis) if analysis else text
         from ..obs import get_registry
 
         registry = get_registry()
@@ -223,7 +229,19 @@ class MappingPlan:
                 f"   {unit.tgd_id}: inputs {', '.join(parts)}; "
                 f"estimated ≤ {estimated} facts, observed = {observed}"
             )
+        lines.extend(self._analysis_section())
         return "\n".join(lines)
+
+    def _analysis_section(self) -> list[str]:
+        """Analyser diagnostics for the plan's mapping (empty when unknown)."""
+        if self.mapping is None:
+            return []
+        from ..analysis import analyze_mapping
+
+        report = analyze_mapping(self.mapping, hints=self.hints)
+        lines = [f"── analyzer diagnostics: {report.summary()}"]
+        lines.extend(f"   {diagnostic.render()}" for diagnostic in report)
+        return lines
 
     def __repr__(self) -> str:
         return f"MappingPlan({len(self.units)} units)"

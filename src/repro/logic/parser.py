@@ -52,33 +52,124 @@ _TOKEN_RE = re.compile(
 )
 
 
+def _line_col(text: str, offset: int) -> tuple[int, int]:
+    """1-based (line, column) of *offset* within *text*."""
+    line = text.count("\n", 0, offset) + 1
+    last_newline = text.rfind("\n", 0, offset)
+    return line, offset - last_newline
+
+
+@dataclass(frozen=True)
+class Span:
+    """A source location: 1-based line/column plus the text it covers.
+
+    ``source`` is a file name or other label (``None`` for ad-hoc
+    strings); ``text`` is the rule (or token) text at the location.
+    Spans flow from the parser into :mod:`repro.analysis` diagnostics.
+    """
+
+    line: int
+    column: int
+    source: str | None = None
+    text: str = ""
+
+    def location(self) -> str:
+        """``file:line:column`` (or ``line:column`` without a source)."""
+        prefix = f"{self.source}:" if self.source else ""
+        return f"{prefix}{self.line}:{self.column}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "source": self.source,
+            "line": self.line,
+            "column": self.column,
+            "text": self.text,
+        }
+
+    def __repr__(self) -> str:
+        return f"Span({self.location()})"
+
+
 @dataclass(frozen=True)
 class Token:
     kind: str
     text: str
     position: int
+    line: int = 1
+    column: int = 1
 
 
 class ParseError(ValueError):
-    """Raised on malformed dependency text."""
+    """Raised on malformed dependency text.
+
+    Carries the error position when known: ``offset`` (0-based character
+    offset), ``line`` / ``column`` (1-based), and ``source`` (file name
+    or ``None``).  The message always embeds the line/column so bare
+    ``str(exc)`` stays actionable.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        offset: int | None = None,
+        line: int | None = None,
+        column: int | None = None,
+        source: str | None = None,
+    ) -> None:
+        self.offset = offset
+        self.line = line
+        self.column = column
+        self.source = source
+        if line is not None:
+            where = f"{source}:" if source else ""
+            message = f"{message} ({where}line {line}, column {column})"
+        super().__init__(message)
+
+    @property
+    def span(self) -> Span | None:
+        """The error location as a :class:`Span` (``None`` if unknown)."""
+        if self.line is None:
+            return None
+        return Span(self.line, self.column or 1, self.source)
 
 
-def _tokenize(text: str) -> list[Token]:
+def _tokenize(
+    text: str,
+    *,
+    source: str | None = None,
+    full_text: str | None = None,
+    base_offset: int = 0,
+) -> list[Token]:
+    """Tokenize *text*; positions are absolute within *full_text*.
+
+    When tokenizing one chunk of a multi-rule block, *full_text* and
+    *base_offset* situate the chunk so line/column numbers refer to the
+    original block (and hence the original file).
+    """
+    context = full_text if full_text is not None else text
     tokens: list[Token] = []
     pos = 0
     while pos < len(text):
         match = _TOKEN_RE.match(text, pos)
         if match is None:
-            raise ParseError(f"unexpected character {text[pos]!r} at offset {pos}")
+            line, column = _line_col(context, base_offset + pos)
+            raise ParseError(
+                f"unexpected character {text[pos]!r}",
+                offset=base_offset + pos,
+                line=line,
+                column=column,
+                source=source,
+            )
         kind = match.lastgroup or ""
-        if kind == "string":
-            # normalize: includes the inner second group for floats
-            pass
         if kind != "ws":
             token_kind = kind if kind != "sym" else match.group(0)
             if kind in ("arrow", "neq"):
                 token_kind = match.group(0)
-            tokens.append(Token(token_kind, match.group(0), pos))
+            line, column = _line_col(context, base_offset + pos)
+            tokens.append(
+                Token(token_kind, match.group(0), base_offset + pos, line, column)
+            )
         pos = match.end()
     return tokens
 
@@ -105,12 +196,34 @@ class ParsedRule:
 
 
 class _Parser:
-    def __init__(self, text: str) -> None:
-        self._tokens = _tokenize(text)
+    def __init__(
+        self,
+        text: str,
+        *,
+        source: str | None = None,
+        full_text: str | None = None,
+        base_offset: int = 0,
+    ) -> None:
+        self._source = source
+        self._context = full_text if full_text is not None else text
+        self._base_offset = base_offset
+        self._tokens = _tokenize(
+            text, source=source, full_text=full_text, base_offset=base_offset
+        )
         self._index = 0
         self._text = text
 
     # -- token helpers -----------------------------------------------------
+
+    def _error(self, message: str, token: Token | None = None) -> ParseError:
+        if token is None:
+            offset = self._base_offset + len(self._text)
+            line, column = _line_col(self._context, offset)
+        else:
+            offset, line, column = token.position, token.line, token.column
+        return ParseError(
+            message, offset=offset, line=line, column=column, source=self._source
+        )
 
     def _peek(self) -> Token | None:
         if self._index < len(self._tokens):
@@ -120,15 +233,15 @@ class _Parser:
     def _next(self) -> Token:
         token = self._peek()
         if token is None:
-            raise ParseError(f"unexpected end of input in {self._text!r}")
+            raise self._error(f"unexpected end of input in {self._text.strip()!r}")
         self._index += 1
         return token
 
     def _expect(self, kind: str) -> Token:
         token = self._next()
         if token.kind != kind:
-            raise ParseError(
-                f"expected {kind!r} but found {token.text!r} at offset {token.position}"
+            raise self._error(
+                f"expected {kind!r} but found {token.text!r}", token
             )
         return token
 
@@ -145,20 +258,16 @@ class _Parser:
         while self._at("|"):
             self._next()
             branches.append(self._branch())
-        if self._peek() is not None:
-            token = self._peek()
-            raise ParseError(
-                f"trailing input {token.text!r} at offset {token.position}"  # type: ignore[union-attr]
-            )
+        token = self._peek()
+        if token is not None:
+            raise self._error(f"trailing input {token.text!r}", token)
         return ParsedRule(lhs, tuple(branches))
 
     def parse_conjunction(self) -> Conjunction:
         result = self._conjunction()
-        if self._peek() is not None:
-            token = self._peek()
-            raise ParseError(
-                f"trailing input {token.text!r} at offset {token.position}"  # type: ignore[union-attr]
-            )
+        token = self._peek()
+        if token is not None:
+            raise self._error(f"trailing input {token.text!r}", token)
         return result
 
     def _branch(self) -> tuple[tuple[Var, ...], Conjunction]:
@@ -183,7 +292,7 @@ class _Parser:
     def _literal(self) -> Literal:
         token = self._peek()
         if token is None:
-            raise ParseError("expected a literal, found end of input")
+            raise self._error("expected a literal, found end of input")
         if token.kind == "name" and token.text[0].isupper():
             return self._atom_or_constant_predicate()
         # term (in)equality
@@ -193,10 +302,11 @@ class _Parser:
             return Equality(left, self._term())
         if op.kind == "!=":
             return Inequality(left, self._term())
-        raise ParseError(f"expected '=' or '!=' at offset {op.position}")
+        raise self._error("expected '=' or '!='", op)
 
     def _atom_or_constant_predicate(self) -> Literal:
-        name = self._expect("name").text
+        name_token = self._expect("name")
+        name = name_token.text
         self._expect("(")
         terms = [self._term()]
         while self._at(","):
@@ -205,7 +315,7 @@ class _Parser:
         self._expect(")")
         if name == "C":
             if len(terms) != 1:
-                raise ParseError("C() takes exactly one argument")
+                raise self._error("C() takes exactly one argument", name_token)
             return ConstantPredicate(terms[0])
         return Atom(name, tuple(terms))
 
@@ -228,17 +338,48 @@ class _Parser:
                 self._expect(")")
                 return FuncTerm(token.text, tuple(args))
             if token.text[0].isupper():
-                raise ParseError(
-                    f"{token.text!r} looks like a relation name used as a term "
-                    f"at offset {token.position}; quote string constants"
+                raise self._error(
+                    f"{token.text!r} looks like a relation name used as a term; "
+                    f"quote string constants",
+                    token,
                 )
             return Var(token.text)
-        raise ParseError(f"expected a term at offset {token.position}, got {token.text!r}")
+        raise self._error(f"expected a term, got {token.text!r}", token)
 
 
-def parse_rule(text: str) -> ParsedRule:
+@dataclass(frozen=True)
+class SpannedRule:
+    """A parsed rule together with its source location."""
+
+    rule: ParsedRule
+    span: Span
+
+
+def parse_rule(text: str, source: str | None = None) -> ParsedRule:
     """Parse one dependency rule (tgd or disjunctive rule)."""
-    return _Parser(text).parse_rule()
+    return _Parser(text, source=source).parse_rule()
+
+
+def parse_rules_spanned(text: str, source: str | None = None) -> list[SpannedRule]:
+    """Parse a block of rules, keeping each rule's source span.
+
+    Rules are separated by newlines or ``;``; lines starting with ``#``
+    are comments.  Parse errors carry the absolute line/column within the
+    block, so errors in a ``.tgd`` file point at the real file position.
+    """
+    rules: list[SpannedRule] = []
+    for match in re.finditer(r"[^;\n]+", text):
+        chunk = match.group(0)
+        stripped = chunk.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        leading = len(chunk) - len(chunk.lstrip())
+        line, column = _line_col(text, match.start() + leading)
+        rule = _Parser(
+            chunk, source=source, full_text=text, base_offset=match.start()
+        ).parse_rule()
+        rules.append(SpannedRule(rule, Span(line, column, source, stripped)))
+    return rules
 
 
 def parse_rules(text: str) -> list[ParsedRule]:
@@ -246,13 +387,7 @@ def parse_rules(text: str) -> list[ParsedRule]:
 
     Lines starting with ``#`` are comments; ``;`` also separates rules.
     """
-    rules = []
-    for chunk in re.split(r"[;\n]", text):
-        chunk = chunk.strip()
-        if not chunk or chunk.startswith("#"):
-            continue
-        rules.append(parse_rule(chunk))
-    return rules
+    return [spanned.rule for spanned in parse_rules_spanned(text)]
 
 
 def parse_conjunction(text: str) -> Conjunction:

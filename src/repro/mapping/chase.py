@@ -35,7 +35,13 @@ from ..relational.homomorphism import core as core_of
 from ..relational.instance import Fact, Instance
 from ..relational.schema import Schema
 from ..relational.values import NullFactory, Value, is_constant, max_null_label
-from .dependencies import Egd, TargetDependency, TargetTgd
+from .dependencies import (
+    Egd,
+    PositionCycle,
+    TargetDependency,
+    TargetTgd,
+    weak_acyclicity_witness,
+)
 from .sttgd import SchemaMapping, StTgd
 
 
@@ -59,10 +65,14 @@ class ChaseFailure(Exception):
 class ChaseNonTermination(Exception):
     """The target-dependency chase exceeded its step limit.
 
-    Like :class:`ChaseFailure`, carries partial ``statistics``.
+    Like :class:`ChaseFailure`, carries partial ``statistics``; when the
+    target tgds fail the weak-acyclicity test, ``witness`` holds the
+    offending :class:`~repro.mapping.dependencies.PositionCycle` (the
+    same cycle ``repro lint`` reports as RA101).
     """
 
     statistics: "ChaseStatistics | None" = None
+    witness: "PositionCycle | None" = None
 
 
 @dataclass
@@ -250,12 +260,26 @@ def _chase_target_dependencies(
                     fired_this_round += 1
                     steps += 1
                     if steps > max_steps:
-                        raise ChaseNonTermination(
-                            f"target chase exceeded {max_steps} steps; "
-                            f"check weak acyclicity of the target tgds"
-                        )
+                        raise _non_termination(dependencies, max_steps)
             span.set(firings=fired_this_round, facts=target.size())
     return target
+
+
+def _non_termination(
+    dependencies: Sequence[TargetDependency], max_steps: int
+) -> ChaseNonTermination:
+    """A :class:`ChaseNonTermination` carrying the diagnosis when one exists."""
+    target_tgds = [d for d in dependencies if isinstance(d, TargetTgd)]
+    witness = weak_acyclicity_witness(target_tgds)
+    message = (
+        f"target chase exceeded {max_steps} steps; "
+        f"run `repro lint` on the mapping to diagnose non-termination"
+    )
+    if witness is not None:
+        message += f" (special-edge cycle: {witness.describe()})"
+    exc = ChaseNonTermination(message)
+    exc.witness = witness
+    return exc
 
 
 def _egd_step(target: Instance, egd: Egd, stats: ChaseStatistics) -> tuple[Instance, bool]:

@@ -12,7 +12,7 @@ decides via the standard dependency-graph construction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence, Union
+from typing import Iterable, Iterator, Sequence, Union
 
 from ..logic.evaluation import evaluate
 from ..logic.formulas import Atom, Conjunction
@@ -113,29 +113,39 @@ def egd_from_key(key: KeyConstraint, schema: Schema) -> list[Egd]:
     return egd_from_fd(key.as_fd(schema), schema)
 
 
-def is_weakly_acyclic(tgds: Sequence[TargetTgd], schema: Schema) -> bool:
-    """Weak-acyclicity of a set of target tgds.
+Position = tuple[str, int]
+"""A position ``(relation name, 0-based attribute index)`` of the
+dependency graph the weak-acyclicity test is run over."""
 
-    Build the dependency graph over positions ``(relation, index)``: for
-    each tgd and each premise position holding a universal variable ``x``
-    exported to the conclusion, add a *regular* edge to every conclusion
-    position holding ``x``, and a *special* edge to every conclusion
-    position holding an existential variable of the same tgd.  The set is
-    weakly acyclic iff no cycle passes through a special edge — and then
-    the standard chase terminates on every instance.
+
+def dependency_graph(
+    tgds: Sequence[TargetTgd],
+) -> tuple[
+    dict[Position, set[Position]],
+    dict[Position, set[Position]],
+    dict[tuple[Position, Position], tuple[int, str]],
+]:
+    """The position dependency graph of *tgds*.
+
+    Returns ``(regular, special, provenance)``: adjacency maps for the
+    regular and special edges, plus, for every special edge, the
+    ``(tgd index, existential variable name)`` that introduced it.
     """
-    Position = tuple[str, int]
     regular: dict[Position, set[Position]] = {}
     special: dict[Position, set[Position]] = {}
+    provenance: dict[tuple[Position, Position], tuple[int, str]] = {}
 
     def add(edges: dict[Position, set[Position]], a: Position, b: Position) -> None:
         edges.setdefault(a, set()).add(b)
 
-    for tgd in tgds:
+    for index, tgd in enumerate(tgds):
         existentials = set(tgd.existential_variables)
+        conclusion_vars = set(tgd.conclusion.variables())
         for premise_atom in tgd.premise.atoms():
             for i, term in enumerate(premise_atom.terms):
-                if not isinstance(term, Var):
+                # Edges originate only at positions of universal variables
+                # that are exported to the conclusion (Fagin et al.).
+                if not isinstance(term, Var) or term not in conclusion_vars:
                     continue
                 src: Position = (premise_atom.relation, i)
                 for conclusion_atom in tgd.conclusion.atoms():
@@ -145,23 +155,211 @@ def is_weakly_acyclic(tgds: Sequence[TargetTgd], schema: Schema) -> bool:
                             add(regular, src, dst)
                         elif isinstance(cterm, Var) and cterm in existentials:
                             add(special, src, dst)
+                            provenance.setdefault((src, dst), (index, cterm.name))
+    return regular, special, provenance
 
-    # Find a cycle through a special edge: for each special edge (a, b),
-    # check whether b reaches a through regular ∪ special edges.
-    def reaches(start: Position, goal: Position) -> bool:
-        stack, seen = [start], {start}
-        while stack:
-            node = stack.pop()
-            if node == goal:
-                return True
-            for nxt in regular.get(node, set()) | special.get(node, set()):
-                if nxt not in seen:
-                    seen.add(nxt)
-                    stack.append(nxt)
-        return False
 
-    return not any(
-        reaches(b, a) for a, succs in special.items() for b in succs
+@dataclass(frozen=True)
+class PositionCycle:
+    """A witness that a set of target tgds is **not** weakly acyclic.
+
+    ``positions`` lists the cycle ``p₀ → p₁ → … → pₙ₋₁ → p₀``;
+    ``labels[i]`` marks the edge leaving ``positions[i]`` as ``"special"``
+    or ``"regular"``.  ``tgd_index`` / ``existential`` identify the tgd
+    (index into the analysed sequence) and the existential variable whose
+    special edge the cycle passes through — the chase step that keeps
+    inventing fresh nulls forever.
+    """
+
+    positions: tuple[Position, ...]
+    labels: tuple[str, ...]
+    tgd_index: int
+    existential: str
+
+    def describe(self) -> str:
+        """The cycle as ``(R, i) --∃--> (S, j) ----> (R, i)``."""
+        parts = []
+        for position, label in zip(self.positions, self.labels):
+            arrow = "--∃-->" if label == "special" else "---->"
+            parts.append(f"({position[0]}, {position[1]}) {arrow}")
+        first = self.positions[0]
+        return " ".join(parts) + f" ({first[0]}, {first[1]})"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "positions": [list(p) for p in self.positions],
+            "labels": list(self.labels),
+            "tgd_index": self.tgd_index,
+            "existential": self.existential,
+        }
+
+    def __repr__(self) -> str:
+        return f"PositionCycle({self.describe()})"
+
+
+def _strongly_connected_components(
+    nodes: Iterable[Position], successors: dict[Position, set[Position]]
+) -> dict[Position, int]:
+    """Tarjan's SCC algorithm, iterative; maps each node to its SCC id."""
+    index_of: dict[Position, int] = {}
+    lowlink: dict[Position, int] = {}
+    component: dict[Position, int] = {}
+    stack: list[Position] = []
+    on_stack: set[Position] = set()
+    counter = 0
+    components = 0
+
+    for root in nodes:
+        if root in index_of:
+            continue
+        work: list[tuple[Position, Iterator[Position]]] = []
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        work.append((root, iter(successors.get(root, ()))))
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index_of:
+                    index_of[child] = lowlink[child] = counter
+                    counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(successors.get(child, ()))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component[member] = components
+                    if member == node:
+                        break
+                components += 1
+    return component
+
+
+def weak_acyclicity_witness(tgds: Sequence[TargetTgd]) -> PositionCycle | None:
+    """A special-edge cycle of the dependency graph, or ``None``.
+
+    ``None`` means the tgds are weakly acyclic (the chase terminates on
+    every instance).  A cycle passes through a special edge iff both
+    endpoints of some special edge share a strongly connected component
+    of the combined graph, so one SCC pass — O(V + E) — replaces the
+    per-special-edge reachability searches of the naive test; the path
+    closing the witness cycle is then recovered with a single BFS inside
+    that component.
+    """
+    regular, special, provenance = dependency_graph(tgds)
+    combined: dict[Position, set[Position]] = {}
+    for edges in (regular, special):
+        for src, dsts in edges.items():
+            combined.setdefault(src, set()).update(dsts)
+    nodes: set[Position] = set(combined)
+    for dsts in combined.values():
+        nodes |= dsts
+    component = _strongly_connected_components(sorted(nodes), combined)
+
+    for src in sorted(special):
+        for dst in sorted(special[src]):
+            if component[src] != component[dst]:
+                continue
+            # Close the cycle: BFS from dst back to src inside the SCC.
+            path = _path_within_component(dst, src, combined, component)
+            positions = (src, *path[:-1])
+            labels = ["special"]
+            for a, b in zip(path, path[1:]):
+                labels.append("special" if b in special.get(a, ()) else "regular")
+            tgd_index, existential = provenance[(src, dst)]
+            return PositionCycle(tuple(positions), tuple(labels), tgd_index, existential)
+    return None
+
+
+def _path_within_component(
+    start: Position,
+    goal: Position,
+    successors: dict[Position, set[Position]],
+    component: dict[Position, int],
+) -> list[Position]:
+    """Shortest path ``start → … → goal`` staying inside start's SCC."""
+    if start == goal:
+        return [start]
+    scc = component[start]
+    parents: dict[Position, Position] = {}
+    frontier = [start]
+    while frontier:
+        next_frontier: list[Position] = []
+        for node in frontier:
+            for child in sorted(successors.get(node, ())):
+                if component.get(child) != scc or child in parents or child == start:
+                    continue
+                parents[child] = node
+                if child == goal:
+                    path = [goal]
+                    while path[-1] != start:
+                        path.append(parents[path[-1]])
+                    return list(reversed(path))
+                next_frontier.append(child)
+        frontier = next_frontier
+    raise AssertionError("no path within SCC — components were inconsistent")
+
+
+def is_weakly_acyclic(tgds: Sequence[TargetTgd], schema: Schema | None = None) -> bool:
+    """Weak-acyclicity of a set of target tgds.
+
+    Build the dependency graph over positions ``(relation, index)``: for
+    each tgd and each premise position holding a universal variable ``x``
+    exported to the conclusion, add a *regular* edge to every conclusion
+    position holding ``x``, and a *special* edge to every conclusion
+    position holding an existential variable of the same tgd.  The set is
+    weakly acyclic iff no cycle passes through a special edge — and then
+    the standard chase terminates on every instance.
+
+    Thin wrapper over :func:`weak_acyclicity_witness`, which additionally
+    reports the offending cycle; *schema* is accepted for backward
+    compatibility and unused (the graph is determined by the tgds alone).
+    """
+    return weak_acyclicity_witness(tgds) is None
+
+
+def target_dependency_from_rule(rule) -> TargetDependency:
+    """Interpret a parsed rule as a target dependency.
+
+    A rule whose conclusion is a single equality between two premise
+    variables becomes an :class:`Egd` (``E(x, y), E(x, z) -> y = z``);
+    a rule whose conclusion is all atoms becomes a :class:`TargetTgd`.
+    Anything else (disjunctions, mixed conclusions) is rejected.
+    """
+    from ..logic.formulas import Atom, Equality
+    from ..logic.parser import ParsedRule
+
+    assert isinstance(rule, ParsedRule)
+    if rule.is_disjunctive:
+        raise ValueError("target dependencies cannot have disjunctive conclusions")
+    _, conclusion = rule.single_rhs()
+    literals = conclusion.literals
+    if len(literals) == 1 and isinstance(literals[0], Equality):
+        equality = literals[0]
+        if not (isinstance(equality.left, Var) and isinstance(equality.right, Var)):
+            raise ValueError(
+                f"egd conclusion must equate two variables; got {equality!r}"
+            )
+        return Egd(rule.lhs, equality.left, equality.right)
+    if all(isinstance(lit, Atom) for lit in literals):
+        return TargetTgd(rule.lhs, conclusion)
+    raise ValueError(
+        f"target dependency conclusion must be atoms or a single equality; "
+        f"got {conclusion!r}"
     )
 
 

@@ -1,0 +1,66 @@
+"""Tests for the composability pass (RA201) and pairwise diagnosis (RA202–204)."""
+
+from repro.analysis import AnalysisBundle, analyze, composition_obstructions
+from repro.mapping.sttgd import SchemaMapping, StTgd
+from repro.relational import relation, schema
+
+
+class TestBundlePass:
+    def test_full_mapping_is_silent(self):
+        src = schema(relation("A", "x"))
+        tgt = schema(relation("B", "x"))
+        bundle = AnalysisBundle(src, tgt, [StTgd.parse("A(x) -> B(x)")])
+        report = analyze(bundle, passes=["composability"])
+        assert len(report) == 0
+
+    def test_existentials_reported_as_info(self):
+        src = schema(relation("A", "x"))
+        tgt = schema(relation("B", "x", "y"))
+        bundle = AnalysisBundle(
+            src, tgt, [StTgd.parse("A(x) -> exists y . B(x, y)")]
+        )
+        report = analyze(bundle, passes=["composability"])
+        found = report.with_code("RA201")
+        assert len(found) == 1
+        assert found[0].severity.value == "info"
+        assert found[0].data["non_full_tgds"] == [0]
+
+
+class TestCompositionObstructions:
+    def _example2(self):
+        """The paper's Example 2: Emp → Boss(∃) then self-manager test."""
+        a = schema(relation("Emp", "e"))
+        b = schema(relation("Boss", "e", "m"))
+        c = schema(relation("SelfMngr", "e"))
+        first = SchemaMapping(
+            a, b, [StTgd.parse("Emp(x) -> exists m . Boss(x, m)")]
+        )
+        second = SchemaMapping(b, c, [StTgd.parse("Boss(x, x) -> SelfMngr(x)")])
+        return first, second
+
+    def test_schema_mismatch_is_ra203_error(self):
+        a = schema(relation("Emp", "e"))
+        b = schema(relation("Boss", "e", "m"))
+        c = schema(relation("Other", "o"))
+        first = SchemaMapping(a, b, [StTgd.parse("Emp(x) -> exists m . Boss(x, m)")])
+        second = SchemaMapping(c, a, [StTgd.parse("Other(x) -> Emp(x)")])
+        found = composition_obstructions(first, second)
+        assert [d.code for d in found] == ["RA203"]
+        assert found[0].severity.value == "error"
+
+    def test_example2_requires_sotgds(self):
+        first, second = self._example2()
+        found = composition_obstructions(first, second)
+        assert [d.code for d in found] == ["RA202"]
+        assert found[0].severity.value == "warning"
+        assert "SO-tgd" in found[0].message
+
+    def test_full_first_mapping_stays_first_order(self):
+        a = schema(relation("Emp", "e"))
+        b = schema(relation("Person", "p"))
+        c = schema(relation("Human", "h"))
+        first = SchemaMapping(a, b, [StTgd.parse("Emp(x) -> Person(x)")])
+        second = SchemaMapping(b, c, [StTgd.parse("Person(x) -> Human(x)")])
+        found = composition_obstructions(first, second)
+        assert [d.code for d in found] == ["RA204"]
+        assert found[0].severity.value == "info"

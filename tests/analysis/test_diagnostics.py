@@ -1,0 +1,97 @@
+"""Tests for the diagnostics data model: codes, severities, reports."""
+
+import json
+
+from repro.analysis import AnalysisReport, Diagnostic, Severity
+from repro.logic.parser import Span
+
+
+def diag(code, severity, message="m", span=None):
+    return Diagnostic(code, severity, message, span)
+
+
+class TestSeverity:
+    def test_ranks_order_worst_first(self):
+        assert Severity.ERROR.rank < Severity.WARNING.rank < Severity.INFO.rank
+
+    def test_values_are_json_friendly(self):
+        assert [s.value for s in Severity] == ["error", "warning", "info"]
+
+
+class TestDiagnostic:
+    def test_render_without_span(self):
+        d = diag("RA001", Severity.ERROR, "unsafe variable")
+        assert d.render() == "error RA001: unsafe variable"
+
+    def test_render_with_span(self):
+        span = Span(line=3, column=7, source="m.tgd", text="A(x) -> B(x)")
+        d = diag("RA101", Severity.ERROR, "cycle", span)
+        assert d.render() == "m.tgd:3:7: error RA101: cycle"
+
+    def test_as_dict_round_trips_through_json(self):
+        span = Span(line=1, column=1, source="m.tgd", text="A(x) -> B(x)")
+        d = Diagnostic("RA002", Severity.INFO, "msg", span, "safety", {"k": [1]})
+        payload = json.loads(json.dumps(d.as_dict()))
+        assert payload["code"] == "RA002"
+        assert payload["severity"] == "info"
+        assert payload["pass"] == "safety"
+        assert payload["span"]["line"] == 1
+        assert payload["data"] == {"k": [1]}
+
+
+class TestAnalysisReport:
+    def test_orders_worst_first(self):
+        report = AnalysisReport(
+            [
+                diag("RA002", Severity.INFO),
+                diag("RA101", Severity.ERROR),
+                diag("RA403", Severity.WARNING),
+            ]
+        )
+        assert [d.code for d in report] == ["RA101", "RA403", "RA002"]
+
+    def test_exit_codes(self):
+        assert AnalysisReport([]).exit_code() == 0
+        assert AnalysisReport([diag("RA002", Severity.INFO)]).exit_code() == 0
+        assert AnalysisReport([diag("RA403", Severity.WARNING)]).exit_code() == 1
+        assert (
+            AnalysisReport(
+                [diag("RA403", Severity.WARNING), diag("RA101", Severity.ERROR)]
+            ).exit_code()
+            == 2
+        )
+
+    def test_clean_summary(self):
+        assert "clean" in AnalysisReport([]).summary()
+
+    def test_summary_counts(self):
+        report = AnalysisReport(
+            [diag("RA101", Severity.ERROR), diag("RA002", Severity.INFO)]
+        )
+        assert report.summary() == "1 error(s), 0 warning(s), 1 info(s)"
+
+    def test_selectors(self):
+        report = AnalysisReport(
+            [diag("RA101", Severity.ERROR), diag("RA002", Severity.INFO)]
+        )
+        assert [d.code for d in report.errors] == ["RA101"]
+        assert report.warnings == []
+        assert [d.code for d in report.with_code("RA002")] == ["RA002"]
+
+    def test_json_shape(self):
+        report = AnalysisReport([diag("RA101", Severity.ERROR)])
+        payload = json.loads(report.to_json())
+        assert set(payload) == {"diagnostics", "summary"}
+        assert payload["summary"] == {
+            "errors": 1,
+            "warnings": 0,
+            "infos": 0,
+            "exit_code": 2,
+        }
+
+    def test_merged_with(self):
+        a = AnalysisReport([diag("RA002", Severity.INFO)])
+        b = AnalysisReport([diag("RA101", Severity.ERROR)])
+        merged = a.merged_with(b)
+        assert len(merged) == 2
+        assert merged.exit_code() == 2

@@ -1,0 +1,98 @@
+"""Tests for the invertibility pass (RA301–RA304; paper Example 3)."""
+
+from repro.analysis import AnalysisBundle, analyze
+from repro.mapping.sttgd import StTgd
+from repro.relational import relation, schema
+
+
+def codes(report):
+    return [d.code for d in report]
+
+
+class TestForgottenAttributes:
+    def test_dropped_attribute_is_ra301(self):
+        src = schema(relation("Person", "name", "age"))
+        tgt = schema(relation("P2", "name"))
+        bundle = AnalysisBundle(src, tgt, [StTgd.parse("Person(n, a) -> P2(n)")])
+        report = analyze(bundle, passes=["invertibility"])
+        found = report.with_code("RA301")
+        assert len(found) == 1
+        assert found[0].data == {"relation": "Person", "attribute": "age"}
+
+    def test_unread_relations_are_not_reported(self):
+        src = schema(relation("Person", "name"), relation("Unused", "x"))
+        tgt = schema(relation("P2", "name"))
+        bundle = AnalysisBundle(src, tgt, [StTgd.parse("Person(n) -> P2(n)")])
+        report = analyze(bundle, passes=["invertibility"])
+        assert "RA301" not in codes(report)
+
+
+class TestDisjunctiveProducers:
+    def test_example3_shape_is_ra302(self):
+        # Father and Mother both feed Parent: the maximum recovery must
+        # disjoin (Parent(x,y) ∧ C(x) ∧ C(y) → Father(x,y) ∨ Mother(x,y)).
+        src = schema(relation("Father", "c", "p"), relation("Mother", "c", "p"))
+        tgt = schema(relation("Parent", "c", "p"))
+        bundle = AnalysisBundle(
+            src,
+            tgt,
+            [
+                StTgd.parse("Father(x, y) -> Parent(x, y)"),
+                StTgd.parse("Mother(x, y) -> Parent(x, y)"),
+            ],
+        )
+        report = analyze(bundle, passes=["invertibility"])
+        found = report.with_code("RA302")
+        assert len(found) == 1
+        assert found[0].data == {"relation": "Parent", "producers": [0, 1]}
+        assert found[0].severity.value == "info"
+
+    def test_single_producer_is_silent(self):
+        src = schema(relation("Father", "c", "p"))
+        tgt = schema(relation("Parent", "c", "p"))
+        bundle = AnalysisBundle(
+            src, tgt, [StTgd.parse("Father(x, y) -> Parent(x, y)")]
+        )
+        report = analyze(bundle, passes=["invertibility"])
+        assert "RA302" not in codes(report)
+
+
+class TestConstantConclusions:
+    def test_constant_in_conclusion_is_ra303(self):
+        src = schema(relation("A", "x"))
+        tgt = schema(relation("B", "x", "kind"))
+        bundle = AnalysisBundle(
+            src, tgt, [StTgd.parse('A(x) -> B(x, "employee")')]
+        )
+        report = analyze(bundle, passes=["invertibility"])
+        found = report.with_code("RA303")
+        assert len(found) == 1
+        assert found[0].severity.value == "info"
+
+
+class TestEntangledExistentials:
+    def test_shared_existential_is_ra304_warning(self):
+        src = schema(relation("A", "x"))
+        tgt = schema(relation("B", "x", "y"), relation("D", "y", "x"))
+        bundle = AnalysisBundle(
+            src,
+            tgt,
+            [StTgd.parse("A(x) -> exists y . B(x, y), D(y, x)")],
+        )
+        report = analyze(bundle, passes=["invertibility"])
+        found = report.with_code("RA304")
+        assert len(found) == 1
+        assert found[0].severity.value == "warning"
+        assert found[0].data["shared_existentials"] == ["y"]
+        assert report.exit_code() == 1
+
+    def test_independent_existentials_are_fine(self):
+        src = schema(relation("A", "x"))
+        tgt = schema(relation("B", "x", "y"), relation("D", "x", "z"))
+        bundle = AnalysisBundle(
+            src,
+            tgt,
+            [StTgd.parse("A(x) -> exists y, z . B(x, y), D(x, z)")],
+        )
+        report = analyze(bundle, passes=["invertibility"])
+        assert "RA304" not in codes(report)

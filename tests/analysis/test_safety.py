@@ -1,0 +1,146 @@
+"""Tests for the safety pass (RA001–RA006)."""
+
+import pytest
+
+from repro.analysis import AnalysisBundle, analyze
+from repro.logic.formulas import ConstantPredicate, Equality, Inequality, atom, conj
+from repro.logic.terms import Const, Var
+from repro.mapping.dependencies import Egd, TargetTgd
+from repro.mapping.sttgd import StTgd
+from repro.relational import relation, schema
+
+
+SRC = schema(relation("A", "x", "y"))
+TGT = schema(relation("B", "x", "y"))
+
+
+def bundle(*tgds, target_dependencies=()):
+    return AnalysisBundle(SRC, TGT, tgds, target_dependencies=target_dependencies)
+
+
+def codes(report):
+    return [d.code for d in report]
+
+
+class TestUnsafeVariables:
+    def test_side_condition_only_variable_is_ra001(self):
+        tgd = StTgd(
+            conj(atom("A", "x", "y"), Equality(Var("w"), Var("x"))),
+            conj(atom("B", "x", "y")),
+        )
+        report = analyze(bundle(tgd), passes=["safety"])
+        assert "RA001" in codes(report)
+        assert report.exit_code() == 2
+        assert "w" in report.with_code("RA001")[0].message
+
+    def test_bound_variables_are_fine(self):
+        tgd = StTgd(
+            conj(atom("A", "x", "y"), Equality(Var("x"), Var("y"))),
+            conj(atom("B", "x", "y")),
+        )
+        report = analyze(bundle(tgd), passes=["safety"])
+        assert "RA001" not in codes(report)
+
+
+class TestImplicitExistentials:
+    def test_existential_reported_as_info(self):
+        tgd = StTgd.parse("A(x, y) -> exists z . B(x, z)")
+        report = analyze(bundle(tgd), passes=["safety"])
+        infos = report.with_code("RA002")
+        assert len(infos) == 1
+        assert infos[0].severity.value == "info"
+        assert infos[0].data["existentials"] == ["z"]
+
+    def test_full_tgd_is_silent(self):
+        tgd = StTgd.parse("A(x, y) -> B(x, y)")
+        report = analyze(bundle(tgd), passes=["safety"])
+        assert "RA002" not in codes(report)
+
+
+class TestConstantMisuse:
+    def test_contradictory_constants_are_dead_rule_errors(self):
+        tgd = StTgd(
+            conj(atom("A", "x", "y"), Equality(Const("a"), Const("b"))),
+            conj(atom("B", "x", "y")),
+        )
+        report = analyze(bundle(tgd), passes=["safety"])
+        found = report.with_code("RA003")
+        assert len(found) == 1
+        assert found[0].severity.value == "error"
+        assert "never" in found[0].message
+
+    def test_trivial_equality_is_warning(self):
+        tgd = StTgd(
+            conj(atom("A", "x", "y"), Equality(Var("x"), Var("x"))),
+            conj(atom("B", "x", "y")),
+        )
+        report = analyze(bundle(tgd), passes=["safety"])
+        found = report.with_code("RA003")
+        assert len(found) == 1
+        assert found[0].severity.value == "warning"
+
+    def test_inequality_of_same_variable_is_dead(self):
+        tgd = StTgd(
+            conj(atom("A", "x", "y"), Inequality(Var("x"), Var("x"))),
+            conj(atom("B", "x", "y")),
+        )
+        report = analyze(bundle(tgd), passes=["safety"])
+        assert report.with_code("RA003")[0].severity.value == "error"
+
+    def test_constant_predicate_on_constant_is_trivial(self):
+        tgd = StTgd(
+            conj(atom("A", "x", "y"), ConstantPredicate(Const("a"))),
+            conj(atom("B", "x", "y")),
+        )
+        report = analyze(bundle(tgd), passes=["safety"])
+        assert report.with_code("RA003")[0].severity.value == "warning"
+
+
+class TestDuplicates:
+    def test_duplicate_tgd_is_ra005(self):
+        tgd = StTgd.parse("A(x, y) -> B(x, y)")
+        twin = StTgd.parse("A(x, y) -> B(x, y)")
+        report = analyze(bundle(tgd, twin), passes=["safety"])
+        found = report.with_code("RA005")
+        assert len(found) == 1
+        assert found[0].data["duplicate_of"] == 0
+
+
+class TestConformance:
+    def test_unknown_relation_is_ra006(self):
+        tgd = StTgd(conj(atom("Nope", "x")), conj(atom("B", "x", "x")))
+        report = analyze(bundle(tgd), passes=["safety"])
+        found = report.with_code("RA006")
+        assert len(found) == 1
+        assert found[0].data == {"relation": "Nope", "role": "source"}
+
+    def test_arity_mismatch_is_ra006(self):
+        tgd = StTgd(conj(atom("A", "x", "y", "z")), conj(atom("B", "x", "y")))
+        report = analyze(bundle(tgd), passes=["safety"])
+        assert "arity 3" in report.with_code("RA006")[0].message
+
+    def test_target_dependency_atoms_checked_against_target(self):
+        dep = TargetTgd(conj(atom("B", "x", "y")), conj(atom("Ghost", "y")))
+        report = analyze(
+            bundle(target_dependencies=[dep]), passes=["safety"]
+        )
+        found = report.with_code("RA006")
+        assert len(found) == 1
+        assert found[0].data["relation"] == "Ghost"
+
+    def test_egd_premise_checked_against_target(self):
+        egd = Egd(
+            conj(atom("Ghost", "x", "y"), atom("Ghost", "x", "z")),
+            Var("y"),
+            Var("z"),
+        )
+        report = analyze(bundle(target_dependencies=[egd]), passes=["safety"])
+        assert report.with_code("RA006")
+
+
+class TestCleanMapping:
+    def test_clean_full_mapping_has_no_findings(self):
+        tgd = StTgd.parse("A(x, y) -> B(y, x)")
+        report = analyze(bundle(tgd), passes=["safety"])
+        assert len(report) == 0
+        assert report.exit_code() == 0

@@ -1,0 +1,222 @@
+"""Tests for the template/policy consistency pass (RA401–RA406)."""
+
+from repro.analysis import AnalysisBundle, TemplateCheck, analyze
+from repro.compiler import Hints
+from repro.relational import (
+    FunctionalDependency,
+    KeyConstraint,
+    relation,
+    schema,
+)
+from repro.relational.constraints import ConstraintSet
+from repro.rlens.policies import EnvironmentPolicy, FdPolicy
+from repro.rlens.template import JoinTemplate, ProjectionTemplate, UnionTemplate
+
+
+PERSON = relation("Person", "id", "name", "city", "zip")
+SRC = schema(PERSON)
+TGT = schema(relation("Out", "id"))
+
+
+def bundle(*checks, constraints=None, hints=None):
+    return AnalysisBundle(
+        SRC, TGT, templates=checks, constraints=constraints, hints=hints
+    )
+
+
+def run(*checks, constraints=None, hints=None):
+    return analyze(
+        bundle(*checks, constraints=constraints, hints=hints),
+        passes=["templates"],
+    )
+
+
+def projection(kept=("id", "name", "city")):
+    return ProjectionTemplate(PERSON, tuple(kept), "V")
+
+
+class TestAnswerSlots:
+    def test_unknown_slot_is_ra401(self):
+        report = run(TemplateCheck(projection(), {"column:ghost": "null"}))
+        found = report.with_code("RA401")
+        assert len(found) == 1
+        assert found[0].severity.value == "error"
+        assert "column:ghost" in found[0].message
+
+    def test_invalid_option_is_ra401(self):
+        report = run(
+            TemplateCheck(
+                JoinTemplate(PERSON, relation("CityZip", "city", "zip"), "J"),
+                {"delete_propagation": "sideways"},
+            )
+        )
+        found = report.with_code("RA401")
+        assert len(found) == 1
+        assert "sideways" in found[0].message
+
+    def test_constant_spelling_is_accepted(self):
+        report = run(TemplateCheck(projection(), {"column:zip": "constant:00000"}))
+        assert "RA401" not in [d.code for d in report]
+
+
+class TestFdPolicies:
+    def test_fd_must_determine_the_dropped_column(self):
+        policy = FdPolicy(FunctionalDependency("Person", ("city",), ("name",)))
+        report = run(TemplateCheck(projection(), {"column:zip": policy}))
+        found = report.with_code("RA402")
+        assert len(found) == 1
+        assert found[0].severity.value == "error"
+
+    def test_determinant_must_be_retained(self):
+        policy = FdPolicy(FunctionalDependency("Person", ("zip",), ("zip",)))
+        # zip is dropped, so a determinant of {zip} can never be formed.
+        report = run(TemplateCheck(projection(), {"column:zip": policy}))
+        assert report.with_code("RA402")
+
+    def test_wrong_relation_is_ra402(self):
+        policy = FdPolicy(FunctionalDependency("Other", ("city",), ("zip",)))
+        report = run(TemplateCheck(projection(), {"column:zip": policy}))
+        assert report.with_code("RA402")
+
+    def test_unimplied_fd_is_ra403_warning(self):
+        policy = FdPolicy(FunctionalDependency("Person", ("city",), ("zip",)))
+        constraints = ConstraintSet([KeyConstraint("Person", ("id",))])
+        report = run(
+            TemplateCheck(projection(), {"column:zip": policy}),
+            constraints=constraints,
+        )
+        found = report.with_code("RA403")
+        assert len(found) == 1
+        assert found[0].severity.value == "warning"
+        assert report.exit_code() == 1
+
+    def test_implied_fd_is_clean(self):
+        fd = FunctionalDependency("Person", ("city",), ("zip",))
+        report = run(
+            TemplateCheck(projection(), {"column:zip": FdPolicy(fd)}),
+            constraints=ConstraintSet([fd]),
+        )
+        assert "RA403" not in [d.code for d in report]
+
+    def test_no_constraints_downgrades_to_info(self):
+        policy = FdPolicy(FunctionalDependency("Person", ("city",), ("zip",)))
+        report = run(TemplateCheck(projection(), {"column:zip": policy}))
+        found = report.with_code("RA403")
+        assert len(found) == 1
+        assert found[0].severity.value == "info"
+
+
+class TestJoinDeleteSafety:
+    LEFT = relation("Person", "id", "name", "city")
+    RIGHT = relation("CityZip", "city", "zip")
+
+    def _join(self):
+        return JoinTemplate(self.LEFT, self.RIGHT, "J")
+
+    def test_no_constraints_is_info(self):
+        report = run(TemplateCheck(self._join(), {"delete_propagation": "left"}))
+        found = report.with_code("RA404")
+        assert len(found) == 1
+        assert found[0].severity.value == "info"
+
+    def test_left_delete_safe_when_join_columns_key_the_right(self):
+        constraints = ConstraintSet([KeyConstraint("CityZip", ("city",))])
+        report = run(
+            TemplateCheck(self._join(), {"delete_propagation": "left"}),
+            constraints=constraints,
+        )
+        assert "RA404" not in [d.code for d in report]
+
+    def test_left_delete_unsafe_without_right_key(self):
+        constraints = ConstraintSet([KeyConstraint("Person", ("id",))])
+        report = run(
+            TemplateCheck(self._join(), {"delete_propagation": "left"}),
+            constraints=constraints,
+        )
+        found = report.with_code("RA404")
+        assert len(found) == 1
+        assert found[0].severity.value == "warning"
+        assert found[0].data["not_key_of"] == "CityZip"
+        assert "PutGet" in found[0].message
+
+    def test_both_needs_keys_on_both_sides(self):
+        constraints = ConstraintSet([KeyConstraint("CityZip", ("city",))])
+        report = run(
+            TemplateCheck(self._join(), {"delete_propagation": "both"}),
+            constraints=constraints,
+        )
+        found = report.with_code("RA404")
+        # The right side is keyed by the join columns; the left is not.
+        assert len(found) == 1
+        assert found[0].data["not_key_of"] == "Person"
+
+    def test_default_answer_is_checked_too(self):
+        constraints = ConstraintSet([KeyConstraint("Person", ("id",))])
+        report = run(TemplateCheck(self._join()), constraints=constraints)
+        assert report.with_code("RA404")
+
+
+class TestUnionSchemas:
+    def test_mismatched_columns_are_ra405(self):
+        left = relation("L", "a", "b")
+        right = relation("R", "a", "c")
+        report = run(TemplateCheck(UnionTemplate(left, right, "U")))
+        found = report.with_code("RA405")
+        assert len(found) == 1
+        assert found[0].severity.value == "error"
+
+    def test_matching_columns_are_fine(self):
+        left = relation("L", "a", "b")
+        right = relation("R", "a", "b")
+        report = run(TemplateCheck(UnionTemplate(left, right, "U")))
+        assert "RA405" not in [d.code for d in report]
+
+
+class TestEnvironmentPolicies:
+    def test_missing_key_is_ra406(self):
+        policy = EnvironmentPolicy("current_user")
+        report = run(TemplateCheck(projection(), {"column:zip": policy}))
+        found = report.with_code("RA406")
+        assert len(found) == 1
+        assert found[0].severity.value == "warning"
+
+    def test_key_supplied_by_hints_environment(self):
+        policy = EnvironmentPolicy("current_user")
+        hints = Hints(environment={"current_user": "alice"})
+        report = run(
+            TemplateCheck(projection(), {"column:zip": policy}), hints=hints
+        )
+        assert "RA406" not in [d.code for d in report]
+
+
+class TestHintValidation:
+    def test_unknown_relation_in_hints_is_ra401(self):
+        hints = Hints()
+        hints.set_column_policy("Ghost", "x", EnvironmentPolicy("k"))
+        report = run(hints=hints)
+        found = report.with_code("RA401")
+        assert len(found) == 1
+        assert "Ghost" in found[0].message
+
+    def test_unknown_column_in_hints_is_ra401(self):
+        hints = Hints()
+        hints.set_column_policy("Person", "ghost", EnvironmentPolicy("k"))
+        report = run(hints=hints)
+        assert report.with_code("RA401")
+
+    def test_hint_fd_policy_checked(self):
+        hints = Hints()
+        hints.set_column_policy(
+            "Person",
+            "zip",
+            FdPolicy(FunctionalDependency("Person", ("city",), ("zip",))),
+        )
+        constraints = ConstraintSet([KeyConstraint("Person", ("id",))])
+        report = run(constraints=constraints, hints=hints)
+        assert report.with_code("RA403")
+
+    def test_hint_environment_policy_missing_key(self):
+        hints = Hints()
+        hints.set_column_policy("Person", "zip", EnvironmentPolicy("now"))
+        report = run(hints=hints)
+        assert report.with_code("RA406")

@@ -1,0 +1,76 @@
+"""Tests for the termination pass (RA101–RA102)."""
+
+from repro.analysis import AnalysisBundle, analyze
+from repro.logic.parser import Span, parse_rule
+from repro.mapping.dependencies import TargetTgd
+from repro.mapping.sttgd import StTgd
+from repro.relational import relation, schema
+
+
+SRC = schema(relation("A", "x"))
+TGT = schema(relation("E", "a", "b"))
+
+
+def target_tgd(text):
+    rule = parse_rule(text)
+    return TargetTgd(rule.lhs, rule.branches[0][1])
+
+
+class TestTermination:
+    def test_no_target_tgds_no_findings(self):
+        bundle = AnalysisBundle(SRC, TGT, [StTgd.parse("A(x) -> E(x, x)")])
+        report = analyze(bundle, passes=["termination"])
+        assert len(report) == 0
+
+    def test_weakly_acyclic_reports_guarantee(self):
+        bundle = AnalysisBundle(
+            SRC,
+            TGT,
+            target_dependencies=[target_tgd("E(x, y) -> E(y, x)")],
+        )
+        report = analyze(bundle, passes=["termination"])
+        found = report.with_code("RA102")
+        assert len(found) == 1
+        assert found[0].severity.value == "info"
+        assert report.exit_code() == 0
+
+    def test_cycle_reports_ra101_with_witness(self):
+        bundle = AnalysisBundle(
+            SRC,
+            TGT,
+            target_dependencies=[target_tgd("E(x, y) -> exists z . E(y, z)")],
+        )
+        report = analyze(bundle, passes=["termination"])
+        found = report.with_code("RA101")
+        assert len(found) == 1
+        diagnostic = found[0]
+        assert diagnostic.severity.value == "error"
+        # The witness names the (relation, position) cycle in the text...
+        assert "(E, 1) --∃--> (E, 1)" in diagnostic.message
+        # ...and carries it structurally for --json consumers.
+        assert diagnostic.data["cycle"]["positions"] == [["E", 1]]
+        assert diagnostic.data["cycle"]["existential"] == "z"
+        assert report.exit_code() == 2
+
+    def test_cycle_span_points_at_offending_dependency(self):
+        innocuous = target_tgd("E(x, y) -> E(y, x)")
+        cyclic = target_tgd("E(x, y) -> exists z . E(y, z)")
+        spans = (
+            Span(line=1, column=1, source="deps.tgd", text="E(x, y) -> E(y, x)"),
+            Span(
+                line=2,
+                column=1,
+                source="deps.tgd",
+                text="E(x, y) -> exists z . E(y, z)",
+            ),
+        )
+        bundle = AnalysisBundle(
+            SRC,
+            TGT,
+            target_dependencies=[innocuous, cyclic],
+            dependency_spans=spans,
+        )
+        report = analyze(bundle, passes=["termination"])
+        diagnostic = report.with_code("RA101")[0]
+        assert diagnostic.span is not None
+        assert diagnostic.span.line == 2

@@ -8,6 +8,7 @@ from repro.logic.parser import (
     parse_conjunction,
     parse_rule,
     parse_rules,
+    parse_rules_spanned,
 )
 from repro.logic.terms import Const, FuncTerm, Var, const
 
@@ -143,3 +144,57 @@ class TestConjunctionEntry:
     def test_trailing_input_rejected(self):
         with pytest.raises(ParseError):
             parse_conjunction("R(x) ->")
+
+
+class TestErrorLocations:
+    def test_error_carries_line_and_column(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_rule("R(x @ y) -> S(x)")
+        err = excinfo.value
+        assert err.line == 1
+        assert err.column == 5
+        assert "line 1, column 5" in str(err)
+
+    def test_error_in_multiline_block_points_at_its_line(self):
+        text = "# header comment\nA(x) -> B(x)\nB(x ->\n"
+        with pytest.raises(ParseError) as excinfo:
+            parse_rules(text)
+        err = excinfo.value
+        assert err.line == 3
+        assert err.column > 1
+
+    def test_source_name_appears_in_message_and_span(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_rule("R(x @ y) -> S(x)", source="mapping.tgd")
+        err = excinfo.value
+        assert err.source == "mapping.tgd"
+        assert "mapping.tgd" in str(err)
+        span = err.span
+        assert span.location() == "mapping.tgd:1:5"
+
+    def test_span_as_dict_round_trips_through_json(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_rule("R(x @ y) -> S(x)", source="m.tgd")
+        payload = excinfo.value.span.as_dict()
+        assert payload["line"] == 1
+        assert payload["column"] == 5
+        assert payload["source"] == "m.tgd"
+
+
+class TestSpannedRules:
+    def test_spans_cover_each_rule(self):
+        text = "# Example 1\nEmp(x) -> exists y . Manager(x, y)\n\nManager(x, x) -> SelfMngr(x)\n"
+        spanned = parse_rules_spanned(text, source="rules.tgd")
+        assert [s.span.line for s in spanned] == [2, 4]
+        assert all(s.span.column == 1 for s in spanned)
+        assert spanned[0].span.location() == "rules.tgd:2:1"
+        assert spanned[0].rule.lhs.atoms()[0].relation == "Emp"
+
+    def test_span_text_holds_the_rule_source(self):
+        spanned = parse_rules_spanned("A(x) -> B(x)")
+        assert spanned[0].span.text == "A(x) -> B(x)"
+
+    def test_semicolon_rules_share_a_line_with_distinct_columns(self):
+        spanned = parse_rules_spanned("A(x) -> B(x); B(x) -> A(x)")
+        assert [s.span.line for s in spanned] == [1, 1]
+        assert spanned[0].span.column < spanned[1].span.column

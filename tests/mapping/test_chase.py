@@ -191,8 +191,17 @@ class TestTargetDependencies:
             [TargetTgd(loop_rule.lhs, loop_rule.branches[0][1])],
         )
         I = instance(source, {"A": [["v"]]})
-        with pytest.raises(ChaseNonTermination):
+        with pytest.raises(ChaseNonTermination) as excinfo:
             chase(mapping, I, max_target_steps=50)
+        # The error is actionable: it points at the lint subcommand and
+        # embeds the special-edge cycle that explains the divergence.
+        message = str(excinfo.value)
+        assert "repro lint" in message
+        assert "(E, 1)" in message
+        witness = excinfo.value.witness
+        assert witness is not None
+        assert witness.positions == (("E", 1),)
+        assert witness.existential == "z"
 
 
 def parse_tgd(text):

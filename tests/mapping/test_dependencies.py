@@ -12,6 +12,7 @@ from repro.mapping.dependencies import (
     egd_from_key,
     is_weakly_acyclic,
     target_dependencies_from_constraints,
+    weak_acyclicity_witness,
 )
 from repro.relational import (
     FunctionalDependency,
@@ -114,12 +115,24 @@ class TestWeakAcyclicity:
         assert not is_weakly_acyclic(tgds, s)
 
     def test_two_step_special_cycle(self):
+        s = schema(relation("A", "x"), relation("B", "x", "y"))
+        tgds = [
+            self._tgd("A(x) -> exists y . B(x, y)"),
+            self._tgd("B(x, y) -> A(y)"),
+        ]
+        assert not is_weakly_acyclic(tgds, s)
+
+    def test_unexported_premise_variable_adds_no_edges(self):
+        # Dependency-graph edges originate only at positions of universal
+        # variables that occur in the conclusion (Fagin et al.); A(x) with
+        # x unexported contributes nothing, and the standard chase does
+        # terminate here (B already satisfiable after one step).
         s = schema(relation("A", "x"), relation("B", "x"))
         tgds = [
             self._tgd("A(x) -> exists y . B(y)"),
             self._tgd("B(x) -> A(x)"),
         ]
-        assert not is_weakly_acyclic(tgds, s)
+        assert is_weakly_acyclic(tgds, s)
 
     def test_existential_into_sink_is_fine(self):
         s = schema(relation("A", "x"), relation("B", "x", "y"))
@@ -128,3 +141,73 @@ class TestWeakAcyclicity:
 
     def test_empty_set_is_weakly_acyclic(self):
         assert is_weakly_acyclic([], schema())
+
+    def test_constant_in_conclusion_adds_no_edges(self):
+        s = schema(relation("A", "x"), relation("B", "x", "y"))
+        tgds = [self._tgd('A(x) -> B(x, "chief")')]
+        assert is_weakly_acyclic(tgds, s)
+
+    def test_repeated_variable_in_one_atom(self):
+        # E(x, x) binds both positions to the same variable; the special
+        # edges from both premise positions close a cycle with the regular
+        # edge back into position 0.
+        s = schema(relation("E", "a", "b"))
+        tgds = [self._tgd("E(x, x) -> exists z . E(x, z)")]
+        assert not is_weakly_acyclic(tgds, s)
+
+    def test_full_self_reference_is_weakly_acyclic(self):
+        # A self-referencing tgd without existentials has only regular
+        # cycles, which weak acyclicity allows.
+        s = schema(relation("E", "a", "b"))
+        tgds = [self._tgd("E(x, y) -> E(y, x)")]
+        assert is_weakly_acyclic(tgds, s)
+
+
+class TestWeakAcyclicityWitness:
+    def _tgd(self, text):
+        rule = parse_rule(text)
+        return TargetTgd(rule.lhs, rule.branches[0][1])
+
+    def test_none_for_acyclic_sets(self):
+        assert weak_acyclicity_witness([]) is None
+        assert weak_acyclicity_witness([self._tgd("A(x) -> B(x)")]) is None
+
+    def test_self_loop_witness(self):
+        witness = weak_acyclicity_witness(
+            [self._tgd("E(x, y) -> exists z . E(y, z)")]
+        )
+        assert witness is not None
+        assert witness.positions == (("E", 1),)
+        assert witness.labels == ("special",)
+        assert witness.tgd_index == 0
+        assert witness.existential == "z"
+        assert witness.describe() == "(E, 1) --∃--> (E, 1)"
+
+    def test_two_step_witness_names_both_positions(self):
+        witness = weak_acyclicity_witness(
+            [
+                self._tgd("A(x) -> exists y . B(x, y)"),
+                self._tgd("B(x, y) -> A(y)"),
+            ]
+        )
+        assert witness is not None
+        assert set(witness.positions) == {("A", 0), ("B", 1)}
+        assert "special" in witness.labels and "regular" in witness.labels
+        assert witness.existential == "y"
+
+    def test_witness_serializes(self):
+        witness = weak_acyclicity_witness(
+            [self._tgd("E(x, y) -> exists z . E(y, z)")]
+        )
+        payload = witness.as_dict()
+        assert payload["positions"] == [["E", 1]]
+        assert payload["labels"] == ["special"]
+        assert payload["existential"] == "z"
+
+    def test_bool_api_agrees_with_witness(self):
+        cyclic = [self._tgd("E(x, y) -> exists z . E(y, z)")]
+        acyclic = [self._tgd("A(x) -> exists y . B(x, y)")]
+        assert is_weakly_acyclic(cyclic) is (weak_acyclicity_witness(cyclic) is None)
+        assert is_weakly_acyclic(acyclic) is (
+            weak_acyclicity_witness(acyclic) is None
+        )
