@@ -1,0 +1,181 @@
+"""Chase scaling: indexed join evaluation vs the scan baseline.
+
+The chase is the system's computational workhorse, and the evaluator
+under it decides whether a multi-atom premise is a hash probe or a
+nested scan.  This benchmark runs two workloads at growing source sizes
+in both evaluation modes (toggle: ``repro.logic.evaluation
+.set_indexes_enabled``, i.e. the ``REPRO_EVAL_INDEXES`` env default):
+
+* ``e1`` — Example 1's ``Emp(x) → ∃y Manager(x, y)``: a single-atom
+  premise, so both modes scan once; this pins the no-join overhead.
+* ``join`` — ``Emp(n, d), Dept(d, h) → ∃m Office(n, h, m)`` over
+  ``size`` employees in ``size // dept_ratio`` departments: the
+  multi-join case where the scan baseline goes quadratic and the
+  indexed path probes.
+
+Results (rows vs seconds, per mode, plus speedups) go to
+``BENCH_chase.json``.  ``--check-speedup MIN`` exits non-zero when the
+indexed path fails to beat the scan path by the given factor on the
+largest size of the join workload — CI runs this at tiny smoke sizes
+with ``MIN=1.0``.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_chase_scaling.py
+    PYTHONPATH=src python benchmarks/bench_chase_scaling.py \
+        --sizes 200 1000 --repeat 3 --check-speedup 1.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics as pystats
+import sys
+import time
+from pathlib import Path
+
+from repro.logic.evaluation import set_indexes_enabled
+from repro.mapping import SchemaMapping, universal_solution
+from repro.relational import instance, relation, schema
+from repro.workloads import emp_manager_scenario
+
+
+def e1_workload(size: int, dept_ratio: int):
+    scenario = emp_manager_scenario()
+    source = instance(
+        scenario.source, {"Emp": [[f"emp{i}"] for i in range(size)]}
+    )
+    return scenario.mapping, source
+
+
+def join_workload(size: int, dept_ratio: int):
+    depts = max(1, size // dept_ratio)
+    source_schema = schema(
+        relation("Emp", "name", "dept"), relation("Dept", "dept", "head")
+    )
+    target_schema = schema(relation("Office", "name", "head", "room"))
+    mapping = SchemaMapping.parse(
+        source_schema,
+        target_schema,
+        "Emp(n, d), Dept(d, h) -> exists m . Office(n, h, m)",
+    )
+    source = instance(
+        source_schema,
+        {
+            "Emp": [[f"emp{i}", f"d{i % depts}"] for i in range(size)],
+            "Dept": [[f"d{j}", f"head{j}"] for j in range(depts)],
+        },
+    )
+    return mapping, source
+
+
+WORKLOADS = {"e1": e1_workload, "join": join_workload}
+
+
+def timed(mapping, source, repeat: int) -> list[float]:
+    samples = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        universal_solution(mapping, source)
+        samples.append(time.perf_counter() - start)
+    return samples
+
+
+def run_mode(mapping, source, repeat: int, indexed: bool) -> list[float]:
+    try:
+        set_indexes_enabled(indexed)
+        return timed(mapping, source, repeat)
+    finally:
+        set_indexes_enabled(None)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=[1000, 4000, 10000],
+        help="source sizes (Emp rows)",
+    )
+    parser.add_argument(
+        "--dept-ratio",
+        type=int,
+        default=20,
+        help="employees per department in the join workload",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3, help="timed repetitions per mode"
+    )
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        choices=sorted(WORKLOADS),
+        default=sorted(WORKLOADS),
+    )
+    parser.add_argument("--out", default="BENCH_chase.json", help="result file")
+    parser.add_argument(
+        "--check-speedup",
+        type=float,
+        metavar="MIN",
+        help="exit 1 unless indexed beats scan by MIN× on the largest "
+        "join-workload size",
+    )
+    args = parser.parse_args()
+
+    results = []
+    for name in args.workloads:
+        build = WORKLOADS[name]
+        for size in args.sizes:
+            mapping, source = build(size, args.dept_ratio)
+            universal_solution(mapping, source)  # warm-up
+            indexed = run_mode(mapping, source, args.repeat, indexed=True)
+            scan = run_mode(mapping, source, args.repeat, indexed=False)
+            entry = {
+                "workload": name,
+                "size": size,
+                "target_facts": universal_solution(mapping, source).size(),
+                "indexed_seconds": pystats.median(indexed),
+                "scan_seconds": pystats.median(scan),
+                "speedup": pystats.median(scan) / pystats.median(indexed),
+            }
+            results.append(entry)
+            print(
+                f"{name:>5} size={size:>6}: indexed {entry['indexed_seconds']:.4f}s  "
+                f"scan {entry['scan_seconds']:.4f}s  "
+                f"speedup {entry['speedup']:.1f}x"
+            )
+
+    payload = {
+        "benchmark": "chase_scaling",
+        "description": "universal-solution chase, indexed vs scan evaluation",
+        "dept_ratio": args.dept_ratio,
+        "repeat": args.repeat,
+        "results": results,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.check_speedup is not None:
+        join_entries = [r for r in results if r["workload"] == "join"]
+        if not join_entries:
+            print("check-speedup: no join workload measured", file=sys.stderr)
+            return 1
+        largest = max(join_entries, key=lambda r: r["size"])
+        if largest["speedup"] < args.check_speedup:
+            print(
+                f"check-speedup FAILED: {largest['speedup']:.2f}x < "
+                f"{args.check_speedup}x at size {largest['size']}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"check-speedup ok: {largest['speedup']:.2f}x ≥ "
+            f"{args.check_speedup}x at size {largest['size']}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

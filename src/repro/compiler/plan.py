@@ -229,6 +229,17 @@ class MappingPlan:
                 f"   {unit.tgd_id}: inputs {', '.join(parts)}; "
                 f"estimated ≤ {estimated} facts, observed = {observed}"
             )
+        evaluator = {
+            name: counter.value
+            for name, counter in sorted(registry.counters.items())
+            if name.startswith(("evaluate.", "chase."))
+        }
+        if evaluator:
+            lines.append(
+                "── evaluator counters (index probes, semi-naive rounds; "
+                "this metrics registry):"
+            )
+            lines.extend(f"   {name} = {value}" for name, value in evaluator.items())
         lines.extend(self._analysis_section())
         return "\n".join(lines)
 

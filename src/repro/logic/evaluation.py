@@ -10,14 +10,36 @@ workhorse for:
 
 The evaluator treats labelled nulls as ordinary values ("naive table"
 evaluation); the certain-answers layer filters null-carrying answers.
-Atoms are matched greedily most-bound-first; within an atom, rows are
-matched with unification of repeated variables and constants.
+
+Two evaluation strategies are provided:
+
+* :func:`evaluate` — the default engine.  It plans a join order once up
+  front (greedy most-bound-first, smaller relation on ties) and matches
+  each atom by probing a per-``(relation, columns)`` hash index of the
+  instance on the atom's bound positions, falling back to a relation
+  scan only for atoms with no bound position.  Index builds/hits/misses
+  and rows scanned are published to the :mod:`repro.obs` metrics
+  registry (``evaluate.*`` counters).
+* :func:`evaluate_scan` — the seed reference engine: dynamic
+  most-bound-first atom selection with full relation scans.  Kept as
+  the oracle for cross-checking the indexed engine and as the baseline
+  in ``benchmarks/bench_chase_scaling.py``.
+
+Both engines raise :class:`ArityMismatchError` when a query atom's arity
+disagrees with a relation that *is* present in the instance — a
+malformed query/instance pair used to be silently skipped row by row.
+
+:func:`evaluate_delta` is the semi-naive primitive used by the chase:
+it enumerates only the bindings that touch at least one tuple of a
+given delta.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, Mapping, Sequence
+import os
+from typing import Iterable, Iterator, Mapping, Sequence
 
+from ..obs import get_registry
 from ..relational.instance import Instance, Row
 from ..relational.values import Value, is_constant
 from .formulas import (
@@ -30,6 +52,60 @@ from .formulas import (
 from .terms import Const, FuncTerm, Var, evaluate_term
 
 Binding = dict[Var, Value]
+
+Delta = Mapping[str, Iterable[Row]]
+
+_ENV_DEFAULT = os.environ.get("REPRO_EVAL_INDEXES", "1").lower() not in {
+    "0",
+    "false",
+    "no",
+    "off",
+}
+_indexes_enabled: bool = _ENV_DEFAULT
+
+
+def indexes_enabled() -> bool:
+    """Whether :func:`evaluate` probes hash indexes by default."""
+    return _indexes_enabled
+
+
+def set_indexes_enabled(enabled: bool | None) -> bool:
+    """Set the default indexing mode (``None`` restores the env default).
+
+    The default comes from ``REPRO_EVAL_INDEXES`` (on unless set to
+    ``0``/``false``/``no``/``off``).  Benchmarks flip this to measure the
+    scan baseline; per-call overrides use ``evaluate(..., use_indexes=)``.
+    """
+    global _indexes_enabled
+    _indexes_enabled = _ENV_DEFAULT if enabled is None else bool(enabled)
+    return _indexes_enabled
+
+
+class ArityMismatchError(ValueError):
+    """A query atom's arity disagrees with the instance's relation.
+
+    Every row of a validated :class:`~repro.relational.instance.Instance`
+    matches its relation's declared arity, so a mismatching atom can
+    never bind — silently yielding nothing used to hide malformed
+    queries and hand-built instances.
+    """
+
+    def __init__(self, atom: Atom, expected: int) -> None:
+        super().__init__(
+            f"atom {atom!r} has arity {atom.arity} but relation "
+            f"{atom.relation!r} has arity {expected} in the instance; "
+            f"the query does not fit the instance schema"
+        )
+        self.atom = atom
+        self.expected = expected
+
+
+def _check_arities(atoms: Sequence[Atom], instance: Instance) -> None:
+    for atom in atoms:
+        if atom.relation in instance.schema:
+            expected = instance.schema[atom.relation].arity
+            if expected != atom.arity:
+                raise ArityMismatchError(atom, expected)
 
 
 def _match_atom(atom: Atom, row: Row, binding: Binding) -> Binding | None:
@@ -86,18 +162,150 @@ def _check_side_conditions(conjunction: Conjunction, binding: Binding) -> bool:
     return True
 
 
+def _plan_joins(
+    atoms: Sequence[Atom], seed_vars: Iterable[Var], instance: Instance
+) -> tuple[list[int], list[tuple[int, ...]]]:
+    """Choose a join order and the index-probe columns for each atom.
+
+    Greedy most-bound-first (same scoring as the seed engine's dynamic
+    choice), breaking ties toward smaller relations; chosen **once** per
+    evaluation instead of per recursion step.  ``probes[k]`` holds the
+    positions of ``atoms[order[k]]`` whose value is known when the atom
+    is reached — constant positions plus positions of variables bound by
+    the seed or an earlier atom — i.e. the key columns of the hash index
+    probed for that atom.  Atoms with no bound position fall back to a
+    scan (empty probe tuple).
+    """
+    bound: set[Var] = set(seed_vars)
+    remaining = list(range(len(atoms)))
+    order: list[int] = []
+    probes: list[tuple[int, ...]] = []
+
+    def boundness(i: int) -> int:
+        score = 0
+        for term in atoms[i].terms:
+            if isinstance(term, Const):
+                score += 2
+            elif isinstance(term, Var):
+                if term in bound:
+                    score += 2
+            else:
+                score += 1
+        return score
+
+    def size(i: int) -> int:
+        relation = atoms[i].relation
+        return len(instance.rows(relation)) if relation in instance.schema else 0
+
+    while remaining:
+        best = max(remaining, key=lambda i: (boundness(i), -size(i)))
+        remaining.remove(best)
+        atom = atoms[best]
+        columns = tuple(
+            position
+            for position, term in enumerate(atom.terms)
+            if isinstance(term, Const) or (isinstance(term, Var) and term in bound)
+        )
+        order.append(best)
+        probes.append(columns)
+        for term in atom.terms:
+            if isinstance(term, Var):
+                bound.add(term)
+    return order, probes
+
+
+def _publish(counters: dict[str, int]) -> None:
+    registry = get_registry()
+    registry.counter("evaluate.calls").inc()
+    for name, amount in counters.items():
+        if amount:
+            registry.counter(name).inc(amount)
+
+
 def evaluate(
     conjunction: Conjunction,
     instance: Instance,
     seed: Mapping[Var, Value] | None = None,
+    *,
+    use_indexes: bool | None = None,
 ) -> Iterator[Binding]:
     """Yield every binding of the conjunction's variables satisfying it.
 
     *seed* pre-binds some variables (used when checking whether a tgd's
     conclusion is already witnessed for a given premise binding).
-    Atoms over relations absent from the instance simply fail to match.
+    Atoms over relations absent from the instance simply fail to match;
+    atoms whose arity disagrees with a relation that *is* present raise
+    :class:`ArityMismatchError`.  *use_indexes* overrides the module
+    default (:func:`set_indexes_enabled`); with indexing off the planned
+    join order is kept but every atom is matched by scanning.
     """
     atoms = list(conjunction.atoms())
+    _check_arities(atoms, instance)
+    initial: Binding = dict(seed) if seed else {}
+    if any(atom.relation not in instance.schema for atom in atoms):
+        return
+    indexed = _indexes_enabled if use_indexes is None else use_indexes
+    order, probes = _plan_joins(atoms, initial, instance)
+    planned = [atoms[i] for i in order]
+    counters = {
+        "evaluate.index_builds": 0,
+        "evaluate.index_probes": 0,
+        "evaluate.index_hits": 0,
+        "evaluate.index_misses": 0,
+        "evaluate.rows_scanned": 0,
+    }
+
+    def recurse(depth: int, binding: Binding) -> Iterator[Binding]:
+        if depth == len(planned):
+            if _check_side_conditions(conjunction, binding):
+                yield dict(binding)
+            return
+        atom = planned[depth]
+        columns = probes[depth]
+        rows: Iterable[Row]
+        if indexed and columns:
+            if not instance.has_index(atom.relation, columns):
+                counters["evaluate.index_builds"] += 1
+            index = instance.index(atom.relation, columns)
+            key = tuple(
+                term.value if isinstance(term, Const) else binding[term]
+                for term in (atom.terms[c] for c in columns)
+            )
+            counters["evaluate.index_probes"] += 1
+            bucket = index.get(key)
+            if bucket is None:
+                counters["evaluate.index_misses"] += 1
+                return
+            counters["evaluate.index_hits"] += 1
+            rows = bucket
+        else:
+            rows = instance.rows(atom.relation)
+        for row in rows:
+            counters["evaluate.rows_scanned"] += 1
+            extended = _match_atom(atom, row, binding)
+            if extended is not None:
+                yield from recurse(depth + 1, extended)
+
+    try:
+        yield from recurse(0, initial)
+    finally:
+        _publish(counters)
+
+
+def evaluate_scan(
+    conjunction: Conjunction,
+    instance: Instance,
+    seed: Mapping[Var, Value] | None = None,
+) -> Iterator[Binding]:
+    """The seed reference evaluator: dynamic atom order, full scans.
+
+    Chooses the most-constrained pending atom at every recursion step and
+    matches it against every row of its relation.  Semantically identical
+    to :func:`evaluate` (the test suite cross-checks the two); kept as
+    the oracle and scan baseline.
+    """
+    atoms = list(conjunction.atoms())
+    _check_arities(atoms, instance)
 
     def recurse(pending: list[Atom], binding: Binding) -> Iterator[Binding]:
         if not pending:
@@ -113,14 +321,52 @@ def evaluate(
         if atom.relation not in instance.schema:
             return
         for row in instance.rows(atom.relation):
-            if len(row) != atom.arity:
-                continue
             extended = _match_atom(atom, row, binding)
             if extended is not None:
                 yield from recurse(rest, extended)
 
     initial: Binding = dict(seed) if seed else {}
     yield from recurse(atoms, initial)
+
+
+def evaluate_delta(
+    conjunction: Conjunction,
+    instance: Instance,
+    delta: Delta,
+    seed: Mapping[Var, Value] | None = None,
+) -> Iterator[Binding]:
+    """Yield the bindings that use at least one *delta* row.
+
+    The semi-naive primitive: *delta* maps relation names to the rows
+    added since the conjunction was last evaluated over *instance*.  For
+    each atom occurrence, the atom is matched against the delta rows only
+    while the remaining literals are evaluated against the full instance;
+    bindings reachable through several delta atoms are deduplicated.  The
+    union of :func:`evaluate_delta` over the delta and the bindings found
+    before the delta was added is exactly ``evaluate`` over the grown
+    instance.
+    """
+    seen: set[tuple] = set()
+    literals = conjunction.literals
+    base: Binding = dict(seed) if seed else {}
+    for position, literal in enumerate(literals):
+        if not isinstance(literal, Atom):
+            continue
+        rows = delta.get(literal.relation)
+        if not rows:
+            continue
+        rest = Conjunction(literals[:position] + literals[position + 1 :])
+        for row in rows:
+            if len(row) != literal.arity:
+                raise ArityMismatchError(literal, len(row))
+            partial = _match_atom(literal, row, base)
+            if partial is None:
+                continue
+            for binding in evaluate(rest, instance, seed=partial):
+                key = tuple(sorted((v.name, binding[v]) for v in binding))
+                if key not in seen:
+                    seen.add(key)
+                    yield binding
 
 
 def satisfiable(

@@ -28,13 +28,25 @@ import enum
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
-from ..logic.evaluation import evaluate, ground_atoms, satisfiable
+from ..logic.evaluation import (
+    Binding,
+    evaluate,
+    evaluate_delta,
+    ground_atoms,
+    satisfiable,
+)
 from ..logic.terms import Var
 from ..obs import get_registry, get_tracer
 from ..relational.homomorphism import core as core_of
-from ..relational.instance import Fact, Instance
+from ..relational.instance import Fact, Instance, Row
 from ..relational.schema import Schema
-from ..relational.values import NullFactory, Value, is_constant, max_null_label
+from ..relational.values import (
+    NullFactory,
+    Value,
+    is_constant,
+    max_null_label,
+    value_sort_key,
+)
 from .dependencies import (
     Egd,
     PositionCycle,
@@ -178,6 +190,30 @@ def chase(
     return ChaseResult(target, stats)
 
 
+def _canonical_bindings(bindings: Iterable[Binding]) -> list[Binding]:
+    """Sort bindings into a deterministic firing order.
+
+    Replaces the old sort-by-``repr``-of-everything hack with a cheap
+    canonical key: variables ordered by name, values by
+    :func:`~repro.relational.values.value_sort_key` (no string building
+    for the common scalar kinds).
+    """
+    items = list(bindings)
+    if len(items) <= 1:
+        return items
+    variables = sorted({v for b in items for v in b}, key=lambda v: v.name)
+    absent = (-1, "", -1)
+
+    def key(binding: Binding) -> tuple:
+        return tuple(
+            value_sort_key(binding[v]) if v in binding else absent
+            for v in variables
+        )
+
+    items.sort(key=key)
+    return items
+
+
 def _chase_st_tgds(
     tgds: Sequence[StTgd],
     source: Instance,
@@ -188,28 +224,35 @@ def _chase_st_tgds(
     facts: list[Fact] = []
     # STANDARD needs to consult the target built so far; build incrementally.
     partial: dict[str, set[tuple[Value, ...]]] = {}
+    partial_version = 0
+    # One witnessed-probe snapshot per tgd, refreshed only when the partial
+    # instance actually changed since the snapshot was built.
+    probe_cache: dict[int, tuple[int, Instance]] = {}
 
-    def witnessed(tgd: StTgd, frontier_binding: Mapping[Var, Value]) -> bool:
-        schema_rels = {a.relation for a in tgd.conclusion.atoms()}
-        probe_schema = Schema(
-            # A throwaway schema with just the needed relations.
-            _relation_schemas_for(tgd, schema_rels)
-        )
-        probe = Instance(
-            probe_schema,
-            {r: frozenset(partial.get(r, set())) for r in schema_rels},
-        )
+    def witnessed(tgd_index: int, tgd: StTgd, frontier_binding: Mapping[Var, Value]) -> bool:
+        cached = probe_cache.get(tgd_index)
+        if cached is not None and cached[0] == partial_version:
+            probe = cached[1]
+        else:
+            schema_rels = {a.relation for a in tgd.conclusion.atoms()}
+            probe_schema = Schema(
+                # A throwaway schema with just the needed relations.
+                _relation_schemas_for(tgd, schema_rels)
+            )
+            probe = Instance(
+                probe_schema,
+                {r: frozenset(partial.get(r, set())) for r in schema_rels},
+            )
+            probe_cache[tgd_index] = (partial_version, probe)
         return satisfiable(tgd.conclusion, probe, seed=dict(frontier_binding))
 
-    for tgd in tgds:
-        # Deterministic firing order: sort premise bindings by repr.
-        bindings = sorted(
-            evaluate(tgd.premise, source),
-            key=lambda b: repr(sorted((v.name, repr(b[v])) for v in b)),
-        )
+    for tgd_index, tgd in enumerate(tgds):
+        bindings = _canonical_bindings(evaluate(tgd.premise, source))
         for binding in bindings:
             frontier_binding = {v: binding[v] for v in tgd.frontier}
-            if variant is ChaseVariant.STANDARD and witnessed(tgd, frontier_binding):
+            if variant is ChaseVariant.STANDARD and witnessed(
+                tgd_index, tgd, frontier_binding
+            ):
                 continue
             full_binding: dict[Var, Value] = dict(binding)
             for existential in tgd.existential_variables:
@@ -217,7 +260,10 @@ def _chase_st_tgds(
                 stats.nulls_created += 1
             for relation, row in ground_atoms(tgd.conclusion.atoms(), full_binding):
                 facts.append(Fact(relation, row))
-                partial.setdefault(relation, set()).add(row)
+                bucket = partial.setdefault(relation, set())
+                if row not in bucket:
+                    bucket.add(row)
+                    partial_version += 1
             stats.tgd_firings += 1
     return facts
 
@@ -242,27 +288,98 @@ def _chase_target_dependencies(
     stats: ChaseStatistics,
     max_steps: int,
 ) -> Instance:
+    """Semi-naive fixpoint over egds and target tgds.
+
+    Target tgds fire semi-naively: after the first round, a premise
+    binding is only enumerated when it touches at least one tuple added
+    in the previous round (:func:`~repro.logic.evaluation.evaluate_delta`).
+    Egds fire one substitution at a time to a local fixpoint at the top
+    of each round; an egd firing rewrites values across the whole
+    instance, so after any firing every fact counts as new again and the
+    next tgd pass re-derives from the full instance.
+    """
     tracer = get_tracer()
+    registry = get_registry()
+    egds = [d for d in dependencies if isinstance(d, Egd)]
+    tgds = [d for d in dependencies if not isinstance(d, Egd)]
+    delta: dict[str, set[Row]] | None = None  # None ⇒ every fact is new
     steps = 0
-    changed = True
-    while changed:
-        changed = False
+    while True:
         stats.rounds += 1
-        with tracer.span("chase.round", round=stats.rounds) as span:
+        changed = False
+        delta_size = (
+            target.size() if delta is None else sum(len(r) for r in delta.values())
+        )
+        with tracer.span(
+            "chase.round", round=stats.rounds, delta=delta_size
+        ) as span:
             fired_this_round = 0
-            for dep in dependencies:
-                if isinstance(dep, Egd):
-                    target, fired = _egd_step(target, dep, stats)
+            # -- egd pass: fire substitutions to a local fixpoint ----------
+            egd_fired = False
+            if egds:
+                fired_one = True
+                while fired_one:
+                    fired_one = False
+                    for egd in egds:
+                        target, fired = _egd_step(target, egd, stats)
+                        if fired:
+                            fired_one = egd_fired = True
+                            fired_this_round += 1
+                            steps += 1
+                            if steps > max_steps:
+                                raise _non_termination(dependencies, max_steps)
+            if egd_fired:
+                changed = True
+                delta = None  # map_values may have rewritten any fact
+            # -- tgd pass: semi-naive, only delta-touching bindings --------
+            enumerated = pruned = 0
+            added: dict[str, set[Row]] = {}
+            for tgd in tgds:
+                if delta is None:
+                    bindings = _canonical_bindings(evaluate(tgd.premise, target))
                 else:
-                    target, fired = _target_tgd_step(target, dep, factory, stats)
-                if fired:
-                    changed = True
+                    bindings = _canonical_bindings(
+                        evaluate_delta(tgd.premise, target, delta)
+                    )
+                enumerated += len(bindings)
+                for binding in bindings:
+                    frontier_binding = {v: binding[v] for v in tgd.frontier}
+                    if satisfiable(tgd.conclusion, target, seed=frontier_binding):
+                        pruned += 1
+                        continue
+                    full_binding: dict[Var, Value] = dict(binding)
+                    for existential in tgd.existential_variables:
+                        full_binding[existential] = factory.fresh()
+                        stats.nulls_created += 1
+                    new_facts = []
+                    for relation, row in ground_atoms(
+                        tgd.conclusion.atoms(), full_binding
+                    ):
+                        if row not in target.rows(relation):
+                            added.setdefault(relation, set()).add(row)
+                        new_facts.append(Fact(relation, row))
+                    target = target.with_facts(new_facts)
+                    stats.target_tgd_firings += 1
                     fired_this_round += 1
                     steps += 1
                     if steps > max_steps:
                         raise _non_termination(dependencies, max_steps)
-            span.set(firings=fired_this_round, facts=target.size())
-    return target
+            if added:
+                changed = True
+            span.set(
+                firings=fired_this_round,
+                facts=target.size(),
+                enumerated=enumerated,
+                pruned=pruned,
+            )
+            registry.histogram("chase.delta_size").observe(delta_size)
+            if enumerated:
+                registry.counter("chase.bindings_enumerated").inc(enumerated)
+            if pruned:
+                registry.counter("chase.bindings_pruned").inc(pruned)
+        if not changed:
+            return target
+        delta = added
 
 
 def _non_termination(
@@ -298,26 +415,6 @@ def _egd_step(target: Instance, egd: Egd, stats: ChaseStatistics) -> tuple[Insta
             substitution = {left: right}
         stats.egd_firings += 1
         return target.map_values(substitution), True
-    return target, False
-
-
-def _target_tgd_step(
-    target: Instance, tgd: TargetTgd, factory: NullFactory, stats: ChaseStatistics
-) -> tuple[Instance, bool]:
-    for binding in evaluate(tgd.premise, target):
-        frontier_binding = {v: binding[v] for v in tgd.frontier}
-        if satisfiable(tgd.conclusion, target, seed=frontier_binding):
-            continue
-        full_binding: dict[Var, Value] = dict(binding)
-        for existential in tgd.existential_variables:
-            full_binding[existential] = factory.fresh()
-            stats.nulls_created += 1
-        new_facts = [
-            Fact(relation, row)
-            for relation, row in ground_atoms(tgd.conclusion.atoms(), full_binding)
-        ]
-        stats.target_tgd_firings += 1
-        return target.with_facts(new_facts), True
     return target, False
 
 

@@ -68,7 +68,7 @@ class Instance:
     the schema.
     """
 
-    __slots__ = ("_schema", "_relations", "_hash")
+    __slots__ = ("_schema", "_relations", "_hash", "_indexes")
 
     def __init__(
         self,
@@ -104,6 +104,7 @@ class Instance:
             name: frozenset(rows) for name, rows in relations.items()
         }
         self._hash: int | None = None
+        self._indexes: dict[tuple[str, tuple[int, ...]], dict[tuple, list[Row]]] = {}
 
     @classmethod
     def _unsafe(
@@ -120,6 +121,7 @@ class Instance:
         self._schema = schema
         self._relations = relations
         self._hash = None
+        self._indexes = {}
         return self
 
     def _validated_row(self, name: str, row: Row) -> Row:
@@ -152,6 +154,62 @@ class Instance:
             return self._relations[relation_name]
         except KeyError:
             raise KeyError(f"instance has no relation {relation_name!r}") from None
+
+    # -- hash indexes ------------------------------------------------------
+
+    def index(
+        self, relation_name: str, columns: tuple[int, ...]
+    ) -> Mapping[tuple, list[Row]]:
+        """A hash index of the relation's rows keyed on *columns*.
+
+        Maps each distinct tuple of values at the given column positions
+        to the list of rows carrying those values.  Built lazily on first
+        request and cached for the lifetime of the instance (instances
+        are immutable, so a built index never goes stale); derived
+        instances (:meth:`with_facts` and friends) inherit or extend
+        indexes of unchanged relations instead of rebuilding them.
+
+        Callers must not mutate the returned mapping or its row lists.
+        """
+        key = (relation_name, columns)
+        idx = self._indexes.get(key)
+        if idx is None:
+            idx = {}
+            for row in self.rows(relation_name):
+                values = tuple(row[c] for c in columns)
+                bucket = idx.get(values)
+                if bucket is None:
+                    idx[values] = [row]
+                else:
+                    bucket.append(row)
+            self._indexes[key] = idx
+        return idx
+
+    def has_index(self, relation_name: str, columns: tuple[int, ...]) -> bool:
+        """Whether the (relation, columns) index is already built."""
+        return (relation_name, columns) in self._indexes
+
+    def _inherit_indexes(
+        self, child: "Instance", changed: set[str], added: Mapping[str, Iterable[Row]] = {}
+    ) -> None:
+        """Carry this instance's indexes over to a derived *child*.
+
+        Indexes on relations outside *changed* are shared verbatim.  For
+        relations in *added* (a subset of *changed* whose change is pure
+        row addition), indexes are extended incrementally: only buckets
+        receiving new rows are copied, so the parent's index stays valid.
+        Other changed relations' indexes are dropped (rebuilt lazily).
+        """
+        for (relation, columns), idx in self._indexes.items():
+            if relation not in changed:
+                child._indexes[(relation, columns)] = idx
+            elif relation in added:
+                extended = dict(idx)
+                for row in added[relation]:
+                    values = tuple(row[c] for c in columns)
+                    bucket = extended.get(values)
+                    extended[values] = [row] if bucket is None else bucket + [row]
+                child._indexes[(relation, columns)] = extended
 
     def facts(self) -> Iterator[Fact]:
         """Iterate over every fact, in deterministic (sorted) order."""
@@ -206,9 +264,17 @@ class Instance:
         if not additions:
             return self
         relations = dict(self._relations)
+        genuinely_new: dict[str, set[Row]] = {}
         for name, rows in additions.items():
-            relations[name] = relations[name] | rows
-        return Instance._unsafe(self._schema, relations)
+            fresh = rows - relations[name]
+            if fresh:
+                genuinely_new[name] = fresh
+                relations[name] = relations[name] | fresh
+        if not genuinely_new:
+            return self
+        child = Instance._unsafe(self._schema, relations)
+        self._inherit_indexes(child, set(genuinely_new), genuinely_new)
+        return child
 
     def without_facts(self, facts: Iterable[Fact]) -> "Instance":
         """A new instance with *facts* removed (missing facts are ignored)."""
@@ -216,25 +282,31 @@ class Instance:
         for fact in facts:
             removals.setdefault(fact.relation, set()).add(_coerce_row(fact.row))
         relations = dict(self._relations)
-        changed = False
+        shrunk_relations: set[str] = set()
         for name, rows in removals.items():
             if name in relations:
                 shrunk = relations[name] - rows
                 if len(shrunk) != len(relations[name]):
                     relations[name] = shrunk
-                    changed = True
-        if not changed:
+                    shrunk_relations.add(name)
+        if not shrunk_relations:
             return self
-        return Instance._unsafe(self._schema, relations)
+        child = Instance._unsafe(self._schema, relations)
+        self._inherit_indexes(child, shrunk_relations)
+        return child
 
     def restrict(self, relation_names: Iterable[str]) -> "Instance":
         """The sub-instance over only the named relations (schema shrinks)."""
         names = set(relation_names)
         sub_schema = Schema(r for r in self._schema if r.name in names)
-        return Instance._unsafe(
+        child = Instance._unsafe(
             sub_schema,
             {name: self._relations[name] for name in sub_schema.relation_names},
         )
+        for (relation, columns), idx in self._indexes.items():
+            if relation in child._relations:
+                child._indexes[(relation, columns)] = idx
+        return child
 
     def cast(self, schema: Schema) -> "Instance":
         """Re-validate this instance's facts against a different schema.
@@ -251,6 +323,8 @@ class Instance:
 
     def map_values(self, mapping: Mapping[Value, Value]) -> "Instance":
         """Apply a value substitution to every fact (identity off *mapping*)."""
+        if not mapping:
+            return self
         relations = {
             name: frozenset(
                 tuple(mapping.get(v, v) for v in row) for row in rows

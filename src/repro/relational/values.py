@@ -148,6 +148,29 @@ class NullFactory:
             self._counter = itertools.count(max(current, label + 1))
 
 
+_ORDERABLE_SCALARS = (str, int, float, bytes)
+
+
+def value_sort_key(value: Value) -> tuple:
+    """A cheap deterministic sort key over values (no ``repr`` building).
+
+    Constants order before labelled nulls before Skolem values; constants
+    order by ``(type name, value)`` so mixed-type domains never compare raw
+    values of different types, and non-orderable scalars fall back to their
+    ``repr``.  This is the canonical ordering the chase uses for
+    deterministic firing — much cheaper than the old sort-by-``repr`` hack
+    because the common scalar kinds never stringify.
+    """
+    if isinstance(value, Constant):
+        raw = value.value
+        if not isinstance(raw, _ORDERABLE_SCALARS):
+            raw = repr(raw)
+        return (0, type(value.value).__name__, raw)
+    if isinstance(value, LabeledNull):
+        return (1, "", value.label)
+    return (2, value.function, tuple(value_sort_key(a) for a in value.arguments))
+
+
 def max_null_label(values: Iterable[Value]) -> int:
     """Largest labelled-null label in *values*, or ``-1`` when none occur."""
     best = -1

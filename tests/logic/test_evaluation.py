@@ -41,6 +41,15 @@ class TestSingleAtom:
     def test_missing_relation_yields_nothing(self, db):
         assert list(evaluate(conj(atom("Nope", "x")), db)) == []
 
+    def test_arity_mismatch_raises(self, db):
+        from repro.logic.evaluation import ArityMismatchError, evaluate_scan
+
+        bad = conj(atom("Emp", "n", "d", "extra"))
+        with pytest.raises(ArityMismatchError, match="arity 3.*arity 2"):
+            list(evaluate(bad, db))
+        with pytest.raises(ArityMismatchError):
+            list(evaluate_scan(bad, db))
+
     def test_seed_restricts(self, db):
         c = conj(atom("Emp", "n", "d"))
         bindings = list(evaluate(c, db, seed={Var("d"): constant("d2")}))

@@ -1,0 +1,96 @@
+"""Hash indexes on instances: lazy build, caching, and inheritance."""
+
+from __future__ import annotations
+
+from repro.relational import Fact, constant, instance, relation, schema
+
+
+def make():
+    s = schema(relation("Emp", "name", "dept"), relation("Dept", "dept", "head"))
+    return instance(
+        s,
+        {
+            "Emp": [["ann", "d1"], ["bob", "d2"], ["cyd", "d1"]],
+            "Dept": [["d1", "hana"], ["d2", "hugo"]],
+        },
+    )
+
+
+class TestBuild:
+    def test_lazy_build_and_probe(self):
+        inst = make()
+        assert not inst.has_index("Emp", (1,))
+        idx = inst.index("Emp", (1,))
+        assert inst.has_index("Emp", (1,))
+        rows = idx[(constant("d1"),)]
+        assert {row[0] for row in rows} == {constant("ann"), constant("cyd")}
+        assert (constant("d9"),) not in idx
+
+    def test_cached_between_calls(self):
+        inst = make()
+        assert inst.index("Emp", (1,)) is inst.index("Emp", (1,))
+
+    def test_multi_column_key(self):
+        inst = make()
+        idx = inst.index("Emp", (0, 1))
+        assert idx[(constant("bob"), constant("d2"))] == [
+            (constant("bob"), constant("d2"))
+        ]
+
+    def test_empty_relation(self):
+        s = schema(relation("R", "a"))
+        inst = instance(s, {})
+        assert inst.index("R", (0,)) == {}
+
+
+class TestInheritance:
+    def test_with_facts_extends_changed_relation_index(self):
+        parent = make()
+        parent.index("Emp", (1,))
+        child = parent.with_facts([Fact("Emp", (constant("dee"), constant("d1")))])
+        # The child index was carried over and extended, not rebuilt.
+        assert child.has_index("Emp", (1,))
+        assert len(child.index("Emp", (1,))[(constant("d1"),)]) == 3
+        # The parent's index is untouched.
+        assert len(parent.index("Emp", (1,))[(constant("d1"),)]) == 2
+
+    def test_with_facts_keeps_unchanged_relation_index(self):
+        parent = make()
+        parent.index("Dept", (0,))
+        child = parent.with_facts([Fact("Emp", (constant("dee"), constant("d3")))])
+        assert child.has_index("Dept", (0,))
+        assert child.index("Dept", (0,)) is parent.index("Dept", (0,))
+
+    def test_with_facts_duplicate_rows_return_self(self):
+        parent = make()
+        same = parent.with_facts([Fact("Emp", (constant("ann"), constant("d1")))])
+        assert same is parent
+
+    def test_without_facts_drops_changed_keeps_rest(self):
+        parent = make()
+        parent.index("Emp", (1,))
+        parent.index("Dept", (0,))
+        child = parent.without_facts([Fact("Emp", (constant("ann"), constant("d1")))])
+        assert not child.has_index("Emp", (1,))
+        assert child.has_index("Dept", (0,))
+        # Rebuilding on the child reflects the removal.
+        assert len(child.index("Emp", (1,))[(constant("d1"),)]) == 1
+
+    def test_map_values_invalidates(self):
+        parent = make()
+        parent.index("Emp", (1,))
+        child = parent.map_values({constant("d1"): constant("dX")})
+        assert not child.has_index("Emp", (1,))
+        assert (constant("dX"),) in child.index("Emp", (1,))
+
+    def test_map_values_empty_substitution_is_identity(self):
+        parent = make()
+        assert parent.map_values({}) is parent
+
+    def test_restrict_keeps_surviving_indexes(self):
+        parent = make()
+        parent.index("Emp", (1,))
+        parent.index("Dept", (0,))
+        child = parent.restrict(["Emp"])
+        assert child.has_index("Emp", (1,))
+        assert not child.has_index("Dept", (0,))
