@@ -38,7 +38,29 @@ from pathlib import Path
 from repro.logic.evaluation import set_indexes_enabled
 from repro.mapping import SchemaMapping, universal_solution
 from repro.relational import instance, relation, schema
+from repro.relational.values import constant
 from repro.workloads import emp_manager_scenario
+
+
+def assert_interning_holds() -> None:
+    """Constant interning must actually share wrappers on this workload.
+
+    The hot loops below coerce the same scalars over and over; if
+    ``constant`` ever stops returning the identical wrapper for repeats,
+    the bench would silently measure re-allocation, so fail fast instead.
+    """
+    assert constant("bench-intern-probe") is constant("bench-intern-probe")
+    assert constant(42) is constant(42)
+    # 1 == True as dict keys, yet the wrappers must stay distinct.
+    assert constant(1) is not constant(True)
+    # Row coercion funnels through the same cache: equal scalars in two
+    # different instances share one wrapper object.
+    shared_schema = schema(relation("Probe", "v"))
+    left = instance(shared_schema, {"Probe": [["shared-value"]]})
+    right = instance(shared_schema, {"Probe": [["shared-value"]]})
+    (left_value,) = next(iter(left.rows("Probe")))
+    (right_value,) = next(iter(right.rows("Probe")))
+    assert left_value is right_value
 
 
 def e1_workload(size: int, dept_ratio: int):
@@ -124,6 +146,7 @@ def main() -> int:
     )
     args = parser.parse_args()
 
+    assert_interning_holds()
     results = []
     for name in args.workloads:
         build = WORKLOADS[name]

@@ -1,0 +1,244 @@
+"""Shard-parallel exchange and solution caching vs the serial chase.
+
+Measures the two levers of :mod:`repro.exec` on a clustered join
+workload (``Emp(n, d), Dept(d, h) → ∃m Office(n, h, m)`` with ``size``
+employees spread over ``size // dept_ratio`` departments — many small
+premise co-occurrence components, the shape sharding likes):
+
+* **parallel** — serial chase vs :class:`ParallelExchange` at 2 and 4
+  workers, warm pool (the first exchange per worker count pays pool
+  startup and is excluded).  Speedups are wall-clock and therefore
+  honest about the host: on a single-core container the sharded run
+  *loses* to serial by the serialization + process overhead, which is
+  exactly what the recorded ``cpu_count`` lets a reader see.
+* **cache** — cold exchange vs a fingerprint-keyed cache hit.  Hits are
+  measured on *fresh equal copies* of the source, so each timed hit pays
+  the full content-fingerprint cost a request stream would pay.
+
+Results go to ``BENCH_parallel.json``.  Checks for CI:
+
+* ``--check-equal`` — parallel solution ``canonically_equal`` to serial
+  at the smallest size (exit 1 otherwise);
+* ``--check-cache MIN`` — cache hits must be nonzero and at least
+  ``MIN``× faster than the cold exchange;
+* ``--check-speedup MIN`` — optional wall-clock gate for multi-core
+  hosts: 4-worker speedup must reach ``MIN``× at the largest size.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_exchange.py
+    PYTHONPATH=src python benchmarks/bench_parallel_exchange.py \
+        --sizes 400 2000 --repeat 3 --check-equal --check-cache 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics as pystats
+import sys
+import time
+from pathlib import Path
+
+from repro.exec import ExchangeCache, ParallelExchange, partition_source
+from repro.mapping import SchemaMapping, universal_solution
+from repro.relational import instance, relation, schema
+from repro.relational.canonical import canonically_equal
+
+
+def build_setting(size: int, dept_ratio: int):
+    depts = max(1, size // dept_ratio)
+    source_schema = schema(
+        relation("Emp", "name", "dept"), relation("Dept", "dept", "head")
+    )
+    target_schema = schema(relation("Office", "name", "head", "room"))
+    mapping = SchemaMapping.parse(
+        source_schema,
+        target_schema,
+        "Emp(n, d), Dept(d, h) -> exists m . Office(n, h, m)",
+    )
+
+    def fresh_source():
+        return instance(
+            source_schema,
+            {
+                "Emp": [[f"emp{i}", f"d{i % depts}"] for i in range(size)],
+                "Dept": [[f"d{j}", f"head{j}"] for j in range(depts)],
+            },
+        )
+
+    return mapping, fresh_source
+
+
+def timed(fn, repeat: int) -> list[float]:
+    samples = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return samples
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[1000, 4000, 10000]
+    )
+    parser.add_argument("--dept-ratio", type=int, default=20)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--workers", type=int, nargs="+", default=[2, 4])
+    parser.add_argument("--out", default="BENCH_parallel.json")
+    parser.add_argument(
+        "--check-equal",
+        action="store_true",
+        help="assert parallel ≡ serial (canonically_equal) on a small "
+        "dedicated instance (core minimization is exponential-ish in "
+        "nulls, so the check stays tiny regardless of --sizes)",
+    )
+    parser.add_argument(
+        "--check-cache",
+        type=float,
+        metavar="MIN",
+        help="exit 1 unless cache hits occur and are MIN× faster than cold",
+    )
+    parser.add_argument(
+        "--check-speedup",
+        type=float,
+        metavar="MIN",
+        help="exit 1 unless 4-worker wall-clock speedup reaches MIN× at the "
+        "largest size (meaningful on multi-core hosts only)",
+    )
+    args = parser.parse_args()
+
+    failures: list[str] = []
+    if args.check_equal:
+        mapping, fresh_source = build_setting(20, 4)
+        source = fresh_source()
+        serial_solution = universal_solution(mapping, source)
+        for workers in args.workers:
+            with ParallelExchange(mapping, workers=workers) as executor:
+                if not canonically_equal(executor.exchange(source), serial_solution):
+                    failures.append(
+                        f"check-equal: parallel differs from serial at "
+                        f"{workers} workers"
+                    )
+        if not failures:
+            print(
+                f"check-equal ok: parallel ≡ serial (canonically_equal) at "
+                f"workers {args.workers}"
+            )
+
+    parallel_results = []
+    for size in args.sizes:
+        mapping, fresh_source = build_setting(size, args.dept_ratio)
+        source = fresh_source()
+        partitioning = partition_source(mapping, source, max(args.workers))
+        serial = timed(lambda: universal_solution(mapping, source), args.repeat)
+        entry = {
+            "size": size,
+            "source_facts": source.size(),
+            "components": partitioning.components,
+            "largest_component": partitioning.largest_component,
+            "serial_seconds": pystats.median(serial),
+            "workers": {},
+        }
+        for workers in args.workers:
+            with ParallelExchange(mapping, workers=workers) as executor:
+                executor.exchange(source)  # warm the pool (startup excluded)
+                samples = timed(lambda: executor.exchange(source), args.repeat)
+            seconds = pystats.median(samples)
+            entry["workers"][str(workers)] = {
+                "seconds": seconds,
+                "speedup": entry["serial_seconds"] / seconds,
+            }
+        parallel_results.append(entry)
+        rendered = "  ".join(
+            f"{w}w {v['seconds']:.4f}s ({v['speedup']:.2f}x)"
+            for w, v in entry["workers"].items()
+        )
+        print(
+            f"parallel size={size:>6}: serial "
+            f"{entry['serial_seconds']:.4f}s  {rendered}"
+        )
+
+    cache_results = []
+    for size in args.sizes:
+        mapping, fresh_source = build_setting(size, args.dept_ratio)
+        cache = ExchangeCache(capacity=8)
+        with ParallelExchange(mapping, workers=1, cache=cache) as executor:
+            cold_copies = [fresh_source() for _ in range(args.repeat)]
+            cold = timed(lambda: executor.exchange(cold_copies[0]), 1)  # fills
+            cold += [
+                t
+                for copy in cold_copies[1:]
+                for t in timed(lambda: universal_solution(mapping, copy), 1)
+            ]
+            # each timed hit uses a fresh equal copy: the fingerprint is
+            # recomputed, the chase is not.
+            hit_copies = [fresh_source() for _ in range(args.repeat)]
+            hits = [
+                t
+                for copy in hit_copies
+                for t in timed(lambda: executor.exchange(copy), 1)
+            ]
+        entry = {
+            "size": size,
+            "cold_seconds": pystats.median(cold),
+            "hit_seconds": pystats.median(hits),
+            "hit_speedup": pystats.median(cold) / pystats.median(hits),
+            "cache_hits": cache.hits,
+            "cache_misses": cache.misses,
+        }
+        cache_results.append(entry)
+        print(
+            f"cache    size={size:>6}: cold {entry['cold_seconds']:.4f}s  "
+            f"hit {entry['hit_seconds']:.5f}s  ({entry['hit_speedup']:.0f}x, "
+            f"{entry['cache_hits']} hits)"
+        )
+
+    payload = {
+        "benchmark": "parallel_exchange",
+        "description": "shard-parallel chase + fingerprint-keyed solution cache "
+        "vs serial chase",
+        "cpu_count": os.cpu_count(),
+        "dept_ratio": args.dept_ratio,
+        "repeat": args.repeat,
+        "parallel": parallel_results,
+        "cache": cache_results,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out} (cpu_count={os.cpu_count()})")
+
+    if args.check_cache is not None:
+        worst = min(cache_results, key=lambda r: r["hit_speedup"])
+        if worst["cache_hits"] == 0:
+            failures.append("check-cache: no cache hits recorded")
+        elif worst["hit_speedup"] < args.check_cache:
+            failures.append(
+                f"check-cache: hit speedup {worst['hit_speedup']:.1f}x < "
+                f"{args.check_cache}x at size {worst['size']}"
+            )
+        else:
+            print(
+                f"check-cache ok: ≥{worst['hit_speedup']:.0f}x hit speedup, "
+                f"hits on every size"
+            )
+    if args.check_speedup is not None:
+        largest = max(parallel_results, key=lambda r: r["size"])
+        best = max(v["speedup"] for v in largest["workers"].values())
+        if best < args.check_speedup:
+            failures.append(
+                f"check-speedup: {best:.2f}x < {args.check_speedup}x at "
+                f"size {largest['size']} (cpu_count={os.cpu_count()})"
+            )
+        else:
+            print(f"check-speedup ok: {best:.2f}x at size {largest['size']}")
+
+    for failure in failures:
+        print(f"FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

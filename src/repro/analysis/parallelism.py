@@ -1,0 +1,85 @@
+"""Shard-parallelizability analysis (codes RA501–RA502).
+
+Mirrors :func:`repro.exec.partition.parallelizability` statically, so
+``repro lint`` can report whether ``repro exchange --workers N`` will
+actually shard before anyone runs an exchange:
+
+* **RA501** (info) — the mapping is shard-parallelizable: it has no
+  target dependencies, so the chase factors over the co-occurrence
+  components of the source and ``--workers`` applies.
+* **RA502** (info) — something defeats or degrades sharding, and the
+  diagnostic names it: an egd or target tgd (forces the serial path —
+  egds can merge values derived in different shards), or a
+  cross-joining premise (its bindings pair arbitrary facts, collapsing
+  every fact it touches into a single shard).
+
+The pass is purely symbolic — it inspects premise join structure and the
+dependency list, never an instance — so it is safe on untrusted input
+like every other lint pass.
+"""
+
+from __future__ import annotations
+
+from ..exec.partition import premise_join_structure
+from ..mapping.dependencies import Egd
+from .bundle import AnalysisBundle
+from .diagnostics import Diagnostic, Severity
+from .registry import register
+
+
+@register(
+    "parallelism",
+    ("RA501", "RA502"),
+    "shard-parallelizability of the forward exchange",
+)
+def check_parallelism(bundle: AnalysisBundle) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    for index, dependency in enumerate(bundle.target_dependencies):
+        kind = "egd" if isinstance(dependency, Egd) else "target tgd"
+        findings.append(
+            Diagnostic(
+                "RA502",
+                Severity.INFO,
+                f"{kind} {dependency!r} blocks shard-parallel exchange: "
+                f"target dependencies read the target, where facts derived "
+                f"in different shards interact, so --workers falls back to "
+                f"the serial chase",
+                bundle.span_for_dependency(index),
+                data={"blocker": "target-dependency", "dependency": index},
+            )
+        )
+    cross_joining: list[int] = []
+    for index, tgd in enumerate(bundle.tgds):
+        structure = premise_join_structure(tgd)
+        if not structure.cross_joining:
+            continue
+        cross_joining.append(index)
+        findings.append(
+            Diagnostic(
+                "RA502",
+                Severity.INFO,
+                f"{bundle.tgd_label(index)} has a cross-joining premise: "
+                f"{structure.reason}; every fact its premise touches "
+                f"collapses into one shard, so parallelism degrades (the "
+                f"exchange stays correct)",
+                bundle.span_for_tgd(index),
+                data={"blocker": "cross-join", "tgd": index},
+            )
+        )
+    if bundle.tgds and not bundle.target_dependencies:
+        qualifier = (
+            "" if not cross_joining else " (modulo the collapsing premises above)"
+        )
+        findings.append(
+            Diagnostic(
+                "RA501",
+                Severity.INFO,
+                f"mapping is shard-parallelizable{qualifier}: no target "
+                f"dependencies, so the chase factors over premise "
+                f"co-occurrence components and `repro exchange --workers N` "
+                f"shards the source",
+                bundle.span_for_tgd(0),
+                data={"cross_joining_tgds": cross_joining},
+            )
+        )
+    return findings

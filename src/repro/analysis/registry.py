@@ -67,7 +67,14 @@ def get_pass(name: str) -> AnalysisPass:
 
 def _ensure_loaded() -> None:
     # Import the pass modules for their registration side effects.
-    from . import composability, invertibility, safety, templates, termination  # noqa: F401
+    from . import (  # noqa: F401
+        composability,
+        invertibility,
+        parallelism,
+        safety,
+        templates,
+        termination,
+    )
 
 
 def analyze(

@@ -4,7 +4,8 @@ Usage (also via ``python -m repro``)::
 
     repro plan      --schemas schemas.json --mapping mapping.tgd [--verbose]
     repro exchange  --schemas schemas.json --mapping mapping.tgd \
-                    --data source.json [--out target.json]
+                    --data source.json [--out target.json] \
+                    [--workers N] [--cache N]
     repro chase     --schemas schemas.json --mapping mapping.tgd \
                     --data source.json            # reference engine
     repro put       --schemas schemas.json --mapping mapping.tgd \
@@ -13,7 +14,7 @@ Usage (also via ``python -m repro``)::
                     --data source.json            # completeness report
     repro questions --schemas schemas.json --mapping mapping.tgd
     repro profile   --schemas schemas.json --mapping mapping.tgd \
-                    --data source.json            # span tree + metrics
+                    --data source.json [--workers N]  # span tree + metrics
     repro lint      --schemas schemas.json --mapping mapping.tgd \
                     [--target-deps deps.tgd] [--json]   # static analysis
 
@@ -134,13 +135,24 @@ def _build_engine(args: argparse.Namespace) -> tuple[ExchangeEngine, Schema, Sch
         statistics = Statistics.gather(
             load_instance(args.data, source_schema, "source")
         )
-    engine = ExchangeEngine.compile(mapping, statistics)
+    engine = ExchangeEngine.compile(
+        mapping,
+        statistics,
+        workers=getattr(args, "workers", None),
+        cache=getattr(args, "cache", None),
+    )
     return engine, source_schema, target_schema
 
 
 def cmd_plan(args: argparse.Namespace) -> int:
-    engine, *_ = _build_engine(args)
+    engine, source_schema, _ = _build_engine(args)
     print(engine.explain(verbose=args.verbose))
+    if args.verbose and getattr(args, "data", None):
+        from .exec import shard_preview
+
+        source = load_instance(args.data, source_schema, "source")
+        print()
+        print(shard_preview(engine.mapping, source))
     return 0
 
 
@@ -157,7 +169,10 @@ def cmd_questions(args: argparse.Namespace) -> int:
 def cmd_exchange(args: argparse.Namespace) -> int:
     engine, source_schema, _ = _build_engine(args)
     source = load_instance(args.data, source_schema, "source")
-    result = engine.exchange(source)
+    try:
+        result = engine.exchange(source)
+    finally:
+        engine.close()
     _emit(result, args.out)
     return 0
 
@@ -189,9 +204,16 @@ def cmd_profile(args: argparse.Namespace) -> int:
     engine, source_schema, _ = _build_engine(args)
     source = load_instance(args.data, source_schema, "source")
     universal_solution(engine.mapping, source)  # reference chase
-    for _ in range(max(args.repeat, 1)):
-        target = engine.exchange(source)
-        engine.put_back(target, source)
+    try:
+        for _ in range(max(args.repeat, 1)):
+            target = engine.exchange(source)
+            # The executor returns the chase's solution (labelled nulls),
+            # not the lens view (Skolem values); put diffs against the
+            # lens view, so the round-trip must push that view back.
+            view = target if engine.executor is None else engine.lens.get(source)
+            engine.put_back(view, source)
+    finally:
+        engine.close()
     print(render_trace(get_tracer()))
     print()
     print(render_metrics(get_registry()))
@@ -325,8 +347,23 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.set_defaults(handler=cmd_questions)
 
+    def executor_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--workers",
+            type=int,
+            metavar="N",
+            help="shard the chase across N worker processes (repro.exec)",
+        )
+        p.add_argument(
+            "--cache",
+            type=int,
+            metavar="N",
+            help="cache up to N universal solutions keyed by content fingerprint",
+        )
+
     p = sub.add_parser("exchange", help="forward exchange via the compiled lens")
     common(p, data=True)
+    executor_flags(p)
     p.set_defaults(handler=cmd_exchange)
 
     p = sub.add_parser("chase", help="forward exchange via the chase (reference)")
@@ -365,6 +402,7 @@ def build_parser() -> argparse.ArgumentParser:
         "span tree and metric summary",
     )
     common(p, data=True)
+    executor_flags(p)
     p.add_argument(
         "--repeat",
         type=int,

@@ -55,16 +55,24 @@ class CompletenessReport:
 
 
 def forward_agrees_with_chase(
-    mapping: SchemaMapping, lens: ExchangeLens, source: Instance
+    mapping: SchemaMapping,
+    lens: ExchangeLens,
+    source: Instance,
+    chased: Instance | None = None,
+    compiled: Instance | None = None,
 ) -> bool:
     """Compiled ``get`` ≡ chase, up to homomorphic equivalence.
 
     Homomorphic equivalence is the right comparison: the chase invents
     labelled nulls, the lens canonical Skolem values, and equivalent
-    instances have identical certain answers for every CQ.
+    instances have identical certain answers for every CQ.  The optional
+    *chased*/*compiled* arguments accept precomputed solutions so a
+    harness checking many properties chases each source only once.
     """
-    chased = universal_solution(mapping, source)
-    compiled = lens.get(source)
+    if chased is None:
+        chased = universal_solution(mapping, source)
+    if compiled is None:
+        compiled = lens.get(source)
     return homomorphically_equivalent(chased, compiled)
 
 
@@ -74,10 +82,14 @@ def certain_answers_agree(
     source: Instance,
     query: Conjunction,
     head: Sequence[Var],
+    chased: Instance | None = None,
+    compiled: Instance | None = None,
 ) -> bool:
     """Chase and compiled solutions give the same certain answers for a CQ."""
-    chased = universal_solution(mapping, source)
-    compiled = lens.get(source)
+    if chased is None:
+        chased = universal_solution(mapping, source)
+    if compiled is None:
+        compiled = lens.get(source)
     return certain_answers_on_solution(
         chased, query, head
     ) == certain_answers_on_solution(compiled, query, head)
@@ -88,24 +100,38 @@ def check_completeness(
     sources: Iterable[Instance],
     queries: Sequence[tuple[Conjunction, Sequence[Var]]] = (),
 ) -> CompletenessReport:
-    """Run the completeness property over a family of source instances."""
+    """Run the completeness property over a family of source instances.
+
+    Each source is chased once and ``get`` run once; every property
+    (forward agreement, GetPut, per-query certain answers) reuses those
+    two solutions instead of re-deriving them per check.
+    """
     report = CompletenessReport()
     for source in sources:
         report.checked += 1
-        if forward_agrees_with_chase(engine.mapping, engine.lens, source):
+        chased = universal_solution(engine.mapping, source)
+        view = engine.lens.get(source)
+        if forward_agrees_with_chase(
+            engine.mapping, engine.lens, source, chased=chased, compiled=view
+        ):
             report.forward_agreements += 1
         else:
             report.failures.append(
                 f"forward direction disagrees with chase on {source!r}"
             )
-        view = engine.lens.get(source)
         if engine.lens.put(view, source) == source:
             report.getput_exact += 1
         else:
             report.failures.append(f"GetPut violated on {source!r}")
         for query, head in queries:
             if not certain_answers_agree(
-                engine.mapping, engine.lens, source, query, head
+                engine.mapping,
+                engine.lens,
+                source,
+                query,
+                head,
+                chased=chased,
+                compiled=view,
             ):
                 report.failures.append(
                     f"certain answers disagree on {source!r} for {query!r}"

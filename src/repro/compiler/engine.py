@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..exec.cache import ExchangeCache
+from ..exec.parallel import ParallelExchange
 from ..lenses.symmetric import SpanLens
 from ..mapping.sttgd import SchemaMapping
 from ..obs import get_registry, get_tracer
@@ -189,6 +191,7 @@ class ExchangeEngine:
     plan: MappingPlan
     lens: ExchangeLens
     hints: Hints = field(default_factory=Hints)
+    executor: ParallelExchange | None = None
 
     @classmethod
     def compile(
@@ -197,8 +200,17 @@ class ExchangeEngine:
         statistics: Statistics | None = None,
         hints: Hints | None = None,
         config: PlannerConfig | None = None,
+        workers: int | None = None,
+        cache: ExchangeCache | int | None = None,
     ) -> "ExchangeEngine":
-        """Compile a mapping: tgds → templates → policies → plan → lens."""
+        """Compile a mapping: tgds → templates → policies → plan → lens.
+
+        ``workers``/``cache`` opt into the :mod:`repro.exec` executor:
+        with either set, :meth:`exchange` shards the chase across a
+        process pool and/or serves repeat sources from a
+        fingerprint-keyed solution cache.  Both default to off, and the
+        backward direction (:meth:`put_back`) is unaffected.
+        """
         hints = hints or Hints()
         statistics = statistics or Statistics.assumed(mapping.source)
         with get_tracer().span("compile", tgds=len(mapping.tgds)) as span:
@@ -214,11 +226,34 @@ class ExchangeEngine:
             )
             span.set(units=len(units))
             get_registry().increment("compile.calls")
-        return cls(mapping, plan, lens, hints)
+        executor = None
+        if workers is not None or cache is not None:
+            executor = ParallelExchange(mapping, workers=workers, cache=cache)
+        return cls(mapping, plan, lens, hints, executor)
 
     def exchange(self, source: Instance) -> Instance:
-        """Forward data exchange: materialize the target instance."""
+        """Forward data exchange: materialize the target instance.
+
+        With an executor configured (``compile(..., workers=, cache=)``)
+        this runs the shard-parallel cached chase, whose solution is the
+        chase's (labelled nulls) rather than the lens view's (Skolem
+        values) — the two agree up to homomorphic equivalence.  Without
+        one, it is exactly ``lens.get``.
+        """
+        if self.executor is not None:
+            return self.executor.exchange(source)
         return self.lens.get(source)
+
+    def exchange_many(self, sources) -> list[Instance]:
+        """Exchange a stream of sources, reusing the pool and cache."""
+        if self.executor is not None:
+            return self.executor.exchange_many(sources)
+        return [self.lens.get(source) for source in sources]
+
+    def close(self) -> None:
+        """Release executor resources (worker pool); idempotent."""
+        if self.executor is not None:
+            self.executor.close()
 
     def put_back(self, view: Instance, source: Instance) -> Instance:
         """Propagate target edits back into the source."""

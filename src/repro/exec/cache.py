@@ -1,0 +1,98 @@
+"""Fingerprint-keyed caching of universal solutions.
+
+Identical sources arrive over and over in a request stream; a universal
+solution is a pure function of ``(mapping, source)``, so re-chasing is
+pure waste.  :class:`ExchangeCache` is a bounded LRU keyed by the pair
+of content fingerprints — :meth:`Instance.fingerprint` for the source
+and :func:`mapping_fingerprint` for the mapping — holding the (immutable)
+solution instances themselves.  Hit/miss counts feed the
+``exchange.cache.*`` counters of :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+
+from ..obs import get_registry
+from ..relational.instance import Instance
+from ..relational.serialization import dumps_schema
+from ..mapping.sttgd import SchemaMapping
+
+
+def mapping_fingerprint(mapping: SchemaMapping) -> str:
+    """A stable content hash of a mapping (schemas, tgds, target deps).
+
+    Cache entries must never survive a mapping change, so the key covers
+    both schemas, every st-tgd (in its re-parseable text form) and every
+    target dependency.
+    """
+    hasher = hashlib.sha256()
+
+    def feed(text: str) -> None:
+        encoded = text.encode("utf-8")
+        hasher.update(len(encoded).to_bytes(4, "big"))
+        hasher.update(encoded)
+
+    feed(dumps_schema(mapping.source, indent=None))
+    feed(dumps_schema(mapping.target, indent=None))
+    for tgd in mapping.tgds:
+        feed(tgd.to_text())
+    for dependency in mapping.target_dependencies:
+        feed(repr(dependency))
+    return hasher.hexdigest()
+
+
+class ExchangeCache:
+    """A bounded LRU of universal solutions.
+
+    Keys are ``(mapping_fingerprint, source_fingerprint)`` pairs; values
+    are solution :class:`Instance` objects (immutable, so they are
+    shared, not copied).  One cache can serve many mappings — the
+    mapping fingerprint keeps their entries apart.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._entries: OrderedDict[tuple[str, str], Instance] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, mapping_key: str, source_key: str) -> Instance | None:
+        """The cached solution, or ``None``; counts the hit or miss."""
+        entry = self._entries.get((mapping_key, source_key))
+        if entry is not None:
+            self._entries.move_to_end((mapping_key, source_key))
+            self.hits += 1
+            get_registry().increment("exchange.cache.hits")
+        else:
+            self.misses += 1
+            get_registry().increment("exchange.cache.misses")
+        return entry
+
+    def store(self, mapping_key: str, source_key: str, solution: Instance) -> None:
+        """Insert (or refresh) an entry, evicting least-recently-used."""
+        key = (mapping_key, source_key)
+        self._entries[key] = solution
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+            get_registry().increment("exchange.cache.evictions")
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"ExchangeCache({len(self._entries)}/{self._capacity} entries, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

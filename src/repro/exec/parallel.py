@@ -1,0 +1,265 @@
+"""Shard-parallel forward exchange over a process pool.
+
+:class:`ParallelExchange` scales the chase *across* premise-independent
+parts of the source: the partitioner (:mod:`repro.exec.partition`) cuts
+the source into shards no premise binding can span, a
+``ProcessPoolExecutor`` chases the shards concurrently (shards travel as
+the JSON encoding of :mod:`repro.relational.serialization`), and the
+shard solutions are merged under disjoint labelled-null namespaces.  The
+merged instance is the serial canonical universal solution up to null
+renaming (``canonically_equal`` — the test suite cross-checks this).
+
+Mappings with target dependencies fall back to the serial chase: egds
+merge values across the whole target, so shard chases cannot be merged
+soundly.  The executor also carries an optional fingerprint-keyed
+:class:`~repro.exec.cache.ExchangeCache`, and :meth:`exchange_many`
+amortizes mapping compilation and pool startup over a request stream.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Iterable, Sequence
+
+from ..mapping.chase import chase, universal_solution
+from ..mapping.sttgd import SchemaMapping
+from ..obs import get_registry, get_tracer
+from ..relational.instance import Instance, Row
+from ..relational.serialization import (
+    dumps_instance,
+    dumps_schema,
+    loads_instance,
+    loads_schema,
+)
+from ..relational.values import LabeledNull, NullFactory, max_null_label
+from .cache import ExchangeCache, mapping_fingerprint
+from .partition import ParallelizabilityReport, parallelizability, partition_source
+
+# Per-worker-process cache of parsed mappings, keyed by the payload
+# text, so a request stream compiles each mapping once per worker
+# instead of once per shard task.
+_WORKER_MAPPINGS: dict[tuple[str, str, str], SchemaMapping] = {}
+
+
+def _chase_shard(payload: tuple[str, str, str, str]) -> tuple[str, float]:
+    """Pool worker: chase one serialized shard, return (solution JSON, seconds).
+
+    Module-level so the pool can pickle it.  The invented labelled nulls
+    carry whatever labels the worker's factory produced; the parent
+    relabels them into disjoint namespaces when merging.
+    """
+    source_schema_json, target_schema_json, mapping_text, shard_json = payload
+    started = time.perf_counter()
+    mapping_key = (source_schema_json, target_schema_json, mapping_text)
+    mapping = _WORKER_MAPPINGS.get(mapping_key)
+    if mapping is None:
+        mapping = SchemaMapping.parse(
+            loads_schema(source_schema_json),
+            loads_schema(target_schema_json),
+            mapping_text,
+        )
+        _WORKER_MAPPINGS[mapping_key] = mapping
+    shard = loads_instance(shard_json)
+    result = chase(mapping, shard)
+    return dumps_instance(result.solution, indent=None), time.perf_counter() - started
+
+
+class ParallelExchange:
+    """A forward-exchange executor: sharded chase + solution cache.
+
+    >>> executor = ParallelExchange(mapping, workers=4, cache=128)
+    >>> solution = executor.exchange(source)          # one request
+    >>> solutions = executor.exchange_many(stream)    # a batch
+    >>> executor.close()                              # or use as a context manager
+
+    ``workers <= 1``, non-parallelizable mappings (target dependencies),
+    sources below ``min_parallel_facts`` and single-component partitions
+    all take the serial chase path — the executor is always correct,
+    parallelism is purely an optimization.
+    """
+
+    def __init__(
+        self,
+        mapping: SchemaMapping,
+        workers: int | None = None,
+        cache: ExchangeCache | int | None = None,
+        min_parallel_facts: int = 0,
+    ) -> None:
+        self._mapping = mapping
+        self._workers = workers if workers is not None else 1
+        if isinstance(cache, int):
+            cache = ExchangeCache(capacity=cache)
+        self._cache = cache
+        self._min_parallel_facts = min_parallel_facts
+        self._report = parallelizability(mapping)
+        self._mapping_key = mapping_fingerprint(mapping)
+        self._pool: ProcessPoolExecutor | None = None
+        if self._report.parallelizable:
+            self._payload_prefix = (
+                dumps_schema(mapping.source, indent=None),
+                dumps_schema(mapping.target, indent=None),
+                mapping.to_text(),
+            )
+        else:
+            self._payload_prefix = None
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def mapping(self) -> SchemaMapping:
+        return self._mapping
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def cache(self) -> ExchangeCache | None:
+        return self._cache
+
+    @property
+    def report(self) -> ParallelizabilityReport:
+        """Why (or why not) this mapping shards — see ``repro lint`` RA501/RA502."""
+        return self._report
+
+    @property
+    def parallelizable(self) -> bool:
+        return self._report.parallelizable
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExchange":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            started = time.perf_counter()
+            self._pool = ProcessPoolExecutor(max_workers=self._workers)
+            get_registry().observe(
+                "exchange.pool.startup_seconds", time.perf_counter() - started
+            )
+        return self._pool
+
+    # -- exchange ----------------------------------------------------------
+
+    def exchange(self, source: Instance) -> Instance:
+        """The canonical universal solution for *source* (cached, sharded)."""
+        if self._cache is None:
+            return self._exchange_uncached(source)
+        cached = self._cache.lookup(self._mapping_key, source.fingerprint())
+        if cached is not None:
+            return cached
+        solution = self._exchange_uncached(source)
+        self._cache.store(self._mapping_key, source.fingerprint(), solution)
+        return solution
+
+    def exchange_many(self, sources: Iterable[Instance]) -> list[Instance]:
+        """Exchange a request stream, amortizing pool startup and compilation.
+
+        Semantically ``[self.exchange(s) for s in sources]``; the batch
+        span and the shared pool/cache make the amortization visible to
+        the observability layer.
+        """
+        batch = list(sources)
+        with get_tracer().span("exchange.batch", sources=len(batch)) as span:
+            out = [self.exchange(source) for source in batch]
+            if self._cache is not None:
+                span.set(cache_hits=self._cache.hits, cache_misses=self._cache.misses)
+        return out
+
+    def _exchange_uncached(self, source: Instance) -> Instance:
+        if (
+            not self._report.parallelizable
+            or self._workers <= 1
+            or source.size() < self._min_parallel_facts
+        ):
+            return self._serial(source)
+        tracer = get_tracer()
+        registry = get_registry()
+        with tracer.span(
+            "exchange.parallel", workers=self._workers, source_facts=source.size()
+        ) as span:
+            with tracer.span("exchange.partition"):
+                partitioning = partition_source(self._mapping, source, self._workers)
+            shards = partitioning.shards
+            span.set(shards=len(shards), components=partitioning.components)
+            registry.histogram("exchange.shards").observe(len(shards))
+            for size in partitioning.shard_sizes:
+                registry.histogram("exchange.shard_facts").observe(size)
+            if len(shards) <= 1:
+                registry.increment("exchange.single_shard_fallbacks")
+                return self._serial(source)
+            try:
+                solution = self._chase_shards(source, shards, span)
+            except (BrokenProcessPool, OSError) as exc:
+                # A sandbox or resource limit broke the pool: never fail
+                # the exchange over an optimization — chase serially.
+                registry.increment("exchange.pool.failures")
+                span.set(pool_failure=repr(exc))
+                self._pool = None
+                return self._serial(source)
+            registry.increment("exchange.parallel.runs")
+        return solution
+
+    def _chase_shards(
+        self, source: Instance, shards: Sequence[Instance], span
+    ) -> Instance:
+        assert self._payload_prefix is not None
+        pool = self._ensure_pool()
+        registry = get_registry()
+        wall_started = time.perf_counter()
+        with get_tracer().span("exchange.ship", shards=len(shards)):
+            shard_maxima = [max_null_label(shard.values()) for shard in shards]
+            payloads = [
+                self._payload_prefix + (dumps_instance(shard, indent=None),)
+                for shard in shards
+            ]
+        results = list(pool.map(_chase_shard, payloads))
+        wall = time.perf_counter() - wall_started
+        worker_seconds = [seconds for _json, seconds in results]
+        overhead = wall - max(worker_seconds, default=0.0)
+        registry.observe("exchange.pool.overhead_seconds", max(overhead, 0.0))
+        span.set(wall_seconds=round(wall, 6), pool_overhead_seconds=round(overhead, 6))
+
+        # Merge under disjoint null namespaces: each shard's *invented*
+        # nulls (labels above the shard's own maximum — the chase seeds
+        # its factory past them) are relabeled from one global factory
+        # reserved past every source null, so shards can never collide
+        # with each other or with pre-existing source nulls.
+        factory = NullFactory()
+        factory.reserve_through(max_null_label(source.values()))
+        merged_rows: dict[str, set[Row]] = {
+            name: set() for name in self._mapping.target.relation_names
+        }
+        with get_tracer().span("exchange.merge", shards=len(shards)):
+            for (solution_json, _seconds), shard_max in zip(results, shard_maxima):
+                shard_solution = loads_instance(solution_json)
+                invented = sorted(
+                    (
+                        null
+                        for null in shard_solution.nulls()
+                        if isinstance(null, LabeledNull) and null.label > shard_max
+                    ),
+                    key=lambda null: null.label,
+                )
+                relabeled = shard_solution.map_values(
+                    {null: factory.fresh() for null in invented}
+                )
+                for name in relabeled.relation_names():
+                    merged_rows[name] |= relabeled.rows(name)
+        return Instance(self._mapping.target, merged_rows)
+
+    def _serial(self, source: Instance) -> Instance:
+        get_registry().increment("exchange.serial_runs")
+        return universal_solution(self._mapping, source)

@@ -1,0 +1,420 @@
+"""Sharding a source instance under the premise co-occurrence graph.
+
+Shard-parallel exchange is sound exactly when no premise binding can
+span two shards: the st-tgd chase fires once per premise binding, so if
+every binding's facts live in one shard, the union of the shard chases
+is the serial chase up to null renaming (paper, Section 2's formula (1)
+reads only the source).  This module computes that partition:
+
+* :func:`premise_join_structure` analyses one tgd's premise *statically*
+  — which atoms are joined through shared variables (or variable-to-
+  variable equalities), and whether the premise is **cross-joining**
+  (two atom groups with no join between them, or an inequality spanning
+  atoms): a cross-joining premise admits bindings pairing arbitrary
+  facts, so every fact matching it collapses into a single shard.
+* :func:`parallelizability` reports whether a whole mapping can be
+  shard-chased at all: target dependencies (egds / target tgds) read and
+  rewrite the *target*, where facts derived in different shards can
+  interact, so any target dependency forces the serial path.  The lint
+  pass RA501/RA502 surfaces the same report statically.
+* :func:`partition_source` unions source facts that can co-occur in some
+  premise binding (connected components of the co-occurrence graph,
+  over-approximated per join variable value) and packs the components
+  into at most ``max_shards`` balanced shards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..logic.formulas import Atom, ConstantPredicate, Equality
+from ..logic.terms import Const, Var
+from ..mapping.dependencies import Egd
+from ..mapping.sttgd import SchemaMapping, StTgd
+from ..relational.instance import Fact, Instance, Row
+from ..relational.values import value_sort_key
+
+
+@dataclass(frozen=True)
+class Blocker:
+    """One reason a mapping cannot be shard-chased (or shards collapse).
+
+    ``kind`` is ``"target-dependency"`` (forces the serial path) or
+    ``"cross-join"`` (the premise collapses its relations into a single
+    shard, defeating the partition without breaking correctness).
+    ``index`` points into ``mapping.target_dependencies`` or
+    ``mapping.tgds`` respectively.
+    """
+
+    kind: str
+    index: int
+    description: str
+
+    def __repr__(self) -> str:
+        return f"Blocker({self.kind}#{self.index}: {self.description})"
+
+
+@dataclass(frozen=True)
+class ParallelizabilityReport:
+    """Whether a mapping supports shard-parallel exchange, and why not."""
+
+    parallelizable: bool
+    blockers: tuple[Blocker, ...]
+
+    @property
+    def cross_joining_tgds(self) -> tuple[int, ...]:
+        return tuple(b.index for b in self.blockers if b.kind == "cross-join")
+
+    def describe(self) -> str:
+        if self.parallelizable and not self.blockers:
+            return "shard-parallelizable: every premise binding stays within one shard"
+        lines = []
+        if not self.parallelizable:
+            lines.append("not shard-parallelizable (serial fallback):")
+        else:
+            lines.append("shard-parallelizable, with collapsing premises:")
+        lines.extend(f"  - {b.description}" for b in self.blockers)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PremiseJoinStructure:
+    """The static join shape of one tgd premise.
+
+    ``components`` groups premise-atom indexes that are transitively
+    connected through shared join variables (variable-to-variable
+    equalities alias their variables first).  ``cross_joining`` is true
+    when the premise admits bindings pairing facts with no value
+    constraint between them; ``reason`` then explains which construct
+    caused it.  ``join_classes`` maps each variable to its alias-class
+    id, and ``shared_classes`` lists the class ids appearing in two or
+    more atoms — the keys the partitioner groups fact values by.
+    """
+
+    atoms: tuple[Atom, ...]
+    components: tuple[tuple[int, ...], ...]
+    cross_joining: bool
+    reason: str | None
+    join_classes: dict[Var, int]
+    shared_classes: frozenset[int]
+
+
+def premise_join_structure(tgd: StTgd) -> PremiseJoinStructure:
+    atoms = tuple(tgd.premise.atoms())
+    # Alias classes: variables merged by var = var side conditions.
+    class_of: dict[Var, int] = {}
+    parent: list[int] = []
+
+    def class_id(v: Var) -> int:
+        if v not in class_of:
+            class_of[v] = len(parent)
+            parent.append(len(parent))
+        return class_of[v]
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        parent[find(i)] = find(j)
+
+    for v in tgd.premise.variables():
+        class_id(v)
+    cross_reason: str | None = None
+    for literal in tgd.premise.literals:
+        if isinstance(literal, Atom) or isinstance(literal, ConstantPredicate):
+            continue
+        if (
+            isinstance(literal, Equality)
+            and isinstance(literal.left, Var)
+            and isinstance(literal.right, Var)
+        ):
+            union(class_id(literal.left), class_id(literal.right))
+            continue
+        # Any other side condition (inequalities, equalities against
+        # constants or function terms) constrains values without making
+        # them equal.  Within one atom that is harmless; spanning two
+        # atoms it admits near-arbitrary fact pairs, so be conservative.
+        touched_atoms = {
+            i
+            for i, atom in enumerate(atoms)
+            if set(atom.variables()) & set(literal.variables())
+        }
+        if len(touched_atoms) > 1 and cross_reason is None:
+            cross_reason = (
+                f"side condition {literal!r} spans atoms of different "
+                f"relations; it constrains without equating, so any fact "
+                f"pair may co-occur"
+            )
+
+    # Atom connectivity through shared alias classes.
+    atom_parent = list(range(len(atoms)))
+
+    def atom_find(i: int) -> int:
+        while atom_parent[i] != i:
+            atom_parent[i] = atom_parent[atom_parent[i]]
+            i = atom_parent[i]
+        return i
+
+    classes_by_atom: list[set[int]] = []
+    for atom in atoms:
+        classes_by_atom.append({find(class_id(v)) for v in atom.variables()})
+    first_atom_with: dict[int, int] = {}
+    for i, classes in enumerate(classes_by_atom):
+        for c in classes:
+            if c in first_atom_with:
+                atom_parent[atom_find(first_atom_with[c])] = atom_find(i)
+            else:
+                first_atom_with[c] = i
+    groups: dict[int, list[int]] = {}
+    for i in range(len(atoms)):
+        groups.setdefault(atom_find(i), []).append(i)
+    components = tuple(tuple(sorted(g)) for g in sorted(groups.values()))
+
+    if cross_reason is None and len(components) > 1:
+        names = " | ".join(
+            "{" + ", ".join(atoms[i].relation for i in comp) + "}"
+            for comp in components
+        )
+        cross_reason = (
+            f"premise atoms fall into {len(components)} disconnected join "
+            f"groups {names}; bindings pair their facts arbitrarily"
+        )
+
+    shared: set[int] = set()
+    seen_in: dict[int, int] = {}
+    for i, classes in enumerate(classes_by_atom):
+        for c in classes:
+            if c in seen_in and seen_in[c] != i:
+                shared.add(c)
+            else:
+                seen_in.setdefault(c, i)
+    normalized_classes = {v: find(c) for v, c in class_of.items()}
+    return PremiseJoinStructure(
+        atoms=atoms,
+        components=components,
+        cross_joining=cross_reason is not None,
+        reason=cross_reason,
+        join_classes=normalized_classes,
+        shared_classes=frozenset(shared),
+    )
+
+
+def parallelizability(mapping: SchemaMapping) -> ParallelizabilityReport:
+    """The static shard-parallelizability report for *mapping*."""
+    blockers: list[Blocker] = []
+    for index, dependency in enumerate(mapping.target_dependencies):
+        kind = "egd" if isinstance(dependency, Egd) else "target tgd"
+        blockers.append(
+            Blocker(
+                "target-dependency",
+                index,
+                f"{kind} {dependency!r} reads the target, where facts "
+                f"derived in different shards interact (egds can merge "
+                f"values across shards) — serial chase required",
+            )
+        )
+    for index, tgd in enumerate(mapping.tgds):
+        structure = premise_join_structure(tgd)
+        if structure.cross_joining:
+            blockers.append(
+                Blocker(
+                    "cross-join",
+                    index,
+                    f"tgd#{index} ({tgd.to_text()}): {structure.reason}",
+                )
+            )
+    parallelizable = not any(b.kind == "target-dependency" for b in blockers)
+    return ParallelizabilityReport(parallelizable, tuple(blockers))
+
+
+@dataclass(frozen=True)
+class Partitioning:
+    """The outcome of sharding one source instance.
+
+    ``shards`` are sub-instances over the full source schema whose fact
+    sets partition the source.  ``components`` is the number of
+    co-occurrence components found (the parallelism ceiling);
+    ``largest_component`` its largest fact count.
+    """
+
+    shards: tuple[Instance, ...]
+    components: int
+    largest_component: int
+
+    @property
+    def shard_sizes(self) -> tuple[int, ...]:
+        return tuple(shard.size() for shard in self.shards)
+
+
+def _atom_matches_row(atom: Atom, row: Row) -> bool:
+    """Whether *row* can instantiate *atom* (constants and repeats agree)."""
+    if atom.arity != len(row):
+        return False
+    bound: dict[Var, object] = {}
+    for term, value in zip(atom.terms, row):
+        if isinstance(term, Const):
+            if term.value != value:
+                return False
+        elif isinstance(term, Var):
+            if term in bound:
+                if bound[term] != value:
+                    return False
+            else:
+                bound[term] = value
+        else:  # FuncTerm premises never reach the first-order partitioner
+            return False
+    return True
+
+
+def _component_indexes(
+    mapping: SchemaMapping, source: Instance
+) -> tuple[list[Fact], list[list[int]], list[int]]:
+    """Facts in canonical order, their co-occurrence components, inert rest.
+
+    Union-find over facts: for every non-cross-joining premise, facts
+    carrying the same value at positions of one shared join-variable
+    class are unioned (a sound over-approximation of "co-occur in some
+    binding"); for cross-joining premises, every fact matching any of
+    the premise's relations is unioned into one group.  Facts matching
+    no premise at all derive nothing and are returned separately.
+    """
+    facts: list[Fact] = []
+    for name in sorted(source.relation_names()):
+        rows = sorted(
+            source.rows(name),
+            key=lambda row: tuple(value_sort_key(v) for v in row),
+        )
+        facts.extend(Fact(name, row) for row in rows)
+    parent = list(range(len(facts)))
+    active = [False] * len(facts)
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[ri] = rj
+
+    by_relation: dict[str, list[int]] = {}
+    for i, fact in enumerate(facts):
+        by_relation.setdefault(fact.relation, []).append(i)
+
+    for tgd_index, tgd in enumerate(mapping.tgds):
+        structure = premise_join_structure(tgd)
+        if structure.cross_joining:
+            anchor: int | None = None
+            for atom in structure.atoms:
+                for i in by_relation.get(atom.relation, ()):
+                    active[i] = True
+                    if anchor is None:
+                        anchor = i
+                    else:
+                        union(anchor, i)
+            continue
+        # Group facts by (join class, value): any binding giving the
+        # class value v uses only facts carrying v at the class's
+        # positions, so unioning them over-approximates co-occurrence.
+        group_anchor: dict[tuple[int, int, object], int] = {}
+        for atom in structure.atoms:
+            class_positions: list[tuple[int, int]] = []
+            for position, term in enumerate(atom.terms):
+                if isinstance(term, Var):
+                    cls = structure.join_classes[term]
+                    if cls in structure.shared_classes:
+                        class_positions.append((cls, position))
+            for i in by_relation.get(atom.relation, ()):
+                fact = facts[i]
+                if not _atom_matches_row(atom, fact.row):
+                    continue
+                active[i] = True
+                for cls, position in class_positions:
+                    key = (tgd_index, cls, fact.row[position])
+                    existing = group_anchor.get(key)
+                    if existing is None:
+                        group_anchor[key] = i
+                    else:
+                        union(existing, i)
+
+    components: dict[int, list[int]] = {}
+    inert: list[int] = []
+    for i in range(len(facts)):
+        if active[i]:
+            components.setdefault(find(i), []).append(i)
+        else:
+            inert.append(i)
+
+    ordered_components = sorted(
+        components.values(), key=lambda members: (-len(members), members[0])
+    )
+    return facts, ordered_components, inert
+
+
+def partition_source(
+    mapping: SchemaMapping, source: Instance, max_shards: int
+) -> Partitioning:
+    """Partition *source* so no premise binding spans two shards.
+
+    Components (see :func:`_component_indexes`) are packed largest-first
+    onto the currently lightest shard; inert facts are spread round-robin
+    for balance.
+    """
+    if max_shards < 1:
+        raise ValueError(f"max_shards must be >= 1, got {max_shards}")
+    facts, ordered_components, inert = _component_indexes(mapping, source)
+    largest = len(ordered_components[0]) if ordered_components else 0
+    shard_count = max(1, min(max_shards, len(ordered_components) or 1))
+    buckets: list[list[int]] = [[] for _ in range(shard_count)]
+    for members in ordered_components:
+        lightest = min(range(shard_count), key=lambda s: len(buckets[s]))
+        buckets[lightest].extend(members)
+    for offset, i in enumerate(inert):
+        buckets[offset % shard_count].append(i)
+
+    shards = []
+    for bucket in buckets:
+        rows_by_relation: dict[str, list[Row]] = {}
+        for i in bucket:
+            fact = facts[i]
+            rows_by_relation.setdefault(fact.relation, []).append(fact.row)
+        shards.append(Instance(source.schema, rows_by_relation))
+    return Partitioning(
+        shards=tuple(shards),
+        components=len(ordered_components),
+        largest_component=largest,
+    )
+
+
+def shard_preview(
+    mapping: SchemaMapping, source: Instance, workers: Sequence[int] = (2, 4)
+) -> str:
+    """A human-readable sharding summary for ``repro plan --verbose``."""
+    report = parallelizability(mapping)
+    lines = [report.describe()]
+    if report.parallelizable:
+        ceiling = partition_source(mapping, source, max_shards=source.size() or 1)
+        lines.append(
+            f"co-occurrence components: {ceiling.components} "
+            f"(largest {ceiling.largest_component} facts) over "
+            f"{source.size()} source facts"
+        )
+        for count in workers:
+            partitioning = partition_source(mapping, source, max_shards=count)
+            sizes = ", ".join(str(s) for s in partitioning.shard_sizes)
+            lines.append(f"shards at {count} workers: [{sizes}]")
+    return "\n".join(lines)
+
+
+def co_occurrence_components(
+    mapping: SchemaMapping, source: Instance
+) -> list[list[Fact]]:
+    """The raw co-occurrence components, largest first (inert facts omitted)."""
+    facts, ordered_components, _inert = _component_indexes(mapping, source)
+    return [[facts[i] for i in members] for members in ordered_components]

@@ -39,13 +39,19 @@ def certain_answers(
     source: Instance,
     query: Conjunction,
     head: Sequence[Var],
+    solution: Instance | None = None,
 ) -> set[tuple[Value, ...]]:
     """Certain answers of a conjunctive query over the target schema.
 
     Computed as the naive evaluation of *query* on the canonical universal
-    solution of *source* — correct for CQs by FKMP (2005).
+    solution of *source* — correct for CQs by FKMP (2005).  Pass an
+    already-materialized universal *solution* (e.g. from a prior chase, a
+    :class:`~repro.exec.parallel.ParallelExchange`, or its cache) to
+    answer many queries without re-chasing; the caller asserts it really
+    is a universal solution of *source* under *mapping*.
     """
-    solution = universal_solution(mapping, source)
+    if solution is None:
+        solution = universal_solution(mapping, source)
     return naive_answers(query, head, solution)
 
 

@@ -11,6 +11,7 @@ shorthand for literals in tests and examples.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Iterator, Mapping
 
@@ -68,7 +69,7 @@ class Instance:
     the schema.
     """
 
-    __slots__ = ("_schema", "_relations", "_hash", "_indexes")
+    __slots__ = ("_schema", "_relations", "_hash", "_indexes", "_fingerprint")
 
     def __init__(
         self,
@@ -105,6 +106,7 @@ class Instance:
         }
         self._hash: int | None = None
         self._indexes: dict[tuple[str, tuple[int, ...]], dict[tuple, list[Row]]] = {}
+        self._fingerprint: str | None = None
 
     @classmethod
     def _unsafe(
@@ -122,6 +124,7 @@ class Instance:
         self._relations = relations
         self._hash = None
         self._indexes = {}
+        self._fingerprint = None
         return self
 
     def _validated_row(self, name: str, row: Row) -> Row:
@@ -361,6 +364,49 @@ class Instance:
                 (self._schema, frozenset(self._relations.items()))
             )
         return self._hash
+
+    def fingerprint(self) -> str:
+        """A stable content hash of the instance (schema + facts).
+
+        The fingerprint is a hex SHA-256 digest over a canonical,
+        order-independent encoding: relations are visited in sorted name
+        order, rows as their sorted ``repr`` strings, every chunk
+        length-prefixed so adjacent fields can never be confused.  Row
+        reprs separate value kinds syntactically — string constants are
+        quoted, so ``'⊥3'`` (a constant) never collides with ``⊥3`` (a
+        labelled null) or ``f(…)`` (a Skolem value) — and builtin scalar
+        reprs are injective per type (``1`` vs ``1.0`` vs ``True`` vs
+        ``'1'`` all differ).  Equal instances (same schema, same facts)
+        always agree; the digest is process-stable, so it can key caches
+        shared across runs.  Computed lazily and memoized (instances are
+        immutable); this runs on every cache probe for a fresh source,
+        which is why rows hash by C-speed ``repr`` instead of a per-value
+        tagged walk.
+        """
+        if self._fingerprint is None:
+            hasher = hashlib.sha256()
+
+            def feed(text: str) -> None:
+                encoded = text.encode("utf-8")
+                hasher.update(len(encoded).to_bytes(4, "big"))
+                hasher.update(encoded)
+
+            for rel in sorted(self._schema, key=lambda r: r.name):
+                feed("R")
+                feed(rel.name)
+                for attr in rel.attributes:
+                    feed(attr.name)
+                    feed(attr.type.value)
+            for name in sorted(self._relations):
+                rows = self._relations[name]
+                if not rows:
+                    continue
+                feed("F")
+                feed(name)
+                for text in sorted(map(repr, rows)):
+                    feed(text)
+            self._fingerprint = hasher.hexdigest()
+        return self._fingerprint
 
     def __repr__(self) -> str:
         parts = []

@@ -101,17 +101,47 @@ def is_null(value: Value) -> bool:
     return isinstance(value, (LabeledNull, SkolemValue))
 
 
+# Interning cache for Constant wrappers.  Hot paths (row coercion, the
+# indexed evaluator's probe keys) hash and compare constants constantly;
+# sharing one wrapper per distinct scalar turns most of those equality
+# checks into pointer comparisons and stops re-allocating duplicates.
+# Keys carry the scalar's type so 1, 1.0 and True keep distinct wrappers
+# (they compare equal as dict keys but sort differently).  The cache is
+# bounded: past the cap new scalars get fresh, uncached wrappers, so an
+# adversarial stream of distinct values cannot grow memory without bound.
+_INTERN_CAP = 1 << 16
+_interned_constants: dict[tuple[type, Hashable], Constant] = {}
+
+
+def intern_info() -> tuple[int, int]:
+    """``(cached_constants, cap)`` — introspection for tests and benchmarks."""
+    return len(_interned_constants), _INTERN_CAP
+
+
 def constant(value: Hashable) -> Constant:
-    """Wrap a raw Python scalar as a :class:`Constant`.
+    """Wrap a raw Python scalar as a :class:`Constant` (interned).
 
     Idempotent on values that are already :class:`Constant`, and rejects
-    nulls so callers cannot accidentally "constantify" a null.
+    nulls so callers cannot accidentally "constantify" a null.  Repeated
+    calls with the same scalar return the *same* wrapper object (up to a
+    bounded cache size), so hot-path equality and hashing in the indexed
+    evaluator stop allocating duplicate constants.
     """
     if isinstance(value, Constant):
         return value
     if isinstance(value, (LabeledNull, SkolemValue)):
         raise TypeError(f"cannot convert null-like value {value!r} to a constant")
-    return Constant(value)
+    try:
+        return _interned_constants[(type(value), value)]
+    except KeyError:
+        wrapped = Constant(value)
+        if len(_interned_constants) < _INTERN_CAP:
+            _interned_constants[(type(value), value)] = wrapped
+        return wrapped
+    except TypeError:
+        # Unhashable scalars cannot be cache keys (they would fail later
+        # anyway when the row lands in a set); preserve the old behaviour.
+        return Constant(value)
 
 
 def constants(values: Iterable[Hashable]) -> tuple[Constant, ...]:

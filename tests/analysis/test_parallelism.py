@@ -1,0 +1,75 @@
+"""Tests for the parallelism pass (RA501–RA502)."""
+
+from repro.analysis import AnalysisBundle, analyze
+from repro.logic.parser import Span, parse_conjunction, parse_rule
+from repro.logic.terms import Var
+from repro.mapping.dependencies import Egd, TargetTgd
+from repro.mapping.sttgd import StTgd
+from repro.relational import relation, schema
+
+
+SRC = schema(relation("Emp", "name", "dept"), relation("Dept", "dept", "head"))
+TGT = schema(relation("Office", "name", "head", "room"))
+JOIN = StTgd.parse("Emp(n, d), Dept(d, h) -> exists m . Office(n, h, m)")
+CROSS = StTgd.parse("Emp(n, d), Dept(e, h) -> exists m . Office(n, h, m)")
+
+
+def office_egd():
+    return Egd(
+        parse_conjunction("Office(n, h, m), Office(n, h2, m2)"),
+        Var("h"),
+        Var("h2"),
+    )
+
+
+class TestParallelism:
+    def test_clean_mapping_reports_ra501(self):
+        report = analyze(AnalysisBundle(SRC, TGT, [JOIN]), passes=["parallelism"])
+        found = report.with_code("RA501")
+        assert len(found) == 1
+        assert found[0].severity.value == "info"
+        assert "--workers" in found[0].message
+        assert report.exit_code() == 0
+
+    def test_egd_reports_ra502_and_suppresses_ra501(self):
+        bundle = AnalysisBundle(
+            SRC, TGT, [JOIN], target_dependencies=[office_egd()]
+        )
+        report = analyze(bundle, passes=["parallelism"])
+        assert len(report.with_code("RA501")) == 0
+        (found,) = report.with_code("RA502")
+        assert "egd" in found.message
+        assert found.data["blocker"] == "target-dependency"
+
+    def test_target_tgd_named_distinctly(self):
+        rule = parse_rule("Office(n, h, m) -> Office(h, h, m)")
+        dep = TargetTgd(rule.lhs, rule.branches[0][1])
+        bundle = AnalysisBundle(SRC, TGT, [JOIN], target_dependencies=[dep])
+        report = analyze(bundle, passes=["parallelism"])
+        (found,) = report.with_code("RA502")
+        assert "target tgd" in found.message
+
+    def test_cross_join_reports_both_codes(self):
+        report = analyze(AnalysisBundle(SRC, TGT, [CROSS]), passes=["parallelism"])
+        (ra502,) = report.with_code("RA502")
+        assert ra502.data["blocker"] == "cross-join"
+        assert "cross-joining premise" in ra502.message
+        (ra501,) = report.with_code("RA501")
+        assert "modulo the collapsing premises" in ra501.message
+
+    def test_dependency_span_is_attached(self):
+        dep_span = Span(line=3, column=1, source="deps.tgd", text="egd text")
+        bundle = AnalysisBundle(
+            SRC,
+            TGT,
+            [JOIN],
+            target_dependencies=[office_egd()],
+            dependency_spans=(dep_span,),
+        )
+        report = analyze(bundle, passes=["parallelism"])
+        (found,) = report.with_code("RA502")
+        assert found.span == dep_span
+
+    def test_empty_bundle_is_silent(self):
+        report = analyze(AnalysisBundle(SRC, TGT, []), passes=["parallelism"])
+        assert len(report) == 0

@@ -132,19 +132,64 @@ class TestAgreementWithFullExchange:
         assert refreshed.same_facts(engine.exchange(delta.apply(old_source)))
 
 
+def _egd_engine():
+    from repro.logic.parser import parse_conjunction
+    from repro.logic.terms import Var
+    from repro.mapping import SchemaMapping, StTgd
+    from repro.mapping.dependencies import Egd
+
+    source = schema(relation("A", "x"))
+    target = schema(relation("B", "x", "y"))
+    egd = Egd(parse_conjunction("B(x, y), B(x, z)"), Var("y"), Var("z"))
+    mapping = SchemaMapping(
+        source, target, [StTgd.parse("A(x) -> exists y . B(x, y)")], [egd]
+    )
+    return ExchangeEngine.compile(mapping)
+
+
+def _refresh_with_fallback(engine, delta, old_source, old_target):
+    """The caller-side contract: incremental when supported, else re-exchange."""
+    try:
+        incremental = IncrementalExchange(engine.lens)
+    except IncrementalUnsupported:
+        return engine.exchange(delta.apply(old_source))
+    return incremental.refresh(delta, old_source, old_target)
+
+
 class TestUnsupported:
     def test_target_dependencies_rejected(self):
-        from repro.logic.parser import parse_conjunction
-        from repro.logic.terms import Var
-        from repro.mapping import SchemaMapping, StTgd
-        from repro.mapping.dependencies import Egd
-
-        source = schema(relation("A", "x"))
-        target = schema(relation("B", "x", "y"))
-        egd = Egd(parse_conjunction("B(x, y), B(x, z)"), Var("y"), Var("z"))
-        mapping = SchemaMapping(
-            source, target, [StTgd.parse("A(x) -> exists y . B(x, y)")], [egd]
-        )
-        engine = ExchangeEngine.compile(mapping)
+        engine = _egd_engine()
         with pytest.raises(IncrementalUnsupported):
             IncrementalExchange(engine.lens)
+
+    def test_rejection_is_raised_before_any_delta_work(self):
+        # The constructor itself raises — callers can pick the fallback
+        # path once, up front, not per delta.
+        engine = _egd_engine()
+        with pytest.raises(IncrementalUnsupported, match="re-exchange"):
+            IncrementalExchange(engine.lens)
+
+    def test_fallback_full_reexchange_is_byte_identical(self):
+        from repro.relational import dumps_instance
+
+        engine = _egd_engine()
+        old_source = instance(engine.mapping.source, {"A": [["a1"], ["a2"]]})
+        old_target = engine.exchange(old_source)
+        delta = InstanceDelta([fact("A", "a3")], [fact("A", "a1")])
+
+        refreshed = _refresh_with_fallback(engine, delta, old_source, old_target)
+        recomputed = engine.exchange(delta.apply(old_source))
+        assert dumps_instance(refreshed) == dumps_instance(recomputed)
+
+    def test_fallback_contract_matches_supported_path(self):
+        # On an egd-free mapping the same caller-side contract takes the
+        # incremental path and still agrees with full re-exchange.
+        scenario = hr_scenario()
+        engine = ExchangeEngine.compile(
+            scenario.mapping, Statistics.gather(scenario.sample)
+        )
+        old_source = scenario.sample
+        old_target = engine.exchange(old_source)
+        delta = InstanceDelta([fact("Employee", 4, "Dan", "sales", 75)], [])
+        refreshed = _refresh_with_fallback(engine, delta, old_source, old_target)
+        assert refreshed.same_facts(engine.exchange(delta.apply(old_source)))

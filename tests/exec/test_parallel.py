@@ -1,0 +1,157 @@
+"""Tests for the shard-parallel exchange executor (repro.exec.parallel)."""
+
+import pytest
+
+from repro.exec import ExchangeCache, ParallelExchange
+from repro.logic.parser import parse_conjunction
+from repro.logic.terms import Var
+from repro.mapping import SchemaMapping, universal_solution
+from repro.mapping.dependencies import Egd
+from repro.relational import instance, relation, schema
+from repro.relational.canonical import canonically_equal
+from repro.relational.instance import Instance
+from repro.relational.values import LabeledNull, constant
+
+
+SRC = schema(relation("Emp", "name", "dept"), relation("Dept", "dept", "head"))
+TGT = schema(relation("Office", "name", "head", "room"))
+JOIN_TEXT = "Emp(n, d), Dept(d, h) -> exists m . Office(n, h, m)"
+
+
+def join_mapping(target_dependencies=()):
+    return SchemaMapping.parse(SRC, TGT, JOIN_TEXT, target_dependencies)
+
+
+def clustered_source(employees=12, depts=4):
+    return instance(
+        SRC,
+        {
+            "Emp": [[f"e{i}", f"d{i % depts}"] for i in range(employees)],
+            "Dept": [[f"d{j}", f"h{j}"] for j in range(depts)],
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def pool_executor():
+    """One warm 2-worker executor shared by the module (pool startup is slow)."""
+    with ParallelExchange(join_mapping(), workers=2) as executor:
+        yield executor
+
+
+class TestParallelMatchesSerial:
+    def test_canonically_equal_to_serial_chase(self, pool_executor):
+        source = clustered_source()
+        serial = universal_solution(join_mapping(), source)
+        parallel = pool_executor.exchange(source)
+        assert canonically_equal(serial, parallel)
+
+    def test_source_nulls_survive_merge(self, pool_executor):
+        base = clustered_source(employees=6, depts=3)
+        rows = set(base.rows("Emp")) | {(LabeledNull(2), constant("d0")),
+                                        (LabeledNull(9), constant("d2"))}
+        source = Instance(SRC, {"Emp": rows, "Dept": base.rows("Dept")})
+        parallel = pool_executor.exchange(source)
+        serial = universal_solution(join_mapping(), source)
+        assert canonically_equal(serial, parallel)
+        assert source.nulls() <= parallel.nulls() | source.nulls()
+        # invented nulls must not collide with the source's
+        invented = parallel.nulls() - source.nulls()
+        assert {n.label for n in invented}.isdisjoint(
+            {n.label for n in source.nulls()}
+        )
+
+    def test_empty_source(self, pool_executor):
+        source = instance(SRC, {})
+        assert pool_executor.exchange(source).is_empty()
+
+    def test_exchange_many_matches_individual(self, pool_executor):
+        sources = [clustered_source(employees=n, depts=2) for n in (4, 6, 8)]
+        batch = pool_executor.exchange_many(sources)
+        for source, solution in zip(sources, batch):
+            assert canonically_equal(
+                universal_solution(join_mapping(), source), solution
+            )
+
+
+class TestSerialFallbacks:
+    def test_egd_mapping_falls_back_and_is_correct(self):
+        egd = Egd(parse_conjunction("Office(n, h, m), Office(n, h2, m2)"),
+                  Var("h"), Var("h2"))
+        mapping = join_mapping([egd])
+        executor = ParallelExchange(mapping, workers=4)
+        assert not executor.parallelizable
+        source = clustered_source(employees=6, depts=2)
+        assert canonically_equal(
+            executor.exchange(source), universal_solution(mapping, source)
+        )
+        assert executor._pool is None  # never started a pool
+
+    def test_workers_one_stays_serial(self):
+        executor = ParallelExchange(join_mapping(), workers=1)
+        source = clustered_source(employees=4, depts=2)
+        result = executor.exchange(source)
+        assert canonically_equal(
+            result, universal_solution(join_mapping(), source)
+        )
+        assert executor._pool is None
+
+    def test_min_parallel_facts_gates_sharding(self):
+        executor = ParallelExchange(
+            join_mapping(), workers=2, min_parallel_facts=10_000
+        )
+        source = clustered_source()
+        executor.exchange(source)
+        assert executor._pool is None
+
+    def test_default_workers_is_one(self):
+        assert ParallelExchange(join_mapping()).workers == 1
+
+
+class TestCacheIntegration:
+    def test_repeat_source_hits_cache(self):
+        with ParallelExchange(join_mapping(), workers=1, cache=4) as executor:
+            source = clustered_source(employees=4, depts=2)
+            first = executor.exchange(source)
+            second = executor.exchange(source)
+            assert second is first
+            assert executor.cache.hits == 1
+            assert executor.cache.misses == 1
+
+    def test_equal_instances_share_entry(self):
+        with ParallelExchange(join_mapping(), workers=1, cache=4) as executor:
+            a = clustered_source(employees=4, depts=2)
+            b = clustered_source(employees=4, depts=2)  # equal, distinct object
+            assert executor.exchange(a) is executor.exchange(b)
+
+    def test_cache_object_can_be_shared(self):
+        cache = ExchangeCache(capacity=8)
+        with ParallelExchange(join_mapping(), workers=1, cache=cache) as executor:
+            assert executor.cache is cache
+            executor.exchange(clustered_source(employees=4, depts=2))
+        assert len(cache) == 1
+
+    def test_exchange_many_counts_hits(self):
+        with ParallelExchange(join_mapping(), workers=1, cache=4) as executor:
+            source = clustered_source(employees=4, depts=2)
+            executor.exchange_many([source, source, source])
+            assert executor.cache.hits == 2
+            assert executor.cache.misses == 1
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self, pool_executor):
+        executor = ParallelExchange(join_mapping(), workers=2)
+        executor.exchange(clustered_source())
+        executor.close()
+        executor.close()
+        # exchanging again restarts the pool transparently
+        result = executor.exchange(clustered_source())
+        assert result.size() > 0
+        executor.close()
+
+    def test_report_property_names_blockers(self):
+        egd = Egd(parse_conjunction("Office(n, h, m), Office(n, h2, m2)"),
+                  Var("h"), Var("h2"))
+        executor = ParallelExchange(join_mapping([egd]), workers=2)
+        assert "egd" in executor.report.blockers[0].description

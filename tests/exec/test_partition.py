@@ -1,0 +1,197 @@
+"""Tests for premise co-occurrence sharding (repro.exec.partition)."""
+
+import pytest
+
+from repro.exec import (
+    co_occurrence_components,
+    parallelizability,
+    partition_source,
+    premise_join_structure,
+    shard_preview,
+)
+from repro.logic.parser import parse_conjunction
+from repro.logic.terms import Var
+from repro.mapping import SchemaMapping, StTgd
+from repro.mapping.dependencies import Egd, TargetTgd
+from repro.relational import instance, relation, schema
+
+
+SRC = schema(relation("Emp", "name", "dept"), relation("Dept", "dept", "head"))
+TGT = schema(relation("Office", "name", "head", "room"))
+JOIN_TEXT = "Emp(n, d), Dept(d, h) -> exists m . Office(n, h, m)"
+
+
+def join_mapping(target_dependencies=()):
+    return SchemaMapping.parse(SRC, TGT, JOIN_TEXT, target_dependencies)
+
+
+def clustered_source(employees=12, depts=4):
+    return instance(
+        SRC,
+        {
+            "Emp": [[f"e{i}", f"d{i % depts}"] for i in range(employees)],
+            "Dept": [[f"d{j}", f"h{j}"] for j in range(depts)],
+        },
+    )
+
+
+class TestPremiseJoinStructure:
+    def test_joined_premise_is_one_component(self):
+        structure = premise_join_structure(StTgd.parse(JOIN_TEXT))
+        assert structure.components == ((0, 1),)
+        assert not structure.cross_joining
+        assert structure.reason is None
+
+    def test_shared_classes_name_the_join_variable(self):
+        structure = premise_join_structure(StTgd.parse(JOIN_TEXT))
+        d_class = structure.join_classes[Var("d")]
+        assert d_class in structure.shared_classes
+        assert structure.join_classes[Var("n")] not in structure.shared_classes
+
+    def test_disconnected_atoms_are_cross_joining(self):
+        structure = premise_join_structure(
+            StTgd.parse("Emp(n, d), Dept(e, h) -> exists m . Office(n, h, m)")
+        )
+        assert structure.cross_joining
+        assert "disconnected join groups" in structure.reason
+
+    def test_variable_equality_joins_atoms(self):
+        structure = premise_join_structure(
+            StTgd.parse(
+                "Emp(n, d), Dept(e, h), d = e -> exists m . Office(n, h, m)"
+            )
+        )
+        assert not structure.cross_joining
+        assert structure.components == ((0, 1),)
+
+    def test_inequality_spanning_atoms_is_cross_joining(self):
+        structure = premise_join_structure(
+            StTgd.parse(
+                "Emp(n, d), Dept(e, h), d != e -> exists m . Office(n, h, m)"
+            )
+        )
+        assert structure.cross_joining
+        assert "constrains without equating" in structure.reason
+
+    def test_single_atom_premise(self):
+        structure = premise_join_structure(
+            StTgd.parse("Emp(n, d) -> exists m . Office(n, n, m)")
+        )
+        assert structure.components == ((0,),)
+        assert not structure.cross_joining
+
+
+class TestParallelizability:
+    def test_plain_join_mapping_is_parallelizable(self):
+        report = parallelizability(join_mapping())
+        assert report.parallelizable
+        assert report.blockers == ()
+        assert "shard-parallelizable" in report.describe()
+
+    def test_egd_blocks_and_is_named(self):
+        egd = Egd(parse_conjunction("Office(n, h, m), Office(n, h2, m2)"),
+                  Var("h"), Var("h2"))
+        report = parallelizability(join_mapping([egd]))
+        assert not report.parallelizable
+        (blocker,) = report.blockers
+        assert blocker.kind == "target-dependency"
+        assert "egd" in blocker.description
+
+    def test_target_tgd_blocks(self):
+        from repro.logic.parser import parse_rule
+
+        rule = parse_rule("Office(n, h, m) -> Office(h, h, m)")
+        dep = TargetTgd(rule.lhs, rule.branches[0][1])
+        report = parallelizability(join_mapping([dep]))
+        assert not report.parallelizable
+        assert "target tgd" in report.blockers[0].description
+
+    def test_cross_join_degrades_but_stays_parallelizable(self):
+        mapping = SchemaMapping.parse(
+            SRC, TGT, "Emp(n, d), Dept(e, h) -> exists m . Office(n, h, m)"
+        )
+        report = parallelizability(mapping)
+        assert report.parallelizable
+        assert report.cross_joining_tgds == (0,)
+        assert "collapsing premises" in report.describe()
+
+
+class TestPartitionSource:
+    def test_shards_partition_the_source_exactly(self):
+        source = clustered_source()
+        partitioning = partition_source(join_mapping(), source, 4)
+        all_facts = [f for shard in partitioning.shards for f in shard.facts()]
+        assert sorted(all_facts, key=repr) == sorted(source.facts(), key=repr)
+        assert len(all_facts) == source.size()  # disjoint
+
+    def test_no_premise_binding_spans_shards(self):
+        source = clustered_source()
+        partitioning = partition_source(join_mapping(), source, 4)
+        for shard in partitioning.shards:
+            for fact in shard.facts():
+                dept = fact.row[1] if fact.relation == "Emp" else fact.row[0]
+                # every fact mentioning this dept is in the same shard
+                same_dept = [
+                    other
+                    for other_shard in partitioning.shards
+                    for other in other_shard.facts()
+                    if (other.row[1] if other.relation == "Emp" else other.row[0])
+                    == dept
+                ]
+                assert all(f in shard for f in same_dept)
+
+    def test_respects_max_shards(self):
+        source = clustered_source(employees=20, depts=10)
+        assert len(partition_source(join_mapping(), source, 3).shards) == 3
+        assert len(partition_source(join_mapping(), source, 1).shards) == 1
+
+    def test_shards_capped_by_component_count(self):
+        source = clustered_source(employees=8, depts=2)
+        partitioning = partition_source(join_mapping(), source, 8)
+        assert len(partitioning.shards) == partitioning.components == 2
+
+    def test_rejects_nonpositive_max_shards(self):
+        with pytest.raises(ValueError):
+            partition_source(join_mapping(), clustered_source(), 0)
+
+    def test_inert_facts_are_distributed_not_dropped(self):
+        # Dept d99 has no employees: it matches the Dept atom, so it is
+        # active; an unmatched relation row would be inert.  Use a source
+        # relation never mentioned by any premise.
+        wide_src = schema(
+            relation("Emp", "name", "dept"),
+            relation("Dept", "dept", "head"),
+            relation("Audit", "entry"),
+        )
+        mapping = SchemaMapping.parse(wide_src, TGT, JOIN_TEXT)
+        source = instance(
+            wide_src,
+            {
+                "Emp": [[f"e{i}", f"d{i % 2}"] for i in range(4)],
+                "Dept": [["d0", "h0"], ["d1", "h1"]],
+                "Audit": [["a1"], ["a2"], ["a3"]],
+            },
+        )
+        partitioning = partition_source(mapping, source, 2)
+        total = sum(partitioning.shard_sizes)
+        assert total == source.size()
+
+
+class TestComponentsAndPreview:
+    def test_components_largest_first_and_inert_omitted(self):
+        source = clustered_source(employees=9, depts=3)  # 3 emps + 1 dept each
+        components = co_occurrence_components(join_mapping(), source)
+        sizes = [len(c) for c in components]
+        assert sizes == sorted(sizes, reverse=True)
+        assert sum(sizes) == source.size()
+
+    def test_shard_preview_mentions_components_and_workers(self):
+        text = shard_preview(join_mapping(), clustered_source())
+        assert "co-occurrence components" in text
+        assert "shards at 2 workers" in text
+
+    def test_shard_preview_on_blocked_mapping(self):
+        egd = Egd(parse_conjunction("Office(n, h, m), Office(n, h2, m2)"),
+                  Var("h"), Var("h2"))
+        text = shard_preview(join_mapping([egd]), clustered_source())
+        assert "not shard-parallelizable" in text

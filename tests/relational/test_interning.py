@@ -1,0 +1,38 @@
+"""Constant interning: repeated scalars share one wrapper object."""
+
+from repro.relational import instance, relation, schema
+from repro.relational.values import Constant, constant, intern_info
+
+
+class TestInterning:
+    def test_repeated_scalars_share_wrapper(self):
+        assert constant("alpha") is constant("alpha")
+        assert constant(17) is constant(17)
+
+    def test_equal_scalars_of_different_type_stay_distinct(self):
+        assert constant(1) is not constant(True)
+        assert constant(1) is not constant(1.0)
+        # ...while equality still follows the wrapped values
+        assert constant(1) == Constant(1)
+
+    def test_idempotent_on_constants(self):
+        wrapped = constant("beta")
+        assert constant(wrapped) is wrapped
+
+    def test_rows_in_distinct_instances_share_values(self):
+        s = schema(relation("R", "x"))
+        left = instance(s, {"R": [["shared"]]})
+        right = instance(s, {"R": [["shared"]]})
+        (lv,) = next(iter(left.rows("R")))
+        (rv,) = next(iter(right.rows("R")))
+        assert lv is rv
+
+    def test_intern_info_reports_bounded_cache(self):
+        constant("intern-info-probe")
+        cached, cap = intern_info()
+        assert 0 < cached <= cap
+
+    def test_unhashable_scalar_falls_back(self):
+        # not storable in the cache, but still wrapped without raising
+        wrapped = constant((1, [2]))  # tuple containing a list is unhashable
+        assert isinstance(wrapped, Constant)
