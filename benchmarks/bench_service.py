@@ -1,0 +1,156 @@
+"""Service overhead: what budgets and the service wrapper cost per request.
+
+The robustness layer must be ~free on the happy path — a budget check is
+two comparisons, and the service adds admission control plus one span
+around the engine.  This benchmark runs the E1 workload
+(``Emp(x) → ∃y Manager(x, y)`` at growing source sizes) three ways:
+
+* ``chase``    — the bare reference chase (the seed's baseline);
+* ``engine``   — ``ExchangeEngine.exchange`` (the compiled lens; faster
+  than the chase, listed for context);
+* ``service``  — ``ExchangeService.exchange`` with a generous budget
+  (``deadline=60s``, ``max_facts=10**9``), i.e. every budget check
+  taken but never tripped;
+
+and micro-measures the per-call cost of ``Budget.check`` directly.
+Without a worker pool the service runs the budget-aware *chase*, so the
+overhead gate compares service vs chase (budget checks + admission +
+one span); the lens-vs-chase gap is the compiler's business, not ours.
+Results go to ``BENCH_service.json`` so the perf trajectory is recorded
+per PR.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+    PYTHONPATH=src python benchmarks/bench_service.py --sizes 100 400 --repeat 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics as pystats
+import time
+from pathlib import Path
+
+from repro.budget import Budget
+from repro.compiler import ExchangeEngine
+from repro.mapping import universal_solution
+from repro.options import ExchangeOptions
+from repro.relational import instance
+from repro.service import ExchangeService
+from repro.stats import Statistics
+from repro.workloads import emp_manager_scenario
+
+
+def build_workload(size: int):
+    scenario = emp_manager_scenario()
+    source = instance(
+        scenario.source, {"Emp": [[f"emp{i}"] for i in range(size)]}
+    )
+    return scenario.mapping, source
+
+
+def timed(fn, repeat: int) -> float:
+    samples = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return pystats.median(samples)
+
+
+def budget_check_cost(calls: int = 200_000) -> float:
+    """Median per-call seconds of one armed (but never tripping) check."""
+    budget = Budget(deadline=3600.0, max_facts=10**12)
+    rounds = []
+    for _ in range(5):
+        start = time.perf_counter()
+        for i in range(calls):
+            budget.check(facts=i)
+        rounds.append((time.perf_counter() - start) / calls)
+    return pystats.median(rounds)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[100, 400, 1600],
+        help="E1 source sizes (Emp rows)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=7, help="timed repetitions per mode"
+    )
+    parser.add_argument(
+        "--max-overhead-pct", type=float, default=25.0,
+        help="fail past this service-vs-chase median overhead",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_service.json", help="result file (JSON)"
+    )
+    args = parser.parse_args()
+
+    per_check = budget_check_cost()
+    print(f"Budget.check ≈ {per_check * 1e9:.0f} ns/call (armed, not tripping)")
+
+    options = ExchangeOptions(deadline=60.0, max_facts=10**9)
+    results = []
+    for size in args.sizes:
+        mapping, source = build_workload(size)
+        universal_solution(mapping, source)  # warm-up
+
+        chase_median = timed(
+            lambda: universal_solution(mapping, source), args.repeat
+        )
+
+        engine = ExchangeEngine.compile(mapping, Statistics.gather(source))
+        try:
+            engine_median = timed(lambda: engine.exchange(source), args.repeat)
+        finally:
+            engine.close()
+
+        with ExchangeService(
+            mapping, options, statistics=Statistics.gather(source)
+        ) as service:
+            service_median = timed(lambda: service.exchange(source), args.repeat)
+
+        overhead_pct = 100.0 * (service_median / chase_median - 1.0)
+        row = {
+            "size": size,
+            "chase_median_s": round(chase_median, 6),
+            "engine_median_s": round(engine_median, 6),
+            "service_median_s": round(service_median, 6),
+            "service_overhead_pct": round(overhead_pct, 2),
+        }
+        results.append(row)
+        print(
+            f"size={size:>6}  chase={chase_median * 1e3:8.2f}ms  "
+            f"engine={engine_median * 1e3:8.2f}ms  "
+            f"service={service_median * 1e3:8.2f}ms  "
+            f"service overhead={overhead_pct:+6.2f}%"
+        )
+
+    # Medians at small sizes are noisy; judge the budget on the largest
+    # workload, where fixed per-request costs have been amortized.
+    final_overhead = results[-1]["service_overhead_pct"]
+    within = final_overhead < args.max_overhead_pct
+    report = {
+        "benchmark": "service_overhead",
+        "workload": "E1 universal solutions via chase/engine/service",
+        "repeat": args.repeat,
+        "budget_check_cost_s": per_check,
+        "results": results,
+        "service_overhead_pct": final_overhead,
+        "within_budget": within,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"\nwrote {args.out}; service overhead at size "
+        f"{results[-1]['size']} ≈ {final_overhead:+.2f}% "
+        f"({'<' if within else '≥'} {args.max_overhead_pct}% budget)"
+    )
+    return 0 if within else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -110,6 +110,17 @@ from .obs import (
     render_trace,
     tracing,
 )
+from .budget import Budget, BudgetExceeded
+from .options import ExchangeOptions, RetryPolicy
+from .service import (
+    CircuitBreaker,
+    ExchangeService,
+    FaultPlan,
+    PartialSolution,
+    ResumptionToken,
+    ServiceOverloaded,
+    fault_injection,
+)
 from .stats import Statistics
 from .workloads import Scenario, all_scenarios
 
@@ -120,13 +131,19 @@ __all__ = [
     "AnalysisReport",
     "Attribute",
     "AttributeType",
+    "Budget",
+    "BudgetExceeded",
+    "CircuitBreaker",
     "Constant",
     "ConstantPolicy",
     "Diagnostic",
     "EnvironmentPolicy",
     "ExchangeEngine",
     "ExchangeLens",
+    "ExchangeOptions",
+    "ExchangeService",
     "Fact",
+    "FaultPlan",
     "FdPolicy",
     "FunctionalDependency",
     "Hints",
@@ -140,15 +157,19 @@ __all__ = [
     "MetricsRegistry",
     "Tracer",
     "NullPolicy",
+    "PartialSolution",
     "ProjectLens",
     "ProjectionTemplate",
     "RelationSchema",
     "RelationalLens",
+    "ResumptionToken",
+    "RetryPolicy",
     "SOMapping",
     "Scenario",
     "Schema",
     "SchemaMapping",
     "SelectLens",
+    "ServiceOverloaded",
     "Severity",
     "SkolemValue",
     "StTgd",
@@ -173,6 +194,7 @@ __all__ = [
     "core_universal_solution",
     "empty_instance",
     "evolve_source",
+    "fault_injection",
     "find_homomorphism",
     "homomorphically_equivalent",
     "instance",

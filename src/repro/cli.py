@@ -17,9 +17,20 @@ Usage (also via ``python -m repro``)::
                     --data source.json [--workers N]  # span tree + metrics
     repro lint      --schemas schemas.json --mapping mapping.tgd \
                     [--target-deps deps.tgd] [--json]   # static analysis
+    repro serve-bench --schemas schemas.json --mapping mapping.tgd \
+                    [--requests N] [--inject-pool-crashes N] \
+                    [--deadline S] [--max-facts N] [--json]  # service stress
 
 ``lint`` exits 0 when the mapping is clean (or has only informational
 findings), 1 on warnings, 2 on errors — see docs/ANALYSIS.md.
+
+Every executing subcommand shares one options parent parser whose flag
+names match the :class:`~repro.options.ExchangeOptions` fields —
+``--workers``, ``--cache``, ``--max-steps``, ``--deadline``,
+``--max-facts`` — so limits are spelled the same everywhere.  With a
+budget flag set, ``exchange``/``chase`` degrade gracefully: a partial
+result is emitted with a warning on stderr and exit code 3 instead of a
+hang or crash (see docs/ROBUSTNESS.md).
 
 Every subcommand also accepts ``--trace`` (print the span tree and
 metric summary to stderr) and ``--trace-json FILE`` (write the trace as
@@ -38,19 +49,24 @@ from __future__ import annotations
 
 import argparse
 import json
+import random
 import sys
+import time
 from pathlib import Path
 from typing import Sequence
 
 from .analysis import AnalysisBundle, AnalysisReport, Diagnostic, Severity, analyze
+from .budget import BudgetExceeded
 from .compiler import ExchangeEngine, check_completeness
 from .logic.parser import ParseError, parse_rules_spanned
-from .mapping import SchemaMapping, universal_solution
+from .mapping import SchemaMapping, chase, universal_solution
+from .mapping.chase import ChaseNonTermination
 from .mapping.dependencies import target_dependency_from_rule
 from .mapping.sttgd import StTgd
 from .obs import (
     MetricsRegistry,
     Tracer,
+    collecting,
     get_registry,
     get_tracer,
     render_metrics,
@@ -59,6 +75,7 @@ from .obs import (
     set_tracer,
     write_json_lines,
 )
+from .options import DEFAULT_MAX_STEPS, ExchangeOptions
 from .relational import (
     Instance,
     Schema,
@@ -66,7 +83,12 @@ from .relational import (
     instance_from_json,
     schema_from_json,
 )
+from .service import ExchangeService, FaultPlan, PartialSolution, fault_injection
 from .stats import Statistics
+from .workloads.generators import random_instance
+
+DEGRADED_EXIT = 3
+"""Exit code when a budgeted run emits a partial (degraded) result."""
 
 
 class CliError(SystemExit):
@@ -127,6 +149,24 @@ def _emit(instance: Instance, out: str | None) -> None:
         print(text)
 
 
+def _options_from_args(args: argparse.Namespace) -> ExchangeOptions:
+    """One :class:`ExchangeOptions` from the shared option flags.
+
+    Flag names match the dataclass fields (``--max-facts`` →
+    ``max_facts`` etc.), so this is a straight ``getattr`` fold.
+    """
+    try:
+        return ExchangeOptions(
+            workers=getattr(args, "workers", None),
+            cache=getattr(args, "cache", None),
+            max_steps=getattr(args, "max_steps", None) or DEFAULT_MAX_STEPS,
+            deadline=getattr(args, "deadline", None),
+            max_facts=getattr(args, "max_facts", None),
+        )
+    except ValueError as exc:
+        raise CliError(str(exc))
+
+
 def _build_engine(args: argparse.Namespace) -> tuple[ExchangeEngine, Schema, Schema]:
     source_schema, target_schema = load_schemas(args.schemas)
     mapping = load_mapping(args.mapping, source_schema, target_schema)
@@ -136,12 +176,21 @@ def _build_engine(args: argparse.Namespace) -> tuple[ExchangeEngine, Schema, Sch
             load_instance(args.data, source_schema, "source")
         )
     engine = ExchangeEngine.compile(
-        mapping,
-        statistics,
-        workers=getattr(args, "workers", None),
-        cache=getattr(args, "cache", None),
+        mapping, statistics, options=_options_from_args(args)
     )
     return engine, source_schema, target_schema
+
+
+def _emit_partial(partial: PartialSolution, out: str | None) -> int:
+    """Emit a degraded result: partial facts out, warning to stderr, exit 3."""
+    print(
+        f"warning: budget '{partial.violated}' exhausted in phase "
+        f"{partial.token.phase!r}; emitting {partial.facts.size()} partial "
+        f"facts (not a solution) — see docs/ROBUSTNESS.md",
+        file=sys.stderr,
+    )
+    _emit(partial.facts, out)
+    return DEGRADED_EXIT
 
 
 def cmd_plan(args: argparse.Namespace) -> int:
@@ -167,6 +216,21 @@ def cmd_questions(args: argparse.Namespace) -> int:
 
 
 def cmd_exchange(args: argparse.Namespace) -> int:
+    options = _options_from_args(args)
+    if options.budgeted:
+        # Budget flags route through the service so exhaustion degrades
+        # to a partial result instead of a traceback.
+        source_schema, target_schema = load_schemas(args.schemas)
+        mapping = load_mapping(args.mapping, source_schema, target_schema)
+        source = load_instance(args.data, source_schema, "source")
+        with ExchangeService(
+            mapping, options, statistics=Statistics.gather(source)
+        ) as service:
+            result = service.exchange(source)
+        if isinstance(result, PartialSolution):
+            return _emit_partial(result, args.out)
+        _emit(result, args.out)
+        return 0
     engine, source_schema, _ = _build_engine(args)
     source = load_instance(args.data, source_schema, "source")
     try:
@@ -181,7 +245,21 @@ def cmd_chase(args: argparse.Namespace) -> int:
     source_schema, target_schema = load_schemas(args.schemas)
     mapping = load_mapping(args.mapping, source_schema, target_schema)
     source = load_instance(args.data, source_schema, "source")
-    result = universal_solution(mapping, source)
+    options = _options_from_args(args)
+    try:
+        result = chase(mapping, source, options=options).solution
+    except (BudgetExceeded, ChaseNonTermination) as exc:
+        if not options.budgeted:
+            raise
+        violated = getattr(exc, "violated", "max_steps")
+        partial = exc.partial if exc.partial is not None else Instance(target_schema, [])
+        print(
+            f"warning: budget '{violated}' exhausted; emitting "
+            f"{partial.size()} partial facts (not a solution)",
+            file=sys.stderr,
+        )
+        _emit(partial, args.out)
+        return DEGRADED_EXIT
     _emit(result, args.out)
     return 0
 
@@ -309,32 +387,170 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code()
 
 
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[index]
+
+
+def _bench_fault_plan(args: argparse.Namespace) -> FaultPlan:
+    plan = FaultPlan(())
+    if args.inject_pool_crashes:
+        plan = plan.merged_with(FaultPlan.pool_crashes(args.inject_pool_crashes))
+    if args.inject_spawn_failures:
+        plan = plan.merged_with(
+            FaultPlan.pool_spawn_failures(args.inject_spawn_failures)
+        )
+    if args.inject_slow_chase:
+        plan = plan.merged_with(FaultPlan.slow_chase(args.inject_slow_chase))
+    return plan
+
+
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    """Stress the exchange service and report how it held up.
+
+    Drives --requests exchanges (synthetic sources unless --data is
+    given) through one ExchangeService under an optional fault-injection
+    plan, then reports completion/degradation/retry/breaker counts and
+    latency percentiles.  Exit 0 when every request got an answer
+    (possibly degraded), 1 when any raised.
+    """
+    source_schema, target_schema = load_schemas(args.schemas)
+    mapping = load_mapping(args.mapping, source_schema, target_schema)
+    options = _options_from_args(args)
+    rng = random.Random(args.seed)
+    if args.data:
+        template = load_instance(args.data, source_schema, "source")
+        sources = [template] * args.requests
+    else:
+        sources = [
+            random_instance(source_schema, rng, rows_per_relation=args.rows)
+            for _ in range(args.requests)
+        ]
+
+    completed = 0
+    degraded: dict[str, int] = {}
+    errors: list[str] = []
+    latencies: list[float] = []
+    clean_shutdown = False
+    with collecting() as registry:
+        with fault_injection(_bench_fault_plan(args)):
+            service = ExchangeService(
+                mapping, options, max_in_flight=args.max_in_flight
+            )
+            try:
+                for source in sources:
+                    started = time.perf_counter()
+                    try:
+                        result = service.exchange(source)
+                    except Exception as exc:  # the bench reports, never dies
+                        errors.append(f"{type(exc).__name__}: {exc}")
+                        continue
+                    latencies.append(time.perf_counter() - started)
+                    completed += 1
+                    if isinstance(result, PartialSolution):
+                        degraded[result.violated] = (
+                            degraded.get(result.violated, 0) + 1
+                        )
+            finally:
+                try:
+                    service.close()
+                    clean_shutdown = True
+                except Exception as exc:
+                    errors.append(f"close: {type(exc).__name__}: {exc}")
+        counters = registry.snapshot()["counters"]
+
+    latencies.sort()
+    report = {
+        "requests": args.requests,
+        "completed": completed,
+        "degraded": degraded,
+        "errors": len(errors),
+        "retries": int(counters.get("service.retries", 0)),
+        "pool_failures": int(counters.get("exchange.pool.failures", 0)),
+        "breaker_opens": int(counters.get("service.breaker_open", 0)),
+        "rejections": int(counters.get("service.rejections", 0)),
+        "latency_p50_ms": round(_percentile(latencies, 0.50) * 1000, 3),
+        "latency_p95_ms": round(_percentile(latencies, 0.95) * 1000, 3),
+        "clean_shutdown": clean_shutdown,
+    }
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print("serve-bench:")
+        for key, value in report.items():
+            print(f"  {key}: {value}")
+        for message in errors:
+            print(f"  error: {message}", file=sys.stderr)
+    return 0 if not errors else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Bidirectional data exchange: st-tgd mappings compiled to lenses.",
     )
+
+    # Shared parent parsers — one definition per flag, so every
+    # subcommand spells inputs, tracing, and execution limits the same
+    # way.  The options parent mirrors the ExchangeOptions fields
+    # one-to-one (--max-facts → max_facts, ...); see _options_from_args.
+    base = argparse.ArgumentParser(add_help=False)
+    base.add_argument("--schemas", required=True, help="schemas JSON file")
+    base.add_argument("--mapping", required=True, help="tgd text file")
+    base.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the span tree and metric summary to stderr",
+    )
+    base.add_argument(
+        "--trace-json",
+        metavar="FILE",
+        help="write the trace as JSON lines to FILE",
+    )
+
+    data = argparse.ArgumentParser(add_help=False)
+    data.add_argument("--data", required=True, help="source instance JSON")
+    data.add_argument("--out", help="write result JSON here (default: stdout)")
+
+    options = argparse.ArgumentParser(add_help=False)
+    options.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help="shard the chase across N worker processes (repro.exec)",
+    )
+    options.add_argument(
+        "--cache",
+        type=int,
+        metavar="N",
+        help="cache up to N universal solutions keyed by content fingerprint",
+    )
+    options.add_argument(
+        "--max-steps",
+        type=int,
+        metavar="N",
+        help=f"chase step cap before non-termination (default {DEFAULT_MAX_STEPS})",
+    )
+    options.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        help="wall-clock budget; past it a partial result is emitted (exit 3)",
+    )
+    options.add_argument(
+        "--max-facts",
+        type=int,
+        metavar="N",
+        help="fact-count budget; past it a partial result is emitted (exit 3)",
+    )
+
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def common(p: argparse.ArgumentParser, data: bool = False) -> None:
-        p.add_argument("--schemas", required=True, help="schemas JSON file")
-        p.add_argument("--mapping", required=True, help="tgd text file")
-        if data:
-            p.add_argument("--data", required=True, help="source instance JSON")
-            p.add_argument("--out", help="write result JSON here (default: stdout)")
-        p.add_argument(
-            "--trace",
-            action="store_true",
-            help="print the span tree and metric summary to stderr",
-        )
-        p.add_argument(
-            "--trace-json",
-            metavar="FILE",
-            help="write the trace as JSON lines to FILE",
-        )
-
-    p = sub.add_parser("plan", help="print the compiled mapping plan")
-    common(p)
+    p = sub.add_parser(
+        "plan", parents=[base, options], help="print the compiled mapping plan"
+    )
     p.add_argument("--data", help="source instance JSON (for statistics)")
     p.add_argument(
         "--verbose",
@@ -343,47 +559,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(handler=cmd_plan)
 
-    p = sub.add_parser("questions", help="list open policy questions")
-    common(p)
+    p = sub.add_parser(
+        "questions", parents=[base, options], help="list open policy questions"
+    )
     p.set_defaults(handler=cmd_questions)
 
-    def executor_flags(p: argparse.ArgumentParser) -> None:
-        p.add_argument(
-            "--workers",
-            type=int,
-            metavar="N",
-            help="shard the chase across N worker processes (repro.exec)",
-        )
-        p.add_argument(
-            "--cache",
-            type=int,
-            metavar="N",
-            help="cache up to N universal solutions keyed by content fingerprint",
-        )
-
-    p = sub.add_parser("exchange", help="forward exchange via the compiled lens")
-    common(p, data=True)
-    executor_flags(p)
+    p = sub.add_parser(
+        "exchange",
+        parents=[base, data, options],
+        help="forward exchange via the compiled lens",
+    )
     p.set_defaults(handler=cmd_exchange)
 
-    p = sub.add_parser("chase", help="forward exchange via the chase (reference)")
-    common(p, data=True)
+    p = sub.add_parser(
+        "chase",
+        parents=[base, data, options],
+        help="forward exchange via the chase (reference)",
+    )
     p.set_defaults(handler=cmd_chase)
 
-    p = sub.add_parser("put", help="propagate target edits back to the source")
-    common(p, data=True)
+    p = sub.add_parser(
+        "put",
+        parents=[base, data, options],
+        help="propagate target edits back to the source",
+    )
     p.add_argument("--view", required=True, help="edited target instance JSON")
     p.set_defaults(handler=cmd_put)
 
-    p = sub.add_parser("check", help="run the completeness check")
-    common(p, data=True)
+    p = sub.add_parser(
+        "check",
+        parents=[base, data, options],
+        help="run the completeness check",
+    )
     p.set_defaults(handler=cmd_check)
 
     p = sub.add_parser(
         "lint",
+        parents=[base],
         help="statically analyse the mapping; exit 0 clean / 1 warnings / 2 errors",
     )
-    common(p)
     p.add_argument(
         "--target-deps",
         metavar="FILE",
@@ -398,11 +612,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "profile",
+        parents=[base, data, options],
         help="run compile/chase/exchange/put under tracing and print the "
         "span tree and metric summary",
     )
-    common(p, data=True)
-    executor_flags(p)
     p.add_argument(
         "--repeat",
         type=int,
@@ -415,6 +628,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the plan with observed-vs-estimated cardinalities",
     )
     p.set_defaults(handler=cmd_profile)
+
+    p = sub.add_parser(
+        "serve-bench",
+        parents=[base, options],
+        help="stress the exchange service; report degradation/retry/latency",
+    )
+    p.add_argument("--data", help="source instance JSON (default: synthetic)")
+    p.add_argument(
+        "--requests",
+        type=int,
+        default=8,
+        metavar="N",
+        help="number of exchange requests to drive (default 8)",
+    )
+    p.add_argument(
+        "--rows",
+        type=int,
+        default=10,
+        metavar="N",
+        help="rows per relation in synthetic sources (default 10)",
+    )
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="RNG seed for synthetic sources (default 0)",
+    )
+    p.add_argument(
+        "--inject-pool-crashes",
+        type=int,
+        default=0,
+        metavar="N",
+        help="crash the first N pool dispatches (BrokenProcessPool)",
+    )
+    p.add_argument(
+        "--inject-spawn-failures",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fail the first N pool creations (OSError)",
+    )
+    p.add_argument(
+        "--inject-slow-chase",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="sleep SECONDS per chase step (trips deadlines)",
+    )
+    p.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission-control limit (default 64)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON (one object, stable keys)",
+    )
+    p.set_defaults(handler=cmd_serve_bench)
 
     return parser
 

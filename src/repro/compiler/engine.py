@@ -24,11 +24,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..budget import Budget
 from ..exec.cache import ExchangeCache
 from ..exec.parallel import ParallelExchange
 from ..lenses.symmetric import SpanLens
 from ..mapping.sttgd import SchemaMapping
 from ..obs import get_registry, get_tracer
+from ..options import ExchangeOptions, merge_legacy_kwargs
 from ..relational.instance import Fact, Instance
 from ..relational.schema import Schema
 from ..rlens.base import RelationalLens, ViewViolationError
@@ -55,12 +57,14 @@ class ExchangeLens(RelationalLens):
         units: list[CompiledTgd],
         hints: Hints | None = None,
         target_dependencies: tuple = (),
+        options: ExchangeOptions | None = None,
     ) -> None:
         self._source_schema = source_schema
         self._target_schema = target_schema
         self._units = list(units)
         self._hints = hints or Hints()
         self._target_dependencies = tuple(target_dependencies)
+        self._options = options if options is not None else ExchangeOptions()
         self._producers: dict[str, list[CompiledTgd]] = {}
         for unit in self._units:
             self._producers.setdefault(unit.target_relation, []).append(unit)
@@ -99,7 +103,11 @@ class ExchangeLens(RelationalLens):
             if self._target_dependencies:
                 from ..mapping.chase import chase_target_dependencies
 
-                target = chase_target_dependencies(target, self._target_dependencies)
+                # The options thread the step cap and (when budgeted) a
+                # fresh per-call deadline/fact budget into the chase.
+                target = chase_target_dependencies(
+                    target, self._target_dependencies, options=self._options
+                )
             span.set(target_facts=target.size())
             registry.increment("lens.get.calls")
             registry.observe("lens.get.seconds", span.duration)
@@ -192,6 +200,7 @@ class ExchangeEngine:
     lens: ExchangeLens
     hints: Hints = field(default_factory=Hints)
     executor: ParallelExchange | None = None
+    options: ExchangeOptions = field(default_factory=ExchangeOptions)
 
     @classmethod
     def compile(
@@ -202,15 +211,24 @@ class ExchangeEngine:
         config: PlannerConfig | None = None,
         workers: int | None = None,
         cache: ExchangeCache | int | None = None,
+        *,
+        options: ExchangeOptions | None = None,
     ) -> "ExchangeEngine":
         """Compile a mapping: tgds → templates → policies → plan → lens.
 
-        ``workers``/``cache`` opt into the :mod:`repro.exec` executor:
-        with either set, :meth:`exchange` shards the chase across a
-        process pool and/or serves repeat sources from a
-        fingerprint-keyed solution cache.  Both default to off, and the
-        backward direction (:meth:`put_back`) is unaffected.
+        *options* (an :class:`~repro.options.ExchangeOptions`) is the one
+        place every limit and executor knob lives: ``workers``/``cache``
+        opt into the :mod:`repro.exec` executor (sharded chase, solution
+        cache), ``max_steps`` bounds target-dependency chases, and
+        ``deadline``/``max_facts`` build per-request budgets.  All
+        default to off, and the backward direction (:meth:`put_back`) is
+        unaffected.  The legacy ``workers=``/``cache=`` keywords still
+        work but emit a ``DeprecationWarning`` — see README "Migrating
+        to ExchangeOptions".
         """
+        options = merge_legacy_kwargs(
+            options, "ExchangeEngine.compile", workers=workers, cache=cache
+        )
         hints = hints or Hints()
         statistics = statistics or Statistics.assumed(mapping.source)
         with get_tracer().span("compile", tgds=len(mapping.tgds)) as span:
@@ -223,25 +241,32 @@ class ExchangeEngine:
                 units,
                 hints,
                 mapping.target_dependencies,
+                options,
             )
             span.set(units=len(units))
             get_registry().increment("compile.calls")
         executor = None
-        if workers is not None or cache is not None:
-            executor = ParallelExchange(mapping, workers=workers, cache=cache)
-        return cls(mapping, plan, lens, hints, executor)
+        if options.wants_executor:
+            executor = ParallelExchange(mapping, options=options)
+        return cls(mapping, plan, lens, hints, executor, options)
 
-    def exchange(self, source: Instance) -> Instance:
+    def exchange(self, source: Instance, budget: Budget | None = None) -> Instance:
         """Forward data exchange: materialize the target instance.
 
-        With an executor configured (``compile(..., workers=, cache=)``)
+        With an executor configured (``options.workers``/``options.cache``)
         this runs the shard-parallel cached chase, whose solution is the
         chase's (labelled nulls) rather than the lens view's (Skolem
         values) — the two agree up to homomorphic equivalence.  Without
-        one, it is exactly ``lens.get``.
+        one, it is exactly ``lens.get``.  *budget* (or the options'
+        deadline/fact caps) bounds the request; exhaustion raises
+        :class:`~repro.budget.BudgetExceeded` — use
+        :class:`repro.service.ExchangeService` to degrade to a
+        :class:`~repro.service.PartialSolution` instead.
         """
         if self.executor is not None:
-            return self.executor.exchange(source)
+            if budget is None:
+                budget = self.options.budget()
+            return self.executor.exchange(source, budget)
         return self.lens.get(source)
 
     def exchange_many(self, sources) -> list[Instance]:

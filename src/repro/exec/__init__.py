@@ -22,6 +22,7 @@ and ``repro profile --workers`` expose it on the CLI, and the
 
 from .cache import ExchangeCache, mapping_fingerprint
 from .parallel import ParallelExchange
+from .retry import CircuitBreaker
 from .partition import (
     Blocker,
     ParallelizabilityReport,
@@ -36,6 +37,7 @@ from .partition import (
 
 __all__ = [
     "Blocker",
+    "CircuitBreaker",
     "ExchangeCache",
     "ParallelExchange",
     "ParallelizabilityReport",

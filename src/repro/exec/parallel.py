@@ -14,6 +14,15 @@ merge values across the whole target, so shard chases cannot be merged
 soundly.  The executor also carries an optional fingerprint-keyed
 :class:`~repro.exec.cache.ExchangeCache`, and :meth:`exchange_many`
 amortizes mapping compilation and pool startup over a request stream.
+
+Pool failures (startup or worker crashes) are retried with exponential
+backoff + jitter under the configured
+:class:`~repro.options.RetryPolicy`; repeated failures open a
+:class:`~repro.exec.retry.CircuitBreaker` that pins the executor to the
+serial chase until the breaker half-opens.  Both seams carry
+:func:`~repro.faults.fault_point` hooks (``"pool.spawn"``,
+``"pool.map"``) so the fault-injection harness can exercise every
+degradation path deterministically.
 """
 
 from __future__ import annotations
@@ -23,9 +32,12 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Iterable, Sequence
 
-from ..mapping.chase import chase, universal_solution
+from ..budget import Budget, BudgetExceeded
+from ..faults import fault_point
+from ..mapping.chase import chase
 from ..mapping.sttgd import SchemaMapping
 from ..obs import get_registry, get_tracer
+from ..options import DEFAULT_MAX_STEPS, ExchangeOptions, RetryPolicy
 from ..relational.instance import Instance, Row
 from ..relational.serialization import (
     dumps_instance,
@@ -36,6 +48,7 @@ from ..relational.serialization import (
 from ..relational.values import LabeledNull, NullFactory, max_null_label
 from .cache import ExchangeCache, mapping_fingerprint
 from .partition import ParallelizabilityReport, parallelizability, partition_source
+from .retry import CircuitBreaker
 
 # Per-worker-process cache of parsed mappings, keyed by the payload
 # text, so a request stream compiles each mapping once per worker
@@ -43,14 +56,17 @@ from .partition import ParallelizabilityReport, parallelizability, partition_sou
 _WORKER_MAPPINGS: dict[tuple[str, str, str], SchemaMapping] = {}
 
 
-def _chase_shard(payload: tuple[str, str, str, str]) -> tuple[str, float]:
+def _chase_shard(payload: tuple[str, str, str, int, str]) -> tuple[str, float]:
     """Pool worker: chase one serialized shard, return (solution JSON, seconds).
 
     Module-level so the pool can pickle it.  The invented labelled nulls
     carry whatever labels the worker's factory produced; the parent
-    relabels them into disjoint namespaces when merging.
+    relabels them into disjoint namespaces when merging.  The step cap
+    travels in the payload so shard chases honour the request's
+    ``max_steps``; wall-clock budgets stay parent-side (the parent
+    checks its deadline at dispatch and merge boundaries).
     """
-    source_schema_json, target_schema_json, mapping_text, shard_json = payload
+    source_schema_json, target_schema_json, mapping_text, max_steps, shard_json = payload
     started = time.perf_counter()
     mapping_key = (source_schema_json, target_schema_json, mapping_text)
     mapping = _WORKER_MAPPINGS.get(mapping_key)
@@ -62,7 +78,7 @@ def _chase_shard(payload: tuple[str, str, str, str]) -> tuple[str, float]:
         )
         _WORKER_MAPPINGS[mapping_key] = mapping
     shard = loads_instance(shard_json)
-    result = chase(mapping, shard)
+    result = chase(mapping, shard, options=ExchangeOptions(max_steps=max_steps))
     return dumps_instance(result.solution, indent=None), time.perf_counter() - started
 
 
@@ -86,13 +102,27 @@ class ParallelExchange:
         workers: int | None = None,
         cache: ExchangeCache | int | None = None,
         min_parallel_facts: int = 0,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        options: ExchangeOptions | None = None,
     ) -> None:
+        if options is not None:
+            workers = workers if workers is not None else options.workers
+            cache = cache if cache is not None else options.cache
+            retry = retry if retry is not None else options.retry
+            max_steps = options.max_steps
+        else:
+            max_steps = DEFAULT_MAX_STEPS
         self._mapping = mapping
         self._workers = workers if workers is not None else 1
         if isinstance(cache, int):
             cache = ExchangeCache(capacity=cache)
         self._cache = cache
         self._min_parallel_facts = min_parallel_facts
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._breaker = breaker if breaker is not None else CircuitBreaker()
+        self._max_steps = max_steps
+        self._rng = self._retry.rng()
         self._report = parallelizability(mapping)
         self._mapping_key = mapping_fingerprint(mapping)
         self._pool: ProcessPoolExecutor | None = None
@@ -128,6 +158,15 @@ class ParallelExchange:
     def parallelizable(self) -> bool:
         return self._report.parallelizable
 
+    @property
+    def retry(self) -> RetryPolicy:
+        return self._retry
+
+    @property
+    def breaker(self) -> CircuitBreaker:
+        """The pool circuit breaker (shared with the owning service)."""
+        return self._breaker
+
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
@@ -144,6 +183,7 @@ class ParallelExchange:
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
+            fault_point("pool.spawn")
             started = time.perf_counter()
             self._pool = ProcessPoolExecutor(max_workers=self._workers)
             get_registry().observe(
@@ -151,16 +191,28 @@ class ParallelExchange:
             )
         return self._pool
 
+    def _discard_pool(self) -> None:
+        """Close the (possibly dead) executor so its workers are reaped."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
     # -- exchange ----------------------------------------------------------
 
-    def exchange(self, source: Instance) -> Instance:
-        """The canonical universal solution for *source* (cached, sharded)."""
+    def exchange(self, source: Instance, budget: Budget | None = None) -> Instance:
+        """The canonical universal solution for *source* (cached, sharded).
+
+        *budget* is a request-scoped :class:`~repro.budget.Budget`; the
+        executor checks it at dispatch and shard-merge boundaries and the
+        serial fallback threads it into every chase step.  A cache hit
+        never consults the budget (it is effectively free).
+        """
         if self._cache is None:
-            return self._exchange_uncached(source)
+            return self._exchange_uncached(source, budget)
         cached = self._cache.lookup(self._mapping_key, source.fingerprint())
         if cached is not None:
             return cached
-        solution = self._exchange_uncached(source)
+        solution = self._exchange_uncached(source, budget)
         self._cache.store(self._mapping_key, source.fingerprint(), solution)
         return solution
 
@@ -169,7 +221,8 @@ class ParallelExchange:
 
         Semantically ``[self.exchange(s) for s in sources]``; the batch
         span and the shared pool/cache make the amortization visible to
-        the observability layer.
+        the observability layer.  (Budgeted, admission-controlled batches
+        live one layer up in :class:`repro.service.ExchangeService`.)
         """
         batch = list(sources)
         with get_tracer().span("exchange.batch", sources=len(batch)) as span:
@@ -178,13 +231,15 @@ class ParallelExchange:
                 span.set(cache_hits=self._cache.hits, cache_misses=self._cache.misses)
         return out
 
-    def _exchange_uncached(self, source: Instance) -> Instance:
+    def _exchange_uncached(
+        self, source: Instance, budget: Budget | None = None
+    ) -> Instance:
         if (
             not self._report.parallelizable
             or self._workers <= 1
             or source.size() < self._min_parallel_facts
         ):
-            return self._serial(source)
+            return self._serial(source, budget)
         tracer = get_tracer()
         registry = get_registry()
         with tracer.span(
@@ -199,21 +254,59 @@ class ParallelExchange:
                 registry.histogram("exchange.shard_facts").observe(size)
             if len(shards) <= 1:
                 registry.increment("exchange.single_shard_fallbacks")
-                return self._serial(source)
-            try:
-                solution = self._chase_shards(source, shards, span)
-            except (BrokenProcessPool, OSError) as exc:
-                # A sandbox or resource limit broke the pool: never fail
-                # the exchange over an optimization — chase serially.
-                registry.increment("exchange.pool.failures")
-                span.set(pool_failure=repr(exc))
-                self._pool = None
-                return self._serial(source)
-            registry.increment("exchange.parallel.runs")
-        return solution
+                return self._serial(source, budget)
+            if self._breaker.is_open:
+                # Repeated pool failures: stay serial, don't even try.
+                registry.increment("exchange.breaker.short_circuits")
+                span.set(breaker="open")
+                return self._serial(source, budget)
+            attempts = 0
+            while True:
+                try:
+                    solution = self._chase_shards(source, shards, span, budget)
+                except (BrokenProcessPool, OSError) as exc:
+                    self._record_pool_failure(exc, span)
+                    if self._breaker.record_failure():
+                        registry.increment("service.breaker_open")
+                        span.set(breaker="open")
+                    attempts += 1
+                    if attempts > self._retry.max_retries or self._breaker.is_open:
+                        # Out of retries (or pinned serial): never fail
+                        # the exchange over an optimization.
+                        return self._serial(source, budget)
+                    registry.increment("service.retries")
+                    self._backoff(attempts, budget)
+                else:
+                    self._breaker.record_success()
+                    registry.increment("exchange.parallel.runs")
+                    span.set(pool_attempts=attempts + 1)
+                    return solution
+
+    def _record_pool_failure(self, exc: BaseException, span) -> None:
+        """Count the failure *with its cause* and reap the dead executor."""
+        registry = get_registry()
+        registry.increment("exchange.pool.failures")
+        registry.increment(f"exchange.pool.failures.{type(exc).__name__}")
+        span.set(pool_failure=repr(exc))
+        self._discard_pool()
+
+    def _backoff(self, attempt: int, budget: Budget | None) -> None:
+        """Sleep the policy's jittered delay, capped by the budget's deadline."""
+        delay = self._retry.delay(attempt, self._rng)
+        if budget is not None:
+            remaining = budget.remaining_seconds()
+            if remaining is not None:
+                delay = max(0.0, min(delay, remaining))
+        get_registry().observe("exchange.pool.retry_backoff_seconds", delay)
+        if delay > 0:
+            time.sleep(delay)
 
     def _chase_shards(
-        self, source: Instance, shards: Sequence[Instance], span
+        self,
+        source: Instance,
+        shards: Sequence[Instance],
+        span,
+        budget: Budget | None = None,
     ) -> Instance:
         assert self._payload_prefix is not None
         pool = self._ensure_pool()
@@ -222,9 +315,13 @@ class ParallelExchange:
         with get_tracer().span("exchange.ship", shards=len(shards)):
             shard_maxima = [max_null_label(shard.values()) for shard in shards]
             payloads = [
-                self._payload_prefix + (dumps_instance(shard, indent=None),)
+                self._payload_prefix
+                + (self._max_steps, dumps_instance(shard, indent=None))
                 for shard in shards
             ]
+        if budget is not None:
+            budget.check(phase="dispatch")
+        fault_point("pool.map")
         results = list(pool.map(_chase_shard, payloads))
         wall = time.perf_counter() - wall_started
         worker_seconds = [seconds for _json, seconds in results]
@@ -258,8 +355,22 @@ class ParallelExchange:
                 )
                 for name in relabeled.relation_names():
                     merged_rows[name] |= relabeled.rows(name)
+                if budget is not None:
+                    try:
+                        budget.check(
+                            facts=sum(len(rows) for rows in merged_rows.values()),
+                            phase="merge",
+                        )
+                    except BudgetExceeded as exc:
+                        exc.partial = Instance(self._mapping.target, merged_rows)
+                        raise
         return Instance(self._mapping.target, merged_rows)
 
-    def _serial(self, source: Instance) -> Instance:
+    def _serial(self, source: Instance, budget: Budget | None = None) -> Instance:
         get_registry().increment("exchange.serial_runs")
-        return universal_solution(self._mapping, source)
+        return chase(
+            self._mapping,
+            source,
+            options=ExchangeOptions(max_steps=self._max_steps),
+            budget=budget,
+        ).solution

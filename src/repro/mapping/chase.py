@@ -25,9 +25,12 @@ static termination guarantee.
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
+from ..budget import Budget, BudgetExceeded
+from ..faults import fault_point
 from ..logic.evaluation import (
     Binding,
     evaluate,
@@ -37,6 +40,7 @@ from ..logic.evaluation import (
 )
 from ..logic.terms import Var
 from ..obs import get_registry, get_tracer
+from ..options import DEFAULT_MAX_STEPS, ExchangeOptions
 from ..relational.homomorphism import core as core_of
 from ..relational.instance import Fact, Instance, Row
 from ..relational.schema import Schema
@@ -80,11 +84,15 @@ class ChaseNonTermination(Exception):
     Like :class:`ChaseFailure`, carries partial ``statistics``; when the
     target tgds fail the weak-acyclicity test, ``witness`` holds the
     offending :class:`~repro.mapping.dependencies.PositionCycle` (the
-    same cycle ``repro lint`` reports as RA101).
+    same cycle ``repro lint`` reports as RA101).  ``partial`` holds the
+    facts chased before the cap tripped, so the service layer
+    (:mod:`repro.service`) can degrade to a
+    :class:`~repro.service.PartialSolution` instead of crashing.
     """
 
     statistics: "ChaseStatistics | None" = None
     witness: "PositionCycle | None" = None
+    partial: "Instance | None" = None
 
 
 @dataclass
@@ -138,26 +146,76 @@ class ChaseResult:
     statistics: ChaseStatistics = field(default_factory=ChaseStatistics)
 
 
+def _resolve_limits(
+    max_steps_kwarg: int | None,
+    options: ExchangeOptions | None,
+    budget: Budget | None,
+    api: str,
+    legacy_name: str,
+) -> tuple[int, Budget | None]:
+    """The deprecation shim shared by :func:`chase` and
+    :func:`chase_target_dependencies`: fold the legacy step-cap keyword
+    and/or an :class:`~repro.options.ExchangeOptions` into the effective
+    ``(max_steps, budget)`` pair."""
+    if max_steps_kwarg is not None:
+        if options is not None:
+            raise TypeError(
+                f"{api} got both {legacy_name}= and options=; "
+                f"pass options=ExchangeOptions(max_steps=...) only"
+            )
+        warnings.warn(
+            f"{api}({legacy_name}=) is deprecated; pass "
+            f"options=ExchangeOptions(max_steps=...) instead "
+            "(see README 'Migrating to ExchangeOptions')",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return max_steps_kwarg, budget
+    if options is not None:
+        return options.max_steps, budget if budget is not None else options.budget()
+    return DEFAULT_MAX_STEPS, budget
+
+
 def chase(
     mapping: SchemaMapping,
     source: Instance,
     variant: ChaseVariant = ChaseVariant.NAIVE,
-    max_target_steps: int = 10_000,
+    max_target_steps: int | None = None,
+    *,
+    options: ExchangeOptions | None = None,
+    budget: Budget | None = None,
 ) -> ChaseResult:
     """Chase *source* with *mapping*, returning a universal solution.
 
+    Limits come from *options* (an
+    :class:`~repro.options.ExchangeOptions`): ``options.max_steps``
+    bounds the target-dependency phase
+    (:class:`ChaseNonTermination` past it) and
+    ``options.deadline`` / ``options.max_facts`` build a per-request
+    :class:`~repro.budget.Budget` checked cooperatively at every chase
+    step (:class:`~repro.budget.BudgetExceeded` past either).  A
+    pre-built *budget* can be passed directly (the service layer shares
+    one budget across phases this way).  The legacy ``max_target_steps``
+    keyword still works but emits a ``DeprecationWarning``.
+
     The st-tgd phase runs once (st-tgds cannot re-fire: their premises
     read only the source).  The target-dependency phase iterates egd and
-    target-tgd steps to a fixpoint, bounded by *max_target_steps*.
+    target-tgd steps to a fixpoint, bounded by the step cap.
 
-    On :class:`ChaseFailure` / :class:`ChaseNonTermination` the partial
-    statistics are attached to the exception (``exc.statistics``) and
-    published to the metrics registry before re-raising.
+    On failure the partial statistics are attached to the exception
+    (``exc.statistics``) and published to the metrics registry before
+    re-raising; :class:`~repro.budget.BudgetExceeded` and
+    :class:`ChaseNonTermination` additionally carry ``exc.partial`` —
+    the facts chased so far — so callers can degrade gracefully.
     """
+    max_steps, budget = _resolve_limits(
+        max_target_steps, options, budget, "chase", "max_target_steps"
+    )
     stats = ChaseStatistics()
     factory = NullFactory()
     factory.reserve_through(max_null_label(source.values()))
     tracer = get_tracer()
+    target: Instance | None = None
 
     try:
         with tracer.span(
@@ -165,7 +223,7 @@ def chase(
         ) as span:
             with tracer.span("chase.st_tgds", tgds=len(mapping.tgds)):
                 target_facts = _chase_st_tgds(
-                    mapping.tgds, source, variant, factory, stats
+                    mapping.tgds, source, variant, factory, stats, budget
                 )
             target = Instance(mapping.target, target_facts)
 
@@ -179,9 +237,19 @@ def chase(
                         mapping.target_dependencies,
                         factory,
                         stats,
-                        max_target_steps,
+                        max_steps,
+                        budget,
                     )
             span.set(target_facts=target.size(), **stats.as_dict())
+    except BudgetExceeded as exc:
+        exc.statistics = stats
+        if exc.partial is None:
+            # The st-tgd phase has no schema at hand; it leaves the raw
+            # fact list on the exception and we promote it here.
+            facts = exc.partial_facts if exc.partial_facts is not None else []
+            exc.partial = Instance(mapping.target, facts)
+        stats.publish()
+        raise
     except (ChaseFailure, ChaseNonTermination) as exc:
         exc.statistics = stats
         stats.publish()
@@ -220,6 +288,7 @@ def _chase_st_tgds(
     variant: ChaseVariant,
     factory: NullFactory,
     stats: ChaseStatistics,
+    budget: Budget | None = None,
 ) -> list[Fact]:
     facts: list[Fact] = []
     # STANDARD needs to consult the target built so far; build incrementally.
@@ -249,6 +318,12 @@ def _chase_st_tgds(
     for tgd_index, tgd in enumerate(tgds):
         bindings = _canonical_bindings(evaluate(tgd.premise, source))
         for binding in bindings:
+            if budget is not None:
+                try:
+                    budget.check(facts=len(facts), phase="st_tgds")
+                except BudgetExceeded as exc:
+                    exc.partial_facts = list(facts)
+                    raise
             frontier_binding = {v: binding[v] for v in tgd.frontier}
             if variant is ChaseVariant.STANDARD and witnessed(
                 tgd_index, tgd, frontier_binding
@@ -287,6 +362,7 @@ def _chase_target_dependencies(
     factory: NullFactory,
     stats: ChaseStatistics,
     max_steps: int,
+    budget: Budget | None = None,
 ) -> Instance:
     """Semi-naive fixpoint over egds and target tgds.
 
@@ -297,6 +373,11 @@ def _chase_target_dependencies(
     of each round; an egd firing rewrites values across the whole
     instance, so after any firing every fact counts as new again and the
     next tgd pass re-derives from the full instance.
+
+    Every step passes through :func:`~repro.faults.fault_point` (the
+    ``"chase.step"`` seam) and, when a *budget* is present, a
+    cooperative deadline/fact-cap check; a tripped budget raises
+    :class:`~repro.budget.BudgetExceeded` carrying the partial target.
     """
     tracer = get_tracer()
     registry = get_registry()
@@ -304,6 +385,18 @@ def _chase_target_dependencies(
     tgds = [d for d in dependencies if not isinstance(d, Egd)]
     delta: dict[str, set[Row]] | None = None  # None ⇒ every fact is new
     steps = 0
+
+    def charge_step() -> None:
+        fault_point("chase.step")
+        if budget is not None:
+            try:
+                budget.check(facts=target.size(), phase="target_dependencies")
+            except BudgetExceeded as exc:
+                exc.partial = target
+                raise
+        if steps > max_steps:
+            raise _non_termination(dependencies, max_steps, target)
+
     while True:
         stats.rounds += 1
         changed = False
@@ -326,8 +419,7 @@ def _chase_target_dependencies(
                             fired_one = egd_fired = True
                             fired_this_round += 1
                             steps += 1
-                            if steps > max_steps:
-                                raise _non_termination(dependencies, max_steps)
+                            charge_step()
             if egd_fired:
                 changed = True
                 delta = None  # map_values may have rewritten any fact
@@ -362,8 +454,7 @@ def _chase_target_dependencies(
                     stats.target_tgd_firings += 1
                     fired_this_round += 1
                     steps += 1
-                    if steps > max_steps:
-                        raise _non_termination(dependencies, max_steps)
+                    charge_step()
             if added:
                 changed = True
             span.set(
@@ -383,7 +474,9 @@ def _chase_target_dependencies(
 
 
 def _non_termination(
-    dependencies: Sequence[TargetDependency], max_steps: int
+    dependencies: Sequence[TargetDependency],
+    max_steps: int,
+    partial: Instance | None = None,
 ) -> ChaseNonTermination:
     """A :class:`ChaseNonTermination` carrying the diagnosis when one exists."""
     target_tgds = [d for d in dependencies if isinstance(d, TargetTgd)]
@@ -396,6 +489,7 @@ def _non_termination(
         message += f" (special-edge cycle: {witness.describe()})"
     exc = ChaseNonTermination(message)
     exc.witness = witness
+    exc.partial = partial
     return exc
 
 
@@ -426,16 +520,28 @@ def _egd_step(target: Instance, egd: Egd, stats: ChaseStatistics) -> tuple[Insta
 def chase_target_dependencies(
     target: Instance,
     dependencies: Sequence[TargetDependency],
-    max_steps: int = 10_000,
+    max_steps: int | None = None,
+    *,
+    options: ExchangeOptions | None = None,
+    budget: Budget | None = None,
 ) -> Instance:
     """Chase an existing target instance with egds / target tgds only.
 
     Used by the compiled exchange engine to honour a mapping's target
     dependencies after the lens's forward direction materializes the
-    target.  Raises :class:`ChaseFailure` on egd conflicts and
-    :class:`ChaseNonTermination` past *max_steps*; either exception
-    carries the partial statistics (``exc.statistics``).
+    target, and by :meth:`repro.service.ExchangeService.resume` to
+    continue a budget-interrupted chase from its partial instance.
+    Limits follow the same rules as :func:`chase`: pass *options* and/or
+    a shared *budget*; the explicit ``max_steps`` keyword is deprecated.
+    Raises :class:`ChaseFailure` on egd conflicts,
+    :class:`ChaseNonTermination` past the step cap and
+    :class:`~repro.budget.BudgetExceeded` past the budget; every
+    exception carries the partial statistics (``exc.statistics``) and
+    the latter two the partial instance (``exc.partial``).
     """
+    effective_max_steps, budget = _resolve_limits(
+        max_steps, options, budget, "chase_target_dependencies", "max_steps"
+    )
     stats = ChaseStatistics()
     factory = NullFactory()
     factory.reserve_through(max_null_label(target.values()))
@@ -445,9 +551,9 @@ def chase_target_dependencies(
             "chase.target_dependencies", dependencies=len(dependencies)
         ):
             result = _chase_target_dependencies(
-                target, dependencies, factory, stats, max_steps
+                target, dependencies, factory, stats, effective_max_steps, budget
             )
-    except (ChaseFailure, ChaseNonTermination) as exc:
+    except (ChaseFailure, ChaseNonTermination, BudgetExceeded) as exc:
         exc.statistics = stats
         stats.publish()
         raise
@@ -455,9 +561,15 @@ def chase_target_dependencies(
     return result
 
 
-def universal_solution(mapping: SchemaMapping, source: Instance) -> Instance:
+def universal_solution(
+    mapping: SchemaMapping,
+    source: Instance,
+    *,
+    options: ExchangeOptions | None = None,
+    budget: Budget | None = None,
+) -> Instance:
     """The canonical universal solution (naive chase + target dependencies)."""
-    return chase(mapping, source).solution
+    return chase(mapping, source, options=options, budget=budget).solution
 
 
 def core_universal_solution(mapping: SchemaMapping, source: Instance) -> Instance:

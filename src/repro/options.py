@@ -1,0 +1,170 @@
+"""`ExchangeOptions` — the one options object every entry point accepts.
+
+Four PRs of organic growth spelled limits four ways: ``chase(max_target_steps=)``,
+``ExchangeEngine.compile(workers=, cache=)``, per-subcommand CLI flags.
+This module unifies them:
+
+>>> from repro import ExchangeOptions, ExchangeEngine
+>>> opts = ExchangeOptions(workers=2, cache=64, deadline=0.5, max_facts=100_000)
+>>> engine = ExchangeEngine.compile(mapping, options=opts)
+
+Fields map one-to-one onto CLI flags (``--workers``, ``--cache``,
+``--max-steps``, ``--deadline``, ``--max-facts``) and onto the knobs of
+:class:`~repro.service.ExchangeService`.  The legacy keyword arguments
+keep working through deprecation shims that emit ``DeprecationWarning``
+and map onto an ``ExchangeOptions`` — see README "Migrating to
+ExchangeOptions".
+
+Standard-library only; imports :mod:`repro.budget` and nothing else from
+:mod:`repro`, so every layer can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import warnings
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from .budget import Budget
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .exec.cache import ExchangeCache
+
+__all__ = ["DEFAULT_MAX_STEPS", "ExchangeOptions", "RetryPolicy"]
+
+DEFAULT_MAX_STEPS = 10_000
+"""The default target-dependency chase-step cap (the seed's value)."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter for pool startup / worker crashes.
+
+    ``delay(attempt)`` for attempts 1, 2, 3... is
+    ``min(max_delay, base_delay * multiplier**(attempt-1))`` scaled by a
+    random factor in ``[1, 1+jitter]``.  A ``seed`` makes the jitter
+    deterministic (fault-injection tests rely on this).  ``max_retries=0``
+    restores the seed's one-shot serial fallback.
+    """
+
+    max_retries: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+
+    def rng(self) -> random.Random:
+        """A jitter source (deterministic when ``seed`` is set)."""
+        return random.Random(self.seed)
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry *attempt* (1-based), jittered via *rng*."""
+        raw = min(self.max_delay, self.base_delay * self.multiplier ** (attempt - 1))
+        return raw * (1.0 + self.jitter * rng.random())
+
+
+@dataclass(frozen=True)
+class ExchangeOptions:
+    """Every limit and executor knob of one exchange, in one frozen object.
+
+    * ``workers`` — shard the chase across N worker processes;
+    * ``cache`` — LRU capacity (or a prebuilt
+      :class:`~repro.exec.cache.ExchangeCache`) for universal solutions;
+    * ``max_steps`` — target-dependency chase-step cap
+      (:class:`~repro.mapping.chase.ChaseNonTermination` past it);
+    * ``deadline`` — wall-clock seconds per request
+      (:class:`~repro.budget.BudgetExceeded` past it);
+    * ``max_facts`` — target-fact cap per request (ditto);
+    * ``retry`` — pool failure :class:`RetryPolicy`.
+    """
+
+    workers: int | None = None
+    cache: "ExchangeCache | int | None" = None
+    max_steps: int = DEFAULT_MAX_STEPS
+    deadline: float | None = None
+    max_facts: int | None = None
+    retry: RetryPolicy = RetryPolicy()
+
+    def __post_init__(self) -> None:
+        if self.workers is not None and self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if isinstance(self.cache, int) and self.cache < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {self.cache}")
+        if self.max_steps < 1:
+            raise ValueError(f"max_steps must be >= 1, got {self.max_steps}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline}")
+        if self.max_facts is not None and self.max_facts < 1:
+            raise ValueError(f"max_facts must be >= 1, got {self.max_facts}")
+
+    # -- derived views ------------------------------------------------------
+
+    @property
+    def budgeted(self) -> bool:
+        """True when the options imply a per-request :class:`Budget`."""
+        return self.deadline is not None or self.max_facts is not None
+
+    @property
+    def wants_executor(self) -> bool:
+        """True when the options opt into the :mod:`repro.exec` executor."""
+        return self.workers is not None or self.cache is not None
+
+    def budget(self) -> Budget | None:
+        """A fresh per-request budget (``None`` when nothing is capped).
+
+        The budget's clock starts *now*: build one per request, not one
+        per engine.
+        """
+        if not self.budgeted:
+            return None
+        return Budget(deadline=self.deadline, max_facts=self.max_facts)
+
+    def replace(self, **changes: object) -> "ExchangeOptions":
+        """A copy with *changes* applied (``dataclasses.replace``)."""
+        return dataclasses.replace(self, **changes)
+
+
+def merge_legacy_kwargs(
+    options: ExchangeOptions | None,
+    api: str,
+    **legacy: object,
+) -> ExchangeOptions:
+    """The deprecation shim behind every legacy keyword argument.
+
+    *legacy* holds explicitly-passed old-style kwargs (``None`` values are
+    treated as "not passed").  When any is present, emit a
+    ``DeprecationWarning`` naming *api* and fold them into an
+    :class:`ExchangeOptions`; combining them with ``options=`` is a
+    ``TypeError`` (ambiguous).
+    """
+    passed = {name: value for name, value in legacy.items() if value is not None}
+    if not passed:
+        return options if options is not None else ExchangeOptions()
+    if options is not None:
+        raise TypeError(
+            f"{api} got both options= and legacy keyword arguments "
+            f"{sorted(passed)}; pass everything through options="
+        )
+    spelled = ", ".join(f"{name}=" for name in sorted(passed))
+    replacement = ", ".join(f"{name}=..." for name in sorted(passed))
+    warnings.warn(
+        f"{api}({spelled}) is deprecated; pass "
+        f"options=ExchangeOptions({replacement}) instead "
+        "(see README 'Migrating to ExchangeOptions')",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return ExchangeOptions(**passed)  # type: ignore[arg-type]

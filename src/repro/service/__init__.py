@@ -1,0 +1,55 @@
+"""repro.service — budgeted, fault-tolerant exchange as a long-running service.
+
+The production face of the exchange stack: where
+:class:`~repro.compiler.engine.ExchangeEngine` answers one request and
+raises on trouble, :class:`ExchangeService` holds budgets, retries pool
+failures with backoff, opens a circuit breaker under repeated failure,
+sheds load past its admission limit, and degrades to
+:class:`PartialSolution` instead of hanging or crashing::
+
+    from repro import ExchangeOptions, ExchangeService, PartialSolution
+
+    service = ExchangeService(mapping, ExchangeOptions(
+        workers=2, cache=128, deadline=0.5, max_facts=1_000_000))
+    result = service.exchange(source)
+    if isinstance(result, PartialSolution):
+        result = service.resume(source, result.token)
+
+Submodules:
+
+* :mod:`repro.service.service` — the service, partial solutions,
+  resumption tokens, admission control;
+* :mod:`repro.service.faults` — the deterministic fault-injection
+  harness (worker crashes, pool-spawn failures, slow chases).
+
+The budget/options/breaker building blocks re-exported here live in
+:mod:`repro.budget`, :mod:`repro.options` and :mod:`repro.exec.retry`.
+See docs/ROBUSTNESS.md for the full contract.
+"""
+
+from ..budget import Budget, BudgetExceeded
+from ..exec.retry import CircuitBreaker
+from ..faults import Fault, FaultPlan, InjectedFault, fault_injection
+from ..options import ExchangeOptions, RetryPolicy
+from .service import (
+    ExchangeService,
+    PartialSolution,
+    ResumptionToken,
+    ServiceOverloaded,
+)
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "CircuitBreaker",
+    "ExchangeOptions",
+    "ExchangeService",
+    "Fault",
+    "FaultPlan",
+    "InjectedFault",
+    "PartialSolution",
+    "ResumptionToken",
+    "RetryPolicy",
+    "ServiceOverloaded",
+    "fault_injection",
+]

@@ -1,0 +1,36 @@
+"""Fault injection for the exchange service — the canonical import path.
+
+The implementation lives in :mod:`repro.faults` (a leaf module, so the
+instrumented layers can import the seam hook without cycles); this
+module is the service-level face of it::
+
+    from repro.service.faults import FaultPlan, fault_injection
+
+    with fault_injection(FaultPlan.pool_crashes(2)):
+        service.exchange(source)   # first two pool dispatches crash
+
+See the :mod:`repro.faults` docstring for the seam list and cookbook,
+and docs/ROBUSTNESS.md for the degradation contract each seam tests.
+"""
+
+from ..faults import (
+    KNOWN_SITES,
+    Fault,
+    FaultPlan,
+    InjectedFault,
+    active_fault_plan,
+    fault_injection,
+    fault_point,
+    install_fault_plan,
+)
+
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "InjectedFault",
+    "KNOWN_SITES",
+    "active_fault_plan",
+    "fault_injection",
+    "fault_point",
+    "install_fault_plan",
+]

@@ -1,0 +1,418 @@
+"""`ExchangeService`: budgeted, fault-tolerant forward exchange.
+
+The engine (:class:`~repro.compiler.engine.ExchangeEngine`) answers one
+request and crashes loudly; a production exchange endpoint needs the
+opposite contract.  :class:`ExchangeService` wraps a compiled engine
+with:
+
+* **budgets** — every request gets a fresh
+  :class:`~repro.budget.Budget` from the service's
+  :class:`~repro.options.ExchangeOptions` (wall-clock ``deadline``,
+  ``max_facts``), checked cooperatively at chase-step and shard-merge
+  boundaries, plus the ``max_steps`` chase-step cap;
+* **graceful degradation** — budget exhaustion (and step-cap
+  non-termination) returns a :class:`PartialSolution` carrying the
+  facts chased so far, the violated budget and a
+  :class:`ResumptionToken`, instead of raising;
+* **retry + circuit breaker** — pool startup/worker crashes retry with
+  exponential backoff + jitter
+  (:class:`~repro.options.RetryPolicy`); repeated failures open a
+  :class:`~repro.exec.retry.CircuitBreaker` pinning the service to the
+  serial chase;
+* **admission control** — a bounded in-flight count with explicit
+  :class:`ServiceOverloaded` rejection, applied whole-batch to
+  :meth:`exchange_many`.
+
+Everything is observable through :mod:`repro.obs` (``service.*``
+counters, budget-remaining histograms, a ``service`` span tree) and
+every degradation path is reachable deterministically through
+:mod:`repro.service.faults` — see docs/ROBUSTNESS.md.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..budget import Budget, BudgetExceeded
+from ..compiler.engine import ExchangeEngine
+from ..compiler.hints import Hints
+from ..exec.cache import mapping_fingerprint
+from ..exec.retry import CircuitBreaker
+from ..mapping.chase import (
+    ChaseNonTermination,
+    ChaseStatistics,
+    chase,
+    chase_target_dependencies,
+)
+from ..mapping.sttgd import SchemaMapping
+from ..obs import get_registry, get_tracer
+from ..options import ExchangeOptions
+from ..relational.instance import Instance
+from ..stats import Statistics
+
+__all__ = [
+    "ExchangeService",
+    "PartialSolution",
+    "ResumptionToken",
+    "ServiceOverloaded",
+]
+
+
+class ServiceOverloaded(RuntimeError):
+    """Admission control rejected the request: the in-flight queue is full.
+
+    Carries ``in_flight`` (current depth), ``requested`` (the rejected
+    batch size) and ``capacity`` so callers can implement load shedding
+    or client-side backoff.
+    """
+
+    def __init__(self, in_flight: int, requested: int, capacity: int) -> None:
+        super().__init__(
+            f"service overloaded: {in_flight} in flight + {requested} "
+            f"requested > capacity {capacity}"
+        )
+        self.in_flight = in_flight
+        self.requested = requested
+        self.capacity = capacity
+
+
+@dataclass(frozen=True)
+class ResumptionToken:
+    """Where a budget-interrupted exchange stopped, and how to continue.
+
+    ``phase`` names the interrupted chase phase:
+
+    * ``"target_dependencies"`` — the st-tgd phase completed;
+      :meth:`ExchangeService.resume` continues the target-dependency
+      chase from ``partial`` (sound: the chase is monotone and the
+      restricted chase from any intermediate instance still reaches a
+      solution);
+    * ``"st_tgds"`` / ``"merge"`` — the interruption predates a
+      resumable waypoint; resume re-runs the exchange from the source
+      under the new budget.
+
+    The fingerprints pin the token to one (mapping, source) pair so a
+    token cannot be replayed against different data.
+    """
+
+    mapping_fingerprint: str
+    source_fingerprint: str
+    phase: str
+    partial: Instance
+
+    @property
+    def resumable_in_place(self) -> bool:
+        return self.phase == "target_dependencies"
+
+
+@dataclass(frozen=True)
+class PartialSolution:
+    """What a budget-exhausted exchange managed to produce.
+
+    ``facts`` is a *prefix* of the chase: every fact is derivable, so it
+    is a subset (up to null naming) of the full canonical universal
+    solution — useful for best-effort answers and for resumption, but
+    **not** a solution (some dependency may be unsatisfied).  ``violated``
+    names the exhausted limit (``"deadline"`` / ``"max_facts"`` /
+    ``"max_steps"``); ``token`` feeds :meth:`ExchangeService.resume`.
+    """
+
+    facts: Instance
+    violated: str
+    statistics: ChaseStatistics | None
+    token: ResumptionToken
+
+    @property
+    def is_partial(self) -> bool:
+        """True — shared vocabulary with full Instances via ``getattr``."""
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"PartialSolution({self.facts.size()} facts, "
+            f"violated={self.violated!r}, phase={self.token.phase!r})"
+        )
+
+
+class ExchangeService:
+    """A long-running exchange endpoint over one compiled mapping.
+
+    >>> service = ExchangeService(mapping, ExchangeOptions(
+    ...     workers=2, deadline=0.5, max_facts=100_000))
+    >>> result = service.exchange(source)
+    >>> if isinstance(result, PartialSolution):
+    ...     result = service.resume(source, result.token)   # more budget
+    >>> service.close()
+
+    The service is thread-safe at the admission-control boundary; the
+    underlying chase runs one request per call.  Use it as a context
+    manager to guarantee worker-pool shutdown.
+    """
+
+    def __init__(
+        self,
+        mapping: SchemaMapping,
+        options: ExchangeOptions | None = None,
+        *,
+        statistics: Statistics | None = None,
+        hints: Hints | None = None,
+        max_in_flight: int = 64,
+        breaker: CircuitBreaker | None = None,
+    ) -> None:
+        if max_in_flight < 1:
+            raise ValueError(f"max_in_flight must be >= 1, got {max_in_flight}")
+        self._options = options if options is not None else ExchangeOptions()
+        self._engine = ExchangeEngine.compile(
+            mapping, statistics, hints, options=self._options
+        )
+        if breaker is not None and self._engine.executor is not None:
+            # Share the caller's breaker with the executor's retry loop.
+            self._engine.executor._breaker = breaker
+        self._max_in_flight = max_in_flight
+        self._in_flight = 0
+        self._lock = threading.Lock()
+        self._mapping_fingerprint = mapping_fingerprint(mapping)
+        self._closed = False
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def engine(self) -> ExchangeEngine:
+        return self._engine
+
+    @property
+    def mapping(self) -> SchemaMapping:
+        return self._engine.mapping
+
+    @property
+    def options(self) -> ExchangeOptions:
+        return self._options
+
+    @property
+    def breaker(self) -> CircuitBreaker | None:
+        """The executor's pool circuit breaker (None without an executor)."""
+        executor = self._engine.executor
+        return executor.breaker if executor is not None else None
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    @property
+    def max_in_flight(self) -> int:
+        return self._max_in_flight
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the engine's worker pool down (idempotent)."""
+        self._closed = True
+        self._engine.close()
+
+    def __enter__(self) -> "ExchangeService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- admission control ---------------------------------------------------
+
+    def _admit(self, count: int) -> None:
+        with self._lock:
+            if self._in_flight + count > self._max_in_flight:
+                get_registry().increment("service.rejections")
+                raise ServiceOverloaded(
+                    self._in_flight, count, self._max_in_flight
+                )
+            self._in_flight += count
+            get_registry().gauge("service.queue_depth").set(self._in_flight)
+
+    def _release(self, count: int) -> None:
+        with self._lock:
+            self._in_flight = max(0, self._in_flight - count)
+            get_registry().gauge("service.queue_depth").set(self._in_flight)
+
+    # -- exchange ------------------------------------------------------------
+
+    def exchange(
+        self, source: Instance, *, options: ExchangeOptions | None = None
+    ) -> Instance | PartialSolution:
+        """One budgeted request: a full solution or a :class:`PartialSolution`.
+
+        *options* overrides the service defaults for this request only
+        (e.g. a tighter per-tenant deadline).  Never raises on budget
+        exhaustion or chase step caps; egd *failures*
+        (:class:`~repro.mapping.chase.ChaseFailure` — the mapping has no
+        solution) still raise, because no amount of budget fixes them.
+        """
+        self._admit(1)
+        try:
+            return self._exchange_admitted(source, options or self._options)
+        finally:
+            self._release(1)
+
+    def exchange_many(
+        self, sources: Iterable[Instance], *, options: ExchangeOptions | None = None
+    ) -> list[Instance | PartialSolution]:
+        """A budgeted batch, admitted whole or rejected whole.
+
+        Admission control reserves the full batch up front: if the batch
+        does not fit next to the requests already in flight, the whole
+        batch is rejected with :class:`ServiceOverloaded` (no partial
+        batch ever runs, so callers can safely retry it elsewhere).
+        """
+        batch = list(sources)
+        opts = options or self._options
+        self._admit(len(batch))
+        try:
+            with get_tracer().span("service.batch", sources=len(batch)) as span:
+                results = [self._exchange_admitted(s, opts) for s in batch]
+                degraded = sum(
+                    1 for r in results if isinstance(r, PartialSolution)
+                )
+                span.set(degraded=degraded)
+            return results
+        finally:
+            self._release(len(batch))
+
+    def _exchange_admitted(
+        self, source: Instance, opts: ExchangeOptions
+    ) -> Instance | PartialSolution:
+        registry = get_registry()
+        budget = opts.budget()
+        with get_tracer().span(
+            "service.exchange", source_facts=source.size()
+        ) as span:
+            registry.increment("service.requests")
+            try:
+                solution = self._run(source, opts, budget)
+            except BudgetExceeded as exc:
+                return self._degrade(
+                    source,
+                    exc.violated,
+                    exc.partial,
+                    exc.statistics,
+                    exc.phase or "st_tgds",
+                    span,
+                )
+            except ChaseNonTermination as exc:
+                return self._degrade(
+                    source,
+                    "max_steps",
+                    exc.partial,
+                    exc.statistics,
+                    "target_dependencies",
+                    span,
+                )
+            self._observe_remaining(budget, solution)
+            span.set(target_facts=solution.size())
+            return solution
+
+    def _run(
+        self, source: Instance, opts: ExchangeOptions, budget: Budget | None
+    ) -> Instance:
+        executor = self._engine.executor
+        if executor is not None:
+            return executor.exchange(source, budget)
+        return chase(self.mapping, source, options=opts, budget=budget).solution
+
+    def _degrade(
+        self,
+        source: Instance,
+        violated: str,
+        partial: Instance | None,
+        statistics: ChaseStatistics | None,
+        phase: str,
+        span,
+    ) -> PartialSolution:
+        registry = get_registry()
+        registry.increment("service.degraded")
+        registry.increment(f"service.{violated}_exceeded")
+        if partial is None:
+            partial = Instance(self.mapping.target, [])
+        token = ResumptionToken(
+            mapping_fingerprint=self._mapping_fingerprint,
+            source_fingerprint=source.fingerprint(),
+            phase=phase,
+            partial=partial,
+        )
+        span.set(degraded=violated, phase=phase, partial_facts=partial.size())
+        return PartialSolution(partial, violated, statistics, token)
+
+    def _observe_remaining(self, budget: Budget | None, solution: Instance) -> None:
+        """Budget headroom histograms: how close successful requests cut it."""
+        if budget is None:
+            return
+        registry = get_registry()
+        remaining_seconds = budget.remaining_seconds()
+        if remaining_seconds is not None:
+            registry.observe("service.budget.remaining_seconds", remaining_seconds)
+        remaining_facts = budget.remaining_facts(solution.size())
+        if remaining_facts is not None:
+            registry.observe("service.budget.remaining_facts", remaining_facts)
+
+    # -- resumption ----------------------------------------------------------
+
+    def resume(
+        self,
+        source: Instance,
+        token: ResumptionToken,
+        *,
+        options: ExchangeOptions | None = None,
+    ) -> Instance | PartialSolution:
+        """Continue a degraded exchange under a fresh budget.
+
+        The token must come from this service's mapping and *source*
+        (fingerprint-checked; ``ValueError`` otherwise).  A
+        ``"target_dependencies"`` token continues the chase from the
+        partial instance; earlier phases re-run the exchange from the
+        source.  The result is again either a full solution or another
+        :class:`PartialSolution` with a fresher token.
+        """
+        if token.mapping_fingerprint != self._mapping_fingerprint:
+            raise ValueError("resumption token is for a different mapping")
+        if token.source_fingerprint != source.fingerprint():
+            raise ValueError("resumption token is for a different source")
+        opts = options or self._options
+        get_registry().increment("service.resumptions")
+        if not token.resumable_in_place:
+            return self.exchange(source, options=opts)
+        self._admit(1)
+        try:
+            budget = opts.budget()
+            with get_tracer().span(
+                "service.resume", partial_facts=token.partial.size()
+            ) as span:
+                try:
+                    solution = chase_target_dependencies(
+                        token.partial,
+                        self.mapping.target_dependencies,
+                        options=opts,
+                        budget=budget,
+                    )
+                except BudgetExceeded as exc:
+                    return self._degrade(
+                        source,
+                        exc.violated,
+                        exc.partial if exc.partial is not None else token.partial,
+                        exc.statistics,
+                        "target_dependencies",
+                        span,
+                    )
+                except ChaseNonTermination as exc:
+                    return self._degrade(
+                        source,
+                        "max_steps",
+                        exc.partial if exc.partial is not None else token.partial,
+                        exc.statistics,
+                        "target_dependencies",
+                        span,
+                    )
+                self._observe_remaining(budget, solution)
+                span.set(target_facts=solution.size())
+                return solution
+        finally:
+            self._release(1)

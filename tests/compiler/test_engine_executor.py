@@ -1,6 +1,7 @@
 """Tests for the engine's parallel-executor and cache knobs."""
 
 from repro.compiler import ExchangeEngine
+from repro.options import ExchangeOptions
 from repro.exec import ExchangeCache
 from repro.mapping import SchemaMapping, universal_solution
 from repro.relational import instance, relation, schema
@@ -35,7 +36,7 @@ class TestEngineKnobs:
         engine.close()  # no-op, must not raise
 
     def test_workers_knob_routes_exchange_through_executor(self):
-        engine = ExchangeEngine.compile(join_mapping(), workers=2)
+        engine = ExchangeEngine.compile(join_mapping(), options=ExchangeOptions(workers=2))
         try:
             source = clustered_source()
             result = engine.exchange(source)
@@ -48,7 +49,7 @@ class TestEngineKnobs:
             engine.close()
 
     def test_cache_knob_alone_enables_executor(self):
-        engine = ExchangeEngine.compile(join_mapping(), cache=4)
+        engine = ExchangeEngine.compile(join_mapping(), options=ExchangeOptions(cache=4))
         try:
             assert engine.executor is not None
             assert engine.executor.workers == 1
@@ -61,7 +62,7 @@ class TestEngineKnobs:
 
     def test_cache_accepts_prebuilt_object(self):
         cache = ExchangeCache(capacity=2)
-        engine = ExchangeEngine.compile(join_mapping(), cache=cache)
+        engine = ExchangeEngine.compile(join_mapping(), options=ExchangeOptions(cache=cache))
         try:
             engine.exchange(clustered_source())
             assert len(cache) == 1
@@ -77,7 +78,7 @@ class TestEngineKnobs:
         ]
 
     def test_put_back_unaffected_by_executor(self):
-        engine = ExchangeEngine.compile(join_mapping(), workers=2)
+        engine = ExchangeEngine.compile(join_mapping(), options=ExchangeOptions(workers=2))
         try:
             source = clustered_source()
             view = engine.lens.get(source)

@@ -15,6 +15,7 @@ from repro.mapping import (
     universal_solution,
 )
 from repro.mapping.dependencies import Egd, TargetTgd
+from repro.options import ExchangeOptions
 from repro.relational import (
     LabeledNull,
     constant,
@@ -192,7 +193,7 @@ class TestTargetDependencies:
         )
         I = instance(source, {"A": [["v"]]})
         with pytest.raises(ChaseNonTermination) as excinfo:
-            chase(mapping, I, max_target_steps=50)
+            chase(mapping, I, options=ExchangeOptions(max_steps=50))
         # The error is actionable: it points at the lint subcommand and
         # embeds the special-edge cycle that explains the divergence.
         message = str(excinfo.value)

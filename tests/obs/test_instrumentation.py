@@ -17,6 +17,7 @@ from repro.mapping import SchemaMapping, StTgd, chase, universal_solution
 from repro.mapping.chase import ChaseFailure, ChaseNonTermination
 from repro.mapping.dependencies import Egd, TargetTgd
 from repro.obs import collecting, tracing
+from repro.options import ExchangeOptions
 from repro.relational import Attribute, instance, relation, schema
 from repro.stats import Statistics
 from repro.workloads import emp_manager_scenario
@@ -92,7 +93,7 @@ class TestChaseInstrumentation:
         )
         I = instance(source, {"A": [["a"]]})
         with pytest.raises(ChaseNonTermination) as excinfo:
-            chase(mapping, I, max_target_steps=25)
+            chase(mapping, I, options=ExchangeOptions(max_steps=25))
         stats = excinfo.value.statistics
         assert stats is not None
         assert stats.target_tgd_firings > 0

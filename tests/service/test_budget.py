@@ -1,0 +1,82 @@
+"""Tests for request-scoped budgets (repro.budget)."""
+
+import pytest
+
+from repro.budget import Budget, BudgetExceeded
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock for deterministic deadlines."""
+
+    def __init__(self) -> None:
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestBudget:
+    def test_unlimited_checks_are_noops(self):
+        budget = Budget()
+        assert budget.unlimited
+        for _ in range(1000):
+            budget.check(facts=10**9)
+        assert budget.checks == 1000
+
+    def test_deadline_trips_after_elapsed(self):
+        clock = FakeClock()
+        budget = Budget(deadline=0.5, clock=clock)
+        budget.check()
+        clock.advance(0.49)
+        budget.check()
+        clock.advance(0.02)
+        with pytest.raises(BudgetExceeded) as excinfo:
+            budget.check(phase="target_dependencies")
+        assert excinfo.value.violated == "deadline"
+        assert excinfo.value.phase == "target_dependencies"
+        assert excinfo.value.budget is budget
+
+    def test_max_facts_trips_at_cap(self):
+        budget = Budget(max_facts=10)
+        budget.check(facts=9)
+        with pytest.raises(BudgetExceeded) as excinfo:
+            budget.check(facts=10)
+        assert excinfo.value.violated == "max_facts"
+
+    def test_check_without_facts_skips_fact_cap(self):
+        budget = Budget(max_facts=1)
+        budget.check()  # no fact count supplied — nothing to compare
+
+    def test_remaining_seconds_and_facts(self):
+        clock = FakeClock()
+        budget = Budget(deadline=2.0, max_facts=100, clock=clock)
+        clock.advance(0.5)
+        assert budget.remaining_seconds() == pytest.approx(1.5)
+        assert budget.remaining_facts(30) == 70
+        assert Budget(max_facts=5).remaining_seconds() is None
+        assert Budget(deadline=1.0).remaining_facts(3) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Budget(deadline=0)
+        with pytest.raises(ValueError):
+            Budget(deadline=-1.0)
+        with pytest.raises(ValueError):
+            Budget(max_facts=0)
+
+    def test_exception_carries_degradation_slots(self):
+        exc = BudgetExceeded("boom", violated="deadline")
+        assert exc.partial is None
+        assert exc.partial_facts is None
+        assert exc.statistics is None
+        assert exc.phase is None
+
+    def test_as_dict_and_repr(self):
+        budget = Budget(deadline=1.0, max_facts=7)
+        d = budget.as_dict()
+        assert d["deadline"] == 1.0 and d["max_facts"] == 7
+        assert "deadline=1.0" in repr(budget)
+        assert "unlimited" in repr(Budget())

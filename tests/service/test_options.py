@@ -1,0 +1,166 @@
+"""Tests for ExchangeOptions, RetryPolicy, and the deprecation shims."""
+
+import warnings
+
+import pytest
+
+from repro import ExchangeEngine, ExchangeOptions, RetryPolicy
+from repro.mapping import SchemaMapping, chase, universal_solution
+from repro.mapping.chase import chase_target_dependencies
+from repro.options import DEFAULT_MAX_STEPS, merge_legacy_kwargs
+from repro.relational import instance, relation, schema
+
+
+SRC = schema(relation("Emp", "name"))
+TGT = schema(relation("Manager", "emp", "mgr"))
+
+
+def example_mapping():
+    return SchemaMapping.parse(SRC, TGT, "Emp(x) -> exists y . Manager(x, y)")
+
+
+def example_source():
+    return instance(SRC, {"Emp": [["Alice"], ["Bob"]]})
+
+
+class TestExchangeOptions:
+    def test_defaults(self):
+        opts = ExchangeOptions()
+        assert opts.workers is None
+        assert opts.max_steps == DEFAULT_MAX_STEPS
+        assert not opts.budgeted
+        assert not opts.wants_executor
+        assert opts.budget() is None
+
+    def test_budgeted_and_wants_executor(self):
+        assert ExchangeOptions(deadline=1.0).budgeted
+        assert ExchangeOptions(max_facts=10).budgeted
+        assert ExchangeOptions(workers=2).wants_executor
+        assert ExchangeOptions(cache=8).wants_executor
+
+    def test_budget_is_fresh_per_call(self):
+        opts = ExchangeOptions(deadline=1.0, max_facts=5)
+        first, second = opts.budget(), opts.budget()
+        assert first is not second
+        assert first.deadline == 1.0 and first.max_facts == 5
+
+    def test_replace(self):
+        opts = ExchangeOptions(workers=2)
+        tighter = opts.replace(deadline=0.1)
+        assert tighter.workers == 2 and tighter.deadline == 0.1
+        assert opts.deadline is None  # frozen original untouched
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExchangeOptions(workers=0)
+        with pytest.raises(ValueError):
+            ExchangeOptions(cache=0)
+        with pytest.raises(ValueError):
+            ExchangeOptions(max_steps=0)
+        with pytest.raises(ValueError):
+            ExchangeOptions(deadline=0)
+        with pytest.raises(ValueError):
+            ExchangeOptions(max_facts=0)
+
+
+class TestRetryPolicy:
+    def test_delay_grows_and_caps(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0)
+        rng = policy.rng()
+        delays = [policy.delay(attempt, rng) for attempt in (1, 2, 3, 4, 5)]
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.5, 0.5])
+
+    def test_jitter_is_deterministic_with_seed(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.5, seed=7)
+        first = [policy.delay(i, policy.rng()) for i in (1, 2, 3)]
+        second = [policy.delay(i, policy.rng()) for i in (1, 2, 3)]
+        assert first == second
+        base = 0.1
+        assert base <= first[0] <= base * 1.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+
+class TestLegacyShims:
+    def test_merge_legacy_kwargs_passthrough(self):
+        opts = ExchangeOptions(workers=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert merge_legacy_kwargs(opts, "api") is opts
+            assert merge_legacy_kwargs(None, "api") == ExchangeOptions()
+
+    def test_merge_legacy_kwargs_warns_and_folds(self):
+        with pytest.warns(DeprecationWarning, match="api\\(workers=\\)"):
+            opts = merge_legacy_kwargs(None, "api", workers=2)
+        assert opts == ExchangeOptions(workers=2)
+
+    def test_merge_legacy_kwargs_rejects_both(self):
+        with pytest.raises(TypeError, match="both options="):
+            merge_legacy_kwargs(ExchangeOptions(), "api", workers=2)
+
+    def test_compile_legacy_workers_warns_but_works(self):
+        with pytest.warns(DeprecationWarning, match="Migrating to ExchangeOptions"):
+            engine = ExchangeEngine.compile(example_mapping(), workers=2)
+        try:
+            assert engine.executor is not None
+            assert engine.exchange(example_source()).size() == 2
+        finally:
+            engine.close()
+
+    def test_compile_options_path_is_warning_free(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            engine = ExchangeEngine.compile(
+                example_mapping(), options=ExchangeOptions(workers=2)
+            )
+        try:
+            assert engine.exchange(example_source()).size() == 2
+        finally:
+            engine.close()
+
+    def test_chase_legacy_max_target_steps_warns(self):
+        with pytest.warns(DeprecationWarning, match="max_target_steps"):
+            result = chase(example_mapping(), example_source(), max_target_steps=25)
+        assert result.solution.size() == 2
+
+    def test_chase_options_path_is_warning_free(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result = chase(
+                example_mapping(),
+                example_source(),
+                options=ExchangeOptions(max_steps=25),
+            )
+            universal_solution(
+                example_mapping(),
+                example_source(),
+                options=ExchangeOptions(max_steps=25),
+            )
+        assert result.solution.size() == 2
+
+    def test_chase_rejects_options_plus_legacy(self):
+        with pytest.raises(TypeError, match="both"):
+            chase(
+                example_mapping(),
+                example_source(),
+                max_target_steps=25,
+                options=ExchangeOptions(max_steps=25),
+            )
+
+    def test_chase_target_dependencies_shim(self):
+        target = instance(TGT, {"Manager": [["a", "b"]]})
+        with pytest.warns(DeprecationWarning):
+            chase_target_dependencies(target, [], max_steps=10)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            chase_target_dependencies(
+                target, [], options=ExchangeOptions(max_steps=10)
+            )

@@ -1,0 +1,205 @@
+"""Tests for ExchangeService: budgets, degradation, admission, resumption."""
+
+import time
+
+import pytest
+
+from repro import ExchangeOptions, ExchangeService, PartialSolution
+from repro.logic.parser import parse_rule
+from repro.mapping import SchemaMapping, universal_solution
+from repro.mapping.dependencies import TargetTgd
+from repro.obs import collecting
+from repro.relational import instance, is_homomorphic, relation, schema
+from repro.relational.canonical import canonically_equal
+from repro.service import ServiceOverloaded
+
+
+SRC = schema(relation("Emp", "name"))
+TGT = schema(relation("Manager", "emp", "mgr"))
+
+
+def simple_mapping():
+    return SchemaMapping.parse(SRC, TGT, "Emp(x) -> exists y . Manager(x, y)")
+
+
+def simple_source(rows=20):
+    return instance(SRC, {"Emp": [[f"e{i}"] for i in range(rows)]})
+
+
+def target_tgd(text):
+    rule = parse_rule(text)
+    return TargetTgd(rule.lhs, rule.branches[0][1])
+
+
+def divergent_mapping():
+    """Example-2-style divergence: every manager needs a manager."""
+    return SchemaMapping.parse(
+        SRC,
+        TGT,
+        "Emp(x) -> exists y . Manager(x, y)",
+        [target_tgd("Manager(e, m) -> exists m2 . Manager(m, m2)")],
+    )
+
+
+def fk_mapping():
+    source = schema(relation("E", "n", "d"))
+    target = schema(relation("Emp", "n", "d"), relation("Dept", "d"))
+    return SchemaMapping.parse(
+        source,
+        target,
+        "E(x, d) -> Emp(x, d)",
+        [target_tgd("Emp(x, d) -> Dept(d)")],
+    )
+
+
+class TestFullSolutions:
+    def test_unbudgeted_exchange_is_a_plain_instance(self):
+        with ExchangeService(simple_mapping()) as service:
+            result = service.exchange(simple_source(5))
+        assert not isinstance(result, PartialSolution)
+        assert result.size() == 5
+
+    def test_budgeted_with_headroom_returns_full_solution(self):
+        options = ExchangeOptions(deadline=30.0, max_facts=10_000)
+        with ExchangeService(simple_mapping(), options) as service:
+            result = service.exchange(simple_source(5))
+        assert not isinstance(result, PartialSolution)
+        expected = universal_solution(simple_mapping(), simple_source(5))
+        assert canonically_equal(result, expected)
+
+
+class TestDegradation:
+    def test_fact_cap_partial_is_subset_of_universal_solution(self):
+        source = simple_source(20)
+        options = ExchangeOptions(max_facts=5)
+        with collecting() as registry:
+            with ExchangeService(simple_mapping(), options) as service:
+                result = service.exchange(source)
+        assert isinstance(result, PartialSolution)
+        assert result.violated == "max_facts"
+        assert result.is_partial
+        assert 1 <= result.facts.size() <= 5
+        # Every partial fact is derivable: it maps homomorphically into
+        # the full canonical universal solution.
+        full = universal_solution(simple_mapping(), source)
+        assert is_homomorphic(result.facts, full)
+        counters = registry.snapshot()["counters"]
+        assert counters["service.degraded"] == 1
+        assert counters["service.max_facts_exceeded"] == 1
+
+    def test_deadline_on_divergent_chase_returns_instead_of_hanging(self):
+        source = instance(SRC, {"Emp": [["root"]]})
+        # max_steps high enough that the deadline, not the step cap, trips.
+        options = ExchangeOptions(deadline=0.05, max_steps=10**9)
+        started = time.monotonic()
+        with collecting() as registry:
+            with ExchangeService(divergent_mapping(), options) as service:
+                result = service.exchange(source)
+        elapsed = time.monotonic() - started
+        assert isinstance(result, PartialSolution)
+        assert result.violated == "deadline"
+        assert elapsed < 5.0  # cooperative checks keep latency near the deadline
+        assert result.facts.size() >= 1
+        counters = registry.snapshot()["counters"]
+        assert counters["service.deadline_exceeded"] == 1
+
+    def test_step_cap_degrades_instead_of_raising(self):
+        source = instance(SRC, {"Emp": [["root"]]})
+        options = ExchangeOptions(max_steps=25)
+        with ExchangeService(divergent_mapping(), options) as service:
+            result = service.exchange(source)
+        assert isinstance(result, PartialSolution)
+        assert result.violated == "max_steps"
+        assert result.token.resumable_in_place
+
+    def test_per_request_options_override_service_defaults(self):
+        with ExchangeService(simple_mapping()) as service:
+            tight = service.exchange(
+                simple_source(20), options=ExchangeOptions(max_facts=3)
+            )
+            loose = service.exchange(simple_source(20))
+        assert isinstance(tight, PartialSolution)
+        assert not isinstance(loose, PartialSolution)
+
+
+class TestResumption:
+    def test_resume_target_dependency_token_to_completion(self):
+        mapping = fk_mapping()
+        source = instance(
+            mapping.source, {"E": [[f"e{i}", f"d{i}"] for i in range(10)]}
+        )
+        # st-tgd phase makes 10 Emp facts; the Dept closure trips at 12.
+        options = ExchangeOptions(max_facts=12)
+        with collecting() as registry:
+            with ExchangeService(mapping, options) as service:
+                partial = service.exchange(source)
+                assert isinstance(partial, PartialSolution)
+                assert partial.token.phase == "target_dependencies"
+                resumed = service.resume(
+                    source, partial.token, options=ExchangeOptions()
+                )
+        assert not isinstance(resumed, PartialSolution)
+        expected = universal_solution(mapping, source)
+        assert canonically_equal(resumed, expected)
+        counters = registry.snapshot()["counters"]
+        assert counters["service.resumptions"] == 1
+
+    def test_resume_rejects_foreign_tokens(self):
+        source = simple_source(20)
+        other = instance(SRC, {"Emp": [["someone-else"]]})
+        with ExchangeService(simple_mapping(), ExchangeOptions(max_facts=3)) as service:
+            partial = service.exchange(source)
+            assert isinstance(partial, PartialSolution)
+            with pytest.raises(ValueError, match="different source"):
+                service.resume(other, partial.token)
+
+    def test_resume_from_early_phase_reruns_exchange(self):
+        source = simple_source(20)
+        with ExchangeService(simple_mapping(), ExchangeOptions(max_facts=3)) as service:
+            partial = service.exchange(source)
+            assert isinstance(partial, PartialSolution)
+            assert not partial.token.resumable_in_place  # st-tgd phase token
+            resumed = service.resume(source, partial.token, options=ExchangeOptions())
+        assert not isinstance(resumed, PartialSolution)
+        assert resumed.size() == 20
+
+
+class TestAdmissionControl:
+    def test_batch_larger_than_capacity_is_rejected_whole(self):
+        sources = [simple_source(3) for _ in range(3)]
+        with collecting() as registry:
+            with ExchangeService(simple_mapping(), max_in_flight=2) as service:
+                with pytest.raises(ServiceOverloaded) as excinfo:
+                    service.exchange_many(sources)
+                assert service.in_flight == 0  # nothing leaked
+                # A fitting batch still runs afterwards.
+                results = service.exchange_many(sources[:2])
+        assert len(results) == 2
+        assert excinfo.value.requested == 3
+        assert excinfo.value.capacity == 2
+        counters = registry.snapshot()["counters"]
+        assert counters["service.rejections"] == 1
+
+    def test_max_in_flight_validation(self):
+        with pytest.raises(ValueError):
+            ExchangeService(simple_mapping(), max_in_flight=0)
+
+
+class TestLifecycleAndMetrics:
+    def test_requests_counter_and_close_idempotent(self):
+        with collecting() as registry:
+            service = ExchangeService(simple_mapping())
+            service.exchange(simple_source(2))
+            service.exchange(simple_source(2))
+            service.close()
+            service.close()
+        assert registry.snapshot()["counters"]["service.requests"] == 2
+
+    def test_budget_headroom_histograms_on_success(self):
+        options = ExchangeOptions(deadline=30.0, max_facts=1000)
+        with collecting() as registry:
+            with ExchangeService(simple_mapping(), options) as service:
+                service.exchange(simple_source(4))
+        histograms = registry.snapshot()["histograms"]
+        assert histograms["service.budget.remaining_seconds"]["count"] == 1
+        assert histograms["service.budget.remaining_facts"]["min"] >= 996
