@@ -1,0 +1,150 @@
+"""Provenance overhead: enabled-vs-disabled lineage cost on the E1 workload.
+
+Provenance must be pay-for-what-you-use.  With the default
+:data:`~repro.provenance.NOOP` store the chase only ever evaluates
+``provenance.enabled`` guards, so the disabled-mode cost is a handful of
+attribute checks per rule firing — this benchmark runs the E1
+universal-solutions workload (``Emp(x) → ∃y Manager(x, y)`` at growing
+source sizes) under
+
+* ``disabled`` — the default no-op store, i.e. what every production run
+  pays for the lineage hooks being present, and
+* ``enabled``  — a recording :class:`~repro.provenance.ProvenanceLog`,
+  i.e. what an explain/audit session pays;
+
+and additionally micro-measures the per-check cost of a disabled guard
+to estimate the disabled-mode slowdown directly (guard checks are the
+only disabled-mode cost that scales with the workload).  Results go to
+``BENCH_provenance.json`` so the perf trajectory is recorded per PR; the
+script exits non-zero if the estimated disabled overhead exceeds 1%.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_provenance.py
+    PYTHONPATH=src python benchmarks/bench_provenance.py --sizes 100 400 --repeat 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics as pystats
+import time
+from pathlib import Path
+
+from repro.mapping import chase
+from repro.provenance import NOOP, ProvenanceLog
+from repro.relational import instance
+from repro.workloads import emp_manager_scenario
+
+DISABLED_BUDGET_PCT = 1.0
+
+
+def build_workload(size: int):
+    scenario = emp_manager_scenario()
+    source = instance(
+        scenario.source, {"Emp": [[f"emp{i}"] for i in range(size)]}
+    )
+    return scenario.mapping, source
+
+
+def timed(mapping, source, repeat: int, provenance) -> list[float]:
+    samples = []
+    for _ in range(repeat):
+        store = ProvenanceLog() if provenance else None
+        start = time.perf_counter()
+        chase(mapping, source, provenance=store)
+        samples.append(time.perf_counter() - start)
+    return samples
+
+
+def count_records(mapping, source) -> int:
+    """Records one E1 chase produces (≈ the guard checks a run performs)."""
+    log = ProvenanceLog()
+    chase(mapping, source, provenance=log)
+    return len(log)
+
+
+def noop_guard_cost(calls: int = 1_000_000) -> float:
+    """Median per-check seconds of the disabled-mode ``enabled`` guard."""
+    store = NOOP
+    sink = 0
+    rounds = []
+    for _ in range(5):
+        start = time.perf_counter()
+        for _ in range(calls):
+            if store.enabled:
+                sink += 1
+        rounds.append((time.perf_counter() - start) / calls)
+    assert sink == 0
+    return pystats.median(rounds)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[100, 400, 1600],
+        help="E1 source sizes (Emp rows)",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=7, help="timed repetitions per mode"
+    )
+    parser.add_argument(
+        "--out", default="BENCH_provenance.json", help="result file (JSON)"
+    )
+    args = parser.parse_args()
+
+    per_guard = noop_guard_cost()
+    results = []
+    for size in args.sizes:
+        mapping, source = build_workload(size)
+        chase(mapping, source)  # warm-up
+
+        disabled = timed(mapping, source, args.repeat, provenance=False)
+        enabled = timed(mapping, source, args.repeat, provenance=True)
+        records = count_records(mapping, source)
+
+        disabled_median = pystats.median(disabled)
+        enabled_median = pystats.median(enabled)
+        # Disabled-mode slowdown: the chase checks `provenance.enabled`
+        # once per firing, so the per-workload cost is guards × records.
+        disabled_overhead_pct = 100.0 * records * per_guard / disabled_median
+        enabled_overhead_pct = 100.0 * (enabled_median / disabled_median - 1.0)
+        row = {
+            "size": size,
+            "records_per_run": records,
+            "disabled_median_s": round(disabled_median, 6),
+            "enabled_median_s": round(enabled_median, 6),
+            "enabled_overhead_pct": round(enabled_overhead_pct, 2),
+            "disabled_overhead_pct": round(disabled_overhead_pct, 4),
+        }
+        results.append(row)
+        print(
+            f"size={size:>6}  records={records:>5}  "
+            f"disabled={disabled_median * 1e3:8.2f}ms  "
+            f"enabled={enabled_median * 1e3:8.2f}ms  "
+            f"enabled overhead={enabled_overhead_pct:+6.2f}%  "
+            f"disabled overhead≈{disabled_overhead_pct:.4f}%"
+        )
+
+    worst_disabled = max(r["disabled_overhead_pct"] for r in results)
+    report = {
+        "benchmark": "provenance_overhead",
+        "workload": "E1 universal solutions (chase)",
+        "repeat": args.repeat,
+        "noop_guard_cost_s": per_guard,
+        "results": results,
+        "disabled_slowdown_pct": worst_disabled,
+        "disabled_under_1pct": worst_disabled < DISABLED_BUDGET_PCT,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(
+        f"\nwrote {args.out}; disabled-mode slowdown ≈ {worst_disabled:.4f}% "
+        f"({'<' if worst_disabled < DISABLED_BUDGET_PCT else '≥'} "
+        f"{DISABLED_BUDGET_PCT:.0f}% budget)"
+    )
+    return 0 if worst_disabled < DISABLED_BUDGET_PCT else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

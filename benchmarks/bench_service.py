@@ -16,8 +16,11 @@ and micro-measures the per-call cost of ``Budget.check`` directly.
 Without a worker pool the service runs the budget-aware *chase*, so the
 overhead gate compares service vs chase (budget checks + admission +
 one span); the lens-vs-chase gap is the compiler's business, not ours.
-Results go to ``BENCH_service.json`` so the perf trajectory is recorded
-per PR.
+A final stage drives a stream of requests through one service and
+aggregates per-request latencies into p50/p95/p99 plus throughput —
+the same report ``repro serve-bench`` prints, recorded here so the
+serving trajectory is visible per PR.  Results go to
+``BENCH_service.json``.
 
 Run::
 
@@ -60,6 +63,39 @@ def timed(fn, repeat: int) -> float:
     return pystats.median(samples)
 
 
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[index]
+
+
+def serve_bench(size: int, requests: int) -> dict:
+    """Latency distribution of a request stream through one service."""
+    mapping, source = build_workload(size)
+    options = ExchangeOptions(deadline=60.0, max_facts=10**9)
+    latencies = []
+    started = time.perf_counter()
+    with ExchangeService(
+        mapping, options, statistics=Statistics.gather(source)
+    ) as service:
+        for _ in range(requests):
+            begin = time.perf_counter()
+            service.exchange(source)
+            latencies.append(time.perf_counter() - begin)
+    elapsed = time.perf_counter() - started
+    latencies.sort()
+    return {
+        "size": size,
+        "requests": requests,
+        "latency_p50_ms": round(percentile(latencies, 0.50) * 1000, 3),
+        "latency_p95_ms": round(percentile(latencies, 0.95) * 1000, 3),
+        "latency_p99_ms": round(percentile(latencies, 0.99) * 1000, 3),
+        "throughput_rps": round(requests / elapsed, 3) if elapsed > 0 else 0.0,
+    }
+
+
 def budget_check_cost(calls: int = 200_000) -> float:
     """Median per-call seconds of one armed (but never tripping) check."""
     budget = Budget(deadline=3600.0, max_facts=10**12)
@@ -84,6 +120,10 @@ def main() -> int:
     parser.add_argument(
         "--max-overhead-pct", type=float, default=25.0,
         help="fail past this service-vs-chase median overhead",
+    )
+    parser.add_argument(
+        "--bench-requests", type=int, default=40,
+        help="requests in the latency-distribution stage",
     )
     parser.add_argument(
         "--out", default="BENCH_service.json", help="result file (JSON)"
@@ -130,6 +170,14 @@ def main() -> int:
             f"service overhead={overhead_pct:+6.2f}%"
         )
 
+    latency = serve_bench(args.sizes[-1], args.bench_requests)
+    print(
+        f"serve-bench size={latency['size']} requests={latency['requests']}  "
+        f"p50={latency['latency_p50_ms']}ms  p95={latency['latency_p95_ms']}ms  "
+        f"p99={latency['latency_p99_ms']}ms  "
+        f"throughput={latency['throughput_rps']} req/s"
+    )
+
     # Medians at small sizes are noisy; judge the budget on the largest
     # workload, where fixed per-request costs have been amortized.
     final_overhead = results[-1]["service_overhead_pct"]
@@ -140,6 +188,7 @@ def main() -> int:
         "repeat": args.repeat,
         "budget_check_cost_s": per_check,
         "results": results,
+        "serve_bench": latency,
         "service_overhead_pct": final_overhead,
         "within_budget": within,
     }

@@ -110,6 +110,14 @@ from .obs import (
     render_trace,
     tracing,
 )
+from .provenance import (
+    ProvenanceLog,
+    ProvenanceStore,
+    ReplayReport,
+    Solution,
+    WhyNode,
+    replay,
+)
 from .budget import Budget, BudgetExceeded
 from .options import ExchangeOptions, RetryPolicy
 from .service import (
@@ -160,8 +168,11 @@ __all__ = [
     "PartialSolution",
     "ProjectLens",
     "ProjectionTemplate",
+    "ProvenanceLog",
+    "ProvenanceStore",
     "RelationSchema",
     "RelationalLens",
+    "ReplayReport",
     "ResumptionToken",
     "RetryPolicy",
     "SOMapping",
@@ -172,12 +183,14 @@ __all__ = [
     "ServiceOverloaded",
     "Severity",
     "SkolemValue",
+    "Solution",
     "StTgd",
     "Statistics",
     "SymmetricLens",
     "TemplateCheck",
     "UnionLens",
     "VisualMapping",
+    "WhyNode",
     "all_scenarios",
     "analyze",
     "analyze_mapping",
@@ -205,6 +218,7 @@ __all__ = [
     "relation",
     "render_metrics",
     "render_trace",
+    "replay",
     "schema",
     "span",
     "subset_property_violations",

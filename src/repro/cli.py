@@ -17,9 +17,13 @@ Usage (also via ``python -m repro``)::
                     --data source.json [--workers N]  # span tree + metrics
     repro lint      --schemas schemas.json --mapping mapping.tgd \
                     [--target-deps deps.tgd] [--json]   # static analysis
+    repro explain   --schemas schemas.json --mapping mapping.tgd \
+                    --data source.json [--fact 'Rel(_, "v")'] \
+                    [--limit N] [--json]          # why-trees per fact
     repro serve-bench --schemas schemas.json --mapping mapping.tgd \
                     [--requests N] [--inject-pool-crashes N] \
-                    [--deadline S] [--max-facts N] [--json]  # service stress
+                    [--deadline S] [--max-facts N] [--json] \
+                    [--bench-out FILE]            # service stress
 
 ``lint`` exits 0 when the mapping is clean (or has only informational
 findings), 1 on warnings, 2 on errors — see docs/ANALYSIS.md.
@@ -34,7 +38,10 @@ hang or crash (see docs/ROBUSTNESS.md).
 
 Every subcommand also accepts ``--trace`` (print the span tree and
 metric summary to stderr) and ``--trace-json FILE`` (write the trace as
-JSON lines) — see docs/OBSERVABILITY.md.
+JSON lines) — see docs/OBSERVABILITY.md.  ``exchange``/``chase`` accept
+``--provenance`` (record fact lineage) and ``--provenance-json FILE``
+(write the lineage log as JSON lines); ``explain`` turns the lineage
+into per-fact why-trees.
 
 File formats:
 
@@ -50,6 +57,7 @@ from __future__ import annotations
 import argparse
 import json
 import random
+import re
 import sys
 import time
 from pathlib import Path
@@ -75,10 +83,14 @@ from .obs import (
     set_tracer,
     write_json_lines,
 )
+from .obs.export import write_provenance_json_lines
 from .options import DEFAULT_MAX_STEPS, ExchangeOptions
+from .provenance import Solution, format_fact
 from .relational import (
     Instance,
+    LabeledNull,
     Schema,
+    constant,
     dumps_instance,
     instance_from_json,
     schema_from_json,
@@ -162,6 +174,10 @@ def _options_from_args(args: argparse.Namespace) -> ExchangeOptions:
             max_steps=getattr(args, "max_steps", None) or DEFAULT_MAX_STEPS,
             deadline=getattr(args, "deadline", None),
             max_facts=getattr(args, "max_facts", None),
+            provenance=bool(
+                getattr(args, "provenance", False)
+                or getattr(args, "provenance_json", None)
+            ),
         )
     except ValueError as exc:
         raise CliError(str(exc))
@@ -179,6 +195,28 @@ def _build_engine(args: argparse.Namespace) -> tuple[ExchangeEngine, Schema, Sch
         mapping, statistics, options=_options_from_args(args)
     )
     return engine, source_schema, target_schema
+
+
+def _export_provenance(log, path: str | None) -> None:
+    """Write a lineage log as JSON lines when ``--provenance-json`` asked."""
+    if not path:
+        return
+    if log is None:
+        print(
+            f"warning: no provenance recorded; {path} not written",
+            file=sys.stderr,
+        )
+        return
+    try:
+        count = write_provenance_json_lines(log, path)
+    except OSError as exc:
+        raise CliError(f"cannot write provenance to {path}: {exc}")
+    print(f"wrote {count} provenance records to {path}", file=sys.stderr)
+
+
+def _unwrap(result: Instance | Solution) -> Instance:
+    """The plain instance behind a (possibly provenance-carrying) result."""
+    return result.instance if isinstance(result, Solution) else result
 
 
 def _emit_partial(partial: PartialSolution, out: str | None) -> int:
@@ -228,8 +266,11 @@ def cmd_exchange(args: argparse.Namespace) -> int:
         ) as service:
             result = service.exchange(source)
         if isinstance(result, PartialSolution):
+            _export_provenance(result.provenance, getattr(args, "provenance_json", None))
             return _emit_partial(result, args.out)
-        _emit(result, args.out)
+        if isinstance(result, Solution):
+            _export_provenance(result.provenance, getattr(args, "provenance_json", None))
+        _emit(_unwrap(result), args.out)
         return 0
     engine, source_schema, _ = _build_engine(args)
     source = load_instance(args.data, source_schema, "source")
@@ -237,7 +278,9 @@ def cmd_exchange(args: argparse.Namespace) -> int:
         result = engine.exchange(source)
     finally:
         engine.close()
-    _emit(result, args.out)
+    if isinstance(result, Solution):
+        _export_provenance(result.provenance, getattr(args, "provenance_json", None))
+    _emit(_unwrap(result), args.out)
     return 0
 
 
@@ -247,7 +290,7 @@ def cmd_chase(args: argparse.Namespace) -> int:
     source = load_instance(args.data, source_schema, "source")
     options = _options_from_args(args)
     try:
-        result = chase(mapping, source, options=options).solution
+        chased = chase(mapping, source, options=options)
     except (BudgetExceeded, ChaseNonTermination) as exc:
         if not options.budgeted:
             raise
@@ -258,9 +301,14 @@ def cmd_chase(args: argparse.Namespace) -> int:
             f"{partial.size()} partial facts (not a solution)",
             file=sys.stderr,
         )
+        _export_provenance(
+            getattr(exc, "provenance", None), getattr(args, "provenance_json", None)
+        )
         _emit(partial, args.out)
         return DEGRADED_EXIT
-    _emit(result, args.out)
+    if chased.provenance.enabled:
+        _export_provenance(chased.provenance, getattr(args, "provenance_json", None))
+    _emit(chased.solution, args.out)
     return 0
 
 
@@ -387,6 +435,120 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code()
 
 
+_FACT_PATTERN = re.compile(r"^\s*([A-Za-z_][A-Za-z0-9_]*)\s*\((.*)\)\s*$", re.S)
+
+
+def _split_pattern_args(text: str) -> list[str]:
+    """Split a pattern's argument list on commas, respecting quotes."""
+    parts: list[str] = []
+    current: list[str] = []
+    quote: str | None = None
+    for ch in text:
+        if quote:
+            current.append(ch)
+            if ch == quote:
+                quote = None
+        elif ch in "\"'":
+            quote = ch
+            current.append(ch)
+        elif ch == ",":
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if quote:
+        raise CliError(f"unterminated quote in --fact argument: {text!r}")
+    if current or parts:
+        parts.append("".join(current))
+    return parts
+
+
+def _parse_pattern_term(token: str):
+    """One ``--fact`` argument: ``_`` wildcard (None), ``⊥N`` null,
+    quoted string, int/float, or a bare word read as a string constant."""
+    token = token.strip()
+    if not token:
+        raise CliError("empty argument in --fact pattern")
+    if token == "_":
+        return None
+    if token.startswith("⊥"):
+        try:
+            return LabeledNull(int(token[1:]))
+        except ValueError:
+            raise CliError(f"bad labelled null in --fact: {token!r}")
+    if len(token) >= 2 and token[0] == token[-1] and token[0] in "\"'":
+        return constant(token[1:-1])
+    try:
+        return constant(int(token))
+    except ValueError:
+        pass
+    try:
+        return constant(float(token))
+    except ValueError:
+        pass
+    return constant(token)
+
+
+def _parse_fact_pattern(text: str) -> tuple[str, list]:
+    """Parse ``Rel(a, _, "b")`` into a relation name and term patterns."""
+    match = _FACT_PATTERN.match(text)
+    if match is None:
+        raise CliError(
+            f"--fact must look like Rel(arg, ...) with _ wildcards; got {text!r}"
+        )
+    relation, body = match.group(1), match.group(2).strip()
+    terms = [] if not body else [_parse_pattern_term(t) for t in _split_pattern_args(body)]
+    return relation, terms
+
+
+def _fact_matches(fact, relation: str, terms: list) -> bool:
+    if fact.relation != relation or len(fact.row) != len(terms):
+        return False
+    return all(term is None or term == value for term, value in zip(terms, fact.row))
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Run the exchange with lineage on and print why-trees for facts.
+
+    ``--fact`` filters the solution by a pattern (``_`` is a wildcard;
+    quoted strings, ints and ``⊥N`` nulls match exactly); without it the
+    first ``--limit`` facts (sorted) are explained.  ``--json`` emits the
+    trees as one JSON array instead of the indented text rendering.
+    """
+    args.provenance = True  # explain is pointless without lineage
+    engine, source_schema, _ = _build_engine(args)
+    source = load_instance(args.data, source_schema, "source")
+    try:
+        result = engine.exchange(source)
+    finally:
+        engine.close()
+    assert isinstance(result, Solution)
+    _export_provenance(result.provenance, getattr(args, "provenance_json", None))
+
+    facts = sorted(result.instance.facts(), key=repr)
+    if args.fact:
+        relation, terms = _parse_fact_pattern(args.fact)
+        facts = [f for f in facts if _fact_matches(f, relation, terms)]
+        if not facts:
+            print(f"no solution facts match {args.fact!r}", file=sys.stderr)
+            return 1
+    shown = facts[: args.limit] if args.limit > 0 else facts
+    trees = [result.explain(fact) for fact in shown]
+    if args.json:
+        print(json.dumps([tree.to_dict() for tree in trees], indent=2, sort_keys=True))
+    else:
+        for index, tree in enumerate(trees):
+            if index:
+                print()
+            print(tree.render())
+    if len(facts) > len(shown):
+        print(
+            f"({len(facts) - len(shown)} more facts; raise --limit to see them)",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _percentile(sorted_values: list[float], q: float) -> float:
     if not sorted_values:
         return 0.0
@@ -434,6 +596,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     errors: list[str] = []
     latencies: list[float] = []
     clean_shutdown = False
+    bench_started = time.perf_counter()
     with collecting() as registry:
         with fault_injection(_bench_fault_plan(args)):
             service = ExchangeService(
@@ -461,6 +624,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
                     errors.append(f"close: {type(exc).__name__}: {exc}")
         counters = registry.snapshot()["counters"]
 
+    elapsed = time.perf_counter() - bench_started
     latencies.sort()
     report = {
         "requests": args.requests,
@@ -473,8 +637,18 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         "rejections": int(counters.get("service.rejections", 0)),
         "latency_p50_ms": round(_percentile(latencies, 0.50) * 1000, 3),
         "latency_p95_ms": round(_percentile(latencies, 0.95) * 1000, 3),
+        "latency_p99_ms": round(_percentile(latencies, 0.99) * 1000, 3),
+        "throughput_rps": round(completed / elapsed, 3) if elapsed > 0 else 0.0,
         "clean_shutdown": clean_shutdown,
     }
+    if args.bench_out:
+        try:
+            Path(args.bench_out).write_text(
+                json.dumps(report, indent=2, sort_keys=True) + "\n"
+            )
+        except OSError as exc:
+            raise CliError(f"cannot write report to {args.bench_out}: {exc}")
+        print(f"wrote bench report to {args.bench_out}", file=sys.stderr)
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
@@ -545,6 +719,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="fact-count budget; past it a partial result is emitted (exit 3)",
     )
+    options.add_argument(
+        "--provenance",
+        action="store_true",
+        help="record fact-level lineage (see `repro explain`)",
+    )
+    options.add_argument(
+        "--provenance-json",
+        metavar="FILE",
+        help="write the lineage log as JSON lines to FILE (implies --provenance)",
+    )
 
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -609,6 +793,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the report as JSON (see docs/ANALYSIS.md for the shape)",
     )
     p.set_defaults(handler=cmd_lint)
+
+    p = sub.add_parser(
+        "explain",
+        parents=[base, options],
+        help="run the exchange with lineage on and print per-fact why-trees",
+    )
+    p.add_argument("--data", required=True, help="source instance JSON")
+    p.add_argument(
+        "--fact",
+        metavar="PATTERN",
+        help="explain only facts matching e.g. 'Manager(_, \"Ava\")' "
+        "(_ wildcards; quoted strings, ints and ⊥N nulls match exactly)",
+    )
+    p.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        metavar="N",
+        help="explain at most N facts (default 20; 0 = all)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the why-trees as one JSON array",
+    )
+    p.set_defaults(handler=cmd_explain)
 
     p = sub.add_parser(
         "profile",
@@ -688,6 +898,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the report as JSON (one object, stable keys)",
+    )
+    p.add_argument(
+        "--bench-out",
+        metavar="FILE",
+        help="also write the JSON report to FILE (e.g. BENCH_service.json)",
     )
     p.set_defaults(handler=cmd_serve_bench)
 

@@ -31,6 +31,7 @@ from ..lenses.symmetric import SpanLens
 from ..mapping.sttgd import SchemaMapping
 from ..obs import get_registry, get_tracer
 from ..options import ExchangeOptions, merge_legacy_kwargs
+from ..provenance import NOOP, ProvenanceStore, Solution, resolve_provenance
 from ..relational.instance import Fact, Instance
 from ..relational.schema import Schema
 from ..rlens.base import RelationalLens, ViewViolationError
@@ -83,7 +84,9 @@ class ExchangeLens(RelationalLens):
 
     # -- get -----------------------------------------------------------------
 
-    def get(self, source: Instance) -> Instance:
+    def get(
+        self, source: Instance, provenance: ProvenanceStore = NOOP
+    ) -> Instance:
         self.check_source(source)
         tracer = get_tracer()
         registry = get_registry()
@@ -93,7 +96,7 @@ class ExchangeLens(RelationalLens):
             facts: set[Fact] = set()
             for unit in self._units:
                 with tracer.span("unit.forward", tgd=unit.tgd_id) as unit_span:
-                    produced = unit.forward_facts(source)
+                    produced = unit.forward_facts(source, provenance)
                     unit_span.set(facts=len(produced))
                 # Observed per-unit cardinality: the ground truth that
                 # plan.explain(verbose=True) pits against the estimates.
@@ -106,7 +109,10 @@ class ExchangeLens(RelationalLens):
                 # The options thread the step cap and (when budgeted) a
                 # fresh per-call deadline/fact budget into the chase.
                 target = chase_target_dependencies(
-                    target, self._target_dependencies, options=self._options
+                    target,
+                    self._target_dependencies,
+                    options=self._options,
+                    provenance=provenance,
                 )
             span.set(target_facts=target.size())
             registry.increment("lens.get.calls")
@@ -250,7 +256,9 @@ class ExchangeEngine:
             executor = ParallelExchange(mapping, options=options)
         return cls(mapping, plan, lens, hints, executor, options)
 
-    def exchange(self, source: Instance, budget: Budget | None = None) -> Instance:
+    def exchange(
+        self, source: Instance, budget: Budget | None = None
+    ) -> Instance | Solution:
         """Forward data exchange: materialize the target instance.
 
         With an executor configured (``options.workers``/``options.cache``)
@@ -262,15 +270,29 @@ class ExchangeEngine:
         :class:`~repro.budget.BudgetExceeded` — use
         :class:`repro.service.ExchangeService` to degrade to a
         :class:`~repro.service.PartialSolution` instead.
+
+        With ``options.provenance`` on, the result is a
+        :class:`~repro.provenance.Solution` (an Instance plus its
+        lineage) whose :meth:`~repro.provenance.Solution.explain`
+        yields per-fact why-trees.
         """
+        store = resolve_provenance(self.options.provenance)
         if self.executor is not None:
             if budget is None:
                 budget = self.options.budget()
-            return self.executor.exchange(source, budget)
-        return self.lens.get(source)
+            solution = self.executor.exchange(source, budget, store)
+        else:
+            solution = self.lens.get(source, store)
+        if store.enabled:
+            return Solution(solution, store, source)
+        return solution
 
-    def exchange_many(self, sources) -> list[Instance]:
+    def exchange_many(self, sources) -> list[Instance | Solution]:
         """Exchange a stream of sources, reusing the pool and cache."""
+        if self.options.wants_provenance:
+            # Each request needs its own lineage log; the per-source
+            # path threads one fresh store per exchange.
+            return [self.exchange(source) for source in sources]
         if self.executor is not None:
             return self.executor.exchange_many(sources)
         return [self.lens.get(source) for source in sources]

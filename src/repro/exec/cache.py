@@ -15,6 +15,7 @@ import hashlib
 from collections import OrderedDict
 
 from ..obs import get_registry
+from ..provenance.store import ProvenanceLog
 from ..relational.instance import Instance
 from ..relational.serialization import dumps_schema
 from ..mapping.sttgd import SchemaMapping
@@ -56,7 +57,11 @@ class ExchangeCache:
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
         self._capacity = capacity
-        self._entries: OrderedDict[tuple[str, str], Instance] = OrderedDict()
+        # Entries pair the solution with the provenance log of the run
+        # that produced it (None when that run recorded no lineage).
+        self._entries: OrderedDict[
+            tuple[str, str], tuple[Instance, ProvenanceLog | None]
+        ] = OrderedDict()
         self.hits = 0
         self.misses = 0
 
@@ -69,20 +74,42 @@ class ExchangeCache:
 
     def lookup(self, mapping_key: str, source_key: str) -> Instance | None:
         """The cached solution, or ``None``; counts the hit or miss."""
-        entry = self._entries.get((mapping_key, source_key))
-        if entry is not None:
-            self._entries.move_to_end((mapping_key, source_key))
+        entry = self.lookup_entry(mapping_key, source_key)
+        return entry[0] if entry is not None else None
+
+    def lookup_entry(
+        self,
+        mapping_key: str,
+        source_key: str,
+        require_provenance: bool = False,
+    ) -> tuple[Instance, ProvenanceLog | None] | None:
+        """The cached ``(solution, provenance)`` pair, or ``None``.
+
+        With ``require_provenance`` an entry stored without a lineage log
+        counts as a miss: the caller wants to explain the solution, so it
+        re-chases (and :meth:`store` then upgrades the entry in place).
+        """
+        key = (mapping_key, source_key)
+        entry = self._entries.get(key)
+        if entry is not None and (entry[1] is not None or not require_provenance):
+            self._entries.move_to_end(key)
             self.hits += 1
             get_registry().increment("exchange.cache.hits")
-        else:
-            self.misses += 1
-            get_registry().increment("exchange.cache.misses")
-        return entry
+            return entry
+        self.misses += 1
+        get_registry().increment("exchange.cache.misses")
+        return None
 
-    def store(self, mapping_key: str, source_key: str, solution: Instance) -> None:
+    def store(
+        self,
+        mapping_key: str,
+        source_key: str,
+        solution: Instance,
+        provenance: ProvenanceLog | None = None,
+    ) -> None:
         """Insert (or refresh) an entry, evicting least-recently-used."""
         key = (mapping_key, source_key)
-        self._entries[key] = solution
+        self._entries[key] = (solution, provenance)
         self._entries.move_to_end(key)
         while len(self._entries) > self._capacity:
             self._entries.popitem(last=False)

@@ -36,8 +36,16 @@ from ..budget import Budget, BudgetExceeded
 from ..faults import fault_point
 from ..mapping.chase import chase
 from ..mapping.sttgd import SchemaMapping
-from ..obs import get_registry, get_tracer
+from ..obs import (
+    Tracer,
+    get_registry,
+    get_tracer,
+    set_tracer,
+    span_records,
+    spans_from_records,
+)
 from ..options import DEFAULT_MAX_STEPS, ExchangeOptions, RetryPolicy
+from ..provenance.store import NOOP, ProvenanceLog, ProvenanceStore
 from ..relational.instance import Instance, Row
 from ..relational.serialization import (
     dumps_instance,
@@ -56,17 +64,31 @@ from .retry import CircuitBreaker
 _WORKER_MAPPINGS: dict[tuple[str, str, str], SchemaMapping] = {}
 
 
-def _chase_shard(payload: tuple[str, str, str, int, str]) -> tuple[str, float]:
-    """Pool worker: chase one serialized shard, return (solution JSON, seconds).
+def _chase_shard(
+    payload: tuple[str, str, str, int, str, bool, bool],
+) -> dict[str, object]:
+    """Pool worker: chase one serialized shard.
 
-    Module-level so the pool can pickle it.  The invented labelled nulls
-    carry whatever labels the worker's factory produced; the parent
-    relabels them into disjoint namespaces when merging.  The step cap
-    travels in the payload so shard chases honour the request's
+    Returns a dict with the solution JSON and the wall seconds, plus —
+    when the payload asks for them — the shard's provenance log (JSON
+    text) and its span records (the parent rebuilds and stitches them
+    under the dispatching request so ``--trace-json`` shows worker-side
+    chases).  Module-level so the pool can pickle it.  The invented
+    labelled nulls carry whatever labels the worker's factory produced;
+    the parent relabels them into disjoint namespaces when merging.  The
+    step cap travels in the payload so shard chases honour the request's
     ``max_steps``; wall-clock budgets stay parent-side (the parent
     checks its deadline at dispatch and merge boundaries).
     """
-    source_schema_json, target_schema_json, mapping_text, max_steps, shard_json = payload
+    (
+        source_schema_json,
+        target_schema_json,
+        mapping_text,
+        max_steps,
+        shard_json,
+        want_provenance,
+        want_trace,
+    ) = payload
     started = time.perf_counter()
     mapping_key = (source_schema_json, target_schema_json, mapping_text)
     mapping = _WORKER_MAPPINGS.get(mapping_key)
@@ -78,8 +100,35 @@ def _chase_shard(payload: tuple[str, str, str, int, str]) -> tuple[str, float]:
         )
         _WORKER_MAPPINGS[mapping_key] = mapping
     shard = loads_instance(shard_json)
-    result = chase(mapping, shard, options=ExchangeOptions(max_steps=max_steps))
-    return dumps_instance(result.solution, indent=None), time.perf_counter() - started
+    provenance = ProvenanceLog() if want_provenance else None
+    if want_trace:
+        previous = get_tracer()
+        tracer = Tracer()
+        set_tracer(tracer)
+        try:
+            result = chase(
+                mapping,
+                shard,
+                options=ExchangeOptions(max_steps=max_steps),
+                provenance=provenance,
+            )
+            spans = list(span_records(tracer))
+        finally:
+            set_tracer(previous)
+    else:
+        result = chase(
+            mapping,
+            shard,
+            options=ExchangeOptions(max_steps=max_steps),
+            provenance=provenance,
+        )
+        spans = None
+    return {
+        "solution": dumps_instance(result.solution, indent=None),
+        "seconds": time.perf_counter() - started,
+        "provenance": provenance.to_json_text() if provenance is not None else None,
+        "spans": spans,
+    }
 
 
 class ParallelExchange:
@@ -199,20 +248,47 @@ class ParallelExchange:
 
     # -- exchange ----------------------------------------------------------
 
-    def exchange(self, source: Instance, budget: Budget | None = None) -> Instance:
+    def exchange(
+        self,
+        source: Instance,
+        budget: Budget | None = None,
+        provenance: ProvenanceStore | None = None,
+    ) -> Instance:
         """The canonical universal solution for *source* (cached, sharded).
 
         *budget* is a request-scoped :class:`~repro.budget.Budget`; the
         executor checks it at dispatch and shard-merge boundaries and the
         serial fallback threads it into every chase step.  A cache hit
         never consults the budget (it is effectively free).
+
+        With an enabled *provenance* store, lineage survives both
+        executor seams: shard logs are relabeled through the merge's
+        null renaming and absorbed into the store, and cached solutions
+        come back with their stored log (an entry cached without
+        provenance counts as a miss and is upgraded in place).
         """
+        store = provenance if provenance is not None else NOOP
         if self._cache is None:
-            return self._exchange_uncached(source, budget)
+            return self._exchange_uncached(source, budget, store)
+        if store.enabled:
+            entry = self._cache.lookup_entry(
+                self._mapping_key, source.fingerprint(), require_provenance=True
+            )
+            if entry is not None:
+                solution, log = entry
+                store.absorb(log)
+                return solution
+            run_log = ProvenanceLog()
+            solution = self._exchange_uncached(source, budget, run_log)
+            self._cache.store(
+                self._mapping_key, source.fingerprint(), solution, run_log.copy()
+            )
+            store.absorb(run_log)
+            return solution
         cached = self._cache.lookup(self._mapping_key, source.fingerprint())
         if cached is not None:
             return cached
-        solution = self._exchange_uncached(source, budget)
+        solution = self._exchange_uncached(source, budget, store)
         self._cache.store(self._mapping_key, source.fingerprint(), solution)
         return solution
 
@@ -232,14 +308,17 @@ class ParallelExchange:
         return out
 
     def _exchange_uncached(
-        self, source: Instance, budget: Budget | None = None
+        self,
+        source: Instance,
+        budget: Budget | None = None,
+        provenance: ProvenanceStore = NOOP,
     ) -> Instance:
         if (
             not self._report.parallelizable
             or self._workers <= 1
             or source.size() < self._min_parallel_facts
         ):
-            return self._serial(source, budget)
+            return self._serial(source, budget, provenance)
         tracer = get_tracer()
         registry = get_registry()
         with tracer.span(
@@ -254,16 +333,18 @@ class ParallelExchange:
                 registry.histogram("exchange.shard_facts").observe(size)
             if len(shards) <= 1:
                 registry.increment("exchange.single_shard_fallbacks")
-                return self._serial(source, budget)
+                return self._serial(source, budget, provenance)
             if self._breaker.is_open:
                 # Repeated pool failures: stay serial, don't even try.
                 registry.increment("exchange.breaker.short_circuits")
                 span.set(breaker="open")
-                return self._serial(source, budget)
+                return self._serial(source, budget, provenance)
             attempts = 0
             while True:
                 try:
-                    solution = self._chase_shards(source, shards, span, budget)
+                    solution = self._chase_shards(
+                        source, shards, span, budget, provenance
+                    )
                 except (BrokenProcessPool, OSError) as exc:
                     self._record_pool_failure(exc, span)
                     if self._breaker.record_failure():
@@ -273,7 +354,7 @@ class ParallelExchange:
                     if attempts > self._retry.max_retries or self._breaker.is_open:
                         # Out of retries (or pinned serial): never fail
                         # the exchange over an optimization.
-                        return self._serial(source, budget)
+                        return self._serial(source, budget, provenance)
                     registry.increment("service.retries")
                     self._backoff(attempts, budget)
                 else:
@@ -307,16 +388,25 @@ class ParallelExchange:
         shards: Sequence[Instance],
         span,
         budget: Budget | None = None,
+        provenance: ProvenanceStore = NOOP,
     ) -> Instance:
         assert self._payload_prefix is not None
         pool = self._ensure_pool()
+        tracer = get_tracer()
         registry = get_registry()
+        want_provenance = provenance.enabled
+        want_trace = tracer.enabled
         wall_started = time.perf_counter()
-        with get_tracer().span("exchange.ship", shards=len(shards)):
+        with tracer.span("exchange.ship", shards=len(shards)):
             shard_maxima = [max_null_label(shard.values()) for shard in shards]
             payloads = [
                 self._payload_prefix
-                + (self._max_steps, dumps_instance(shard, indent=None))
+                + (
+                    self._max_steps,
+                    dumps_instance(shard, indent=None),
+                    want_provenance,
+                    want_trace,
+                )
                 for shard in shards
             ]
         if budget is not None:
@@ -324,24 +414,38 @@ class ParallelExchange:
         fault_point("pool.map")
         results = list(pool.map(_chase_shard, payloads))
         wall = time.perf_counter() - wall_started
-        worker_seconds = [seconds for _json, seconds in results]
+        worker_seconds = [result["seconds"] for result in results]
         overhead = wall - max(worker_seconds, default=0.0)
         registry.observe("exchange.pool.overhead_seconds", max(overhead, 0.0))
         span.set(wall_seconds=round(wall, 6), pool_overhead_seconds=round(overhead, 6))
+        if want_trace:
+            # Stitch worker-side spans under this request: rebuild each
+            # shard's recorded forest and graft it below a per-shard
+            # anchor, so --trace-json shows the shard chases with
+            # id/parent links into the dispatching request.
+            with tracer.span("exchange.workers", shards=len(shards)):
+                for index, result in enumerate(results):
+                    for root in spans_from_records(result["spans"] or ()):
+                        root.set(shard=index)
+                        tracer.attach(root)
 
         # Merge under disjoint null namespaces: each shard's *invented*
         # nulls (labels above the shard's own maximum — the chase seeds
         # its factory past them) are relabeled from one global factory
         # reserved past every source null, so shards can never collide
-        # with each other or with pre-existing source nulls.
+        # with each other or with pre-existing source nulls.  Shard
+        # provenance goes through the *same* relabeling (then a staging
+        # log, absorbed only on full success, so a later budget trip or
+        # retry never leaves half a merge in the caller's store).
         factory = NullFactory()
         factory.reserve_through(max_null_label(source.values()))
         merged_rows: dict[str, set[Row]] = {
             name: set() for name in self._mapping.target.relation_names
         }
-        with get_tracer().span("exchange.merge", shards=len(shards)):
-            for (solution_json, _seconds), shard_max in zip(results, shard_maxima):
-                shard_solution = loads_instance(solution_json)
+        staged = ProvenanceLog() if want_provenance else None
+        with tracer.span("exchange.merge", shards=len(shards)):
+            for result, shard_max in zip(results, shard_maxima):
+                shard_solution = loads_instance(result["solution"])
                 invented = sorted(
                     (
                         null
@@ -350,9 +454,11 @@ class ParallelExchange:
                     ),
                     key=lambda null: null.label,
                 )
-                relabeled = shard_solution.map_values(
-                    {null: factory.fresh() for null in invented}
-                )
+                relabeling = {null: factory.fresh() for null in invented}
+                relabeled = shard_solution.map_values(relabeling)
+                if staged is not None and result["provenance"] is not None:
+                    shard_log = ProvenanceLog.from_json_text(result["provenance"])
+                    staged.absorb(shard_log.map_values(relabeling))
                 for name in relabeled.relation_names():
                     merged_rows[name] |= relabeled.rows(name)
                 if budget is not None:
@@ -363,14 +469,23 @@ class ParallelExchange:
                         )
                     except BudgetExceeded as exc:
                         exc.partial = Instance(self._mapping.target, merged_rows)
+                        exc.provenance = staged
                         raise
+        if staged is not None:
+            provenance.absorb(staged)
         return Instance(self._mapping.target, merged_rows)
 
-    def _serial(self, source: Instance, budget: Budget | None = None) -> Instance:
+    def _serial(
+        self,
+        source: Instance,
+        budget: Budget | None = None,
+        provenance: ProvenanceStore = NOOP,
+    ) -> Instance:
         get_registry().increment("exchange.serial_runs")
         return chase(
             self._mapping,
             source,
             options=ExchangeOptions(max_steps=self._max_steps),
             budget=budget,
+            provenance=provenance,
         ).solution

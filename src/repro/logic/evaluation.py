@@ -389,6 +389,25 @@ def answers(
     }
 
 
+def answer_witnesses(
+    conjunction: Conjunction,
+    head_variables: Sequence[Var],
+    instance: Instance,
+) -> Iterator[tuple[tuple[Value, ...], Binding, list[tuple[str, tuple[Value, ...]]]]]:
+    """Yield ``(answer, binding, grounded_atoms)`` per satisfying binding.
+
+    The witness view of :func:`answers`: alongside each answer tuple, the
+    full query-variable binding that produced it and the query atoms
+    grounded under that binding — the instance facts justifying the
+    answer.  One triple per *binding*, so an answer reachable several
+    ways appears once per witness; callers keep the first (or all).
+    """
+    atoms = list(conjunction.atoms())
+    for binding in evaluate(conjunction, instance):
+        answer = tuple(binding[v] for v in head_variables)
+        yield answer, binding, ground_atoms(atoms, binding)
+
+
 def ground_atoms(
     atoms: Sequence[Atom], binding: Mapping[Var, Value]
 ) -> list[tuple[str, tuple[Value, ...]]]:

@@ -41,6 +41,7 @@ from ..logic.evaluation import (
 from ..logic.terms import Var
 from ..obs import get_registry, get_tracer
 from ..options import DEFAULT_MAX_STEPS, ExchangeOptions
+from ..provenance.store import NOOP, ProvenanceStore, resolve_provenance
 from ..relational.homomorphism import core as core_of
 from ..relational.instance import Fact, Instance, Row
 from ..relational.schema import Schema
@@ -140,10 +141,16 @@ class ChaseStatistics:
 
 @dataclass
 class ChaseResult:
-    """The outcome of a chase: the solution instance plus statistics."""
+    """The outcome of a chase: the solution instance plus statistics.
+
+    ``provenance`` is the store the run recorded into — a
+    :class:`~repro.provenance.ProvenanceLog` when provenance was enabled,
+    the shared no-op otherwise.
+    """
 
     solution: Instance
     statistics: ChaseStatistics = field(default_factory=ChaseStatistics)
+    provenance: ProvenanceStore = NOOP
 
 
 def _resolve_limits(
@@ -184,6 +191,7 @@ def chase(
     *,
     options: ExchangeOptions | None = None,
     budget: Budget | None = None,
+    provenance: ProvenanceStore | bool | None = None,
 ) -> ChaseResult:
     """Chase *source* with *mapping*, returning a universal solution.
 
@@ -207,10 +215,19 @@ def chase(
     re-raising; :class:`~repro.budget.BudgetExceeded` and
     :class:`ChaseNonTermination` additionally carry ``exc.partial`` —
     the facts chased so far — so callers can degrade gracefully.
+
+    Lineage recording follows ``options.provenance`` (or an explicit
+    *provenance* store, which wins): every tgd firing and egd rewrite is
+    recorded so the result's facts can be explained and replayed.  On a
+    budget/step failure the partially recorded store is attached to the
+    exception as ``exc.provenance``.
     """
     max_steps, budget = _resolve_limits(
         max_target_steps, options, budget, "chase", "max_target_steps"
     )
+    if provenance is None and options is not None:
+        provenance = options.provenance
+    provenance = resolve_provenance(provenance)
     stats = ChaseStatistics()
     factory = NullFactory()
     factory.reserve_through(max_null_label(source.values()))
@@ -223,7 +240,8 @@ def chase(
         ) as span:
             with tracer.span("chase.st_tgds", tgds=len(mapping.tgds)):
                 target_facts = _chase_st_tgds(
-                    mapping.tgds, source, variant, factory, stats, budget
+                    mapping.tgds, source, variant, factory, stats, budget,
+                    provenance,
                 )
             target = Instance(mapping.target, target_facts)
 
@@ -239,6 +257,7 @@ def chase(
                         stats,
                         max_steps,
                         budget,
+                        provenance,
                     )
             span.set(target_facts=target.size(), **stats.as_dict())
     except BudgetExceeded as exc:
@@ -248,14 +267,16 @@ def chase(
             # fact list on the exception and we promote it here.
             facts = exc.partial_facts if exc.partial_facts is not None else []
             exc.partial = Instance(mapping.target, facts)
+        exc.provenance = provenance if provenance.enabled else None
         stats.publish()
         raise
     except (ChaseFailure, ChaseNonTermination) as exc:
         exc.statistics = stats
+        exc.provenance = provenance if provenance.enabled else None
         stats.publish()
         raise
     stats.publish()
-    return ChaseResult(target, stats)
+    return ChaseResult(target, stats, provenance)
 
 
 def _canonical_bindings(bindings: Iterable[Binding]) -> list[Binding]:
@@ -289,6 +310,7 @@ def _chase_st_tgds(
     factory: NullFactory,
     stats: ChaseStatistics,
     budget: Budget | None = None,
+    provenance: ProvenanceStore = NOOP,
 ) -> list[Fact]:
     facts: list[Fact] = []
     # STANDARD needs to consult the target built so far; build incrementally.
@@ -330,16 +352,36 @@ def _chase_st_tgds(
             ):
                 continue
             full_binding: dict[Var, Value] = dict(binding)
+            existentials: dict[Var, Value] = {}
             for existential in tgd.existential_variables:
-                full_binding[existential] = factory.fresh()
+                fresh = factory.fresh()
+                full_binding[existential] = fresh
+                existentials[existential] = fresh
                 stats.nulls_created += 1
+            fired: list[Fact] = []
             for relation, row in ground_atoms(tgd.conclusion.atoms(), full_binding):
-                facts.append(Fact(relation, row))
+                fact = Fact(relation, row)
+                facts.append(fact)
+                fired.append(fact)
                 bucket = partial.setdefault(relation, set())
                 if row not in bucket:
                     bucket.add(row)
                     partial_version += 1
             stats.tgd_firings += 1
+            if provenance.enabled:
+                premise_facts = [
+                    Fact(relation, row)
+                    for relation, row in ground_atoms(tgd.premise.atoms(), binding)
+                ]
+                provenance.record_firing(
+                    f"tgd_{tgd_index}",
+                    tgd.to_text(),
+                    "st_tgds",
+                    premise_facts,
+                    binding,
+                    existentials,
+                    fired,
+                )
     return facts
 
 
@@ -363,6 +405,7 @@ def _chase_target_dependencies(
     stats: ChaseStatistics,
     max_steps: int,
     budget: Budget | None = None,
+    provenance: ProvenanceStore = NOOP,
 ) -> Instance:
     """Semi-naive fixpoint over egds and target tgds.
 
@@ -381,8 +424,11 @@ def _chase_target_dependencies(
     """
     tracer = get_tracer()
     registry = get_registry()
-    egds = [d for d in dependencies if isinstance(d, Egd)]
-    tgds = [d for d in dependencies if not isinstance(d, Egd)]
+    # Rule ids number the dependency list as given (dep_0, dep_1, …) so
+    # the same mapping always names the same rule across runs/resumes.
+    numbered = [(f"dep_{i}", d) for i, d in enumerate(dependencies)]
+    egds = [(rid, d) for rid, d in numbered if isinstance(d, Egd)]
+    tgds = [(rid, d) for rid, d in numbered if not isinstance(d, Egd)]
     delta: dict[str, set[Row]] | None = None  # None ⇒ every fact is new
     steps = 0
 
@@ -413,8 +459,10 @@ def _chase_target_dependencies(
                 fired_one = True
                 while fired_one:
                     fired_one = False
-                    for egd in egds:
-                        target, fired = _egd_step(target, egd, stats)
+                    for egd_id, egd in egds:
+                        target, fired = _egd_step(
+                            target, egd, stats, provenance, egd_id
+                        )
                         if fired:
                             fired_one = egd_fired = True
                             fired_this_round += 1
@@ -426,7 +474,7 @@ def _chase_target_dependencies(
             # -- tgd pass: semi-naive, only delta-touching bindings --------
             enumerated = pruned = 0
             added: dict[str, set[Row]] = {}
-            for tgd in tgds:
+            for tgd_id, tgd in tgds:
                 if delta is None:
                     bindings = _canonical_bindings(evaluate(tgd.premise, target))
                 else:
@@ -440,8 +488,11 @@ def _chase_target_dependencies(
                         pruned += 1
                         continue
                     full_binding: dict[Var, Value] = dict(binding)
+                    existentials: dict[Var, Value] = {}
                     for existential in tgd.existential_variables:
-                        full_binding[existential] = factory.fresh()
+                        fresh = factory.fresh()
+                        full_binding[existential] = fresh
+                        existentials[existential] = fresh
                         stats.nulls_created += 1
                     new_facts = []
                     for relation, row in ground_atoms(
@@ -451,6 +502,22 @@ def _chase_target_dependencies(
                             added.setdefault(relation, set()).add(row)
                         new_facts.append(Fact(relation, row))
                     target = target.with_facts(new_facts)
+                    if provenance.enabled:
+                        premise_facts = [
+                            Fact(relation, row)
+                            for relation, row in ground_atoms(
+                                tgd.premise.atoms(), binding
+                            )
+                        ]
+                        provenance.record_firing(
+                            tgd_id,
+                            repr(tgd),
+                            "target_dependencies",
+                            premise_facts,
+                            binding,
+                            existentials,
+                            new_facts,
+                        )
                     stats.target_tgd_firings += 1
                     fired_this_round += 1
                     steps += 1
@@ -493,7 +560,13 @@ def _non_termination(
     return exc
 
 
-def _egd_step(target: Instance, egd: Egd, stats: ChaseStatistics) -> tuple[Instance, bool]:
+def _egd_step(
+    target: Instance,
+    egd: Egd,
+    stats: ChaseStatistics,
+    provenance: ProvenanceStore = NOOP,
+    rule_id: str = "egd",
+) -> tuple[Instance, bool]:
     for binding in evaluate(egd.premise, target):
         left, right = binding[egd.left], binding[egd.right]
         if left == right:
@@ -504,11 +577,19 @@ def _egd_step(target: Instance, egd: Egd, stats: ChaseStatistics) -> tuple[Insta
             )
         # Map the null onto the other value (keep constants).
         if is_constant(left):
-            substitution = {right: left}
+            old, new = right, left
         else:
-            substitution = {left: right}
+            old, new = left, right
         stats.egd_firings += 1
-        return target.map_values(substitution), True
+        if provenance.enabled:
+            premise_facts = [
+                Fact(relation, row)
+                for relation, row in ground_atoms(egd.premise.atoms(), binding)
+            ]
+            provenance.record_rewrite(
+                rule_id, repr(egd), old, new, premise_facts, binding
+            )
+        return target.map_values({old: new}), True
     return target, False
 
 
@@ -524,6 +605,7 @@ def chase_target_dependencies(
     *,
     options: ExchangeOptions | None = None,
     budget: Budget | None = None,
+    provenance: ProvenanceStore | bool | None = None,
 ) -> Instance:
     """Chase an existing target instance with egds / target tgds only.
 
@@ -542,6 +624,9 @@ def chase_target_dependencies(
     effective_max_steps, budget = _resolve_limits(
         max_steps, options, budget, "chase_target_dependencies", "max_steps"
     )
+    if provenance is None and options is not None:
+        provenance = options.provenance
+    provenance = resolve_provenance(provenance)
     stats = ChaseStatistics()
     factory = NullFactory()
     factory.reserve_through(max_null_label(target.values()))
@@ -551,10 +636,17 @@ def chase_target_dependencies(
             "chase.target_dependencies", dependencies=len(dependencies)
         ):
             result = _chase_target_dependencies(
-                target, dependencies, factory, stats, effective_max_steps, budget
+                target,
+                dependencies,
+                factory,
+                stats,
+                effective_max_steps,
+                budget,
+                provenance,
             )
     except (ChaseFailure, ChaseNonTermination, BudgetExceeded) as exc:
         exc.statistics = stats
+        exc.provenance = provenance if provenance.enabled else None
         stats.publish()
         raise
     stats.publish()

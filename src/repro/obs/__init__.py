@@ -28,11 +28,15 @@ docs/OBSERVABILITY.md.
 
 from .export import (
     format_duration,
+    provenance_records,
+    provenance_to_json_lines,
     render_metrics,
     render_trace,
     span_records,
+    spans_from_records,
     trace_to_json_lines,
     write_json_lines,
+    write_provenance_json_lines,
 )
 from .metrics import (
     Counter,
@@ -74,9 +78,13 @@ __all__ = [
     "collecting",
     # export
     "format_duration",
+    "provenance_records",
+    "provenance_to_json_lines",
     "render_trace",
     "render_metrics",
     "span_records",
+    "spans_from_records",
     "trace_to_json_lines",
     "write_json_lines",
+    "write_provenance_json_lines",
 ]

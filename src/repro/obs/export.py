@@ -11,18 +11,22 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Iterable, Iterator
+from typing import Any, Iterable, Iterator, Mapping
 
 from .metrics import MetricsRegistry
 from .trace import Span, Tracer
 
 __all__ = [
     "format_duration",
+    "provenance_records",
+    "provenance_to_json_lines",
     "render_trace",
     "render_metrics",
     "span_records",
+    "spans_from_records",
     "trace_to_json_lines",
     "write_json_lines",
+    "write_provenance_json_lines",
 ]
 
 
@@ -92,6 +96,32 @@ def span_records(trace: Tracer | Iterable[Span]) -> Iterator[dict[str, Any]]:
         yield from emit(root, None, 0)
 
 
+def spans_from_records(records: Iterable[Mapping[str, Any]]) -> list[Span]:
+    """Rebuild a span forest from :func:`span_records` output.
+
+    The inverse direction exists for one reason: worker processes record
+    their own spans and ship them home as records; the parent rebuilds
+    the trees here and grafts them into its trace
+    (:meth:`repro.obs.Tracer.attach`) so shard chases stitch under the
+    request that dispatched them.  Rebuilt spans get fresh ids from this
+    process's counter — the ``id``/``parent`` links of the records only
+    wire up the tree — so a later export never emits duplicate ids.
+    """
+    by_record_id: dict[Any, Span] = {}
+    roots: list[Span] = []
+    for record in records:
+        span = Span(record["name"], record.get("attributes"))
+        span.start = record.get("start", 0.0)
+        span.end = span.start + record.get("duration", 0.0)
+        by_record_id[record["id"]] = span
+        parent = by_record_id.get(record.get("parent"))
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            roots.append(span)
+    return roots
+
+
 def trace_to_json_lines(trace: Tracer | Iterable[Span]) -> str:
     """One JSON object per span, one span per line."""
     return "\n".join(
@@ -118,7 +148,7 @@ def render_metrics(registry: MetricsRegistry) -> str:
         for name, gauge in sorted(registry.gauges.items()):
             lines.append(f"   {name} = {gauge.value}")
     if registry.histograms:
-        lines.append("── histograms (count / p50 / p95 / max):")
+        lines.append("── histograms (count / p50 / p95 / p99 / max):")
         for name, histogram in sorted(registry.histograms.items()):
             summary = histogram.summary()
             # Duration-valued histograms are named *.seconds by convention.
@@ -127,8 +157,41 @@ def render_metrics(registry: MetricsRegistry) -> str:
                 f"   {name}: n={summary['count']}  "
                 f"p50={fmt(summary['p50'])}  "
                 f"p95={fmt(summary['p95'])}  "
+                f"p99={fmt(summary['p99'])}  "
                 f"max={fmt(summary['max'])}"
             )
     if len(lines) == 1:
         lines.append("── (no metrics recorded)")
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Provenance export
+# ---------------------------------------------------------------------------
+
+
+def provenance_records(log: Any) -> Iterator[dict[str, Any]]:
+    """Per-record dicts of a provenance log (duck-typed, no import cycle).
+
+    Accepts anything with a ``record_dicts()`` method — in practice a
+    :class:`repro.provenance.ProvenanceLog`; the no-op store exports
+    nothing.
+    """
+    record_dicts = getattr(log, "record_dicts", None)
+    if record_dicts is None:
+        return
+    yield from record_dicts()
+
+
+def provenance_to_json_lines(log: Any) -> str:
+    """One JSON object per derivation/rewrite record, one per line."""
+    return "\n".join(
+        json.dumps(record, sort_keys=True) for record in provenance_records(log)
+    )
+
+
+def write_provenance_json_lines(log: Any, path: str | Path) -> int:
+    """Write the JSON-lines provenance export to *path*; returns the count."""
+    text = provenance_to_json_lines(log)
+    Path(path).write_text(text + ("\n" if text else ""))
+    return sum(1 for _ in provenance_records(log))

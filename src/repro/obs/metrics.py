@@ -8,7 +8,7 @@ session.  Instruments are created on first use::
     registry.histogram("lens.get.seconds").observe(0.0031)
 
 Histograms keep raw observations and compute nearest-rank percentiles
-(p50/p95/max) without numpy — sample counts here are per-run, not
+(p50/p95/p99/max) without numpy — sample counts here are per-run, not
 per-request, so storing the values is fine.
 
 Like :mod:`repro.obs.trace`, this module is standard-library only and
@@ -106,7 +106,7 @@ class Histogram:
         return ordered[int(rank) - 1]
 
     def summary(self) -> dict[str, float]:
-        """count/sum/mean/min/p50/p95/max as a plain dict."""
+        """count/sum/mean/min/p50/p95/p99/max as a plain dict."""
         return {
             "count": self.count,
             "sum": self.sum,
@@ -114,6 +114,7 @@ class Histogram:
             "min": self.min,
             "p50": self.percentile(50),
             "p95": self.percentile(95),
+            "p99": self.percentile(99),
             "max": self.max,
         }
 

@@ -131,6 +131,19 @@ class Tracer:
         """The recorded root spans (the forest)."""
         return list(self._roots)
 
+    def attach(self, span: Span) -> None:
+        """Graft an externally built span tree under the current span.
+
+        Worker processes record their own spans; the parent rebuilds
+        them (:func:`repro.obs.export.spans_from_records`) and attaches
+        them here so the exported trace shows shard chases stitched
+        under the request that dispatched them.
+        """
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self._roots.append(span)
+
     def reset(self) -> None:
         self._roots.clear()
         self._stack.clear()
@@ -209,6 +222,9 @@ class NoopTracer(Tracer):
 
     def spans(self) -> list[Span]:
         return []
+
+    def attach(self, span: Span) -> None:
+        pass
 
     def reset(self) -> None:
         pass

@@ -31,6 +31,7 @@ from .budget import Budget
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .exec.cache import ExchangeCache
+    from .provenance.store import ProvenanceStore
 
 __all__ = ["DEFAULT_MAX_STEPS", "ExchangeOptions", "RetryPolicy"]
 
@@ -88,7 +89,12 @@ class ExchangeOptions:
     * ``deadline`` — wall-clock seconds per request
       (:class:`~repro.budget.BudgetExceeded` past it);
     * ``max_facts`` — target-fact cap per request (ditto);
-    * ``retry`` — pool failure :class:`RetryPolicy`.
+    * ``retry`` — pool failure :class:`RetryPolicy`;
+    * ``provenance`` — record fact-level lineage (``True`` for a fresh
+      per-request :class:`~repro.provenance.ProvenanceLog`, or a
+      prebuilt :class:`~repro.provenance.ProvenanceStore`); results
+      come back as :class:`~repro.provenance.Solution` wrappers that
+      can ``explain(fact)``.
     """
 
     workers: int | None = None
@@ -97,6 +103,7 @@ class ExchangeOptions:
     deadline: float | None = None
     max_facts: int | None = None
     retry: RetryPolicy = RetryPolicy()
+    provenance: "bool | ProvenanceStore" = False
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 1:
@@ -121,6 +128,17 @@ class ExchangeOptions:
     def wants_executor(self) -> bool:
         """True when the options opt into the :mod:`repro.exec` executor."""
         return self.workers is not None or self.cache is not None
+
+    @property
+    def wants_provenance(self) -> bool:
+        """True when the options ask for lineage recording.
+
+        Duck-typed (``.enabled``) rather than isinstance so this module
+        keeps its no-:mod:`repro`-imports cycle guarantee.
+        """
+        if isinstance(self.provenance, bool):
+            return self.provenance
+        return bool(getattr(self.provenance, "enabled", False))
 
     def budget(self) -> Budget | None:
         """A fresh per-request budget (``None`` when nothing is capped).

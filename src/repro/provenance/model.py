@@ -1,0 +1,285 @@
+"""Fact-level provenance: derivations, rewrites and why-trees.
+
+The chase justifies every target fact it creates: a tgd fired under some
+premise binding, grounding the conclusion after inventing values for the
+existential positions.  A :class:`Derivation` records exactly that — the
+rule, the binding, the justifying premise facts and the invented values —
+and a :class:`Rewrite` records each egd value-unification step that later
+renamed values inside the fact.  Together they are the *why-provenance*
+of the solution (the information ten Cate et al.'s laconic-mapping
+characterization of core solutions is built on: a fact is redundant when
+its provenance is subsumed by another's).
+
+:class:`WhyNode` is the user-facing view: one node per fact, its primary
+derivation, and children for the justifying facts, recursively down to
+source facts.  ``render()`` produces the indented text tree ``repro
+explain`` prints; ``to_dict()`` the JSON form.
+
+Standard-library + :mod:`repro.relational` only, so every layer
+(chase, executor, service, CLI) can import it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Tuple
+
+from ..relational.instance import Fact, Instance
+from ..relational.serialization import value_from_json, value_to_json
+from ..relational.values import Value
+
+__all__ = [
+    "Derivation",
+    "NamedValues",
+    "Rewrite",
+    "WhyNode",
+    "fact_from_json",
+    "fact_in",
+    "fact_to_json",
+    "format_fact",
+    "named_values",
+]
+
+NamedValues = Tuple[Tuple[str, Value], ...]
+"""A binding as a sorted, hashable ``((name, value), ...)`` tuple."""
+
+
+def named_values(binding: Mapping[Any, Value] | Iterable[tuple[Any, Value]]) -> NamedValues:
+    """Normalize a binding (keyed by ``Var`` or ``str``) to a sorted tuple."""
+    items = binding.items() if isinstance(binding, Mapping) else binding
+    named = [(getattr(key, "name", key), value) for key, value in items]
+    named.sort(key=lambda pair: pair[0])
+    return tuple(named)
+
+
+def format_fact(fact: Fact) -> str:
+    """Render a fact the way the paper writes them: ``Rel(v₁, …, vₙ)``."""
+    return f"{fact.relation}({', '.join(repr(v) for v in fact.row)})"
+
+
+def fact_to_json(fact: Fact) -> dict[str, Any]:
+    """Encode a fact in the :mod:`repro.relational.serialization` value encoding."""
+    return {"relation": fact.relation, "row": [value_to_json(v) for v in fact.row]}
+
+
+def fact_from_json(data: Mapping[str, Any]) -> Fact:
+    """Decode a fact from :func:`fact_to_json`'s encoding."""
+    return Fact(data["relation"], tuple(value_from_json(v) for v in data["row"]))
+
+
+def fact_in(instance: Instance, fact: Fact) -> bool:
+    """Whether *fact* is a fact of *instance* (False for unknown relations)."""
+    try:
+        return fact.row in instance.rows(fact.relation)
+    except KeyError:
+        return False
+
+
+def _named_to_json(named: NamedValues) -> list[list[Any]]:
+    return [[name, value_to_json(value)] for name, value in named]
+
+
+def _named_from_json(data: Iterable[Iterable[Any]]) -> NamedValues:
+    return tuple((name, value_from_json(value)) for name, value in data)
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """One tgd firing justifying one derived fact.
+
+    ``premise`` holds the grounded justifying facts (source facts for
+    ``phase == "st_tgds"``, earlier target facts for
+    ``phase == "target_dependencies"``); ``binding`` the universal
+    (premise-variable) binding and ``existentials`` the values invented
+    for the existential positions, both by variable name.  ``step`` is
+    the log-local chase step, used to order a derivation against the egd
+    :class:`Rewrite` history that may later rename values inside
+    ``fact``.  Records are immutable: rewrites are *composed on demand*
+    rather than destructively applied, so replay can always re-fire the
+    rule exactly as recorded.
+    """
+
+    fact: Fact
+    rule_id: str
+    rule_text: str
+    phase: str
+    premise: tuple[Fact, ...]
+    binding: NamedValues
+    existentials: NamedValues
+    step: int
+
+    def full_binding(self) -> dict[str, Value]:
+        """Universal + existential assignments, by variable name."""
+        full = dict(self.binding)
+        full.update(self.existentials)
+        return full
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "fact": fact_to_json(self.fact),
+            "rule_id": self.rule_id,
+            "rule_text": self.rule_text,
+            "phase": self.phase,
+            "premise": [fact_to_json(f) for f in self.premise],
+            "binding": _named_to_json(self.binding),
+            "existentials": _named_to_json(self.existentials),
+            "step": self.step,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "Derivation":
+        return cls(
+            fact=fact_from_json(data["fact"]),
+            rule_id=data["rule_id"],
+            rule_text=data["rule_text"],
+            phase=data["phase"],
+            premise=tuple(fact_from_json(f) for f in data["premise"]),
+            binding=_named_from_json(data["binding"]),
+            existentials=_named_from_json(data["existentials"]),
+            step=int(data["step"]),
+        )
+
+
+@dataclass(frozen=True)
+class Rewrite:
+    """One egd firing: ``old`` was unified into ``new`` across the target.
+
+    ``premise`` holds the grounded egd-premise facts that forced the
+    unification and ``binding`` the premise binding, so the step can be
+    replayed; ``step`` orders the rewrite against derivations.
+    """
+
+    rule_id: str
+    rule_text: str
+    old: Value
+    new: Value
+    premise: tuple[Fact, ...]
+    binding: NamedValues
+    step: int
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "rule_id": self.rule_id,
+            "rule_text": self.rule_text,
+            "old": value_to_json(self.old),
+            "new": value_to_json(self.new),
+            "premise": [fact_to_json(f) for f in self.premise],
+            "binding": _named_to_json(self.binding),
+            "step": self.step,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "Rewrite":
+        return cls(
+            rule_id=data["rule_id"],
+            rule_text=data["rule_text"],
+            old=value_from_json(data["old"]),
+            new=value_from_json(data["new"]),
+            premise=tuple(fact_from_json(f) for f in data["premise"]),
+            binding=_named_from_json(data["binding"]),
+            step=int(data["step"]),
+        )
+
+
+@dataclass(frozen=True)
+class WhyNode:
+    """One node of a why-tree: a fact and (when derived) its justification.
+
+    ``kind`` is ``"derived"`` (children justify the fact), ``"source"``
+    (a leaf fact of the input instance) or ``"unexplained"`` (a leaf with
+    no recorded derivation that is not a known source fact — e.g. when
+    explaining against a log recorded with provenance disabled halfway).
+    ``alternatives`` counts further recorded derivations of the same
+    fact beyond the primary one shown; ``rewrites`` lists the egd steps
+    that renamed values between the recorded derivation and the fact as
+    it stands in the solution.
+    """
+
+    fact: Fact
+    kind: str
+    rule_id: str | None = None
+    rule_text: str | None = None
+    phase: str | None = None
+    binding: NamedValues = ()
+    existentials: NamedValues = ()
+    rewrites: tuple[Rewrite, ...] = ()
+    children: tuple["WhyNode", ...] = ()
+    alternatives: int = 0
+
+    # -- text rendering ----------------------------------------------------
+
+    def render(self) -> str:
+        """The indented why-tree ``repro explain`` prints."""
+        lines = [f"{format_fact(self.fact)}{self._leaf_note()}"]
+        self._render_derivation(lines, "")
+        return "\n".join(lines)
+
+    def _leaf_note(self) -> str:
+        if self.kind == "source":
+            return "  (source fact)"
+        if self.kind == "unexplained":
+            return "  (no recorded derivation)"
+        return ""
+
+    def _render_derivation(self, lines: list[str], prefix: str) -> None:
+        if self.kind != "derived":
+            return
+        lines.append(f"{prefix}└─ {self.rule_id} [{self.phase}]: {self.rule_text}")
+        inner = prefix + "   "
+        if self.binding:
+            rendered = ", ".join(f"{n}={v!r}" for n, v in self.binding)
+            lines.append(f"{inner}binding: {rendered}")
+        if self.existentials:
+            rendered = ", ".join(f"{n}={v!r}" for n, v in self.existentials)
+            lines.append(f"{inner}invented: {rendered}")
+        for rewrite in self.rewrites:
+            lines.append(
+                f"{inner}rewritten: {rewrite.old!r} → {rewrite.new!r} "
+                f"by {rewrite.rule_id}: {rewrite.rule_text}"
+            )
+        if self.alternatives:
+            plural = "s" if self.alternatives != 1 else ""
+            lines.append(
+                f"{inner}(+{self.alternatives} alternative derivation{plural})"
+            )
+        for index, child in enumerate(self.children):
+            last = index == len(self.children) - 1
+            connector = "└─" if last else "├─"
+            lines.append(
+                f"{inner}{connector} {format_fact(child.fact)}{child._leaf_note()}"
+            )
+            child._render_derivation(lines, inner + ("   " if last else "│  "))
+
+    # -- JSON --------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-able nested view (facts both structured and pretty)."""
+        out: dict[str, Any] = {
+            "fact": fact_to_json(self.fact),
+            "fact_text": format_fact(self.fact),
+            "kind": self.kind,
+        }
+        if self.kind == "derived":
+            out["rule_id"] = self.rule_id
+            out["rule_text"] = self.rule_text
+            out["phase"] = self.phase
+            out["binding"] = _named_to_json(self.binding)
+            out["existentials"] = _named_to_json(self.existentials)
+            if self.rewrites:
+                out["rewrites"] = [r.to_json() for r in self.rewrites]
+            if self.alternatives:
+                out["alternatives"] = self.alternatives
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def walk(self) -> "Iterable[WhyNode]":
+        """Depth-first traversal of this why-tree."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return (
+            f"WhyNode({format_fact(self.fact)}, {self.kind}, "
+            f"{len(self.children)} children)"
+        )

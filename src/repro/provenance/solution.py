@@ -1,0 +1,109 @@
+"""`Solution`: a target instance bundled with its provenance.
+
+When provenance is enabled (``ExchangeOptions(provenance=True)`` /
+``--provenance``), the engine and the service return a :class:`Solution`
+instead of a bare :class:`~repro.relational.instance.Instance`.  It
+delegates the whole Instance API (``rows``, ``facts``, ``size``,
+``fingerprint``, …) so existing callers keep working, and adds the
+explainability surface::
+
+    solution = service.exchange(source)          # provenance on
+    tree = solution.explain(fact)                # a WhyNode
+    print(tree.render())
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from ..relational.instance import Fact, Instance
+from ..relational.values import Constant, LabeledNull, SkolemValue, constant
+from .model import WhyNode, format_fact
+from .store import ProvenanceLog
+
+__all__ = ["Solution"]
+
+_VALUE_TYPES = (Constant, LabeledNull, SkolemValue)
+
+
+def _coerce_fact(fact: "Fact | tuple[str, Iterable[Any]]") -> Fact:
+    """Accept a :class:`Fact` or a raw ``(relation, row)`` pair."""
+    if isinstance(fact, Fact):
+        return fact
+    relation, row = fact
+    coerced = tuple(
+        v if isinstance(v, _VALUE_TYPES) else constant(v) for v in row
+    )
+    return Fact(relation, coerced)
+
+
+class Solution:
+    """A universal solution that can explain its own facts."""
+
+    __slots__ = ("instance", "provenance", "source")
+
+    def __init__(
+        self,
+        instance: Instance,
+        provenance: ProvenanceLog,
+        source: Instance | None = None,
+    ) -> None:
+        self.instance = instance
+        self.provenance = provenance
+        self.source = source
+
+    # -- explainability ----------------------------------------------------
+
+    def explain(
+        self,
+        fact: "Fact | tuple[str, Iterable[Any]]",
+        *,
+        max_depth: int = 16,
+    ) -> WhyNode:
+        """The why-tree of one solution fact.
+
+        ``ValueError`` when *fact* is not a fact of this solution — a
+        why-tree of a non-fact would be vacuous.
+        """
+        resolved = _coerce_fact(fact)
+        if resolved not in self.instance:
+            raise ValueError(
+                f"{format_fact(resolved)} is not a fact of this solution"
+            )
+        return self.provenance.explain(
+            resolved, source=self.source, max_depth=max_depth
+        )
+
+    def explain_all(self, limit: int | None = None) -> list[WhyNode]:
+        """Why-trees for every solution fact (deterministic order)."""
+        facts = sorted(self.instance.facts(), key=repr)
+        if limit is not None:
+            facts = facts[:limit]
+        return [self.explain(fact) for fact in facts]
+
+    # -- Instance delegation ------------------------------------------------
+
+    def __getattr__(self, name: str) -> Any:
+        # __slots__ misses fall through here: delegate to the instance so
+        # a Solution walks and talks like the Instance it wraps.
+        return getattr(self.instance, name)
+
+    def __contains__(self, fact: Fact) -> bool:
+        return fact in self.instance
+
+    def __iter__(self) -> Iterator[Fact]:
+        return self.instance.facts()
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Solution):
+            return self.instance == other.instance
+        return self.instance == other
+
+    def __hash__(self) -> int:
+        return hash(self.instance)
+
+    def __repr__(self) -> str:
+        return (
+            f"Solution({self.instance.size()} facts, "
+            f"{len(self.provenance)} derivations)"
+        )

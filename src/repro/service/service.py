@@ -49,6 +49,7 @@ from ..mapping.chase import (
 from ..mapping.sttgd import SchemaMapping
 from ..obs import get_registry, get_tracer
 from ..options import ExchangeOptions
+from ..provenance import ProvenanceLog, Solution, resolve_provenance
 from ..relational.instance import Instance
 from ..stats import Statistics
 
@@ -94,13 +95,18 @@ class ResumptionToken:
       under the new budget.
 
     The fingerprints pin the token to one (mapping, source) pair so a
-    token cannot be replayed against different data.
+    token cannot be replayed against different data.  ``provenance``
+    snapshots the lineage recorded before the interruption (``None``
+    when the request ran without provenance); :meth:`ExchangeService.resume`
+    extends it across the continued chase so the final solution explains
+    facts from *both* sides of the interruption.
     """
 
     mapping_fingerprint: str
     source_fingerprint: str
     phase: str
     partial: Instance
+    provenance: ProvenanceLog | None = None
 
     @property
     def resumable_in_place(self) -> bool:
@@ -116,13 +122,17 @@ class PartialSolution:
     solution — useful for best-effort answers and for resumption, but
     **not** a solution (some dependency may be unsatisfied).  ``violated``
     names the exhausted limit (``"deadline"`` / ``"max_facts"`` /
-    ``"max_steps"``); ``token`` feeds :meth:`ExchangeService.resume`.
+    ``"max_steps"``); ``token`` feeds :meth:`ExchangeService.resume`;
+    ``provenance`` is the partial lineage recorded up to the
+    interruption (``None`` when the request ran without provenance), so
+    even a degraded answer can explain the facts it *did* produce.
     """
 
     facts: Instance
     violated: str
     statistics: ChaseStatistics | None
     token: ResumptionToken
+    provenance: ProvenanceLog | None = None
 
     @property
     def is_partial(self) -> bool:
@@ -239,7 +249,7 @@ class ExchangeService:
 
     def exchange(
         self, source: Instance, *, options: ExchangeOptions | None = None
-    ) -> Instance | PartialSolution:
+    ) -> Instance | Solution | PartialSolution:
         """One budgeted request: a full solution or a :class:`PartialSolution`.
 
         *options* overrides the service defaults for this request only
@@ -256,7 +266,7 @@ class ExchangeService:
 
     def exchange_many(
         self, sources: Iterable[Instance], *, options: ExchangeOptions | None = None
-    ) -> list[Instance | PartialSolution]:
+    ) -> list[Instance | Solution | PartialSolution]:
         """A budgeted batch, admitted whole or rejected whole.
 
         Admission control reserves the full batch up front: if the batch
@@ -280,15 +290,16 @@ class ExchangeService:
 
     def _exchange_admitted(
         self, source: Instance, opts: ExchangeOptions
-    ) -> Instance | PartialSolution:
+    ) -> Instance | Solution | PartialSolution:
         registry = get_registry()
         budget = opts.budget()
+        store = resolve_provenance(opts.provenance)
         with get_tracer().span(
             "service.exchange", source_facts=source.size()
         ) as span:
             registry.increment("service.requests")
             try:
-                solution = self._run(source, opts, budget)
+                solution = self._run(source, opts, budget, store)
             except BudgetExceeded as exc:
                 return self._degrade(
                     source,
@@ -297,6 +308,7 @@ class ExchangeService:
                     exc.statistics,
                     exc.phase or "st_tgds",
                     span,
+                    provenance=self._partial_provenance(exc, store),
                 )
             except ChaseNonTermination as exc:
                 return self._degrade(
@@ -306,18 +318,43 @@ class ExchangeService:
                     exc.statistics,
                     "target_dependencies",
                     span,
+                    provenance=self._partial_provenance(exc, store),
                 )
             self._observe_remaining(budget, solution)
             span.set(target_facts=solution.size())
+            if store.enabled:
+                return Solution(solution, store, source)
             return solution
 
+    @staticmethod
+    def _partial_provenance(
+        exc: BaseException, store
+    ) -> ProvenanceLog | None:
+        """The lineage recorded before *exc* interrupted the request.
+
+        The chase attaches its store to the exception; the executor's
+        shard merge attaches the staged (relabeled) shard logs.  Either
+        wins over the request store, which a parallel path may not have
+        absorbed into yet.
+        """
+        attached = getattr(exc, "provenance", None)
+        if attached is not None:
+            return attached
+        return store if store.enabled else None
+
     def _run(
-        self, source: Instance, opts: ExchangeOptions, budget: Budget | None
+        self,
+        source: Instance,
+        opts: ExchangeOptions,
+        budget: Budget | None,
+        provenance,
     ) -> Instance:
         executor = self._engine.executor
         if executor is not None:
-            return executor.exchange(source, budget)
-        return chase(self.mapping, source, options=opts, budget=budget).solution
+            return executor.exchange(source, budget, provenance)
+        return chase(
+            self.mapping, source, options=opts, budget=budget, provenance=provenance
+        ).solution
 
     def _degrade(
         self,
@@ -327,6 +364,7 @@ class ExchangeService:
         statistics: ChaseStatistics | None,
         phase: str,
         span,
+        provenance: ProvenanceLog | None = None,
     ) -> PartialSolution:
         registry = get_registry()
         registry.increment("service.degraded")
@@ -338,9 +376,10 @@ class ExchangeService:
             source_fingerprint=source.fingerprint(),
             phase=phase,
             partial=partial,
+            provenance=provenance.copy() if provenance is not None else None,
         )
         span.set(degraded=violated, phase=phase, partial_facts=partial.size())
-        return PartialSolution(partial, violated, statistics, token)
+        return PartialSolution(partial, violated, statistics, token, provenance)
 
     def _observe_remaining(self, budget: Budget | None, solution: Instance) -> None:
         """Budget headroom histograms: how close successful requests cut it."""
@@ -362,7 +401,7 @@ class ExchangeService:
         token: ResumptionToken,
         *,
         options: ExchangeOptions | None = None,
-    ) -> Instance | PartialSolution:
+    ) -> Instance | Solution | PartialSolution:
         """Continue a degraded exchange under a fresh budget.
 
         The token must come from this service's mapping and *source*
@@ -383,6 +422,11 @@ class ExchangeService:
         self._admit(1)
         try:
             budget = opts.budget()
+            store = resolve_provenance(opts.provenance)
+            if store.enabled and token.provenance is not None:
+                # Continue the interrupted history: the token's snapshot
+                # seeds the store and new records extend it in step order.
+                store.absorb(token.provenance)
             with get_tracer().span(
                 "service.resume", partial_facts=token.partial.size()
             ) as span:
@@ -392,6 +436,7 @@ class ExchangeService:
                         self.mapping.target_dependencies,
                         options=opts,
                         budget=budget,
+                        provenance=store,
                     )
                 except BudgetExceeded as exc:
                     return self._degrade(
@@ -401,6 +446,7 @@ class ExchangeService:
                         exc.statistics,
                         "target_dependencies",
                         span,
+                        provenance=self._partial_provenance(exc, store),
                     )
                 except ChaseNonTermination as exc:
                     return self._degrade(
@@ -410,9 +456,12 @@ class ExchangeService:
                         exc.statistics,
                         "target_dependencies",
                         span,
+                        provenance=self._partial_provenance(exc, store),
                     )
                 self._observe_remaining(budget, solution)
                 span.set(target_facts=solution.size())
+                if store.enabled:
+                    return Solution(solution, store, source)
                 return solution
         finally:
             self._release(1)

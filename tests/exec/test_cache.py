@@ -125,3 +125,37 @@ class TestExchangeCache:
         cache.lookup("m", "s")
         assert "1/3" in repr(cache)
         assert "hits=1" in repr(cache)
+
+
+class TestProvenanceEntries:
+    def make_solution(self):
+        return instance(TGT, {"Office": [["e1", "h1", "r1"]]})
+
+    def test_provenance_less_entry_misses_when_required(self):
+        from repro.provenance import ProvenanceLog
+
+        cache = ExchangeCache(4)
+        cache.store("m", "s", self.make_solution())
+        assert cache.lookup("m", "s") is not None
+        assert cache.lookup_entry("m", "s", require_provenance=True) is None
+
+    def test_entry_with_provenance_satisfies_both_lookups(self):
+        from repro.provenance import ProvenanceLog
+
+        cache = ExchangeCache(4)
+        log = ProvenanceLog()
+        solution = self.make_solution()
+        cache.store("m", "s", solution, log)
+        assert cache.lookup("m", "s") == solution
+        entry = cache.lookup_entry("m", "s", require_provenance=True)
+        assert entry is not None
+        assert entry[0] == solution and entry[1] is log
+
+    def test_storing_again_upgrades_in_place(self):
+        from repro.provenance import ProvenanceLog
+
+        cache = ExchangeCache(4)
+        solution = self.make_solution()
+        cache.store("m", "s", solution)
+        cache.store("m", "s", solution, ProvenanceLog())
+        assert cache.lookup_entry("m", "s", require_provenance=True) is not None

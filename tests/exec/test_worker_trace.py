@@ -1,0 +1,90 @@
+"""Worker trace stitching: shard spans land under the parent request.
+
+Pool workers run in separate processes, so their spans cannot share the
+parent's tracer.  Each worker records its own trace, ships it home as
+records, and the executor grafts the rebuilt forest under an
+``exchange.workers`` span — one ``--trace-json`` export then shows the
+whole request, shard chases included, wired by id/parent links.
+"""
+
+import json
+
+from repro.exec import ParallelExchange
+from repro.mapping import SchemaMapping
+from repro.obs import span_records, trace_to_json_lines, tracing
+from repro.relational import instance, relation, schema
+
+
+SRC = schema(relation("Emp", "name", "dept"), relation("Dept", "dept", "head"))
+TGT = schema(relation("Office", "name", "head", "room"))
+
+
+def join_mapping():
+    return SchemaMapping.parse(
+        SRC, TGT, "Emp(n, d), Dept(d, h) -> exists m . Office(n, h, m)"
+    )
+
+
+def clustered_source(employees=12, depts=4):
+    return instance(
+        SRC,
+        {
+            "Emp": [[f"e{i}", f"d{i % depts}"] for i in range(employees)],
+            "Dept": [[f"d{j}", f"h{j}"] for j in range(depts)],
+        },
+    )
+
+
+def find(span, name):
+    return [s for s, _ in span.walk() if s.name == name]
+
+
+class TestWorkerSpanStitching:
+    def test_shard_chases_nest_under_exchange_workers(self):
+        with tracing() as tracer:
+            with ParallelExchange(join_mapping(), workers=2) as executor:
+                executor.exchange(clustered_source())
+        (root,) = [s for s in tracer.spans() if s.name == "exchange.parallel"]
+        (workers,) = find(root, "exchange.workers")
+        shard_chases = [c for c in workers.children if c.name == "chase"]
+        assert len(shard_chases) == 2
+        assert sorted(c.attributes["shard"] for c in shard_chases) == [0, 1]
+        # Worker-side nested spans survive the trip.
+        for chase_span in shard_chases:
+            assert find(chase_span, "chase.st_tgds")
+
+    def test_json_lines_wire_worker_spans_to_parent(self):
+        with tracing() as tracer:
+            with ParallelExchange(join_mapping(), workers=2) as executor:
+                executor.exchange(clustered_source())
+        records = [
+            json.loads(line) for line in trace_to_json_lines(tracer).splitlines()
+        ]
+        by_id = {r["id"]: r for r in records}
+        # Ids are unique across parent and rebuilt worker spans.
+        assert len(by_id) == len(records)
+        workers = next(r for r in records if r["name"] == "exchange.workers")
+        shard_chases = [
+            r
+            for r in records
+            if r["name"] == "chase" and r["parent"] == workers["id"]
+        ]
+        assert len(shard_chases) == 2
+        # The chain reaches the root: exchange.workers hangs off the request.
+        assert by_id[workers["parent"]]["name"] == "exchange.parallel"
+
+    def test_untraced_exchange_ships_no_spans(self):
+        # The worker payload only carries spans when the parent traces —
+        # the disabled path stays allocation-free.
+        with ParallelExchange(join_mapping(), workers=2) as executor:
+            solution = executor.exchange(clustered_source())
+        assert solution.size() > 0
+
+
+class TestSerialPathUnaffected:
+    def test_serial_fallback_has_no_workers_span(self):
+        with tracing() as tracer:
+            with ParallelExchange(join_mapping(), workers=1) as executor:
+                executor.exchange(clustered_source())
+        names = {s.name for root in tracer.spans() for s, _ in root.walk()}
+        assert "exchange.workers" not in names

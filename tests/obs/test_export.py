@@ -111,3 +111,101 @@ class TestRenderMetrics:
 
     def test_empty_registry(self):
         assert "no metrics recorded" in render_metrics(MetricsRegistry())
+
+
+class TestMetricsSnapshot:
+    def test_histogram_line_renders_all_percentiles(self):
+        """Snapshot of the text-tree metrics exporter's histogram line."""
+        registry = MetricsRegistry()
+        for value in range(1, 101):
+            registry.observe("queue.depth", float(value))
+        text = render_metrics(registry)
+        assert "── histograms (count / p50 / p95 / p99 / max):" in text
+        assert "   queue.depth: n=100  p50=50  p95=95  p99=99  max=100" in text
+
+    def test_duration_histograms_humanize(self):
+        registry = MetricsRegistry()
+        registry.observe("lens.get.seconds", 0.002)
+        line = next(
+            l for l in render_metrics(registry).splitlines() if "lens.get" in l
+        )
+        assert "p99=2.00ms" in line
+
+
+class TestSpansFromRecords:
+    def test_round_trip_rebuilds_the_forest(self):
+        from repro.obs import spans_from_records
+
+        tracer = sample_tracer()
+        records = list(span_records(tracer))
+        rebuilt = spans_from_records(records)
+        assert [s.name for s in rebuilt] == ["chase", "lens.get"]
+        (chase, _) = rebuilt
+        assert [c.name for c in chase.children] == ["chase.round"]
+        assert chase.attributes["facts"] == 4
+        # Fresh ids: a re-export never collides with the original ids.
+        original_ids = {r["id"] for r in records}
+        new_ids = {r["id"] for r in span_records(rebuilt)}
+        assert original_ids.isdisjoint(new_ids)
+
+    def test_attach_grafts_under_current_span(self):
+        from repro.obs import spans_from_records
+
+        worker = Tracer()
+        with worker.span("chase", shard=0):
+            pass
+        shipped = list(span_records(worker))
+
+        parent = Tracer()
+        with parent.span("exchange.workers") as span:
+            for root in spans_from_records(shipped):
+                parent.attach(root)
+        (root,) = parent.spans()
+        assert [c.name for c in root.children] == ["chase"]
+        assert root.children[0].attributes["shard"] == 0
+
+
+class TestProvenanceExport:
+    def make_log(self):
+        from repro.provenance import ProvenanceLog
+        from repro.relational import constant
+        from repro.relational.instance import Fact
+        from repro.relational.values import LabeledNull
+
+        log = ProvenanceLog()
+        log.record_firing(
+            "tgd_0",
+            "S(x) -> T(x)",
+            "st_tgds",
+            [Fact("S", (constant("a"),))],
+            {"x": constant("a")},
+            {},
+            [Fact("T", (constant("a"),))],
+        )
+        log.record_rewrite(
+            "egd_0", "e", LabeledNull(1), LabeledNull(2), [], {}
+        )
+        return log
+
+    def test_json_lines_one_record_per_line(self):
+        from repro.obs import provenance_to_json_lines
+
+        lines = provenance_to_json_lines(self.make_log()).splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["type"] for r in records] == ["derivation", "rewrite"]
+        assert records[0]["rule_id"] == "tgd_0"
+
+    def test_write_returns_count(self, tmp_path):
+        from repro.obs import write_provenance_json_lines
+
+        path = tmp_path / "prov.jsonl"
+        assert write_provenance_json_lines(self.make_log(), path) == 2
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_noop_store_exports_nothing(self, tmp_path):
+        from repro.obs import write_provenance_json_lines
+        from repro.provenance import NOOP
+
+        path = tmp_path / "empty.jsonl"
+        assert write_provenance_json_lines(NOOP, path) == 0
+        assert path.read_text() == ""

@@ -61,7 +61,7 @@ class TestHistogram:
         assert h.percentile(50) == 0.0
         assert h.summary() == {
             "count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0,
-            "p50": 0.0, "p95": 0.0, "max": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0,
         }
 
     def test_percentile_rejects_out_of_range(self):

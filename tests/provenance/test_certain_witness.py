@@ -1,0 +1,80 @@
+"""Certain-answer witnesses: ``certain_answers(..., explain=True)``."""
+
+from repro import SchemaMapping, certain_answers
+from repro.logic.parser import parse_conjunction
+from repro.logic.terms import Var
+from repro.mapping import chase
+from repro.provenance import Solution
+from repro.relational import constant, instance, relation, schema
+
+
+SRC = schema(relation("Emp", "name", "dept"))
+TGT = schema(relation("Manager", "name", "mgr"), relation("Dept", "name", "dept"))
+TEXT = """
+Emp(n, d) -> exists w . Manager(n, w)
+Emp(n, d) -> Dept(n, d)
+"""
+
+
+def mapping():
+    return SchemaMapping.parse(SRC, TGT, TEXT)
+
+
+def source():
+    return instance(SRC, {"Emp": [["ava", "eng"], ["bo", "ops"]]})
+
+
+QUERY = parse_conjunction("Dept(n, d)")
+HEAD = [Var("n"), Var("d")]
+
+
+class TestWitnesses:
+    def test_explained_answers_match_plain_answers(self):
+        plain = certain_answers(mapping(), source(), QUERY, HEAD)
+        witnessed = certain_answers(mapping(), source(), QUERY, HEAD, explain=True)
+        assert set(witnessed) == plain
+
+    def test_witness_carries_facts_and_why_trees(self):
+        witnessed = certain_answers(mapping(), source(), QUERY, HEAD, explain=True)
+        answer = (constant("ava"), constant("eng"))
+        witness = witnessed[answer]
+        assert [f.relation for f in witness.facts] == ["Dept"]
+        assert len(witness.why) == 1
+        tree = witness.why[0]
+        assert tree.kind == "derived"
+        assert any(node.kind == "source" for node in tree.walk())
+        rendered = witness.render()
+        assert "because:" in rendered and "(source fact)" in rendered
+
+    def test_null_valued_answers_are_excluded(self):
+        # Manager's mgr position is existential: no certain answer binds it.
+        query = parse_conjunction("Manager(n, m)")
+        witnessed = certain_answers(
+            mapping(), source(), query, [Var("n"), Var("m")], explain=True
+        )
+        assert witnessed == {}
+
+    def test_precomputed_solution_with_provenance(self):
+        src = source()
+        result = chase(mapping(), src, provenance=True)
+        solution = Solution(result.solution, result.provenance, src)
+        witnessed = certain_answers(
+            mapping(), src, QUERY, HEAD, solution=solution, explain=True
+        )
+        assert all(w.why for w in witnessed.values())
+
+    def test_precomputed_plain_instance_has_no_why(self):
+        src = source()
+        result = chase(mapping(), src)
+        witnessed = certain_answers(
+            mapping(), src, QUERY, HEAD, solution=result.solution, explain=True
+        )
+        assert witnessed
+        assert all(w.why == () and w.facts for w in witnessed.values())
+
+    def test_solution_accepted_without_explain(self):
+        src = source()
+        result = chase(mapping(), src, provenance=True)
+        solution = Solution(result.solution, result.provenance, src)
+        plain = certain_answers(mapping(), src, QUERY, HEAD, solution=solution)
+        assert plain == certain_answers(mapping(), src, QUERY, HEAD)

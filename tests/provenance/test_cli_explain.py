@@ -1,0 +1,141 @@
+"""CLI provenance: ``repro explain``, ``--provenance`` and ``--provenance-json``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.relational import (
+    instance,
+    instance_to_json,
+    relation,
+    schema,
+    schema_to_json,
+)
+
+
+@pytest.fixture
+def files(tmp_path):
+    source = schema(relation("Emp", "name", "dept"), relation("CityZip", "city", "zip"))
+    target = schema(relation("Badge", "name", "serial", "dept"))
+    schemas_file = tmp_path / "schemas.json"
+    schemas_file.write_text(
+        json.dumps(
+            {"source": schema_to_json(source), "target": schema_to_json(target)}
+        )
+    )
+    mapping_file = tmp_path / "mapping.tgd"
+    mapping_file.write_text("Emp(n, d) -> exists s . Badge(n, s, d)\n")
+    data_file = tmp_path / "source.json"
+    data = instance(
+        source,
+        {"Emp": [["ava", "eng"], ["bo", "ops"]], "CityZip": []},
+    )
+    data_file.write_text(json.dumps(instance_to_json(data)))
+    return tmp_path, schemas_file, mapping_file, data_file
+
+
+def run(argv):
+    return main([str(a) for a in argv])
+
+
+class TestExplain:
+    def test_prints_why_trees_with_source_facts(self, files, capsys):
+        _, schemas, mapping, data = files
+        code = run(
+            ["explain", "--schemas", schemas, "--mapping", mapping, "--data", data]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tgd_0" in out
+        assert "Emp('ava', 'eng')  (source fact)" in out
+        assert "invented: s=" in out
+
+    def test_fact_pattern_filters(self, files, capsys):
+        _, schemas, mapping, data = files
+        code = run(
+            ["explain", "--schemas", schemas, "--mapping", mapping,
+             "--data", data, "--fact", 'Badge("bo", _, _)']
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "'bo'" in out and "'ava'" not in out
+
+    def test_unmatched_pattern_exits_one(self, files, capsys):
+        _, schemas, mapping, data = files
+        code = run(
+            ["explain", "--schemas", schemas, "--mapping", mapping,
+             "--data", data, "--fact", 'Badge("nobody", _, _)']
+        )
+        assert code == 1
+        assert "no solution facts match" in capsys.readouterr().err
+
+    def test_malformed_pattern_is_a_cli_error(self, files):
+        _, schemas, mapping, data = files
+        with pytest.raises(SystemExit) as excinfo:
+            run(["explain", "--schemas", schemas, "--mapping", mapping,
+                 "--data", data, "--fact", "not a pattern"])
+        assert excinfo.value.code == 2
+
+    def test_json_mode_emits_structured_trees(self, files, capsys):
+        _, schemas, mapping, data = files
+        code = run(
+            ["explain", "--schemas", schemas, "--mapping", mapping,
+             "--data", data, "--json", "--fact", 'Badge("ava", _, _)']
+        )
+        assert code == 0
+        trees = json.loads(capsys.readouterr().out)
+        assert len(trees) == 1
+        assert trees[0]["kind"] == "derived"
+        assert trees[0]["rule_id"] == "tgd_0"
+        assert trees[0]["children"][0]["kind"] == "source"
+
+    def test_limit_truncates(self, files, capsys):
+        _, schemas, mapping, data = files
+        code = run(
+            ["explain", "--schemas", schemas, "--mapping", mapping,
+             "--data", data, "--limit", "1"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out.count("└─ tgd_0 [st_tgds]") == 1
+        assert "more facts" in captured.err
+
+
+class TestProvenanceFlags:
+    def test_exchange_writes_provenance_json_lines(self, files, capsys):
+        tmp_path, schemas, mapping, data = files
+        prov = tmp_path / "prov.jsonl"
+        out = tmp_path / "target.json"
+        code = run(
+            ["exchange", "--schemas", schemas, "--mapping", mapping,
+             "--data", data, "--out", out, "--provenance-json", prov]
+        )
+        assert code == 0
+        records = [json.loads(line) for line in prov.read_text().splitlines()]
+        assert len(records) == 2
+        assert all(r["type"] == "derivation" for r in records)
+        assert all(r["rule_id"] == "tgd_0" for r in records)
+        # The solution itself still comes out as a plain instance file.
+        assert json.loads(out.read_text())["facts"]
+
+    def test_chase_writes_provenance_json_lines(self, files, capsys):
+        tmp_path, schemas, mapping, data = files
+        prov = tmp_path / "prov.jsonl"
+        code = run(
+            ["chase", "--schemas", schemas, "--mapping", mapping,
+             "--data", data, "--out", tmp_path / "t.json",
+             "--provenance-json", prov]
+        )
+        assert code == 0
+        assert len(prov.read_text().splitlines()) == 2
+
+    def test_provenance_flag_alone_changes_nothing_visible(self, files, capsys):
+        tmp_path, schemas, mapping, data = files
+        baseline = tmp_path / "a.json"
+        flagged = tmp_path / "b.json"
+        assert run(["exchange", "--schemas", schemas, "--mapping", mapping,
+                    "--data", data, "--out", baseline]) == 0
+        assert run(["exchange", "--schemas", schemas, "--mapping", mapping,
+                    "--data", data, "--out", flagged, "--provenance"]) == 0
+        assert json.loads(baseline.read_text()) == json.loads(flagged.read_text())

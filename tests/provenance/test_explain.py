@@ -1,0 +1,145 @@
+"""Why-trees: Solution.explain across chase phases, and the disabled mode."""
+
+import pytest
+
+from repro import ExchangeEngine, ExchangeOptions, SchemaMapping
+from repro.mapping import chase
+from repro.mapping.dependencies import TargetTgd
+from repro.logic.parser import parse_rule
+from repro.provenance import NOOP, Solution
+from repro.relational import constant, instance, relation, schema
+from repro.relational.instance import Fact, Instance
+
+
+SRC = schema(relation("Emp", "name", "dept"))
+TGT = schema(relation("Manager", "name", "mgr"), relation("Dept", "name", "dept"))
+TEXT = """
+Emp(n, d) -> exists w . Manager(n, w)
+Emp(n, d) -> Dept(n, d)
+"""
+
+
+def target_rule(text, kind):
+    rule = parse_rule(text)
+    if kind == "tgd":
+        return TargetTgd(rule.lhs, rule.branches[0][1])
+    return kind(rule)
+
+
+def source_instance():
+    return instance(SRC, {"Emp": [["ava", "eng"], ["bo", "ops"]]})
+
+
+def provenance_engine(mapping=None, **options):
+    mapping = mapping or SchemaMapping.parse(SRC, TGT, TEXT)
+    return ExchangeEngine.compile(
+        mapping, options=ExchangeOptions(provenance=True, **options)
+    )
+
+
+class TestSolutionWrapper:
+    def test_exchange_returns_solution_with_instance_protocol(self):
+        engine = provenance_engine()
+        result = engine.exchange(source_instance())
+        assert isinstance(result, Solution)
+        # Instance delegation: size/facts/schema work unchanged.
+        assert result.size() == result.instance.size() == 4
+        assert set(result.facts()) == set(result.instance.facts())
+
+    def test_explain_reaches_source_facts(self):
+        engine = provenance_engine()
+        source = source_instance()
+        result = engine.exchange(source)
+        target_fact = Fact("Dept", (constant("ava"), constant("eng")))
+        tree = result.explain(target_fact)
+        assert tree.kind == "derived"
+        assert tree.phase == "st_tgds"
+        leaves = [node for node in tree.walk() if node.kind == "source"]
+        assert [leaf.fact for leaf in leaves] == [
+            Fact("Emp", (constant("ava"), constant("eng")))
+        ]
+
+    def test_explain_accepts_relation_row_pair(self):
+        result = provenance_engine().exchange(source_instance())
+        tree = result.explain(("Dept", ("ava", "eng")))
+        assert tree.kind == "derived"
+
+    def test_explain_rejects_unknown_fact(self):
+        result = provenance_engine().exchange(source_instance())
+        with pytest.raises(ValueError, match="not a fact"):
+            result.explain(("Dept", ("nobody", "x")))
+
+    def test_explain_all_respects_limit(self):
+        result = provenance_engine().exchange(source_instance())
+        trees = result.explain_all(limit=2)
+        assert len(trees) == 2
+        assert all(t.kind == "derived" for t in trees)
+
+    def test_invented_values_recorded(self):
+        result = provenance_engine().exchange(source_instance())
+        fact = next(f for f in result.facts() if f.relation == "Manager")
+        tree = result.explain(fact)
+        assert dict(tree.existentials).keys() == {"w"}
+        rendered = tree.render()
+        assert "invented: w=" in rendered
+        assert "(source fact)" in rendered
+
+
+class TestChasePhases:
+    def test_target_dependency_chain_in_tree(self):
+        # Dept facts spawn Head facts in the target chase; the tree must
+        # chain Head -> Dept -> source Emp.
+        target = schema(
+            relation("Dept", "name", "dept"), relation("Seen", "dept")
+        )
+        mapping = SchemaMapping.parse(
+            SRC,
+            target,
+            "Emp(n, d) -> Dept(n, d)",
+            [target_rule("Dept(n, d) -> Seen(d)", "tgd")],
+        )
+        result = chase(mapping, source_instance(), provenance=True)
+        assert result.provenance.enabled
+        solution = Solution(result.solution, result.provenance, source_instance())
+        tree = solution.explain(Fact("Seen", (constant("eng"),)))
+        assert tree.phase == "target_dependencies"
+        kinds = [node.kind for node in tree.walk()]
+        assert kinds == ["derived", "derived", "source"]
+
+    def test_egd_rewrite_shows_in_tree(self):
+        from repro.mapping.dependencies import target_dependency_from_rule
+
+        target = schema(relation("Manager", "name", "mgr"))
+        egd = target_dependency_from_rule(
+            parse_rule("Manager(n, m), Manager(n, m2) -> m = m2")
+        )
+        mapping = SchemaMapping.parse(
+            schema(relation("Emp", "name")),
+            target,
+            "Emp(n) -> exists w . Manager(n, w)\n"
+            "Emp(n) -> exists v . Manager(n, v)",
+            [egd],
+        )
+        source = instance(schema(relation("Emp", "name")), {"Emp": [["ava"]]})
+        result = chase(mapping, source, provenance=True)
+        solution = Solution(result.solution, result.provenance, source)
+        (fact,) = solution.instance.facts()
+        tree = solution.explain(fact)
+        assert tree.rewrites or tree.alternatives
+        rendered = tree.render()
+        assert "alternative derivation" in rendered or "rewritten:" in rendered
+
+
+class TestDisabledMode:
+    def test_exchange_returns_plain_instance(self):
+        mapping = SchemaMapping.parse(SRC, TGT, TEXT)
+        engine = ExchangeEngine.compile(mapping)
+        result = engine.exchange(source_instance())
+        assert isinstance(result, Instance)
+        assert not isinstance(result, Solution)
+
+    def test_chase_result_provenance_is_noop(self):
+        mapping = SchemaMapping.parse(SRC, TGT, TEXT)
+        result = chase(mapping, source_instance())
+        assert result.provenance is NOOP
+        assert not result.provenance.enabled

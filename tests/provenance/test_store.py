@@ -1,0 +1,162 @@
+"""Unit tests for the provenance log and its disabled no-op twin."""
+
+from repro.provenance import NOOP, ProvenanceLog, ProvenanceStore, resolve_provenance
+from repro.provenance.model import fact_in, format_fact, named_values
+from repro.relational import constant, instance, relation, schema
+from repro.relational.instance import Fact
+from repro.relational.values import LabeledNull
+
+
+def fact(rel, *values):
+    return Fact(rel, tuple(constant(v) if not isinstance(v, LabeledNull) else v
+                           for v in values))
+
+
+def record_simple_firing(log, rel="T", rule_id="tgd_0"):
+    derived = fact(rel, "a", "b")
+    log.record_firing(
+        rule_id,
+        "S(x, y) -> T(x, y)",
+        "st_tgds",
+        [fact("S", "a", "b")],
+        {"x": constant("a"), "y": constant("b")},
+        {},
+        [derived],
+    )
+    return derived
+
+
+class TestNoopStore:
+    def test_disabled_and_records_nothing(self):
+        assert NOOP.enabled is False
+        # Both record calls are no-ops and return None.
+        assert NOOP.record_firing("r", "t", "p", [], {}, {}, []) is None
+        assert NOOP.record_rewrite("r", "t", None, None, [], {}) is None
+        assert isinstance(NOOP, ProvenanceStore)
+
+    def test_resolve_provenance(self):
+        assert resolve_provenance(False) is NOOP
+        assert resolve_provenance(None) is NOOP
+        log = resolve_provenance(True)
+        assert isinstance(log, ProvenanceLog)
+        assert resolve_provenance(True) is not log  # fresh per call
+        assert resolve_provenance(log) is log  # passthrough
+
+
+class TestRecording:
+    def test_firing_indexes_each_fact(self):
+        log = ProvenanceLog()
+        derived = record_simple_firing(log)
+        assert len(log) == 1
+        (derivation,) = log.derivations_for(derived)
+        assert derivation.rule_id == "tgd_0"
+        assert derivation.premise == (fact("S", "a", "b"),)
+        assert dict(derivation.binding) == {
+            "x": constant("a"), "y": constant("b"),
+        }
+        assert set(log.facts()) == {derived}
+
+    def test_rewrite_remaps_current_index(self):
+        log = ProvenanceLog()
+        null1, null2 = LabeledNull(1), LabeledNull(2)
+        f1 = Fact("T", (constant("a"), null1))
+        log.record_firing("tgd_0", "r", "st_tgds", [], {}, {"y": null1}, [f1])
+        log.record_rewrite("egd_0", "e", null1, null2, [], {})
+        current = Fact("T", (constant("a"), null2))
+        assert log.derivations_for(current)
+        assert not log.derivations_for(f1)
+        # The record itself stays immutable.
+        assert log.derivations[0].fact == f1
+        assert log.current_fact(log.derivations[0]) == current
+
+    def test_merged_facts_concatenate_derivations(self):
+        log = ProvenanceLog()
+        null1, null2 = LabeledNull(1), LabeledNull(2)
+        a = Fact("T", (constant("a"), null1))
+        b = Fact("T", (constant("a"), null2))
+        log.record_firing("tgd_0", "r", "st_tgds", [], {}, {}, [a])
+        log.record_firing("tgd_1", "r2", "st_tgds", [], {}, {}, [b])
+        log.record_rewrite("egd_0", "e", null1, null2, [], {})
+        merged = Fact("T", (constant("a"), null2))
+        derivations = log.derivations_for(merged)
+        assert {d.rule_id for d in derivations} == {"tgd_0", "tgd_1"}
+
+    def test_substitution_after_composes_chains(self):
+        log = ProvenanceLog()
+        n1, n2, n3 = LabeledNull(1), LabeledNull(2), LabeledNull(3)
+        log.record_rewrite("e1", "t", n1, n2, [], {})
+        log.record_rewrite("e2", "t", n2, n3, [], {})
+        assert log.substitution_after(-1) == {n1: n3, n2: n3}
+        assert log.substitution_after(0) == {n2: n3}
+        assert log.substitution_after(1) == {}
+
+
+class TestSeams:
+    def test_map_values_relabels_everything(self):
+        log = ProvenanceLog()
+        null = LabeledNull(0)
+        derived = Fact("T", (constant("a"), null))
+        log.record_firing(
+            "tgd_0", "r", "st_tgds", [fact("S", "a")], {"x": constant("a")},
+            {"y": null}, [derived],
+        )
+        fresh = LabeledNull(100)
+        mapped = log.map_values({null: fresh})
+        relabeled = Fact("T", (constant("a"), fresh))
+        (derivation,) = mapped.derivations_for(relabeled)
+        assert derivation.fact == relabeled
+        assert dict(derivation.existentials) == {"y": fresh}
+        # The original log is untouched.
+        assert log.derivations_for(derived)
+
+    def test_absorb_renumbers_steps_and_merges_index(self):
+        a, b = ProvenanceLog(), ProvenanceLog()
+        fa = record_simple_firing(a, rel="A")
+        fb = record_simple_firing(b, rel="B", rule_id="tgd_9")
+        a.absorb(b)
+        assert len(a) == 2
+        assert a.derivations_for(fa) and a.derivations_for(fb)
+        steps = [d.step for d in a.derivations]
+        assert steps == sorted(steps) and len(set(steps)) == 2
+
+    def test_copy_is_independent(self):
+        log = ProvenanceLog()
+        record_simple_firing(log)
+        dup = log.copy()
+        record_simple_firing(dup, rel="U")
+        assert len(log) == 1 and len(dup) == 2
+
+    def test_json_round_trip(self):
+        log = ProvenanceLog()
+        null1, null2 = LabeledNull(1), LabeledNull(2)
+        f1 = Fact("T", (constant("a"), null1))
+        log.record_firing("tgd_0", "r", "st_tgds", [fact("S", "a")],
+                          {"x": constant("a")}, {"y": null1}, [f1])
+        log.record_rewrite("egd_0", "e", null1, null2, [fact("T", "a", "b")], {})
+        restored = ProvenanceLog.from_json_text(log.to_json_text())
+        assert restored.derivations == log.derivations
+        assert restored.rewrites == log.rewrites
+        current = Fact("T", (constant("a"), null2))
+        assert restored.derivations_for(current)
+
+    def test_record_dicts_are_typed(self):
+        log = ProvenanceLog()
+        record_simple_firing(log)
+        log.record_rewrite("egd_0", "e", LabeledNull(1), LabeledNull(2), [], {})
+        kinds = [record["type"] for record in log.record_dicts()]
+        assert kinds == ["derivation", "rewrite"]
+
+
+class TestModelHelpers:
+    def test_named_values_sorts_by_name(self):
+        named = named_values({"b": constant(2), "a": constant(1)})
+        assert [name for name, _ in named] == ["a", "b"]
+
+    def test_format_fact(self):
+        assert format_fact(fact("T", "a", 1)) == "T('a', 1)"
+
+    def test_fact_in_handles_unknown_relation(self):
+        inst = instance(schema(relation("S", "x")), {"S": [["a"]]})
+        assert fact_in(inst, fact("S", "a"))
+        assert not fact_in(inst, fact("S", "zz"))
+        assert not fact_in(inst, fact("Nope", "a"))

@@ -144,3 +144,40 @@ class TestServeBench:
         assert code == 0
         assert "serve-bench:" in out.out
         assert "clean_shutdown: True" in out.out
+
+
+class TestLatencyReport:
+    def test_percentiles_and_throughput_keys(self, files, capsys):
+        code, out = run(
+            capsys,
+            "serve-bench",
+            "--schemas", files["schemas"],
+            "--mapping", files["mapping"],
+            "--requests", "5",
+            "--json",
+        )
+        assert code == 0
+        report = json.loads(out.out)
+        p50, p95, p99 = (
+            report["latency_p50_ms"],
+            report["latency_p95_ms"],
+            report["latency_p99_ms"],
+        )
+        assert 0 < p50 <= p95 <= p99
+        assert report["throughput_rps"] > 0
+
+    def test_bench_out_writes_report_file(self, files, capsys, tmp_path):
+        out_file = tmp_path / "BENCH_service.json"
+        code, out = run(
+            capsys,
+            "serve-bench",
+            "--schemas", files["schemas"],
+            "--mapping", files["mapping"],
+            "--requests", "3",
+            "--json",
+            "--bench-out", str(out_file),
+        )
+        assert code == 0
+        written = json.loads(out_file.read_text())
+        assert written == json.loads(out.out)
+        assert "latency_p99_ms" in written and "throughput_rps" in written
