@@ -1,0 +1,153 @@
+"""Pipeline collapse: one composed chase vs n materialized hops.
+
+The optimizer's headline rewrite — collapsing a pipeline of composable
+mappings into one mapping chased once (``repro optimize --pipeline``) —
+is only worth shipping if the collapsed chase actually beats the n-hop
+exchange.  This benchmark builds a pipeline of 5 copy stages (each with
+a redundant existential tgd, so pruning participates too), materializes
+the exchange hop by hop, then runs the optimizer's plan (one stage, one
+tgd after prune) and chases the composed mapping once on the same
+sources.
+
+The one-off ``optimize_ms`` (analysis + chase verification) is reported
+separately: it is paid once per mapping, not per exchange, so the
+per-exchange comparison is ``n_hop_ms`` vs ``collapsed_ms``.
+
+Results go to ``BENCH_optimize.json``; ``--check-speedup X`` exits
+non-zero when the collapsed chase is not at least ``X``× faster at the
+largest size (the CI guard uses 1.0 — collapsed must not lose).
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_optimize.py
+    PYTHONPATH=src python benchmarks/bench_optimize.py \
+        --sizes 200 1000 --repeat 3 --check-speedup 1.0
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.mapping import SchemaMapping, universal_solution
+from repro.optimize import optimize_pipeline
+from repro.relational import instance, relation, schema
+from repro.stats import Statistics
+
+N_STAGES = 5
+
+
+def build_pipeline(n_stages: int = N_STAGES) -> list[SchemaMapping]:
+    """n copy stages R0 → R1 → … → Rn, each with a redundant companion tgd."""
+    schemas = [
+        schema(relation(f"R{i}", "a", "b")) for i in range(n_stages + 1)
+    ]
+    return [
+        SchemaMapping.parse(
+            schemas[i],
+            schemas[i + 1],
+            f"R{i}(x, y) -> R{i + 1}(x, y)\n"
+            f"R{i}(x, y) -> exists z . R{i + 1}(x, z)",
+        )
+        for i in range(n_stages)
+    ]
+
+
+def build_source(stages, size: int):
+    return instance(
+        stages[0].source, {"R0": [[f"k{i}", f"v{i}"] for i in range(size)]}
+    )
+
+
+def n_hop(stages, source):
+    current = source
+    for stage in stages:
+        current = universal_solution(stage, current.cast(stage.source))
+    return current
+
+
+def timed(fn, repeat: int) -> float:
+    samples = []
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return min(samples)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=int, nargs="+", default=[200, 1000])
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument(
+        "--check-speedup",
+        type=float,
+        metavar="X",
+        help="exit 1 unless collapsed is ≥X× faster at the largest size",
+    )
+    parser.add_argument("--out", default="BENCH_optimize.json")
+    args = parser.parse_args(argv)
+
+    stages = build_pipeline()
+    optimize_started = time.perf_counter()
+    plan = optimize_pipeline(
+        stages, Statistics.assumed(stages[0].source), verify_rows=6
+    )
+    optimize_ms = (time.perf_counter() - optimize_started) * 1000
+    if not plan.verification.get("equivalent"):
+        print("FATAL: optimizer rewrite failed its own chase verification")
+        return 1
+
+    results = []
+    for size in args.sizes:
+        source = build_source(stages, size)
+        n_hop_s = timed(lambda: n_hop(stages, source), args.repeat)
+        collapsed_s = timed(lambda: n_hop(plan.optimized, source), args.repeat)
+        results.append(
+            {
+                "size": size,
+                "n_hop_ms": round(n_hop_s * 1000, 3),
+                "collapsed_ms": round(collapsed_s * 1000, 3),
+                "speedup": round(n_hop_s / collapsed_s, 2)
+                if collapsed_s > 0
+                else float("inf"),
+            }
+        )
+        print(
+            f"size {size:>6}: n-hop {n_hop_s * 1000:8.2f} ms | collapsed "
+            f"{collapsed_s * 1000:8.2f} ms | speedup {results[-1]['speedup']:5.2f}x"
+        )
+
+    payload = {
+        "workload": f"pipeline-of-{N_STAGES} copy stages, redundant tgd per stage",
+        "stages_before": len(plan.original),
+        "stages_after": len(plan.optimized),
+        "tgds_before": sum(len(s.tgds) for s in plan.original),
+        "tgds_after": sum(len(s.tgds) for s in plan.optimized),
+        "estimated_cost_before": plan.cost_before,
+        "estimated_cost_after": plan.cost_after,
+        "optimize_ms": round(optimize_ms, 3),
+        "verified": plan.verification,
+        "repeat": args.repeat,
+        "results": results,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.check_speedup is not None:
+        final = results[-1]
+        if final["speedup"] < args.check_speedup:
+            print(
+                f"FAIL: speedup {final['speedup']}x below the "
+                f"{args.check_speedup}x guard at size {final['size']}"
+            )
+            return 1
+        print(f"OK: speedup {final['speedup']}x ≥ {args.check_speedup}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

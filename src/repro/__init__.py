@@ -57,13 +57,25 @@ from .mapping import (
     chase,
     compose,
     compose_sotgd,
+    compose_with_constraints,
     core_universal_solution,
+    equivalent,
     evolve_source,
+    is_contained_in,
     is_recovery,
     maximum_recovery,
+    prune_redundant,
     recovered_sources,
+    redundant_tgds,
     subset_property_violations,
     universal_solution,
+)
+from .optimize import (
+    EvolutionDecision,
+    RewritePlan,
+    choose_evolution_strategy,
+    optimize_mapping,
+    optimize_pipeline,
 )
 from .lenses import (
     Lens,
@@ -146,6 +158,7 @@ __all__ = [
     "ConstantPolicy",
     "Diagnostic",
     "EnvironmentPolicy",
+    "EvolutionDecision",
     "ExchangeEngine",
     "ExchangeLens",
     "ExchangeOptions",
@@ -175,6 +188,7 @@ __all__ = [
     "ReplayReport",
     "ResumptionToken",
     "RetryPolicy",
+    "RewritePlan",
     "SOMapping",
     "Scenario",
     "Schema",
@@ -199,22 +213,30 @@ __all__ = [
     "check_completeness",
     "check_symmetric_laws",
     "check_well_behaved",
+    "choose_evolution_strategy",
     "compose",
     "compose_sotgd",
+    "compose_with_constraints",
     "composition_obstructions",
     "constant",
     "core",
     "core_universal_solution",
     "empty_instance",
+    "equivalent",
     "evolve_source",
     "fault_injection",
     "find_homomorphism",
     "homomorphically_equivalent",
     "instance",
+    "is_contained_in",
     "is_homomorphic",
     "is_recovery",
     "maximum_recovery",
+    "optimize_mapping",
+    "optimize_pipeline",
+    "prune_redundant",
     "recovered_sources",
+    "redundant_tgds",
     "relation",
     "render_metrics",
     "render_trace",

@@ -13,10 +13,22 @@ with stable ``RAxxx`` codes, severities, and source spans.  Entry points:
 See docs/ANALYSIS.md for the full diagnostic-code table.
 """
 
+from .algebra import (
+    containment_diagnostics,
+    evolution_diagnostics,
+    pipeline_diagnostics,
+)
 from .bundle import AnalysisBundle, TemplateCheck
 from .composability import composition_obstructions
 from .diagnostics import AnalysisReport, Diagnostic, Severity, Span
-from .registry import AnalysisPass, all_passes, analyze, analyze_mapping, get_pass
+from .registry import (
+    AnalysisPass,
+    all_passes,
+    analyze,
+    analyze_mapping,
+    get_pass,
+    normalize_code_filters,
+)
 
 __all__ = [
     "AnalysisBundle",
@@ -30,5 +42,9 @@ __all__ = [
     "analyze",
     "analyze_mapping",
     "composition_obstructions",
+    "containment_diagnostics",
+    "evolution_diagnostics",
     "get_pass",
+    "normalize_code_filters",
+    "pipeline_diagnostics",
 ]

@@ -1,0 +1,302 @@
+"""Mapping-algebra analysis (codes RA601–RA614).
+
+Unlike the syntactic passes, this one *reasons*: it runs the chase-based
+implication test of :mod:`repro.mapping.containment` (Calì & Torlone) to
+find semantically redundant tgds, and the real composition procedure
+(with the Arenas–Fagin–Nash target-constraint extension) to find
+collapsible pipeline stages.
+
+Bundle pass (runs under ``repro lint``):
+
+* **RA601** (warning) — a tgd is logically implied by the rest of the
+  mapping; ``repro optimize`` can prune it.
+* **RA602** (info) — the implication analysis was skipped (mapping
+  outside the decidable fragment, or too many tgds).
+
+Pairwise / pipeline helpers (library API, used by ``repro optimize``):
+
+* **RA610** (warning) — two mappings over the same schemas are
+  equivalent (one is redundant).
+* **RA611** (info) — one-way containment between two mappings.
+* **RA612** (info) — consecutive pipeline stages compose to first-order
+  st-tgds: the pipeline can be collapsed and chased once.
+* **RA613** (warning) — consecutive stages do **not** collapse; the
+  structured de-Skolemization / mid-constraint obstruction is attached.
+* **RA614** (info) — an evolution mapping is a no-op channel (pure
+  renaming): rebase the base mapping instead of inverting/composing.
+
+The chase behind RA601 runs on canonical (frozen-premise) instances, so
+it is polynomial in the mapping size for weakly acyclic mappings — but
+still far heavier than the syntactic passes; ``repro lint --ignore RA6``
+skips it entirely, and mappings beyond :data:`REDUNDANCY_TGD_LIMIT` tgds
+are skipped automatically with an RA602 notice.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..mapping.composition import CompositionError, compose_with_constraints
+from ..mapping.containment import (
+    ContainmentUndecidable,
+    containment_certificate,
+    redundant_tgds,
+)
+from ..mapping.sttgd import SchemaMapping
+from ..obs import get_tracer
+from .bundle import AnalysisBundle
+from .diagnostics import Diagnostic, Severity
+from .registry import register
+
+#: Beyond this many tgds the O(n²)-chases redundancy analysis is skipped
+#: (RA602); run ``repro optimize`` explicitly for large mappings.
+REDUNDANCY_TGD_LIMIT = 100
+
+
+@register(
+    "algebra",
+    ("RA601", "RA602"),
+    "semantic redundancy via chase-based implication (Calì–Torlone)",
+)
+def check_algebra(bundle: AnalysisBundle) -> list[Diagnostic]:
+    if len(bundle.tgds) < 2:
+        return []
+    if len(bundle.tgds) > REDUNDANCY_TGD_LIMIT:
+        return [
+            Diagnostic(
+                "RA602",
+                Severity.INFO,
+                f"redundancy analysis skipped: {len(bundle.tgds)} tgds exceed "
+                f"the lint limit of {REDUNDANCY_TGD_LIMIT}; run "
+                f"`repro optimize` to analyze large mappings",
+                data={"reason": "too-many-tgds", "tgds": len(bundle.tgds)},
+            )
+        ]
+    try:
+        mapping = SchemaMapping(
+            bundle.source,
+            bundle.target,
+            bundle.tgds,
+            bundle.target_dependencies,
+        )
+    except ValueError:
+        return []  # schema/tgd mismatches are the safety pass's findings
+    with get_tracer().span("analysis.algebra", tgds=len(bundle.tgds)) as span:
+        try:
+            redundant = redundant_tgds(mapping)
+        except ContainmentUndecidable as exc:
+            span.set(outcome="skipped", reason=exc.reason)
+            data: dict = {"reason": exc.reason}
+            if exc.witness is not None:
+                data["witness"] = repr(exc.witness)
+            return [
+                Diagnostic(
+                    "RA602",
+                    Severity.INFO,
+                    f"redundancy analysis skipped: {exc}",
+                    data=data,
+                )
+            ]
+        span.set(outcome="ok", redundant=len(redundant))
+    return [
+        Diagnostic(
+            "RA601",
+            Severity.WARNING,
+            f"{bundle.tgd_label(index)} is implied by the rest of the "
+            f"mapping and can be pruned (`repro optimize` rewrites it away): "
+            f"{mapping.tgds[index].to_text()}",
+            bundle.span_for_tgd(index),
+            data={"tgd": index, "hint": "repro optimize"},
+        )
+        for index in redundant
+    ]
+
+
+def containment_diagnostics(
+    first: SchemaMapping, second: SchemaMapping
+) -> list[Diagnostic]:
+    """Diagnose containment between two mappings over the same schemas.
+
+    Emits RA610 when they are equivalent, RA611 for strict one-way
+    containment, RA602 when the analysis falls outside the decidable
+    fragment, and nothing when the mappings are incomparable.
+    """
+    if first.source != second.source or first.target != second.target:
+        return []
+    try:
+        forward = all(
+            r.implied for r in containment_certificate(first, second)
+        )
+        backward = all(
+            r.implied for r in containment_certificate(second, first)
+        )
+    except ContainmentUndecidable as exc:
+        return [
+            Diagnostic(
+                "RA602",
+                Severity.INFO,
+                f"containment analysis skipped: {exc}",
+                data={"reason": exc.reason},
+                pass_name="algebra",
+            )
+        ]
+    if forward and backward:
+        return [
+            Diagnostic(
+                "RA610",
+                Severity.WARNING,
+                "the two mappings are equivalent (same solutions on every "
+                "source instance); one of them is redundant",
+                data={"direction": "both"},
+                pass_name="algebra",
+            )
+        ]
+    if forward or backward:
+        direction = (
+            "the first is contained in the second"
+            if forward
+            else "the second is contained in the first"
+        )
+        return [
+            Diagnostic(
+                "RA611",
+                Severity.INFO,
+                f"one-way containment: {direction} (every solution of the "
+                f"smaller mapping is a solution of the larger)",
+                data={"direction": "forward" if forward else "backward"},
+                pass_name="algebra",
+            )
+        ]
+    return []
+
+
+def pipeline_diagnostics(stages: Sequence[SchemaMapping]) -> list[Diagnostic]:
+    """Diagnose a pipeline of mappings (stage i's target = stage i+1's source).
+
+    For each consecutive pair: RA612 when the pair composes to first-order
+    st-tgds (collapsible — one chase instead of two hops), RA613 with the
+    structured obstruction when it does not.  Additionally reports
+    containment/equivalence (RA610/RA611) for any two stages that happen
+    to share source and target schemas.
+    """
+    findings: list[Diagnostic] = []
+    for i in range(len(stages) - 1):
+        first, second = stages[i], stages[i + 1]
+        if first.target != second.source:
+            findings.append(
+                Diagnostic(
+                    "RA613",
+                    Severity.WARNING,
+                    f"stages {i} and {i + 1} do not chain: stage {i}'s "
+                    f"target schema differs from stage {i + 1}'s source",
+                    data={"stages": [i, i + 1], "obstruction": None},
+                    pass_name="algebra",
+                )
+            )
+            continue
+        try:
+            composed = compose_with_constraints(first, second)
+        except CompositionError as error:
+            findings.append(
+                Diagnostic(
+                    "RA613",
+                    Severity.WARNING,
+                    f"stages {i} and {i + 1} do not collapse to st-tgds: "
+                    f"{error}",
+                    data={
+                        "stages": [i, i + 1],
+                        "obstruction": (
+                            error.obstruction.as_dict()
+                            if error.obstruction
+                            else None
+                        ),
+                    },
+                    pass_name="algebra",
+                )
+            )
+        else:
+            findings.append(
+                Diagnostic(
+                    "RA612",
+                    Severity.INFO,
+                    f"stages {i} and {i + 1} compose to {len(composed.tgds)} "
+                    f"first-order tgd(s); `repro optimize --pipeline` can "
+                    f"collapse them into one chase",
+                    data={"stages": [i, i + 1], "tgds": len(composed.tgds)},
+                    pass_name="algebra",
+                )
+            )
+    for i in range(len(stages)):
+        for j in range(i + 1, len(stages)):
+            for diagnostic in containment_diagnostics(stages[i], stages[j]):
+                findings.append(
+                    Diagnostic(
+                        diagnostic.code,
+                        diagnostic.severity,
+                        f"stages {i} and {j}: {diagnostic.message}",
+                        diagnostic.span,
+                        diagnostic.pass_name,
+                        {**diagnostic.data, "stages": [i, j]},
+                    )
+                )
+    return findings
+
+
+def evolution_diagnostics(
+    base: SchemaMapping, evolution: SchemaMapping
+) -> list[Diagnostic]:
+    """Diagnose a schema-evolution step against its base mapping.
+
+    RA614 (info) when *evolution* is a no-op channel — a pure positional
+    renaming of the base mapping's source schema.  Adapting the mapping is
+    then a rebase (rename relations in the premises); both invert∘compose
+    and channel propagation would only burn chase cycles to discover the
+    same thing.
+    """
+    if evolution.source != base.source:
+        return []
+    if not _is_pure_rename(evolution):
+        return []
+    return [
+        Diagnostic(
+            "RA614",
+            Severity.INFO,
+            "evolution is a no-op channel: every source relation is copied "
+            "positionally (pure rename); rebase the mapping's premises "
+            "instead of inverting and composing",
+            data={
+                "renames": {
+                    tgd.premise.atoms()[0].relation: tgd.conclusion.atoms()[0].relation
+                    for tgd in evolution.tgds
+                }
+            },
+            pass_name="algebra",
+        )
+    ]
+
+
+def _is_pure_rename(evolution: SchemaMapping) -> bool:
+    """Whether every source relation is copied positionally, exactly once."""
+    copied: set[str] = set()
+    for tgd in evolution.tgds:
+        premise_atoms = tgd.premise.atoms()
+        conclusion_atoms = tgd.conclusion.atoms()
+        if len(premise_atoms) != 1 or len(premise_atoms) != len(
+            tgd.premise.literals
+        ):
+            return False
+        if len(conclusion_atoms) != 1 or len(conclusion_atoms) != len(
+            tgd.conclusion.literals
+        ):
+            return False
+        if tgd.existential_variables:
+            return False
+        src, dst = premise_atoms[0], conclusion_atoms[0]
+        if src.terms != dst.terms:
+            return False
+        if len(set(src.terms)) != len(src.terms):
+            return False
+        if src.relation in copied:
+            return False
+        copied.add(src.relation)
+    return copied == set(evolution.source.relation_names)

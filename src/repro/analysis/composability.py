@@ -83,7 +83,12 @@ def composition_obstructions(
                 Severity.WARNING,
                 f"composition leaves the st-tgd fragment and requires "
                 f"SO-tgds: {error}",
-                data={"clauses": len(so.clauses)},
+                data={
+                    "clauses": len(so.clauses),
+                    "obstruction": (
+                        error.obstruction.as_dict() if error.obstruction else None
+                    ),
+                },
             )
         ]
     return [

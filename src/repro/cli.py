@@ -16,7 +16,12 @@ Usage (also via ``python -m repro``)::
     repro profile   --schemas schemas.json --mapping mapping.tgd \
                     --data source.json [--workers N]  # span tree + metrics
     repro lint      --schemas schemas.json --mapping mapping.tgd \
-                    [--target-deps deps.tgd] [--json]   # static analysis
+                    [--target-deps deps.tgd] [--json] \
+                    [--select RA6] [--ignore RA102]     # static analysis
+    repro optimize  --schemas schemas.json --mapping mapping.tgd \
+                    [--target-deps deps.tgd] [--json] [--apply OUT]
+    repro optimize  --pipeline pipeline.json [--json] [--apply OUT]
+                    # chase-verified rewrite plan (prune + collapse)
     repro explain   --schemas schemas.json --mapping mapping.tgd \
                     --data source.json [--fact 'Rel(_, "v")'] \
                     [--limit N] [--json]          # why-trees per fact
@@ -60,10 +65,20 @@ import random
 import re
 import sys
 import time
+from dataclasses import replace
 from pathlib import Path
 from typing import Sequence
 
-from .analysis import AnalysisBundle, AnalysisReport, Diagnostic, Severity, analyze
+from .analysis import (
+    AnalysisBundle,
+    AnalysisReport,
+    Diagnostic,
+    Severity,
+    analyze,
+    normalize_code_filters,
+    pipeline_diagnostics,
+)
+from .analysis.registry import code_matches
 from .budget import BudgetExceeded
 from .compiler import ExchangeEngine, check_completeness
 from .logic.parser import ParseError, parse_rules_spanned
@@ -84,6 +99,7 @@ from .obs import (
     write_json_lines,
 )
 from .obs.export import write_provenance_json_lines
+from .optimize import optimize_mapping, optimize_pipeline
 from .options import DEFAULT_MAX_STEPS, ExchangeOptions
 from .provenance import Solution, format_fact
 from .relational import (
@@ -419,6 +435,19 @@ def cmd_lint(args: argparse.Namespace) -> int:
             except ValueError as exc:
                 diagnostics.append(_parse_diagnostic(exc, args.target_deps))
 
+    try:
+        select = normalize_code_filters(args.select) if args.select else None
+        ignore = normalize_code_filters(args.ignore) if args.ignore else None
+    except ValueError as exc:
+        raise CliError(str(exc))
+    if select or ignore:
+        # RA000 parse diagnostics bypass the analyser, so filter them here.
+        diagnostics = [
+            d
+            for d in diagnostics
+            if code_matches(d.code, select or (), ignore or ())
+        ]
+
     bundle = AnalysisBundle(
         source_schema,
         target_schema,
@@ -427,12 +456,168 @@ def cmd_lint(args: argparse.Namespace) -> int:
         dependencies,
         dependency_spans,
     )
-    report = analyze(bundle).merged_with(AnalysisReport(diagnostics))
+    report = analyze(bundle, select=select, ignore=ignore).merged_with(
+        AnalysisReport(diagnostics)
+    )
     if args.json:
         print(report.to_json())
     else:
         print(report.render())
     return report.exit_code()
+
+
+def _load_dependencies(path: str) -> list:
+    """Target dependencies (egds / target tgds), one rule per line."""
+    try:
+        text = Path(path).read_text()
+    except FileNotFoundError:
+        raise CliError(f"file not found: {path}")
+    dependencies = []
+    try:
+        for item in parse_rules_spanned(text, source=path):
+            dependencies.append(target_dependency_from_rule(item.rule))
+    except (ParseError, ValueError) as exc:
+        raise CliError(f"bad target dependencies in {path}: {exc}")
+    return dependencies
+
+
+def _load_stage(
+    schemas_path: str, mapping_path: str, deps_path: str | None
+) -> SchemaMapping:
+    """One pipeline stage: schemas + tgds + optional target dependencies."""
+    source_schema, target_schema = load_schemas(schemas_path)
+    mapping = load_mapping(mapping_path, source_schema, target_schema)
+    if deps_path:
+        try:
+            mapping = SchemaMapping(
+                source_schema,
+                target_schema,
+                mapping.tgds,
+                _load_dependencies(deps_path),
+            )
+        except ValueError as exc:
+            raise CliError(f"bad target dependencies in {deps_path}: {exc}")
+    return mapping
+
+
+def _load_pipeline_spec(path: str) -> tuple[list[SchemaMapping], str | None]:
+    """A pipeline spec file: ``{"stages": [{"schemas": ..., "mapping": ...,
+    "target_deps": ...}, ...], "data": ...}``; paths resolve relative to
+    the spec file so specs can live next to their inputs."""
+    data = _load_json(path)
+    if not isinstance(data, dict) or not isinstance(data.get("stages"), list):
+        raise CliError(f'{path} must contain {{"stages": [...]}}')
+    if not data["stages"]:
+        raise CliError(f"{path} lists no stages")
+    here = Path(path).parent
+
+    def resolve(value: object, what: str) -> str:
+        if not isinstance(value, str):
+            raise CliError(f"{path}: stage {what} must be a path string")
+        return str(here / value)
+
+    stages = []
+    for index, entry in enumerate(data["stages"]):
+        if not isinstance(entry, dict) or "schemas" not in entry or "mapping" not in entry:
+            raise CliError(
+                f"{path}: stage {index} needs \"schemas\" and \"mapping\" keys"
+            )
+        deps = entry.get("target_deps")
+        stages.append(
+            _load_stage(
+                resolve(entry["schemas"], f"{index} schemas"),
+                resolve(entry["mapping"], f"{index} mapping"),
+                resolve(deps, f"{index} target_deps") if deps else None,
+            )
+        )
+    data_path = data.get("data")
+    return stages, (resolve(data_path, "data") if data_path else None)
+
+
+def _apply_plan(plan, out: str) -> None:
+    """Write the optimized stages' tgd text; one file per stage."""
+    paths = (
+        [out]
+        if len(plan.optimized) == 1
+        else [f"{out}.stage{i}" for i in range(len(plan.optimized))]
+    )
+    for stage, stage_path in zip(plan.optimized, paths):
+        text = "\n".join(t.to_text() for t in stage.tgds)
+        try:
+            Path(stage_path).write_text(text + "\n")
+        except OSError as exc:
+            raise CliError(f"cannot write mapping to {stage_path}: {exc}")
+        print(
+            f"wrote {len(stage.tgds)} tgd(s) to {stage_path}", file=sys.stderr
+        )
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    """Build (and optionally apply) a chase-verified rewrite plan.
+
+    Single-mapping mode (``--schemas``/``--mapping``) prunes redundant
+    tgds; pipeline mode (``--pipeline spec.json``) additionally collapses
+    composable stages into one mapping chased once.  Every rewrite is
+    chase-verified on generated instances before being suggested (disable
+    with ``--no-verify``); refuted rewrites are abandoned, so ``--apply``
+    never writes an unverified mapping.
+    """
+    data_path = args.data
+    if args.pipeline:
+        if args.schemas or args.mapping or args.target_deps:
+            raise CliError(
+                "--pipeline replaces --schemas/--mapping/--target-deps "
+                "(stage inputs live in the spec file)"
+            )
+        stages, spec_data = _load_pipeline_spec(args.pipeline)
+        data_path = data_path or spec_data
+    else:
+        if not args.schemas or not args.mapping:
+            raise CliError(
+                "optimize needs --schemas and --mapping, or --pipeline"
+            )
+        stages = [_load_stage(args.schemas, args.mapping, args.target_deps)]
+
+    statistics = None
+    if data_path:
+        statistics = Statistics.gather(
+            load_instance(data_path, stages[0].source, "source")
+        )
+
+    seeds = tuple(range(max(args.verify_seeds, 1)))
+    max_steps = args.max_steps or DEFAULT_MAX_STEPS
+    try:
+        if args.pipeline:
+            plan = optimize_pipeline(
+                stages,
+                statistics,
+                verify=not args.no_verify,
+                verify_seeds=seeds,
+                verify_rows=args.verify_rows,
+                max_steps=max_steps,
+            )
+            plan = replace(
+                plan, diagnostics=tuple(pipeline_diagnostics(stages))
+            )
+        else:
+            plan = optimize_mapping(
+                stages[0],
+                statistics,
+                verify=not args.no_verify,
+                verify_seeds=seeds,
+                verify_rows=args.verify_rows,
+                max_steps=max_steps,
+            )
+    except ValueError as exc:
+        raise CliError(str(exc))
+
+    if args.json:
+        print(plan.to_json())
+    else:
+        print(plan.render())
+    if args.apply:
+        _apply_plan(plan, args.apply)
+    return 0
 
 
 _FACT_PATTERN = re.compile(r"^\s*([A-Za-z_][A-Za-z0-9_]*)\s*\((.*)\)\s*$", re.S)
@@ -670,19 +855,21 @@ def build_parser() -> argparse.ArgumentParser:
     # subcommand spells inputs, tracing, and execution limits the same
     # way.  The options parent mirrors the ExchangeOptions fields
     # one-to-one (--max-facts → max_facts, ...); see _options_from_args.
-    base = argparse.ArgumentParser(add_help=False)
-    base.add_argument("--schemas", required=True, help="schemas JSON file")
-    base.add_argument("--mapping", required=True, help="tgd text file")
-    base.add_argument(
+    tracing = argparse.ArgumentParser(add_help=False)
+    tracing.add_argument(
         "--trace",
         action="store_true",
         help="print the span tree and metric summary to stderr",
     )
-    base.add_argument(
+    tracing.add_argument(
         "--trace-json",
         metavar="FILE",
         help="write the trace as JSON lines to FILE",
     )
+
+    base = argparse.ArgumentParser(add_help=False, parents=[tracing])
+    base.add_argument("--schemas", required=True, help="schemas JSON file")
+    base.add_argument("--mapping", required=True, help="tgd text file")
 
     data = argparse.ArgumentParser(add_help=False)
     data.add_argument("--data", required=True, help="source instance JSON")
@@ -792,7 +979,84 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the report as JSON (see docs/ANALYSIS.md for the shape)",
     )
+    p.add_argument(
+        "--select",
+        action="append",
+        metavar="CODES",
+        help="only report these codes (comma-separated, prefix match: "
+        "RA6 selects all RA6xx); repeatable",
+    )
+    p.add_argument(
+        "--ignore",
+        action="append",
+        metavar="CODES",
+        help="suppress these codes (comma-separated, prefix match); "
+        "repeatable, applied after --select",
+    )
     p.set_defaults(handler=cmd_lint)
+
+    p = sub.add_parser(
+        "optimize",
+        parents=[tracing],
+        help="chase-verified rewrite plan: prune redundant tgds, collapse "
+        "pipeline stages into one composed chase",
+    )
+    p.add_argument("--schemas", help="schemas JSON file (single-mapping mode)")
+    p.add_argument("--mapping", help="tgd text file (single-mapping mode)")
+    p.add_argument(
+        "--target-deps",
+        metavar="FILE",
+        help="target dependencies (egds / target tgds), one rule per line",
+    )
+    p.add_argument(
+        "--pipeline",
+        metavar="SPEC",
+        help='pipeline spec JSON {"stages": [{"schemas": ..., "mapping": ..., '
+        '"target_deps": ...}, ...], "data": ...}; paths resolve relative to '
+        "the spec file",
+    )
+    p.add_argument(
+        "--data",
+        help="source instance JSON for cost statistics (default: assumed "
+        "cardinalities)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the rewrite plan as JSON (stable keys; see docs/ANALYSIS.md)",
+    )
+    p.add_argument(
+        "--apply",
+        metavar="OUT",
+        help="write the optimized mapping's tgd text to OUT "
+        "(OUT.stageN per stage when a pipeline keeps several)",
+    )
+    p.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the chase cross-check (faster; rewrites stay unverified)",
+    )
+    p.add_argument(
+        "--verify-seeds",
+        type=int,
+        default=2,
+        metavar="N",
+        help="verify on N generated source instances (default 2)",
+    )
+    p.add_argument(
+        "--verify-rows",
+        type=int,
+        default=6,
+        metavar="N",
+        help="rows per relation in generated verification instances (default 6)",
+    )
+    p.add_argument(
+        "--max-steps",
+        type=int,
+        metavar="N",
+        help=f"chase step cap for implication tests (default {DEFAULT_MAX_STEPS})",
+    )
+    p.set_defaults(handler=cmd_optimize)
 
     p = sub.add_parser(
         "explain",

@@ -33,9 +33,23 @@ from .sotgd import SOClause, SOMapping
 from .certain import certain_answers, certain_answers_on_solution, naive_answers
 from .composition import (
     CompositionError,
+    CompositionObstruction,
     compose,
     compose_sotgd,
+    compose_with_constraints,
     skolemize,
+)
+from .containment import (
+    ContainmentUndecidable,
+    SaturationUnsupported,
+    containment_certificate,
+    equivalent,
+    implies_st_tgd,
+    implies_target_dependency,
+    is_contained_in,
+    prune_redundant,
+    redundant_tgds,
+    saturate,
 )
 from .inversion import (
     DisjunctiveMapping,
@@ -76,6 +90,8 @@ __all__ = [
     "ChaseStatistics",
     "ChaseVariant",
     "CompositionError",
+    "CompositionObstruction",
+    "ContainmentUndecidable",
     "CorrespondenceBuilder",
     "CorrespondenceError",
     "DisjunctiveMapping",
@@ -84,6 +100,7 @@ __all__ = [
     "EvolutionAmbiguity",
     "EvolvedMapping",
     "InversionError",
+    "SaturationUnsupported",
     "SOClause",
     "SOMapping",
     "SchemaMapping",
@@ -97,10 +114,16 @@ __all__ = [
     "chase_target_dependencies",
     "compose",
     "compose_sotgd",
+    "compose_with_constraints",
+    "containment_certificate",
     "core_universal_solution",
     "data_exchange_equivalent",
     "egd_from_fd",
     "egd_from_key",
+    "equivalent",
+    "implies_st_tgd",
+    "implies_target_dependency",
+    "is_contained_in",
     "evolution_is_ambiguous",
     "equivalence_classes",
     "evolve_source",
@@ -111,8 +134,11 @@ __all__ = [
     "is_weakly_acyclic",
     "maximum_recovery",
     "naive_answers",
+    "prune_redundant",
     "recovered_sources",
     "recovery_to_sttgds",
+    "redundant_tgds",
+    "saturate",
     "skolemize",
     "solution_space_contains",
     "solution_space_sample",

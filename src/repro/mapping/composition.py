@@ -21,14 +21,75 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from ..logic.formulas import Atom, Conjunction, Equality, Literal
-from ..logic.terms import Const, FuncTerm, Term, Var, substitute_term, variables_of
+from ..logic.terms import (
+    Const,
+    FuncTerm,
+    Term,
+    Var,
+    functions_of,
+    substitute_term,
+    variables_of,
+)
 from ..relational.schema import Schema
 from .sotgd import SOClause, SOMapping
 from .sttgd import SchemaMapping, StTgd
 
 
+@dataclass(frozen=True)
+class CompositionObstruction:
+    """A structured reason why a composition is not expressible in st-tgds.
+
+    ``kind`` is a stable machine-readable tag:
+
+    * ``"premise-function"`` — a Skolem term leaked into a clause premise;
+      the clause genuinely quantifies over a function.
+    * ``"shared-function"`` — one function symbol occurs in several
+      clauses; independent existentials cannot express the forced value
+      sharing.
+    * ``"entangled-function"`` — one function symbol occurs in two
+      *distinct* terms of a single clause (e.g. ``f(x)`` and ``f(y)``
+      after matching repeated variables); de-Skolemizing each occurrence
+      to its own existential loses the functionality constraint.
+    * ``"partial-arguments"`` — a Skolem term's arguments do not cover
+      every universal variable of its clause's conclusion, so the SO
+      semantics shares one value across firings that independent
+      existentials would keep distinct.
+    * ``"mid-constraints"`` — the first mapping carries intermediate-schema
+      constraints outside the symbolically composable fragment
+      (Arenas–Fagin–Nash): egds or joint-premise target tgds.
+
+    ``function`` names the offending Skolem symbol (when there is one),
+    ``clause`` the 0-based clause index (-1 when not clause-specific).
+    """
+
+    kind: str
+    detail: str
+    function: str = ""
+    clause: int = -1
+
+    def as_dict(self) -> dict:
+        out: dict = {"kind": self.kind, "detail": self.detail}
+        if self.function:
+            out["function"] = self.function
+        if self.clause >= 0:
+            out["clause"] = self.clause
+        return out
+
+
 class CompositionError(ValueError):
-    """Raised when mappings cannot be composed (schema mismatch)."""
+    """Raised when mappings cannot be composed.
+
+    ``obstruction`` carries a :class:`CompositionObstruction` when the
+    failure is a de-Skolemization / expressibility obstruction (so the
+    RA2xx/RA6xx analysis passes can report it structurally); it is
+    ``None`` for plain schema mismatches.
+    """
+
+    def __init__(
+        self, message: str, obstruction: CompositionObstruction | None = None
+    ) -> None:
+        super().__init__(message)
+        self.obstruction = obstruction
 
 
 @dataclass(frozen=True)
@@ -235,10 +296,20 @@ def _to_st_tgds(so: SOMapping, source: Schema, target: Schema) -> SchemaMapping:
 
     Function terms that occur **only in conclusion positions of a single
     clause** are re-existentialized: each distinct term becomes one fresh
-    existential variable (de-Skolemization).  Function terms in premises,
-    or shared across clauses (where the SO semantics forces value sharing
-    that independent existentials cannot express), make the result
-    genuinely second-order and raise :class:`CompositionError`.
+    existential variable (de-Skolemization).  That replacement is only an
+    equivalence when the term behaves like a clause-local existential, so
+    four obstructions are checked (and reported structurally via
+    :attr:`CompositionError.obstruction`):
+
+    * function terms in premises — the clause quantifies over a function;
+    * a symbol shared across clauses — forced value sharing;
+    * a symbol occurring in two *distinct* terms of one clause (the
+      repeated-variable case, ``f(x)`` next to ``f(y)``) — independent
+      existentials lose ``x = y ⇒ f(x) = f(y)``;
+    * a term whose arguments miss some universal variable of the clause's
+      conclusion — the SO semantics reuses one value across firings that
+      differ only in the missing variable, while an existential would be
+      fresh per firing.
     """
     clause_of_function: dict[str, int] = {}
     for index, clause in enumerate(so.clauses):
@@ -248,21 +319,42 @@ def _to_st_tgds(so: SOMapping, source: Schema, target: Schema) -> SchemaMapping:
             ):
                 raise CompositionError(
                     "composition produced function terms in a premise; "
-                    "result is not first-order"
+                    "result is not first-order",
+                    CompositionObstruction(
+                        "premise-function",
+                        f"equality {lit!r} relates a Skolem term in clause "
+                        f"{index}; the clause is genuinely second-order",
+                        clause=index,
+                    ),
                 )
             if isinstance(lit, Atom) and any(
                 isinstance(t, FuncTerm) for t in lit.terms
             ):
                 raise CompositionError(
                     "composition produced function terms in a premise; "
-                    "result is not first-order"
+                    "result is not first-order",
+                    CompositionObstruction(
+                        "premise-function",
+                        f"premise atom {lit!r} carries a Skolem term in "
+                        f"clause {index}",
+                        clause=index,
+                    ),
                 )
         for name in clause.functions():
             if clause_of_function.setdefault(name, index) != index:
                 raise CompositionError(
                     f"function symbol {name!r} is shared across clauses; "
-                    f"result is not expressible with st-tgds"
+                    f"result is not expressible with st-tgds",
+                    CompositionObstruction(
+                        "shared-function",
+                        f"function symbol {name!r} occurs in clauses "
+                        f"{clause_of_function[name]} and {index}; independent "
+                        f"existentials cannot express the shared values",
+                        function=name,
+                        clause=index,
+                    ),
                 )
+        _check_deskolemizable(clause, index)
 
     tgds = []
     for index, clause in enumerate(so.clauses):
@@ -283,5 +375,116 @@ def _to_st_tgds(so: SOMapping, source: Schema, target: Schema) -> SchemaMapping:
     return SchemaMapping(source, target, tgds)
 
 
+def _check_deskolemizable(clause: SOClause, index: int) -> None:
+    """Reject within-clause sharing and partial-argument Skolem terms."""
+    maximal: list[FuncTerm] = []
+    seen: set[FuncTerm] = set()
+    for atom_ in clause.conclusion.atoms():
+        for term in atom_.terms:
+            if isinstance(term, FuncTerm) and term not in seen:
+                seen.add(term)
+                maximal.append(term)
+    if not maximal:
+        return
+
+    # One symbol in two distinct maximal terms (f(x) alongside f(y), or
+    # nested sharing like g(f(x)) alongside f(x)): functionality is lost.
+    owner: dict[str, FuncTerm] = {}
+    for term in maximal:
+        for name in functions_of(term):
+            other = owner.setdefault(name, term)
+            if other != term:
+                raise CompositionError(
+                    f"function symbol {name!r} occurs in distinct terms "
+                    f"{other!r} and {term!r} of one clause; independent "
+                    f"existentials cannot express its functionality",
+                    CompositionObstruction(
+                        "entangled-function",
+                        f"clause {index} applies {name!r} in two distinct "
+                        f"terms ({other!r} vs {term!r}); after unifying "
+                        f"arguments their values must coincide, which "
+                        f"independent existentials cannot enforce",
+                        function=name,
+                        clause=index,
+                    ),
+                )
+
+    # Every Skolem term must depend on every universal variable of the
+    # conclusion, else the SO semantics shares one value across firings
+    # that an existential would keep fresh.
+    universal = {
+        v
+        for atom_ in clause.conclusion.atoms()
+        for v in atom_.variables()
+    }
+    for term in maximal:
+        missing = universal - set(variables_of(term))
+        if missing:
+            names = ", ".join(sorted(v.name for v in missing))
+            raise CompositionError(
+                f"Skolem term {term!r} does not depend on conclusion "
+                f"variable(s) {names}; de-Skolemization would be unsound",
+                CompositionObstruction(
+                    "partial-arguments",
+                    f"clause {index}: {term!r} is constant in {names}, so "
+                    f"its value is shared across firings that differ only "
+                    f"there — a fresh existential per firing is weaker",
+                    function=term.function,
+                    clause=index,
+                ),
+            )
+
+
 def _has_function(term: Term) -> bool:
     return isinstance(term, FuncTerm)
+
+
+def compose_with_constraints(
+    first: SchemaMapping, second: SchemaMapping
+) -> SchemaMapping:
+    """Compose two st-tgd mappings that may carry target constraints.
+
+    Extends :func:`compose` along the lines of Arenas–Fagin–Nash,
+    *Composition with Target Constraints*: constraints of *first* live on
+    the intermediate schema and must be folded into the composition,
+    while constraints of *second* live on the final target and simply
+    carry over to the composed mapping.
+
+    The intermediate constraints are handled by *saturating* ``first``
+    (:func:`~repro.mapping.containment.saturate`): each st-tgd's frozen
+    premise is chased to its full canonical conclusion, producing an
+    equivalent constraint-free mapping.  That folding is sound for
+    weakly acyclic, single-atom-premise target tgds (the foreign-key
+    shape); egds and joint premises raise :class:`CompositionError` with
+    a ``"mid-constraints"`` obstruction — the general case genuinely
+    needs second-order machinery, and callers (e.g. ``repro optimize``)
+    fall back to materializing the intermediate hop.
+
+    The result must stay first-order: the saturated first mapping is
+    composed symbolically and de-Skolemized, so any of
+    :func:`_to_st_tgds`'s obstructions may surface here too.
+    """
+    from .containment import ContainmentUndecidable, SaturationUnsupported, saturate
+
+    try:
+        saturated = saturate(first)
+    except SaturationUnsupported as exc:
+        raise CompositionError(
+            f"cannot compose symbolically: {exc}",
+            CompositionObstruction("mid-constraints", str(exc)),
+        ) from exc
+    except ContainmentUndecidable as exc:
+        raise CompositionError(
+            f"cannot compose symbolically: {exc}",
+            CompositionObstruction("mid-constraints", str(exc)),
+        ) from exc
+    so = compose_sotgd(saturated, second)
+    composed = _to_st_tgds(so, first.source, second.target)
+    if second.target_dependencies:
+        composed = SchemaMapping(
+            composed.source,
+            composed.target,
+            composed.tgds,
+            second.target_dependencies,
+        )
+    return composed

@@ -1,0 +1,554 @@
+"""Containment and equivalence of schema mappings, decided by the chase.
+
+Implements the decision procedures of Calì & Torlone, *Containment of
+Schema Mappings for Data Exchange*: a mapping ``M1`` is **contained** in
+``M2`` (``M1 ⊑ M2``) iff ``Sol_M1(I) ⊆ Sol_M2(I)`` for every source
+instance ``I``.  For dependency-based mappings that is exactly logical
+implication of the dependency sets — ``Σ1 ⊨ Σ2`` — so containment
+reduces to checking that every dependency of ``M2`` is implied by
+``M1``'s.
+
+Implication itself is the classic chase test (Beeri–Vardi): *freeze* the
+candidate dependency's premise into a canonical instance (each variable
+becomes a distinct labeled null, so egds may later unify them), chase it
+with the implying dependency set, and check that the conclusion maps
+into the result homomorphically with the frontier pinned to wherever the
+chase took the frozen nulls.
+
+The procedures are decision procedures only on the decidable fragment:
+
+* plain tgds (atom-only premises — no inequalities or constant guards,
+  which would make the canonical-instance test unsound), and
+* weakly acyclic target tgds (so the chase terminates).
+
+Outside that fragment :class:`ContainmentUndecidable` is raised, carrying
+the weak-acyclicity witness cycle when that is the obstruction — callers
+such as the RA6xx analysis passes report it instead of guessing.
+
+:func:`saturate` additionally folds weakly acyclic, single-atom-premise
+target tgds into the st-tgds themselves (by chasing each frozen premise
+to its full canonical conclusion), yielding an equivalent mapping with
+no target dependencies — the building block the composition-with-
+target-constraints extension (Arenas–Fagin–Nash) uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from ..logic.evaluation import satisfiable
+from ..logic.formulas import Atom, Conjunction
+from ..logic.terms import Const, Term, Var
+from ..obs import get_registry, get_tracer
+from ..options import DEFAULT_MAX_STEPS, ExchangeOptions
+from ..relational.instance import Fact, Instance
+from ..relational.schema import RelationSchema, Schema
+from ..relational.values import Constant, LabeledNull, Value, constant, is_null
+from .chase import ChaseFailure, ChaseNonTermination, chase, chase_target_dependencies
+from .dependencies import (
+    Egd,
+    PositionCycle,
+    TargetDependency,
+    TargetTgd,
+    weak_acyclicity_witness,
+)
+from .sttgd import SchemaMapping, StTgd
+
+__all__ = [
+    "ContainmentUndecidable",
+    "SaturationUnsupported",
+    "ImplicationResult",
+    "freeze_conjunction",
+    "implies_st_tgd",
+    "implies_target_dependency",
+    "containment_certificate",
+    "is_contained_in",
+    "equivalent",
+    "redundant_tgds",
+    "prune_redundant",
+    "saturate",
+]
+
+#: Auxiliary relation used to follow frozen frontier nulls through egd
+#: rewrites during the target-dependency chase.
+_TRACK = "__frozen"
+
+
+class ContainmentUndecidable(Exception):
+    """The mapping falls outside the decidable containment fragment.
+
+    ``witness`` carries the :class:`PositionCycle` when the obstruction is
+    a weak-acyclicity failure, else ``None``.  ``reason`` is a short
+    machine-readable tag (``"side-conditions"``, ``"not-weakly-acyclic"``,
+    ``"non-terminating"``, ``"function-terms"``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "unsupported",
+        witness: PositionCycle | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.witness = witness
+
+
+class SaturationUnsupported(Exception):
+    """Target dependencies cannot be folded into the st-tgds.
+
+    Raised by :func:`saturate` for egds or joint (multi-atom) premises,
+    where per-tgd folding would not preserve the mapping's semantics.
+    """
+
+    def __init__(self, message: str, *, reason: str) -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class ImplicationResult:
+    """Outcome of one dependency-implication check inside a certificate."""
+
+    implied: bool
+    kind: str  # "st-tgd" | "egd" | "target-tgd"
+    index: int
+    text: str
+
+    def as_dict(self) -> dict:
+        return {
+            "implied": self.implied,
+            "kind": self.kind,
+            "index": self.index,
+            "text": self.text,
+        }
+
+
+def _plain_premise_atoms(premise: Conjunction, what: str) -> tuple[Atom, ...]:
+    """The premise's atoms, refusing side conditions and function terms."""
+    atoms = premise.atoms()
+    if len(atoms) != len(premise.literals):
+        raise ContainmentUndecidable(
+            f"{what} has non-atom side conditions (equalities, inequalities "
+            f"or constant guards); the canonical-instance implication test "
+            f"is unsound outside plain tgds",
+            reason="side-conditions",
+        )
+    for atom in atoms:
+        for term in atom.terms:
+            if not isinstance(term, (Var, Const)):
+                raise ContainmentUndecidable(
+                    f"{what} contains the function term {term!r}; implication "
+                    f"is only decided for first-order tgds",
+                    reason="function-terms",
+                )
+    return atoms
+
+
+def _assert_plain_tgd(tgd: StTgd, what: str = "tgd") -> None:
+    _plain_premise_atoms(tgd.premise, f"{what} premise")
+    _plain_premise_atoms(tgd.conclusion, f"{what} conclusion")
+
+
+def _assert_decidable(
+    tgds: Sequence[StTgd], dependencies: Sequence[TargetDependency]
+) -> None:
+    for tgd in tgds:
+        _assert_plain_tgd(tgd)
+    for dep in dependencies:
+        _plain_premise_atoms(dep.premise, "target dependency premise")
+        if isinstance(dep, TargetTgd):
+            _plain_premise_atoms(dep.conclusion, "target dependency conclusion")
+    target_tgds = [d for d in dependencies if isinstance(d, TargetTgd)]
+    witness = weak_acyclicity_witness(target_tgds)
+    if witness is not None:
+        raise ContainmentUndecidable(
+            "target tgds are not weakly acyclic; the implication chase may "
+            "not terminate (run `repro lint` for the RA101 witness)",
+            reason="not-weakly-acyclic",
+            witness=witness,
+        )
+
+
+def freeze_conjunction(
+    premise: Conjunction, schema: Schema
+) -> tuple[Instance, dict[Var, LabeledNull]]:
+    """Freeze a premise into its canonical instance.
+
+    Every variable becomes a distinct fresh labeled null (NOT a constant:
+    egds fired later must be free to unify frozen values), constants stay
+    themselves.  Returns the instance and the variable → null binding.
+    """
+    atoms = _plain_premise_atoms(premise, "premise")
+    binding: dict[Var, LabeledNull] = {}
+    facts: list[Fact] = []
+    for atom in atoms:
+        if atom.relation not in schema:
+            raise ContainmentUndecidable(
+                f"premise atom over {atom.relation!r} which is not in the "
+                f"schema; cannot build the canonical instance",
+                reason="unknown-relation",
+            )
+        row: list[Value] = []
+        for term in atom.terms:
+            if isinstance(term, Var):
+                if term not in binding:
+                    binding[term] = LabeledNull(len(binding))
+                row.append(binding[term])
+            else:
+                row.append(constant(term.value))
+        facts.append(Fact(atom.relation, tuple(row)))
+    return Instance(schema, facts), binding
+
+
+def _track_key(variable: Var) -> Constant:
+    return constant(f"var:{variable.name}")
+
+
+def _with_tracker(
+    target: Instance, binding: Mapping[Var, Value]
+) -> Instance:
+    """Augment *target* with ``__frozen(name, value)`` tracking facts.
+
+    Egd steps rewrite values across the whole instance, so after the
+    target-dependency chase the tracking rows tell us where each frozen
+    frontier null ended up — without needing provenance.
+    """
+    if _TRACK in target.schema:  # pragma: no cover - reserved name
+        raise ContainmentUndecidable(
+            f"target schema uses the reserved relation name {_TRACK!r}",
+            reason="reserved-relation",
+        )
+    augmented_schema = target.schema.with_relation(
+        RelationSchema(_TRACK, ["name", "value"])
+    )
+    facts = list(target.facts()) + [
+        Fact(_TRACK, (_track_key(v), value)) for v, value in binding.items()
+    ]
+    return Instance(augmented_schema, facts)
+
+
+def _read_tracker(
+    chased: Instance, binding: Mapping[Var, Value]
+) -> dict[Var, Value]:
+    rows = {row[0]: row[1] for row in chased.rows(_TRACK)}
+    return {v: rows[_track_key(v)] for v in binding}
+
+
+def _chase_with_dependencies(
+    target: Instance,
+    dependencies: Sequence[TargetDependency],
+    frontier: Mapping[Var, Value],
+    max_steps: int,
+) -> tuple[Instance, dict[Var, Value]] | None:
+    """Chase *target* with *dependencies*, following the frontier binding.
+
+    Returns ``(chased, final_frontier)``, or ``None`` when the chase fails
+    (an egd forced two distinct constants equal — the premise is
+    unsatisfiable under the dependencies, so implication holds vacuously).
+    """
+    tracked = _with_tracker(target, frontier)
+    try:
+        chased = chase_target_dependencies(
+            tracked,
+            tuple(dependencies),
+            options=ExchangeOptions(max_steps=max_steps),
+        )
+    except ChaseFailure:
+        return None
+    except ChaseNonTermination as exc:
+        raise ContainmentUndecidable(
+            f"implication chase did not terminate within {max_steps} steps",
+            reason="non-terminating",
+            witness=getattr(exc, "witness", None),
+        ) from exc
+    return chased, _read_tracker(chased, frontier)
+
+
+def implies_st_tgd(
+    mapping: SchemaMapping,
+    tgd: StTgd,
+    *,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> bool:
+    """Whether *mapping*'s dependencies logically imply the st-tgd *tgd*.
+
+    Freeze ``tgd``'s premise over the source schema, chase it with the
+    mapping (st-tgds, then target dependencies), and check the conclusion
+    is satisfiable in the result with the frontier pinned.
+    """
+    _assert_plain_tgd(tgd, "candidate tgd")
+    _assert_decidable(mapping.tgds, mapping.target_dependencies)
+    get_registry().counter("containment.implication_checks").inc()
+    with get_tracer().span("containment.implies", kind="st-tgd") as span:
+        frozen, binding = freeze_conjunction(tgd.premise, mapping.source)
+        st_only = SchemaMapping(mapping.source, mapping.target, mapping.tgds)
+        try:
+            result = chase(
+                st_only, frozen, options=ExchangeOptions(max_steps=max_steps)
+            )
+        except ChaseFailure:
+            span.set(outcome="vacuous")
+            return True
+        except ChaseNonTermination as exc:
+            raise ContainmentUndecidable(
+                f"implication chase did not terminate within {max_steps} steps",
+                reason="non-terminating",
+                witness=getattr(exc, "witness", None),
+            ) from exc
+        target = result.solution
+        frontier = {v: binding[v] for v in tgd.frontier}
+        if mapping.target_dependencies:
+            outcome = _chase_with_dependencies(
+                target, mapping.target_dependencies, frontier, max_steps
+            )
+            if outcome is None:
+                span.set(outcome="vacuous")
+                return True
+            target, frontier = outcome
+        implied = satisfiable(tgd.conclusion, target, seed=frontier)
+        span.set(outcome="implied" if implied else "not-implied")
+        return implied
+
+
+def implies_target_dependency(
+    dependencies: Sequence[TargetDependency],
+    candidate: TargetDependency,
+    target_schema: Schema,
+    *,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> bool:
+    """Whether *dependencies* imply the target dependency *candidate*.
+
+    The candidate's premise is over the target schema, so st-tgds can
+    never fire on its canonical instance — only *dependencies* matter.
+    """
+    _assert_decidable((), tuple(dependencies) + (candidate,))
+    get_registry().counter("containment.implication_checks").inc()
+    kind = "egd" if isinstance(candidate, Egd) else "target-tgd"
+    with get_tracer().span("containment.implies", kind=kind) as span:
+        frozen, binding = freeze_conjunction(candidate.premise, target_schema)
+        if isinstance(candidate, Egd):
+            tracked_vars = [
+                t for t in (candidate.left, candidate.right) if isinstance(t, Var)
+            ]
+        else:
+            tracked_vars = list(candidate.frontier)
+        frontier = {v: binding[v] for v in tracked_vars}
+        outcome = _chase_with_dependencies(
+            frozen, tuple(dependencies), frontier, max_steps
+        )
+        if outcome is None:
+            span.set(outcome="vacuous")
+            return True
+        chased, final = outcome
+        if isinstance(candidate, Egd):
+            left = (
+                final[candidate.left]
+                if isinstance(candidate.left, Var)
+                else constant(candidate.left.value)
+            )
+            right = (
+                final[candidate.right]
+                if isinstance(candidate.right, Var)
+                else constant(candidate.right.value)
+            )
+            implied = left == right
+        else:
+            implied = satisfiable(
+                candidate.conclusion, chased, seed=final
+            )
+        span.set(outcome="implied" if implied else "not-implied")
+        return implied
+
+
+def containment_certificate(
+    first: SchemaMapping,
+    second: SchemaMapping,
+    *,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> list[ImplicationResult]:
+    """Per-dependency implication results witnessing ``first ⊑ second``.
+
+    ``first ⊑ second`` (every solution of *first* is a solution of
+    *second*) holds iff every dependency of *second* is implied by
+    *first*'s dependency set; the certificate lists each check.
+    """
+    if first.source != second.source or first.target != second.target:
+        raise ValueError(
+            "containment is only defined for mappings over the same "
+            "source and target schemas"
+        )
+    results: list[ImplicationResult] = []
+    for i, tgd in enumerate(second.tgds):
+        results.append(
+            ImplicationResult(
+                implies_st_tgd(first, tgd, max_steps=max_steps),
+                "st-tgd",
+                i,
+                tgd.to_text(),
+            )
+        )
+    for i, dep in enumerate(second.target_dependencies):
+        results.append(
+            ImplicationResult(
+                implies_target_dependency(
+                    first.target_dependencies, dep, first.target, max_steps=max_steps
+                ),
+                "egd" if isinstance(dep, Egd) else "target-tgd",
+                i,
+                repr(dep),
+            )
+        )
+    return results
+
+
+def is_contained_in(
+    first: SchemaMapping,
+    second: SchemaMapping,
+    *,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> bool:
+    """Whether ``Sol_first(I) ⊆ Sol_second(I)`` for every source instance."""
+    return all(
+        r.implied
+        for r in containment_certificate(first, second, max_steps=max_steps)
+    )
+
+
+def equivalent(
+    first: SchemaMapping,
+    second: SchemaMapping,
+    *,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> bool:
+    """Whether the two mappings have the same solutions on every source."""
+    return is_contained_in(first, second, max_steps=max_steps) and is_contained_in(
+        second, first, max_steps=max_steps
+    )
+
+
+def redundant_tgds(
+    mapping: SchemaMapping, *, max_steps: int = DEFAULT_MAX_STEPS
+) -> list[int]:
+    """Indices of tgds implied by the rest of the mapping.
+
+    Mutually redundant tgds (e.g. two equivalent copies) are *each*
+    reported; use :func:`prune_redundant` to drop a safe subset.
+    """
+    out: list[int] = []
+    for i in range(len(mapping.tgds)):
+        rest = SchemaMapping(
+            mapping.source,
+            mapping.target,
+            mapping.tgds[:i] + mapping.tgds[i + 1 :],
+            mapping.target_dependencies,
+        )
+        if implies_st_tgd(rest, mapping.tgds[i], max_steps=max_steps):
+            out.append(i)
+    return out
+
+
+def prune_redundant(
+    mapping: SchemaMapping, *, max_steps: int = DEFAULT_MAX_STEPS
+) -> tuple[SchemaMapping, list[int]]:
+    """Greedily drop redundant tgds, preserving equivalence at each step.
+
+    Returns the pruned mapping and the original indices that were dropped.
+    Each drop is individually justified by an implication check against
+    the tgds still kept, so the result is always equivalent to the input
+    (unlike dropping everything :func:`redundant_tgds` reports, which
+    could remove both halves of an equivalent pair).
+    """
+    kept = list(mapping.tgds)
+    pruned: list[int] = []
+    for index, tgd in enumerate(mapping.tgds):
+        if tgd not in kept:
+            continue
+        candidate_rest = [t for t in kept if t is not tgd]
+        rest = SchemaMapping(
+            mapping.source, mapping.target, candidate_rest, mapping.target_dependencies
+        )
+        if implies_st_tgd(rest, tgd, max_steps=max_steps):
+            kept = candidate_rest
+            pruned.append(index)
+    if not pruned:
+        return mapping, []
+    return (
+        SchemaMapping(
+            mapping.source, mapping.target, kept, mapping.target_dependencies
+        ),
+        pruned,
+    )
+
+
+def saturate(
+    mapping: SchemaMapping, *, max_steps: int = DEFAULT_MAX_STEPS
+) -> SchemaMapping:
+    """Fold the target dependencies into the st-tgds.
+
+    Each st-tgd's premise is frozen and chased with the *whole* mapping
+    (st-tgds plus target dependencies); the chased canonical target is
+    read back as the tgd's new conclusion, with surviving frozen nulls
+    turning back into their universal variables and invented nulls into
+    fresh existentials.  The result has no target dependencies.
+
+    This per-tgd folding is sound and complete only when every target
+    dependency is a **single-atom-premise target tgd** (the foreign-key
+    shape): each firing then depends on one fact, so the closure of a
+    union is the union of per-fact closures.  Egds and joint premises
+    (which can relate facts produced by *different* tgd firings) raise
+    :class:`SaturationUnsupported` — callers fall back to materializing
+    the intermediate instance.
+    """
+    deps = mapping.target_dependencies
+    if not deps:
+        return mapping
+    for dep in deps:
+        if isinstance(dep, Egd):
+            raise SaturationUnsupported(
+                "egds cannot be folded into st-tgds: equalities may relate "
+                "facts produced by different tgd firings",
+                reason="egd",
+            )
+        if len(dep.premise.atoms()) != 1 or len(dep.premise.literals) != 1:
+            raise SaturationUnsupported(
+                "target tgds with joint (multi-atom) premises cannot be "
+                "folded per-tgd: they may join facts from different firings",
+                reason="joint-premise",
+            )
+    _assert_decidable(mapping.tgds, deps)
+
+    new_tgds: list[StTgd] = []
+    for tgd in mapping.tgds:
+        frozen, binding = freeze_conjunction(tgd.premise, mapping.source)
+        try:
+            result = chase(
+                mapping, frozen, options=ExchangeOptions(max_steps=max_steps)
+            )
+        except ChaseNonTermination as exc:
+            raise ContainmentUndecidable(
+                f"saturation chase did not terminate within {max_steps} steps",
+                reason="non-terminating",
+                witness=getattr(exc, "witness", None),
+            ) from exc
+        back: dict[Value, Term] = {null: var for var, null in binding.items()}
+        existentials = 0
+        conclusion_atoms: list[Atom] = []
+        for fact in sorted(result.solution.facts(), key=repr):
+            terms: list[Term] = []
+            for value in fact.row:
+                if value in back:
+                    terms.append(back[value])
+                elif is_null(value):
+                    fresh = Var(f"sat_e{existentials}")
+                    existentials += 1
+                    back[value] = fresh
+                    terms.append(fresh)
+                else:
+                    terms.append(Const(value.value))
+            conclusion_atoms.append(Atom(fact.relation, tuple(terms)))
+        new_tgds.append(StTgd(tgd.premise, Conjunction(tuple(conclusion_atoms))))
+    return SchemaMapping(mapping.source, mapping.target, new_tgds)

@@ -1,0 +1,26 @@
+"""repro.optimize — semantic rewriting of mappings and pipelines.
+
+Built on the containment/equivalence decision procedures
+(:mod:`repro.mapping.containment`) and composition-with-constraints
+(:mod:`repro.mapping.composition`): prune redundant tgds, collapse
+pipelines into one composed chase, choose an evolution strategy by
+cost — every rewrite chase-verified before being suggested.  Surface:
+``repro optimize`` (text/``--json``/``--apply``).
+"""
+
+from .cost import estimate_chase_cost, pipeline_cost, propagate_statistics
+from .evolution import EvolutionDecision, choose_evolution_strategy
+from .optimizer import optimize_mapping, optimize_pipeline
+from .rewrite import RewriteAction, RewritePlan
+
+__all__ = [
+    "EvolutionDecision",
+    "RewriteAction",
+    "RewritePlan",
+    "choose_evolution_strategy",
+    "estimate_chase_cost",
+    "optimize_mapping",
+    "optimize_pipeline",
+    "pipeline_cost",
+    "propagate_statistics",
+]

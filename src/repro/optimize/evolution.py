@@ -1,0 +1,175 @@
+"""Choosing an execution strategy for schema evolution.
+
+The repo has two routes for "the source schema evolved, keep exchanging":
+
+* **channel propagation** (:mod:`repro.channels`) — push the evolution
+  primitives through the mapping symbolically, then chase the rewritten
+  mapping directly on the evolved source (one hop);
+* **invert∘compose** (:mod:`repro.mapping.evolution`) — invert the
+  evolution mapping (maximum recovery), recover the original source by
+  chasing, then run the base mapping (two hops, but works for evolutions
+  no primitive vocabulary expresses).
+
+:func:`choose_evolution_strategy` costs both with
+:mod:`repro.stats` cardinality estimates and picks the cheaper
+*applicable* one — the optimizer's third rewrite family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..channels import EvolutionError, EvolutionPrimitive, RenameTable, propagate_all
+from ..channels.primitives import DropTable, evolution_mapping
+from ..mapping.composition import CompositionError
+from ..mapping.evolution import (
+    EvolutionAmbiguity,
+    EvolvedMapping,
+    evolve_source,
+    first_branch_chooser,
+)
+from ..mapping.inversion import InversionError
+from ..mapping.sttgd import SchemaMapping
+from ..obs import get_tracer
+from ..stats import RelationStatistics, Statistics
+from .cost import estimate_chase_cost
+
+__all__ = ["EvolutionDecision", "choose_evolution_strategy"]
+
+
+@dataclass(frozen=True)
+class EvolutionDecision:
+    """Outcome of the strategy choice.
+
+    ``strategy`` is ``"channel-propagation"``, ``"invert-compose"``, or
+    ``"none"`` when neither route applies.  The costs are estimated
+    chase bindings (``None`` when that route is inapplicable);
+    ``rewritten`` / ``evolved`` carry the executable artifacts of the
+    applicable routes.
+    """
+
+    strategy: str
+    channel_cost: float | None
+    invert_cost: float | None
+    reason: str
+    rewritten: SchemaMapping | None = None
+    evolved: EvolvedMapping | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "channel_cost": self.channel_cost,
+            "invert_cost": self.invert_cost,
+            "reason": self.reason,
+        }
+
+
+def _evolved_statistics(
+    statistics: Statistics, primitives: Sequence[EvolutionPrimitive]
+) -> Statistics:
+    """Statistics of the evolved source, keyed by the evolved names."""
+    table: dict[str, RelationStatistics] = dict(statistics.relations)
+    for primitive in primitives:
+        if isinstance(primitive, RenameTable) and primitive.old in table:
+            stats = table.pop(primitive.old)
+            table[primitive.new] = RelationStatistics(
+                primitive.new, stats.cardinality, dict(stats.distinct)
+            )
+        elif isinstance(primitive, DropTable):
+            table.pop(primitive.relation, None)
+    return Statistics(table)
+
+
+def choose_evolution_strategy(
+    base: SchemaMapping,
+    primitives: Sequence[EvolutionPrimitive],
+    statistics: Statistics | None = None,
+) -> EvolutionDecision:
+    """Pick the cheaper applicable route for exchanging after evolution.
+
+    Channel propagation costs one chase of the rewritten mapping on the
+    evolved source; invert∘compose costs the recovery chase **plus** the
+    base chase (two materialized hops).  When an estimate ties, channel
+    propagation wins — it avoids the inversion's ambiguity policy
+    entirely.
+    """
+    stats = statistics or Statistics.assumed(base.source)
+    evolved_stats = _evolved_statistics(stats, primitives)
+    with get_tracer().span(
+        "optimize.evolution", primitives=len(primitives)
+    ) as span:
+        channel_cost: float | None = None
+        rewritten: SchemaMapping | None = None
+        channel_note = ""
+        try:
+            result = propagate_all(base, list(primitives))
+            rewritten = result.mapping
+            channel_cost = estimate_chase_cost(rewritten, evolved_stats)
+        except EvolutionError as exc:
+            channel_note = f"channel propagation inapplicable: {exc}"
+
+        invert_cost: float | None = None
+        evolved: EvolvedMapping | None = None
+        invert_note = ""
+        try:
+            evolution = evolution_mapping(list(primitives), base.source)
+            evolved = evolve_source(base, evolution, chooser=first_branch_chooser)
+            invert_cost = estimate_chase_cost(
+                evolved.inverse_evolution, evolved_stats
+            ) + estimate_chase_cost(base, stats)
+        except (
+            InversionError,
+            EvolutionAmbiguity,
+            CompositionError,
+            EvolutionError,
+        ) as exc:
+            invert_note = f"invert∘compose inapplicable: {exc}"
+
+        if channel_cost is None and invert_cost is None:
+            decision = EvolutionDecision(
+                "none",
+                None,
+                None,
+                "; ".join(n for n in (channel_note, invert_note) if n)
+                or "no applicable route",
+            )
+        elif invert_cost is None or (
+            channel_cost is not None and channel_cost <= invert_cost
+        ):
+            reason = (
+                f"channel propagation chases once "
+                f"(~{channel_cost:,.0f} bindings)"
+            )
+            if invert_cost is not None:
+                reason += f" vs invert∘compose's two hops (~{invert_cost:,.0f})"
+            elif invert_note:
+                reason += f"; {invert_note}"
+            decision = EvolutionDecision(
+                "channel-propagation",
+                channel_cost,
+                invert_cost,
+                reason,
+                rewritten=rewritten,
+                evolved=evolved,
+            )
+        else:
+            reason = (
+                f"invert∘compose (~{invert_cost:,.0f} bindings) beats "
+                f"channel propagation"
+                + (
+                    f" (~{channel_cost:,.0f})"
+                    if channel_cost is not None
+                    else f"; {channel_note}"
+                )
+            )
+            decision = EvolutionDecision(
+                "invert-compose",
+                channel_cost,
+                invert_cost,
+                reason,
+                rewritten=rewritten,
+                evolved=evolved,
+            )
+        span.set(strategy=decision.strategy)
+        return decision

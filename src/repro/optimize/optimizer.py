@@ -1,0 +1,338 @@
+"""The mapping optimizer: prune redundant tgds, collapse pipelines.
+
+Two entry points:
+
+* :func:`optimize_mapping` — prune tgds proven implied by the rest of
+  the mapping (chase-based implication, Calì–Torlone);
+* :func:`optimize_pipeline` — additionally collapse consecutive stages
+  into one composed mapping (Fagin et al. composition, with the
+  Arenas–Fagin–Nash target-constraint folding) so the exchange runs one
+  chase instead of n materialized hops.
+
+Every rewrite is **verified before being suggested**: the original and
+optimized mappings are chased on generated source instances and the
+results compared with :func:`~repro.relational.canonical.canonically_equal`
+(falling back to homomorphic equivalence for inexact canonical forms).
+A refuted rewrite is abandoned — the plan then returns the original
+stages with the offending actions marked ``verified=False``.
+
+Observability: every phase runs in a span (``optimize.prune``,
+``optimize.collapse``, ``optimize.verify``) with prune decisions recorded
+as span attributes, and the ``optimize.*`` counters/gauges feed
+``--trace-json`` so analysis time is attributable per pass.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Callable, Sequence
+
+from ..mapping.chase import ChaseFailure, universal_solution
+from ..mapping.composition import CompositionError, compose_with_constraints
+from ..mapping.containment import ContainmentUndecidable, prune_redundant
+from ..mapping.sttgd import SchemaMapping
+from ..obs import get_registry, get_tracer
+from ..options import DEFAULT_MAX_STEPS
+from ..relational.canonical import canonically_equal
+from ..relational.homomorphism import homomorphically_equivalent
+from ..relational.instance import Instance
+from ..stats import Statistics
+from ..workloads.generators import random_instance
+from .cost import estimate_chase_cost, pipeline_cost
+from .rewrite import RewriteAction, RewritePlan
+
+__all__ = ["optimize_mapping", "optimize_pipeline"]
+
+
+def _exchange_through(
+    stages: Sequence[SchemaMapping],
+) -> Callable[[Instance], Instance]:
+    """The n-hop exchange: chase each stage, feeding the next."""
+
+    def run(source: Instance) -> Instance:
+        current = source
+        for stage in stages:
+            current = universal_solution(stage, current.cast(stage.source))
+        return current
+
+    return run
+
+
+def _verify_stages(
+    original: Sequence[SchemaMapping],
+    optimized: Sequence[SchemaMapping],
+    *,
+    seeds: Sequence[int],
+    rows: int,
+) -> dict:
+    """Chase both stage lists on generated instances and compare results.
+
+    A :class:`ChaseFailure` (an egd refuting the generated instance) must
+    occur on *both* sides to count as agreement.  Returns a verification
+    record for the plan; ``equivalent`` is ``False`` the moment one
+    instance disagrees.
+    """
+    before = _exchange_through(original)
+    after = _exchange_through(optimized)
+    source_schema = original[0].source
+    checked = 0
+    with get_tracer().span("optimize.verify", instances=len(seeds)) as span:
+        for seed in seeds:
+            source = random_instance(
+                source_schema, Random(seed), rows_per_relation=rows
+            )
+            checked += 1
+            get_registry().counter("optimize.verify_chases").inc(2)
+            try:
+                expected = before(source)
+            except ChaseFailure:
+                try:
+                    after(source)
+                except ChaseFailure:
+                    continue  # both reject this instance: consistent
+                span.set(outcome="refuted", seed=seed)
+                return {"checked": checked, "equivalent": False, "seed": seed}
+            try:
+                actual = after(source)
+            except ChaseFailure:
+                span.set(outcome="refuted", seed=seed)
+                return {"checked": checked, "equivalent": False, "seed": seed}
+            if not (
+                canonically_equal(expected, actual)
+                or homomorphically_equivalent(expected, actual)
+            ):
+                span.set(outcome="refuted", seed=seed)
+                return {"checked": checked, "equivalent": False, "seed": seed}
+        span.set(outcome="equivalent")
+    return {"checked": checked, "equivalent": True}
+
+
+def _prune_stage(
+    stage: SchemaMapping,
+    stage_index: int | None,
+    actions: list[RewriteAction],
+    *,
+    max_steps: int,
+) -> SchemaMapping:
+    """Prune one stage's redundant tgds, recording each decision."""
+    label = "" if stage_index is None else f"stage {stage_index}: "
+    with get_tracer().span(
+        "optimize.prune", tgds=len(stage.tgds), stage=stage_index or 0
+    ) as span:
+        try:
+            pruned_stage, dropped = prune_redundant(stage, max_steps=max_steps)
+        except ContainmentUndecidable as exc:
+            span.set(outcome="skipped", reason=exc.reason)
+            actions.append(
+                RewriteAction(
+                    "skip-prune",
+                    f"{label}redundancy analysis skipped: {exc}",
+                    {"reason": exc.reason},
+                )
+            )
+            return stage
+        span.set(pruned=len(dropped), dropped=repr(dropped))
+        get_registry().counter("optimize.tgds_pruned").inc(len(dropped))
+        for index in dropped:
+            actions.append(
+                RewriteAction(
+                    "prune-tgd",
+                    f"{label}tgd#{index} is implied by the remaining tgds: "
+                    f"{stage.tgds[index].to_text()}",
+                    {"stage": stage_index, "tgd": index,
+                     "text": stage.tgds[index].to_text()},
+                )
+            )
+        return pruned_stage
+
+
+def _finalize(
+    kind: str,
+    original: Sequence[SchemaMapping],
+    optimized: Sequence[SchemaMapping],
+    actions: list[RewriteAction],
+    statistics: Statistics,
+    *,
+    verify: bool,
+    verify_seeds: Sequence[int],
+    verify_rows: int,
+) -> RewritePlan:
+    """Verify (reverting on refutation) and assemble the plan."""
+    changed = list(optimized) != list(original)
+    verification: dict = {"checked": 0, "equivalent": None}
+    if changed and verify:
+        verification = _verify_stages(
+            original, optimized, seeds=verify_seeds, rows=verify_rows
+        )
+        if verification["equivalent"]:
+            actions = [
+                a.with_verified(True)
+                if a.kind in ("prune-tgd", "collapse-stages")
+                else a
+                for a in actions
+            ]
+        else:
+            actions = [
+                a.with_verified(False)
+                if a.kind in ("prune-tgd", "collapse-stages")
+                else a
+                for a in actions
+            ]
+            actions.append(
+                RewriteAction(
+                    "revert",
+                    "chase cross-check refuted the rewrite; keeping the "
+                    "original mapping (please report this — it indicates a "
+                    "bug in the implication or composition procedures)",
+                    {"seed": verification.get("seed")},
+                )
+            )
+            optimized = list(original)
+            get_registry().counter("optimize.rewrites_reverted").inc()
+    cost_before, _ = pipeline_cost(original, statistics)
+    cost_after, _ = pipeline_cost(optimized, statistics)
+    get_registry().gauge("optimize.estimated_cost_before").set(cost_before)
+    get_registry().gauge("optimize.estimated_cost_after").set(cost_after)
+    return RewritePlan(
+        kind,
+        tuple(original),
+        tuple(optimized),
+        tuple(actions),
+        cost_before,
+        cost_after,
+        verification,
+    )
+
+
+def optimize_mapping(
+    mapping: SchemaMapping,
+    statistics: Statistics | None = None,
+    *,
+    verify: bool = True,
+    verify_seeds: Sequence[int] = (0, 1),
+    verify_rows: int = 6,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> RewritePlan:
+    """Rewrite plan for a single mapping: prune redundant tgds.
+
+    *statistics* (defaulting to :meth:`Statistics.assumed` over the source
+    schema) drive the before/after cost estimates.  With *verify* on
+    (default), the pruned mapping is chased against the original on
+    ``len(verify_seeds)`` generated instances before being suggested.
+    """
+    stats = statistics or Statistics.assumed(mapping.source)
+    actions: list[RewriteAction] = []
+    with get_tracer().span("optimize.mapping", tgds=len(mapping.tgds)):
+        optimized = _prune_stage(mapping, None, actions, max_steps=max_steps)
+        return _finalize(
+            "mapping",
+            [mapping],
+            [optimized],
+            actions,
+            stats,
+            verify=verify,
+            verify_seeds=verify_seeds,
+            verify_rows=verify_rows,
+        )
+
+
+def optimize_pipeline(
+    stages: Sequence[SchemaMapping],
+    statistics: Statistics | None = None,
+    *,
+    verify: bool = True,
+    verify_seeds: Sequence[int] = (0, 1),
+    verify_rows: int = 6,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> RewritePlan:
+    """Rewrite plan for a pipeline: prune, collapse, prune again.
+
+    Each stage is pruned *before* composition is attempted — a redundant
+    existential tgd is not just wasted chase work, its Skolem function is
+    often the very thing that obstructs de-Skolemization of the
+    composition.  The pruned stages are then folded left-to-right through
+    :func:`compose_with_constraints`; a stage that refuses to compose
+    (SO-tgd obstruction or mid-schema constraints outside the foldable
+    fragment) closes the current group and starts a new one, so the plan
+    degrades gracefully to "collapse what can be collapsed".  Groups that
+    absorbed more than one stage are pruned once more (composition can
+    introduce implied tgds), and the whole optimized pipeline is
+    chase-verified against the original end to end.
+    """
+    stages = list(stages)
+    if not stages:
+        raise ValueError("cannot optimize an empty pipeline")
+    for i in range(len(stages) - 1):
+        if stages[i].target != stages[i + 1].source:
+            raise ValueError(
+                f"stage {i}'s target schema differs from stage {i + 1}'s "
+                f"source; not a pipeline"
+            )
+    stats = statistics or Statistics.assumed(stages[0].source)
+    actions: list[RewriteAction] = []
+    with get_tracer().span("optimize.pipeline", stages=len(stages)):
+        pre_pruned = [
+            _prune_stage(stage, i, actions, max_steps=max_steps)
+            for i, stage in enumerate(stages)
+        ]
+        collapsed: list[tuple[SchemaMapping, int]] = []
+        group_start = 0
+        current = pre_pruned[0]
+        with get_tracer().span("optimize.collapse", stages=len(stages)) as span:
+            for index in range(1, len(pre_pruned)):
+                try:
+                    composed = compose_with_constraints(
+                        current, pre_pruned[index]
+                    )
+                except CompositionError as error:
+                    actions.append(
+                        RewriteAction(
+                            "keep-stage",
+                            f"stages {group_start}..{index - 1} cannot absorb "
+                            f"stage {index}: {error}",
+                            {
+                                "stages": [group_start, index],
+                                "obstruction": (
+                                    error.obstruction.as_dict()
+                                    if error.obstruction
+                                    else None
+                                ),
+                            },
+                        )
+                    )
+                    collapsed.append((current, index - group_start))
+                    current = pre_pruned[index]
+                    group_start = index
+                    continue
+                actions.append(
+                    RewriteAction(
+                        "collapse-stages",
+                        f"stages {group_start}..{index} compose into one "
+                        f"mapping with {len(composed.tgds)} tgd(s); one chase "
+                        f"replaces {index - group_start + 1} hops",
+                        {
+                            "stages": [group_start, index],
+                            "tgds": len(composed.tgds),
+                        },
+                    )
+                )
+                get_registry().counter("optimize.stages_collapsed").inc()
+                current = composed
+            collapsed.append((current, len(pre_pruned) - group_start))
+            span.set(collapsed_to=len(collapsed))
+        optimized = [
+            _prune_stage(stage, i, actions, max_steps=max_steps)
+            if group_size > 1
+            else stage
+            for i, (stage, group_size) in enumerate(collapsed)
+        ]
+        return _finalize(
+            "pipeline",
+            stages,
+            optimized,
+            actions,
+            stats,
+            verify=verify,
+            verify_seeds=verify_seeds,
+            verify_rows=verify_rows,
+        )

@@ -1,0 +1,133 @@
+"""Rewrite plans: the optimizer's structured, renderable output.
+
+A :class:`RewritePlan` records what the optimizer did (or declined to
+do): the original and optimized stages, one :class:`RewriteAction` per
+decision, before/after tgd counts and estimated chase cost, the
+verification outcome, and any analysis diagnostics (RA6xx) gathered
+along the way.  ``repro optimize`` renders it as text or JSON; with
+``--apply`` the optimized stages are written back to disk.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..analysis.diagnostics import Diagnostic
+from ..mapping.sttgd import SchemaMapping
+
+__all__ = ["RewriteAction", "RewritePlan"]
+
+
+@dataclass(frozen=True)
+class RewriteAction:
+    """One optimizer decision.
+
+    ``kind`` is a stable tag: ``"prune-tgd"``, ``"collapse-stages"``,
+    ``"keep-stage"`` (collapse obstructed), ``"skip-prune"`` (outside the
+    decidable fragment), ``"revert"`` (verification failed — the rewrite
+    was abandoned).  ``verified`` is ``True`` once the chase cross-check
+    confirmed the rewrite, ``False`` when it refuted it, ``None`` when
+    verification did not apply or was disabled.
+    """
+
+    kind: str
+    description: str
+    data: Mapping[str, object] = field(default_factory=dict)
+    verified: bool | None = None
+
+    def with_verified(self, verified: bool) -> "RewriteAction":
+        return RewriteAction(self.kind, self.description, dict(self.data), verified)
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "description": self.description,
+            "data": dict(self.data),
+            "verified": self.verified,
+        }
+
+
+@dataclass(frozen=True)
+class RewritePlan:
+    """The optimizer's output: stages before/after plus the decision log."""
+
+    kind: str  # "mapping" | "pipeline"
+    original: tuple[SchemaMapping, ...]
+    optimized: tuple[SchemaMapping, ...]
+    actions: tuple[RewriteAction, ...]
+    cost_before: float
+    cost_after: float
+    verification: Mapping[str, object]
+    diagnostics: tuple[Diagnostic, ...] = ()
+
+    @property
+    def changed(self) -> bool:
+        return any(
+            a.kind in ("prune-tgd", "collapse-stages") and a.verified is not False
+            for a in self.actions
+        )
+
+    def tgd_counts(self, stages: Sequence[SchemaMapping]) -> list[int]:
+        return [len(stage.tgds) for stage in stages]
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "original": {
+                "stages": len(self.original),
+                "tgds": self.tgd_counts(self.original),
+                "estimated_cost": self.cost_before,
+            },
+            "optimized": {
+                "stages": len(self.optimized),
+                "tgds": self.tgd_counts(self.optimized),
+                "estimated_cost": self.cost_after,
+            },
+            "changed": self.changed,
+            "actions": [a.as_dict() for a in self.actions],
+            "verification": dict(self.verification),
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=False)
+
+    def render(self) -> str:
+        """Human-readable plan (the CLI's default output)."""
+        lines = [f"rewrite plan ({self.kind})"]
+        lines.append(
+            f"  stages: {len(self.original)} -> {len(self.optimized)}"
+            f" | tgds: {sum(self.tgd_counts(self.original))} -> "
+            f"{sum(self.tgd_counts(self.optimized))}"
+        )
+        lines.append(
+            f"  estimated chase cost: {self.cost_before:,.0f} -> "
+            f"{self.cost_after:,.0f}"
+        )
+        if self.actions:
+            lines.append("  actions:")
+            for action in self.actions:
+                status = {True: " [verified]", False: " [REFUTED]", None: ""}[
+                    action.verified
+                ]
+                lines.append(f"    - {action.kind}: {action.description}{status}")
+        else:
+            lines.append("  actions: none (nothing to rewrite)")
+        checked = self.verification.get("checked", 0)
+        if checked:
+            outcome = (
+                "equivalent"
+                if self.verification.get("equivalent")
+                else "NOT equivalent — rewrite abandoned"
+            )
+            lines.append(
+                f"  verification: {checked} generated instance(s) chased "
+                f"both ways: {outcome}"
+            )
+        else:
+            lines.append("  verification: skipped")
+        for diagnostic in self.diagnostics:
+            lines.append(f"  note: {diagnostic.render()}")
+        return "\n".join(lines)

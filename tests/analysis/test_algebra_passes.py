@@ -1,0 +1,198 @@
+"""Tests for the mapping-algebra analysis pass (RA6xx) and code filters."""
+
+import pytest
+
+from repro.analysis import (
+    AnalysisBundle,
+    Severity,
+    analyze,
+    containment_diagnostics,
+    evolution_diagnostics,
+    normalize_code_filters,
+    pipeline_diagnostics,
+)
+from repro.analysis.algebra import REDUNDANCY_TGD_LIMIT
+from repro.analysis.registry import code_matches
+from repro.logic.parser import parse_rule
+from repro.mapping import SchemaMapping, StTgd
+from repro.mapping.dependencies import target_dependency_from_rule
+from repro.relational import relation, schema
+
+
+S = schema(relation("S", "a", "b"))
+T = schema(relation("T", "a", "b"), relation("U", "a", "b"))
+
+
+def mapping(*tgd_texts, deps=()):
+    return SchemaMapping(S, T, [StTgd.parse(t) for t in tgd_texts], deps)
+
+
+def bundle(*tgd_texts, deps=()):
+    return AnalysisBundle(
+        S, T, [StTgd.parse(t) for t in tgd_texts], (), deps, ()
+    )
+
+
+def codes(report):
+    return [d.code for d in report]
+
+
+class TestCheckAlgebra:
+    def test_redundant_tgd_is_ra601(self):
+        report = analyze(bundle("S(x, y) -> T(x, y)", "S(p, q) -> T(p, q)"))
+        ra601 = [d for d in report if d.code == "RA601"]
+        assert len(ra601) == 2  # both halves of the equivalent pair
+        assert all(d.severity is Severity.WARNING for d in ra601)
+        assert ra601[0].data["hint"] == "repro optimize"
+
+    def test_clean_mapping_has_no_ra6(self):
+        report = analyze(bundle("S(x, y) -> T(x, y)", "S(x, y) -> U(x, y)"))
+        assert not [d for d in report if d.code.startswith("RA6")]
+
+    def test_single_tgd_skips_silently(self):
+        report = analyze(bundle("S(x, y) -> T(x, y)"))
+        assert not [d for d in report if d.code.startswith("RA6")]
+
+    def test_undecidable_fragment_is_ra602(self):
+        grow = target_dependency_from_rule(
+            parse_rule("T(u, v) -> exists w . T(v, w)")
+        )
+        report = analyze(
+            bundle("S(x, y) -> T(x, y)", "S(p, q) -> T(p, q)", deps=[grow])
+        )
+        (ra602,) = [d for d in report if d.code == "RA602"]
+        assert ra602.severity is Severity.INFO
+        assert ra602.data["reason"] == "not-weakly-acyclic"
+        assert "witness" in ra602.data
+
+    def test_oversized_mapping_is_ra602(self):
+        texts = [
+            f'S(x, y) -> T(x, "{i}")' for i in range(REDUNDANCY_TGD_LIMIT + 1)
+        ]
+        report = analyze(bundle(*texts))
+        (ra602,) = [d for d in report if d.code == "RA602"]
+        assert ra602.data["reason"] == "too-many-tgds"
+
+
+class TestContainmentDiagnostics:
+    def test_equivalent_mappings_are_ra610(self):
+        (d,) = containment_diagnostics(
+            mapping("S(x, y) -> T(x, y)"), mapping("S(p, q) -> T(p, q)")
+        )
+        assert d.code == "RA610" and d.severity is Severity.WARNING
+
+    def test_one_way_containment_is_ra611(self):
+        (d,) = containment_diagnostics(
+            mapping("S(x, y) -> T(x, y)"),
+            mapping("S(x, y) -> exists z . T(x, z)"),
+        )
+        assert d.code == "RA611" and d.data["direction"] == "forward"
+
+    def test_incomparable_mappings_are_silent(self):
+        assert (
+            containment_diagnostics(
+                mapping("S(x, y) -> T(x, y)"), mapping("S(x, y) -> U(x, y)")
+            )
+            == []
+        )
+
+    def test_schema_mismatch_is_silent(self):
+        other = SchemaMapping(
+            schema(relation("R", "a")), T, [StTgd.parse("R(x) -> T(x, x)")]
+        )
+        assert containment_diagnostics(mapping("S(x, y) -> T(x, y)"), other) == []
+
+
+class TestPipelineDiagnostics:
+    A = schema(relation("S", "a", "b"))
+    B = schema(relation("T", "a", "b"))
+    C = schema(relation("U", "a", "b"))
+
+    def test_collapsible_pair_is_ra612(self):
+        m1 = SchemaMapping.parse(self.A, self.B, "S(x, y) -> T(x, y)")
+        m2 = SchemaMapping.parse(self.B, self.C, "T(x, y) -> U(x, y)")
+        findings = pipeline_diagnostics([m1, m2])
+        assert [d.code for d in findings] == ["RA612"]
+        assert findings[0].data["stages"] == [0, 1]
+
+    def test_obstructed_pair_is_ra613_with_structured_obstruction(self):
+        B2 = schema(relation("Manager", "emp", "mgr"))
+        C2 = schema(relation("SelfMngr", "emp"))
+        m1 = SchemaMapping.parse(
+            schema(relation("Emp", "name")),
+            B2,
+            "Emp(x) -> exists y . Manager(x, y)",
+        )
+        m2 = SchemaMapping.parse(B2, C2, "Manager(x, x) -> SelfMngr(x)")
+        findings = pipeline_diagnostics([m1, m2])
+        (ra613,) = [d for d in findings if d.code == "RA613"]
+        assert ra613.severity is Severity.WARNING
+        assert ra613.data["obstruction"]["kind"] == "premise-function"
+
+    def test_non_chaining_stages_are_ra613(self):
+        m1 = SchemaMapping.parse(self.A, self.B, "S(x, y) -> T(x, y)")
+        m2 = SchemaMapping.parse(self.C, self.B, "U(x, y) -> T(x, y)")
+        findings = pipeline_diagnostics([m1, m2])
+        (ra613,) = [d for d in findings if d.code == "RA613"]
+        assert "do not chain" in ra613.message
+
+    def test_same_schema_stages_get_containment_findings(self):
+        m1 = SchemaMapping.parse(self.A, self.B, "S(x, y) -> T(x, y)")
+        m2 = SchemaMapping.parse(self.B, self.A, "T(x, y) -> S(x, y)")
+        m3 = SchemaMapping.parse(self.A, self.B, "S(p, q) -> T(p, q)")
+        findings = pipeline_diagnostics([m1, m2, m3])
+        ra610 = [d for d in findings if d.code == "RA610"]
+        assert len(ra610) == 1
+        assert ra610[0].data["stages"] == [0, 2]
+        assert ra610[0].message.startswith("stages 0 and 2:")
+
+
+class TestEvolutionDiagnostics:
+    def test_pure_rename_is_ra614(self):
+        evolved = schema(relation("S2", "a", "b"))
+        evolution = SchemaMapping.parse(S, evolved, "S(x, y) -> S2(x, y)")
+        (d,) = evolution_diagnostics(mapping("S(x, y) -> T(x, y)"), evolution)
+        assert d.code == "RA614"
+        assert d.data["renames"] == {"S": "S2"}
+
+    def test_projection_is_not_a_pure_rename(self):
+        evolved = schema(relation("S2", "a"))
+        evolution = SchemaMapping.parse(S, evolved, "S(x, y) -> S2(x)")
+        assert (
+            evolution_diagnostics(mapping("S(x, y) -> T(x, y)"), evolution) == []
+        )
+
+    def test_swap_is_not_a_pure_rename(self):
+        evolved = schema(relation("S2", "a", "b"))
+        evolution = SchemaMapping.parse(S, evolved, "S(x, y) -> S2(y, x)")
+        assert (
+            evolution_diagnostics(mapping("S(x, y) -> T(x, y)"), evolution) == []
+        )
+
+
+class TestCodeFilters:
+    def test_normalize_accepts_codes_and_prefixes(self):
+        assert normalize_code_filters(["RA601", "ra6"]) == ("RA601", "RA6")
+        assert normalize_code_filters(["RA1,RA201"]) == ("RA1", "RA201")
+
+    def test_normalize_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            normalize_code_filters(["bogus"])
+        with pytest.raises(ValueError):
+            normalize_code_filters(["RA6x"])
+
+    def test_code_matches_prefix_semantics(self):
+        assert code_matches("RA601", ("RA6",), ())
+        assert not code_matches("RA601", ("RA1",), ())
+        assert not code_matches("RA601", (), ("RA6",))
+        assert not code_matches("RA601", ("RA6",), ("RA601",))
+
+    def test_analyze_select_restricts_to_matching_passes(self):
+        b = bundle("S(x, y) -> T(x, y)", "S(p, q) -> T(p, q)")
+        report = analyze(b, select=("RA601",))
+        assert codes(report) and set(codes(report)) == {"RA601"}
+
+    def test_analyze_ignore_skips_the_algebra_pass(self):
+        b = bundle("S(x, y) -> T(x, y)", "S(p, q) -> T(p, q)")
+        report = analyze(b, ignore=("RA6",))
+        assert "RA601" not in codes(report)

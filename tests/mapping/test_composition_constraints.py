@@ -1,0 +1,157 @@
+"""Tests for structured composition obstructions and
+:func:`compose_with_constraints` (Arenas–Fagin–Nash target constraints).
+
+The de-Skolemization soundness checks each get a witness pair of
+mappings whose composition genuinely leaves the st-tgd language; the
+constraint-folding path is cross-checked against the materialized
+two-hop exchange.
+"""
+
+import pytest
+
+from repro.logic.parser import parse_rule
+from repro.mapping import (
+    CompositionError,
+    SchemaMapping,
+    StTgd,
+    chase,
+    compose,
+    compose_with_constraints,
+    universal_solution,
+)
+from repro.mapping.dependencies import target_dependency_from_rule
+from repro.relational import (
+    canonically_equal,
+    homomorphically_equivalent,
+    instance,
+    relation,
+    schema,
+)
+
+
+def dep(text):
+    return target_dependency_from_rule(parse_rule(text))
+
+
+class TestObstructions:
+    def test_partial_arguments_obstruction(self):
+        # M1's Skolem f(x) reaches a conclusion that also quantifies w:
+        # the SO semantics shares f(x) across w-firings, independent
+        # existentials would not.
+        A = schema(relation("E", "x"), relation("D", "w"))
+        B = schema(relation("F", "x", "y"), relation("Dp", "w"))
+        C = schema(relation("G", "u", "v", "w"))
+        m1 = SchemaMapping.parse(
+            A, B, "E(x) -> exists y . F(x, y)\nD(w) -> Dp(w)"
+        )
+        m2 = SchemaMapping.parse(B, C, "F(u, v), Dp(w) -> G(u, v, w)")
+        with pytest.raises(CompositionError) as err:
+            compose_with_constraints(m1, m2)
+        obstruction = err.value.obstruction
+        assert obstruction is not None
+        assert obstruction.kind == "partial-arguments"
+        assert obstruction.function
+        data = obstruction.as_dict()
+        assert data["kind"] == "partial-arguments"
+
+    def test_entangled_function_obstruction(self):
+        # Matching F2(a, b) ∧ F2(c, d) against the same Skolem producer
+        # puts f(a) and f(c) — one symbol, two maximal terms — into one
+        # clause: separate existentials would forget functionality.
+        A = schema(relation("E", "x"))
+        B = schema(relation("F2", "x", "y"))
+        C = schema(relation("P", "b", "d"))
+        m1 = SchemaMapping.parse(A, B, "E(x) -> exists y . F2(x, y)")
+        m2 = SchemaMapping.parse(B, C, "F2(a, b), F2(c, d) -> P(b, d)")
+        with pytest.raises(CompositionError) as err:
+            compose_with_constraints(m1, m2)
+        assert err.value.obstruction is not None
+        assert err.value.obstruction.kind == "entangled-function"
+
+    def test_example_two_premise_function_obstruction(self):
+        # The paper's Example 2: the Skolem lands in a composed premise.
+        A = schema(relation("Emp", "name"))
+        B = schema(relation("Manager", "emp", "mgr"))
+        C = schema(relation("SelfMngr", "emp"))
+        m1 = SchemaMapping.parse(A, B, "Emp(x) -> exists y . Manager(x, y)")
+        m2 = SchemaMapping.parse(B, C, "Manager(x, x) -> SelfMngr(x)")
+        with pytest.raises(CompositionError) as err:
+            compose_with_constraints(m1, m2)
+        assert err.value.obstruction is not None
+        assert err.value.obstruction.kind == "premise-function"
+
+    def test_full_composition_has_no_obstruction(self):
+        A = schema(relation("S", "a", "b"))
+        B = schema(relation("T", "a", "b"))
+        C = schema(relation("U", "a", "b"))
+        m1 = SchemaMapping.parse(A, B, "S(x, y) -> T(x, y)")
+        m2 = SchemaMapping.parse(B, C, "T(x, y) -> U(y, x)")
+        composed = compose(m1, m2)
+        assert len(composed.tgds) == 1
+
+
+class TestComposeWithConstraints:
+    A = schema(relation("S", "a", "b"))
+    B = schema(relation("T", "a", "b"), relation("TRef", "a", "b"))
+    C = schema(relation("U", "a", "b"), relation("URef", "a", "b"))
+
+    def _two_hop(self, m1, m2, source):
+        mid = chase(m1, source).solution
+        return universal_solution(m2, mid.cast(m2.source))
+
+    def test_fk_mid_constraint_folds_into_composition(self):
+        m1 = SchemaMapping(
+            self.A,
+            self.B,
+            [StTgd.parse("S(x, y) -> T(x, y)")],
+            [dep("T(u, v) -> TRef(u, v)")],
+        )
+        m2 = SchemaMapping.parse(
+            self.B, self.C, "T(x, y) -> U(x, y)\nTRef(x, y) -> URef(x, y)"
+        )
+        composed = compose_with_constraints(m1, m2)
+        source = instance(self.A, {"S": [["1", "2"], ["3", "4"]]})
+        direct = universal_solution(composed, source)
+        expected = self._two_hop(m1, m2, source)
+        assert canonically_equal(direct, expected) or homomorphically_equivalent(
+            direct, expected
+        )
+
+    def test_final_target_constraints_carry_over(self):
+        m1 = SchemaMapping.parse(self.A, self.B, "S(x, y) -> T(x, y)")
+        m2 = SchemaMapping(
+            self.B,
+            self.C,
+            [StTgd.parse("T(x, y) -> U(x, y)")],
+            [dep("U(u, v) -> URef(u, v)")],
+        )
+        composed = compose_with_constraints(m1, m2)
+        assert composed.target_dependencies == m2.target_dependencies
+        source = instance(self.A, {"S": [["1", "2"]]})
+        chased = chase(composed, source).solution
+        assert chased.rows("URef")
+
+    def test_egd_mid_constraint_is_an_obstruction(self):
+        m1 = SchemaMapping(
+            self.A,
+            self.B,
+            [StTgd.parse("S(x, y) -> T(x, y)")],
+            [dep("T(u, v) -> u = v")],
+        )
+        m2 = SchemaMapping.parse(self.B, self.C, "T(x, y) -> U(x, y)")
+        with pytest.raises(CompositionError) as err:
+            compose_with_constraints(m1, m2)
+        assert err.value.obstruction is not None
+        assert err.value.obstruction.kind == "mid-constraints"
+
+    def test_joint_premise_mid_constraint_is_an_obstruction(self):
+        m1 = SchemaMapping(
+            self.A,
+            self.B,
+            [StTgd.parse("S(x, y) -> T(x, y)")],
+            [dep("T(u, v), T(v, w) -> TRef(u, w)")],
+        )
+        m2 = SchemaMapping.parse(self.B, self.C, "T(x, y) -> U(x, y)")
+        with pytest.raises(CompositionError) as err:
+            compose_with_constraints(m1, m2)
+        assert err.value.obstruction.kind == "mid-constraints"

@@ -1,0 +1,64 @@
+"""Property-based test (hypothesis): composition commutes with the chase.
+
+For a random **full** mapping ``M1 : A → B`` (full st-tgds are closed
+under composition) and a random mapping ``M2 : B → C``, the composed
+mapping must satisfy
+
+    chase(compose(M1, M2), S)  ≡  chase(M2, chase(M1, S))
+
+up to canonical equality (falling back to homomorphic equivalence, the
+right notion when labelled-null naming differs).  This is the semantic
+contract the `repro optimize` pipeline-collapse rewrite relies on.
+"""
+
+import random
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.mapping import (
+    CompositionError,
+    SchemaMapping,
+    compose,
+    universal_solution,
+)
+from repro.relational import canonically_equal, homomorphically_equivalent
+from repro.workloads.generators import (
+    random_instance,
+    random_mapping,
+    random_schema,
+)
+
+seeds = st.integers(min_value=0, max_value=300)
+
+
+def _composable_pair(seed):
+    rng = random.Random(seed)
+    A = random_schema(rng, 2, prefix="A")
+    B = random_schema(rng, 2, prefix="B")
+    C = random_schema(rng, 2, prefix="C")
+    # M1 full: no existentials, so compose() stays first-order.
+    m1 = random_mapping(A, B, rng, n_tgds=2, existential_probability=0.0)
+    m2 = random_mapping(B, C, rng, n_tgds=2)
+    source = random_instance(A, rng, rows_per_relation=4)
+    return m1, m2, source
+
+
+@settings(max_examples=60, deadline=None)
+@given(seeds)
+def test_composed_chase_equals_two_hop_chase(seed):
+    m1, m2, source = _composable_pair(seed)
+    try:
+        composed = compose(m1, m2)
+    except CompositionError:
+        # A Skolem symbol of M2 landed in several clauses: the composition
+        # genuinely leaves the st-tgd language.  Not this property's case.
+        assume(False)
+    assert isinstance(composed, SchemaMapping)  # full M1 ⇒ first-order
+
+    mid = universal_solution(m1, source)
+    expected = universal_solution(m2, mid.cast(m2.source))
+    actual = universal_solution(composed, source)
+    assert canonically_equal(actual, expected) or homomorphically_equivalent(
+        actual, expected
+    )

@@ -1,0 +1,273 @@
+"""Tests for the ``repro optimize`` subcommand (text, JSON, --apply, specs)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.mapping import SchemaMapping
+from repro.relational import relation, schema, schema_to_json
+
+
+def run(argv):
+    return main([str(a) for a in argv])
+
+
+def write_schemas(path, source, target):
+    path.write_text(
+        json.dumps(
+            {"source": schema_to_json(source), "target": schema_to_json(target)}
+        )
+    )
+
+
+@pytest.fixture
+def redundant_files(tmp_path):
+    source = schema(relation("S", "a", "b"))
+    target = schema(relation("T", "a", "b"))
+    schemas = tmp_path / "schemas.json"
+    write_schemas(schemas, source, target)
+    mapping = tmp_path / "mapping.tgd"
+    mapping.write_text("S(x, y) -> T(x, y)\nS(p, q) -> T(p, q)\n")
+    return schemas, mapping, source, target
+
+
+@pytest.fixture
+def pipeline_spec(tmp_path):
+    A = schema(relation("S", "a", "b"))
+    B = schema(relation("T", "a", "b"))
+    C = schema(relation("U", "a", "b"))
+    write_schemas(tmp_path / "s1.json", A, B)
+    write_schemas(tmp_path / "s2.json", B, C)
+    (tmp_path / "m1.tgd").write_text("S(x, y) -> T(x, y)\n")
+    (tmp_path / "m2.tgd").write_text("T(x, y) -> U(x, y)\n")
+    spec = tmp_path / "pipe.json"
+    spec.write_text(
+        json.dumps(
+            {
+                "stages": [
+                    {"schemas": "s1.json", "mapping": "m1.tgd"},
+                    {"schemas": "s2.json", "mapping": "m2.tgd"},
+                ]
+            }
+        )
+    )
+    return spec, A, C
+
+
+class TestSingleMapping:
+    def test_text_report(self, redundant_files, capsys):
+        schemas, mapping, *_ = redundant_files
+        assert run(["optimize", "--schemas", schemas, "--mapping", mapping]) == 0
+        out = capsys.readouterr().out
+        assert "rewrite plan (mapping)" in out
+        assert "tgds: 2 -> 1" in out
+        assert "prune-tgd" in out and "[verified]" in out
+
+    def test_json_report_parses(self, redundant_files, capsys):
+        schemas, mapping, *_ = redundant_files
+        assert (
+            run(
+                ["optimize", "--schemas", schemas, "--mapping", mapping, "--json"]
+            )
+            == 0
+        )
+        plan = json.loads(capsys.readouterr().out)
+        assert plan["changed"] is True
+        assert plan["original"]["tgds"] == [2]
+        assert plan["optimized"]["tgds"] == [1]
+        assert plan["verification"]["equivalent"] is True
+
+    def test_apply_writes_reparseable_mapping(self, redundant_files, tmp_path):
+        schemas, mapping, source, target = redundant_files
+        out = tmp_path / "optimized.tgd"
+        assert (
+            run(
+                [
+                    "optimize",
+                    "--schemas",
+                    schemas,
+                    "--mapping",
+                    mapping,
+                    "--apply",
+                    out,
+                ]
+            )
+            == 0
+        )
+        reparsed = SchemaMapping.parse(source, target, out.read_text())
+        assert len(reparsed.tgds) == 1
+
+    def test_no_verify_skips_the_cross_check(self, redundant_files, capsys):
+        schemas, mapping, *_ = redundant_files
+        assert (
+            run(
+                [
+                    "optimize",
+                    "--schemas",
+                    schemas,
+                    "--mapping",
+                    mapping,
+                    "--no-verify",
+                ]
+            )
+            == 0
+        )
+        assert "verification: skipped" in capsys.readouterr().out
+
+    def test_missing_inputs_exit_2(self):
+        with pytest.raises(SystemExit) as err:
+            run(["optimize"])
+        assert err.value.code == 2
+
+    def test_trace_json_records_optimize_spans(self, redundant_files, tmp_path):
+        schemas, mapping, *_ = redundant_files
+        trace = tmp_path / "trace.jsonl"
+        assert (
+            run(
+                [
+                    "optimize",
+                    "--schemas",
+                    schemas,
+                    "--mapping",
+                    mapping,
+                    "--trace-json",
+                    trace,
+                ]
+            )
+            == 0
+        )
+        names = {
+            json.loads(line)["name"] for line in trace.read_text().splitlines()
+        }
+        assert "optimize.mapping" in names
+        assert "optimize.prune" in names
+        assert "optimize.verify" in names
+
+
+class TestPipeline:
+    def test_pipeline_collapses(self, pipeline_spec, capsys):
+        spec, *_ = pipeline_spec
+        assert run(["optimize", "--pipeline", spec]) == 0
+        out = capsys.readouterr().out
+        assert "rewrite plan (pipeline)" in out
+        assert "stages: 2 -> 1" in out
+        assert "collapse-stages" in out
+        assert "RA612" in out  # the plan carries the analysis diagnostics
+
+    def test_pipeline_json(self, pipeline_spec, capsys):
+        spec, *_ = pipeline_spec
+        assert run(["optimize", "--pipeline", spec, "--json"]) == 0
+        plan = json.loads(capsys.readouterr().out)
+        assert plan["optimized"]["stages"] == 1
+        assert any(d["code"] == "RA612" for d in plan["diagnostics"])
+
+    def test_pipeline_apply(self, pipeline_spec, tmp_path, capsys):
+        spec, A, C = pipeline_spec
+        out = tmp_path / "collapsed.tgd"
+        assert run(["optimize", "--pipeline", spec, "--apply", out]) == 0
+        reparsed = SchemaMapping.parse(A, C, out.read_text())
+        assert len(reparsed.tgds) == 1
+
+    def test_pipeline_conflicts_with_single_mapping_flags(self, pipeline_spec):
+        spec, *_ = pipeline_spec
+        with pytest.raises(SystemExit) as err:
+            run(["optimize", "--pipeline", spec, "--schemas", "x.json"])
+        assert err.value.code == 2
+
+    def test_malformed_spec_exits_2(self, tmp_path):
+        spec = tmp_path / "bad.json"
+        spec.write_text(json.dumps({"stages": []}))
+        with pytest.raises(SystemExit) as err:
+            run(["optimize", "--pipeline", spec])
+        assert err.value.code == 2
+
+
+class TestLintFilters:
+    @pytest.fixture
+    def lint_files(self, tmp_path):
+        source = schema(relation("S", "a", "b"))
+        target = schema(relation("T", "a", "b"))
+        schemas = tmp_path / "schemas.json"
+        write_schemas(schemas, source, target)
+        mapping = tmp_path / "mapping.tgd"
+        mapping.write_text("S(x, y) -> T(x, y)\nS(p, q) -> T(p, q)\n")
+        return schemas, mapping
+
+    def test_select_narrows_to_algebra_codes(self, lint_files, capsys):
+        schemas, mapping = lint_files
+        code = run(
+            [
+                "lint",
+                "--schemas",
+                schemas,
+                "--mapping",
+                mapping,
+                "--select",
+                "RA6",
+                "--json",
+            ]
+        )
+        report = json.loads(capsys.readouterr().out)
+        found = {d["code"] for d in report["diagnostics"]}
+        assert found == {"RA601"}
+        assert code == 1  # RA601 is a warning
+
+    def test_ignore_suppresses_algebra_codes(self, lint_files, capsys):
+        schemas, mapping = lint_files
+        run(
+            [
+                "lint",
+                "--schemas",
+                schemas,
+                "--mapping",
+                mapping,
+                "--ignore",
+                "RA6",
+                "--json",
+            ]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert not any(
+            d["code"].startswith("RA6") for d in report["diagnostics"]
+        )
+
+    def test_bad_filter_pattern_exits_2(self, lint_files):
+        schemas, mapping = lint_files
+        with pytest.raises(SystemExit) as err:
+            run(
+                [
+                    "lint",
+                    "--schemas",
+                    schemas,
+                    "--mapping",
+                    mapping,
+                    "--select",
+                    "bogus",
+                ]
+            )
+        assert err.value.code == 2
+
+    def test_select_filters_parse_diagnostics_too(self, tmp_path, capsys):
+        source = schema(relation("S", "a", "b"))
+        target = schema(relation("T", "a", "b"))
+        schemas = tmp_path / "schemas.json"
+        write_schemas(schemas, source, target)
+        mapping = tmp_path / "mapping.tgd"
+        mapping.write_text("this is not a tgd\n")
+        code = run(
+            [
+                "lint",
+                "--schemas",
+                schemas,
+                "--mapping",
+                mapping,
+                "--select",
+                "RA3",
+                "--json",
+            ]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert not any(d["code"] == "RA000" for d in report["diagnostics"])
+        assert code == 0  # the RA000 error was deselected

@@ -1,0 +1,91 @@
+"""Tests for the cost-based evolution-strategy chooser and the cost model."""
+
+from repro.channels import RenameTable
+from repro.channels.primitives import DropColumn, DropTable
+from repro.mapping import SchemaMapping
+from repro.optimize import (
+    choose_evolution_strategy,
+    estimate_chase_cost,
+    pipeline_cost,
+    propagate_statistics,
+)
+from repro.relational import relation, schema
+from repro.stats import RelationStatistics, Statistics
+
+
+S = schema(relation("S", "a", "b"), relation("R", "a", "b"))
+T = schema(relation("T", "a", "b"))
+BASE = SchemaMapping.parse(S, T, "S(x, y) -> T(x, y)")
+
+
+def stats(**cards):
+    return Statistics(
+        {name: RelationStatistics(name, card) for name, card in cards.items()}
+    )
+
+
+class TestCostModel:
+    def test_single_atom_cost_is_cardinality(self):
+        st = stats(S=500, R=10)
+        assert estimate_chase_cost(BASE, st) == 500.0
+
+    def test_join_divides_by_distinct(self):
+        m = SchemaMapping.parse(S, T, "S(x, y), R(y, z) -> T(x, z)")
+        st = Statistics(
+            {
+                "S": RelationStatistics("S", 100),
+                "R": RelationStatistics("R", 100, {"a": 50}),
+            }
+        )
+        # 100 bindings from S, each joining 100/50 R-rows on the bound var.
+        assert estimate_chase_cost(m, st) == 100 * (100 / 50)
+
+    def test_propagation_estimates_target_cardinality(self):
+        st = stats(S=500, R=10)
+        propagated = propagate_statistics(BASE, st)
+        assert propagated.relations["T"].cardinality == 500
+
+    def test_pipeline_cost_compounds_across_hops(self):
+        mid = schema(relation("M", "a", "b"))
+        m1 = SchemaMapping.parse(S, mid, "S(x, y) -> M(x, y)")
+        m2 = SchemaMapping.parse(mid, T, "M(x, y) -> T(x, y)")
+        total, per_stage = pipeline_cost([m1, m2], stats(S=500, R=10))
+        assert per_stage == [500.0, 500.0]
+        assert total == 1000.0
+
+
+class TestChooseEvolutionStrategy:
+    def test_rename_prefers_channel_propagation(self):
+        decision = choose_evolution_strategy(
+            BASE, [RenameTable("S", "S2")], stats(S=100, R=5)
+        )
+        assert decision.strategy == "channel-propagation"
+        assert decision.rewritten is not None
+        assert "S2" in decision.rewritten.source.relation_names
+        assert decision.channel_cost is not None
+        # One hop beats (or ties) recovery + base chase.
+        if decision.invert_cost is not None:
+            assert decision.channel_cost <= decision.invert_cost
+
+    def test_decision_serializes(self):
+        decision = choose_evolution_strategy(BASE, [RenameTable("S", "S2")])
+        data = decision.as_dict()
+        assert data["strategy"] == decision.strategy
+        assert "channel_cost" in data and "reason" in data
+
+    def test_drop_unused_table_still_has_a_route(self):
+        decision = choose_evolution_strategy(
+            BASE, [DropTable("R")], stats(S=100, R=5)
+        )
+        assert decision.strategy != "none"
+
+    def test_channel_route_survives_column_drop(self):
+        wide = schema(relation("S", "a", "b", "c"))
+        base = SchemaMapping.parse(
+            wide, T, "S(x, y, z) -> T(x, y)"
+        )
+        decision = choose_evolution_strategy(
+            base, [DropColumn("S", "c")], stats(S=100)
+        )
+        assert decision.strategy != "none"
+        assert decision.reason

@@ -1,0 +1,251 @@
+"""Tests for the mapping/pipeline optimizer and its chase verification.
+
+The acceptance bar: every rewrite the optimizer suggests ships with a
+check that the rewritten mapping's chase is canonically equal (or
+homomorphically equivalent) to the original's on generated instances —
+including mappings with target constraints.
+"""
+
+from random import Random
+
+import pytest
+
+import repro.optimize.optimizer as optimizer_module
+from repro.logic.parser import parse_rule
+from repro.mapping import SchemaMapping, StTgd, chase, universal_solution
+from repro.mapping.dependencies import target_dependency_from_rule
+from repro.optimize import optimize_mapping, optimize_pipeline, pipeline_cost
+from repro.relational import (
+    canonically_equal,
+    homomorphically_equivalent,
+    relation,
+    schema,
+)
+from repro.stats import Statistics
+from repro.workloads.generators import random_instance
+
+
+A = schema(relation("S", "a", "b"))
+B = schema(relation("T", "a", "b"), relation("TRef", "a", "b"))
+C = schema(relation("U", "a", "b"))
+
+
+def dep(text):
+    return target_dependency_from_rule(parse_rule(text))
+
+
+def sm(source, target, *tgd_texts, deps=()):
+    return SchemaMapping(
+        source, target, [StTgd.parse(t) for t in tgd_texts], deps
+    )
+
+
+def assert_chase_equivalent(original_stages, optimized_stages, seeds=(0, 1, 2)):
+    """The acceptance-criteria oracle: chase both pipelines end to end."""
+
+    def run(stages, source):
+        current = source
+        for stage in stages:
+            current = universal_solution(stage, current.cast(stage.source))
+        return current
+
+    for seed in seeds:
+        source = random_instance(
+            original_stages[0].source, Random(seed), rows_per_relation=5
+        )
+        expected = run(original_stages, source)
+        actual = run(optimized_stages, source)
+        assert canonically_equal(expected, actual) or homomorphically_equivalent(
+            expected, actual
+        )
+
+
+class TestOptimizeMapping:
+    def test_prunes_redundant_tgds_and_verifies(self):
+        m = sm(
+            A,
+            C,
+            "S(x, y) -> U(x, y)",
+            "S(p, q) -> U(p, q)",
+            "S(x, y) -> exists z . U(x, z)",
+        )
+        plan = optimize_mapping(m)
+        assert plan.changed
+        (stage,) = plan.optimized
+        assert len(stage.tgds) == 1
+        assert plan.verification["equivalent"] is True
+        prunes = [a for a in plan.actions if a.kind == "prune-tgd"]
+        assert len(prunes) == 2 and all(a.verified for a in prunes)
+        assert_chase_equivalent(plan.original, plan.optimized)
+
+    def test_prune_with_target_constraints(self):
+        m = sm(
+            A,
+            B,
+            "S(x, y) -> T(x, y)",
+            "S(x, y) -> exists z . TRef(x, z)",
+            deps=[dep("T(u, v) -> TRef(u, v)")],
+        )
+        plan = optimize_mapping(m)
+        assert plan.changed
+        assert len(plan.optimized[0].tgds) == 1
+        assert plan.optimized[0].target_dependencies == m.target_dependencies
+        assert plan.verification["equivalent"] is True
+
+        def run(stage, source):
+            return chase(stage, source).solution
+
+        for seed in (0, 1, 2):
+            source = random_instance(A, Random(seed), rows_per_relation=5)
+            expected = run(m, source)
+            actual = run(plan.optimized[0], source)
+            assert canonically_equal(
+                expected, actual
+            ) or homomorphically_equivalent(expected, actual)
+
+    def test_clean_mapping_is_unchanged(self):
+        m = sm(A, C, "S(x, y) -> U(x, y)")
+        plan = optimize_mapping(m)
+        assert not plan.changed
+        assert plan.optimized == plan.original
+        assert plan.verification["checked"] == 0
+
+    def test_undecidable_mapping_is_skipped_not_broken(self):
+        m = sm(
+            A,
+            B,
+            "S(x, y) -> T(x, y)",
+            "S(p, q) -> T(p, q)",
+            deps=[dep("T(u, v) -> exists w . T(v, w)")],
+        )
+        plan = optimize_mapping(m)
+        assert not plan.changed
+        (skip,) = [a for a in plan.actions if a.kind == "skip-prune"]
+        assert skip.data["reason"] == "not-weakly-acyclic"
+
+    def test_no_verify_leaves_actions_unverified(self):
+        m = sm(A, C, "S(x, y) -> U(x, y)", "S(p, q) -> U(p, q)")
+        plan = optimize_mapping(m, verify=False)
+        assert plan.changed
+        assert plan.verification["checked"] == 0
+        assert all(a.verified is None for a in plan.actions)
+
+    def test_refuted_rewrite_is_reverted(self, monkeypatch):
+        # Force the implication test to lie: claim the non-redundant
+        # second tgd is implied, and check the chase cross-check catches
+        # it and reverts the rewrite.
+        m = sm(A, C, "S(x, y) -> U(x, y)", "S(x, y) -> U(y, x)")
+        lying = m.__class__(
+            m.source, m.target, [m.tgds[0]], m.target_dependencies
+        )
+        monkeypatch.setattr(
+            optimizer_module,
+            "prune_redundant",
+            lambda mapping, max_steps: (lying, [1]),
+        )
+        plan = optimize_mapping(m)
+        assert plan.optimized == plan.original  # reverted
+        assert plan.verification["equivalent"] is False
+        assert [a.kind for a in plan.actions][-1] == "revert"
+        (pruned,) = [a for a in plan.actions if a.kind == "prune-tgd"]
+        assert pruned.verified is False
+        assert not plan.changed
+
+
+class TestOptimizePipeline:
+    def test_collapses_and_verifies(self):
+        mid = schema(relation("T", "a", "b"))
+        m1 = sm(A, mid, "S(x, y) -> T(x, y)")
+        m2 = sm(mid, C, "T(x, y) -> U(x, y)")
+        plan = optimize_pipeline([m1, m2])
+        assert len(plan.optimized) == 1
+        assert plan.verification["equivalent"] is True
+        (collapse,) = [a for a in plan.actions if a.kind == "collapse-stages"]
+        assert collapse.verified is True
+        assert_chase_equivalent(plan.original, plan.optimized)
+
+    def test_collapse_reduces_estimated_cost(self):
+        mid = schema(relation("T", "a", "b"))
+        m1 = sm(A, mid, "S(x, y) -> T(x, y)")
+        m2 = sm(mid, C, "T(x, y) -> U(x, y)")
+        stats = Statistics.assumed(A)
+        plan = optimize_pipeline([m1, m2], stats)
+        assert plan.cost_after < plan.cost_before
+        total_before, per_stage = pipeline_cost([m1, m2], stats)
+        assert plan.cost_before == total_before
+        assert len(per_stage) == 2
+
+    def test_obstructed_stage_is_kept(self):
+        emp = schema(relation("Emp", "name"))
+        mgr = schema(relation("Manager", "emp", "mgr"))
+        slf = schema(relation("SelfMngr", "emp"))
+        m1 = sm(emp, mgr, "Emp(x) -> exists y . Manager(x, y)")
+        m2 = sm(mgr, slf, "Manager(x, x) -> SelfMngr(x)")
+        plan = optimize_pipeline([m1, m2])
+        assert len(plan.optimized) == 2
+        (keep,) = [a for a in plan.actions if a.kind == "keep-stage"]
+        assert keep.data["obstruction"]["kind"] == "premise-function"
+
+    def test_prune_unlocks_collapse(self):
+        # Each stage carries a redundant existential tgd whose Skolem
+        # function would obstruct de-Skolemization of the composition.
+        # Pruning first removes the obstruction, so the pipeline still
+        # collapses to a single one-tgd stage (the benchmark workload).
+        mid = schema(relation("T", "a", "b"))
+        m1 = sm(
+            A,
+            mid,
+            "S(x, y) -> T(x, y)",
+            "S(x, y) -> exists z . T(x, z)",
+        )
+        m2 = sm(
+            mid,
+            C,
+            "T(x, y) -> U(x, y)",
+            "T(x, y) -> exists z . U(x, z)",
+        )
+        plan = optimize_pipeline([m1, m2])
+        assert len(plan.optimized) == 1
+        assert len(plan.optimized[0].tgds) == 1
+        assert plan.verification["equivalent"] is True
+        prunes = [a for a in plan.actions if a.kind == "prune-tgd"]
+        assert {a.data["stage"] for a in prunes} == {0, 1}
+        assert any(a.kind == "collapse-stages" for a in plan.actions)
+        assert_chase_equivalent(plan.original, plan.optimized)
+
+    def test_mid_constraints_fold_through_collapse(self):
+        m1 = sm(
+            A,
+            B,
+            "S(x, y) -> T(x, y)",
+            deps=[dep("T(u, v) -> TRef(u, v)")],
+        )
+        m2 = sm(B, C, "T(x, y) -> U(x, y)", "TRef(x, y) -> U(y, x)")
+        plan = optimize_pipeline([m1, m2])
+        assert len(plan.optimized) == 1
+        assert plan.verification["equivalent"] is True
+        assert_chase_equivalent([m1, m2], plan.optimized)
+
+    def test_non_chaining_pipeline_raises(self):
+        m1 = sm(A, C, "S(x, y) -> U(x, y)")
+        m2 = sm(A, C, "S(x, y) -> U(x, y)")
+        with pytest.raises(ValueError):
+            optimize_pipeline([m1, m2])
+
+    def test_empty_pipeline_raises(self):
+        with pytest.raises(ValueError):
+            optimize_pipeline([])
+
+    def test_plan_serializes(self):
+        mid = schema(relation("T", "a", "b"))
+        m1 = sm(A, mid, "S(x, y) -> T(x, y)")
+        m2 = sm(mid, C, "T(x, y) -> U(x, y)")
+        plan = optimize_pipeline([m1, m2])
+        data = plan.as_dict()
+        assert data["original"]["stages"] == 2
+        assert data["optimized"]["stages"] == 1
+        assert data["changed"] is True
+        rendered = plan.render()
+        assert "stages: 2 -> 1" in rendered
+        assert "estimated chase cost" in rendered
+        assert plan.to_json().startswith("{")
