@@ -13,30 +13,43 @@ in both evaluation modes (toggle: ``repro.logic.evaluation
   multi-join case where the scan baseline goes quadratic and the
   indexed path probes.
 
+A second dimension compares exchange *backends*: the interpreted chase
+against the SQL-compiled engines (``sqlite`` always, ``duckdb`` when
+installed) on the join workload at ``--backend-sizes`` (default 10k to
+1M rows), plus a ``core`` workload — the join mapping with a redundant
+``Emp(n, d) → ∃h,o Office(n, h, o)`` tgd — where the laconic rewrite
+lets SQL compute the core directly, recorded as core vs canonical fact
+counts.
+
 Results (rows vs seconds, per mode, plus speedups) go to
 ``BENCH_chase.json``.  ``--check-speedup MIN`` exits non-zero when the
 indexed path fails to beat the scan path by the given factor on the
-largest size of the join workload — CI runs this at tiny smoke sizes
-with ``MIN=1.0``.
+largest size of the join workload, and ``--check-backend-speedup MIN``
+does the same for the sqlite backend against the interpreted chase —
+CI runs both at tiny smoke sizes with ``MIN=1.0``.
 
 Run::
 
     PYTHONPATH=src python benchmarks/bench_chase_scaling.py
     PYTHONPATH=src python benchmarks/bench_chase_scaling.py \
-        --sizes 200 1000 --repeat 3 --check-speedup 1.0
+        --sizes 200 1000 --repeat 3 --check-speedup 1.0 \
+        --backend-sizes 1000 --check-backend-speedup 1.0
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import statistics as pystats
 import sys
 import time
 from pathlib import Path
 
+from repro.backends import available_backends, plan_backend
 from repro.logic.evaluation import set_indexes_enabled
 from repro.mapping import SchemaMapping, universal_solution
+from repro.options import ExchangeOptions
 from repro.relational import instance, relation, schema
 from repro.relational.values import constant
 from repro.workloads import emp_manager_scenario
@@ -92,16 +105,63 @@ def join_workload(size: int, dept_ratio: int):
     return mapping, source
 
 
+def core_workload(size: int, dept_ratio: int):
+    """The join mapping plus a redundant tgd the laconic rewrite prunes.
+
+    Every employee also fires ``Emp(n, d) → ∃h,o Office(n, h, o)``; the
+    canonical chase keeps those all-null offices while the laconic SQL
+    program (and the interpreted core) drops the subsumed ones.
+    """
+    depts = max(1, size // dept_ratio)
+    source_schema = schema(
+        relation("Emp", "name", "dept"), relation("Dept", "dept", "head")
+    )
+    target_schema = schema(relation("Office", "name", "head", "room"))
+    mapping = SchemaMapping.parse(
+        source_schema,
+        target_schema,
+        "Emp(n, d), Dept(d, h) -> exists m . Office(n, h, m)\n"
+        "Emp(n, d) -> exists h, o . Office(n, h, o)",
+    )
+    source = instance(
+        source_schema,
+        {
+            "Emp": [[f"emp{i}", f"d{i % depts}"] for i in range(size)],
+            "Dept": [[f"d{j}", f"head{j}"] for j in range(depts)],
+        },
+    )
+    return mapping, source
+
+
 WORKLOADS = {"e1": e1_workload, "join": join_workload}
 
 
 def timed(mapping, source, repeat: int) -> list[float]:
     samples = []
     for _ in range(repeat):
+        gc.collect()
         start = time.perf_counter()
         universal_solution(mapping, source)
         samples.append(time.perf_counter() - start)
     return samples
+
+
+def timed_backend(engine, source, repeat: int) -> list[float]:
+    samples = []
+    for _ in range(repeat):
+        gc.collect()
+        start = time.perf_counter()
+        engine.exchange(source)
+        samples.append(time.perf_counter() - start)
+    return samples
+
+
+def backend_engine(mapping, name: str):
+    """A ready backend engine for *mapping*, or ``None`` with a reason."""
+    plan = plan_backend(mapping, ExchangeOptions(backend=name))
+    if plan is None or not plan.ready:
+        return None
+    return plan.backend
 
 
 def run_mode(mapping, source, repeat: int, indexed: bool) -> list[float]:
@@ -144,6 +204,33 @@ def main() -> int:
         help="exit 1 unless indexed beats scan by MIN× on the largest "
         "join-workload size",
     )
+    parser.add_argument(
+        "--backend-sizes",
+        type=int,
+        nargs="*",
+        default=[10000, 100000, 1000000],
+        help="join-workload sizes for the backend dimension "
+        "(pass no values to skip it)",
+    )
+    parser.add_argument(
+        "--backends",
+        nargs="+",
+        default=None,
+        help="SQL backends to measure (default: every available one)",
+    )
+    parser.add_argument(
+        "--core-size-cap",
+        type=int,
+        default=100000,
+        help="largest backend size the core workload runs at",
+    )
+    parser.add_argument(
+        "--check-backend-speedup",
+        type=float,
+        metavar="MIN",
+        help="exit 1 unless the sqlite backend beats the interpreted "
+        "chase by MIN× on the largest backend join size",
+    )
     args = parser.parse_args()
 
     assert_interning_holds()
@@ -170,12 +257,85 @@ def main() -> int:
                 f"speedup {entry['speedup']:.1f}x"
             )
 
+    backends = args.backends or [
+        b for b in available_backends() if b != "interpreted"
+    ]
+    backend_results = []
+    for size in sorted(args.backend_sizes):
+        mapping, source = join_workload(size, args.dept_ratio)
+        universal_solution(mapping, source)  # warm-up
+        interp = pystats.median(run_mode(mapping, source, args.repeat, True))
+        facts = universal_solution(mapping, source).size()
+        for name in backends:
+            engine = backend_engine(mapping, name)
+            if engine is None:
+                print(f"backend {name}: fell back to interpreted, skipping")
+                continue
+            result = engine.exchange(source)  # warm-up + cross-check
+            if result.size() != facts:
+                print(
+                    f"backend {name}: size mismatch {result.size()} != "
+                    f"{facts} at size {size}",
+                    file=sys.stderr,
+                )
+                return 1
+            seconds = pystats.median(timed_backend(engine, source, args.repeat))
+            entry = {
+                "workload": "join",
+                "size": size,
+                "backend": name,
+                "target_facts": facts,
+                "backend_seconds": seconds,
+                "interpreted_seconds": interp,
+                "speedup": interp / seconds,
+            }
+            backend_results.append(entry)
+            print(
+                f" join size={size:>7}: {name} {seconds:.4f}s  "
+                f"interpreted {interp:.4f}s  speedup {entry['speedup']:.1f}x"
+            )
+
+    core_results = []
+    for size in sorted(s for s in args.backend_sizes if s <= args.core_size_cap):
+        mapping, source = core_workload(size, args.dept_ratio)
+        canonical_facts = universal_solution(mapping, source).size()
+        for name in backends:
+            engine = backend_engine(mapping, name)
+            if engine is None:
+                print(f"core backend {name}: fell back, skipping")
+                continue
+            result = engine.exchange(source)
+            if result.size() > canonical_facts:
+                print(
+                    f"core backend {name}: {result.size()} facts exceed the "
+                    f"canonical chase's {canonical_facts} at size {size}",
+                    file=sys.stderr,
+                )
+                return 1
+            seconds = pystats.median(timed_backend(engine, source, args.repeat))
+            entry = {
+                "workload": "core",
+                "size": size,
+                "backend": name,
+                "core_facts": result.size(),
+                "canonical_facts": canonical_facts,
+                "backend_seconds": seconds,
+            }
+            core_results.append(entry)
+            print(
+                f" core size={size:>7}: {name} {result.size()} core facts vs "
+                f"{canonical_facts} canonical in {seconds:.4f}s"
+            )
+
     payload = {
         "benchmark": "chase_scaling",
-        "description": "universal-solution chase, indexed vs scan evaluation",
+        "description": "universal-solution chase: indexed vs scan evaluation, "
+        "and interpreted vs SQL-compiled backends",
         "dept_ratio": args.dept_ratio,
         "repeat": args.repeat,
         "results": results,
+        "backend_results": backend_results,
+        "core_results": core_results,
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")
@@ -196,6 +356,29 @@ def main() -> int:
         print(
             f"check-speedup ok: {largest['speedup']:.2f}x ≥ "
             f"{args.check_speedup}x at size {largest['size']}"
+        )
+
+    if args.check_backend_speedup is not None:
+        sqlite_entries = [
+            r for r in backend_results if r["backend"] == "sqlite"
+        ]
+        if not sqlite_entries:
+            print(
+                "check-backend-speedup: no sqlite backend measured",
+                file=sys.stderr,
+            )
+            return 1
+        largest = max(sqlite_entries, key=lambda r: r["size"])
+        if largest["speedup"] < args.check_backend_speedup:
+            print(
+                f"check-backend-speedup FAILED: {largest['speedup']:.2f}x < "
+                f"{args.check_backend_speedup}x at size {largest['size']}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"check-backend-speedup ok: {largest['speedup']:.2f}x ≥ "
+            f"{args.check_backend_speedup}x at size {largest['size']}"
         )
     return 0
 

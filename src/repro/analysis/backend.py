@@ -1,0 +1,108 @@
+"""SQL-backend compilability analysis (codes RA510–RA512).
+
+Mirrors :func:`repro.backends.sql.mapping_compilability` statically, so
+``repro lint`` (and ``repro plan --verbose``) can report whether
+``--backend sqlite``/``duckdb`` will actually compile before anyone runs
+an exchange:
+
+* **RA510** (info) — the mapping compiles: either the *laconic rewrite*
+  applies (single-atom fact blocks, no target dependencies — SQL
+  computes the **core** universal solution) or the canonical lowering
+  runs (homomorphically equivalent to the chase result).
+* **RA511** (info) — a tgd is outside the compilable fragment; the
+  diagnostic carries the structured reason codes
+  (``function-terms``, ``unanchored-variable``, …) a backend request
+  would report at plan time.
+* **RA512** (info) — target dependencies (egds / target tgds) force the
+  interpreted chase: the SQL lowering has no equality-merging step.
+
+Like every lint pass this is purely symbolic — it classifies premise and
+conclusion shapes, never touching an instance or a database.
+"""
+
+from __future__ import annotations
+
+from ..backends.sql import tgd_compilability
+from ..mapping.dependencies import Egd
+from .bundle import AnalysisBundle
+from .diagnostics import Diagnostic, Severity
+from .registry import register
+
+
+@register(
+    "backend",
+    ("RA510", "RA511", "RA512"),
+    "SQL-backend compilability of the mapping",
+)
+def check_backend(bundle: AnalysisBundle) -> list[Diagnostic]:
+    findings: list[Diagnostic] = []
+    if bundle.target_dependencies:
+        kinds = sorted(
+            {
+                "egd" if isinstance(d, Egd) else "target tgd"
+                for d in bundle.target_dependencies
+            }
+        )
+        findings.append(
+            Diagnostic(
+                "RA512",
+                Severity.INFO,
+                f"{len(bundle.target_dependencies)} target dependencies "
+                f"({', '.join(kinds)}) keep the exchange on the interpreted "
+                f"chase: the SQL lowering cannot merge values the way egd "
+                f"steps do, so --backend falls back with reason "
+                f"'target-dependencies'",
+                bundle.span_for_dependency(0),
+                data={"reason": "target-dependencies"},
+            )
+        )
+    verdicts = [
+        tgd_compilability(tgd, index) for index, tgd in enumerate(bundle.tgds)
+    ]
+    for verdict in verdicts:
+        if verdict.compilable:
+            continue
+        codes = sorted({reason.code for reason in verdict.reasons})
+        details = "; ".join(reason.detail for reason in verdict.reasons)
+        findings.append(
+            Diagnostic(
+                "RA511",
+                Severity.INFO,
+                f"{bundle.tgd_label(verdict.index)} is outside the "
+                f"SQL-compilable fragment ({', '.join(codes)}): {details}; "
+                f"--backend requests fall back to the interpreted chase",
+                bundle.span_for_tgd(verdict.index),
+                data={"tgd": verdict.index, "reasons": codes},
+            )
+        )
+    if bundle.tgds and all(v.compilable for v in verdicts):
+        if bundle.target_dependencies:
+            pass  # RA512 above already says why --backend falls back
+        elif all(v.single_atom_blocks for v in verdicts):
+            findings.append(
+                Diagnostic(
+                    "RA510",
+                    Severity.INFO,
+                    "mapping compiles to SQL with the laconic rewrite: "
+                    "--backend sqlite/duckdb computes the core universal "
+                    "solution directly (ten Cate et al.)",
+                    bundle.span_for_tgd(0),
+                    data={"laconic": True},
+                )
+            )
+        else:
+            multi = [v.index for v in verdicts if not v.single_atom_blocks]
+            findings.append(
+                Diagnostic(
+                    "RA510",
+                    Severity.INFO,
+                    f"mapping compiles to SQL with the canonical lowering "
+                    f"(tgds {multi} keep multi-atom fact blocks after "
+                    f"normalization, so the laconic rewrite does not apply); "
+                    f"--backend results are homomorphically equivalent to "
+                    f"the chase, not necessarily the core",
+                    bundle.span_for_tgd(0),
+                    data={"laconic": False, "multi_atom_tgds": multi},
+                )
+            )
+    return findings

@@ -69,6 +69,7 @@ def _ensure_loaded() -> None:
     # Import the pass modules for their registration side effects.
     from . import (  # noqa: F401
         algebra,
+        backend,
         composability,
         invertibility,
         parallelism,

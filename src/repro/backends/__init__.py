@@ -1,0 +1,54 @@
+"""repro.backends — SQL-compiled execution backends for the exchange.
+
+The interpreted chase fires tgds fact-by-fact in Python.  This package
+compiles an st-tgd mapping to SQL instead and runs the whole exchange
+inside an embedded engine: the stdlib :mod:`sqlite3` always, DuckDB when
+the optional ``duckdb`` package is installed.  For the laconic fragment
+(no target dependencies, single-atom fact blocks after normalization)
+the compiler emits the laconic rewrite of ten Cate et al., *Laconic
+schema mappings: computing core universal solutions by means of SQL
+queries* — fact-block splitting plus NOT-EXISTS side conditions — so the
+SQL result is the **core** universal solution directly.  Everything
+outside the supported fragment falls back to the interpreted chase with
+a structured :class:`FallbackReason`.
+
+Entry points:
+
+* ``ExchangeOptions(backend="sqlite")`` — the one switch users flip;
+  :func:`plan_backend` is what :meth:`ExchangeEngine.compile` calls to
+  turn it into a ready :class:`BackendPlan` (or a reasoned fallback).
+* :func:`repro.backends.sql.compile_mapping` — the compiler itself,
+  also consumed by the RA51x analysis pass (``repro lint``).
+"""
+
+from .base import (
+    BACKEND_NAMES,
+    BackendPlan,
+    BackendUnavailableError,
+    SqlExchangeBackend,
+    available_backends,
+    plan_backend,
+)
+from .sql import (
+    CompilationReport,
+    FallbackReason,
+    SqlProgram,
+    TgdCompilability,
+    compile_mapping,
+)
+from .sqlite_backend import SqliteBackend
+
+__all__ = [
+    "BACKEND_NAMES",
+    "BackendPlan",
+    "BackendUnavailableError",
+    "CompilationReport",
+    "FallbackReason",
+    "SqlExchangeBackend",
+    "SqlProgram",
+    "SqliteBackend",
+    "TgdCompilability",
+    "available_backends",
+    "compile_mapping",
+    "plan_backend",
+]

@@ -1,0 +1,418 @@
+"""Backend selection and the shared SQL execution driver.
+
+:func:`plan_backend` is the single decision point: given a mapping and
+:class:`~repro.options.ExchangeOptions` it either returns a ready
+:class:`BackendPlan` (holding a connected-on-demand engine) or a plan
+whose ``fallback`` explains — with structured
+:class:`~repro.backends.sql.FallbackReason` codes — why the interpreted
+chase must run instead.  Requesting an engine that cannot exist in this
+process at all (DuckDB without the package) raises
+:class:`BackendUnavailableError` rather than silently degrading, because
+that is a configuration error, not a property of the mapping.
+
+:class:`SqlExchangeBackend` is the engine-agnostic half of execution:
+every run opens a fresh in-memory database and drives four phases —
+**load** (bulk ``executemany`` of interned ids into ``src_*`` tables),
+**compile** (DDL plus the evaluator-derived index hints), **execute**
+(per-tgd fused statements — or bindings temp tables where fusing is
+unavailable — plus fresh-null offset allocation), **extract** (decoding
+fetched id rows through the interner into a target :class:`Instance`).
+When every block fused to a single statement the execute phase runs the
+SELECT halves directly and never materializes target tables.  Each phase is
+timed into ``last_phase_timings`` (what ``repro profile`` prints),
+observed as ``backend.<phase>.seconds`` histograms, and wrapped in a
+``backend.exchange`` span; budget checks run at every phase boundary
+and per-tgd during execute, so deadlines and fact caps behave exactly
+as on the interpreted path.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from ..budget import Budget
+from ..mapping.sttgd import SchemaMapping
+from ..obs import get_registry, get_tracer
+from ..relational.instance import Instance
+from ..relational.serialization import (
+    ValueInterner,
+    instance_from_id_rows,
+    row_codec,
+)
+from ..relational.values import NullFactory
+from ..stats import Statistics
+from .sql import (
+    OFFSET,
+    CompilationReport,
+    FallbackReason,
+    SqlProgram,
+    compile_mapping,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..options import ExchangeOptions
+
+__all__ = [
+    "BACKEND_NAMES",
+    "BackendPlan",
+    "BackendUnavailableError",
+    "SqlExchangeBackend",
+    "available_backends",
+    "plan_backend",
+]
+
+BACKEND_NAMES = ("interpreted", "sqlite", "duckdb")
+"""Every value ``ExchangeOptions.backend`` accepts."""
+
+
+class BackendUnavailableError(RuntimeError):
+    """The requested engine cannot run in this process (e.g. no duckdb)."""
+
+
+class SqlExchangeBackend:
+    """Shared phase driver over a compiled :class:`SqlProgram`.
+
+    Engine subclasses implement :meth:`_connect` (a fresh in-memory
+    DB-API connection) and :meth:`available`; everything else — loading,
+    null minting, budget discipline, observability — is common.  A
+    backend is stateless between runs: every :meth:`exchange` call gets
+    its own connection, interner and null factory, so concurrent calls
+    from the service executor never share mutable state.
+    """
+
+    name = "sql"
+    #: Whether the driver reports an accurate ``cursor.rowcount`` for
+    #: ``INSERT … SELECT`` — required by the fused single-statement path
+    #: (sqlite3 does; duckdb's DB-API shim does not).
+    fused_inserts = True
+
+    def __init__(self, mapping: SchemaMapping, program: SqlProgram) -> None:
+        self.mapping = mapping
+        self.program = program
+        self.last_phase_timings: dict[str, float] = {}
+        self.last_run: dict[str, Any] = {}
+
+    # -- engine contract ---------------------------------------------------
+
+    def _connect(self) -> Any:
+        """A fresh in-memory DB-API connection (engine-specific)."""
+        raise NotImplementedError
+
+    @classmethod
+    def available(cls) -> bool:
+        """Whether this engine can run in the current process."""
+        return True
+
+    # -- execution ---------------------------------------------------------
+
+    def exchange(self, source: Instance, budget: Budget | None = None) -> Instance:
+        """Run the compiled exchange over *source*; returns the target.
+
+        For laconic programs on ground sources the result is the core
+        universal solution; otherwise it is homomorphically equivalent
+        to the canonical one.  ``last_run["core"]`` records which.
+        """
+        program = self.program
+        registry = get_registry()
+        timings: dict[str, float] = {}
+        with get_tracer().span(
+            "backend.exchange", backend=self.name, laconic=program.laconic
+        ) as span:
+            connection = self._connect()
+            # The bulk phases allocate hundreds of thousands of short
+            # id tuples and decoded values, none of which can form
+            # reference cycles; cyclic-GC passes triggered by that
+            # churn re-traverse the caller's whole live heap and were
+            # measured at ~a third of the runtime on 100k-row loads.
+            # Suspend collection (not allocation accounting) for the
+            # run and restore the caller's setting after.
+            gc_was_enabled = gc.isenabled()
+            if gc_was_enabled:
+                gc.disable()
+            try:
+                # When every block compiled to a fused single statement,
+                # its SELECT half alone already produces the final rows:
+                # fetch those directly and never materialize target
+                # tables.  (Equal ground rows from multi-writer tables
+                # collapse in the decoded frozenset exactly as DISTINCT
+                # would collapse them.)
+                select_only = all(
+                    tgd.fused_insert is not None for tgd in program.tgds
+                )
+                started = time.perf_counter()
+                interner = ValueInterner()
+                factory = NullFactory()
+                loaded = 0
+                for relation, table, arity in program.source_tables:
+                    if arity == 0:
+                        continue
+                    columns = ", ".join(f"c{i} BIGINT" for i in range(arity))
+                    connection.execute(f"CREATE TABLE {table} ({columns})")
+                    rows = source.rows(relation)
+                    if rows:
+                        marks = ", ".join("?" * arity)
+                        # Stream the codec straight into executemany —
+                        # no intermediate list of encoded rows.
+                        connection.executemany(
+                            f"INSERT INTO {table} VALUES ({marks})",
+                            map(row_codec(interner.id_of, arity), rows),
+                        )
+                        loaded += len(rows)
+                if not select_only:
+                    for _, table, arity in program.target_tables:
+                        if arity == 0:
+                            continue
+                        columns = ", ".join(
+                            f"c{i} BIGINT" for i in range(arity)
+                        )
+                        connection.execute(f"CREATE TABLE {table} ({columns})")
+                # Interning just saw every source value, so the label
+                # watermark is free — no second scan to seed the factory.
+                factory.reserve_through(interner.max_interned_label)
+                source_nulls = interner.null_count
+                timings["load"] = time.perf_counter() - started
+                if budget is not None:
+                    budget.check(phase="backend.load")
+
+                started = time.perf_counter()
+                for n, (table, columns) in enumerate(program.index_hints):
+                    cols = ", ".join(f"c{i}" for i in columns)
+                    connection.execute(
+                        f"CREATE INDEX idx_{n}_{table} ON {table} ({cols})"
+                    )
+                timings["compile"] = time.perf_counter() - started
+                if budget is not None:
+                    budget.check(phase="backend.compile")
+
+                started = time.perf_counter()
+                facts = 0
+                firings = 0
+                fetched: dict[str, list] = {}
+                for tgd in program.tgds:
+                    fused = tgd.fused_insert if self.fused_inserts else None
+                    if select_only:
+                        # The firing count is the fetched row count, so
+                        # this path needs no driver rowcount support.
+                        statement = tgd.fused_insert
+                        offset = interner.next_null_id
+                        rows = connection.execute(
+                            statement.select_sql,
+                            [
+                                offset if p is OFFSET else interner.id_of(p)
+                                for p in statement.params
+                            ],
+                        ).fetchall()
+                        count = len(rows)
+                        if count and tgd.existentials:
+                            first = interner.allocate_fresh_nulls(
+                                count * tgd.existentials, factory
+                            )
+                            if first != offset:  # pragma: no cover
+                                raise RuntimeError(
+                                    "fused select null-id offset drifted"
+                                )
+                        bucket = fetched.get(statement.table)
+                        if bucket is None:
+                            fetched[statement.table] = rows
+                        else:
+                            bucket.extend(rows)
+                        firings += count
+                        facts += count
+                    elif fused is not None:
+                        # One statement: bindings inline as a derived
+                        # table, no temp-table materialization and no
+                        # COUNT(*) pass.  The null-id offset is the
+                        # interner's next id; the rows the statement
+                        # minted are backed right after, so the ids
+                        # match by construction.
+                        offset = interner.next_null_id
+                        cursor = connection.execute(
+                            fused.sql,
+                            [
+                                offset if p is OFFSET else interner.id_of(p)
+                                for p in fused.params
+                            ],
+                        )
+                        count = cursor.rowcount
+                        if count and tgd.existentials:
+                            first = interner.allocate_fresh_nulls(
+                                count * tgd.existentials, factory
+                            )
+                            if first != offset:  # pragma: no cover
+                                raise RuntimeError(
+                                    "fused insert null-id offset drifted"
+                                )
+                        firings += count
+                        facts += count
+                    else:
+                        connection.execute(
+                            tgd.bindings_sql,
+                            [interner.id_of(p) for p in tgd.bindings_params],
+                        )
+                        (count,) = connection.execute(
+                            f"SELECT COUNT(*) FROM {tgd.bindings_table}"
+                        ).fetchone()
+                        firings += count
+                        offset = 0
+                        if count and tgd.existentials:
+                            offset = interner.allocate_fresh_nulls(
+                                count * tgd.existentials, factory
+                            )
+                        for insert in tgd.inserts:
+                            connection.execute(
+                                insert.sql,
+                                [
+                                    offset if p is OFFSET else interner.id_of(p)
+                                    for p in insert.params
+                                ],
+                            )
+                        facts += count * len(tgd.inserts)
+                    if budget is not None:
+                        budget.check(facts=facts, phase="backend.execute")
+                timings["execute"] = time.perf_counter() - started
+
+                started = time.perf_counter()
+                rows_by_relation: dict[str, list[tuple[int, ...]]] = {}
+                if select_only:
+                    for relation, table, arity in program.target_tables:
+                        if arity == 0:
+                            continue
+                        rows_by_relation[relation] = fetched.get(table, [])
+                else:
+                    # Laconic single-writer tables hold distinct rows by
+                    # construction (the bindings are DISTINCT over
+                    # exactly the frontier columns the conclusion
+                    # projects), so the DISTINCT hash pass is pure
+                    # overhead there.  Tables fed by several blocks can
+                    # receive equal ground facts and keep the DISTINCT.
+                    writers: dict[str, int] = {}
+                    for tgd in program.tgds:
+                        for insert in tgd.inserts:
+                            writers[insert.table] = (
+                                writers.get(insert.table, 0) + 1
+                            )
+                    for relation, table, arity in program.target_tables:
+                        if arity == 0:
+                            continue
+                        dedup = (
+                            ""
+                            if program.laconic and writers.get(table, 0) <= 1
+                            else "DISTINCT "
+                        )
+                        rows_by_relation[relation] = connection.execute(
+                            f"SELECT {dedup}* FROM {table}"
+                        ).fetchall()
+                result = instance_from_id_rows(
+                    self.mapping.target, rows_by_relation, interner
+                )
+                timings["extract"] = time.perf_counter() - started
+            finally:
+                connection.close()
+                if gc_was_enabled:
+                    gc.enable()
+            # Nulls minted during execute are fine — the laconic rewrite
+            # accounts for them.  Nulls already present in the *source*
+            # void the core guarantee (ten Cate et al. assume ground
+            # sources), so only those count against the claim.
+            core = program.laconic and source_nulls == 0
+            span.set(
+                source_facts=loaded,
+                firings=firings,
+                target_facts=result.size(),
+                core=core,
+            )
+        for phase, seconds in timings.items():
+            registry.observe(f"backend.{phase}.seconds", seconds)
+        registry.increment("backend.runs")
+        self.last_phase_timings = timings
+        self.last_run = {
+            "backend": self.name,
+            "laconic": program.laconic,
+            "core": core,
+            "source_facts": loaded,
+            "firings": firings,
+            "target_facts": result.size(),
+        }
+        return result
+
+
+@dataclass(frozen=True)
+class BackendPlan:
+    """The outcome of :func:`plan_backend` for a non-interpreted request.
+
+    ``ready`` means the exchange will run on ``backend``; otherwise
+    ``fallback`` lists the structured reasons the interpreted chase runs
+    instead (the engine keeps working either way).
+    """
+
+    requested: str
+    backend: SqlExchangeBackend | None
+    report: CompilationReport
+    fallback: tuple[FallbackReason, ...] = ()
+
+    @property
+    def ready(self) -> bool:
+        return self.backend is not None
+
+    def describe(self) -> str:
+        if self.ready:
+            kind = "core (laconic rewrite)" if self.report.laconic else "canonical"
+            return f"{self.requested} backend ready: {kind} SQL exchange"
+        reasons = "; ".join(str(r) for r in self.fallback) or "unknown reason"
+        return f"{self.requested} backend fell back to interpreted: {reasons}"
+
+
+def available_backends() -> tuple[str, ...]:
+    """The backend names that can actually run in this process."""
+    names = ["interpreted", "sqlite"]
+    from .duckdb_backend import DuckdbBackend
+
+    if DuckdbBackend.available():
+        names.append("duckdb")
+    return tuple(names)
+
+
+def plan_backend(
+    mapping: SchemaMapping,
+    options: "ExchangeOptions",
+    statistics: Statistics | None = None,
+) -> BackendPlan | None:
+    """Resolve ``options.backend`` against *mapping*.
+
+    Returns ``None`` for the interpreted backend (nothing to plan), a
+    ready or fallen-back :class:`BackendPlan` otherwise.  Raises
+    :class:`BackendUnavailableError` when the named engine is not
+    importable at all — a deployment problem the caller should hear
+    about loudly, unlike mapping-shaped fallbacks.
+    """
+    requested = options.backend
+    if requested == "interpreted":
+        return None
+    if requested == "sqlite":
+        from .sqlite_backend import SqliteBackend as engine_cls
+    elif requested == "duckdb":
+        from .duckdb_backend import DuckdbBackend as engine_cls
+    else:  # pragma: no cover - ExchangeOptions validates first
+        raise ValueError(f"unknown backend {requested!r}")
+    if not engine_cls.available():
+        raise BackendUnavailableError(
+            f"backend {requested!r} is not available in this environment "
+            f"(is the {requested!r} package installed?)"
+        )
+    program, report = compile_mapping(mapping, statistics)
+    fallback = list(report.reasons)
+    if options.wants_provenance:
+        fallback.append(
+            FallbackReason(
+                "provenance-requested",
+                "provenance recording needs the interpreted chase's "
+                "per-firing hooks; the SQL path has none",
+            )
+        )
+    if program is None or fallback:
+        get_registry().increment("backend.fallbacks")
+        return BackendPlan(requested, None, report, tuple(fallback))
+    return BackendPlan(requested, engine_cls(mapping, program), report)

@@ -1,0 +1,45 @@
+"""The optional DuckDB engine — used when the ``duckdb`` package exists.
+
+DuckDB is columnar and vectorized, which pays off on the analytical
+shape of an exchange (wide scans, hash joins, bulk inserts).  It is an
+*optional extra*: this module import-gates the dependency so the rest of
+:mod:`repro.backends` — and the test suite — works without it.
+Requesting ``backend="duckdb"`` in an environment without the package
+raises :class:`~repro.backends.base.BackendUnavailableError` at plan
+time (a deployment error, not a mapping fallback).
+
+The compiled SQL is shared with SQLite; the only dialect constraint the
+compiler honours for DuckDB's sake is aliasing every derived table
+(``… FROM (SELECT …) AS __rows``), which DuckDB requires and SQLite
+tolerates.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+try:  # pragma: no cover - exercised only where duckdb is installed
+    import duckdb as _duckdb
+except ImportError:  # pragma: no cover
+    _duckdb = None
+
+from .base import SqlExchangeBackend
+
+
+class DuckdbBackend(SqlExchangeBackend):
+    """In-memory DuckDB execution of a compiled exchange."""
+
+    name = "duckdb"
+    # duckdb's DB-API shim reports no usable rowcount for
+    # INSERT … SELECT, so the fused single-statement path cannot learn
+    # the firing count — use the temp-table + COUNT(*) form instead.
+    fused_inserts = False
+
+    def _connect(self) -> Any:  # pragma: no cover - needs duckdb installed
+        if _duckdb is None:
+            raise RuntimeError("duckdb is not installed")
+        return _duckdb.connect(":memory:")
+
+    @classmethod
+    def available(cls) -> bool:
+        return _duckdb is not None

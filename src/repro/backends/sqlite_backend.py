@@ -1,0 +1,32 @@
+"""The stdlib :mod:`sqlite3` engine — always available.
+
+SQLite is the default SQL backend precisely because it ships with
+CPython: ``ExchangeOptions(backend="sqlite")`` needs nothing installed.
+Each exchange runs in a private ``:memory:`` database.  Two properties
+of SQLite the compiler relies on:
+
+* explicit ``CROSS JOIN`` disables join reordering, so the FROM clause
+  order *is* the greedy join order computed by
+  :func:`repro.logic.evaluation.greedy_join_order`;
+* ``row_number() OVER ()`` (SQLite ≥ 3.25) numbers the distinct
+  firings for side-effect-free fresh-null arithmetic.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+from .base import SqlExchangeBackend
+
+
+class SqliteBackend(SqlExchangeBackend):
+    """In-memory SQLite execution of a compiled exchange."""
+
+    name = "sqlite"
+
+    def _connect(self) -> sqlite3.Connection:
+        return sqlite3.connect(":memory:")
+
+    @classmethod
+    def available(cls) -> bool:
+        return True

@@ -100,6 +100,7 @@ from .obs import (
 )
 from .obs.export import write_provenance_json_lines
 from .optimize import optimize_mapping, optimize_pipeline
+from .backends import BackendUnavailableError
 from .options import DEFAULT_MAX_STEPS, ExchangeOptions
 from .provenance import Solution, format_fact
 from .relational import (
@@ -194,6 +195,7 @@ def _options_from_args(args: argparse.Namespace) -> ExchangeOptions:
                 getattr(args, "provenance", False)
                 or getattr(args, "provenance_json", None)
             ),
+            backend=getattr(args, "backend", None) or "interpreted",
         )
     except ValueError as exc:
         raise CliError(str(exc))
@@ -207,9 +209,12 @@ def _build_engine(args: argparse.Namespace) -> tuple[ExchangeEngine, Schema, Sch
         statistics = Statistics.gather(
             load_instance(args.data, source_schema, "source")
         )
-    engine = ExchangeEngine.compile(
-        mapping, statistics, options=_options_from_args(args)
-    )
+    try:
+        engine = ExchangeEngine.compile(
+            mapping, statistics, options=_options_from_args(args)
+        )
+    except BackendUnavailableError as exc:
+        raise CliError(str(exc))
     return engine, source_schema, target_schema
 
 
@@ -250,6 +255,14 @@ def _emit_partial(partial: PartialSolution, out: str | None) -> int:
 def cmd_plan(args: argparse.Namespace) -> int:
     engine, source_schema, _ = _build_engine(args)
     print(engine.explain(verbose=args.verbose))
+    if args.verbose:
+        from .backends.sql import mapping_compilability
+
+        print()
+        if engine.backend_plan is not None:
+            print(f"backend: {engine.backend_plan.describe()}")
+        else:
+            print(f"backend: {mapping_compilability(engine.mapping).summary()}")
     if args.verbose and getattr(args, "data", None):
         from .exec import shard_preview
 
@@ -277,9 +290,13 @@ def cmd_exchange(args: argparse.Namespace) -> int:
         source_schema, target_schema = load_schemas(args.schemas)
         mapping = load_mapping(args.mapping, source_schema, target_schema)
         source = load_instance(args.data, source_schema, "source")
-        with ExchangeService(
-            mapping, options, statistics=Statistics.gather(source)
-        ) as service:
+        try:
+            service_cm = ExchangeService(
+                mapping, options, statistics=Statistics.gather(source)
+            )
+        except BackendUnavailableError as exc:
+            raise CliError(str(exc))
+        with service_cm as service:
             result = service.exchange(source)
         if isinstance(result, PartialSolution):
             _export_provenance(result.provenance, getattr(args, "provenance_json", None))
@@ -346,19 +363,34 @@ def cmd_profile(args: argparse.Namespace) -> int:
     engine, source_schema, _ = _build_engine(args)
     source = load_instance(args.data, source_schema, "source")
     universal_solution(engine.mapping, source)  # reference chase
+    backend_active = (
+        engine.backend_plan is not None and engine.backend_plan.ready
+    )
     try:
         for _ in range(max(args.repeat, 1)):
             target = engine.exchange(source)
-            # The executor returns the chase's solution (labelled nulls),
-            # not the lens view (Skolem values); put diffs against the
-            # lens view, so the round-trip must push that view back.
-            view = target if engine.executor is None else engine.lens.get(source)
+            # The executor and the SQL backends return the chase's
+            # solution (labelled nulls), not the lens view (Skolem
+            # values); put diffs against the lens view, so the
+            # round-trip must push that view back.
+            if engine.executor is None and not backend_active:
+                view = target
+            else:
+                view = engine.lens.get(source)
             engine.put_back(view, source)
     finally:
         engine.close()
     print(render_trace(get_tracer()))
     print()
     print(render_metrics(get_registry()))
+    if backend_active:
+        backend = engine.backend_plan.backend
+        print()
+        print(f"backend phases ({backend.name}):")
+        for phase in ("load", "compile", "execute", "extract"):
+            seconds = backend.last_phase_timings.get(phase)
+            if seconds is not None:
+                print(f"  {phase:<8} {seconds * 1e3:8.3f} ms")
     if args.verbose:
         print()
         print(engine.explain(verbose=True))
@@ -905,6 +937,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         metavar="N",
         help="fact-count budget; past it a partial result is emitted (exit 3)",
+    )
+    options.add_argument(
+        "--backend",
+        choices=("interpreted", "sqlite", "duckdb"),
+        default="interpreted",
+        help="where the exchange runs: the interpreted chase (default) or "
+        "a SQL engine (compilable mappings only; others fall back with a "
+        "reason — see docs/PERFORMANCE.md 'Choosing a backend')",
     )
     options.add_argument(
         "--provenance",

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..backends import BackendPlan, plan_backend
 from ..budget import Budget
 from ..exec.cache import ExchangeCache
 from ..exec.parallel import ParallelExchange
@@ -207,6 +208,7 @@ class ExchangeEngine:
     hints: Hints = field(default_factory=Hints)
     executor: ParallelExchange | None = None
     options: ExchangeOptions = field(default_factory=ExchangeOptions)
+    backend_plan: BackendPlan | None = None
 
     @classmethod
     def compile(
@@ -254,14 +256,23 @@ class ExchangeEngine:
         executor = None
         if options.wants_executor:
             executor = ParallelExchange(mapping, options=options)
-        return cls(mapping, plan, lens, hints, executor, options)
+        # Resolve the SQL backend request (None for "interpreted"); a
+        # non-compilable mapping yields a plan with fallback reasons and
+        # the interpreted paths below keep serving.
+        backend_plan = plan_backend(mapping, options, statistics)
+        return cls(mapping, plan, lens, hints, executor, options, backend_plan)
 
     def exchange(
         self, source: Instance, budget: Budget | None = None
     ) -> Instance | Solution:
         """Forward data exchange: materialize the target instance.
 
-        With an executor configured (``options.workers``/``options.cache``)
+        With a SQL backend configured (``options.backend="sqlite"`` /
+        ``"duckdb"``) and a compilable mapping, the exchange runs inside
+        the embedded engine (:mod:`repro.backends`) — the core universal
+        solution for laconic mappings, a homomorphically equivalent one
+        otherwise; provenance requests and non-compilable mappings fall
+        back to the interpreted paths below.  With an executor configured (``options.workers``/``options.cache``)
         this runs the shard-parallel cached chase, whose solution is the
         chase's (labelled nulls) rather than the lens view's (Skolem
         values) — the two agree up to homomorphic equivalence.  Without
@@ -277,6 +288,14 @@ class ExchangeEngine:
         yields per-fact why-trees.
         """
         store = resolve_provenance(self.options.provenance)
+        if (
+            self.backend_plan is not None
+            and self.backend_plan.ready
+            and not store.enabled
+        ):
+            if budget is None:
+                budget = self.options.budget()
+            return self.backend_plan.backend.exchange(source, budget)
         if self.executor is not None:
             if budget is None:
                 budget = self.options.budget()
@@ -292,6 +311,8 @@ class ExchangeEngine:
         if self.options.wants_provenance:
             # Each request needs its own lineage log; the per-source
             # path threads one fresh store per exchange.
+            return [self.exchange(source) for source in sources]
+        if self.backend_plan is not None and self.backend_plan.ready:
             return [self.exchange(source) for source in sources]
         if self.executor is not None:
             return self.executor.exchange_many(sources)

@@ -17,9 +17,11 @@ Two evaluation strategies are provided:
   front (greedy most-bound-first, smaller relation on ties) and matches
   each atom by probing a per-``(relation, columns)`` hash index of the
   instance on the atom's bound positions, falling back to a relation
-  scan only for atoms with no bound position.  Index builds/hits/misses
-  and rows scanned are published to the :mod:`repro.obs` metrics
-  registry (``evaluate.*`` counters).
+  scan for atoms with no bound position — and for the *first*
+  single-atom probe of a not-yet-built index, where one scan is
+  strictly cheaper than building the index for a single lookup.  Index
+  builds/hits/misses/skips and rows scanned are published to the
+  :mod:`repro.obs` metrics registry (``evaluate.*`` counters).
 * :func:`evaluate_scan` — the seed reference engine: dynamic
   most-bound-first atom selection with full relation scans.  Kept as
   the oracle for cross-checking the indexed engine and as the baseline
@@ -37,7 +39,7 @@ given delta.
 from __future__ import annotations
 
 import os
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 from ..obs import get_registry
 from ..relational.instance import Instance, Row
@@ -162,6 +164,47 @@ def _check_side_conditions(conjunction: Conjunction, binding: Binding) -> bool:
     return True
 
 
+def greedy_join_order(
+    atoms: Sequence[Atom],
+    seed_vars: Iterable[Var],
+    size_of: "Callable[[str], int]",
+) -> list[int]:
+    """The greedy most-bound-first join order over *atoms*.
+
+    Scores each pending atom by its bound positions (constants and
+    variables bound by the seed or an earlier atom count 2, function
+    terms 1) and picks the most constrained, breaking ties toward the
+    relation with the smaller ``size_of(relation)``.  This is the order
+    the indexed evaluator plans with; :mod:`repro.backends.sql` reuses it
+    as the FROM-clause join hint when lowering tgd premises to SELECTs,
+    so both engines walk premises the same way.
+    """
+    bound: set[Var] = set(seed_vars)
+    remaining = list(range(len(atoms)))
+    order: list[int] = []
+
+    def boundness(i: int) -> int:
+        score = 0
+        for term in atoms[i].terms:
+            if isinstance(term, Const):
+                score += 2
+            elif isinstance(term, Var):
+                if term in bound:
+                    score += 2
+            else:
+                score += 1
+        return score
+
+    while remaining:
+        best = max(remaining, key=lambda i: (boundness(i), -size_of(atoms[i].relation)))
+        remaining.remove(best)
+        order.append(best)
+        for term in atoms[best].terms:
+            if isinstance(term, Var):
+                bound.add(term)
+    return order
+
+
 def _plan_joins(
     atoms: Sequence[Atom], seed_vars: Iterable[Var], instance: Instance
 ) -> tuple[list[int], list[tuple[int, ...]]]:
@@ -176,38 +219,22 @@ def _plan_joins(
     probed for that atom.  Atoms with no bound position fall back to a
     scan (empty probe tuple).
     """
-    bound: set[Var] = set(seed_vars)
-    remaining = list(range(len(atoms)))
-    order: list[int] = []
-    probes: list[tuple[int, ...]] = []
 
-    def boundness(i: int) -> int:
-        score = 0
-        for term in atoms[i].terms:
-            if isinstance(term, Const):
-                score += 2
-            elif isinstance(term, Var):
-                if term in bound:
-                    score += 2
-            else:
-                score += 1
-        return score
-
-    def size(i: int) -> int:
-        relation = atoms[i].relation
+    def size(relation: str) -> int:
         return len(instance.rows(relation)) if relation in instance.schema else 0
 
-    while remaining:
-        best = max(remaining, key=lambda i: (boundness(i), -size(i)))
-        remaining.remove(best)
-        atom = atoms[best]
-        columns = tuple(
-            position
-            for position, term in enumerate(atom.terms)
-            if isinstance(term, Const) or (isinstance(term, Var) and term in bound)
+    order = greedy_join_order(atoms, seed_vars, size)
+    bound: set[Var] = set(seed_vars)
+    probes: list[tuple[int, ...]] = []
+    for i in order:
+        atom = atoms[i]
+        probes.append(
+            tuple(
+                position
+                for position, term in enumerate(atom.terms)
+                if isinstance(term, Const) or (isinstance(term, Var) and term in bound)
+            )
         )
-        order.append(best)
-        probes.append(columns)
         for term in atom.terms:
             if isinstance(term, Var):
                 bound.add(term)
@@ -252,8 +279,23 @@ def evaluate(
         "evaluate.index_probes": 0,
         "evaluate.index_hits": 0,
         "evaluate.index_misses": 0,
+        "evaluate.index_skips": 0,
         "evaluate.rows_scanned": 0,
     }
+    # Single-atom conjunctions issue exactly one index probe, so building
+    # a missing index (a full scan *plus* dict construction) is strictly
+    # more expensive than the one scan the probe replaces.  Skip the
+    # build for the first such request per (relation, columns) on each
+    # instance; a second request on the same instance builds as usual, so
+    # repeatedly-probed instances (e.g. the standard chase's witness
+    # snapshots) still amortize into hash probes.
+    skip_single = (
+        indexed
+        and len(planned) == 1
+        and bool(probes[0])
+        and not instance.has_index(planned[0].relation, probes[0])
+        and instance.defer_single_probe(planned[0].relation, probes[0])
+    )
 
     def recurse(depth: int, binding: Binding) -> Iterator[Binding]:
         if depth == len(planned):
@@ -263,7 +305,7 @@ def evaluate(
         atom = planned[depth]
         columns = probes[depth]
         rows: Iterable[Row]
-        if indexed and columns:
+        if indexed and columns and not (skip_single and depth == 0):
             if not instance.has_index(atom.relation, columns):
                 counters["evaluate.index_builds"] += 1
             index = instance.index(atom.relation, columns)
@@ -279,6 +321,8 @@ def evaluate(
             counters["evaluate.index_hits"] += 1
             rows = bucket
         else:
+            if skip_single and depth == 0 and columns:
+                counters["evaluate.index_skips"] += 1
             rows = instance.rows(atom.relation)
         for row in rows:
             counters["evaluate.rows_scanned"] += 1

@@ -95,6 +95,11 @@ class ExchangeOptions:
       prebuilt :class:`~repro.provenance.ProvenanceStore`); results
       come back as :class:`~repro.provenance.Solution` wrappers that
       can ``explain(fact)``.
+    * ``backend`` — where the exchange runs: ``"interpreted"`` (the
+      Python chase, the default), ``"sqlite"`` or ``"duckdb"``
+      (SQL-compiled via :mod:`repro.backends`; mappings outside the
+      compilable fragment fall back to the interpreted chase with a
+      structured reason).
     """
 
     workers: int | None = None
@@ -104,6 +109,7 @@ class ExchangeOptions:
     max_facts: int | None = None
     retry: RetryPolicy = RetryPolicy()
     provenance: "bool | ProvenanceStore" = False
+    backend: str = "interpreted"
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 1:
@@ -116,8 +122,18 @@ class ExchangeOptions:
             raise ValueError(f"deadline must be positive, got {self.deadline}")
         if self.max_facts is not None and self.max_facts < 1:
             raise ValueError(f"max_facts must be >= 1, got {self.max_facts}")
+        if self.backend not in ("interpreted", "sqlite", "duckdb"):
+            raise ValueError(
+                f"backend must be one of 'interpreted', 'sqlite', 'duckdb'; "
+                f"got {self.backend!r}"
+            )
 
     # -- derived views ------------------------------------------------------
+
+    @property
+    def wants_backend(self) -> bool:
+        """True when a SQL-compiled backend is requested."""
+        return self.backend != "interpreted"
 
     @property
     def budgeted(self) -> bool:

@@ -38,8 +38,19 @@ class CanonicalResult:
 
 
 def _signatures(instance: Instance) -> dict[Value, tuple]:
-    """Iteratively refined occurrence signatures for each null."""
+    """Iteratively refined occurrence signatures for each null.
+
+    Classic color refinement: co-occurring nulls enter a signature as
+    their current integer color (their rank among the previous round's
+    sorted signatures), never as their own nested signature — embedding
+    whole neighbor signatures would grow them exponentially in the
+    co-occurrence degree per round.  Colors are assigned by sorting
+    signature strings, a pure function of instance content, so two
+    isomorphic instances still color corresponding nulls identically —
+    which is all grouping and group ordering need.
+    """
     nulls = instance.nulls()
+    color: dict[Value, int] = {n: 0 for n in nulls}
     signature: dict[Value, tuple] = {n: () for n in nulls}
     for _round in range(max(1, len(nulls))):
         updated: dict[Value, list] = {n: [] for n in nulls}
@@ -47,14 +58,19 @@ def _signatures(instance: Instance) -> dict[Value, tuple]:
             for position, value in enumerate(fact.row):
                 if value in updated:
                     context = tuple(
-                        (i, repr(v)) if not is_null(v) else (i, signature[v])
+                        (i, repr(v)) if not is_null(v) else (i, color[v])
                         for i, v in enumerate(fact.row)
                         if v != value or i != position
                     )
                     updated[value].append((fact.relation, position, context))
-        new_signature = {n: tuple(sorted(map(repr, sigs))) for n, sigs in updated.items()}
-        if new_signature == signature:
+        new_signature = {
+            n: tuple(sorted(map(repr, sigs))) for n, sigs in updated.items()
+        }
+        ranks = {sig: rank for rank, sig in enumerate(sorted(set(new_signature.values())))}
+        new_color = {n: ranks[new_signature[n]] for n in nulls}
+        if new_color == color and new_signature == signature:
             break
+        color = new_color
         signature = new_signature
     return signature
 

@@ -69,7 +69,14 @@ class Instance:
     the schema.
     """
 
-    __slots__ = ("_schema", "_relations", "_hash", "_indexes", "_fingerprint")
+    __slots__ = (
+        "_schema",
+        "_relations",
+        "_hash",
+        "_indexes",
+        "_index_skips",
+        "_fingerprint",
+    )
 
     def __init__(
         self,
@@ -106,6 +113,7 @@ class Instance:
         }
         self._hash: int | None = None
         self._indexes: dict[tuple[str, tuple[int, ...]], dict[tuple, list[Row]]] = {}
+        self._index_skips: dict[tuple[str, tuple[int, ...]], int] = {}
         self._fingerprint: str | None = None
 
     @classmethod
@@ -124,6 +132,7 @@ class Instance:
         self._relations = relations
         self._hash = None
         self._indexes = {}
+        self._index_skips = {}
         self._fingerprint = None
         return self
 
@@ -191,6 +200,26 @@ class Instance:
     def has_index(self, relation_name: str, columns: tuple[int, ...]) -> bool:
         """Whether the (relation, columns) index is already built."""
         return (relation_name, columns) in self._indexes
+
+    def defer_single_probe(
+        self, relation_name: str, columns: tuple[int, ...]
+    ) -> bool:
+        """Whether a one-off probe should scan instead of building an index.
+
+        Returns ``True`` for the *first* single-probe request per
+        ``(relation, columns)`` key on this instance — one scan is
+        strictly cheaper than building the index (a full scan plus dict
+        construction) for a single lookup.  Subsequent requests return
+        ``False`` so repeated probes amortize into a build.  Skip counts
+        are per-instance and deliberately not inherited by derived
+        instances (their first probe is a fresh one-off).
+        """
+        key = (relation_name, columns)
+        if key in self._indexes:
+            return False
+        seen = self._index_skips.get(key, 0)
+        self._index_skips[key] = seen + 1
+        return seen == 0
 
     def _inherit_indexes(
         self, child: "Instance", changed: set[str], added: Mapping[str, Iterable[Row]] = {}

@@ -171,6 +171,18 @@ class NullFactory:
         """Return *count* distinct fresh labelled nulls."""
         return tuple(self.fresh() for _ in range(count))
 
+    def fresh_block(self, count: int) -> int:
+        """Reserve *count* consecutive labels; returns the first label.
+
+        One lock acquisition instead of *count* — the SQL backends mint
+        nulls in blocks of one per firing × existential, so per-null
+        locking would dominate the extract phase at scale.
+        """
+        with self._lock:
+            first = next(self._counter)
+            self._counter = itertools.count(first + count)
+            return first
+
     def reserve_through(self, label: int) -> None:
         """Ensure all future nulls have labels strictly greater than *label*."""
         with self._lock:

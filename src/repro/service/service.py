@@ -349,6 +349,17 @@ class ExchangeService:
         budget: Budget | None,
         provenance,
     ) -> Instance:
+        backend_plan = self._engine.backend_plan
+        if (
+            backend_plan is not None
+            and backend_plan.ready
+            and not provenance.enabled
+        ):
+            # The SQL backend honours the same budget (phase boundaries
+            # plus per-tgd checks), so BudgetExceeded degrades exactly
+            # like the interpreted paths.  Provenance requests never
+            # reach here: plan_backend already fell back for them.
+            return backend_plan.backend.exchange(source, budget)
         executor = self._engine.executor
         if executor is not None:
             return executor.exchange(source, budget, provenance)

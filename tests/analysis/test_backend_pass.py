@@ -1,0 +1,76 @@
+"""Tests for the SQL-backend compilability pass (RA510–RA512)."""
+
+from repro.analysis import AnalysisBundle, analyze
+from repro.logic.formulas import Atom, Conjunction, atom
+from repro.logic.parser import parse_conjunction
+from repro.logic.terms import FuncTerm, Var
+from repro.mapping.dependencies import Egd
+from repro.mapping.sttgd import StTgd
+from repro.relational import relation, schema
+
+
+SRC = schema(relation("Emp", "name", "dept"), relation("Dept", "dept", "head"))
+TGT = schema(
+    relation("Office", "name", "head", "room"),
+    relation("Badge", "name", "bid"),
+)
+JOIN = StTgd.parse("Emp(n, d), Dept(d, h) -> exists m . Office(n, h, m)")
+LINKED = StTgd.parse(
+    "Emp(n, d) -> exists m, h . Office(n, h, m), Badge(n, m)"
+)
+
+
+def run(tgds, deps=()):
+    bundle = AnalysisBundle(SRC, TGT, tgds, target_dependencies=list(deps))
+    return analyze(bundle, passes=["backend"])
+
+
+class TestRa510:
+    def test_laconic_mapping(self):
+        report = run([JOIN])
+        (found,) = report.with_code("RA510")
+        assert found.severity.value == "info"
+        assert "laconic" in found.message
+        assert "core" in found.message
+        assert found.data["laconic"] is True
+        assert report.exit_code() == 0
+
+    def test_canonical_mapping_names_multi_atom_tgds(self):
+        report = run([JOIN, LINKED])
+        (found,) = report.with_code("RA510")
+        assert "canonical lowering" in found.message
+        assert found.data["laconic"] is False
+        assert found.data["multi_atom_tgds"] == [1]
+
+    def test_empty_mapping_reports_nothing(self):
+        report = run([])
+        assert not report.with_code("RA510")
+
+
+class TestRa511:
+    def test_function_terms_flagged_with_reasons(self):
+        f = FuncTerm("f", (Var("n"),))
+        tgd = StTgd(
+            Conjunction([atom("Emp", "n", "d")]),
+            Conjunction([Atom("Badge", (Var("n"), f))]),
+        )
+        report = run([JOIN, tgd])
+        (found,) = report.with_code("RA511")
+        assert found.data["tgd"] == 1
+        assert "function-terms" in found.data["reasons"]
+        # One bad tgd suppresses the mapping-level RA510 verdict.
+        assert not report.with_code("RA510")
+
+
+class TestRa512:
+    def test_target_dependencies_reported_and_suppress_ra510(self):
+        egd = Egd(
+            parse_conjunction("Office(n, h, m), Office(n, h2, m2)"),
+            Var("h"),
+            Var("h2"),
+        )
+        report = run([JOIN], deps=[egd])
+        (found,) = report.with_code("RA512")
+        assert "egd" in found.message
+        assert found.data["reason"] == "target-dependencies"
+        assert not report.with_code("RA510")

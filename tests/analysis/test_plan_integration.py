@@ -23,9 +23,10 @@ def test_explain_reports_only_parallelism_info_for_full_lossless_mapping():
     text = ExchangeEngine.compile(mapping).plan.explain()
     assert "── analyzer diagnostics:" in text
     # A full lossless mapping triggers nothing but the informational
-    # shard-parallelizability note.
+    # shard-parallelizability and SQL-compilability notes.
     assert "RA501" in text
-    assert "0 error(s), 0 warning(s), 1 info(s)" in text
+    assert "RA510" in text
+    assert "0 error(s), 0 warning(s), 2 info(s)" in text
 
 
 def test_verbose_explain_also_carries_the_section():

@@ -1,0 +1,160 @@
+"""CLI backend flag: ``--backend sqlite`` through exchange/plan/profile."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.relational import (
+    instance,
+    instance_to_json,
+    loads_instance,
+    relation,
+    schema,
+    schema_to_json,
+)
+
+
+@pytest.fixture
+def files(tmp_path):
+    source = schema(relation("Emp", "name", "dept"), relation("Dept", "dept", "head"))
+    target = schema(relation("Office", "name", "head", "room"))
+    schemas_file = tmp_path / "schemas.json"
+    schemas_file.write_text(
+        json.dumps(
+            {"source": schema_to_json(source), "target": schema_to_json(target)}
+        )
+    )
+    mapping_file = tmp_path / "mapping.tgd"
+    mapping_file.write_text(
+        "Emp(n, d), Dept(d, h) -> exists o . Office(n, h, o)\n"
+    )
+    data_file = tmp_path / "source.json"
+    data = instance(
+        source,
+        {
+            "Emp": [["Alice", "d1"], ["Bob", "d2"]],
+            "Dept": [["d1", "Hana"], ["d2", "Hugo"]],
+        },
+    )
+    data_file.write_text(json.dumps(instance_to_json(data)))
+    return tmp_path, schemas_file, mapping_file, data_file
+
+
+def run(argv):
+    return main([str(a) for a in argv])
+
+
+class TestExchangeBackend:
+    def test_sqlite_backend_produces_the_solution(self, files, capsys):
+        _, schemas, mapping, data = files
+        code = run(
+            [
+                "exchange",
+                "--schemas", schemas,
+                "--mapping", mapping,
+                "--data", data,
+                "--backend", "sqlite",
+            ]
+        )
+        assert code == 0
+        restored = loads_instance(capsys.readouterr().out)
+        assert len(restored.rows("Office")) == 2
+
+    def test_sqlite_matches_interpreted(self, files, capsys):
+        _, schemas, mapping, data = files
+        run(["exchange", "--schemas", schemas, "--mapping", mapping, "--data", data])
+        interpreted = loads_instance(capsys.readouterr().out)
+        run(
+            [
+                "exchange",
+                "--schemas", schemas,
+                "--mapping", mapping,
+                "--data", data,
+                "--backend", "sqlite",
+            ]
+        )
+        sql = loads_instance(capsys.readouterr().out)
+        from repro.relational import canonically_equal
+
+        assert canonically_equal(sql, interpreted)
+
+    def test_duckdb_without_duckdb_is_a_cli_error(self, files, capsys):
+        from repro.backends.duckdb_backend import DuckdbBackend
+
+        if DuckdbBackend.available():  # pragma: no cover - duckdb installed
+            pytest.skip("duckdb installed in this environment")
+        _, schemas, mapping, data = files
+        with pytest.raises(SystemExit) as excinfo:
+            run(
+                [
+                    "exchange",
+                    "--schemas", schemas,
+                    "--mapping", mapping,
+                    "--data", data,
+                    "--backend", "duckdb",
+                ]
+            )
+        assert excinfo.value.code == 2
+
+    def test_unknown_backend_rejected_by_argparse(self, files):
+        _, schemas, mapping, data = files
+        with pytest.raises(SystemExit):
+            run(
+                [
+                    "exchange",
+                    "--schemas", schemas,
+                    "--mapping", mapping,
+                    "--data", data,
+                    "--backend", "postgres",
+                ]
+            )
+
+
+class TestPlanBackend:
+    def test_verbose_plan_reports_laconic_rewrite(self, files, capsys):
+        _, schemas, mapping, _ = files
+        code = run(
+            [
+                "plan",
+                "--schemas", schemas,
+                "--mapping", mapping,
+                "--verbose",
+                "--backend", "sqlite",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend:" in out
+        assert "laconic rewrite" in out
+        assert "core" in out
+
+    def test_verbose_plan_without_backend_still_reports_compilability(
+        self, files, capsys
+    ):
+        _, schemas, mapping, _ = files
+        code = run(
+            ["plan", "--schemas", schemas, "--mapping", mapping, "--verbose"]
+        )
+        assert code == 0
+        assert "backend:" in capsys.readouterr().out
+
+
+class TestProfileBackend:
+    def test_profile_reports_backend_phases(self, files, capsys):
+        _, schemas, mapping, data = files
+        code = run(
+            [
+                "profile",
+                "--schemas", schemas,
+                "--mapping", mapping,
+                "--data", data,
+                "--backend", "sqlite",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "backend phases (sqlite):" in out
+        for phase in ("load", "compile", "execute", "extract"):
+            assert phase in out
+        assert "backend.execute.seconds" in out

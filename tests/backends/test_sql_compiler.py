@@ -1,0 +1,205 @@
+"""The SQL compiler: compilability verdicts, laconic rewrite, lowering shape."""
+
+import pytest
+
+from repro.backends import compile_mapping
+from repro.backends.sql import (
+    classify_subsumption,
+    mapping_compilability,
+    tgd_compilability,
+)
+from repro.logic.formulas import Atom, Conjunction, Equality, atom, conj
+from repro.logic.terms import Const, FuncTerm, Var, const
+from repro.mapping.dependencies import Egd
+from repro.mapping.sttgd import SchemaMapping, StTgd
+from repro.relational import relation, schema
+
+
+def make_mapping(text, source_rels, target_rels, target_dependencies=()):
+    source = schema(*[relation(n, *[f"a{i}" for i in range(k)]) for n, k in source_rels])
+    target = schema(*[relation(n, *[f"a{i}" for i in range(k)]) for n, k in target_rels])
+    return SchemaMapping.parse(source, target, text, target_dependencies)
+
+
+class TestCompilability:
+    def test_plain_mapping_is_laconic(self):
+        m = make_mapping(
+            "Emp(n, d), Dept(d, h) -> exists o . Office(n, h, o)",
+            [("Emp", 2), ("Dept", 2)],
+            [("Office", 3)],
+        )
+        program, report = compile_mapping(m)
+        assert report.compilable and report.laconic
+        assert program is not None and program.laconic
+        assert "core" in report.summary()
+
+    def test_multi_atom_block_compiles_canonically(self):
+        # Both conclusion atoms share the existential o, so normalize()
+        # keeps them in one block: compilable but not laconic.
+        m = make_mapping(
+            "Emp(n, d) -> exists o . Office(n, o), Key(o, d)",
+            [("Emp", 2)],
+            [("Office", 2), ("Key", 2)],
+        )
+        program, report = compile_mapping(m)
+        assert report.compilable and not report.laconic
+        assert program is not None and not program.laconic
+        assert "canonical" in report.summary()
+
+    def test_split_blocks_stay_laconic(self):
+        # Two independent existentials: normalize() splits into two
+        # single-atom blocks, so the laconic rewrite still applies.
+        m = make_mapping(
+            "Emp(n, d) -> exists o, k . Office(n, o), Key(n, k)",
+            [("Emp", 2)],
+            [("Office", 2), ("Key", 2)],
+        )
+        program, report = compile_mapping(m)
+        assert report.laconic
+        assert len(program.tgds) == 2
+        assert {t.label for t in program.tgds} == {"tgd_0.0", "tgd_0.1"}
+
+    def test_target_dependencies_block_compilation(self):
+        egd = Egd(
+            conj(atom("Office", "n", "o"), atom("Office", "n", "p")),
+            Var("o"),
+            Var("p"),
+        )
+        m = make_mapping(
+            "Emp(n, d) -> exists o . Office(n, o)",
+            [("Emp", 2)],
+            [("Office", 2)],
+            target_dependencies=[egd],
+        )
+        program, report = compile_mapping(m)
+        assert program is None and not report.compilable
+        assert [r.code for r in report.reasons] == ["target-dependencies"]
+
+    def test_function_terms_blocked_per_tgd(self):
+        f = FuncTerm("f", (Var("x"),))
+        tgd = StTgd(
+            Conjunction([atom("Emp", "x")]),
+            Conjunction([Atom("Badge", (Var("x"), f))]),
+        )
+        verdict = tgd_compilability(tgd, 0)
+        assert not verdict.compilable
+        assert "function-terms" in {r.code for r in verdict.reasons}
+
+    def test_empty_premise_blocked(self):
+        tgd = StTgd(
+            Conjunction([Equality(Var("x"), Var("x"))]),
+            Conjunction([atom("Badge", "x")]),
+        )
+        verdict = tgd_compilability(tgd, 3)
+        codes = {r.code for r in verdict.reasons}
+        assert "empty-premise" in codes
+        assert "unanchored-variable" in codes
+        assert all(r.tgd == 3 for r in verdict.reasons)
+
+    def test_mapping_compilability_is_static(self):
+        m = make_mapping(
+            "Emp(n, d) -> exists o . Office(n, o)", [("Emp", 2)], [("Office", 2)]
+        )
+        report = mapping_compilability(m)
+        assert report.compilable and report.laconic
+        assert len(report.tgds) == 1 and report.tgds[0].blocks == 1
+
+
+class TestLoweringShape:
+    def test_join_is_cross_join_in_greedy_order(self):
+        m = make_mapping(
+            "Emp(n, d), Dept(d, h) -> Pair(n, h)",
+            [("Emp", 2), ("Dept", 2)],
+            [("Pair", 2)],
+        )
+        program, _ = compile_mapping(m)
+        sql = program.tgds[0].bindings_sql
+        assert "CROSS JOIN" in sql
+        assert "SELECT DISTINCT" in sql
+        assert "row_number() OVER ()" in sql
+        # The derived table carries an alias (DuckDB requires one).
+        assert "AS __rows" in sql
+
+    def test_constants_become_parameters(self):
+        m = make_mapping(
+            'Emp(n, "sales") -> Pick(n)', [("Emp", 2)], [("Pick", 1)]
+        )
+        program, _ = compile_mapping(m)
+        tgd = program.tgds[0]
+        assert "= ?" in tgd.bindings_sql
+        assert len(tgd.bindings_params) == 1
+
+    def test_existential_insert_uses_offset_arithmetic(self):
+        m = make_mapping(
+            "Emp(n, d) -> exists o . Office(n, o)", [("Emp", 2)], [("Office", 2)]
+        )
+        program, _ = compile_mapping(m)
+        insert = program.tgds[0].inserts[0]
+        assert "(__bind - 1) * 1 + 0" in insert.sql
+
+    def test_empty_frontier_projects_sentinel_column(self):
+        m = make_mapping(
+            "Emp(n, d) -> exists w . Witness(w)", [("Emp", 2)], [("Witness", 1)]
+        )
+        program, _ = compile_mapping(m)
+        assert "1 AS v_none" in program.tgds[0].bindings_sql
+
+    def test_index_hints_cover_probed_columns(self):
+        m = make_mapping(
+            "Emp(n, d), Dept(d, h) -> Pair(n, h)",
+            [("Emp", 2), ("Dept", 2)],
+            [("Pair", 2)],
+        )
+        program, _ = compile_mapping(m)
+        # The second atom in the greedy order is probed on its join column.
+        assert program.index_hints
+
+
+class TestSubsumptionClassification:
+    def exist(self, *names):
+        return {Var(n) for n in names}
+
+    def test_rigid_vs_existential_is_incompatible(self):
+        a_i = atom("R", "x", "y")
+        a_j = atom("R", "x", "z")
+        # i's y is rigid, j's z existential: j can never subsume i.
+        assert classify_subsumption(a_i, set(), a_j, self.exist("z")) is None
+
+    def test_grounding_null_is_strict(self):
+        a_i = atom("R", "x", "y")
+        a_j = atom("R", "x", "z")
+        verdict = classify_subsumption(a_i, self.exist("y"), a_j, set())
+        assert verdict is not None and verdict.kind == "strict"
+
+    def test_isomorphic_patterns_are_equivalent(self):
+        a_i = atom("R", "x", "y")
+        a_j = atom("R", "u", "v")
+        verdict = classify_subsumption(a_i, self.exist("y"), a_j, self.exist("v"))
+        assert verdict is not None and verdict.kind == "equivalent"
+        assert verdict.link_positions == (0,)
+
+    def test_folding_two_nulls_into_one_is_strict(self):
+        a_i = atom("R", "y", "z")
+        a_j = atom("R", "w", "w")
+        verdict = classify_subsumption(
+            a_i, self.exist("y", "z"), a_j, self.exist("w")
+        )
+        assert verdict is not None and verdict.kind == "strict"
+
+    def test_repeated_null_cannot_map_to_distinct_nulls(self):
+        a_i = atom("R", "y", "y")
+        a_j = atom("R", "v", "w")
+        assert (
+            classify_subsumption(a_i, self.exist("y"), a_j, self.exist("v", "w"))
+            is None
+        )
+
+    def test_repeated_null_to_repeated_rigid_needs_equality(self):
+        a_i = atom("R", "y", "y")
+        a_j = atom("R", "u", "v")
+        verdict = classify_subsumption(a_i, self.exist("y"), a_j, set())
+        assert verdict is not None and verdict.kind == "strict"
+        assert verdict.extra_equalities == ((0, 1),)
+
+    def test_different_relations_are_incompatible(self):
+        assert classify_subsumption(atom("R", "x"), set(), atom("S", "x"), set()) is None

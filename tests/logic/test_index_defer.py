@@ -1,0 +1,110 @@
+"""Single-atom premises scan on first probe instead of building an index.
+
+Building a hash index is a full scan *plus* dict construction; for a
+premise that issues exactly one probe, one scan is strictly cheaper.
+The e1 workload in ``BENCH_chase.json`` (single-atom copy tgds) showed
+indexed evaluation *slower* than plain scanning for exactly this reason.
+"""
+
+from repro.logic.evaluation import evaluate
+from repro.logic.parser import parse_conjunction
+from repro.obs import collecting
+from repro.relational import instance, relation, schema
+
+
+def make_instance():
+    s = schema(relation("Emp", "name", "dept"), relation("Dept", "dept", "head"))
+    return instance(
+        s,
+        {
+            "Emp": [["ann", "d1"], ["bob", "d2"], ["cyd", "d1"]],
+            "Dept": [["d1", "hana"], ["d2", "hugo"]],
+        },
+    )
+
+
+def run(text, inst, seed=None):
+    conjunction = parse_conjunction(text)
+    with collecting() as registry:
+        bindings = list(evaluate(conjunction, inst, seed, use_indexes=True))
+        counters = registry.snapshot()["counters"]
+    return bindings, counters
+
+
+class TestSingleAtomDefer:
+    def test_first_bound_probe_scans(self):
+        inst = make_instance()
+        # The constant binds a column, which would normally trigger an
+        # index build — deferred because this is the first lone probe.
+        bindings, counters = run('Emp(n, "d1")', inst)
+        assert len(bindings) == 2
+        assert counters.get("evaluate.index_skips", 0) == 1
+        assert counters.get("evaluate.index_builds", 0) == 0
+        assert not inst.has_index("Emp", (1,))
+
+    def test_second_probe_builds_the_index(self):
+        inst = make_instance()
+        run('Emp(n, "d1")', inst)
+        bindings, counters = run('Emp(n, "d2")', inst)
+        assert len(bindings) == 1
+        assert counters.get("evaluate.index_builds", 0) == 1
+        assert counters.get("evaluate.index_skips", 0) == 0
+        assert inst.has_index("Emp", (1,))
+
+    def test_existing_index_is_probed_not_skipped(self):
+        inst = make_instance()
+        run('Emp(n, "d1")', inst)  # skip
+        run('Emp(n, "d1")', inst)  # build
+        _, counters = run('Emp(n, "d1")', inst)
+        assert counters.get("evaluate.index_builds", 0) == 0
+        assert counters.get("evaluate.index_probes", 0) == 1
+
+    def test_multi_atom_joins_build_immediately(self):
+        inst = make_instance()
+        _, counters = run("Emp(n, d), Dept(d, h)", inst)
+        assert counters.get("evaluate.index_skips", 0) == 0
+        assert counters.get("evaluate.index_builds", 0) >= 1
+
+    def test_unbound_single_atom_never_skips(self):
+        inst = make_instance()
+        # No bound column: a scan is the plan anyway, nothing to defer.
+        _, counters = run("Emp(n, d)", inst)
+        assert counters.get("evaluate.index_skips", 0) == 0
+
+    def test_deferred_scan_results_match_indexed(self):
+        first = run('Emp(n, "d1")', make_instance())[0]
+        warmed = make_instance()
+        run('Emp(n, "d1")', warmed)
+        run('Emp(n, "d1")', warmed)
+        third = run('Emp(n, "d1")', warmed)[0]
+        key = lambda bs: {tuple(sorted((v.name, x) for v, x in b.items())) for b in bs}
+        assert key(first) == key(third)
+
+
+class TestDeferSemantics:
+    def test_first_request_true_then_false(self):
+        inst = make_instance()
+        assert inst.defer_single_probe("Emp", (1,)) is True
+        assert inst.defer_single_probe("Emp", (1,)) is False
+        assert inst.defer_single_probe("Emp", (1,)) is False
+
+    def test_keys_are_independent(self):
+        inst = make_instance()
+        assert inst.defer_single_probe("Emp", (1,)) is True
+        assert inst.defer_single_probe("Emp", (0,)) is True
+        assert inst.defer_single_probe("Dept", (1,)) is True
+
+    def test_built_index_is_never_deferred(self):
+        inst = make_instance()
+        inst.index("Emp", (1,))
+        assert inst.defer_single_probe("Emp", (1,)) is False
+
+    def test_derived_instance_defers_afresh(self):
+        from repro.relational import Fact, constant
+
+        inst = make_instance()
+        inst.defer_single_probe("Emp", (1,))
+        derived = inst.with_facts(
+            [Fact("Emp", (constant("eve"), constant("d9")))]
+        )
+        assert derived.defer_single_probe("Emp", (1,)) is True

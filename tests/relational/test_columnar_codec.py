@@ -1,0 +1,121 @@
+"""The columnar id codec bridging instances and the SQL backends."""
+
+import pytest
+
+from repro.relational import instance, relation, schema
+from repro.relational.schema import (
+    Attribute,
+    AttributeType,
+    RelationSchema,
+    Schema,
+)
+from repro.relational.serialization import (
+    NULL_ID_BASE,
+    ValueInterner,
+    encode_instance,
+    encode_rows,
+    instance_from_id_rows,
+)
+from repro.relational.values import (
+    Constant,
+    LabeledNull,
+    NullFactory,
+    SkolemValue,
+)
+
+
+class TestValueInterner:
+    def test_constants_get_dense_small_ids(self):
+        interner = ValueInterner()
+        a = interner.id_of(Constant("a"))
+        b = interner.id_of(Constant("b"))
+        assert (a, b) == (0, 1)
+        assert interner.id_of(Constant("a")) == a  # idempotent
+
+    def test_nulls_live_above_the_base(self):
+        interner = ValueInterner()
+        ident = interner.id_of(LabeledNull(7))
+        assert ident >= NULL_ID_BASE
+        assert interner.id_of(Constant("a")) < NULL_ID_BASE
+
+    def test_skolem_values_count_as_nulls(self):
+        interner = ValueInterner()
+        sk = SkolemValue("f", (Constant("x"),))
+        assert interner.id_of(sk) >= NULL_ID_BASE
+        assert interner.null_count == 1
+
+    def test_round_trip_identity(self):
+        interner = ValueInterner()
+        values = [Constant("a"), LabeledNull(0), Constant(3), LabeledNull(1)]
+        assert [interner.value_of(interner.id_of(v)) for v in values] == values
+
+    def test_unknown_id_raises(self):
+        interner = ValueInterner()
+        with pytest.raises(KeyError):
+            interner.value_of(5)
+        with pytest.raises(KeyError):
+            interner.value_of(NULL_ID_BASE + 5)
+
+    def test_allocate_fresh_nulls_is_contiguous_and_decodable(self):
+        interner = ValueInterner()
+        interner.id_of(LabeledNull(0))
+        factory = NullFactory()
+        factory.fresh()  # label 0 is taken by the source null
+        first = interner.allocate_fresh_nulls(3, factory)
+        assert first == NULL_ID_BASE + 1
+        minted = [interner.value_of(first + k) for k in range(3)]
+        assert len(set(minted)) == 3
+        assert all(isinstance(n, LabeledNull) for n in minted)
+        assert LabeledNull(0) not in minted
+        assert interner.null_count == 4
+
+    def test_has_interned_nulls(self):
+        interner = ValueInterner()
+        interner.id_of(Constant("a"))
+        assert not interner.has_interned_nulls()
+        interner.id_of(LabeledNull(1))
+        assert interner.has_interned_nulls()
+
+
+class TestEncodeDecode:
+    def test_encode_rows_matches_executemany_shape(self):
+        interner = ValueInterner()
+        rows = encode_rows([[Constant("a"), Constant("b")]], interner)
+        assert rows == [(0, 1)]
+
+    def test_instance_round_trip(self):
+        s = schema(relation("R", "a", "b"), relation("S", "a"))
+        inst = instance(s, {"R": [["x", "y"], ["x", "x"]], "S": [["z"]]})
+        interner = ValueInterner()
+        encoded = encode_instance(inst, interner)
+        decoded = instance_from_id_rows(s, encoded, interner)
+        assert decoded.same_facts(inst)
+
+    def test_nulls_survive_the_round_trip_identically(self):
+        s = schema(relation("R", "a"))
+        inst = instance(s, {"R": [[LabeledNull(4)], ["c"]]})
+        interner = ValueInterner()
+        decoded = instance_from_id_rows(
+            s, encode_instance(inst, interner), interner
+        )
+        assert decoded.rows("R") == inst.rows("R")
+
+    def test_untyped_schema_takes_the_fast_path(self):
+        s = schema(relation("R", "a"))
+        interner = ValueInterner()
+        ident = interner.id_of(Constant("v"))
+        decoded = instance_from_id_rows(s, {"R": [(ident,)]}, interner)
+        assert decoded.rows("R") == frozenset({(Constant("v"),)})
+
+    def test_typed_schema_still_validates(self):
+        s = Schema([RelationSchema("R", [Attribute("a", AttributeType.INTEGER)])])
+        interner = ValueInterner()
+        bad = interner.id_of(Constant("not-an-int"))
+        with pytest.raises(Exception):
+            instance_from_id_rows(s, {"R": [(bad,)]}, interner)
+
+    def test_missing_relation_decodes_empty(self):
+        s = schema(relation("R", "a"), relation("S", "a"))
+        interner = ValueInterner()
+        decoded = instance_from_id_rows(s, {}, interner)
+        assert decoded.size() == 0
