@@ -7,13 +7,26 @@ premise co-occurrence components, the shape sharding likes):
 
 * **parallel** — serial chase vs :class:`ParallelExchange` at 2 and 4
   workers, warm pool (the first exchange per worker count pays pool
-  startup and is excluded).  Speedups are wall-clock and therefore
-  honest about the host: on a single-core container the sharded run
-  *loses* to serial by the serialization + process overhead, which is
-  exactly what the recorded ``cpu_count`` lets a reader see.
+  startup and is excluded).  The executor is measured as shipped: with
+  ``min_parallel_facts`` on auto it serves sub-threshold sources
+  serially (each entry records whether it actually ``dispatched``), so
+  small sizes read ≈1.0× by construction — the executor's contract is
+  *parallelism never loses*.  Wall-clock is summarized as the **min**
+  over repeats: on shared/quota-throttled hosts the minimum is the
+  noise-robust estimate of the true cost (medians wobble 2-3× here).
+* **shipping** — bytes per shard on the worker pipe (flat column
+  buffers, shared-memory refs when available) vs the pickled
+  object-graph rows the pre-columnar executor shipped.
 * **cache** — cold exchange vs a fingerprint-keyed cache hit.  Hits are
   measured on *fresh equal copies* of the source, so each timed hit pays
   the full content-fingerprint cost a request stream would pay.
+
+``--backend sqlite`` additionally times the SQL-compiled backend next to
+the serial chase (``backend_seconds`` per entry) and extends
+``--check-equal`` to cross-check the backend's solution against the
+chase — the smoke that the columnar load/extract path and the SQL engine
+agree.  The parallel/shipping guards are unaffected: they compare the
+executor against its own serial path.
 
 Results go to ``BENCH_parallel.json``.  Checks for CI:
 
@@ -22,7 +35,13 @@ Results go to ``BENCH_parallel.json``.  Checks for CI:
 * ``--check-cache MIN`` — cache hits must be nonzero and at least
   ``MIN``× faster than the cold exchange;
 * ``--check-speedup MIN`` — optional wall-clock gate for multi-core
-  hosts: 4-worker speedup must reach ``MIN``× at the largest size.
+  hosts: 4-worker speedup must reach ``MIN``× at the largest size;
+* ``--check-parallel-speedup MIN`` — the executor must not lose to the
+  serial chase: every benched size ≥ 10k source facts must reach
+  ``MIN``× (skipped with a note when ``cpu_count < 2``);
+* ``--check-ship-drop MIN`` — shipped bytes per shard must be at least
+  ``MIN``× smaller than the pickled object-graph baseline at ≥ 10k
+  source facts.
 
 Run::
 
@@ -36,12 +55,14 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import pickle
 import statistics as pystats
 import sys
 import time
 from pathlib import Path
 
 from repro.exec import ExchangeCache, ParallelExchange, partition_source
+from repro.exec.transport import ship
 from repro.mapping import SchemaMapping, universal_solution
 from repro.relational import instance, relation, schema
 from repro.relational.canonical import canonically_equal
@@ -71,6 +92,29 @@ def build_setting(size: int, dept_ratio: int):
     return mapping, fresh_source
 
 
+def backend_for(mapping, name: str):
+    """The ready SQL backend named *name*, or ``None`` for interpreted.
+
+    A mapping-shaped fallback (the backend compiled but declined) keeps
+    the bench running against the interpreted chase, with a note — the
+    parallel/shipping numbers are about the executor, not the backend.
+    """
+    if name == "interpreted":
+        return None
+    from repro.backends.base import plan_backend
+    from repro.options import ExchangeOptions
+
+    plan = plan_backend(mapping, ExchangeOptions(backend=name))
+    if plan is None or not plan.ready:
+        detail = plan.describe() if plan is not None else "nothing to plan"
+        print(
+            f"note: {name} backend not usable for this mapping ({detail}); "
+            "serial reference stays interpreted"
+        )
+        return None
+    return plan.backend
+
+
 def timed(fn, repeat: int) -> list[float]:
     samples = []
     for _ in range(repeat):
@@ -89,6 +133,14 @@ def main() -> int:
     parser.add_argument("--repeat", type=int, default=3)
     parser.add_argument("--workers", type=int, nargs="+", default=[2, 4])
     parser.add_argument("--out", default="BENCH_parallel.json")
+    parser.add_argument(
+        "--backend",
+        choices=("interpreted", "sqlite"),
+        default="interpreted",
+        help="serial reference engine: the interpreted chase (default) or "
+        "the SQL-compiled sqlite backend — cross-checked by --check-equal "
+        "and timed next to the serial leg (backend_seconds) for visibility",
+    )
     parser.add_argument(
         "--check-equal",
         action="store_true",
@@ -109,6 +161,20 @@ def main() -> int:
         help="exit 1 unless 4-worker wall-clock speedup reaches MIN× at the "
         "largest size (meaningful on multi-core hosts only)",
     )
+    parser.add_argument(
+        "--check-parallel-speedup",
+        type=float,
+        metavar="MIN",
+        help="exit 1 unless the executor reaches MIN× vs serial at every "
+        "benched size with ≥ 10k source facts (skipped on 1-core hosts)",
+    )
+    parser.add_argument(
+        "--check-ship-drop",
+        type=float,
+        metavar="MIN",
+        help="exit 1 unless shipped bytes per shard drop MIN× vs the pickled "
+        "object-graph baseline at ≥ 10k source facts",
+    )
     args = parser.parse_args()
 
     failures: list[str] = []
@@ -123,13 +189,27 @@ def main() -> int:
                         f"check-equal: parallel differs from serial at "
                         f"{workers} workers"
                     )
+        check_backend = backend_for(mapping, args.backend)
+        if check_backend is not None and not canonically_equal(
+            check_backend.exchange(source), serial_solution
+        ):
+            failures.append(
+                f"check-equal: {args.backend} backend differs from the "
+                "interpreted chase"
+            )
         if not failures:
+            suffix = (
+                f", {args.backend} backend ≡ chase"
+                if check_backend is not None
+                else ""
+            )
             print(
                 f"check-equal ok: parallel ≡ serial (canonically_equal) at "
-                f"workers {args.workers}"
+                f"workers {args.workers}{suffix}"
             )
 
     parallel_results = []
+    shipping_results = []
     for size in args.sizes:
         mapping, fresh_source = build_setting(size, args.dept_ratio)
         source = fresh_source()
@@ -140,26 +220,87 @@ def main() -> int:
             "source_facts": source.size(),
             "components": partitioning.components,
             "largest_component": partitioning.largest_component,
-            "serial_seconds": pystats.median(serial),
+            # min over repeats: the noise-robust wall-clock estimate on
+            # shared hosts (see module docstring).
+            "serial_seconds": min(serial),
             "workers": {},
         }
+        backend = backend_for(mapping, args.backend)
+        if backend is not None:
+            entry["backend_seconds"] = min(
+                timed(lambda: backend.exchange(source), args.repeat)
+            )
         for workers in args.workers:
             with ParallelExchange(mapping, workers=workers) as executor:
                 executor.exchange(source)  # warm the pool (startup excluded)
                 samples = timed(lambda: executor.exchange(source), args.repeat)
-            seconds = pystats.median(samples)
+                dispatched = (
+                    executor.parallelizable
+                    and workers > 1
+                    and source.size() >= executor._min_parallel_facts
+                    and len(partitioning.shards) > 1
+                )
+            seconds = min(samples)
             entry["workers"][str(workers)] = {
                 "seconds": seconds,
                 "speedup": entry["serial_seconds"] / seconds,
+                # False: the executor judged the source too small to
+                # amortize dispatch and served it serially (its
+                # never-lose contract), so the speedup is ≈1 by design.
+                "dispatched": dispatched,
             }
         parallel_results.append(entry)
         rendered = "  ".join(
-            f"{w}w {v['seconds']:.4f}s ({v['speedup']:.2f}x)"
+            f"{w}w {v['seconds']:.4f}s ({v['speedup']:.2f}x"
+            f"{'' if v['dispatched'] else ', serial'})"
             for w, v in entry["workers"].items()
+        )
+        backend_note = (
+            f"  [{args.backend} {entry['backend_seconds']:.4f}s]"
+            if "backend_seconds" in entry
+            else ""
         )
         print(
             f"parallel size={size:>6}: serial "
-            f"{entry['serial_seconds']:.4f}s  {rendered}"
+            f"{entry['serial_seconds']:.4f}s  {rendered}{backend_note}"
+        )
+
+        # Shipping cost: flat-buffer bytes per shard (and the bytes that
+        # actually cross the executor pipe — tiny shm refs when shared
+        # memory is available) vs the pickled object-graph rows the
+        # pre-columnar executor sent through the pool.
+        shards = partitioning.shards
+        buffers = []
+        for shard in shards:
+            store = shard.columnar_store
+            if store is None:
+                store = shard.columnar()
+            buffers.append(store.pack())
+        with ship(buffers) as shipment:
+            pipe_bytes = list(shipment.pipe_bytes_per_shard)
+            mode = shipment.mode
+        pickled = [
+            len(pickle.dumps(
+                {name: shard.rows(name) for name in shard.relation_names()},
+                protocol=pickle.HIGHEST_PROTOCOL,
+            ))
+            for shard in shards
+        ]
+        ship_entry = {
+            "size": size,
+            "shards": len(shards),
+            "transport": mode,
+            "buffer_bytes_per_shard": max(len(b) for b in buffers),
+            "pipe_bytes_per_shard": max(pipe_bytes),
+            "pickled_object_bytes_per_shard": max(pickled),
+            "ship_drop": max(pickled) / max(max(pipe_bytes), 1),
+        }
+        shipping_results.append(ship_entry)
+        print(
+            f"shipping size={size:>6}: pipe {ship_entry['pipe_bytes_per_shard']}B"
+            f"/shard ({mode}), buffer {ship_entry['buffer_bytes_per_shard']}B, "
+            f"object-graph {ship_entry['pickled_object_bytes_per_shard']}B "
+            f"({ship_entry['ship_drop']:.0f}x drop)"
         )
 
     cache_results = []
@@ -202,9 +343,12 @@ def main() -> int:
         "description": "shard-parallel chase + fingerprint-keyed solution cache "
         "vs serial chase",
         "cpu_count": os.cpu_count(),
+        "backend": args.backend,
         "dept_ratio": args.dept_ratio,
         "repeat": args.repeat,
+        "statistic": "min over repeats (noise-robust on shared hosts)",
         "parallel": parallel_results,
+        "shipping": shipping_results,
         "cache": cache_results,
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
@@ -234,6 +378,49 @@ def main() -> int:
             )
         else:
             print(f"check-speedup ok: {best:.2f}x at size {largest['size']}")
+    if args.check_parallel_speedup is not None:
+        cpu = os.cpu_count() or 1
+        guarded = [r for r in parallel_results if r["source_facts"] >= 10_000]
+        if cpu < 2:
+            print(
+                "check-parallel-speedup skipped: single-core host "
+                f"(cpu_count={cpu})"
+            )
+        elif not guarded:
+            print("check-parallel-speedup skipped: no benched size ≥ 10k facts")
+        else:
+            for entry in guarded:
+                best = max(v["speedup"] for v in entry["workers"].values())
+                if best < args.check_parallel_speedup:
+                    failures.append(
+                        f"check-parallel-speedup: {best:.2f}x < "
+                        f"{args.check_parallel_speedup}x at size "
+                        f"{entry['size']} (cpu_count={cpu})"
+                    )
+            if not failures or not any(
+                f.startswith("check-parallel-speedup") for f in failures
+            ):
+                print(
+                    f"check-parallel-speedup ok: executor ≥ "
+                    f"{args.check_parallel_speedup}x serial at sizes "
+                    f"{[e['size'] for e in guarded]}"
+                )
+    if args.check_ship_drop is not None:
+        guarded = [s for s in shipping_results if s["size"] >= 10_000]
+        if not guarded:
+            print("check-ship-drop skipped: no benched size ≥ 10k facts")
+        for entry in guarded:
+            if entry["ship_drop"] < args.check_ship_drop:
+                failures.append(
+                    f"check-ship-drop: {entry['ship_drop']:.1f}x < "
+                    f"{args.check_ship_drop}x at size {entry['size']} "
+                    f"(transport {entry['transport']})"
+                )
+            else:
+                print(
+                    f"check-ship-drop ok: {entry['ship_drop']:.0f}x at "
+                    f"size {entry['size']} ({entry['transport']})"
+                )
 
     for failure in failures:
         print(f"FAILED: {failure}", file=sys.stderr)

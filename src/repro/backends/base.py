@@ -143,7 +143,17 @@ class SqlExchangeBackend:
                     tgd.fused_insert is not None for tgd in program.tgds
                 )
                 started = time.perf_counter()
-                interner = ValueInterner()
+                # A source with an attached canonical column store loads
+                # without per-row encoding: the interner is seeded in
+                # table order (so it agrees with the store's ids by
+                # construction) and the id vectors stream straight into
+                # executemany through a C-speed zip.
+                store = source.columnar_store
+                if store is not None and not store.canonical:
+                    store = None
+                interner = (
+                    store.make_interner() if store is not None else ValueInterner()
+                )
                 factory = NullFactory()
                 loaded = 0
                 for relation, table, arity in program.source_tables:
@@ -151,6 +161,16 @@ class SqlExchangeBackend:
                         continue
                     columns = ", ".join(f"c{i} BIGINT" for i in range(arity))
                     connection.execute(f"CREATE TABLE {table} ({columns})")
+                    if store is not None:
+                        count = store.counts[relation]
+                        if count:
+                            marks = ", ".join("?" * arity)
+                            connection.executemany(
+                                f"INSERT INTO {table} VALUES ({marks})",
+                                store.global_id_rows(relation),
+                            )
+                            loaded += count
+                        continue
                     rows = source.rows(relation)
                     if rows:
                         marks = ", ".join("?" * arity)

@@ -196,6 +196,7 @@ def _options_from_args(args: argparse.Namespace) -> ExchangeOptions:
                 or getattr(args, "provenance_json", None)
             ),
             backend=getattr(args, "backend", None) or "interpreted",
+            min_parallel_facts=getattr(args, "min_parallel_facts", None),
         )
     except ValueError as exc:
         raise CliError(str(exc))
@@ -919,6 +920,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         metavar="N",
         help="cache up to N universal solutions keyed by content fingerprint",
+    )
+    options.add_argument(
+        "--min-parallel-facts",
+        type=int,
+        metavar="N",
+        help="smallest source (facts) dispatched to worker processes; "
+        "smaller sources chase serially (default: auto threshold, "
+        "0 forces dispatch)",
     )
     options.add_argument(
         "--max-steps",

@@ -3,11 +3,20 @@
 :class:`ParallelExchange` scales the chase *across* premise-independent
 parts of the source: the partitioner (:mod:`repro.exec.partition`) cuts
 the source into shards no premise binding can span, a
-``ProcessPoolExecutor`` chases the shards concurrently (shards travel as
-the JSON encoding of :mod:`repro.relational.serialization`), and the
-shard solutions are merged under disjoint labelled-null namespaces.  The
+``ProcessPoolExecutor`` chases the shards concurrently, and the shard
+solutions are merged under disjoint labelled-null namespaces.  The
 merged instance is the serial canonical universal solution up to null
 renaming (``canonically_equal`` — the test suite cross-checks this).
+
+Shards travel as flat column buffers (:mod:`repro.relational.columnar`),
+not pickled or JSON object graphs: the partitioner's column-store slices
+pack into compact byte strings, :mod:`repro.exec.transport` stages them
+in one shared-memory segment when the host supports it (each worker then
+receives a ~100-byte reference instead of the shard itself), and workers
+unpack straight into store-backed instances that chase premises over
+integer ids.  Shard solutions return as packed buffers too, and the
+merge relabels invented nulls *during* unpack — at the value-table
+level, once per distinct null — rather than rewriting every merged fact.
 
 Mappings with target dependencies fall back to the serial chase: egds
 merge values across the whole target, so shard chases cannot be merged
@@ -27,13 +36,16 @@ degradation path deterministically.
 
 from __future__ import annotations
 
+import hashlib
 import time
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Iterable, Sequence
 
 from ..budget import Budget, BudgetExceeded
 from ..faults import fault_point
+from ..logic.terms import Var
 from ..mapping.chase import chase
 from ..mapping.sttgd import SchemaMapping
 from ..obs import (
@@ -46,46 +58,98 @@ from ..obs import (
 )
 from ..options import DEFAULT_MAX_STEPS, ExchangeOptions, RetryPolicy
 from ..provenance.store import NOOP, ProvenanceLog, ProvenanceStore
-from ..relational.instance import Instance, Row
-from ..relational.serialization import (
-    dumps_instance,
-    dumps_schema,
-    loads_instance,
-    loads_schema,
+from ..relational.columnar import (
+    merge_result_buffers,
+    pack_instance,
+    pack_rows,
+    unpack_instance_lazy,
+    unpack_rows,
 )
+from ..relational.instance import Instance, Row
+from ..relational.serialization import dumps_schema, loads_schema
 from ..relational.values import LabeledNull, NullFactory, max_null_label
 from .cache import ExchangeCache, mapping_fingerprint
 from .partition import ParallelizabilityReport, parallelizability, partition_source
 from .retry import CircuitBreaker
+from .transport import ShardRef, fetch, ship
+
+def _needs_merge_dedupe(mapping: SchemaMapping) -> bool:
+    """Whether shard solutions can overlap, forcing a dedupe at merge.
+
+    If every conclusion atom of every tgd carries at least one *plain*
+    existential variable, each firing mints a fresh labelled null for
+    it, so no target fact can be produced by two different shards and
+    concatenating shard rows is already a set.  Function terms do not
+    count — ``f(d)`` repeats whenever ``d`` does, across shards too —
+    and a 0-ary atom has no terms, so either forces the dedupe pass.
+    """
+    for tgd in mapping.tgds:
+        existentials = set(tgd.existential_variables)
+        for atom in tgd.conclusion.atoms():
+            if not any(
+                isinstance(term, Var) and term in existentials
+                for term in atom.terms
+            ):
+                return True
+    return False
+
 
 # Per-worker-process cache of parsed mappings, keyed by the payload
 # text, so a request stream compiles each mapping once per worker
 # instead of once per shard task.
 _WORKER_MAPPINGS: dict[tuple[str, str, str], SchemaMapping] = {}
 
+# Per-worker-process cache of decoded shards, keyed by buffer digest.
+# Stores are immutable, so a shard that arrives twice (a request stream
+# re-exchanging the same source, bench repeat loops, cache misses on an
+# unchanged instance) reuses the decoded store *and* the join indexes
+# memoized on it — at bench sizes the index build is the biggest share
+# of a warm worker's chase.  Small and LRU-bounded: entries can hold
+# multi-megabyte column arrays.
+_WORKER_SHARDS: "OrderedDict[bytes, Instance]" = OrderedDict()
+_WORKER_SHARD_CACHE_CAP = 4
+
+
+def _decode_shard(buffer: bytes) -> Instance:
+    """Decode a shard buffer, reusing this worker's cached decode if any."""
+    key = hashlib.blake2b(buffer, digest_size=16).digest()
+    shard = _WORKER_SHARDS.get(key)
+    if shard is None:
+        shard = unpack_instance_lazy(buffer)
+        _WORKER_SHARDS[key] = shard
+        if len(_WORKER_SHARDS) > _WORKER_SHARD_CACHE_CAP:
+            _WORKER_SHARDS.popitem(last=False)
+    else:
+        _WORKER_SHARDS.move_to_end(key)
+    return shard
+
 
 def _chase_shard(
-    payload: tuple[str, str, str, int, str, bool, bool],
+    payload: tuple[str, str, str, int, ShardRef, bool, bool],
 ) -> dict[str, object]:
-    """Pool worker: chase one serialized shard.
+    """Pool worker: chase one shard shipped as a flat column buffer.
 
-    Returns a dict with the solution JSON and the wall seconds, plus —
-    when the payload asks for them — the shard's provenance log (JSON
-    text) and its span records (the parent rebuilds and stitches them
-    under the dispatching request so ``--trace-json`` shows worker-side
-    chases).  Module-level so the pool can pickle it.  The invented
-    labelled nulls carry whatever labels the worker's factory produced;
-    the parent relabels them into disjoint namespaces when merging.  The
-    step cap travels in the payload so shard chases honour the request's
-    ``max_steps``; wall-clock budgets stay parent-side (the parent
-    checks its deadline at dispatch and merge boundaries).
+    Returns a dict with the solution packed as a flat buffer and the
+    wall seconds, plus — when the payload asks for them — the shard's
+    provenance log (JSON text) and its span records (the parent rebuilds
+    and stitches them under the dispatching request so ``--trace-json``
+    shows worker-side chases).  Module-level so the pool can pickle it.
+    The shard ref resolves through :func:`repro.exec.transport.fetch`
+    (shared-memory segment or raw bytes); unpacking attaches a column
+    store, so premise evaluation inside the chase runs in id space.  The
+    invented labelled nulls carry whatever labels the worker's factory
+    produced; the parent relabels them into disjoint namespaces while
+    unpacking the result.  The step cap travels in the payload so shard
+    chases honour the request's ``max_steps``; wall-clock budgets stay
+    parent-side (the parent checks its deadline at dispatch and merge
+    boundaries).
     """
     (
         source_schema_json,
         target_schema_json,
         mapping_text,
         max_steps,
-        shard_json,
+        shard_ref,
         want_provenance,
         want_trace,
     ) = payload
@@ -99,7 +163,11 @@ def _chase_shard(
             mapping_text,
         )
         _WORKER_MAPPINGS[mapping_key] = mapping
-    shard = loads_instance(shard_json)
+    # Lazy decode (cached per worker): the chase fast path joins over
+    # the id columns and never reads value tuples, so the worker skips
+    # rebuilding the value table and row frozensets — at bench sizes
+    # that eager decode cost as much as the chase itself.
+    shard = _decode_shard(fetch(shard_ref))
     provenance = ProvenanceLog() if want_provenance else None
     if want_trace:
         previous = get_tracer()
@@ -123,12 +191,44 @@ def _chase_shard(
             provenance=provenance,
         )
         spans = None
+    solution = result.solution
     return {
-        "solution": dumps_instance(result.solution, indent=None),
+        "solution": _pack_solution(solution),
         "seconds": time.perf_counter() - started,
         "provenance": provenance.to_json_text() if provenance is not None else None,
         "spans": spans,
     }
+
+
+def _pack_solution(solution: Instance) -> bytes:
+    """Pack a shard solution for the result pipe, cheapest route available.
+
+    Id-space chase solutions arrive with a deferred column store whose
+    raw parts pack directly — no value object or row tuple ever
+    materializes worker-side.  Value-space solutions go through
+    :func:`pack_rows`, which skips the canonical store build (no global
+    value sort, no row sort) — the parent only unions the rows, and the
+    merge relabeling needs nothing beyond label-sorted nulls, which both
+    routes guarantee (the chase mints fresh labels in ascending order
+    past the shard's own maximum).
+    """
+    store = solution.columnar_store
+    if store is not None:
+        return store.pack()
+    return pack_rows(
+        solution.schema,
+        {name: solution.rows(name) for name in solution.relation_names()},
+    )
+
+
+# Sources below this many facts take the serial path when
+# ``min_parallel_facts`` is left on auto.  With the columnar chase a
+# 10k-fact exchange finishes in tens of milliseconds — less than the
+# pool dispatch + shard decode + merge it would buy — and on
+# quota-throttled cloud hosts two busy processes rarely get 2× the
+# cycles of one (see docs/PERFORMANCE.md).  Callers who know their
+# host can pin ``min_parallel_facts=0`` to force dispatch.
+_AUTO_MIN_PARALLEL_FACTS = 50_000
 
 
 class ParallelExchange:
@@ -142,7 +242,11 @@ class ParallelExchange:
     ``workers <= 1``, non-parallelizable mappings (target dependencies),
     sources below ``min_parallel_facts`` and single-component partitions
     all take the serial chase path — the executor is always correct,
-    parallelism is purely an optimization.
+    parallelism is purely an optimization.  ``min_parallel_facts`` left
+    unset means *auto*: sources smaller than a built-in threshold
+    (currently 50k facts) are served serially, so small requests never
+    pay dispatch overhead that exceeds their chase; pass ``0`` to
+    dispatch every parallelizable request regardless of size.
     """
 
     def __init__(
@@ -150,7 +254,7 @@ class ParallelExchange:
         mapping: SchemaMapping,
         workers: int | None = None,
         cache: ExchangeCache | int | None = None,
-        min_parallel_facts: int = 0,
+        min_parallel_facts: int | None = None,
         retry: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = None,
         options: ExchangeOptions | None = None,
@@ -159,9 +263,13 @@ class ParallelExchange:
             workers = workers if workers is not None else options.workers
             cache = cache if cache is not None else options.cache
             retry = retry if retry is not None else options.retry
+            if min_parallel_facts is None:
+                min_parallel_facts = options.min_parallel_facts
             max_steps = options.max_steps
         else:
             max_steps = DEFAULT_MAX_STEPS
+        if min_parallel_facts is None:
+            min_parallel_facts = _AUTO_MIN_PARALLEL_FACTS
         self._mapping = mapping
         self._workers = workers if workers is not None else 1
         if isinstance(cache, int):
@@ -181,8 +289,10 @@ class ParallelExchange:
                 dumps_schema(mapping.target, indent=None),
                 mapping.to_text(),
             )
+            self._merge_dedupe = _needs_merge_dedupe(mapping)
         else:
             self._payload_prefix = None
+            self._merge_dedupe = True
 
     # -- introspection -----------------------------------------------------
 
@@ -313,11 +423,12 @@ class ParallelExchange:
         budget: Budget | None = None,
         provenance: ProvenanceStore = NOOP,
     ) -> Instance:
-        if (
-            not self._report.parallelizable
-            or self._workers <= 1
-            or source.size() < self._min_parallel_facts
-        ):
+        if not self._report.parallelizable or self._workers <= 1:
+            return self._serial(source, budget, provenance)
+        if source.size() < self._min_parallel_facts:
+            # Too small to amortize dispatch: the serial chase at this
+            # size costs less than shipping + merging would.
+            get_registry().increment("exchange.small_source_fallbacks")
             return self._serial(source, budget, provenance)
         tracer = get_tracer()
         registry = get_registry()
@@ -325,7 +436,12 @@ class ParallelExchange:
             "exchange.parallel", workers=self._workers, source_facts=source.size()
         ) as span:
             with tracer.span("exchange.partition"):
-                partitioning = partition_source(self._mapping, source, self._workers)
+                partitioning = partition_source(
+                    self._mapping,
+                    source,
+                    self._workers,
+                    memo_key=self._mapping_key,
+                )
             shards = partitioning.shards
             span.set(shards=len(shards), components=partitioning.components)
             registry.histogram("exchange.shards").observe(len(shards))
@@ -396,23 +512,76 @@ class ParallelExchange:
         registry = get_registry()
         want_provenance = provenance.enabled
         want_trace = tracer.enabled
+        # Parent-as-zeroth-worker: the parent process idles during
+        # pool.map, and on memory-bandwidth-bound hosts a fully-idle
+        # core is the difference between winning and losing to the
+        # serial chase.  When no budget checkpoints, provenance staging
+        # or span stitching are in play, the parent chases shard 0
+        # itself (no ship, no unpack, no result pipe for that shard)
+        # concurrently with the pool chasing the rest.
+        local_shard: Instance | None = None
+        remote_shards = list(shards)
+        if budget is None and not want_provenance and not want_trace:
+            local_shard = remote_shards.pop(0)
         wall_started = time.perf_counter()
-        with tracer.span("exchange.ship", shards=len(shards)):
-            shard_maxima = [max_null_label(shard.values()) for shard in shards]
+        with tracer.span("exchange.ship", shards=len(remote_shards)) as ship_span:
+            shard_maxima = []
+            buffers = []
+            for shard in shards:
+                store = shard.columnar_store
+                if store is not None:
+                    shard_maxima.append(store.max_labeled_null())
+                else:  # hand-built shards (tests): pack from scratch
+                    shard_maxima.append(max_null_label(shard.values()))
+            for shard in remote_shards:
+                store = shard.columnar_store
+                buffers.append(
+                    store.pack() if store is not None else pack_instance(shard)
+                )
+            shipment = ship(buffers)
+            for buffer, pipe_bytes in zip(buffers, shipment.pipe_bytes_per_shard):
+                registry.histogram("exchange.ship.buffer_bytes").observe(len(buffer))
+                registry.histogram("exchange.ship.pipe_bytes").observe(pipe_bytes)
+            ship_span.set(
+                mode=shipment.mode,
+                buffer_bytes=sum(len(b) for b in buffers),
+                pipe_bytes=sum(shipment.pipe_bytes_per_shard),
+            )
             payloads = [
                 self._payload_prefix
-                + (
-                    self._max_steps,
-                    dumps_instance(shard, indent=None),
-                    want_provenance,
-                    want_trace,
-                )
-                for shard in shards
+                + (self._max_steps, ref, want_provenance, want_trace)
+                for ref in shipment.refs
             ]
-        if budget is not None:
-            budget.check(phase="dispatch")
-        fault_point("pool.map")
-        results = list(pool.map(_chase_shard, payloads))
+        try:
+            if budget is not None:
+                budget.check(phase="dispatch")
+            fault_point("pool.map")
+            # Executor.map schedules every payload immediately; the
+            # parent chases its own shard while the pool works, then
+            # blocks on collection.
+            remote_iter = pool.map(_chase_shard, payloads)
+            results = []
+            if local_shard is not None:
+                local_started = time.perf_counter()
+                local_solution = chase(
+                    self._mapping,
+                    local_shard,
+                    options=ExchangeOptions(max_steps=self._max_steps),
+                ).solution
+                results.append(
+                    {
+                        "solution": _pack_solution(local_solution),
+                        "seconds": time.perf_counter() - local_started,
+                        "provenance": None,
+                        "spans": None,
+                    }
+                )
+            results.extend(remote_iter)
+        finally:
+            # The shared segment (if any) must outlive the dispatch and
+            # die with it — workers attached and copied, nothing holds
+            # the segment past this point, success or not.
+            shipment.close()
         wall = time.perf_counter() - wall_started
         worker_seconds = [result["seconds"] for result in results]
         overhead = wall - max(worker_seconds, default=0.0)
@@ -433,47 +602,83 @@ class ParallelExchange:
         # nulls (labels above the shard's own maximum — the chase seeds
         # its factory past them) are relabeled from one global factory
         # reserved past every source null, so shards can never collide
-        # with each other or with pre-existing source nulls.  Shard
-        # provenance goes through the *same* relabeling (then a staging
-        # log, absorbed only on full success, so a later budget trip or
-        # retry never leaves half a merge in the caller's store).
+        # with each other or with pre-existing source nulls.  The
+        # relabeling happens *inside* unpack, at the value-table level:
+        # each invented null rewrites once (buffers keep their table
+        # label-sorted, so fresh labels are assigned in the same
+        # ascending order the old sort-and-map_values merge produced)
+        # instead of once per fact occurrence.  Shard provenance goes
+        # through the *same* relabeling (then a staging log, absorbed
+        # only on full success, so a later budget trip or retry never
+        # leaves half a merge in the caller's store).
+        src_store = source.columnar_store
+        if src_store is not None and src_store.canonical:
+            max_source_label = src_store.max_labeled_null()
+        else:
+            max_source_label = max_null_label(source.values())
+        if budget is None and not want_provenance:
+            # Id-space fast merge: no per-shard budget checkpoints and no
+            # provenance relabeling to stage, so the shard buffers union
+            # directly into one deferred column store — fresh labels are
+            # assigned per distinct invented null while translating id
+            # columns, and no value object or row tuple is built unless
+            # the caller later reads the solution's tuple view.
+            with tracer.span("exchange.merge", shards=len(shards), fast=True):
+                merged_store = merge_result_buffers(
+                    self._mapping.target,
+                    [result["solution"] for result in results],
+                    shard_maxima,
+                    first_fresh_label=max_source_label + 1,
+                    dedupe=self._merge_dedupe,
+                )
+            return Instance._from_store(self._mapping.target, merged_store)
         factory = NullFactory()
-        factory.reserve_through(max_null_label(source.values()))
-        merged_rows: dict[str, set[Row]] = {
-            name: set() for name in self._mapping.target.relation_names
+        factory.reserve_through(max_source_label)
+        merged_rows: dict[str, list[Row]] = {
+            name: [] for name in self._mapping.target.relation_names
         }
+        merged_facts = 0
         staged = ProvenanceLog() if want_provenance else None
         with tracer.span("exchange.merge", shards=len(shards)):
             for result, shard_max in zip(results, shard_maxima):
-                shard_solution = loads_instance(result["solution"])
-                invented = sorted(
-                    (
-                        null
-                        for null in shard_solution.nulls()
-                        if isinstance(null, LabeledNull) and null.label > shard_max
-                    ),
-                    key=lambda null: null.label,
-                )
-                relabeling = {null: factory.fresh() for null in invented}
-                relabeled = shard_solution.map_values(relabeling)
+                relabeling: dict[LabeledNull, LabeledNull] = {}
+
+                def relabel(
+                    null: LabeledNull,
+                    shard_max: int = shard_max,
+                    relabeling: dict = relabeling,
+                ) -> LabeledNull:
+                    if null.label > shard_max:
+                        fresh = factory.fresh()
+                        relabeling[null] = fresh
+                        return fresh
+                    return null
+
+                shard_rows = unpack_rows(result["solution"], null_relabel=relabel)
                 if staged is not None and result["provenance"] is not None:
                     shard_log = ProvenanceLog.from_json_text(result["provenance"])
                     staged.absorb(shard_log.map_values(relabeling))
-                for name in relabeled.relation_names():
-                    merged_rows[name] |= relabeled.rows(name)
+                for name, rows in shard_rows.items():
+                    merged_rows[name].extend(rows)
+                    merged_facts += len(rows)
                 if budget is not None:
                     try:
-                        budget.check(
-                            facts=sum(len(rows) for rows in merged_rows.values()),
-                            phase="merge",
-                        )
+                        budget.check(facts=merged_facts, phase="merge")
                     except BudgetExceeded as exc:
                         exc.partial = Instance(self._mapping.target, merged_rows)
                         exc.provenance = staged
                         raise
         if staged is not None:
             provenance.absorb(staged)
-        return Instance(self._mapping.target, merged_rows)
+        # Worker rows were validated against this same target schema when
+        # each shard chase built its solution, and relabeling only renames
+        # nulls (well-typed at every attribute type) — the validating
+        # constructor would re-prove what already holds, so skip it.  The
+        # frozensets also dedupe ground facts produced by several shards.
+        return Instance._unsafe(
+            self._mapping.target,
+            {name: frozenset(rows) for name, rows in merged_rows.items()},
+        )
 
     def _serial(
         self,

@@ -32,8 +32,7 @@ from ..logic.formulas import Atom, ConstantPredicate, Equality
 from ..logic.terms import Const, Var
 from ..mapping.dependencies import Egd
 from ..mapping.sttgd import SchemaMapping, StTgd
-from ..relational.instance import Fact, Instance, Row
-from ..relational.values import value_sort_key
+from ..relational.instance import Fact, Instance
 
 
 @dataclass(frozen=True)
@@ -250,47 +249,92 @@ class Partitioning:
         return tuple(shard.size() for shard in self.shards)
 
 
-def _atom_matches_row(atom: Atom, row: Row) -> bool:
-    """Whether *row* can instantiate *atom* (constants and repeats agree)."""
-    if atom.arity != len(row):
-        return False
-    bound: dict[Var, object] = {}
-    for term, value in zip(atom.terms, row):
+class _FlatSource:
+    """The source instance flattened onto its canonical column store.
+
+    Facts get global positions ``0 .. size-1`` in canonical order —
+    relations by sorted name, rows in store order (sorted id tuples,
+    which *is* the per-row ``value_sort_key`` ordering, since canonical
+    ids sort exactly as their values do).  The union-find below runs
+    over these integer positions and the id columns directly; value
+    objects are never touched until shards materialize.
+    """
+
+    def __init__(self, source: Instance) -> None:
+        self.store = source.columnar()
+        self.names = sorted(source.relation_names())
+        self.base: dict[str, int] = {}
+        running = 0
+        for name in self.names:
+            self.base[name] = running
+            running += self.store.counts[name]
+        self.size = running
+
+    def relation_of(self, flat: int) -> tuple[str, int]:
+        """Map a global position back to ``(relation, row position)``."""
+        for name in reversed(self.names):
+            start = self.base[name]
+            if flat >= start:
+                return name, flat - start
+        raise IndexError(flat)  # pragma: no cover - defensive
+
+    def fact(self, flat: int) -> Fact:
+        name, position = self.relation_of(flat)
+        return Fact(name, self.store.rows[name][position])
+
+
+def _atom_id_checks(
+    atom: Atom, flat: _FlatSource
+) -> tuple[list[tuple[int, int]], list[tuple[int, int]]] | None:
+    """Compile *atom* to id-space row checks, or ``None`` if it matches nothing.
+
+    Returns ``(const_checks, dup_checks)``: positions that must equal a
+    constant's id, and position pairs a repeated variable forces equal.
+    ``None`` means no row of the relation can instantiate the atom — a
+    constant absent from the instance, a FuncTerm (never reaches the
+    first-order partitioner), or an arity mismatch.
+    """
+    schema = flat.store.schema
+    if atom.relation not in schema or atom.arity != schema[atom.relation].arity:
+        return None
+    const_checks: list[tuple[int, int]] = []
+    dup_checks: list[tuple[int, int]] = []
+    first_at: dict[Var, int] = {}
+    for position, term in enumerate(atom.terms):
         if isinstance(term, Const):
-            if term.value != value:
-                return False
+            ident = flat.store.peek(term.value)
+            if ident is None:
+                return None
+            const_checks.append((position, ident))
         elif isinstance(term, Var):
-            if term in bound:
-                if bound[term] != value:
-                    return False
+            seen = first_at.get(term)
+            if seen is None:
+                first_at[term] = position
             else:
-                bound[term] = value
-        else:  # FuncTerm premises never reach the first-order partitioner
-            return False
-    return True
+                dup_checks.append((position, seen))
+        else:
+            return None
+    return const_checks, dup_checks
 
 
 def _component_indexes(
     mapping: SchemaMapping, source: Instance
-) -> tuple[list[Fact], list[list[int]], list[int]]:
-    """Facts in canonical order, their co-occurrence components, inert rest.
+) -> tuple[_FlatSource, list[list[int]], list[int]]:
+    """The flattened source, its co-occurrence components, inert rest.
 
-    Union-find over facts: for every non-cross-joining premise, facts
-    carrying the same value at positions of one shared join-variable
-    class are unioned (a sound over-approximation of "co-occur in some
-    binding"); for cross-joining premises, every fact matching any of
-    the premise's relations is unioned into one group.  Facts matching
-    no premise at all derive nothing and are returned separately.
+    Union-find over global fact positions: for every non-cross-joining
+    premise, facts carrying the same id at positions of one shared
+    join-variable class are unioned (a sound over-approximation of
+    "co-occur in some binding"); for cross-joining premises, every fact
+    matching any of the premise's relations is unioned into one group.
+    Facts matching no premise at all derive nothing and are returned
+    separately.  All grouping keys are ints (canonical ids), so the hot
+    dict never hashes a value object.
     """
-    facts: list[Fact] = []
-    for name in sorted(source.relation_names()):
-        rows = sorted(
-            source.rows(name),
-            key=lambda row: tuple(value_sort_key(v) for v in row),
-        )
-        facts.extend(Fact(name, row) for row in rows)
-    parent = list(range(len(facts)))
-    active = [False] * len(facts)
+    flat = _FlatSource(source)
+    store = flat.store
+    parent = list(range(flat.size))
+    active = bytearray(flat.size)
 
     def find(i: int) -> int:
         while parent[i] != i:
@@ -303,40 +347,55 @@ def _component_indexes(
         if ri != rj:
             parent[ri] = rj
 
-    by_relation: dict[str, list[int]] = {}
-    for i, fact in enumerate(facts):
-        by_relation.setdefault(fact.relation, []).append(i)
-
     for tgd_index, tgd in enumerate(mapping.tgds):
         structure = premise_join_structure(tgd)
         if structure.cross_joining:
             anchor: int | None = None
             for atom in structure.atoms:
-                for i in by_relation.get(atom.relation, ()):
-                    active[i] = True
+                if atom.relation not in flat.base:
+                    continue
+                start = flat.base[atom.relation]
+                for i in range(start, start + store.counts[atom.relation]):
+                    active[i] = 1
                     if anchor is None:
                         anchor = i
                     else:
                         union(anchor, i)
             continue
-        # Group facts by (join class, value): any binding giving the
-        # class value v uses only facts carrying v at the class's
+        # Group facts by (join class, id): any binding giving the class
+        # value v uses only facts carrying v's id at the class's
         # positions, so unioning them over-approximates co-occurrence.
-        group_anchor: dict[tuple[int, int, object], int] = {}
+        group_anchor: dict[tuple[int, int, int], int] = {}
         for atom in structure.atoms:
+            checks = _atom_id_checks(atom, flat)
+            if checks is None:
+                continue
+            const_checks, dup_checks = checks
             class_positions: list[tuple[int, int]] = []
             for position, term in enumerate(atom.terms):
                 if isinstance(term, Var):
                     cls = structure.join_classes[term]
                     if cls in structure.shared_classes:
                         class_positions.append((cls, position))
-            for i in by_relation.get(atom.relation, ()):
-                fact = facts[i]
-                if not _atom_matches_row(atom, fact.row):
+            start = flat.base[atom.relation]
+            cols = store.columns[atom.relation]
+            for offset in range(store.counts[atom.relation]):
+                matched = True
+                for position, ident in const_checks:
+                    if cols[position][offset] != ident:
+                        matched = False
+                        break
+                if matched:
+                    for position, seen in dup_checks:
+                        if cols[position][offset] != cols[seen][offset]:
+                            matched = False
+                            break
+                if not matched:
                     continue
-                active[i] = True
+                i = start + offset
+                active[i] = 1
                 for cls, position in class_positions:
-                    key = (tgd_index, cls, fact.row[position])
+                    key = (tgd_index, cls, cols[position][offset])
                     existing = group_anchor.get(key)
                     if existing is None:
                         group_anchor[key] = i
@@ -345,7 +404,7 @@ def _component_indexes(
 
     components: dict[int, list[int]] = {}
     inert: list[int] = []
-    for i in range(len(facts)):
+    for i in range(flat.size):
         if active[i]:
             components.setdefault(find(i), []).append(i)
         else:
@@ -354,21 +413,44 @@ def _component_indexes(
     ordered_components = sorted(
         components.values(), key=lambda members: (-len(members), members[0])
     )
-    return facts, ordered_components, inert
+    return flat, ordered_components, inert
 
 
 def partition_source(
-    mapping: SchemaMapping, source: Instance, max_shards: int
+    mapping: SchemaMapping,
+    source: Instance,
+    max_shards: int,
+    memo_key: str | None = None,
 ) -> Partitioning:
     """Partition *source* so no premise binding spans two shards.
 
     Components (see :func:`_component_indexes`) are packed largest-first
     onto the currently lightest shard; inert facts are spread round-robin
-    for balance.
+    for balance.  Shards are built through the trusted constructor (their
+    rows come from the validated source) and each carries a column-store
+    slice of the source's canonical store, so downstream consumers —
+    the flat-buffer shard shipper, the id-space evaluator — reuse the
+    partitioner's columnar work instead of rebuilding it per shard.
+
+    Partitioning is a pure function of ``(mapping, source, max_shards)``
+    and both inputs are immutable, so when the caller supplies a
+    *memo_key* identifying the mapping (its fingerprint), the result is
+    cached on the source's column store and re-dispatching the same
+    source costs a dict lookup.  The executor passes its mapping
+    fingerprint here, which is what lets repeated exchanges of one
+    instance spend their time chasing instead of re-sharding.
     """
     if max_shards < 1:
         raise ValueError(f"max_shards must be >= 1, got {max_shards}")
-    facts, ordered_components, inert = _component_indexes(mapping, source)
+    cache_key = ("partition", memo_key, max_shards)
+    if memo_key is not None:
+        attached = source.columnar_store
+        if attached is not None and attached.canonical:
+            cached = attached.memo.get(cache_key)
+            if cached is not None:
+                return cached
+    flat, ordered_components, inert = _component_indexes(mapping, source)
+    store = flat.store
     largest = len(ordered_components[0]) if ordered_components else 0
     shard_count = max(1, min(max_shards, len(ordered_components) or 1))
     buckets: list[list[int]] = [[] for _ in range(shard_count)]
@@ -378,24 +460,51 @@ def partition_source(
     for offset, i in enumerate(inert):
         buckets[offset % shard_count].append(i)
 
+    names = flat.names
+    bounds = [(name, flat.base[name], flat.base[name] + store.counts[name])
+              for name in names]
     shards = []
     for bucket in buckets:
-        rows_by_relation: dict[str, list[Row]] = {}
-        for i in bucket:
-            fact = facts[i]
-            rows_by_relation.setdefault(fact.relation, []).append(fact.row)
-        shards.append(Instance(source.schema, rows_by_relation))
-    return Partitioning(
+        # Sorted positions keep every shard's rows in parent-store order
+        # (id-sorted), so sliced stores stay canonically ordered and the
+        # shard a worker unpacks is deterministic.
+        bucket.sort()
+        selection: dict[str, list[int]] = {}
+        cursor = 0
+        for name, start, stop in bounds:
+            positions: list[int] = []
+            while cursor < len(bucket) and bucket[cursor] < stop:
+                positions.append(bucket[cursor] - start)
+                cursor += 1
+            if positions:
+                selection[name] = positions
+        relations = {
+            name: frozenset(store.rows[name][p] for p in selection.get(name, ()))
+            for name in source.schema.relation_names
+        }
+        shard = Instance._unsafe(source.schema, relations)
+        shard._columnar = store.slice(selection)
+        shards.append(shard)
+    result = Partitioning(
         shards=tuple(shards),
         components=len(ordered_components),
         largest_component=largest,
     )
+    if memo_key is not None:
+        flat.store.memo[cache_key] = result
+    return result
 
 
 def shard_preview(
     mapping: SchemaMapping, source: Instance, workers: Sequence[int] = (2, 4)
 ) -> str:
-    """A human-readable sharding summary for ``repro plan --verbose``."""
+    """A human-readable sharding summary for ``repro plan --verbose``.
+
+    Reports, per worker count, each shard's fact count *and* its
+    estimated shipped bytes — the packed flat-buffer size actually sent
+    to a pool worker — since wire cost, not fact count, is what decides
+    whether parallel exchange pays off.
+    """
     report = parallelizability(mapping)
     lines = [report.describe()]
     if report.parallelizable:
@@ -407,14 +516,25 @@ def shard_preview(
         )
         for count in workers:
             partitioning = partition_source(mapping, source, max_shards=count)
-            sizes = ", ".join(str(s) for s in partitioning.shard_sizes)
-            lines.append(f"shards at {count} workers: [{sizes}]")
+            cells = []
+            for shard in partitioning.shards:
+                shipped = len(shard.columnar_store.pack())
+                cells.append(f"{shard.size()} facts / {_format_bytes(shipped)}")
+            lines.append(f"shards at {count} workers: [{'; '.join(cells)}]")
     return "\n".join(lines)
+
+
+def _format_bytes(count: int) -> str:
+    if count >= 1 << 20:
+        return f"{count / (1 << 20):.1f} MiB"
+    if count >= 1 << 10:
+        return f"{count / (1 << 10):.1f} KiB"
+    return f"{count} B"
 
 
 def co_occurrence_components(
     mapping: SchemaMapping, source: Instance
 ) -> list[list[Fact]]:
     """The raw co-occurrence components, largest first (inert facts omitted)."""
-    facts, ordered_components, _inert = _component_indexes(mapping, source)
-    return [[facts[i] for i in members] for members in ordered_components]
+    flat, ordered_components, _inert = _component_indexes(mapping, source)
+    return [[flat.fact(i) for i in members] for members in ordered_components]

@@ -220,8 +220,16 @@ def _plan_joins(
     scan (empty probe tuple).
     """
 
+    store = instance.columnar_store
+
     def size(relation: str) -> int:
-        return len(instance.rows(relation)) if relation in instance.schema else 0
+        if relation not in instance.schema:
+            return 0
+        # A store answers from its row counts — materializing value
+        # tuples just to count them would force lazily decoded shards.
+        if store is not None:
+            return store.counts.get(relation, 0)
+        return len(instance.rows(relation))
 
     order = greedy_join_order(atoms, seed_vars, size)
     bound: set[Var] = set(seed_vars)
@@ -247,6 +255,207 @@ def _publish(counters: dict[str, int]) -> None:
     for name, amount in counters.items():
         if amount:
             registry.counter(name).inc(amount)
+
+
+def _id_join_eligible(instance: Instance, atoms: Sequence[Atom]) -> bool:
+    """Whether the id-space join engine can run this evaluation.
+
+    Requires a column store already attached to the instance (never
+    built speculatively — serial workloads that would not amortize a
+    build keep the row engine) and FuncTerm-free atoms (function terms
+    need value-level evaluation per row).  Side-condition literals are
+    fine either way: they are checked on the materialized value binding.
+    """
+    if instance.columnar_store is None:
+        return False
+    return all(
+        isinstance(term, (Var, Const)) for atom in atoms for term in atom.terms
+    )
+
+
+def _evaluate_id_bindings(
+    instance: Instance,
+    atoms: Sequence[Atom],
+    order: Sequence[int],
+    probes: Sequence[tuple[int, ...]],
+    counters: dict[str, int],
+) -> Iterator[dict[Var, int]]:
+    """The id-space join core: yield variable → id bindings.
+
+    Probes and scans entirely over the attached column store's integer
+    ids — hash-index keys are int tuples, equality checks are int
+    comparisons, and unbound variables bind by reading a column array
+    cell.  No :class:`Value` is ever built here; callers that need value
+    bindings materialize them per *result* binding
+    (:func:`_evaluate_ids`), and the chase's id-space fast path consumes
+    the raw id bindings directly.
+    """
+    store = instance.columnar_store
+    planned = [atoms[i] for i in order]
+    # Per planned atom: constant ids for Const positions (an absent
+    # constant can match no row — the conjunction is unsatisfiable), the
+    # positions binding a fresh variable, and within-atom duplicate
+    # positions needing an id equality check.  Probed columns (constants
+    # and already-bound variables) are guaranteed by the index key and
+    # are skipped in the inner loop.
+    specs = []
+    for atom, columns in zip(planned, probes):
+        const_ids: dict[int, int] = {}
+        firsts: list[tuple[int, Var]] = []
+        dup_checks: list[tuple[int, int]] = []
+        first_at: dict[Var, int] = {}
+        probed = set(columns)
+        for position, term in enumerate(atom.terms):
+            if isinstance(term, Const):
+                ident = store.peek(term.value)
+                if ident is None:
+                    return
+                const_ids[position] = ident
+            else:
+                seen_at = first_at.get(term)
+                if position in probed:
+                    continue
+                if seen_at is None and term not in first_at:
+                    first_at[term] = position
+                    firsts.append((position, term))
+                elif seen_at is not None:
+                    dup_checks.append((position, seen_at))
+        specs.append((atom, columns, const_ids, firsts, dup_checks))
+
+    def recurse(depth: int, id_binding: dict[Var, int]) -> Iterator[dict[Var, int]]:
+        if depth == len(planned):
+            yield id_binding
+            return
+        atom, columns, const_ids, firsts, dup_checks = specs[depth]
+        cols = store.columns[atom.relation]
+        if columns:
+            terms = atom.terms
+            key = tuple(
+                const_ids[c] if isinstance(terms[c], Const) else id_binding[terms[c]]
+                for c in columns
+            )
+            counters["evaluate.index_probes"] += 1
+            bucket = store.index(atom.relation, columns).get(key)
+            if bucket is None:
+                counters["evaluate.index_misses"] += 1
+                return
+            counters["evaluate.index_hits"] += 1
+            positions: Iterable[int] = bucket
+        else:
+            positions = range(store.counts[atom.relation])
+        for row_position in positions:
+            counters["evaluate.rows_scanned"] += 1
+            matched = True
+            for position, first_position in dup_checks:
+                if cols[position][row_position] != cols[first_position][row_position]:
+                    matched = False
+                    break
+            if not matched:
+                continue
+            extended = dict(id_binding)
+            for position, var in firsts:
+                ident = cols[position][row_position]
+                bound = extended.get(var)
+                if bound is None:
+                    extended[var] = ident
+                elif bound != ident:
+                    matched = False
+                    break
+            if matched:
+                yield from recurse(depth + 1, extended)
+
+    yield from recurse(0, {})
+
+
+def _evaluate_ids(
+    conjunction: Conjunction,
+    instance: Instance,
+    atoms: Sequence[Atom],
+    order: Sequence[int],
+    probes: Sequence[tuple[int, ...]],
+    counters: dict[str, int],
+) -> Iterator[Binding]:
+    """Id-space join with value bindings: the :func:`evaluate` engine.
+
+    Wraps :func:`_evaluate_id_bindings`, materializing one value binding
+    per result (ids are in bijection with the store's values, so id
+    equality is value equality) and applying side-condition literals,
+    which need value-level term evaluation.
+    """
+    values = instance.columnar_store.values
+    for id_binding in _evaluate_id_bindings(instance, atoms, order, probes, counters):
+        binding = {var: values[ident] for var, ident in id_binding.items()}
+        if _check_side_conditions(conjunction, binding):
+            yield binding
+
+
+def premise_ids_eligible(conjunction: Conjunction, instance: Instance) -> bool:
+    """Whether :func:`evaluate_premise_ids` would run (no evaluation done).
+
+    The chase's fast path decides eligibility for *all* tgds before
+    firing any of them — a mid-run fallback would leave the null factory
+    partially consumed — so the gate is exposed separately from the
+    evaluation itself.
+    """
+    atoms = conjunction.atoms()
+    return (
+        len(atoms) == len(conjunction.literals)
+        and _indexes_enabled
+        and _id_join_eligible(instance, atoms)
+    )
+
+
+def evaluate_premise_ids(
+    conjunction: Conjunction, instance: Instance
+) -> tuple[tuple[Var, ...], list[tuple[int, ...]]] | None:
+    """All premise bindings as id tuples, or ``None`` when ineligible.
+
+    The chase's id-space fast path (:mod:`repro.mapping.chase`) asks for
+    every satisfying binding of a tgd premise as a tuple of store ids —
+    no value objects, no per-binding dicts surviving the call.  Returns
+    ``(variables, rows)`` with *variables* sorted by name and each row
+    the ids bound to them in that order; rows come back unsorted (the
+    chase sorts id tuples itself, which on a value-sorted table is
+    exactly the canonical ``value_sort_key`` firing order).
+
+    ``None`` (fall back to value-space evaluation) when the instance has
+    no attached column store, indexing is disabled, any atom carries a
+    function term, or the conjunction has side-condition literals
+    (equalities and friends need value-level term evaluation).
+    """
+    atoms = conjunction.atoms()
+    if len(atoms) != len(conjunction.literals):
+        return None
+    if not _indexes_enabled or not _id_join_eligible(instance, atoms):
+        return None
+    _check_arities(atoms, instance)
+    variables = tuple(
+        sorted(
+            {t for atom in atoms for t in atom.terms if isinstance(t, Var)},
+            key=lambda v: v.name,
+        )
+    )
+    if any(atom.relation not in instance.schema for atom in atoms):
+        return variables, []
+    order, probes = _plan_joins(atoms, (), instance)
+    counters = {
+        "evaluate.index_builds": 0,
+        "evaluate.index_probes": 0,
+        "evaluate.index_hits": 0,
+        "evaluate.index_misses": 0,
+        "evaluate.index_skips": 0,
+        "evaluate.rows_scanned": 0,
+        "evaluate.id_joins": 1,
+    }
+    rows: list[tuple[int, ...]] = []
+    try:
+        for id_binding in _evaluate_id_bindings(
+            instance, atoms, order, probes, counters
+        ):
+            rows.append(tuple(id_binding[v] for v in variables))
+    finally:
+        _publish(counters)
+    return variables, rows
 
 
 def evaluate(
@@ -281,7 +490,24 @@ def evaluate(
         "evaluate.index_misses": 0,
         "evaluate.index_skips": 0,
         "evaluate.rows_scanned": 0,
+        "evaluate.id_joins": 0,
     }
+    # Instances that already carry a column store (unpacked shards in
+    # pool workers, sliced shards in the partitioner) evaluate in id
+    # space: index keys become packed int tuples and equality checks
+    # compare ids, materializing values only per result binding.  Seeded
+    # evaluations (witness checks) and function terms keep the row
+    # engine — seeds arrive as values, and FuncTerms need value-level
+    # evaluation per row.
+    if indexed and not initial and _id_join_eligible(instance, atoms):
+        counters["evaluate.id_joins"] = 1
+        try:
+            yield from _evaluate_ids(
+                conjunction, instance, atoms, order, probes, counters
+            )
+        finally:
+            _publish(counters)
+        return
     # Single-atom conjunctions issue exactly one index probe, so building
     # a missing index (a full scan *plus* dict construction) is strictly
     # more expensive than the one scan the probe replaces.  Skip the

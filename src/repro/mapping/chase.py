@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import enum
 import warnings
+from array import array
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
@@ -35,16 +36,19 @@ from ..logic.evaluation import (
     Binding,
     evaluate,
     evaluate_delta,
+    evaluate_premise_ids,
     ground_atoms,
+    premise_ids_eligible,
     satisfiable,
 )
-from ..logic.terms import Var
+from ..logic.terms import Const, Var
 from ..obs import get_registry, get_tracer
 from ..options import DEFAULT_MAX_STEPS, ExchangeOptions
 from ..provenance.store import NOOP, ProvenanceStore, resolve_provenance
+from ..relational.columnar import ColumnStore, width_code
 from ..relational.homomorphism import core as core_of
 from ..relational.instance import Fact, Instance, Row
-from ..relational.schema import Schema
+from ..relational.schema import AttributeType, Schema
 from ..relational.values import (
     NullFactory,
     Value,
@@ -230,7 +234,13 @@ def chase(
     provenance = resolve_provenance(provenance)
     stats = ChaseStatistics()
     factory = NullFactory()
-    factory.reserve_through(max_null_label(source.values()))
+    source_store = source.columnar_store
+    if source_store is not None:
+        # Answering from the store keeps lazily decoded shard instances
+        # lazy — scanning source.values() would force the value table.
+        factory.reserve_through(source_store.max_labeled_null())
+    else:
+        factory.reserve_through(max_null_label(source.values()))
     tracer = get_tracer()
     target: Instance | None = None
 
@@ -239,11 +249,23 @@ def chase(
             "chase", variant=variant.value, source_facts=source.size()
         ) as span:
             with tracer.span("chase.st_tgds", tgds=len(mapping.tgds)):
-                target_facts = _chase_st_tgds(
-                    mapping.tgds, source, variant, factory, stats, budget,
-                    provenance,
-                )
-            target = Instance(mapping.target, target_facts)
+                # The id-space fast path covers the common dispatch —
+                # NAIVE, unbudgeted, no lineage, no target-dependency
+                # phase to feed — and otherwise declines, leaving the
+                # value-space engine (and its validation errors) intact.
+                if (
+                    variant is ChaseVariant.NAIVE
+                    and budget is None
+                    and not provenance.enabled
+                    and not mapping.target_dependencies
+                ):
+                    target = _chase_st_tgds_ids(mapping, source, factory, stats)
+                if target is None:
+                    target_facts = _chase_st_tgds(
+                        mapping.tgds, source, variant, factory, stats, budget,
+                        provenance,
+                    )
+                    target = Instance(mapping.target, target_facts)
 
             if mapping.target_dependencies:
                 with tracer.span(
@@ -303,6 +325,189 @@ def _canonical_bindings(bindings: Iterable[Binding]) -> list[Binding]:
     return items
 
 
+def _chase_st_tgds_ids(
+    mapping: SchemaMapping,
+    source: Instance,
+    factory: NullFactory,
+    stats: ChaseStatistics,
+) -> Instance | None:
+    """NAIVE st-tgd chase entirely in id space, or ``None`` when ineligible.
+
+    When the source carries a column store, premise bindings already
+    come back as integer ids (:func:`evaluate_premise_ids`); this path
+    keeps them that way all the way into the solution — conclusion rows
+    are id tuples appended to per-relation lists, fresh nulls are bare
+    labels, and the result is a deferred
+    :class:`~repro.relational.columnar.ColumnStore` wrapped in a lazy
+    :class:`Instance`.  No :class:`Fact`, value tuple or binding dict is
+    built per firing, which roughly halves the chase's allocation
+    traffic — the difference between scaling and stalling on
+    memory-bandwidth-bound multi-core hosts (see docs/PERFORMANCE.md).
+
+    Semantics match :func:`_chase_st_tgds` exactly:
+
+    * firing order is bindings sorted as id tuples over name-sorted
+      variables — on a value-sorted table (canonical stores and their
+      slices) that *is* the ``value_sort_key`` order, so fresh nulls get
+      identical labels; on other stores the order is still
+      deterministic and the result equal up to null renaming;
+    * set semantics via per-relation dedupe of rows with no per-firing
+      existential (rows carrying one are unique by construction);
+    * duplicate conclusion atoms collapse (they ground identically).
+
+    Eligibility is decided for *every* tgd before any fires, so the
+    fallback never leaves the factory or stats half-consumed.  Gated to:
+    attached store without Skolem values, FuncTerm-free premises without
+    side conditions, Var/Const-only conclusions into untyped (``ANY``)
+    columns for variables — typed columns fall back so the validating
+    constructor's ``TypeError`` behavior is preserved — and conclusion
+    constants that type-check statically.
+    """
+    store = source.columnar_store
+    if store is None or store.skolem_count():
+        return None
+    target_schema = mapping.target
+    const_count = store.constant_count
+    new_consts: dict = {}
+    compiled = []
+    for tgd in mapping.tgds:
+        if not premise_ids_eligible(tgd.premise, source):
+            return None
+        conclusion_atoms = tgd.conclusion.atoms()
+        if len(conclusion_atoms) != len(tgd.conclusion.literals):
+            return None
+        existentials = {v: i for i, v in enumerate(tgd.existential_variables)}
+        frontier_set = set(tgd.frontier)
+        specs: list[tuple[str, tuple[tuple[int, object], ...], bool]] = []
+        seen_atoms: set = set()
+        for atom in conclusion_atoms:
+            if atom.relation not in target_schema:
+                return None
+            rel_schema = target_schema[atom.relation]
+            if rel_schema.arity != len(atom.terms):
+                return None
+            atom_key = (atom.relation, tuple(atom.terms))
+            if atom_key in seen_atoms:
+                continue
+            seen_atoms.add(atom_key)
+            ops: list[tuple[int, object]] = []
+            has_existential = False
+            for term, attr in zip(atom.terms, rel_schema.attributes):
+                if isinstance(term, Var):
+                    position = existentials.get(term)
+                    if position is not None:
+                        ops.append((2, position))
+                        has_existential = True
+                        continue
+                    if term not in frontier_set:
+                        return None
+                    if attr.type is not AttributeType.ANY:
+                        return None
+                    ops.append((0, term))
+                elif isinstance(term, Const):
+                    raw = term.value
+                    if not attr.type.accepts(raw):
+                        return None
+                    try:
+                        ident = store.peek_raw(raw)
+                        if ident is None:
+                            ident = new_consts.get(raw)
+                            if ident is None:
+                                ident = const_count + len(new_consts)
+                                new_consts[raw] = ident
+                    except TypeError:
+                        return None
+                    ops.append((1, ident))
+                else:  # FuncTerm conclusions ground per value binding
+                    return None
+            specs.append((atom.relation, tuple(ops), has_existential))
+        compiled.append((tgd.premise, tgd.existential_variables, specs))
+
+    # Every tgd is eligible — from here on the run cannot fall back.
+    # Result id space: source constants keep their ids, new conclusion
+    # constants follow (so source null ids shift up by len(new_consts)),
+    # then the source's labelled nulls, then the invented ones.
+    shift = len(new_consts)
+    labeled_count = store.labeled_count
+    null_base = const_count + shift + labeled_count
+    out_rows: dict[str, list[tuple[int, ...]]] = {
+        name: [] for name in target_schema.relation_names
+    }
+    seen_rows: dict[str, set] = {}
+    fresh_labels: list[int] = []
+    for premise, existential_vars, specs in compiled:
+        evaluated = evaluate_premise_ids(premise, source)
+        assert evaluated is not None  # gated above, per tgd
+        variables, rows = evaluated
+        rows.sort()
+        var_pos = {v: i for i, v in enumerate(variables)}
+        resolved = [
+            (
+                relation,
+                tuple(
+                    (src, var_pos[payload] if src == 0 else payload)
+                    for src, payload in ops
+                ),
+                has_existential,
+            )
+            for relation, ops, has_existential in specs
+        ]
+        n_exist = len(existential_vars)
+        tgd_fresh_base = null_base + len(fresh_labels)
+        if n_exist and rows:
+            first_label = factory.fresh_block(n_exist * len(rows))
+            fresh_labels.extend(
+                range(first_label, first_label + n_exist * len(rows))
+            )
+        stats.tgd_firings += len(rows)
+        stats.nulls_created += n_exist * len(rows)
+        for k, row in enumerate(rows):
+            if shift:
+                row = tuple(
+                    x if x < const_count else x + shift for x in row
+                )
+            fid0 = tgd_fresh_base + k * n_exist
+            for relation, ops, has_existential in resolved:
+                cells = []
+                for src, payload in ops:
+                    if src == 0:
+                        cells.append(row[payload])
+                    elif src == 1:
+                        cells.append(payload)
+                    else:
+                        cells.append(fid0 + payload)
+                out = tuple(cells)
+                if not has_existential:
+                    seen = seen_rows.get(relation)
+                    if seen is None:
+                        seen = seen_rows[relation] = set()
+                    if out in seen:
+                        continue
+                    seen.add(out)
+                out_rows[relation].append(out)
+
+    table_size = null_base + len(fresh_labels)
+    code = width_code(table_size)
+    counts: dict[str, int] = {}
+    columns: dict[str, tuple] = {}
+    for name in target_schema.relation_names:
+        rows_out = out_rows[name]
+        counts[name] = len(rows_out)
+        arity = target_schema[name].arity
+        if arity and rows_out:
+            columns[name] = tuple(array(code, col) for col in zip(*rows_out))
+        else:
+            columns[name] = tuple(array(code) for _ in range(arity))
+    raw_constants = store.raw_constants()
+    raw_constants.extend(new_consts)
+    labels = store.null_labels()
+    labels.extend(fresh_labels)
+    result_store = ColumnStore._deferred(
+        target_schema, raw_constants, labels, (), counts, columns
+    )
+    return Instance._from_store(target_schema, result_store)
+
+
 def _chase_st_tgds(
     tgds: Sequence[StTgd],
     source: Instance,
@@ -339,6 +544,13 @@ def _chase_st_tgds(
 
     for tgd_index, tgd in enumerate(tgds):
         bindings = _canonical_bindings(evaluate(tgd.premise, source))
+        # Per-tgd invariants, hoisted out of the per-binding loop: the
+        # frontier/existential properties and atom lists each walk the
+        # whole formula, which at thousands of bindings per tgd was a
+        # measurable slice of the st-tgd phase.
+        frontier = tgd.frontier
+        existential_variables = tgd.existential_variables
+        conclusion_atoms = tgd.conclusion.atoms()
         for binding in bindings:
             if budget is not None:
                 try:
@@ -346,20 +558,20 @@ def _chase_st_tgds(
                 except BudgetExceeded as exc:
                     exc.partial_facts = list(facts)
                     raise
-            frontier_binding = {v: binding[v] for v in tgd.frontier}
+            frontier_binding = {v: binding[v] for v in frontier}
             if variant is ChaseVariant.STANDARD and witnessed(
                 tgd_index, tgd, frontier_binding
             ):
                 continue
             full_binding: dict[Var, Value] = dict(binding)
             existentials: dict[Var, Value] = {}
-            for existential in tgd.existential_variables:
+            for existential in existential_variables:
                 fresh = factory.fresh()
                 full_binding[existential] = fresh
                 existentials[existential] = fresh
                 stats.nulls_created += 1
             fired: list[Fact] = []
-            for relation, row in ground_atoms(tgd.conclusion.atoms(), full_binding):
+            for relation, row in ground_atoms(conclusion_atoms, full_binding):
                 fact = Fact(relation, row)
                 facts.append(fact)
                 fired.append(fact)

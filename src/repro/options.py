@@ -100,6 +100,11 @@ class ExchangeOptions:
       (SQL-compiled via :mod:`repro.backends`; mappings outside the
       compilable fragment fall back to the interpreted chase with a
       structured reason).
+    * ``min_parallel_facts`` — smallest source (in facts) the executor
+      dispatches to worker processes; smaller sources chase serially.
+      ``None`` (the default) means *auto*: a built-in threshold below
+      which pool dispatch cannot amortize its fixed costs.  ``0``
+      forces dispatch for every parallelizable request.
     """
 
     workers: int | None = None
@@ -110,10 +115,15 @@ class ExchangeOptions:
     retry: RetryPolicy = RetryPolicy()
     provenance: "bool | ProvenanceStore" = False
     backend: str = "interpreted"
+    min_parallel_facts: int | None = None
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.min_parallel_facts is not None and self.min_parallel_facts < 0:
+            raise ValueError(
+                f"min_parallel_facts must be >= 0, got {self.min_parallel_facts}"
+            )
         if isinstance(self.cache, int) and self.cache < 1:
             raise ValueError(f"cache capacity must be >= 1, got {self.cache}")
         if self.max_steps < 1:

@@ -1,0 +1,1232 @@
+"""Columnar instance storage and the flat-buffer shard codec.
+
+A :class:`ColumnStore` is the columnar view of an
+:class:`~repro.relational.instance.Instance`: every relation holds one
+integer id vector (:mod:`array`, machine-width) per column over a dense
+per-store value table — constants first (ids ``0 .. constant_count-1``),
+then labelled nulls, then Skolem values.  The predicate "is a constant"
+is therefore the integer comparison ``id < constant_count``, value
+equality is id equality, and a whole relation is a handful of flat
+buffers instead of a frozenset of tuples of value objects.
+
+The store backs three hot paths:
+
+* **fingerprinting** — the *canonical* store (value table sorted by
+  :func:`~repro.relational.values.value_sort_key`, rows sorted as id
+  tuples) is a content-normal form, so
+  :meth:`~repro.relational.instance.Instance.fingerprint` hashes its
+  packed buffers directly instead of repr-walking every fact;
+* **shard shipping** — :func:`pack_instance` /​ :func:`unpack_instance`
+  serialize an instance as one flat buffer (packed column arrays with
+  width-minimal ids + the value table), which
+  :mod:`repro.exec.parallel` ships to pool workers as raw bytes or
+  through ``multiprocessing.shared_memory`` instead of pickled object
+  graphs;
+* **id-space evaluation** — :func:`repro.logic.evaluation.evaluate`
+  joins premises over int columns when a store is attached, and the SQL
+  backends bulk-load the id vectors straight into their tables.
+
+Stores are immutable after construction (like instances) and attach to
+at most one instance; derived instances (``with_facts`` and friends)
+rebuild lazily on demand.
+
+Buffer layout (all integers little-endian)::
+
+    magic  b"RCOL1\\0"
+    u32    header length, then the JSON header:
+           {"v": 1, "schema": ..., "rels": [[name, arity, rows], ...],
+            "consts": C, "labeled": L, "width": "B"|"H"|"I"|"Q",
+            "canon": true|false}
+    u64    constants blob length, then pickled list of C raw scalars
+    u64    labels blob length, then ``array('q')`` of L null labels
+    u64    skolem blob length, then pickled list of Skolem values
+    raw    column arrays, header order: per relation, per column,
+           ``rows`` ids of the header's width
+
+Ids inside a buffer are *local*: indexes into the shipped value table
+(constants ``0..C-1``, labelled nulls ``C..C+L-1``, Skolems after).
+Packing a sliced store compacts the table to the values its rows
+actually use, so a shard never ships its siblings' data.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import struct
+from array import array
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Mapping, Sequence
+
+from .schema import Schema
+from .values import (
+    Constant,
+    LabeledNull,
+    SkolemValue,
+    Value,
+    constant,
+    value_sort_key,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .instance import Instance, Row
+
+MAGIC = b"RCOL1\x00"
+FORMAT_VERSION = 1
+
+_HEADER_LEN = struct.Struct("<I")
+_BLOB_LEN = struct.Struct("<Q")
+
+# Width codes in preference order: the narrowest unsigned array typecode
+# whose range covers the value-table size.
+_WIDTH_STEPS = (("B", 1 << 8), ("H", 1 << 16), ("I", 1 << 32), ("Q", None))
+
+
+def width_code(table_size: int) -> str:
+    """The narrowest unsigned ``array`` typecode holding ids < *table_size*."""
+    for code, limit in _WIDTH_STEPS:
+        if limit is None or table_size <= limit:
+            return code
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+class ColumnarFormatError(ValueError):
+    """A flat buffer failed structural validation during unpack."""
+
+
+class ColumnStore:
+    """Columnar id-vector storage for one instance.
+
+    ``values`` maps ids to :class:`Value` objects (constants first,
+    labelled nulls, then Skolem values); ``rows[name]`` keeps the
+    relation's value-tuples in store order and ``columns[name]`` the
+    matching id vectors, so row ``i`` of relation ``R`` is
+    ``tuple(columns[R][c][i] for c in range(arity))`` in id space and
+    ``rows[R][i]`` in value space.
+
+    ``canonical`` stores additionally guarantee the value table is
+    sorted by :func:`value_sort_key`, rows are sorted as id tuples, and
+    the table holds exactly the instance's active domain — two equal
+    instances build byte-identical canonical stores, which is what
+    :meth:`digest` (and so ``Instance.fingerprint``) relies on.  Sliced
+    stores share their parent's table (a superset of what their rows
+    use) and are therefore never canonical.
+    """
+
+    __slots__ = (
+        "schema",
+        "_table",
+        "_lazy_parts",
+        "constant_count",
+        "labeled_count",
+        "_ids",
+        "rows",
+        "counts",
+        "columns",
+        "canonical",
+        "_indexes",
+        "_used",
+        "_digest",
+        "_packed",
+        "memo",
+    )
+
+    def __init__(
+        self,
+        schema: Schema,
+        values: list[Value],
+        constant_count: int,
+        labeled_count: int,
+        ids: dict,
+        rows: dict[str, list["Row"]],
+        columns: dict[str, tuple[array, ...]],
+        canonical: bool,
+    ) -> None:
+        self.schema = schema
+        self._table = values
+        self._lazy_parts: tuple | None = None
+        self.constant_count = constant_count
+        self.labeled_count = labeled_count
+        self._ids = ids
+        self.rows = rows
+        self.counts: dict[str, int] = {name: len(r) for name, r in rows.items()}
+        self.columns = columns
+        self.canonical = canonical
+        self._indexes: dict[tuple[str, tuple[int, ...]], dict] = {}
+        self._used: list[int] | None = None
+        self._digest: str | None = None
+        self._packed: bytes | None = None
+        #: Instance-lifetime scratch for derived results computed *from*
+        #: this store (the partitioner caches its Partitioning here keyed
+        #: by mapping fingerprint + shard count).  Stores are immutable,
+        #: so entries never go stale.
+        self.memo: dict = {}
+
+    @classmethod
+    def _deferred(
+        cls,
+        schema: Schema,
+        raw_constants: Sequence[object],
+        labels: Sequence[int],
+        skolems: Sequence[Value],
+        counts: dict[str, int],
+        columns: dict[str, tuple[array, ...]],
+        canonical: bool = False,
+    ) -> "ColumnStore":
+        """A store whose value table and rows materialize on first use.
+
+        The merge fast path (:func:`merge_result_buffers`) assembles
+        instances entirely in id space, and the worker-side shard decode
+        (:func:`unpack_instance_lazy`) never needs value tuples at all;
+        wrapping ~10⁴ raw scalars and null labels into :class:`Value`
+        objects — let alone value-tuple rows — is deferred until someone
+        actually reads them.  *canonical* may be set when the caller
+        knows the raw parts satisfy the canonical-store contract (e.g. a
+        buffer whose header says ``canon: true``).
+        """
+        self = object.__new__(cls)
+        self.schema = schema
+        self._table = None
+        self._lazy_parts = (tuple(raw_constants), tuple(labels), tuple(skolems))
+        self.constant_count = len(raw_constants)
+        self.labeled_count = len(labels)
+        self._ids = None
+        self.rows = _LazyRows(self)
+        self.counts = counts
+        self.columns = columns
+        self.canonical = canonical
+        self._indexes = {}
+        self._used = None
+        self._digest = None
+        self._packed = None
+        self.memo = {}
+        return self
+
+    @property
+    def values(self) -> list[Value]:
+        """The id → :class:`Value` table (materialized on first access)."""
+        table = self._table
+        if table is None:
+            raw_constants, labels, skolems = self._lazy_parts
+            table = [constant(raw) for raw in raw_constants]
+            table.extend(LabeledNull(label) for label in labels)
+            table.extend(skolems)
+            self._table = table
+        return table
+
+    def _ids_map(self) -> dict:
+        """The value → id map (materialized on first probe)."""
+        ids = self._ids
+        if ids is None:
+            if self._table is None:
+                # Deferred store: key straight off the raw parts so one
+                # constant peek doesn't force the whole value table.
+                raw_constants, labels, skolems = self._lazy_parts
+                ids = {raw: ident for ident, raw in enumerate(raw_constants)}
+                base = len(raw_constants)
+                for offset, label in enumerate(labels):
+                    ids[LabeledNull(label)] = base + offset
+                base += len(labels)
+                for offset, skolem in enumerate(skolems):
+                    ids[skolem] = base + offset
+            else:
+                ids = {}
+                for ident, value in enumerate(self._table):
+                    ids[value.value if type(value) is Constant else value] = ident
+            self._ids = ids
+        return ids
+
+    def _materialize_rows(self, name: str) -> list["Row"]:
+        cols = self.columns[name]
+        if not cols:
+            return [()] * self.counts[name]
+        lookup = self.values.__getitem__
+        return list(zip(*(map(lookup, col) for col in cols)))
+
+    def materialize_relations(self) -> dict[str, frozenset]:
+        """Every relation's rows as frozensets (the lazy-instance hook)."""
+        return {
+            name: frozenset(self.rows[name])
+            for name in self.schema.relation_names
+        }
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(cls, instance: "Instance") -> "ColumnStore":
+        """The canonical columnar form of *instance*.
+
+        One pass collects the active domain, sorts it by
+        :func:`value_sort_key` (constants < labelled nulls < Skolems, so
+        the three regions are contiguous by construction), and encodes
+        every relation as sorted id-tuple rows transposed into
+        width-minimal column arrays.
+        """
+        domain: set[Value] = set()
+        for name in instance.relation_names():
+            for row in instance.rows(name):
+                domain.update(row)
+        values = sorted(domain, key=value_sort_key)
+        ids: dict = {}
+        constant_count = 0
+        labeled_count = 0
+        for ident, value in enumerate(values):
+            if type(value) is Constant:
+                # Key constants by their raw scalar: equal scalars are
+                # one id, and lookups skip the dataclass __hash__.
+                ids[value.value] = ident
+                constant_count += 1
+            else:
+                ids[value] = ident
+                if type(value) is LabeledNull:
+                    labeled_count += 1
+        code = width_code(len(values))
+        rows_by_rel: dict[str, list[Row]] = {}
+        cols_by_rel: dict[str, tuple[array, ...]] = {}
+        for name in instance.relation_names():
+            arity = instance.schema[name].arity
+            paired = sorted(
+                (
+                    tuple(
+                        ids[v.value] if type(v) is Constant else ids[v]
+                        for v in row
+                    ),
+                    row,
+                )
+                for row in instance.rows(name)
+            )
+            rows_by_rel[name] = [row for _, row in paired]
+            if paired and arity:
+                cols_by_rel[name] = tuple(
+                    array(code, col) for col in zip(*(t for t, _ in paired))
+                )
+            else:
+                cols_by_rel[name] = tuple(array(code) for _ in range(arity))
+        return cls(
+            instance.schema,
+            values,
+            constant_count,
+            labeled_count,
+            ids,
+            rows_by_rel,
+            cols_by_rel,
+            canonical=True,
+        )
+
+    def slice(self, selection: Mapping[str, Sequence[int]]) -> "ColumnStore":
+        """A sub-store keeping only the selected row positions per relation.
+
+        Shares this store's value table and id map (so slicing is cheap
+        and ids stay comparable across sibling slices); relations absent
+        from *selection* come out empty.  The result is not canonical —
+        its table is a superset of what its rows use — but packs
+        compactly (:meth:`pack` drops unused table entries).
+        """
+        rows_by_rel: dict[str, list[Row]] = {}
+        cols_by_rel: dict[str, tuple[array, ...]] = {}
+        code = width_code(self.table_size())
+        for name in self.schema.relation_names:
+            picked = selection.get(name, ())
+            source_rows = self.rows[name]
+            source_cols = self.columns[name]
+            rows_by_rel[name] = [source_rows[i] for i in picked]
+            cols_by_rel[name] = tuple(
+                array(code, (col[i] for i in picked)) for col in source_cols
+            )
+        return ColumnStore(
+            self.schema,
+            self.values,
+            self.constant_count,
+            self.labeled_count,
+            self._ids,
+            rows_by_rel,
+            cols_by_rel,
+            canonical=False,
+        )
+
+    # -- structure ---------------------------------------------------------
+
+    def size(self) -> int:
+        """Total number of rows across relations."""
+        return sum(self.counts.values())
+
+    def table_size(self) -> int:
+        """Number of value-table entries, without materializing the table."""
+        if self._table is not None:
+            return len(self._table)
+        raw_constants, labels, skolems = self._lazy_parts
+        return len(raw_constants) + len(labels) + len(skolems)
+
+    def raw_constants(self) -> list:
+        """The constant region as raw scalars (no :class:`Value` built).
+
+        Deferred stores answer from their raw parts; table-backed stores
+        unwrap.  The chase's id-space fast path copies this list as the
+        constant region of its result store.
+        """
+        if self._table is None:
+            return list(self._lazy_parts[0])
+        return [value.value for value in self._table[: self.constant_count]]
+
+    def null_labels(self) -> list[int]:
+        """The labelled-null region as bare labels, in table order."""
+        if self._table is None:
+            return list(self._lazy_parts[1])
+        lo = self.constant_count
+        return [value.label for value in self._table[lo : lo + self.labeled_count]]
+
+    def skolem_count(self) -> int:
+        """How many Skolem values the table holds (without materializing it)."""
+        if self._table is None:
+            return len(self._lazy_parts[2])
+        return len(self._table) - self.constant_count - self.labeled_count
+
+    def peek(self, value: Value) -> int | None:
+        """The id of *value*, or ``None`` — never interns (read-only probe)."""
+        key = value.value if type(value) is Constant else value
+        return self._ids_map().get(key)
+
+    def peek_raw(self, raw: object) -> int | None:
+        """The id of the constant wrapping *raw*, or ``None``."""
+        try:
+            return self._ids_map().get(raw)
+        except TypeError:  # unhashable scalar can never be in the table
+            return None
+
+    def id_rows(self, relation_name: str) -> Iterator[tuple[int, ...]]:
+        """The relation's rows as id tuples (store order, C-speed zip)."""
+        cols = self.columns[relation_name]
+        if not cols:
+            return iter(() for _ in range(self.counts[relation_name]))
+        return zip(*cols)
+
+    def index(
+        self, relation_name: str, columns: tuple[int, ...]
+    ) -> Mapping[tuple[int, ...], list[int]]:
+        """A hash index over id keys: key columns → row positions.
+
+        Keys are tuples of ids at the given column positions; values are
+        the row positions carrying them.  Built lazily, cached for the
+        store's lifetime (stores are immutable).
+        """
+        cache_key = (relation_name, columns)
+        idx = self._indexes.get(cache_key)
+        if idx is None:
+            idx = {}
+            cols = self.columns[relation_name]
+            keyed = zip(*(cols[c] for c in columns))
+            for position, key in enumerate(keyed):
+                bucket = idx.get(key)
+                if bucket is None:
+                    idx[key] = [position]
+                else:
+                    bucket.append(position)
+            self._indexes[cache_key] = idx
+        return idx
+
+    def used_ids(self) -> list[int]:
+        """Sorted ids actually referenced by this store's rows (memoized)."""
+        if self._used is None:
+            if self.canonical:
+                self._used = list(range(self.table_size()))
+            else:
+                seen: set[int] = set()
+                for cols in self.columns.values():
+                    for col in cols:
+                        seen.update(col)
+                self._used = sorted(seen)
+        return self._used
+
+    def max_labeled_null(self) -> int:
+        """Largest labelled-null label used by this store's rows (−1 if none).
+
+        The labelled-null region is contiguous and label-sorted in
+        canonical (and slice-of-canonical) tables, so the answer is the
+        label behind the largest used id inside that region.
+        """
+        lo = self.constant_count
+        hi = lo + self.labeled_count
+        best = -1
+        labels: list[int] | None = None
+        for ident in reversed(self.used_ids()):
+            if ident < lo:
+                break
+            if ident < hi:
+                # Ids in the labelled region map to labels positionally,
+                # so no Value needs to exist to answer this.
+                if labels is None:
+                    labels = self.null_labels()
+                label = labels[ident - lo]
+                if label > best:
+                    best = label
+        return best
+
+    def global_id_rows(self, relation_name: str) -> Iterator[tuple[int, ...]]:
+        """Rows as :class:`~repro.relational.serialization.ValueInterner` ids.
+
+        Local null ids are shifted up to the interner convention
+        (``NULL_ID_BASE + offset``); ground stores stream their columns
+        verbatim.  This is the SQL backends' zero-encode load path — see
+        :meth:`make_interner`.
+        """
+        from .serialization import NULL_ID_BASE
+
+        cols = self.columns[relation_name]
+        if not cols:
+            return iter(() for _ in range(self.counts[relation_name]))
+        if self.constant_count == len(self.values):
+            return zip(*cols)
+        shift = NULL_ID_BASE - self.constant_count
+        trans = list(range(self.constant_count)) + [
+            shift + ident
+            for ident in range(self.constant_count, len(self.values))
+        ]
+        return zip(*(map(trans.__getitem__, col) for col in cols))
+
+    def make_interner(self):
+        """A fresh :class:`ValueInterner` aligned with :meth:`global_id_rows`.
+
+        Constants intern in table order (ids ``0..C-1`` match the local
+        ids exactly) and nulls in table order (``NULL_ID_BASE + i``), so
+        rows streamed through :meth:`global_id_rows` decode through the
+        returned interner without any per-cell re-encoding.
+        """
+        from .serialization import ValueInterner
+
+        interner = ValueInterner()
+        id_of = interner.id_of
+        for value in self.values:
+            id_of(value)
+        return interner
+
+    # -- fingerprint -------------------------------------------------------
+
+    def digest(self) -> str:
+        """The canonical SHA-256 content digest (canonical stores only).
+
+        Hashes the schema, the value table (constants as type-tagged
+        reprs — ``1``, ``1.0``, ``True`` and ``'1'`` all differ; null
+        labels as one packed array; Skolem values as reprs) and every
+        relation's raw column bytes.  Equal instances always agree and
+        the digest is process-stable, so it can key caches shared across
+        runs.  Non-canonical stores must :meth:`ColumnStore.build` from
+        their instance first — their table order is arbitrary.
+        """
+        if not self.canonical:
+            raise ValueError("digest requires a canonical store")
+        if self._digest is None:
+            import hashlib
+
+            # Accumulate length-prefixed sections and hash in one update:
+            # tens of thousands of tiny hasher.update calls were a
+            # measurable share of fingerprint cost at bench sizes.
+            parts: list[bytes] = []
+
+            def feed(text: str) -> None:
+                encoded = text.encode("utf-8")
+                parts.append(len(encoded).to_bytes(4, "big"))
+                parts.append(encoded)
+
+            for rel in sorted(self.schema, key=lambda r: r.name):
+                feed("R")
+                feed(rel.name)
+                for attr in rel.attributes:
+                    feed(attr.name)
+                    feed(attr.type.value)
+            feed("V")
+            for value in self.values[: self.constant_count]:
+                raw = value.value
+                feed(type(raw).__name__)
+                feed(repr(raw))
+            labels = array(
+                "q",
+                (
+                    value.label
+                    for value in self.values[
+                        self.constant_count : self.constant_count
+                        + self.labeled_count
+                    ]
+                ),
+            )
+            parts.append(labels.tobytes())
+            for value in self.values[self.constant_count + self.labeled_count :]:
+                feed(repr(value))
+            for name in sorted(self.columns):
+                count = self.counts[name]
+                if not count:
+                    continue
+                feed("C")
+                feed(name)
+                feed(str(count))
+                for col in self.columns[name]:
+                    parts.append(col.tobytes())
+            self._digest = hashlib.sha256(b"".join(parts)).hexdigest()
+        return self._digest
+
+    # -- flat-buffer codec -------------------------------------------------
+
+    def pack(self) -> bytes:
+        """Serialize to one flat buffer (see the module docstring layout).
+
+        Canonical stores pack verbatim; sliced stores first compact the
+        value table down to the ids their rows use (keeping relative
+        order, so label-sortedness survives) and remap columns into the
+        compacted — and usually narrower — id space.
+        """
+        if self._packed is not None:
+            return self._packed
+        if self._table is None:
+            self._packed = self._pack_raw()
+            return self._packed
+        used = self.used_ids()
+        compact = len(used) != len(self.values)
+        if compact:
+            remap = {ident: local for local, ident in enumerate(used)}
+            table = [self.values[ident] for ident in used]
+            const_n = 0
+            labeled_n = 0
+            for value in table:
+                if type(value) is Constant:
+                    const_n += 1
+                elif type(value) is LabeledNull:
+                    labeled_n += 1
+        else:
+            remap = None
+            table = self.values
+            const_n = self.constant_count
+            labeled_n = self.labeled_count
+        code = width_code(len(table))
+        rels = []
+        col_blobs: list[bytes] = []
+        for name in self.schema.relation_names:
+            cols = self.columns[name]
+            rels.append([name, len(cols), self.counts[name]])
+            for col in cols:
+                if remap is not None:
+                    col = array(code, map(remap.__getitem__, col))
+                elif col.typecode != code:  # pragma: no cover - defensive
+                    col = array(code, col)
+                col_blobs.append(col.tobytes())
+        self._packed = _assemble_buffer(
+            self.schema, table, const_n, labeled_n, rels, col_blobs, code, True
+        )
+        return self._packed
+
+    def _pack_raw(self) -> bytes:
+        """Pack a deferred store straight from its raw parts.
+
+        Deferred stores (merge results, id-space chase solutions) know
+        their raw constants, null labels and id columns but have never
+        built a :class:`Value` table — and packing is often the *only*
+        thing that happens to them (a worker shipping its shard solution
+        home), so building the table just to unwrap it again would undo
+        the point.  Compacts to used ids exactly like :meth:`pack`;
+        keeping relative order preserves label-sortedness.  The header
+        carries this store's ``canonical`` flag: merge results and chase
+        solutions are emission-ordered (``canon: false``), while a
+        lazily decoded canonical buffer (:func:`unpack_instance_lazy`)
+        round-trips as canonical.
+        """
+        raw_constants, labels, skolems = self._lazy_parts
+        used = self.used_ids()
+        const_count = self.constant_count
+        null_end = const_count + self.labeled_count
+        total = null_end + len(skolems)
+        if len(used) != total:
+            remap = {ident: local for local, ident in enumerate(used)}
+            packed_consts = [raw_constants[i] for i in used if i < const_count]
+            packed_labels = [
+                labels[i - const_count] for i in used if const_count <= i < null_end
+            ]
+            packed_skolems = [skolems[i - null_end] for i in used if i >= null_end]
+        else:
+            remap = None
+            packed_consts = list(raw_constants)
+            packed_labels = list(labels)
+            packed_skolems = list(skolems)
+        code = width_code(len(used) if remap is not None else total)
+        rels = []
+        col_blobs: list[bytes] = []
+        for name in self.schema.relation_names:
+            cols = self.columns[name]
+            rels.append([name, len(cols), self.counts[name]])
+            for col in cols:
+                if remap is not None:
+                    col = array(code, map(remap.__getitem__, col))
+                elif col.typecode != code:
+                    col = array(code, col)
+                col_blobs.append(col.tobytes())
+        return _assemble_raw_buffer(
+            self.schema,
+            packed_consts,
+            packed_labels,
+            packed_skolems,
+            rels,
+            col_blobs,
+            code,
+            self.canonical,
+        )
+
+
+class _LazyRows(dict):
+    """Per-relation row lists materialized from columns on first access.
+
+    Deferred stores (:meth:`ColumnStore._deferred`) only know their id
+    vectors; the value-tuple view of a relation is built the first time
+    someone subscripts it and cached like a plain dict entry afterwards.
+    """
+
+    __slots__ = ("_store",)
+
+    def __init__(self, store: ColumnStore) -> None:
+        super().__init__()
+        self._store = store
+
+    def __missing__(self, name: str) -> list:
+        rows = self._store._materialize_rows(name)
+        self[name] = rows
+        return rows
+
+
+def _assemble_buffer(
+    schema: Schema,
+    table: Sequence[Value],
+    const_n: int,
+    labeled_n: int,
+    rels: list,
+    col_blobs: list[bytes],
+    code: str,
+    canonical: bool,
+) -> bytes:
+    """Join a prepared value table + column blobs into one flat buffer."""
+    return _assemble_raw_buffer(
+        schema,
+        [value.value for value in table[:const_n]],
+        [value.label for value in table[const_n : const_n + labeled_n]],
+        list(table[const_n + labeled_n :]),
+        rels,
+        col_blobs,
+        code,
+        canonical,
+    )
+
+
+def _assemble_raw_buffer(
+    schema: Schema,
+    raw_constants: Sequence[object],
+    labels: Sequence[int],
+    skolems: Sequence[Value],
+    rels: list,
+    col_blobs: list[bytes],
+    code: str,
+    canonical: bool,
+) -> bytes:
+    """Assemble a flat buffer from raw table parts (scalars and labels)."""
+    from .serialization import schema_to_json
+
+    const_blob = pickle.dumps(
+        list(raw_constants), protocol=pickle.HIGHEST_PROTOCOL
+    )
+    labels_blob = array("q", labels).tobytes()
+    skolem_blob = (
+        pickle.dumps(list(skolems), protocol=pickle.HIGHEST_PROTOCOL)
+        if skolems
+        else b""
+    )
+    const_n = len(raw_constants)
+    labeled_n = len(labels)
+    header = json.dumps(
+        {
+            "v": FORMAT_VERSION,
+            "schema": schema_to_json(schema),
+            "rels": rels,
+            "consts": const_n,
+            "labeled": labeled_n,
+            "width": code,
+            "canon": canonical,
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+    parts = [
+        MAGIC,
+        _HEADER_LEN.pack(len(header)),
+        header,
+        _BLOB_LEN.pack(len(const_blob)),
+        const_blob,
+        _BLOB_LEN.pack(len(labels_blob)),
+        labels_blob,
+        _BLOB_LEN.pack(len(skolem_blob)),
+        skolem_blob,
+    ]
+    parts.extend(col_blobs)
+    return b"".join(parts)
+
+
+def pack_instance(instance: "Instance") -> bytes:
+    """Pack *instance* as a flat buffer (builds/reuses its column store)."""
+    store = instance.columnar_store
+    if store is None:
+        store = instance.columnar()
+    return store.pack()
+
+
+def pack_rows(
+    schema: Schema, rows_by_rel: Mapping[str, Iterable["Row"]]
+) -> bytes:
+    """Pack rows as a *non-canonical* flat buffer, skipping the store build.
+
+    The fast result-shipping path: no global :func:`value_sort_key` sort
+    of the table, no row sort — constants intern in first-seen order and
+    rows keep iteration order.  Only the labelled nulls are sorted (a
+    cheap integer sort), because the merge side relabels invented nulls
+    in table order and must mint fresh labels in ascending old-label
+    order to match the serial merge's naming.  The buffer decodes
+    through :func:`unpack_instance` / :func:`unpack_rows` like any
+    other, but its header says ``canon: false`` so the attached store is
+    never mistaken for a canonical one.
+    """
+    const_ids: dict = {}
+    nulls: set[LabeledNull] = set()
+    skolems: set[Value] = set()
+    materialized = {name: list(rows) for name, rows in rows_by_rel.items()}
+    for rows in materialized.values():
+        for row in rows:
+            for value in row:
+                kind = type(value)
+                if kind is Constant:
+                    const_ids.setdefault(value.value, len(const_ids))
+                elif kind is LabeledNull:
+                    nulls.add(value)
+                else:
+                    skolems.add(value)
+    table: list[Value] = [constant(raw) for raw in const_ids]
+    const_n = len(table)
+    labeled_n = len(nulls)
+    ids: dict = dict(const_ids)
+    for value in sorted(nulls, key=lambda null: null.label):
+        ids[value] = len(table)
+        table.append(value)
+    for value in sorted(skolems, key=value_sort_key):
+        ids[value] = len(table)
+        table.append(value)
+    code = width_code(len(table))
+    rels = []
+    col_blobs: list[bytes] = []
+    for name, rows in materialized.items():
+        arity = schema[name].arity
+        rels.append([name, arity, len(rows)])
+        if arity and rows:
+            id_rows = [
+                tuple(
+                    ids[v.value] if type(v) is Constant else ids[v]
+                    for v in row
+                )
+                for row in rows
+            ]
+            for col in zip(*id_rows):
+                col_blobs.append(array(code, col).tobytes())
+        else:
+            col_blobs.extend(b"" for _ in range(arity))
+    return _assemble_buffer(
+        schema, table, const_n, labeled_n, rels, col_blobs, code, False
+    )
+
+
+def _read_blob(buffer: bytes, offset: int) -> tuple[bytes, int]:
+    (length,) = _BLOB_LEN.unpack_from(buffer, offset)
+    offset += _BLOB_LEN.size
+    end = offset + length
+    if end > len(buffer):
+        raise ColumnarFormatError("flat buffer truncated inside a blob")
+    return buffer[offset:end], end
+
+
+def _read_raw_table(
+    buffer: bytes,
+) -> tuple[dict, list, array, list, int]:
+    """Parse header + raw value-table parts, building no :class:`Value`\\ s.
+
+    Returns ``(header, raw_constants, labels, skolems, offset)`` where
+    *offset* points at the first column blob.  The id-space merge path
+    (:func:`merge_result_buffers`) works directly on raw scalars and
+    integer labels, so wrapping them in value objects here would be
+    wasted work; :func:`_decode_table` layers that on for the
+    value-space decoders.
+    """
+    if buffer[: len(MAGIC)] != MAGIC:
+        raise ColumnarFormatError("not a columnar instance buffer (bad magic)")
+    offset = len(MAGIC)
+    (header_len,) = _HEADER_LEN.unpack_from(buffer, offset)
+    offset += _HEADER_LEN.size
+    try:
+        header = json.loads(buffer[offset : offset + header_len])
+    except ValueError as exc:
+        raise ColumnarFormatError(f"malformed buffer header: {exc}") from None
+    if header.get("v") != FORMAT_VERSION:
+        raise ColumnarFormatError(
+            f"unsupported columnar format version {header.get('v')!r}"
+        )
+    offset += header_len
+    const_blob, offset = _read_blob(buffer, offset)
+    labels_blob, offset = _read_blob(buffer, offset)
+    skolem_blob, offset = _read_blob(buffer, offset)
+
+    raw_constants = pickle.loads(const_blob) if const_blob else []
+    labels = array("q")
+    labels.frombytes(labels_blob)
+    skolems = pickle.loads(skolem_blob) if skolem_blob else []
+    if len(raw_constants) != header["consts"] or len(labels) != header["labeled"]:
+        raise ColumnarFormatError("value table does not match header counts")
+    for skolem in skolems:
+        if type(skolem) is not SkolemValue:
+            raise ColumnarFormatError(f"not a Skolem value: {skolem!r}")
+    return header, raw_constants, labels, skolems, offset
+
+
+def _decode_table(
+    buffer: bytes,
+    null_relabel: Callable[[LabeledNull], LabeledNull] | None,
+) -> tuple[dict, list[Value], int]:
+    """Shared decode prefix: header + rebuilt value table + column offset."""
+    header, raw_constants, labels, skolems, offset = _read_raw_table(buffer)
+    table: list[Value] = [constant(raw) for raw in raw_constants]
+    for label in labels:
+        null = LabeledNull(label)
+        if null_relabel is not None:
+            null = null_relabel(null)
+        table.append(null)
+    table.extend(skolems)
+    return header, table, offset
+
+
+def _decode_columns(
+    buffer: bytes, header: dict, offset: int
+) -> Iterator[tuple[str, int, int, list[array]]]:
+    """Yield each relation's raw column arrays from the buffer tail."""
+    code = header["width"]
+    item_size = array(code).itemsize
+    for name, arity, nrows in header["rels"]:
+        cols = []
+        for _ in range(arity):
+            end = offset + nrows * item_size
+            if end > len(buffer):
+                raise ColumnarFormatError("flat buffer truncated inside columns")
+            col = array(code)
+            col.frombytes(buffer[offset:end])
+            cols.append(col)
+            offset = end
+        yield name, arity, nrows, cols
+
+
+def unpack_rows(
+    buffer: bytes | bytearray | memoryview,
+    null_relabel: Callable[[LabeledNull], LabeledNull] | None = None,
+) -> dict[str, list["Row"]]:
+    """Decode a flat buffer into bare row lists — no instance, no store.
+
+    The merge-side fast path: shard solutions only need their rows
+    unioned into the final target instance, so building a full
+    :class:`Instance` (frozensets, attached store, id map) per shard is
+    wasted work.  Same *null_relabel* contract as
+    :func:`unpack_instance`; relations the buffer doesn't mention are
+    simply absent from the result.
+    """
+    buffer = bytes(buffer)
+    header, table, offset = _decode_table(buffer, null_relabel)
+    table_size = len(table)
+    lookup = table.__getitem__
+    rows_by_rel: dict[str, list[Row]] = {}
+    for name, arity, nrows, cols in _decode_columns(buffer, header, offset):
+        for col in cols:
+            if table_size <= (max(col) if col else -1):
+                raise ColumnarFormatError("column id outside the value table")
+        if arity:
+            rows_by_rel[name] = list(zip(*(map(lookup, col) for col in cols)))
+        else:
+            rows_by_rel[name] = [()] * nrows
+    return rows_by_rel
+
+
+def unpack_instance(
+    buffer: bytes | bytearray | memoryview,
+    null_relabel: Callable[[LabeledNull], LabeledNull] | None = None,
+) -> "Instance":
+    """Decode a flat buffer into an :class:`Instance` with attached store.
+
+    *null_relabel* maps each labelled null of the buffer's value table to
+    the null the decoded instance should carry instead (identity when it
+    returns its argument) — the shard-merge hook that renames invented
+    nulls into a disjoint namespace *before* rows are materialized, so
+    no second ``map_values`` pass over the decoded instance is needed.
+
+    Decoding is table-first: the value table is rebuilt once (constants
+    re-interned through :func:`~repro.relational.values.constant`), then
+    every relation's rows come from one C-speed ``zip`` of per-column
+    table lookups.  Rows are trusted — they were validated when the
+    packing side built its instance — so the validating constructor is
+    skipped.  The attached store keeps the buffer's row order, which for
+    buffers packed from canonical (or sliced-canonical) stores is itself
+    canonical.
+    """
+    from .instance import Instance
+    from .serialization import schema_from_json
+
+    buffer = bytes(buffer)
+    header, table, offset = _decode_table(buffer, null_relabel)
+    const_n = header["consts"]
+    labeled_n = header["labeled"]
+    ids: dict = {}
+    for ident, value in enumerate(table):
+        ids[value.value if type(value) is Constant else value] = ident
+
+    code = header["width"]
+    schema = schema_from_json(header["schema"])
+    rows_by_rel: dict[str, list[Row]] = {}
+    cols_by_rel: dict[str, tuple[array, ...]] = {}
+    relations: dict[str, frozenset] = {}
+    lookup = table.__getitem__
+    for name, arity, nrows, cols in _decode_columns(buffer, header, offset):
+        if name not in schema:
+            raise ColumnarFormatError(f"buffer names unknown relation {name!r}")
+        if arity != schema[name].arity:
+            raise ColumnarFormatError(
+                f"arity mismatch for {name!r}: schema says "
+                f"{schema[name].arity}, buffer says {arity}"
+            )
+        for col in cols:
+            if len(table) <= (max(col) if col else -1):
+                raise ColumnarFormatError("column id outside the value table")
+        if arity:
+            rows = list(zip(*(map(lookup, col) for col in cols)))
+        else:
+            rows = [()] * nrows
+        rows_by_rel[name] = rows
+        cols_by_rel[name] = tuple(cols)
+        relations[name] = frozenset(rows)
+    for name in schema.relation_names:
+        if name not in relations:
+            relations[name] = frozenset()
+            rows_by_rel[name] = []
+            cols_by_rel[name] = tuple(
+                array(code) for _ in range(schema[name].arity)
+            )
+    instance = Instance._unsafe(schema, relations)
+    store = ColumnStore(
+        schema,
+        table,
+        const_n,
+        labeled_n,
+        ids,
+        rows_by_rel,
+        cols_by_rel,
+        # Table compaction and row sorting happened on the packing side;
+        # relabeling preserves both (fresh labels are minted in
+        # ascending old-label order from a factory reserved past every
+        # smaller label), so the decoded store is canonical whenever the
+        # packed one was built from a canonical (or sliced-canonical)
+        # store — the header says which — *and* no relabeling crossed
+        # the source/invented split.
+        canonical=header.get("canon", True) and null_relabel is None,
+    )
+    instance._columnar = store
+    return instance
+
+
+def unpack_instance_lazy(
+    buffer: bytes | bytearray | memoryview,
+) -> "Instance":
+    """Decode a flat buffer into a store-backed instance, deferring values.
+
+    The worker-side twin of :func:`unpack_instance`: the id columns are
+    decoded and validated eagerly (same structural checks), but the
+    value table, the value → id map and the value-tuple rows stay as raw
+    parts until someone reads them.  The id-space chase fast path
+    (:func:`repro.mapping.chase.chase`) joins premises over the columns
+    and copies the raw parts into its solution store, so for the common
+    shard dispatch none of those ever materialize — at bench sizes the
+    eager decode was costing a pool worker as much as the chase itself.
+
+    The buffer's ``canon`` header carries over: a buffer packed from a
+    canonical (or sliced-canonical) store decodes to a store whose table
+    order is the ``value_sort_key`` order, which the chase fast path
+    relies on for firing-order (and so null-naming) parity with the
+    value-space engine.  No ``null_relabel`` hook — relabeling is a
+    merge-side concern and forces value materialization anyway.
+    """
+    from .instance import Instance
+    from .serialization import schema_from_json
+
+    buffer = bytes(buffer)
+    header, raw_constants, labels, skolems, offset = _read_raw_table(buffer)
+    schema = schema_from_json(header["schema"])
+    code = header["width"]
+    table_size = len(raw_constants) + len(labels) + len(skolems)
+    counts: dict[str, int] = {}
+    cols_by_rel: dict[str, tuple[array, ...]] = {}
+    for name, arity, nrows, cols in _decode_columns(buffer, header, offset):
+        if name not in schema:
+            raise ColumnarFormatError(f"buffer names unknown relation {name!r}")
+        if arity != schema[name].arity:
+            raise ColumnarFormatError(
+                f"arity mismatch for {name!r}: schema says "
+                f"{schema[name].arity}, buffer says {arity}"
+            )
+        for col in cols:
+            if table_size <= (max(col) if col else -1):
+                raise ColumnarFormatError("column id outside the value table")
+        counts[name] = nrows
+        cols_by_rel[name] = tuple(cols)
+    for name in schema.relation_names:
+        if name not in counts:
+            counts[name] = 0
+            cols_by_rel[name] = tuple(
+                array(code) for _ in range(schema[name].arity)
+            )
+    store = ColumnStore._deferred(
+        schema,
+        raw_constants,
+        labels,
+        skolems,
+        counts,
+        cols_by_rel,
+        canonical=bool(header.get("canon", True)),
+    )
+    return Instance._from_store(schema, store)
+
+
+def merge_result_buffers(
+    schema: Schema,
+    buffers: Sequence[bytes | bytearray | memoryview],
+    shard_maxima: Sequence[int],
+    first_fresh_label: int,
+    dedupe: bool,
+) -> ColumnStore:
+    """Union shard-solution buffers into one deferred store, in id space.
+
+    The merge-side fast path for the common dispatch (no step budget, no
+    provenance): instead of decoding every buffer into value-tuple rows
+    and re-freezing them, assign each distinct raw constant / null label
+    / Skolem value one global id, translate every shard's columns
+    through a per-shard remap list at C speed, and concatenate.  Value
+    objects and row tuples materialize later, only if someone reads them
+    (:meth:`ColumnStore._deferred`).
+
+    A shard's labels ``> shard_maxima[i]`` are worker-invented nulls:
+    they get fresh labels counting up from *first_fresh_label* in
+    ascending old-label order per shard, in shard order — buffers sort
+    nulls by label (:func:`pack_rows`), so this reproduces exactly the
+    names the value-space merge mints through its ``NullFactory``.
+    Labels at or below the shard maximum are source nulls shared across
+    shards and keep their label, so co-shipped nulls unify.
+
+    With *dedupe* false the caller asserts shard solutions are pairwise
+    disjoint (e.g. every tgd conclusion atom carries a per-firing
+    existential null) and rows concatenate verbatim; with *dedupe* true
+    duplicate id-rows are dropped after concatenation.
+    """
+    const_ix: dict = {}
+    null_ix: dict[int, int] = {}
+    skolem_ix: dict = {}
+    merged_labels: list[int] = []
+    next_label = first_fresh_label
+    parsed = []
+    for shipped, shard_max in zip(buffers, shard_maxima):
+        buffer = bytes(shipped)
+        header, raw_constants, labels, skolems, offset = _read_raw_table(buffer)
+        const_part: list[int] = []
+        for raw in raw_constants:
+            ix = const_ix.get(raw)
+            if ix is None:
+                ix = len(const_ix)
+                const_ix[raw] = ix
+            const_part.append(ix)
+        null_part: list[int] = []
+        for label in labels:
+            if label > shard_max:
+                label = next_label
+                next_label += 1
+            ix = null_ix.get(label)
+            if ix is None:
+                ix = len(null_ix)
+                null_ix[label] = ix
+                merged_labels.append(label)
+            null_part.append(ix)
+        skolem_part: list[int] = []
+        for skolem in skolems:
+            ix = skolem_ix.get(skolem)
+            if ix is None:
+                ix = len(skolem_ix)
+                skolem_ix[skolem] = ix
+            skolem_part.append(ix)
+        parsed.append((header, offset, buffer, const_part, null_part, skolem_part))
+
+    const_n = len(const_ix)
+    labeled_n = len(null_ix)
+    code = width_code(const_n + labeled_n + len(skolem_ix))
+    merged_cols: dict[str, list[array]] = {
+        name: [array(code) for _ in range(schema[name].arity)]
+        for name in schema.relation_names
+    }
+    counts: dict[str, int] = {name: 0 for name in schema.relation_names}
+    skolem_base = const_n + labeled_n
+    for header, offset, buffer, remap, null_part, skolem_part in parsed:
+        remap.extend(const_n + ix for ix in null_part)
+        remap.extend(skolem_base + ix for ix in skolem_part)
+        for name, arity, nrows, cols in _decode_columns(buffer, header, offset):
+            if name not in merged_cols:
+                raise ColumnarFormatError(
+                    f"buffer names unknown relation {name!r}"
+                )
+            if arity != schema[name].arity:
+                raise ColumnarFormatError(
+                    f"arity mismatch for {name!r}: schema says "
+                    f"{schema[name].arity}, buffer says {arity}"
+                )
+            counts[name] += nrows
+            dest = merged_cols[name]
+            try:
+                for position, col in enumerate(cols):
+                    dest[position].extend(map(remap.__getitem__, col))
+            except IndexError:
+                raise ColumnarFormatError(
+                    "column id outside the value table"
+                ) from None
+
+    if dedupe:
+        for name, cols in merged_cols.items():
+            if not cols:
+                if counts[name] > 1:
+                    counts[name] = 1
+                continue
+            if counts[name] < 2:
+                continue
+            seen: set = set()
+            add = seen.add
+            keep: list[int] = []
+            for position, key in enumerate(zip(*cols)):
+                if key not in seen:
+                    add(key)
+                    keep.append(position)
+            if len(keep) != counts[name]:
+                merged_cols[name] = [
+                    array(code, map(col.__getitem__, keep)) for col in cols
+                ]
+                counts[name] = len(keep)
+
+    return ColumnStore._deferred(
+        schema,
+        list(const_ix),
+        merged_labels,
+        list(skolem_ix),
+        counts,
+        {name: tuple(cols) for name, cols in merged_cols.items()},
+    )
+
+
+def buffer_sizes(buffers: Iterable[bytes]) -> dict[str, int]:
+    """Aggregate byte accounting for a batch of packed buffers."""
+    sizes = [len(b) for b in buffers]
+    return {
+        "count": len(sizes),
+        "total_bytes": sum(sizes),
+        "max_bytes": max(sizes, default=0),
+    }

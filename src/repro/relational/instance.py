@@ -11,7 +11,6 @@ shorthand for literals in tests and examples.
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass
 from typing import Hashable, Iterable, Iterator, Mapping
 
@@ -71,11 +70,12 @@ class Instance:
 
     __slots__ = (
         "_schema",
-        "_relations",
+        "_rels",
         "_hash",
         "_indexes",
         "_index_skips",
         "_fingerprint",
+        "_columnar",
     )
 
     def __init__(
@@ -108,13 +108,14 @@ class Instance:
                     )
             relations[name].add(row)
         self._schema = schema
-        self._relations: dict[str, frozenset[Row]] = {
+        self._rels: dict[str, frozenset[Row]] | None = {
             name: frozenset(rows) for name, rows in relations.items()
         }
         self._hash: int | None = None
         self._indexes: dict[tuple[str, tuple[int, ...]], dict[tuple, list[Row]]] = {}
         self._index_skips: dict[tuple[str, tuple[int, ...]], int] = {}
         self._fingerprint: str | None = None
+        self._columnar = None
 
     @classmethod
     def _unsafe(
@@ -129,12 +130,43 @@ class Instance:
         """
         self = object.__new__(cls)
         self._schema = schema
-        self._relations = relations
+        self._rels = relations
         self._hash = None
         self._indexes = {}
         self._index_skips = {}
         self._fingerprint = None
+        self._columnar = None
         return self
+
+    @classmethod
+    def _from_store(cls, schema: Schema, store) -> "Instance":
+        """Internal columnar constructor: rows live in *store* until read.
+
+        The instance's value-tuple relations are a *view*: the id
+        vectors in the attached
+        :class:`~repro.relational.columnar.ColumnStore` are the data,
+        and ``_relations`` materializes from them on first access.  The
+        parallel merge builds its final solution this way, so callers
+        that only fingerprint, re-ship, or feed the solution to a
+        columnar-aware consumer never pay for the tuple view.
+        """
+        self = object.__new__(cls)
+        self._schema = schema
+        self._rels = None
+        self._hash = None
+        self._indexes = {}
+        self._index_skips = {}
+        self._fingerprint = None
+        self._columnar = store
+        return self
+
+    @property
+    def _relations(self) -> dict[str, frozenset[Row]]:
+        rels = self._rels
+        if rels is None:
+            rels = self._columnar.materialize_relations()
+            self._rels = rels
+        return rels
 
     def _validated_row(self, name: str, row: Row) -> Row:
         if name not in self._schema:
@@ -254,6 +286,10 @@ class Instance:
 
     def size(self) -> int:
         """Total number of facts."""
+        if self._rels is None:
+            # Deduplicated columnar view: row counts without materializing
+            # the tuple relations.
+            return self._columnar.size()
         return sum(len(rows) for rows in self._relations.values())
 
     def is_empty(self) -> bool:
@@ -284,6 +320,39 @@ class Instance:
     def is_ground(self) -> bool:
         """Whether the instance contains no nulls."""
         return not self.nulls()
+
+    # -- columnar view -----------------------------------------------------
+
+    def columnar(self):
+        """The canonical columnar view of this instance (built lazily).
+
+        Returns a :class:`~repro.relational.columnar.ColumnStore`: per
+        relation one integer id vector per column over a dense value
+        table sorted by :func:`~repro.relational.values.value_sort_key`.
+        Built on first request and memoized (instances are immutable);
+        the store backs :meth:`fingerprint`, flat-buffer shard shipping
+        and the id-space evaluation path.  Shard instances decoded by
+        :func:`~repro.relational.columnar.unpack_instance` arrive with a
+        store already attached and skip the build entirely.
+        """
+        store = self._columnar
+        if store is None or not store.canonical:
+            from .columnar import ColumnStore
+
+            store = ColumnStore.build(self)
+            self._columnar = store
+        return store
+
+    @property
+    def columnar_store(self):
+        """The attached column store, or ``None`` — never triggers a build.
+
+        Hot paths (the id-space evaluator, the shard packers) use this
+        to engage columnar machinery only when a store already exists,
+        so purely interpreted workloads never pay for a build they would
+        not amortize.
+        """
+        return self._columnar
 
     # -- algebraic construction -------------------------------------------
 
@@ -397,44 +466,23 @@ class Instance:
     def fingerprint(self) -> str:
         """A stable content hash of the instance (schema + facts).
 
-        The fingerprint is a hex SHA-256 digest over a canonical,
-        order-independent encoding: relations are visited in sorted name
-        order, rows as their sorted ``repr`` strings, every chunk
-        length-prefixed so adjacent fields can never be confused.  Row
-        reprs separate value kinds syntactically — string constants are
-        quoted, so ``'⊥3'`` (a constant) never collides with ``⊥3`` (a
-        labelled null) or ``f(…)`` (a Skolem value) — and builtin scalar
-        reprs are injective per type (``1`` vs ``1.0`` vs ``True`` vs
-        ``'1'`` all differ).  Equal instances (same schema, same facts)
-        always agree; the digest is process-stable, so it can key caches
-        shared across runs.  Computed lazily and memoized (instances are
-        immutable); this runs on every cache probe for a fresh source,
-        which is why rows hash by C-speed ``repr`` instead of a per-value
-        tagged walk.
+        The fingerprint is the canonical column store's digest: a hex
+        SHA-256 over the schema, the sorted value table (constants as
+        type-tagged reprs — ``1`` vs ``1.0`` vs ``True`` vs ``'1'`` all
+        differ — null labels as one packed int array, Skolem values as
+        reprs) and every relation's raw id-column bytes.  Because the
+        canonical store is a content normal form (value table sorted by
+        ``value_sort_key``, rows sorted as id tuples), equal instances
+        (same schema, same facts) always produce the same digest, and
+        the digest is process-stable so it can key caches shared across
+        runs.  Hashing the packed column buffers means the per-fact cost
+        is a C-speed array copy instead of a ``repr`` walk: each
+        *distinct* value stringifies once for the table, and rows hash as
+        raw machine integers.  Computed lazily and memoized (instances
+        are immutable).
         """
         if self._fingerprint is None:
-            hasher = hashlib.sha256()
-
-            def feed(text: str) -> None:
-                encoded = text.encode("utf-8")
-                hasher.update(len(encoded).to_bytes(4, "big"))
-                hasher.update(encoded)
-
-            for rel in sorted(self._schema, key=lambda r: r.name):
-                feed("R")
-                feed(rel.name)
-                for attr in rel.attributes:
-                    feed(attr.name)
-                    feed(attr.type.value)
-            for name in sorted(self._relations):
-                rows = self._relations[name]
-                if not rows:
-                    continue
-                feed("F")
-                feed(name)
-                for text in sorted(map(repr, rows)):
-                    feed(text)
-            self._fingerprint = hasher.hexdigest()
+            self._fingerprint = self.columnar().digest()
         return self._fingerprint
 
     def __repr__(self) -> str:

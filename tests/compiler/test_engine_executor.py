@@ -36,7 +36,10 @@ class TestEngineKnobs:
         engine.close()  # no-op, must not raise
 
     def test_workers_knob_routes_exchange_through_executor(self):
-        engine = ExchangeEngine.compile(join_mapping(), options=ExchangeOptions(workers=2))
+        engine = ExchangeEngine.compile(
+            join_mapping(),
+            options=ExchangeOptions(workers=2, min_parallel_facts=0),
+        )
         try:
             source = clustered_source()
             result = engine.exchange(source)

@@ -59,6 +59,47 @@ class TestInstanceFingerprint:
         a = instance(SRC, {"Emp": [["e1", "d1"]]})
         assert a.fingerprint() is a.fingerprint()
 
+    def test_construction_path_does_not_leak_into_the_key(self):
+        # The fingerprint hashes the canonical store's packed buffers, so
+        # every way of building the same facts — bulk constructor,
+        # row-by-row builder, eager and lazy flat-buffer decode, the
+        # non-canonical row packer — must yield one cache key.
+        from repro.relational.columnar import (
+            pack_instance,
+            pack_rows,
+            unpack_instance,
+            unpack_instance_lazy,
+        )
+        from repro.relational.instance import InstanceBuilder
+
+        facts = {"Emp": [["e1", "d1"], ["e2", "d2"]], "Dept": [["d1", "h1"]]}
+        bulk = instance(SRC, facts)
+        builder = InstanceBuilder(SRC)
+        for name, rows in facts.items():
+            for row in rows:
+                builder.add_row(name, row)
+        built = builder.build()
+        buffer = pack_instance(bulk)
+        emitted = pack_rows(
+            SRC, {n: bulk.rows(n) for n in bulk.relation_names()}
+        )
+        variants = [
+            built,
+            unpack_instance(buffer),
+            unpack_instance_lazy(buffer),
+            unpack_instance(emitted),
+        ]
+        reference = bulk.fingerprint()
+        assert all(v.fingerprint() == reference for v in variants)
+
+    def test_equal_instances_share_a_cache_entry(self):
+        cache = ExchangeCache(capacity=4)
+        a = instance(SRC, {"Emp": [["e1", "d1"]]})
+        b = instance(SRC, {"Emp": [["e1", "d1"]]})  # equal, distinct object
+        solution = instance(TGT, {"Office": [["e1", "h", "r"]]})
+        cache.store("m", a.fingerprint(), solution)
+        assert cache.lookup("m", b.fingerprint()) is solution
+
 
 class TestMappingFingerprint:
     def test_equal_mappings_agree(self):

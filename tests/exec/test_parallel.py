@@ -35,7 +35,9 @@ def clustered_source(employees=12, depts=4):
 @pytest.fixture(scope="module")
 def pool_executor():
     """One warm 2-worker executor shared by the module (pool startup is slow)."""
-    with ParallelExchange(join_mapping(), workers=2) as executor:
+    with ParallelExchange(
+        join_mapping(), workers=2, min_parallel_facts=0
+    ) as executor:
         yield executor
 
 
@@ -104,8 +106,59 @@ class TestSerialFallbacks:
         executor.exchange(source)
         assert executor._pool is None
 
+    def test_auto_threshold_keeps_small_sources_serial(self):
+        # Default (min_parallel_facts unset) is the auto threshold: a
+        # small source never pays pool dispatch, and the result still
+        # matches the serial chase (it *is* the serial chase).
+        executor = ParallelExchange(join_mapping(), workers=2)
+        source = clustered_source()
+        result = executor.exchange(source)
+        assert executor._pool is None
+        assert canonically_equal(
+            result, universal_solution(join_mapping(), source)
+        )
+
+    def test_forced_dispatch_with_zero_threshold(self, pool_executor):
+        # The module fixture pins min_parallel_facts=0, so even tiny
+        # sources shard across the pool.
+        pool_executor.exchange(clustered_source())
+        assert pool_executor._pool is not None
+
     def test_default_workers_is_one(self):
         assert ParallelExchange(join_mapping()).workers == 1
+
+
+class TestWorkerShardCache:
+    """The per-worker decoded-shard LRU (repeated exchanges reuse stores)."""
+
+    def setup_method(self):
+        from repro.exec import parallel
+
+        parallel._WORKER_SHARDS.clear()
+
+    def test_same_buffer_decodes_once(self):
+        from repro.exec.parallel import _decode_shard
+        from repro.relational.columnar import pack_instance
+
+        buffer = pack_instance(clustered_source(employees=4, depts=2))
+        first = _decode_shard(buffer)
+        assert _decode_shard(buffer) is first
+        assert first.same_facts(clustered_source(employees=4, depts=2))
+
+    def test_cache_evicts_least_recent(self):
+        from repro.exec import parallel
+        from repro.relational.columnar import pack_instance
+
+        buffers = [
+            pack_instance(clustered_source(employees=n, depts=2))
+            for n in range(2, 4 + parallel._WORKER_SHARD_CACHE_CAP)
+        ]
+        decoded = [parallel._decode_shard(b) for b in buffers]
+        assert len(parallel._WORKER_SHARDS) == parallel._WORKER_SHARD_CACHE_CAP
+        # the oldest entry fell out: decoding it again builds a new object
+        assert parallel._decode_shard(buffers[0]) is not decoded[0]
+        # the newest is still cached
+        assert parallel._decode_shard(buffers[-1]) is decoded[-1]
 
 
 class TestCacheIntegration:
@@ -141,7 +194,9 @@ class TestCacheIntegration:
 
 class TestLifecycle:
     def test_close_is_idempotent(self, pool_executor):
-        executor = ParallelExchange(join_mapping(), workers=2)
+        executor = ParallelExchange(
+            join_mapping(), workers=2, min_parallel_facts=0
+        )
         executor.exchange(clustered_source())
         executor.close()
         executor.close()

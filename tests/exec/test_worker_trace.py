@@ -42,7 +42,7 @@ def find(span, name):
 class TestWorkerSpanStitching:
     def test_shard_chases_nest_under_exchange_workers(self):
         with tracing() as tracer:
-            with ParallelExchange(join_mapping(), workers=2) as executor:
+            with ParallelExchange(join_mapping(), workers=2, min_parallel_facts=0) as executor:
                 executor.exchange(clustered_source())
         (root,) = [s for s in tracer.spans() if s.name == "exchange.parallel"]
         (workers,) = find(root, "exchange.workers")
@@ -55,7 +55,7 @@ class TestWorkerSpanStitching:
 
     def test_json_lines_wire_worker_spans_to_parent(self):
         with tracing() as tracer:
-            with ParallelExchange(join_mapping(), workers=2) as executor:
+            with ParallelExchange(join_mapping(), workers=2, min_parallel_facts=0) as executor:
                 executor.exchange(clustered_source())
         records = [
             json.loads(line) for line in trace_to_json_lines(tracer).splitlines()
@@ -76,7 +76,7 @@ class TestWorkerSpanStitching:
     def test_untraced_exchange_ships_no_spans(self):
         # The worker payload only carries spans when the parent traces —
         # the disabled path stays allocation-free.
-        with ParallelExchange(join_mapping(), workers=2) as executor:
+        with ParallelExchange(join_mapping(), workers=2, min_parallel_facts=0) as executor:
             solution = executor.exchange(clustered_source())
         assert solution.size() > 0
 

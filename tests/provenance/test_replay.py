@@ -99,7 +99,7 @@ class TestParallelReplay:
         mapping = join_mapping()
         source = clustered_source(employees=16, depts=4)
         store = ProvenanceLog()
-        with ParallelExchange(mapping, workers=2) as executor:
+        with ParallelExchange(mapping, workers=2, min_parallel_facts=0) as executor:
             solution = executor.exchange(source, provenance=store)
         assert len(store) > 0
         assert_replay_ok(solution, store, mapping, source)
@@ -112,7 +112,9 @@ class TestCachedReplay:
     def test_cache_hit_returns_replayable_lineage(self):
         mapping = join_mapping()
         source = clustered_source()
-        with ParallelExchange(mapping, workers=2, cache=4) as executor:
+        with ParallelExchange(
+            mapping, workers=2, cache=4, min_parallel_facts=0
+        ) as executor:
             first_store = ProvenanceLog()
             first = executor.exchange(source, provenance=first_store)
             hit_store = ProvenanceLog()
@@ -124,7 +126,9 @@ class TestCachedReplay:
     def test_provenance_less_entry_upgrades_on_demand(self):
         mapping = join_mapping()
         source = clustered_source()
-        with ParallelExchange(mapping, workers=2, cache=4) as executor:
+        with ParallelExchange(
+            mapping, workers=2, cache=4, min_parallel_facts=0
+        ) as executor:
             executor.exchange(source)  # cached without provenance
             store = ProvenanceLog()
             solution = executor.exchange(source, provenance=store)
@@ -190,6 +194,6 @@ class TestDisabledMode:
         source = clustered_source(employees=4, depts=2)
         result = chase(mapping, source)  # provenance off
         assert not result.provenance.enabled
-        with ParallelExchange(mapping, workers=2) as executor:
+        with ParallelExchange(mapping, workers=2, min_parallel_facts=0) as executor:
             solution = executor.exchange(source)
         assert solution.size() == result.solution.size()

@@ -95,6 +95,7 @@ class TestServeBench:
             "--mapping", files["mapping"],
             "--requests", "3",
             "--workers", "2",
+            "--min-parallel-facts", "0",
             "--inject-pool-crashes", "2",
             "--json",
         )

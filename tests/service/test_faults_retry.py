@@ -41,7 +41,7 @@ def fast_retry(**overrides):
 class TestRetry:
     def test_two_pool_crashes_then_success_matches_serial_chase(self):
         source = clustered_source()
-        options = ExchangeOptions(workers=2, retry=fast_retry())
+        options = ExchangeOptions(workers=2, retry=fast_retry(), min_parallel_facts=0)
         with collecting() as registry:
             with fault_injection(FaultPlan.pool_crashes(2)):
                 with ExchangeService(join_mapping(), options) as service:
@@ -56,7 +56,7 @@ class TestRetry:
 
     def test_spawn_failures_retry_then_succeed(self):
         source = clustered_source()
-        options = ExchangeOptions(workers=2, retry=fast_retry())
+        options = ExchangeOptions(workers=2, retry=fast_retry(), min_parallel_facts=0)
         with collecting() as registry:
             with fault_injection(FaultPlan.pool_spawn_failures(2)):
                 with ExchangeService(join_mapping(), options) as service:
@@ -68,7 +68,9 @@ class TestRetry:
 
     def test_retries_exhausted_falls_back_to_serial(self):
         source = clustered_source()
-        options = ExchangeOptions(workers=2, retry=fast_retry(max_retries=1))
+        options = ExchangeOptions(
+            workers=2, retry=fast_retry(max_retries=1), min_parallel_facts=0
+        )
         with collecting() as registry:
             with fault_injection(FaultPlan.pool_crashes(10)):
                 with ExchangeService(join_mapping(), options) as service:
@@ -80,7 +82,9 @@ class TestRetry:
 
     def test_zero_retries_restores_one_shot_fallback(self):
         source = clustered_source()
-        options = ExchangeOptions(workers=2, retry=fast_retry(max_retries=0))
+        options = ExchangeOptions(
+            workers=2, retry=fast_retry(max_retries=0), min_parallel_facts=0
+        )
         with collecting() as registry:
             with fault_injection(FaultPlan.pool_crashes(1)):
                 with ExchangeService(join_mapping(), options) as service:
@@ -95,7 +99,9 @@ class TestBreaker:
     def test_breaker_opens_and_pins_serial(self):
         source = clustered_source(employees=6, depts=2)
         breaker = CircuitBreaker(failure_threshold=2, reset_after=3600.0)
-        options = ExchangeOptions(workers=2, retry=fast_retry(max_retries=0))
+        options = ExchangeOptions(
+            workers=2, retry=fast_retry(max_retries=0), min_parallel_facts=0
+        )
         with collecting() as registry:
             with fault_injection(FaultPlan.pool_crashes(10)):
                 with ExchangeService(
