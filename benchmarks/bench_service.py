@@ -96,6 +96,73 @@ def serve_bench(size: int, requests: int) -> dict:
     }
 
 
+def http_serve_bench(size: int, requests: int, concurrency: int) -> dict:
+    """Latency distribution through the full HTTP path under load.
+
+    An in-process asyncio server on an OS-assigned port, *concurrency*
+    simultaneous streamed requests over real sockets — the numbers
+    include HTTP parsing, admission, pool dispatch and chunked NDJSON
+    delivery, i.e. what a client of ``repro serve`` actually sees.
+    """
+    import asyncio
+
+    from repro.relational.serialization import instance_to_json
+    from repro.service.aserve import ExchangeClient, ExchangeServer
+
+    mapping, source = build_workload(size)
+    body = {"source": instance_to_json(source), "tenant": "bench", "stream": True}
+    latencies: list[float] = []
+    errors = 0
+
+    async def run() -> float:
+        nonlocal errors
+        server = ExchangeServer(service, host="127.0.0.1", port=0)
+        await server.start()
+        client = ExchangeClient("127.0.0.1", server.port)
+        gate = asyncio.Semaphore(concurrency)
+
+        async def one() -> None:
+            nonlocal errors
+            async with gate:
+                begin = time.perf_counter()
+                try:
+                    events = await client.exchange(dict(body))
+                except Exception:
+                    errors += 1
+                    return
+                if events[-1].get("status") != "complete":
+                    errors += 1
+                    return
+                latencies.append(time.perf_counter() - begin)
+
+        begin = time.perf_counter()
+        await asyncio.gather(*(one() for _ in range(requests)))
+        elapsed = time.perf_counter() - begin
+        await server.aclose()
+        return elapsed
+
+    with ExchangeService(
+        mapping,
+        ExchangeOptions(deadline=60.0, max_facts=10**9),
+        max_in_flight=max(64, concurrency),
+        statistics=Statistics.gather(source),
+    ) as service:
+        elapsed = asyncio.run(run())
+    latencies.sort()
+    completed = len(latencies)
+    return {
+        "size": size,
+        "requests": requests,
+        "concurrency": concurrency,
+        "completed": completed,
+        "errors": errors,
+        "latency_p50_ms": round(percentile(latencies, 0.50) * 1000, 3),
+        "latency_p95_ms": round(percentile(latencies, 0.95) * 1000, 3),
+        "latency_p99_ms": round(percentile(latencies, 0.99) * 1000, 3),
+        "throughput_rps": round(completed / elapsed, 3) if elapsed > 0 else 0.0,
+    }
+
+
 def budget_check_cost(calls: int = 200_000) -> float:
     """Median per-call seconds of one armed (but never tripping) check."""
     budget = Budget(deadline=3600.0, max_facts=10**12)
@@ -124,6 +191,18 @@ def main() -> int:
     parser.add_argument(
         "--bench-requests", type=int, default=40,
         help="requests in the latency-distribution stage",
+    )
+    parser.add_argument(
+        "--http-requests", type=int, default=1000,
+        help="requests in the HTTP load stage (0 skips it)",
+    )
+    parser.add_argument(
+        "--http-concurrency", type=int, default=1000,
+        help="simultaneous in-flight requests in the HTTP load stage",
+    )
+    parser.add_argument(
+        "--http-size", type=int, default=50,
+        help="Emp rows per request in the HTTP load stage",
     )
     parser.add_argument(
         "--out", default="BENCH_service.json", help="result file (JSON)"
@@ -178,6 +257,22 @@ def main() -> int:
         f"throughput={latency['throughput_rps']} req/s"
     )
 
+    http_latency = None
+    if args.http_requests:
+        http_latency = http_serve_bench(
+            args.http_size, args.http_requests, args.http_concurrency
+        )
+        print(
+            f"serve-bench[http] size={http_latency['size']} "
+            f"requests={http_latency['requests']} "
+            f"concurrency={http_latency['concurrency']}  "
+            f"p50={http_latency['latency_p50_ms']}ms  "
+            f"p95={http_latency['latency_p95_ms']}ms  "
+            f"p99={http_latency['latency_p99_ms']}ms  "
+            f"throughput={http_latency['throughput_rps']} req/s  "
+            f"errors={http_latency['errors']}"
+        )
+
     # Medians at small sizes are noisy; judge the budget on the largest
     # workload, where fixed per-request costs have been amortized.
     final_overhead = results[-1]["service_overhead_pct"]
@@ -189,6 +284,7 @@ def main() -> int:
         "budget_check_cost_s": per_check,
         "results": results,
         "serve_bench": latency,
+        "serve_bench_http": http_latency,
         "service_overhead_pct": final_overhead,
         "within_budget": within,
     }

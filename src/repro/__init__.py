@@ -134,11 +134,15 @@ from .budget import Budget, BudgetExceeded
 from .options import ExchangeOptions, RetryPolicy
 from .service import (
     CircuitBreaker,
+    ExchangeRequest,
+    ExchangeResponse,
     ExchangeService,
     FaultPlan,
     PartialSolution,
     ResumptionToken,
     ServiceOverloaded,
+    StreamingSolution,
+    TenantQuota,
     fault_injection,
 )
 from .stats import Statistics
@@ -162,6 +166,8 @@ __all__ = [
     "ExchangeEngine",
     "ExchangeLens",
     "ExchangeOptions",
+    "ExchangeRequest",
+    "ExchangeResponse",
     "ExchangeService",
     "Fact",
     "FaultPlan",
@@ -200,7 +206,9 @@ __all__ = [
     "Solution",
     "StTgd",
     "Statistics",
+    "StreamingSolution",
     "SymmetricLens",
+    "TenantQuota",
     "TemplateCheck",
     "UnionLens",
     "VisualMapping",

@@ -25,10 +25,13 @@ Usage (also via ``python -m repro``)::
     repro explain   --schemas schemas.json --mapping mapping.tgd \
                     --data source.json [--fact 'Rel(_, "v")'] \
                     [--limit N] [--json]          # why-trees per fact
+    repro serve     --schemas schemas.json --mapping mapping.tgd \
+                    [--port N] [--host H] [--max-in-flight N] \
+                    [--tenants tenants.json]      # asyncio HTTP service
     repro serve-bench --schemas schemas.json --mapping mapping.tgd \
-                    [--requests N] [--inject-pool-crashes N] \
+                    [--requests N] [--concurrency N] [--inject-pool-crashes N] \
                     [--deadline S] [--max-facts N] [--json] \
-                    [--bench-out FILE]            # service stress
+                    [--bench-out FILE] [--check-throughput RPS]  # service stress
 
 ``lint`` exits 0 when the mapping is clean (or has only informational
 findings), 1 on warnings, 2 on errors — see docs/ANALYSIS.md.
@@ -60,9 +63,11 @@ File formats:
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import random
 import re
+import signal
 import sys
 import time
 from dataclasses import replace
@@ -112,7 +117,10 @@ from .relational import (
     instance_from_json,
     schema_from_json,
 )
+from .relational.serialization import instance_to_json
 from .service import ExchangeService, FaultPlan, PartialSolution, fault_injection
+from .service.streaming import DEFAULT_CHUNK_FACTS
+from .service.tenancy import quotas_from_json
 from .stats import Statistics
 from .workloads.generators import random_instance
 
@@ -787,14 +795,186 @@ def _bench_fault_plan(args: argparse.Namespace) -> FaultPlan:
     return plan
 
 
+def _load_quotas(path: str) -> dict:
+    """Per-tenant quota config: ``{"tenant": {"weight": ..., ...}}``."""
+    data = _load_json(path)
+    try:
+        return quotas_from_json(data)
+    except ValueError as exc:
+        raise CliError(f"bad tenants config in {path}: {exc}")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve one mapping over HTTP (asyncio, chunked NDJSON streaming).
+
+    Binds, prints a ``listening on`` line (port 0 resolves to the
+    OS-assigned port — scripts parse this line), then serves until
+    interrupted.  See docs/SERVICE.md for the wire API.
+    """
+    from .service.aserve import ExchangeServer
+
+    source_schema, target_schema = load_schemas(args.schemas)
+    mapping = load_mapping(args.mapping, source_schema, target_schema)
+    options = _options_from_args(args)
+    quotas = _load_quotas(args.tenants) if args.tenants else None
+    try:
+        service = ExchangeService(
+            mapping, options, max_in_flight=args.max_in_flight, quotas=quotas
+        )
+    except BackendUnavailableError as exc:
+        raise CliError(str(exc))
+    server = ExchangeServer(
+        service, host=args.host, port=args.port, chunk_facts=args.chunk_facts
+    )
+
+    async def run() -> None:
+        # SIGTERM/SIGINT stop the loop cleanly so the worker pool is
+        # torn down too (otherwise orphaned workers keep stdio pipes
+        # open and `kill` leaves the port's children behind).
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await server.start()
+        print(
+            f"repro serve: listening on http://{args.host}:{server.port}",
+            flush=True,
+        )
+        serving = asyncio.ensure_future(server.serve_forever())
+        stopping = asyncio.ensure_future(stop.wait())
+        try:
+            await asyncio.wait(
+                {serving, stopping}, return_when=asyncio.FIRST_COMPLETED
+            )
+        finally:
+            for task in (serving, stopping):
+                task.cancel()
+            await server.aclose()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        print("repro serve: shutting down", file=sys.stderr)
+        service.close()
+    return 0
+
+
+def _serve_bench_http(
+    args: argparse.Namespace,
+    mapping: SchemaMapping,
+    options: ExchangeOptions,
+    sources: list[Instance],
+) -> tuple[dict, list[str]]:
+    """Drive the HTTP server with --concurrency simultaneous streamed requests.
+
+    An in-process :class:`~repro.service.aserve.ExchangeServer` on an
+    OS-assigned port, hammered by one asyncio client pool — the full
+    wire path (JSON body in, chunked NDJSON out), so the latencies
+    include parsing, admission, pool dispatch and streaming.
+    """
+    from .service.aserve import ExchangeClient, ExchangeClientError, ExchangeServer
+
+    quotas = _load_quotas(args.tenants) if args.tenants else None
+    capacity = max(args.max_in_flight, args.concurrency)
+    try:
+        service = ExchangeService(
+            mapping, options, max_in_flight=capacity, quotas=quotas
+        )
+    except BackendUnavailableError as exc:
+        raise CliError(str(exc))
+    bodies = [
+        {
+            "source": instance_to_json(source),
+            "tenant": "bench",
+            "request_id": f"bench-{index}",
+            "stream": True,
+        }
+        for index, source in enumerate(sources)
+    ]
+    latencies: list[float] = []
+    degraded: dict[str, int] = {}
+    errors: list[str] = []
+    rejected = 0
+    streamed_chunks = 0
+
+    async def run() -> float:
+        nonlocal rejected, streamed_chunks
+        server = ExchangeServer(service, host="127.0.0.1", port=0)
+        await server.start()
+        client = ExchangeClient("127.0.0.1", server.port)
+        gate = asyncio.Semaphore(args.concurrency)
+
+        async def one(body: dict) -> None:
+            nonlocal rejected, streamed_chunks
+            async with gate:
+                started = time.perf_counter()
+                try:
+                    events = await client.exchange(body)
+                except ExchangeClientError as exc:
+                    if exc.status == 429:
+                        rejected += 1
+                    else:
+                        errors.append(str(exc))
+                    return
+                except (ConnectionError, OSError, asyncio.IncompleteReadError) as exc:
+                    errors.append(f"{type(exc).__name__}: {exc}")
+                    return
+                latencies.append(time.perf_counter() - started)
+                streamed_chunks += sum(
+                    1 for event in events if event.get("kind") == "facts"
+                )
+                summary = events[-1] if events else {}
+                if summary.get("status") == "partial":
+                    violated = summary.get("violated") or "unknown"
+                    degraded[violated] = degraded.get(violated, 0) + 1
+
+        bench_started = time.perf_counter()
+        await asyncio.gather(*(one(body) for body in bodies))
+        elapsed = time.perf_counter() - bench_started
+        await server.aclose()
+        return elapsed
+
+    try:
+        elapsed = asyncio.run(run())
+    finally:
+        service.close()
+    latencies.sort()
+    completed = len(latencies)
+    report = {
+        "mode": "http",
+        "requests": args.requests,
+        "concurrency": args.concurrency,
+        "completed": completed,
+        "degraded": degraded,
+        "rejected": rejected,
+        "errors": len(errors),
+        "streamed_chunks": streamed_chunks,
+        "latency_p50_ms": round(_percentile(latencies, 0.50) * 1000, 3),
+        "latency_p95_ms": round(_percentile(latencies, 0.95) * 1000, 3),
+        "latency_p99_ms": round(_percentile(latencies, 0.99) * 1000, 3),
+        "throughput_rps": round(completed / elapsed, 3) if elapsed > 0 else 0.0,
+        "clean_shutdown": True,
+    }
+    return report, errors
+
+
 def cmd_serve_bench(args: argparse.Namespace) -> int:
     """Stress the exchange service and report how it held up.
 
-    Drives --requests exchanges (synthetic sources unless --data is
-    given) through one ExchangeService under an optional fault-injection
-    plan, then reports completion/degradation/retry/breaker counts and
-    latency percentiles.  Exit 0 when every request got an answer
-    (possibly degraded), 1 when any raised.
+    Default mode drives --requests exchanges (synthetic sources unless
+    --data is given) through one ExchangeService under an optional
+    fault-injection plan.  ``--concurrency N`` switches to HTTP mode:
+    an in-process ``repro serve`` instance is hammered with N
+    simultaneous streamed requests over real sockets.  Both modes
+    report completion/degradation counts, latency percentiles and
+    throughput; ``--check-throughput RPS`` turns the report into a
+    guard (exit 1 below the floor).  Exit 0 when every request got an
+    answer (possibly degraded), 1 when any raised.
     """
     source_schema, target_schema = load_schemas(args.schemas)
     mapping = load_mapping(args.mapping, source_schema, target_schema)
@@ -808,6 +988,10 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             random_instance(source_schema, rng, rows_per_relation=args.rows)
             for _ in range(args.requests)
         ]
+
+    if args.concurrency:
+        report, errors = _serve_bench_http(args, mapping, options, sources)
+        return _finish_serve_bench(args, report, errors)
 
     completed = 0
     degraded: dict[str, int] = {}
@@ -859,6 +1043,13 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         "throughput_rps": round(completed / elapsed, 3) if elapsed > 0 else 0.0,
         "clean_shutdown": clean_shutdown,
     }
+    return _finish_serve_bench(args, report, errors)
+
+
+def _finish_serve_bench(
+    args: argparse.Namespace, report: dict, errors: list[str]
+) -> int:
+    """Emit the serve-bench report and apply the --check-throughput floor."""
     if args.bench_out:
         try:
             Path(args.bench_out).write_text(
@@ -875,6 +1066,15 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
             print(f"  {key}: {value}")
         for message in errors:
             print(f"  error: {message}", file=sys.stderr)
+    if args.check_throughput is not None:
+        observed = report["throughput_rps"]
+        if observed < args.check_throughput:
+            print(
+                f"serve-bench: throughput {observed} rps below the "
+                f"--check-throughput floor {args.check_throughput}",
+                file=sys.stderr,
+            )
+            return 1
     return 0 if not errors else 1
 
 
@@ -964,6 +1164,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--provenance-json",
         metavar="FILE",
         help="write the lineage log as JSON lines to FILE (implies --provenance)",
+    )
+
+    # Shared by the service front ends (serve, serve-bench): admission
+    # capacity and per-tenant quota configuration.
+    service_opts = argparse.ArgumentParser(add_help=False)
+    service_opts.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission-control limit (default 64)",
+    )
+    service_opts.add_argument(
+        "--tenants",
+        metavar="FILE",
+        help='per-tenant quotas JSON: {"tenant": {"weight": W, '
+        '"max_in_flight": N}} (see docs/SERVICE.md)',
     )
 
     sub = parser.add_subparsers(dest="command", required=True)
@@ -1153,8 +1370,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(handler=cmd_profile)
 
     p = sub.add_parser(
+        "serve",
+        parents=[base, options, service_opts],
+        help="serve the mapping over HTTP (asyncio, chunked NDJSON streaming)",
+    )
+    p.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    p.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        metavar="N",
+        help="listen port (default 8080; 0 = OS-assigned, printed at startup)",
+    )
+    p.add_argument(
+        "--chunk-facts",
+        type=int,
+        default=DEFAULT_CHUNK_FACTS,
+        metavar="N",
+        help=f"facts per streamed NDJSON chunk (default {DEFAULT_CHUNK_FACTS})",
+    )
+    p.set_defaults(handler=cmd_serve)
+
+    p = sub.add_parser(
         "serve-bench",
-        parents=[base, options],
+        parents=[base, options, service_opts],
         help="stress the exchange service; report degradation/retry/latency",
     )
     p.add_argument("--data", help="source instance JSON (default: synthetic)")
@@ -1201,11 +1444,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="sleep SECONDS per chase step (trips deadlines)",
     )
     p.add_argument(
-        "--max-in-flight",
+        "--concurrency",
         type=int,
-        default=64,
+        default=0,
         metavar="N",
-        help="admission-control limit (default 64)",
+        help="HTTP mode: drive N simultaneous streamed requests through an "
+        "in-process `repro serve` over real sockets (default 0 = in-proc "
+        "fault-injection mode)",
+    )
+    p.add_argument(
+        "--check-throughput",
+        type=float,
+        default=None,
+        metavar="RPS",
+        help="exit 1 when measured throughput falls below RPS "
+        "(regression guard for CI)",
     )
     p.add_argument(
         "--json",

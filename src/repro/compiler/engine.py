@@ -26,12 +26,11 @@ from dataclasses import dataclass, field
 
 from ..backends import BackendPlan, plan_backend
 from ..budget import Budget
-from ..exec.cache import ExchangeCache
 from ..exec.parallel import ParallelExchange
 from ..lenses.symmetric import SpanLens
 from ..mapping.sttgd import SchemaMapping
 from ..obs import get_registry, get_tracer
-from ..options import ExchangeOptions, merge_legacy_kwargs
+from ..options import ExchangeOptions
 from ..provenance import NOOP, ProvenanceStore, Solution, resolve_provenance
 from ..relational.instance import Fact, Instance
 from ..relational.schema import Schema
@@ -217,8 +216,6 @@ class ExchangeEngine:
         statistics: Statistics | None = None,
         hints: Hints | None = None,
         config: PlannerConfig | None = None,
-        workers: int | None = None,
-        cache: ExchangeCache | int | None = None,
         *,
         options: ExchangeOptions | None = None,
     ) -> "ExchangeEngine":
@@ -230,13 +227,12 @@ class ExchangeEngine:
         cache), ``max_steps`` bounds target-dependency chases, and
         ``deadline``/``max_facts`` build per-request budgets.  All
         default to off, and the backward direction (:meth:`put_back`) is
-        unaffected.  The legacy ``workers=``/``cache=`` keywords still
-        work but emit a ``DeprecationWarning`` — see README "Migrating
-        to ExchangeOptions".
+        unaffected.  The pre-ExchangeOptions ``workers=``/``cache=``
+        keywords were removed — passing them is a ``TypeError`` (see
+        README "Migrating to ExchangeOptions").
         """
-        options = merge_legacy_kwargs(
-            options, "ExchangeEngine.compile", workers=workers, cache=cache
-        )
+        if options is None:
+            options = ExchangeOptions()
         hints = hints or Hints()
         statistics = statistics or Statistics.assumed(mapping.source)
         with get_tracer().span("compile", tgds=len(mapping.tgds)) as span:

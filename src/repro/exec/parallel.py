@@ -340,7 +340,14 @@ class ParallelExchange:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
+    def ensure_pool(self) -> ProcessPoolExecutor:
+        """The worker pool, spawning it on first use.
+
+        Public: the streaming service (:mod:`repro.service.streaming`,
+        :mod:`repro.service.aserve`) dispatches its per-shard payloads
+        on the same pool the executor chases with, so one service owns
+        one set of worker processes.
+        """
         if self._pool is None:
             fault_point("pool.spawn")
             started = time.perf_counter()
@@ -507,7 +514,7 @@ class ParallelExchange:
         provenance: ProvenanceStore = NOOP,
     ) -> Instance:
         assert self._payload_prefix is not None
-        pool = self._ensure_pool()
+        pool = self.ensure_pool()
         tracer = get_tracer()
         registry = get_registry()
         want_provenance = provenance.enabled

@@ -25,7 +25,6 @@ static termination guarantee.
 from __future__ import annotations
 
 import enum
-import warnings
 from array import array
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
@@ -158,30 +157,14 @@ class ChaseResult:
 
 
 def _resolve_limits(
-    max_steps_kwarg: int | None,
     options: ExchangeOptions | None,
     budget: Budget | None,
-    api: str,
-    legacy_name: str,
 ) -> tuple[int, Budget | None]:
-    """The deprecation shim shared by :func:`chase` and
-    :func:`chase_target_dependencies`: fold the legacy step-cap keyword
-    and/or an :class:`~repro.options.ExchangeOptions` into the effective
-    ``(max_steps, budget)`` pair."""
-    if max_steps_kwarg is not None:
-        if options is not None:
-            raise TypeError(
-                f"{api} got both {legacy_name}= and options=; "
-                f"pass options=ExchangeOptions(max_steps=...) only"
-            )
-        warnings.warn(
-            f"{api}({legacy_name}=) is deprecated; pass "
-            f"options=ExchangeOptions(max_steps=...) instead "
-            "(see README 'Migrating to ExchangeOptions')",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        return max_steps_kwarg, budget
+    """Fold an :class:`~repro.options.ExchangeOptions` into the effective
+    ``(max_steps, budget)`` pair shared by :func:`chase` and
+    :func:`chase_target_dependencies`.  The pre-ExchangeOptions step-cap
+    keywords (``max_target_steps=`` / ``max_steps=``) are gone — passing
+    them is a ``TypeError`` now."""
     if options is not None:
         return options.max_steps, budget if budget is not None else options.budget()
     return DEFAULT_MAX_STEPS, budget
@@ -191,7 +174,6 @@ def chase(
     mapping: SchemaMapping,
     source: Instance,
     variant: ChaseVariant = ChaseVariant.NAIVE,
-    max_target_steps: int | None = None,
     *,
     options: ExchangeOptions | None = None,
     budget: Budget | None = None,
@@ -207,8 +189,9 @@ def chase(
     :class:`~repro.budget.Budget` checked cooperatively at every chase
     step (:class:`~repro.budget.BudgetExceeded` past either).  A
     pre-built *budget* can be passed directly (the service layer shares
-    one budget across phases this way).  The legacy ``max_target_steps``
-    keyword still works but emits a ``DeprecationWarning``.
+    one budget across phases this way).  The pre-ExchangeOptions
+    ``max_target_steps`` keyword was removed — passing it is a
+    ``TypeError`` (see README "Migrating to ExchangeOptions").
 
     The st-tgd phase runs once (st-tgds cannot re-fire: their premises
     read only the source).  The target-dependency phase iterates egd and
@@ -226,9 +209,7 @@ def chase(
     budget/step failure the partially recorded store is attached to the
     exception as ``exc.provenance``.
     """
-    max_steps, budget = _resolve_limits(
-        max_target_steps, options, budget, "chase", "max_target_steps"
-    )
+    max_steps, budget = _resolve_limits(options, budget)
     if provenance is None and options is not None:
         provenance = options.provenance
     provenance = resolve_provenance(provenance)
@@ -813,7 +794,6 @@ def _egd_step(
 def chase_target_dependencies(
     target: Instance,
     dependencies: Sequence[TargetDependency],
-    max_steps: int | None = None,
     *,
     options: ExchangeOptions | None = None,
     budget: Budget | None = None,
@@ -826,16 +806,15 @@ def chase_target_dependencies(
     target, and by :meth:`repro.service.ExchangeService.resume` to
     continue a budget-interrupted chase from its partial instance.
     Limits follow the same rules as :func:`chase`: pass *options* and/or
-    a shared *budget*; the explicit ``max_steps`` keyword is deprecated.
+    a shared *budget* (the pre-ExchangeOptions ``max_steps`` keyword was
+    removed; passing it is a ``TypeError``).
     Raises :class:`ChaseFailure` on egd conflicts,
     :class:`ChaseNonTermination` past the step cap and
     :class:`~repro.budget.BudgetExceeded` past the budget; every
     exception carries the partial statistics (``exc.statistics``) and
     the latter two the partial instance (``exc.partial``).
     """
-    effective_max_steps, budget = _resolve_limits(
-        max_steps, options, budget, "chase_target_dependencies", "max_steps"
-    )
+    effective_max_steps, budget = _resolve_limits(options, budget)
     if provenance is None and options is not None:
         provenance = options.provenance
     provenance = resolve_provenance(provenance)

@@ -9,11 +9,14 @@ This module unifies them:
 >>> engine = ExchangeEngine.compile(mapping, options=opts)
 
 Fields map one-to-one onto CLI flags (``--workers``, ``--cache``,
-``--max-steps``, ``--deadline``, ``--max-facts``) and onto the knobs of
-:class:`~repro.service.ExchangeService`.  The legacy keyword arguments
-keep working through deprecation shims that emit ``DeprecationWarning``
-and map onto an ``ExchangeOptions`` — see README "Migrating to
-ExchangeOptions".
+``--max-steps``, ``--deadline``, ``--max-facts``), onto the knobs of
+:class:`~repro.service.ExchangeService`, and onto the JSON ``options``
+object of the HTTP service (:meth:`ExchangeOptions.as_dict` /
+:meth:`ExchangeOptions.from_dict` — see docs/SERVICE.md).  The
+pre-unification keyword arguments (``workers=``/``cache=`` on
+``ExchangeEngine.compile``, ``max_target_steps=`` on ``chase``) were
+removed after a deprecation cycle; passing them is a ``TypeError`` now —
+see README "Migrating to ExchangeOptions".
 
 Standard-library only; imports :mod:`repro.budget` and nothing else from
 :mod:`repro`, so every layer can depend on it without cycles.
@@ -23,9 +26,8 @@ from __future__ import annotations
 
 import dataclasses
 import random
-import warnings
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Mapping
 
 from .budget import Budget
 
@@ -180,35 +182,62 @@ class ExchangeOptions:
         """A copy with *changes* applied (``dataclasses.replace``)."""
         return dataclasses.replace(self, **changes)
 
+    # -- wire format --------------------------------------------------------
 
-def merge_legacy_kwargs(
-    options: ExchangeOptions | None,
-    api: str,
-    **legacy: object,
-) -> ExchangeOptions:
-    """The deprecation shim behind every legacy keyword argument.
-
-    *legacy* holds explicitly-passed old-style kwargs (``None`` values are
-    treated as "not passed").  When any is present, emit a
-    ``DeprecationWarning`` naming *api* and fold them into an
-    :class:`ExchangeOptions`; combining them with ``options=`` is a
-    ``TypeError`` (ambiguous).
-    """
-    passed = {name: value for name, value in legacy.items() if value is not None}
-    if not passed:
-        return options if options is not None else ExchangeOptions()
-    if options is not None:
-        raise TypeError(
-            f"{api} got both options= and legacy keyword arguments "
-            f"{sorted(passed)}; pass everything through options="
-        )
-    spelled = ", ".join(f"{name}=" for name in sorted(passed))
-    replacement = ", ".join(f"{name}=..." for name in sorted(passed))
-    warnings.warn(
-        f"{api}({spelled}) is deprecated; pass "
-        f"options=ExchangeOptions({replacement}) instead "
-        "(see README 'Migrating to ExchangeOptions')",
-        DeprecationWarning,
-        stacklevel=3,
+    # The fields a remote client may set, i.e. everything that survives a
+    # JSON round-trip.  ``retry`` stays server-side (a retry policy is an
+    # operator knob, not a request knob).
+    _WIRE_FIELDS = (
+        "workers",
+        "cache",
+        "max_steps",
+        "deadline",
+        "max_facts",
+        "backend",
+        "provenance",
+        "min_parallel_facts",
     )
-    return ExchangeOptions(**passed)  # type: ignore[arg-type]
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-compatible dict of the wire fields (stable keys).
+
+        Live objects degrade to their serializable shadow: a prebuilt
+        cache becomes its capacity, a prebuilt provenance store becomes
+        the boolean "record lineage".  ``from_dict(as_dict())`` therefore
+        round-trips the *request semantics*, not object identity.
+        """
+        out: dict[str, Any] = {}
+        for name in self._WIRE_FIELDS:
+            value = getattr(self, name)
+            if name == "cache" and value is not None and not isinstance(value, int):
+                value = value.capacity
+            if name == "provenance" and not isinstance(value, bool):
+                value = bool(getattr(value, "enabled", False))
+            out[name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExchangeOptions":
+        """Build options from a JSON object (the HTTP request's ``options``).
+
+        Missing keys take their defaults; unknown keys raise
+        ``ValueError`` so client typos fail loudly instead of silently
+        running with defaults.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError(f"options must be a JSON object, got {data!r}")
+        unknown = sorted(set(data) - set(cls._WIRE_FIELDS))
+        if unknown:
+            raise ValueError(
+                f"unknown option keys {unknown}; allowed: "
+                f"{sorted(cls._WIRE_FIELDS)}"
+            )
+        kwargs: dict[str, Any] = {}
+        for name in cls._WIRE_FIELDS:
+            if name in data and data[name] is not None:
+                kwargs[name] = data[name]
+        if "max_steps" not in kwargs:
+            kwargs["max_steps"] = DEFAULT_MAX_STEPS
+        if "provenance" in kwargs and not isinstance(kwargs["provenance"], bool):
+            raise ValueError("options['provenance'] must be a boolean on the wire")
+        return cls(**kwargs)

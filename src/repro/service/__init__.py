@@ -15,35 +15,56 @@ sheds load past its admission limit, and degrades to
     if isinstance(result, PartialSolution):
         result = service.resume(source, result.token)
 
+The service speaks request/response objects (:class:`ExchangeRequest`,
+:class:`ExchangeResponse`), streams fact chunks as shards complete
+(:meth:`ExchangeService.stream`, :class:`StreamingSolution`), shares its
+capacity fairly across tenants (:class:`TenantQuota`,
+:class:`~repro.service.tenancy.FairShareGate`) and serves it all over
+HTTP via ``repro serve`` (:mod:`repro.service.aserve`).
+
 Submodules:
 
-* :mod:`repro.service.service` — the service, partial solutions,
-  resumption tokens, admission control;
+* :mod:`repro.service.api` — request/response objects, partial
+  solutions, the JSON-serializable :class:`ResumptionToken`;
+* :mod:`repro.service.tenancy` — per-tenant quotas and weighted
+  fair-share admission;
+* :mod:`repro.service.streaming` — incremental fact-chunk delivery;
+* :mod:`repro.service.service` — the service itself;
+* :mod:`repro.service.aserve` — the asyncio HTTP front end
+  (chunked NDJSON streaming, ``repro serve``);
 * :mod:`repro.service.faults` — the deterministic fault-injection
   harness (worker crashes, pool-spawn failures, slow chases).
 
 The budget/options/breaker building blocks re-exported here live in
 :mod:`repro.budget`, :mod:`repro.options` and :mod:`repro.exec.retry`.
-See docs/ROBUSTNESS.md for the full contract.
+See docs/ROBUSTNESS.md for the degradation contract and docs/SERVICE.md
+for the HTTP API.
 """
 
 from ..budget import Budget, BudgetExceeded
 from ..exec.retry import CircuitBreaker
 from ..faults import Fault, FaultPlan, InjectedFault, fault_injection
 from ..options import ExchangeOptions, RetryPolicy
-from .service import (
-    ExchangeService,
+from .api import (
+    ExchangeRequest,
+    ExchangeResponse,
     PartialSolution,
     ResumptionToken,
-    ServiceOverloaded,
 )
+from .service import ExchangeService
+from .streaming import FactChunk, StreamingSolution
+from .tenancy import FairShareGate, ServiceOverloaded, TenantQuota
 
 __all__ = [
     "Budget",
     "BudgetExceeded",
     "CircuitBreaker",
     "ExchangeOptions",
+    "ExchangeRequest",
+    "ExchangeResponse",
     "ExchangeService",
+    "FactChunk",
+    "FairShareGate",
     "Fault",
     "FaultPlan",
     "InjectedFault",
@@ -51,5 +72,7 @@ __all__ = [
     "ResumptionToken",
     "RetryPolicy",
     "ServiceOverloaded",
+    "StreamingSolution",
+    "TenantQuota",
     "fault_injection",
 ]

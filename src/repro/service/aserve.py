@@ -1,0 +1,546 @@
+"""``repro serve`` — the asyncio HTTP front end of the exchange service.
+
+A handwritten HTTP/1.1 layer over ``asyncio.start_server`` (standard
+library only, by design): one event loop accepts any number of
+concurrent connections, admission control runs per tenant in the loop,
+and the CPU-bound chase payloads are dispatched to worker processes via
+``loop.run_in_executor`` — the loop never blocks on a chase, so a slow
+exchange cannot starve its neighbours' accepts or streams.
+
+Routes (full wire contract in docs/SERVICE.md):
+
+* ``POST /v1/exchange`` — body is :meth:`ExchangeRequest.as_dict` plus
+  an optional ``"stream"`` flag (default true).  Streaming responses
+  are chunked NDJSON: a ``header`` line, ``facts`` lines as shards
+  complete, and a ``summary`` trailer carrying the resumption token
+  when the request degraded.  ``"stream": false`` buffers and returns
+  one :meth:`ExchangeResponse.as_dict` JSON body.
+* ``GET /v1/health`` — service liveness + the admission gate's
+  per-tenant snapshot.
+
+Rejections are structured: 429 with the
+:meth:`ServiceOverloaded.as_dict` body (per-tenant state included) when
+admission fails, 400 for malformed requests and token mismatches, 422
+when the mapping has no solution for the source.
+
+:class:`ExchangeClient` is the matching stdlib-only client — the CI
+smoke test, ``repro serve-bench --concurrency`` and the examples all
+speak through it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, AsyncIterator, Mapping
+
+from ..mapping.chase import ChaseFailure
+from ..obs import get_registry, get_tracer
+from ..options import ExchangeOptions
+from .api import ExchangeRequest
+from .service import ExchangeService
+from .streaming import DEFAULT_CHUNK_FACTS, StreamSession, exchange_payload
+from .tenancy import ServiceOverloaded
+
+__all__ = ["ExchangeClient", "ExchangeServer"]
+
+MAX_BODY_BYTES = 64 * 1024 * 1024
+"""Request-body ceiling; a source bigger than this should arrive as a
+file next to the server, not through one POST."""
+
+_MAX_HEADER_BYTES = 64 * 1024
+_IO_TIMEOUT = 60.0
+
+
+class _HttpError(Exception):
+    """An error with a ready-made HTTP response."""
+
+    def __init__(self, status: int, kind: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.body = {"error": message, "kind": kind}
+
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+def _response_head(status: int, headers: Mapping[str, str]) -> bytes:
+    lines = [f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}"]
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+
+
+def _chunk(data: bytes) -> bytes:
+    """One HTTP/1.1 chunked-transfer frame."""
+    return f"{len(data):x}\r\n".encode("ascii") + data + b"\r\n"
+
+
+_LAST_CHUNK = b"0\r\n\r\n"
+
+
+class ExchangeServer:
+    """One mapping served over HTTP by one :class:`ExchangeService`.
+
+    >>> server = ExchangeServer(service, host="127.0.0.1", port=0)
+    >>> await server.start()          # port 0 → OS-assigned, see .port
+    >>> await server.serve_forever()  # or: await server.aclose()
+
+    The server shares the service's worker pool when the engine has one
+    (``options.workers``); otherwise it lazily spawns its own
+    ``ProcessPoolExecutor`` so request payloads still leave the event
+    loop.  Every connection handles one request (``Connection: close``)
+    — load balancers in front of an exchange fleet reconnect per
+    request anyway, and it keeps the protocol state machine trivial.
+    """
+
+    def __init__(
+        self,
+        service: ExchangeService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        chunk_facts: int = DEFAULT_CHUNK_FACTS,
+        max_body_bytes: int = MAX_BODY_BYTES,
+    ) -> None:
+        self._service = service
+        self._host = host
+        self._port = port
+        self._chunk_facts = chunk_facts
+        self._max_body_bytes = max_body_bytes
+        self._server: asyncio.AbstractServer | None = None
+        self._own_pool: ProcessPoolExecutor | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`; resolves ``port=0``)."""
+        if self._server is None or not self._server.sockets:
+            return self._port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        # Warm the worker pool before accepting connections: forking
+        # workers mid-request would hand them copies of live connection
+        # fds, keeping sockets open past their close.  Submitting no-ops
+        # forces the executor to actually spawn its processes.
+        pool = self._pool()
+        loop = asyncio.get_running_loop()
+        warmups = [
+            loop.run_in_executor(pool, int)
+            for _ in range(getattr(pool, "_max_workers", 1))
+        ]
+        await asyncio.gather(*warmups)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._own_pool is not None:
+            self._own_pool.shutdown(wait=False, cancel_futures=True)
+            self._own_pool = None
+
+    def _pool(self) -> ProcessPoolExecutor:
+        executor = self._service.engine.executor
+        if executor is not None:
+            return executor.ensure_pool()
+        if self._own_pool is None:
+            workers = self._service.options.workers or 2
+            self._own_pool = ProcessPoolExecutor(max_workers=workers)
+        return self._own_pool
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, path, body = await self._read_request(reader)
+            except _HttpError as exc:
+                await self._write_json(writer, exc.status, exc.body)
+                return
+            except (asyncio.IncompleteReadError, ConnectionError, TimeoutError):
+                return
+            try:
+                await self._dispatch(writer, method, path, body)
+            except _HttpError as exc:
+                await self._write_json(writer, exc.status, exc.body)
+            except (ConnectionError, asyncio.CancelledError):
+                raise
+            except Exception as exc:  # don't let one request kill the server
+                get_registry().increment("service.http.errors")
+                await self._write_json(
+                    writer,
+                    500,
+                    {"error": f"{type(exc).__name__}: {exc}", "kind": "internal"},
+                )
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes]:
+        request_line = await asyncio.wait_for(
+            reader.readline(), timeout=_IO_TIMEOUT
+        )
+        if not request_line:
+            raise ConnectionError("client closed before sending a request")
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise _HttpError(400, "bad-request", "malformed request line")
+        method, path, _version = parts
+        content_length = 0
+        header_bytes = 0
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout=_IO_TIMEOUT)
+            header_bytes += len(line)
+            if header_bytes > _MAX_HEADER_BYTES:
+                raise _HttpError(400, "bad-request", "headers too large")
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise _HttpError(400, "bad-request", "bad Content-Length")
+        if content_length > self._max_body_bytes:
+            raise _HttpError(
+                413,
+                "too-large",
+                f"body of {content_length} bytes exceeds "
+                f"{self._max_body_bytes}",
+            )
+        body = (
+            await asyncio.wait_for(
+                reader.readexactly(content_length), timeout=_IO_TIMEOUT
+            )
+            if content_length
+            else b""
+        )
+        return method, path, body
+
+    async def _dispatch(
+        self, writer: asyncio.StreamWriter, method: str, path: str, body: bytes
+    ) -> None:
+        path = path.split("?", 1)[0]
+        if path == "/v1/health":
+            if method != "GET":
+                raise _HttpError(405, "method-not-allowed", f"{method} {path}")
+            snapshot = self._service.gate.snapshot()
+            snapshot["status"] = "ok"
+            await self._write_json(writer, 200, snapshot)
+            return
+        if path == "/v1/exchange":
+            if method != "POST":
+                raise _HttpError(405, "method-not-allowed", f"{method} {path}")
+            await self._exchange(writer, body)
+            return
+        raise _HttpError(404, "not-found", f"no route for {path}")
+
+    # -- the exchange route --------------------------------------------------
+
+    async def _exchange(self, writer: asyncio.StreamWriter, body: bytes) -> None:
+        try:
+            data = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise _HttpError(400, "bad-request", f"body is not JSON: {exc}")
+        try:
+            request = ExchangeRequest.from_dict(data)
+        except ValueError as exc:
+            raise _HttpError(400, "bad-request", str(exc))
+        stream = bool(data.get("stream", True))
+        options = (
+            request.options if request.options is not None else self._service.options
+        )
+        if request.token is not None:
+            try:
+                self._service._check_token(request.source, request.token)
+            except ValueError as exc:
+                raise _HttpError(400, "token-mismatch", str(exc))
+        registry = get_registry()
+        try:
+            self._service.gate.admit(request.tenant, 1)
+        except ServiceOverloaded as exc:
+            payload = json.dumps(exc.as_dict()).encode("utf-8")
+            head = _response_head(
+                429,
+                {
+                    "Content-Type": "application/json",
+                    "Retry-After": "1",
+                    "Connection": "close",
+                    "Content-Length": str(len(payload)),
+                },
+            )
+            writer.write(head + payload)
+            await writer.drain()
+            return
+        started = time.perf_counter()
+        try:
+            registry.increment("service.requests")
+            registry.increment("service.http.requests")
+            with get_tracer().span(
+                "service.http",
+                tenant=request.tenant,
+                request_id=request.request_id,
+                stream=stream,
+            ):
+                session = StreamSession(
+                    self._service.mapping,
+                    request,
+                    options,
+                    mapping_fingerprint=self._service._mapping_fingerprint,
+                    chunk_facts=self._chunk_facts,
+                )
+                if stream:
+                    await self._stream_response(writer, request, session, started)
+                else:
+                    await self._buffered_response(writer, request, session, started)
+        except ChaseFailure as exc:
+            raise _HttpError(422, "unsatisfiable", str(exc))
+        finally:
+            self._service.gate.release(request.tenant, 1)
+
+    async def _outcomes(
+        self, session: StreamSession
+    ) -> AsyncIterator[tuple[int, dict[str, Any]]]:
+        """Run the session's payloads on the pool; yield in completion order."""
+        loop = asyncio.get_running_loop()
+        pool = self._pool()
+
+        async def tagged(index: int, payload: dict[str, Any]):
+            outcome = await loop.run_in_executor(pool, exchange_payload, payload)
+            return index, outcome
+
+        tasks = [
+            asyncio.ensure_future(tagged(i, p))
+            for i, p in enumerate(session.payloads)
+        ]
+        try:
+            for next_done in asyncio.as_completed(tasks):
+                yield await next_done
+        finally:
+            for task in tasks:
+                task.cancel()
+
+    async def _stream_response(
+        self,
+        writer: asyncio.StreamWriter,
+        request: ExchangeRequest,
+        session: StreamSession,
+        started: float,
+    ) -> None:
+        get_registry().increment("service.streams")
+        writer.write(
+            _response_head(
+                200,
+                {
+                    "Content-Type": "application/x-ndjson",
+                    "Transfer-Encoding": "chunked",
+                    "Connection": "close",
+                },
+            )
+        )
+        header = {
+            "kind": "header",
+            "tenant": request.tenant,
+            "request_id": request.request_id,
+            "payloads": len(session.payloads),
+            "sharded": session.sharded,
+        }
+        writer.write(_chunk(_ndjson(header)))
+        await writer.drain()
+        async for index, outcome in self._outcomes(session):
+            for fact_chunk in session.chunks(index, outcome):
+                writer.write(_chunk(_ndjson(fact_chunk.as_dict())))
+            # Drain per payload, not per chunk: backpressure without a
+            # flush syscall for every few thousand facts.
+            await writer.drain()
+        summary = session.summary_dict(
+            elapsed_seconds=time.perf_counter() - started
+        )
+        if summary["status"] != "complete":
+            get_registry().increment("service.degraded")
+        writer.write(_chunk(_ndjson(summary)) + _LAST_CHUNK)
+        await writer.drain()
+
+    async def _buffered_response(
+        self,
+        writer: asyncio.StreamWriter,
+        request: ExchangeRequest,
+        session: StreamSession,
+        started: float,
+    ) -> None:
+        async for index, outcome in self._outcomes(session):
+            for _ in session.chunks(index, outcome):
+                pass
+        response = session.response(
+            elapsed_seconds=time.perf_counter() - started
+        )
+        if not response.complete:
+            get_registry().increment("service.degraded")
+        await self._write_json(writer, 200, response.as_dict())
+
+    @staticmethod
+    async def _write_json(
+        writer: asyncio.StreamWriter, status: int, body: Mapping[str, Any]
+    ) -> None:
+        payload = json.dumps(body).encode("utf-8")
+        writer.write(
+            _response_head(
+                status,
+                {
+                    "Content-Type": "application/json",
+                    "Content-Length": str(len(payload)),
+                    "Connection": "close",
+                },
+            )
+            + payload
+        )
+        await writer.drain()
+
+
+def _ndjson(obj: Mapping[str, Any]) -> bytes:
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+class ExchangeClient:
+    """A stdlib-only asyncio client for :class:`ExchangeServer`.
+
+    >>> client = ExchangeClient("127.0.0.1", 8080)
+    >>> events = await client.exchange({"source": instance_json})
+    >>> events[-1]["kind"]
+    'summary'
+
+    ``exchange`` returns the NDJSON event list for streaming requests
+    (header, facts…, summary) and ``[body]`` for buffered ones; 4xx/5xx
+    raise :class:`ExchangeClientError` carrying the structured body.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self._host = host
+        self._port = port
+
+    async def exchange(self, body: Mapping[str, Any]) -> list[dict[str, Any]]:
+        status, payload = await self._post("/v1/exchange", body)
+        if status != 200:
+            raise ExchangeClientError(status, payload)
+        return payload
+
+    async def health(self) -> dict[str, Any]:
+        status, payload = await self._post("/v1/health", None, method="GET")
+        if status != 200:
+            raise ExchangeClientError(status, payload)
+        return payload[0]
+
+    async def _post(
+        self,
+        path: str,
+        body: Mapping[str, Any] | None,
+        *,
+        method: str = "POST",
+    ) -> tuple[int, list[dict[str, Any]]]:
+        reader, writer = await asyncio.open_connection(self._host, self._port)
+        try:
+            payload = (
+                json.dumps(body).encode("utf-8") if body is not None else b""
+            )
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self._host}:{self._port}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n"
+            ).encode("ascii")
+            writer.write(head + payload)
+            await writer.drain()
+            status_line = await reader.readline()
+            parts = status_line.decode("latin-1").split(maxsplit=2)
+            status = int(parts[1]) if len(parts) >= 2 else 500
+            chunked = False
+            content_length: int | None = None
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                header = name.strip().lower()
+                if header == "transfer-encoding" and "chunked" in value.lower():
+                    chunked = True
+                elif header == "content-length":
+                    content_length = int(value.strip())
+            raw = await self._read_body(reader, chunked, content_length)
+            text = raw.decode("utf-8").strip()
+            if not text:
+                return status, []
+            return status, [json.loads(line) for line in text.splitlines()]
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_body(
+        reader: asyncio.StreamReader,
+        chunked: bool,
+        content_length: int | None = None,
+    ) -> bytes:
+        if not chunked:
+            # Prefer the declared length over read-to-EOF: forked pool
+            # workers can inherit the connection fd, in which case EOF
+            # only arrives when they exit.
+            if content_length is not None:
+                return await reader.readexactly(content_length)
+            return await reader.read()
+        out = bytearray()
+        while True:
+            size_line = await reader.readline()
+            size = int(size_line.strip() or b"0", 16)
+            if size == 0:
+                await reader.readline()  # trailing CRLF after last chunk
+                return bytes(out)
+            out += await reader.readexactly(size)
+            await reader.readexactly(2)  # chunk's CRLF
+
+
+class ExchangeClientError(RuntimeError):
+    """A non-200 reply; ``status`` and the structured ``body`` attached."""
+
+    def __init__(self, status: int, body: list[dict[str, Any]]) -> None:
+        detail = body[0] if body else {}
+        super().__init__(
+            f"HTTP {status}: {detail.get('error', 'no detail')}"
+        )
+        self.status = status
+        self.body = detail

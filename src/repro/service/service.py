@@ -1,4 +1,4 @@
-"""`ExchangeService`: budgeted, fault-tolerant forward exchange.
+"""`ExchangeService`: budgeted, fault-tolerant, multi-tenant exchange.
 
 The engine (:class:`~repro.compiler.engine.ExchangeEngine`) answers one
 request and crashes loudly; a production exchange endpoint needs the
@@ -19,21 +19,32 @@ with:
   (:class:`~repro.options.RetryPolicy`); repeated failures open a
   :class:`~repro.exec.retry.CircuitBreaker` pinning the service to the
   serial chase;
-* **admission control** — a bounded in-flight count with explicit
+* **admission control** — per-tenant weighted fair sharing
+  (:class:`~repro.service.tenancy.FairShareGate`) with explicit
   :class:`ServiceOverloaded` rejection, applied whole-batch to
-  :meth:`exchange_many`.
+  :meth:`exchange_many`;
+* **streaming** — :meth:`stream` answers an :class:`ExchangeRequest`
+  with a :class:`~repro.service.streaming.StreamingSolution` that
+  yields fact chunks as shards complete (the synchronous twin of the
+  HTTP layer in :mod:`repro.service.aserve`).
 
-Everything is observable through :mod:`repro.obs` (``service.*``
-counters, budget-remaining histograms, a ``service`` span tree) and
-every degradation path is reachable deterministically through
-:mod:`repro.service.faults` — see docs/ROBUSTNESS.md.
+The request/response vocabulary (:class:`ExchangeRequest`,
+:class:`ExchangeResponse`, the JSON-serializable
+:class:`ResumptionToken`) lives in :mod:`repro.service.api`; this
+module re-exports it so existing imports keep working.
+
+Everything is observable through :mod:`repro.obs` (``service.*`` and
+``service.tenant.<id>.*`` counters, budget-remaining histograms, a
+``service`` span tree) and every degradation path is reachable
+deterministically through :mod:`repro.service.faults` — see
+docs/ROBUSTNESS.md.
 """
 
 from __future__ import annotations
 
-import threading
-from dataclasses import dataclass
-from typing import Iterable
+import time
+from concurrent.futures import as_completed
+from typing import Any, Iterable, Iterator, Mapping
 
 from ..budget import Budget, BudgetExceeded
 from ..compiler.engine import ExchangeEngine
@@ -52,98 +63,25 @@ from ..options import ExchangeOptions
 from ..provenance import ProvenanceLog, Solution, resolve_provenance
 from ..relational.instance import Instance
 from ..stats import Statistics
+from .api import ExchangeRequest, ExchangeResponse, PartialSolution, ResumptionToken
+from .streaming import (
+    DEFAULT_CHUNK_FACTS,
+    FactChunk,
+    StreamingSolution,
+    StreamSession,
+    exchange_payload,
+)
+from .tenancy import DEFAULT_TENANT, FairShareGate, ServiceOverloaded, TenantQuota
 
 __all__ = [
+    "ExchangeRequest",
+    "ExchangeResponse",
     "ExchangeService",
     "PartialSolution",
     "ResumptionToken",
     "ServiceOverloaded",
+    "TenantQuota",
 ]
-
-
-class ServiceOverloaded(RuntimeError):
-    """Admission control rejected the request: the in-flight queue is full.
-
-    Carries ``in_flight`` (current depth), ``requested`` (the rejected
-    batch size) and ``capacity`` so callers can implement load shedding
-    or client-side backoff.
-    """
-
-    def __init__(self, in_flight: int, requested: int, capacity: int) -> None:
-        super().__init__(
-            f"service overloaded: {in_flight} in flight + {requested} "
-            f"requested > capacity {capacity}"
-        )
-        self.in_flight = in_flight
-        self.requested = requested
-        self.capacity = capacity
-
-
-@dataclass(frozen=True)
-class ResumptionToken:
-    """Where a budget-interrupted exchange stopped, and how to continue.
-
-    ``phase`` names the interrupted chase phase:
-
-    * ``"target_dependencies"`` — the st-tgd phase completed;
-      :meth:`ExchangeService.resume` continues the target-dependency
-      chase from ``partial`` (sound: the chase is monotone and the
-      restricted chase from any intermediate instance still reaches a
-      solution);
-    * ``"st_tgds"`` / ``"merge"`` — the interruption predates a
-      resumable waypoint; resume re-runs the exchange from the source
-      under the new budget.
-
-    The fingerprints pin the token to one (mapping, source) pair so a
-    token cannot be replayed against different data.  ``provenance``
-    snapshots the lineage recorded before the interruption (``None``
-    when the request ran without provenance); :meth:`ExchangeService.resume`
-    extends it across the continued chase so the final solution explains
-    facts from *both* sides of the interruption.
-    """
-
-    mapping_fingerprint: str
-    source_fingerprint: str
-    phase: str
-    partial: Instance
-    provenance: ProvenanceLog | None = None
-
-    @property
-    def resumable_in_place(self) -> bool:
-        return self.phase == "target_dependencies"
-
-
-@dataclass(frozen=True)
-class PartialSolution:
-    """What a budget-exhausted exchange managed to produce.
-
-    ``facts`` is a *prefix* of the chase: every fact is derivable, so it
-    is a subset (up to null naming) of the full canonical universal
-    solution — useful for best-effort answers and for resumption, but
-    **not** a solution (some dependency may be unsatisfied).  ``violated``
-    names the exhausted limit (``"deadline"`` / ``"max_facts"`` /
-    ``"max_steps"``); ``token`` feeds :meth:`ExchangeService.resume`;
-    ``provenance`` is the partial lineage recorded up to the
-    interruption (``None`` when the request ran without provenance), so
-    even a degraded answer can explain the facts it *did* produce.
-    """
-
-    facts: Instance
-    violated: str
-    statistics: ChaseStatistics | None
-    token: ResumptionToken
-    provenance: ProvenanceLog | None = None
-
-    @property
-    def is_partial(self) -> bool:
-        """True — shared vocabulary with full Instances via ``getattr``."""
-        return True
-
-    def __repr__(self) -> str:
-        return (
-            f"PartialSolution({self.facts.size()} facts, "
-            f"violated={self.violated!r}, phase={self.token.phase!r})"
-        )
 
 
 class ExchangeService:
@@ -155,6 +93,14 @@ class ExchangeService:
     >>> if isinstance(result, PartialSolution):
     ...     result = service.resume(source, result.token)   # more budget
     >>> service.close()
+
+    The redesigned surface speaks request/response objects —
+    :meth:`request` for one-shot answers, :meth:`stream` for chunked
+    delivery — while :meth:`exchange` / :meth:`exchange_many` /
+    :meth:`resume` remain as the thin positional forms.  Admission
+    control is per tenant: pass ``quotas`` to guarantee configured
+    tenants their weighted share of ``max_in_flight`` (see
+    :mod:`repro.service.tenancy`).
 
     The service is thread-safe at the admission-control boundary; the
     underlying chase runs one request per call.  Use it as a context
@@ -169,6 +115,7 @@ class ExchangeService:
         statistics: Statistics | None = None,
         hints: Hints | None = None,
         max_in_flight: int = 64,
+        quotas: Mapping[str, TenantQuota] | None = None,
         breaker: CircuitBreaker | None = None,
     ) -> None:
         if max_in_flight < 1:
@@ -180,9 +127,7 @@ class ExchangeService:
         if breaker is not None and self._engine.executor is not None:
             # Share the caller's breaker with the executor's retry loop.
             self._engine.executor._breaker = breaker
-        self._max_in_flight = max_in_flight
-        self._in_flight = 0
-        self._lock = threading.Lock()
+        self._gate = FairShareGate(max_in_flight, quotas)
         self._mapping_fingerprint = mapping_fingerprint(mapping)
         self._closed = False
 
@@ -207,13 +152,17 @@ class ExchangeService:
         return executor.breaker if executor is not None else None
 
     @property
+    def gate(self) -> FairShareGate:
+        """The admission controller (per-tenant state, ``snapshot()``)."""
+        return self._gate
+
+    @property
     def in_flight(self) -> int:
-        with self._lock:
-            return self._in_flight
+        return self._gate.in_flight
 
     @property
     def max_in_flight(self) -> int:
-        return self._max_in_flight
+        return self._gate.capacity
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -228,57 +177,149 @@ class ExchangeService:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
-    # -- admission control ---------------------------------------------------
+    # -- the request/response API -------------------------------------------
 
-    def _admit(self, count: int) -> None:
-        with self._lock:
-            if self._in_flight + count > self._max_in_flight:
-                get_registry().increment("service.rejections")
-                raise ServiceOverloaded(
-                    self._in_flight, count, self._max_in_flight
-                )
-            self._in_flight += count
-            get_registry().gauge("service.queue_depth").set(self._in_flight)
+    def request(self, request: ExchangeRequest) -> ExchangeResponse:
+        """Answer one :class:`ExchangeRequest` with an :class:`ExchangeResponse`.
 
-    def _release(self, count: int) -> None:
-        with self._lock:
-            self._in_flight = max(0, self._in_flight - count)
-            get_registry().gauge("service.queue_depth").set(self._in_flight)
+        Continuations (requests carrying a token) resume; everything
+        else exchanges.  Admission, budgets and degradation behave
+        exactly as in :meth:`exchange` — the response's ``status`` says
+        which way it went.
+        """
+        opts = request.options if request.options is not None else self._options
+        started = time.perf_counter()
+        if request.token is not None:
+            result = self.resume(
+                request.source, request.token, options=opts, tenant=request.tenant
+            )
+        else:
+            result = self.exchange(
+                request.source, options=opts, tenant=request.tenant
+            )
+        return ExchangeResponse.from_result(
+            result,
+            tenant=request.tenant,
+            request_id=request.request_id,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    def stream(
+        self,
+        request: ExchangeRequest,
+        *,
+        chunk_facts: int = DEFAULT_CHUNK_FACTS,
+    ) -> StreamingSolution:
+        """Answer a request with incrementally delivered fact chunks.
+
+        Returns a :class:`~repro.service.streaming.StreamingSolution`;
+        iterate it for :class:`~repro.service.streaming.FactChunk`\\ s
+        (first chunks arrive while later shards still chase, when the
+        engine has a worker pool), then read ``.response`` for the final
+        status/token.  Admission happens here, up front; the slot is
+        held until the stream is drained or dropped.
+        """
+        opts = request.options if request.options is not None else self._options
+        if request.token is not None:
+            self._check_token(request.source, request.token)
+        self._gate.admit(request.tenant, 1)
+        started = time.perf_counter()
+        try:
+            session = StreamSession(
+                self.mapping,
+                request,
+                opts,
+                mapping_fingerprint=self._mapping_fingerprint,
+                chunk_facts=chunk_facts,
+            )
+        except BaseException:
+            self._gate.release(request.tenant, 1)
+            raise
+        return StreamingSolution(self._stream_chunks(request, session, started))
+
+    def _stream_chunks(
+        self, request: ExchangeRequest, session: StreamSession, started: float
+    ) -> Iterator[FactChunk]:
+        registry = get_registry()
+        try:
+            with get_tracer().span(
+                "service.stream",
+                tenant=request.tenant,
+                payloads=len(session.payloads),
+                source_facts=request.source.size(),
+            ) as span:
+                registry.increment("service.requests")
+                registry.increment("service.streams")
+                executor = self._engine.executor
+                if session.sharded and executor is not None:
+                    pool = executor.ensure_pool()
+                    futures = {
+                        pool.submit(exchange_payload, payload): index
+                        for index, payload in enumerate(session.payloads)
+                    }
+                    for future in as_completed(futures):
+                        yield from session.chunks(futures[future], future.result())
+                else:
+                    for index, payload in enumerate(session.payloads):
+                        yield from session.chunks(index, exchange_payload(payload))
+                span.set(target_facts=session.fact_count)
+            response = session.response(
+                elapsed_seconds=time.perf_counter() - started
+            )
+            if not response.complete:
+                registry.increment("service.degraded")
+                if response.violated:
+                    registry.increment(f"service.{response.violated}_exceeded")
+            return response  # noqa: B901 — StreamingSolution reads StopIteration.value
+        finally:
+            self._gate.release(request.tenant, 1)
 
     # -- exchange ------------------------------------------------------------
 
     def exchange(
-        self, source: Instance, *, options: ExchangeOptions | None = None
+        self,
+        source: Instance,
+        *,
+        options: ExchangeOptions | None = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> Instance | Solution | PartialSolution:
         """One budgeted request: a full solution or a :class:`PartialSolution`.
 
         *options* overrides the service defaults for this request only
-        (e.g. a tighter per-tenant deadline).  Never raises on budget
+        (e.g. a tighter per-tenant deadline); *tenant* names the
+        admission-control queue it bills to.  Never raises on budget
         exhaustion or chase step caps; egd *failures*
         (:class:`~repro.mapping.chase.ChaseFailure` — the mapping has no
         solution) still raise, because no amount of budget fixes them.
         """
-        self._admit(1)
+        self._gate.admit(tenant, 1)
         try:
             return self._exchange_admitted(source, options or self._options)
         finally:
-            self._release(1)
+            self._gate.release(tenant, 1)
 
     def exchange_many(
-        self, sources: Iterable[Instance], *, options: ExchangeOptions | None = None
+        self,
+        sources: Iterable[Instance],
+        *,
+        options: ExchangeOptions | None = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> list[Instance | Solution | PartialSolution]:
         """A budgeted batch, admitted whole or rejected whole.
 
         Admission control reserves the full batch up front: if the batch
-        does not fit next to the requests already in flight, the whole
-        batch is rejected with :class:`ServiceOverloaded` (no partial
-        batch ever runs, so callers can safely retry it elsewhere).
+        does not fit next to the requests already in flight (or past the
+        tenant's own share), the whole batch is rejected with
+        :class:`ServiceOverloaded` — no partial batch ever runs, so
+        callers can safely retry it elsewhere.
         """
         batch = list(sources)
         opts = options or self._options
-        self._admit(len(batch))
+        self._gate.admit(tenant, max(1, len(batch)))
         try:
-            with get_tracer().span("service.batch", sources=len(batch)) as span:
+            with get_tracer().span(
+                "service.batch", sources=len(batch), tenant=tenant
+            ) as span:
                 results = [self._exchange_admitted(s, opts) for s in batch]
                 degraded = sum(
                     1 for r in results if isinstance(r, PartialSolution)
@@ -286,7 +327,7 @@ class ExchangeService:
                 span.set(degraded=degraded)
             return results
         finally:
-            self._release(len(batch))
+            self._gate.release(tenant, max(1, len(batch)))
 
     def _exchange_admitted(
         self, source: Instance, opts: ExchangeOptions
@@ -406,31 +447,41 @@ class ExchangeService:
 
     # -- resumption ----------------------------------------------------------
 
-    def resume(
-        self,
-        source: Instance,
-        token: ResumptionToken,
-        *,
-        options: ExchangeOptions | None = None,
-    ) -> Instance | Solution | PartialSolution:
-        """Continue a degraded exchange under a fresh budget.
-
-        The token must come from this service's mapping and *source*
-        (fingerprint-checked; ``ValueError`` otherwise).  A
-        ``"target_dependencies"`` token continues the chase from the
-        partial instance; earlier phases re-run the exchange from the
-        source.  The result is again either a full solution or another
-        :class:`PartialSolution` with a fresher token.
-        """
+    def _check_token(self, source: Instance, token: ResumptionToken) -> None:
         if token.mapping_fingerprint != self._mapping_fingerprint:
             raise ValueError("resumption token is for a different mapping")
         if token.source_fingerprint != source.fingerprint():
             raise ValueError("resumption token is for a different source")
+
+    def resume(
+        self,
+        source: Instance,
+        token: "ResumptionToken | str | Mapping[str, Any]",
+        *,
+        options: ExchangeOptions | None = None,
+        tenant: str = DEFAULT_TENANT,
+    ) -> Instance | Solution | PartialSolution:
+        """Continue a degraded exchange under a fresh budget.
+
+        *token* may be the :class:`ResumptionToken` object or its JSON
+        serialization (text or parsed object) — tokens round-trip across
+        processes, so a token minted by one service instance resumes on
+        another serving the same mapping.  The token must come from this
+        service's mapping and *source* (fingerprint-checked;
+        ``ValueError`` otherwise).  A ``"target_dependencies"`` token
+        continues the chase from the partial instance; earlier phases
+        re-run the exchange from the source.  The result is again either
+        a full solution or another :class:`PartialSolution` with a
+        fresher token.
+        """
+        if not isinstance(token, ResumptionToken):
+            token = ResumptionToken.from_json(token)
+        self._check_token(source, token)
         opts = options or self._options
         get_registry().increment("service.resumptions")
         if not token.resumable_in_place:
-            return self.exchange(source, options=opts)
-        self._admit(1)
+            return self.exchange(source, options=opts, tenant=tenant)
+        self._gate.admit(tenant, 1)
         try:
             budget = opts.budget()
             store = resolve_provenance(opts.provenance)
@@ -475,4 +526,4 @@ class ExchangeService:
                     return Solution(solution, store, source)
                 return solution
         finally:
-            self._release(1)
+            self._gate.release(tenant, 1)

@@ -1,0 +1,508 @@
+"""Incremental delivery of target facts: shard payloads out, chunks back.
+
+The batch service buffers a whole solution before the first byte reaches
+the client.  Streaming inverts that: :class:`StreamSession` plans one
+request as a set of independent worker payloads (one per source shard
+when the mapping parallelizes, one whole-exchange payload otherwise),
+:func:`exchange_payload` runs each payload inside a pool worker, and the
+session turns every finished payload into :class:`FactChunk`\\ s the
+moment it lands — so the first facts flow while later shards are still
+chasing.  Soundness is the executor's merge argument restated per chunk:
+shards are premise-disjoint, invented nulls are relabeled into disjoint
+namespaces as each shard unpacks, and ground duplicates are filtered
+against the facts already emitted, so the union of all chunks is the
+canonical universal solution up to null renaming.
+
+Two front ends drive a session:
+
+* :meth:`repro.service.ExchangeService.stream` — synchronous, yields a
+  :class:`StreamingSolution`;
+* :mod:`repro.service.aserve` — the asyncio HTTP layer, writing each
+  chunk as one NDJSON line (docs/SERVICE.md "Streaming format").
+
+Budgeted or provenance-recording requests take the single-payload path:
+their interruption/lineage state lives in one worker, which still
+reports ``partial`` outcomes with a resumable
+:class:`~repro.service.api.ResumptionToken` built parent-side.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from ..budget import Budget, BudgetExceeded
+from ..mapping.chase import ChaseNonTermination, chase, chase_target_dependencies
+from ..mapping.sttgd import SchemaMapping
+from ..options import ExchangeOptions
+from ..provenance import ProvenanceLog, Solution
+from ..relational.columnar import pack_instance, unpack_instance, unpack_rows
+from ..relational.instance import Instance, Row
+from ..relational.serialization import value_from_json, value_to_json
+from ..relational.values import LabeledNull, NullFactory, max_null_label
+from .api import ExchangeRequest, ExchangeResponse, PartialSolution, ResumptionToken
+
+__all__ = [
+    "DEFAULT_CHUNK_FACTS",
+    "FactChunk",
+    "StreamSession",
+    "StreamingSolution",
+    "exchange_payload",
+]
+
+DEFAULT_CHUNK_FACTS = 2048
+"""Facts per NDJSON chunk: big enough to amortize a line's JSON overhead,
+small enough that the first chunk leaves before a large shard finishes
+encoding."""
+
+
+@dataclass(frozen=True)
+class FactChunk:
+    """One streamed batch of target facts.
+
+    ``shard`` is the source shard that produced the batch (``-1`` for
+    single-payload runs); ``facts`` are ``(relation, row)`` pairs already
+    relabeled into the request's global null namespace.
+    """
+
+    shard: int
+    facts: tuple[tuple[str, Row], ...]
+
+    def __len__(self) -> int:
+        return len(self.facts)
+
+    def as_dict(self) -> dict[str, Any]:
+        """One NDJSON ``facts`` line (docs/SERVICE.md)."""
+        return {
+            "kind": "facts",
+            "shard": self.shard,
+            "count": len(self.facts),
+            "facts": [
+                {"relation": name, "row": [value_to_json(v) for v in row]}
+                for name, row in self.facts
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "FactChunk":
+        """Decode a ``facts`` line (the client half of the codec)."""
+        return cls(
+            shard=int(data.get("shard", -1)),
+            facts=tuple(
+                (f["relation"], tuple(value_from_json(v) for v in f["row"]))
+                for f in data["facts"]
+            ),
+        )
+
+
+def exchange_payload(payload: dict[str, Any]) -> dict[str, Any]:
+    """Pool worker: run one streaming payload, return a packed outcome.
+
+    Module-level so ``ProcessPoolExecutor`` can pickle it.  The payload
+    carries the :class:`~repro.mapping.sttgd.SchemaMapping` itself
+    (mappings pickle compactly, target dependencies included — unlike
+    ``to_text``), the source/shard as a flat column buffer, the options
+    as their wire dict, and — for continuations — the token's partial
+    instance and lineage snapshot.  Deadlines travel as absolute unix
+    time so pool queue wait counts against the budget.
+
+    Outcome dict: ``status`` (``"complete"``/``"partial"``), ``solution``
+    (packed buffer — the chase prefix when partial), ``violated``/
+    ``phase`` (partial only), ``provenance`` (JSON text or ``None``) and
+    ``seconds``.  Chase *failures* (unsatisfiable egds) raise through
+    the pool: no amount of streaming fixes a mapping with no solution.
+    """
+    started = time.perf_counter()
+    mapping: SchemaMapping = payload["mapping"]
+    options = ExchangeOptions.from_dict(payload["options"])
+    mode = payload["mode"]
+    source = unpack_instance(payload["source"])
+
+    if mode == "shard":
+        # Shard payloads are planned only for unbudgeted, provenance-free
+        # requests; the chase needs nothing but the step cap.
+        solution = chase(
+            mapping, source, options=ExchangeOptions(max_steps=options.max_steps)
+        ).solution
+        return {
+            "status": "complete",
+            "solution": _pack(solution),
+            "violated": None,
+            "phase": None,
+            "provenance": None,
+            "seconds": time.perf_counter() - started,
+        }
+
+    deadline_at = payload.get("deadline_at")
+    budget = None
+    if deadline_at is not None or options.max_facts is not None:
+        remaining = (
+            max(1e-9, deadline_at - time.time()) if deadline_at is not None else None
+        )
+        budget = Budget(deadline=remaining, max_facts=options.max_facts)
+    provenance = ProvenanceLog() if payload["want_provenance"] else None
+    if provenance is not None and payload.get("token_provenance") is not None:
+        # Continue the interrupted history: the token's snapshot seeds
+        # the log and new records extend it in step order.
+        provenance.absorb(ProvenanceLog.from_json_text(payload["token_provenance"]))
+
+    try:
+        if mode == "resume":
+            partial = unpack_instance(payload["partial"])
+            solution = chase_target_dependencies(
+                partial,
+                mapping.target_dependencies,
+                options=options,
+                budget=budget,
+                provenance=provenance,
+            )
+        else:
+            solution = chase(
+                mapping,
+                source,
+                options=options,
+                budget=budget,
+                provenance=provenance,
+            ).solution
+    except BudgetExceeded as exc:
+        return _partial_outcome(
+            mapping, exc.violated, exc.partial, exc.phase or "st_tgds",
+            exc, provenance, started,
+        )
+    except ChaseNonTermination as exc:
+        return _partial_outcome(
+            mapping, "max_steps", exc.partial, "target_dependencies",
+            exc, provenance, started,
+        )
+    return {
+        "status": "complete",
+        "solution": _pack(solution),
+        "violated": None,
+        "phase": None,
+        "provenance": provenance.to_json_text() if provenance is not None else None,
+        "seconds": time.perf_counter() - started,
+    }
+
+
+def _partial_outcome(
+    mapping: SchemaMapping,
+    violated: str,
+    partial: Instance | None,
+    phase: str,
+    exc: BaseException,
+    provenance: ProvenanceLog | None,
+    started: float,
+) -> dict[str, Any]:
+    if partial is None:
+        partial = Instance(mapping.target, [])
+    attached = getattr(exc, "provenance", None)
+    log = attached if attached is not None else provenance
+    return {
+        "status": "partial",
+        "solution": _pack(partial),
+        "violated": violated,
+        "phase": phase,
+        "provenance": log.to_json_text() if log is not None else None,
+        "seconds": time.perf_counter() - started,
+    }
+
+
+def _pack(instance: Instance) -> bytes:
+    store = instance.columnar_store
+    if store is not None:
+        return store.pack()
+    return pack_instance(instance)
+
+
+class StreamSession:
+    """Parent-side state for one streaming exchange.
+
+    Construction plans the payloads (:attr:`payloads`); the driver runs
+    them — in-process, on a thread/process pool, however it likes — and
+    feeds each outcome back through :meth:`chunks`, which yields
+    relabeled, deduplicated :class:`FactChunk`\\ s.  After every payload
+    has been processed, :meth:`response` assembles the final
+    :class:`~repro.service.api.ExchangeResponse` (and
+    :meth:`summary_dict` the NDJSON trailer).
+    """
+
+    def __init__(
+        self,
+        mapping: SchemaMapping,
+        request: ExchangeRequest,
+        options: ExchangeOptions,
+        *,
+        mapping_fingerprint: str,
+        chunk_facts: int = DEFAULT_CHUNK_FACTS,
+    ) -> None:
+        if chunk_facts < 1:
+            raise ValueError(f"chunk_facts must be >= 1, got {chunk_facts}")
+        self._mapping = mapping
+        self._request = request
+        self._options = options
+        self._mapping_fingerprint = mapping_fingerprint
+        self._chunk_facts = chunk_facts
+        self._fact_count = 0
+        self._rows: dict[str, set[Row]] = {
+            name: set() for name in mapping.target.relation_names
+        }
+        # Serial-payload outcome (filled by chunks()):
+        self._status = "complete"
+        self._violated: str | None = None
+        self._phase: str | None = None
+        self._provenance: ProvenanceLog | None = None
+        self._result_instance: Instance | None = None
+        self.payloads: list[dict[str, Any]] = []
+        self._shard_maxima: list[int] = []
+        self._dedupe = False
+        self._factory: NullFactory | None = None
+        self._plan(request, options)
+
+    # -- planning ------------------------------------------------------------
+
+    def _plan(self, request: ExchangeRequest, options: ExchangeOptions) -> None:
+        source = request.source
+        options_wire = options.as_dict()
+        deadline_at = (
+            time.time() + options.deadline if options.deadline is not None else None
+        )
+        if request.token is not None and request.token.resumable_in_place:
+            self.payloads = [
+                {
+                    "mode": "resume",
+                    "mapping": self._mapping,
+                    "options": options_wire,
+                    "source": _pack(source),
+                    "partial": _pack(request.token.partial),
+                    "token_provenance": (
+                        request.token.provenance.to_json_text()
+                        if request.token.provenance is not None
+                        and options.wants_provenance
+                        else None
+                    ),
+                    "want_provenance": options.wants_provenance,
+                    "deadline_at": deadline_at,
+                }
+            ]
+            return
+        shards = self._plan_shards(source, options)
+        if shards is None:
+            self.payloads = [
+                {
+                    "mode": "full",
+                    "mapping": self._mapping,
+                    "options": options_wire,
+                    "source": _pack(source),
+                    "token_provenance": None,
+                    "want_provenance": options.wants_provenance,
+                    "deadline_at": deadline_at,
+                }
+            ]
+            return
+        from ..exec.parallel import _needs_merge_dedupe
+
+        self._dedupe = _needs_merge_dedupe(self._mapping)
+        store = source.columnar_store
+        if store is not None and store.canonical:
+            max_source_label = store.max_labeled_null()
+        else:
+            max_source_label = max_null_label(source.values())
+        self._factory = NullFactory()
+        self._factory.reserve_through(max_source_label)
+        for shard in shards:
+            shard_store = shard.columnar_store
+            if shard_store is not None:
+                self._shard_maxima.append(shard_store.max_labeled_null())
+            else:
+                self._shard_maxima.append(max_null_label(shard.values()))
+            self.payloads.append(
+                {
+                    "mode": "shard",
+                    "mapping": self._mapping,
+                    "options": options_wire,
+                    "source": _pack(shard),
+                    "token_provenance": None,
+                    "want_provenance": False,
+                    "deadline_at": None,
+                }
+            )
+
+    def _plan_shards(
+        self, source: Instance, options: ExchangeOptions
+    ) -> list[Instance] | None:
+        """Premise-disjoint shards, or ``None`` for the single-payload path.
+
+        Sharded streaming mirrors the executor's eligibility rules
+        (parallelizable mapping, >1 workers, source big enough) plus two
+        of its own: budgets and provenance keep their single-worker
+        seam, where interruption state is coherent.
+        """
+        if options.budgeted or options.wants_provenance:
+            return None
+        workers = options.workers or 1
+        if workers <= 1:
+            return None
+        from ..exec.parallel import _AUTO_MIN_PARALLEL_FACTS
+        from ..exec.partition import parallelizability, partition_source
+
+        if not parallelizability(self._mapping).parallelizable:
+            return None
+        min_facts = options.min_parallel_facts
+        if min_facts is None:
+            min_facts = _AUTO_MIN_PARALLEL_FACTS
+        if source.size() < min_facts:
+            return None
+        partitioning = partition_source(
+            self._mapping, source, workers, memo_key=self._mapping_fingerprint
+        )
+        if len(partitioning.shards) <= 1:
+            return None
+        return list(partitioning.shards)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def sharded(self) -> bool:
+        return len(self.payloads) > 1
+
+    @property
+    def fact_count(self) -> int:
+        return self._fact_count
+
+    # -- chunk production ----------------------------------------------------
+
+    def chunks(self, index: int, outcome: dict[str, Any]) -> Iterator[FactChunk]:
+        """Turn payload *index*'s outcome into relabeled fact chunks.
+
+        Callable from any payload-completion order; relabeling uses the
+        per-shard invented-null watermark, so interleaving is safe.  For
+        single-payload runs this also records the outcome (status,
+        violated budget, lineage) that :meth:`response` reports.
+        """
+        if self.sharded:
+            shard_max = self._shard_maxima[index]
+            factory = self._factory
+            assert factory is not None
+
+            def relabel(null: LabeledNull) -> LabeledNull:
+                return factory.fresh() if null.label > shard_max else null
+
+            rows_by_rel = unpack_rows(outcome["solution"], null_relabel=relabel)
+            yield from self._emit(index, rows_by_rel)
+            return
+        self._status = outcome["status"]
+        self._violated = outcome["violated"]
+        self._phase = outcome["phase"]
+        if outcome["provenance"] is not None:
+            self._provenance = ProvenanceLog.from_json_text(outcome["provenance"])
+        instance = unpack_instance(outcome["solution"])
+        self._result_instance = instance
+        yield from self._emit(
+            -1, {name: instance.rows(name) for name in instance.relation_names()}
+        )
+
+    def _emit(
+        self, shard: int, rows_by_rel: dict[str, Any]
+    ) -> Iterator[FactChunk]:
+        batch: list[tuple[str, Row]] = []
+        track = self.sharded  # serial runs keep their decoded instance instead
+        for name, rows in rows_by_rel.items():
+            seen = self._rows.setdefault(name, set())
+            for row in rows:
+                if self._dedupe and row in seen:
+                    continue
+                if track:
+                    seen.add(row)
+                batch.append((name, row))
+                if len(batch) >= self._chunk_facts:
+                    self._fact_count += len(batch)
+                    yield FactChunk(shard, tuple(batch))
+                    batch = []
+        if batch:
+            self._fact_count += len(batch)
+            yield FactChunk(shard, tuple(batch))
+
+    # -- completion ----------------------------------------------------------
+
+    def _token(self) -> ResumptionToken | None:
+        if self._status != "partial":
+            return None
+        partial = self._result_instance
+        assert partial is not None
+        return ResumptionToken(
+            mapping_fingerprint=self._mapping_fingerprint,
+            source_fingerprint=self._request.source.fingerprint(),
+            phase=self._phase or "st_tgds",
+            partial=partial,
+            provenance=self._provenance,
+        )
+
+    def response(self, *, elapsed_seconds: float = 0.0) -> ExchangeResponse:
+        """The final response once every payload's chunks were drained."""
+        if self.sharded or self._result_instance is None:
+            facts = Instance._unsafe(
+                self._mapping.target,
+                {name: frozenset(rows) for name, rows in self._rows.items()},
+            )
+        else:
+            facts = self._result_instance
+        result: Instance | Solution | PartialSolution = facts
+        token = self._token()
+        if token is not None:
+            result = PartialSolution(
+                facts, self._violated or "deadline", None, token, self._provenance
+            )
+        elif self._provenance is not None:
+            result = Solution(facts, self._provenance, self._request.source)
+        return ExchangeResponse.from_result(
+            result,
+            tenant=self._request.tenant,
+            request_id=self._request.request_id,
+            elapsed_seconds=elapsed_seconds,
+        )
+
+    def summary_dict(self, *, elapsed_seconds: float = 0.0) -> dict[str, Any]:
+        """The NDJSON ``summary`` trailer line (docs/SERVICE.md)."""
+        token = self._token()
+        return {
+            "kind": "summary",
+            "status": self._status,
+            "violated": self._violated,
+            "fact_count": self._fact_count,
+            "token": token.as_dict() if token is not None else None,
+            "elapsed_ms": round(elapsed_seconds * 1000.0, 3),
+        }
+
+
+class StreamingSolution:
+    """A lazily-consumed stream of :class:`FactChunk`\\ s.
+
+    Iterate to receive chunks as payloads complete; once the iterator is
+    exhausted, :attr:`response` holds the final
+    :class:`~repro.service.api.ExchangeResponse` (status, token,
+    provenance).  :meth:`collect` drains and returns that response in
+    one call for callers who wanted the batch API after all.
+    """
+
+    def __init__(self, generator: Iterator[FactChunk]) -> None:
+        self._generator = generator
+        self.response: ExchangeResponse | None = None
+
+    def __iter__(self) -> "StreamingSolution":
+        return self
+
+    def __next__(self) -> FactChunk:
+        try:
+            return next(self._generator)
+        except StopIteration as stop:
+            if stop.value is not None:
+                self.response = stop.value
+            raise
+
+    def collect(self) -> ExchangeResponse:
+        """Drain the stream and return the final response."""
+        for _ in self:
+            pass
+        assert self.response is not None
+        return self.response

@@ -1,0 +1,301 @@
+"""Per-tenant quotas and weighted fair-share admission.
+
+PR 5's admission control was a single global gate: one in-flight counter,
+one capacity, first come first served.  Under multi-tenant load that is
+exactly wrong — one greedy tenant fills the gate and everyone else
+starves behind an endless stream of 429s.  This module replaces the
+global gate with weighted fair sharing:
+
+* :class:`TenantQuota` — a tenant's ``weight`` (its slice of the shared
+  capacity) and optional ``max_in_flight`` hard cap;
+* :class:`FairShareGate` — the admission controller.  Configured tenants
+  get a **guaranteed share** of the capacity proportional to their
+  weight; the rest is a work-conserving shared pool.  A tenant may burst
+  past its guarantee into the pool, but only as long as the capacity
+  left behind covers every *other* configured tenant's unused guarantee
+  — so a flood from one tenant can never occupy the headroom a quieter
+  tenant is entitled to.
+* :class:`ServiceOverloaded` — the structured rejection, now carrying
+  per-tenant state (who was rejected, their in-flight depth, their
+  guaranteed share) so clients and load balancers can react per tenant
+  instead of backing the whole fleet off.
+
+Admission and release are O(#configured tenants) under one lock, and
+every decision is published to :mod:`repro.obs` (``service.tenant.<id>.*``
+counters and in-flight gauges).  See docs/SERVICE.md "Tenancy".
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..obs import get_registry
+
+__all__ = ["FairShareGate", "ServiceOverloaded", "TenantQuota"]
+
+DEFAULT_TENANT = "default"
+"""The tenant requests fall under when none is named."""
+
+
+class ServiceOverloaded(RuntimeError):
+    """Admission control rejected the request.
+
+    Carries the global state (``in_flight``, ``requested``, ``capacity``)
+    plus — when the gate is tenant-aware — the rejected tenant's own
+    state: ``tenant``, ``tenant_in_flight`` (its current depth),
+    ``tenant_share`` (its guaranteed share of the capacity, or its hard
+    cap when that is what tripped) and ``reason`` (``"capacity"``,
+    ``"tenant-cap"`` or ``"fair-share"``).  Clients use the per-tenant
+    fields for per-tenant backoff; the HTTP layer maps the whole thing
+    onto a 429 with a JSON body (docs/SERVICE.md).
+    """
+
+    def __init__(
+        self,
+        in_flight: int,
+        requested: int,
+        capacity: int,
+        *,
+        tenant: str | None = None,
+        tenant_in_flight: int | None = None,
+        tenant_share: int | None = None,
+        reason: str = "capacity",
+    ) -> None:
+        detail = f"{in_flight} in flight + {requested} requested > capacity {capacity}"
+        if tenant is not None and reason != "capacity":
+            detail = (
+                f"tenant {tenant!r} at {tenant_in_flight} in flight + "
+                f"{requested} requested exceeds its {reason} share "
+                f"{tenant_share} (service: {in_flight}/{capacity})"
+            )
+        super().__init__(f"service overloaded: {detail}")
+        self.in_flight = in_flight
+        self.requested = requested
+        self.capacity = capacity
+        self.tenant = tenant
+        self.tenant_in_flight = tenant_in_flight
+        self.tenant_share = tenant_share
+        self.reason = reason
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-compatible view (the HTTP 429 body)."""
+        return {
+            "error": str(self),
+            "kind": "overloaded",
+            "reason": self.reason,
+            "in_flight": self.in_flight,
+            "requested": self.requested,
+            "capacity": self.capacity,
+            "tenant": self.tenant,
+            "tenant_in_flight": self.tenant_in_flight,
+            "tenant_share": self.tenant_share,
+        }
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """One tenant's admission-control configuration.
+
+    ``weight`` sizes the tenant's guaranteed share of the service
+    capacity relative to the other configured tenants; ``max_in_flight``
+    is an optional hard cap on the tenant's own concurrency (a noisy
+    tenant can be boxed in even when the service has room).
+    """
+
+    weight: float = 1.0
+    max_in_flight: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+        if self.max_in_flight is not None and self.max_in_flight < 1:
+            raise ValueError(
+                f"max_in_flight must be >= 1, got {self.max_in_flight}"
+            )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"weight": self.weight, "max_in_flight": self.max_in_flight}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TenantQuota":
+        if not isinstance(data, Mapping):
+            raise ValueError(f"tenant quota must be a JSON object, got {data!r}")
+        unknown = sorted(set(data) - {"weight", "max_in_flight"})
+        if unknown:
+            raise ValueError(f"unknown tenant quota keys {unknown}")
+        return cls(
+            weight=float(data.get("weight", 1.0)),
+            max_in_flight=data.get("max_in_flight"),
+        )
+
+
+class FairShareGate:
+    """Weighted fair-share admission over one shared capacity.
+
+    Configured tenants (the *quotas* mapping) split the capacity into
+    guaranteed shares proportional to their weights; every tenant —
+    configured or not — may additionally use the shared pool, but never
+    so deep that the remaining capacity cannot cover the other configured
+    tenants' unused guarantees.  With no quotas configured the gate
+    degrades to the old single global counter.
+
+    Thread-safe; ``admit``/``release`` are the only mutating operations.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        quotas: Mapping[str, TenantQuota] | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._quotas: dict[str, TenantQuota] = dict(quotas or {})
+        self._in_flight: dict[str, int] = {}
+        self._total = 0
+        self._lock = threading.Lock()
+        total_weight = sum(q.weight for q in self._quotas.values())
+        self._guarantees: dict[str, int] = {}
+        for tenant, quota in self._quotas.items():
+            share = max(1, int(capacity * quota.weight / total_weight))
+            if quota.max_in_flight is not None:
+                share = min(share, quota.max_in_flight)
+            self._guarantees[tenant] = share
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._total
+
+    def tenant_in_flight(self, tenant: str = DEFAULT_TENANT) -> int:
+        with self._lock:
+            return self._in_flight.get(tenant, 0)
+
+    def guaranteed_share(self, tenant: str) -> int:
+        """The capacity slice *tenant* can always claim (0 if unconfigured)."""
+        return self._guarantees.get(tenant, 0)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Current gate state, JSON-compatible (the ``/v1/health`` body)."""
+        with self._lock:
+            tenants = {
+                tenant: {
+                    "in_flight": self._in_flight.get(tenant, 0),
+                    "guaranteed_share": self._guarantees.get(tenant, 0),
+                    "quota": (
+                        self._quotas[tenant].as_dict()
+                        if tenant in self._quotas
+                        else None
+                    ),
+                }
+                for tenant in sorted(set(self._in_flight) | set(self._quotas))
+            }
+            return {
+                "capacity": self._capacity,
+                "in_flight": self._total,
+                "tenants": tenants,
+            }
+
+    # -- admission ----------------------------------------------------------
+
+    def admit(self, tenant: str = DEFAULT_TENANT, count: int = 1) -> None:
+        """Admit *count* requests for *tenant* or raise :class:`ServiceOverloaded`.
+
+        The decision, in order: the tenant's own hard cap, the global
+        capacity, then the fair-share rule — a tenant above its
+        guaranteed share may only dip into the shared pool when the
+        capacity left over covers every other configured tenant's unused
+        guarantee.
+        """
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        registry = get_registry()
+        with self._lock:
+            quota = self._quotas.get(tenant)
+            mine = self._in_flight.get(tenant, 0)
+            if (
+                quota is not None
+                and quota.max_in_flight is not None
+                and mine + count > quota.max_in_flight
+            ):
+                self._reject(tenant, count, mine, quota.max_in_flight, "tenant-cap")
+            if self._total + count > self._capacity:
+                self._reject(
+                    tenant, count, mine, self._guarantees.get(tenant), "capacity"
+                )
+            guarantee = self._guarantees.get(tenant, 0)
+            if mine + count > guarantee:
+                # Dipping into the shared pool: leave room for everyone
+                # else's unused guarantee, or a flood here becomes
+                # starvation there.
+                reserved = sum(
+                    max(0, share - self._in_flight.get(other, 0))
+                    for other, share in self._guarantees.items()
+                    if other != tenant
+                )
+                free_after = self._capacity - (self._total + count)
+                if free_after < reserved:
+                    self._reject(tenant, count, mine, guarantee, "fair-share")
+            self._in_flight[tenant] = mine + count
+            self._total += count
+            registry.increment(f"service.tenant.{tenant}.admitted", count)
+            registry.gauge(f"service.tenant.{tenant}.in_flight").set(
+                self._in_flight[tenant]
+            )
+            registry.gauge("service.queue_depth").set(self._total)
+
+    def _reject(
+        self,
+        tenant: str,
+        count: int,
+        mine: int,
+        share: int | None,
+        reason: str,
+    ) -> None:
+        registry = get_registry()
+        registry.increment("service.rejections")
+        registry.increment(f"service.tenant.{tenant}.rejected", count)
+        raise ServiceOverloaded(
+            self._total,
+            count,
+            self._capacity,
+            tenant=tenant,
+            tenant_in_flight=mine,
+            tenant_share=share,
+            reason=reason,
+        )
+
+    def release(self, tenant: str = DEFAULT_TENANT, count: int = 1) -> None:
+        registry = get_registry()
+        with self._lock:
+            mine = self._in_flight.get(tenant, 0)
+            taken = min(mine, count)
+            if taken == mine:
+                self._in_flight.pop(tenant, None)
+            else:
+                self._in_flight[tenant] = mine - taken
+            self._total = max(0, self._total - taken)
+            registry.gauge(f"service.tenant.{tenant}.in_flight").set(
+                self._in_flight.get(tenant, 0)
+            )
+            registry.gauge("service.queue_depth").set(self._total)
+
+
+def quotas_from_json(data: Mapping[str, Any]) -> dict[str, TenantQuota]:
+    """Parse a ``{"tenant": {"weight": ..., "max_in_flight": ...}}`` config.
+
+    The shape of ``repro serve --tenants tenants.json``.
+    """
+    if not isinstance(data, Mapping):
+        raise ValueError(f"tenants config must be a JSON object, got {data!r}")
+    return {
+        str(tenant): TenantQuota.from_dict(quota) for tenant, quota in data.items()
+    }

@@ -1,4 +1,4 @@
-"""Tests for ExchangeOptions, RetryPolicy, and the deprecation shims."""
+"""Tests for ExchangeOptions, RetryPolicy, and the completed migration."""
 
 import warnings
 
@@ -7,7 +7,7 @@ import pytest
 from repro import ExchangeEngine, ExchangeOptions, RetryPolicy
 from repro.mapping import SchemaMapping, chase, universal_solution
 from repro.mapping.chase import chase_target_dependencies
-from repro.options import DEFAULT_MAX_STEPS, merge_legacy_kwargs
+from repro.options import DEFAULT_MAX_STEPS
 from repro.relational import instance, relation, schema
 
 
@@ -89,31 +89,58 @@ class TestRetryPolicy:
             RetryPolicy(jitter=-0.1)
 
 
-class TestLegacyShims:
-    def test_merge_legacy_kwargs_passthrough(self):
-        opts = ExchangeOptions(workers=2)
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")
-            assert merge_legacy_kwargs(opts, "api") is opts
-            assert merge_legacy_kwargs(None, "api") == ExchangeOptions()
+class TestWireFormat:
+    """as_dict/from_dict — the JSON face ExchangeOptions shows the service."""
 
-    def test_merge_legacy_kwargs_warns_and_folds(self):
-        with pytest.warns(DeprecationWarning, match="api\\(workers=\\)"):
-            opts = merge_legacy_kwargs(None, "api", workers=2)
-        assert opts == ExchangeOptions(workers=2)
+    def test_round_trip_defaults(self):
+        opts = ExchangeOptions()
+        assert ExchangeOptions.from_dict(opts.as_dict()) == opts
 
-    def test_merge_legacy_kwargs_rejects_both(self):
-        with pytest.raises(TypeError, match="both options="):
-            merge_legacy_kwargs(ExchangeOptions(), "api", workers=2)
+    def test_round_trip_everything_set(self):
+        opts = ExchangeOptions(
+            workers=2,
+            cache=16,
+            max_steps=50,
+            deadline=1.5,
+            max_facts=100,
+            backend="sqlite",
+            provenance=True,
+            min_parallel_facts=0,
+        )
+        clone = ExchangeOptions.from_dict(opts.as_dict())
+        assert clone == opts
 
-    def test_compile_legacy_workers_warns_but_works(self):
-        with pytest.warns(DeprecationWarning, match="Migrating to ExchangeOptions"):
-            engine = ExchangeEngine.compile(example_mapping(), workers=2)
-        try:
-            assert engine.executor is not None
-            assert engine.exchange(example_source()).size() == 2
-        finally:
-            engine.close()
+    def test_live_cache_serializes_as_capacity(self):
+        from repro.exec.cache import ExchangeCache
+
+        opts = ExchangeOptions(cache=ExchangeCache(capacity=7))
+        wire = opts.as_dict()
+        assert wire["cache"] == 7
+        assert ExchangeOptions.from_dict(wire).cache == 7
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown"):
+            ExchangeOptions.from_dict({"workers": 2, "max_target_steps": 10})
+
+    def test_retry_stays_server_side(self):
+        opts = ExchangeOptions(retry=RetryPolicy(max_retries=5))
+        assert "retry" not in opts.as_dict()
+        # Deserializing resets retry to the receiving side's default —
+        # clients cannot dictate server retry behavior over the wire.
+        clone = ExchangeOptions.from_dict(opts.as_dict())
+        assert clone.retry == ExchangeOptions().retry
+
+
+class TestMigrationComplete:
+    """The pre-1.0 keyword shims are gone: options= is the only spelling."""
+
+    def test_merge_legacy_kwargs_is_removed(self):
+        with pytest.raises(ImportError):
+            from repro.options import merge_legacy_kwargs  # noqa: F401
+
+    def test_compile_rejects_legacy_workers(self):
+        with pytest.raises(TypeError):
+            ExchangeEngine.compile(example_mapping(), workers=2)
 
     def test_compile_options_path_is_warning_free(self):
         with warnings.catch_warnings():
@@ -126,10 +153,9 @@ class TestLegacyShims:
         finally:
             engine.close()
 
-    def test_chase_legacy_max_target_steps_warns(self):
-        with pytest.warns(DeprecationWarning, match="max_target_steps"):
-            result = chase(example_mapping(), example_source(), max_target_steps=25)
-        assert result.solution.size() == 2
+    def test_chase_rejects_legacy_max_target_steps(self):
+        with pytest.raises(TypeError):
+            chase(example_mapping(), example_source(), max_target_steps=25)
 
     def test_chase_options_path_is_warning_free(self):
         with warnings.catch_warnings():
@@ -146,18 +172,9 @@ class TestLegacyShims:
             )
         assert result.solution.size() == 2
 
-    def test_chase_rejects_options_plus_legacy(self):
-        with pytest.raises(TypeError, match="both"):
-            chase(
-                example_mapping(),
-                example_source(),
-                max_target_steps=25,
-                options=ExchangeOptions(max_steps=25),
-            )
-
-    def test_chase_target_dependencies_shim(self):
+    def test_chase_target_dependencies_rejects_legacy_max_steps(self):
         target = instance(TGT, {"Manager": [["a", "b"]]})
-        with pytest.warns(DeprecationWarning):
+        with pytest.raises(TypeError):
             chase_target_dependencies(target, [], max_steps=10)
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)

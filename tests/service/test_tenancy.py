@@ -1,0 +1,191 @@
+"""Tests for per-tenant quotas and weighted fair-share admission."""
+
+import threading
+
+import pytest
+
+from repro import ExchangeOptions, ExchangeService, TenantQuota
+from repro.mapping import SchemaMapping
+from repro.relational import instance, relation, schema
+from repro.service import ServiceOverloaded
+from repro.service.tenancy import (
+    DEFAULT_TENANT,
+    FairShareGate,
+    quotas_from_json,
+)
+
+
+SRC = schema(relation("Emp", "name"))
+TGT = schema(relation("Manager", "emp", "mgr"))
+
+
+def simple_mapping():
+    return SchemaMapping.parse(SRC, TGT, "Emp(x) -> exists y . Manager(x, y)")
+
+
+def simple_source(rows=5):
+    return instance(SRC, {"Emp": [[f"e{i}"] for i in range(rows)]})
+
+
+class TestTenantQuota:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TenantQuota(weight=0)
+        with pytest.raises(ValueError):
+            TenantQuota(weight=-1.0)
+        with pytest.raises(ValueError):
+            TenantQuota(max_in_flight=0)
+
+    def test_round_trip(self):
+        quota = TenantQuota(weight=2.5, max_in_flight=8)
+        assert TenantQuota.from_dict(quota.as_dict()) == quota
+
+    def test_quotas_from_json(self):
+        quotas = quotas_from_json(
+            {"gold": {"weight": 3}, "bronze": {"weight": 1, "max_in_flight": 2}}
+        )
+        assert quotas["gold"].weight == 3
+        assert quotas["bronze"].max_in_flight == 2
+
+    def test_quotas_from_json_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            quotas_from_json({"t": "not-a-quota"})
+        with pytest.raises(ValueError):
+            quotas_from_json("nope")
+
+
+class TestFairShareGate:
+    def test_capacity_enforced(self):
+        gate = FairShareGate(2)
+        gate.admit("a", 1)
+        gate.admit("b", 1)
+        with pytest.raises(ServiceOverloaded) as exc:
+            gate.admit("c", 1)
+        assert exc.value.reason == "capacity"
+        gate.release("a", 1)
+        gate.admit("c", 1)  # freed slot is admittable again
+
+    def test_tenant_hard_cap(self):
+        gate = FairShareGate(10, {"capped": TenantQuota(max_in_flight=2)})
+        gate.admit("capped", 2)
+        with pytest.raises(ServiceOverloaded) as exc:
+            gate.admit("capped", 1)
+        assert exc.value.reason == "tenant-cap"
+        assert exc.value.tenant == "capped"
+        # Other tenants are unaffected by one tenant's cap.
+        gate.admit("other", 1)
+
+    def test_guaranteed_share_is_weighted(self):
+        gate = FairShareGate(
+            8, {"gold": TenantQuota(weight=3), "bronze": TenantQuota(weight=1)}
+        )
+        assert gate.guaranteed_share("gold") == 6
+        assert gate.guaranteed_share("bronze") == 2
+        assert gate.guaranteed_share("unknown") == 0
+
+    def test_noisy_neighbor_cannot_starve_configured_tenant(self):
+        """The acceptance-criteria scenario: a tenant with a quota gets
+        its share even when another tenant floods the service."""
+        gate = FairShareGate(
+            4, {"quiet": TenantQuota(weight=1), "noisy": TenantQuota(weight=1)}
+        )
+        # noisy grabs everything it can: its guarantee (2) plus whatever
+        # free pool the reserve rule allows (none — quiet's guarantee of
+        # 2 is protected).
+        admitted = 0
+        for _ in range(4):
+            try:
+                gate.admit("noisy", 1)
+                admitted += 1
+            except ServiceOverloaded:
+                break
+        assert admitted == 2
+        # quiet still gets its full guaranteed share.
+        gate.admit("quiet", 1)
+        gate.admit("quiet", 1)
+
+    def test_unconfigured_tenants_share_leftover_pool(self):
+        # Capacity 7 with guarantees 3 + 3 leaves a free pool of 1.
+        gate = FairShareGate(
+            7, {"gold": TenantQuota(weight=1), "silver": TenantQuota(weight=1)}
+        )
+        gate.admit("anon", 1)  # fits in the leftover slot
+        with pytest.raises(ServiceOverloaded) as exc:
+            gate.admit("anon", 1)  # would eat into a protected guarantee
+        assert exc.value.reason == "fair-share"
+
+    def test_guarantees_summing_to_capacity_lock_out_strangers(self):
+        gate = FairShareGate(
+            6, {"gold": TenantQuota(weight=1), "silver": TenantQuota(weight=1)}
+        )
+        # Guarantees: 3 + 3 = 6 = capacity — the configured tenants
+        # split the whole service, by design.
+        with pytest.raises(ServiceOverloaded) as exc:
+            gate.admit("anon", 1)
+        assert exc.value.reason == "fair-share"
+
+    def test_snapshot(self):
+        gate = FairShareGate(
+            4, {"t": TenantQuota(weight=1), "u": TenantQuota(weight=1)}
+        )
+        gate.admit("t", 1)
+        gate.admit("u", 1)
+        snap = gate.snapshot()
+        assert snap["capacity"] == 4
+        assert snap["in_flight"] == 2
+        assert snap["tenants"]["t"]["in_flight"] == 1
+        assert snap["tenants"]["t"]["guaranteed_share"] == 2
+        assert snap["tenants"]["u"]["in_flight"] == 1
+
+    def test_thread_safety_under_churn(self):
+        gate = FairShareGate(8)
+        errors = []
+
+        def churn(tenant):
+            for _ in range(200):
+                try:
+                    gate.admit(tenant, 1)
+                except ServiceOverloaded:
+                    continue
+                gate.release(tenant, 1)
+
+        threads = [
+            threading.Thread(target=churn, args=(f"t{i}",)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert gate.in_flight == 0, errors
+
+
+class TestServiceOverloadedPayload:
+    def test_as_dict_carries_tenant_state(self):
+        gate = FairShareGate(1, {"t": TenantQuota(max_in_flight=1)})
+        gate.admit("t", 1)
+        with pytest.raises(ServiceOverloaded) as exc:
+            gate.admit("t", 1)
+        data = exc.value.as_dict()
+        assert data["kind"] == "overloaded"
+        assert data["reason"] == "tenant-cap"
+        assert data["tenant"] == "t"
+        assert data["capacity"] == 1
+        assert data["tenant_in_flight"] == 1
+
+
+class TestServiceIntegration:
+    def test_service_accepts_quotas(self):
+        quotas = {"vip": TenantQuota(weight=2), "std": TenantQuota(weight=1)}
+        with ExchangeService(
+            simple_mapping(), max_in_flight=6, quotas=quotas
+        ) as service:
+            assert service.gate.guaranteed_share("vip") == 4
+            result = service.exchange(simple_source(), tenant="vip")
+            assert result.size() == 5
+            assert service.in_flight == 0
+
+    def test_default_tenant_used_when_unspecified(self):
+        with ExchangeService(simple_mapping(), max_in_flight=2) as service:
+            service.exchange(simple_source())
+            snap = service.gate.snapshot()
+            assert DEFAULT_TENANT in snap["tenants"] or not snap["tenants"]
